@@ -1,0 +1,67 @@
+// Ablation: detector coverage — the paper's differential technique vs the
+// Spinner baseline (Stone et al., ACSAC'17) on the same corpus.
+//
+// §2.2: "their technique only finds apps that pin intermediate or root
+// certificates in the certificate chain. In contrast, our dynamic and static
+// analysis techniques cover all pinned certificates."
+#include <cstdio>
+#include <set>
+
+#include "common.h"
+#include "dynamicanalysis/spinner.h"
+
+int main() {
+  using namespace pinscope;
+  const core::Study& study = bench::GetStudy();
+
+  std::printf("%s", report::SectionHeader(
+                        "Ablation — differential detector vs Spinner baseline").c_str());
+
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    int differential_apps = 0;
+    int spinner_apps = 0;
+    int both = 0;
+    int diff_only = 0;
+    int vulnerable = 0;
+    std::set<std::string> diff_dests, spinner_dests;
+
+    util::Rng rng(99);
+    for (const core::AppResult* r : study.AllResults(p)) {
+      const bool diff_pins = r->dynamic_report.AppPins();
+      for (const std::string& host : r->dynamic_report.PinnedDestinations()) {
+        diff_dests.insert(host);
+      }
+      bool spinner_pins = false;
+      for (const auto& probe : dynamicanalysis::RunSpinnerProbes(
+               *r->app, study.ecosystem().world(), rng)) {
+        if (probe.verdict == dynamicanalysis::SpinnerVerdict::kCaPinningDetected) {
+          spinner_pins = true;
+          spinner_dests.insert(probe.hostname);
+        }
+        if (probe.verdict == dynamicanalysis::SpinnerVerdict::kVulnerable) {
+          ++vulnerable;
+        }
+      }
+      differential_apps += diff_pins;
+      spinner_apps += spinner_pins;
+      both += diff_pins && spinner_pins;
+      diff_only += diff_pins && !spinner_pins;
+    }
+
+    report::TextTable table;
+    table.SetHeader({"Metric", "Differential (this work)", "Spinner (baseline)"});
+    table.AddRow({"Pinning apps detected", std::to_string(differential_apps),
+                  std::to_string(spinner_apps)});
+    table.AddRow({"Pinned destinations", std::to_string(diff_dests.size()),
+                  std::to_string(spinner_dests.size())});
+    std::printf("%s:\n%s", PlatformName(p).data(), table.Render().c_str());
+    std::printf(
+        "  apps found by both: %d; found ONLY by the differential detector: %d\n"
+        "  (Spinner's blind spot: leaf/key pins and bundled custom trust)\n"
+        "  hostname-validation vulnerabilities found by Spinner probes: %d\n"
+        "  (§5.3.4: the paper found no pinning app subverting validation)\n\n",
+        both, diff_only, vulnerable);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shared setup for the table/figure reproduction harnesses.
+//
+// Every bench binary regenerates the ecosystem and runs the full measurement
+// study, then prints paper-reported vs. measured values. The corpus scale is
+// 1.0 (the paper's 5,079 apps) by default; set PINSCOPE_SCALE to trade
+// fidelity for speed (e.g. PINSCOPE_SCALE=0.2).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/analyses.h"
+#include "core/study.h"
+#include "report/table.h"
+#include "store/generator.h"
+#include "util/strings.h"
+
+namespace pinscope::bench {
+
+inline double CorpusScale() {
+  if (const char* env = std::getenv("PINSCOPE_SCALE")) {
+    const double scale = std::atof(env);
+    if (scale > 0.0 && scale <= 1.0) return scale;
+  }
+  return 1.0;
+}
+
+/// The shared (per-process) study: generated once, analyzed once.
+inline const core::Study& GetStudy() {
+  static const std::unique_ptr<core::Study> study = [] {
+    store::EcosystemConfig config;
+    config.seed = 42;
+    config.scale = CorpusScale();
+    std::fprintf(stderr, "[pinscope] generating ecosystem (scale %.2f)...\n",
+                 config.scale);
+    static store::Ecosystem eco = store::Ecosystem::Generate(config);
+    std::fprintf(stderr, "[pinscope] running measurement pipeline...\n");
+    auto s = std::make_unique<core::Study>(eco);
+    s->Run();
+    std::fprintf(stderr, "[pinscope] analysis ready.\n");
+    return s;
+  }();
+  return *study;
+}
+
+/// "n (p%)" cell helper.
+inline std::string CountPct(int count, int total) {
+  if (total == 0) return "0";
+  return util::Percent(static_cast<double>(count) / total, 2) + " (" +
+         std::to_string(count) + ")";
+}
+
+}  // namespace pinscope::bench

@@ -1,0 +1,35 @@
+// Figure 3: inconsistency heatmap for apps pinning on both platforms.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace pinscope;
+  const core::Study& study = bench::GetStudy();
+
+  std::printf("%s", report::SectionHeader(
+                        "Figure 3 — inconsistent both-platform pinners").c_str());
+  std::printf(
+      "Paper rows (overlap / %%A-pinned-unpinned-on-iOS / %%iOS-pinned-unpinned-on-A):\n"
+      "  Twitter 0.5/50/0, J.P. 0.25/0/75, TikTok 0/100/40, State 0/100/0,\n"
+      "  Seamless 0/100/0, Jungle 0/0/100.\n\n");
+
+  report::TextTable table;
+  table.SetHeader({"App", "Pinned overlap (Jaccard)", "% A-pinned unpinned on iOS",
+                   "% iOS-pinned unpinned on A"});
+  int rows = 0;
+  for (const core::PairAnalysis& pa : core::AnalyzeCommonPairs(study)) {
+    if (pa.mode != core::PairAnalysis::Mode::kBoth ||
+        pa.verdict != core::PairAnalysis::Verdict::kInconsistent) {
+      continue;
+    }
+    table.AddRow({pa.name, util::FormatDouble(pa.jaccard, 2),
+                  report::HeatCell(pa.android_pinned_unpinned_on_ios),
+                  report::HeatCell(pa.ios_pinned_unpinned_on_android)});
+    ++rows;
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("%d inconsistent both-platform pinners (paper: 6 at full scale)\n",
+              rows);
+  return 0;
+}

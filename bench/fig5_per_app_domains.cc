@@ -1,0 +1,72 @@
+// Figure 5: per-app pinned vs not-pinned domains, first vs third party,
+// for pinning apps of the Popular and Random datasets.
+#include <cstdio>
+
+#include "common.h"
+
+namespace {
+
+using namespace pinscope;
+
+void PrintPlatform(const core::Study& study, appmodel::Platform p) {
+  const auto profiles = core::ComputeDomainProfiles(study, p);
+  std::printf("%s — %zu pinning apps (Popular + Random)\n", PlatformName(p).data(),
+              profiles.size());
+
+  int fp_pinners = 0, fp_contacting = 0, tp_pinners = 0, tp_all_pinned = 0,
+      pins_all = 0;
+  long pinned_first = 0, pinned_third = 0;
+  // Stacked per-app bars like the paper's figure: P/p = pinned first/third
+  // party, U/u = unpinned first/third party.
+  std::size_t shown = 0;
+  std::printf("  legend: P pinned-1st  p pinned-3rd  U unpinned-1st  u unpinned-3rd\n");
+  for (const core::AppDomainProfile& prof : profiles) {
+    if (prof.first_party_pinned + prof.first_party_unpinned > 0) ++fp_contacting;
+    if (prof.first_party_pinned > 0) ++fp_pinners;
+    if (prof.third_party_pinned > 0) {
+      ++tp_pinners;
+      if (prof.third_party_unpinned == 0) ++tp_all_pinned;
+    }
+    if (prof.PinsAll()) ++pins_all;
+    pinned_first += prof.first_party_pinned;
+    pinned_third += prof.third_party_pinned;
+    if (shown < 16) {
+      std::string bar;
+      bar += std::string(static_cast<std::size_t>(prof.first_party_pinned), 'P');
+      bar += std::string(static_cast<std::size_t>(prof.third_party_pinned), 'p');
+      bar += std::string(static_cast<std::size_t>(prof.first_party_unpinned), 'U');
+      bar += std::string(static_cast<std::size_t>(prof.third_party_unpinned), 'u');
+      const int total = prof.Total();
+      const double pct =
+          total == 0 ? 0.0
+                     : 100.0 * (prof.first_party_pinned + prof.third_party_pinned) /
+                           total;
+      std::printf("  %-24s |%-14s| %3.0f%% pinned\n", prof.app_id.c_str(),
+                  bar.c_str(), pct);
+      ++shown;
+    }
+  }
+  std::printf("  (first %zu of %zu apps shown)\n\n", shown, profiles.size());
+  std::printf("  apps pinning some first party:     %d (of %d contacting first party)\n",
+              fp_pinners, fp_contacting);
+  std::printf("  apps pinning some third party:     %d (all third parties pinned: %d)\n",
+              tp_pinners, tp_all_pinned);
+  std::printf("  apps pinning everything they contact: %d\n", pins_all);
+  std::printf("  pinned destinations: %ld first-party vs %ld third-party\n\n",
+              pinned_first, pinned_third);
+}
+
+}  // namespace
+
+int main() {
+  const core::Study& study = bench::GetStudy();
+  std::printf("%s", report::SectionHeader(
+                        "Figure 5 — pinned vs not-pinned domains per app").c_str());
+  std::printf(
+      "Paper: pinning is selective — most pinned destinations are third-party;\n"
+      "Android apps contacting first party almost always pin all of it (one\n"
+      "exception); only 5 Android and 4 iOS apps pin every domain they contact.\n\n");
+  PrintPlatform(study, appmodel::Platform::kAndroid);
+  PrintPlatform(study, appmodel::Platform::kIos);
+  return 0;
+}

@@ -1,0 +1,240 @@
+// Microbenchmarks of the pipeline's hot paths (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "appmodel/android_package.h"
+#include "crypto/sha256.h"
+#include "dynamicanalysis/detector.h"
+#include "net/mitm_proxy.h"
+#include "appmodel/ios_package.h"
+#include "staticanalysis/ios_decrypt.h"
+#include "staticanalysis/nsc_analyzer.h"
+#include "staticanalysis/scanner.h"
+#include "tls/handshake.h"
+#include "util/rng.h"
+#include "x509/validation.h"
+
+namespace {
+
+using namespace pinscope;
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  const util::Bytes data(1024, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_ChainValidation(benchmark::State& state) {
+  const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.globaltrust");
+  util::Rng rng(1);
+  x509::IssueSpec spec;
+  spec.subject.common_name = "bench.example.com";
+  spec.san_dns = {"bench.example.com"};
+  spec.not_before = -util::kMillisPerDay;
+  spec.not_after = util::kMillisPerYear;
+  const x509::CertificateChain chain = {ca.Issue(spec, rng), ca.certificate()};
+  const x509::RootStore store = x509::PublicCaCatalog::Instance().MozillaStore();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        x509::ValidateChain(chain, "bench.example.com", 0, store));
+  }
+}
+BENCHMARK(BM_ChainValidation);
+
+void BM_HandshakeSimulation(benchmark::State& state) {
+  const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.digisign");
+  util::Rng rng(2);
+  x509::IssueSpec spec;
+  spec.subject.common_name = "hs.example.com";
+  spec.san_dns = {"hs.example.com"};
+  spec.not_before = -util::kMillisPerDay;
+  spec.not_after = util::kMillisPerYear;
+  tls::ServerEndpoint server;
+  server.hostname = "hs.example.com";
+  server.chain = {ca.Issue(spec, rng), ca.certificate()};
+  const x509::RootStore store = x509::PublicCaCatalog::Instance().MozillaStore();
+  tls::ClientTlsConfig client;
+  client.root_store = &store;
+  tls::AppPayload payload;
+  payload.plaintext = "POST /v1/collect session=1";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tls::SimulateDirectConnection(client, server, payload, 0, rng));
+  }
+}
+BENCHMARK(BM_HandshakeSimulation);
+
+void BM_MitmIntercept(benchmark::State& state) {
+  const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.nimbus");
+  util::Rng rng(3);
+  x509::IssueSpec spec;
+  spec.subject.common_name = "mitm.example.com";
+  spec.san_dns = {"mitm.example.com"};
+  spec.not_before = -util::kMillisPerDay;
+  spec.not_after = util::kMillisPerYear;
+  tls::ServerEndpoint server;
+  server.hostname = "mitm.example.com";
+  server.chain = {ca.Issue(spec, rng), ca.certificate()};
+  net::MitmProxy proxy;
+  x509::RootStore store = x509::PublicCaCatalog::Instance().MozillaStore();
+  store.AddRoot(proxy.CaCertificate());
+  tls::ClientTlsConfig client;
+  client.root_store = &store;
+  tls::AppPayload payload;
+  payload.plaintext = "GET /";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proxy.Intercept(client, server, payload, 0, rng));
+  }
+}
+BENCHMARK(BM_MitmIntercept);
+
+appmodel::PackageFiles BenchPackage(int smali_files) {
+  appmodel::AppMetadata meta;
+  meta.app_id = "com.bench.app";
+  meta.display_name = "Bench";
+  meta.platform = appmodel::Platform::kAndroid;
+  appmodel::AndroidPackageBuilder builder(meta);
+  util::Rng rng(4);
+  for (int i = 0; i < smali_files; ++i) {
+    builder.AddSmaliString("com/bench/pkg" + std::to_string(i), "Api.smali",
+                           "https://api" + std::to_string(i) + ".bench.com/v1");
+  }
+  builder.AddSmaliString("com/bench/net", "Pinner.smali",
+                         "sha256/" + std::string(43, 'Q') + "=");
+  builder.AddNativeLib("libbench.so", {"noise", "more-noise-strings"}, rng);
+  return builder.Build();
+}
+
+void BM_ScannerPackage(benchmark::State& state) {
+  const appmodel::PackageFiles package =
+      BenchPackage(static_cast<int>(state.range(0)));
+  const staticanalysis::Scanner scanner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scanner.Scan(package));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(package.TotalBytes()));
+}
+BENCHMARK(BM_ScannerPackage)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_PinRegexFindAll(benchmark::State& state) {
+  const staticanalysis::Regex re("sha(1|256)/[a-zA-Z0-9+/=]{28,64}");
+  std::string haystack;
+  for (int i = 0; i < 200; ++i) {
+    haystack += "const-string v0, \"https://endpoint" + std::to_string(i) + ".com\"\n";
+  }
+  haystack += "sha256/" + std::string(43, 'R') + "=";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re.FindAll(haystack));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(haystack.size()));
+}
+BENCHMARK(BM_PinRegexFindAll);
+
+void BM_UsedConnectionClassification(benchmark::State& state) {
+  net::Flow flow;
+  flow.version = tls::TlsVersion::kTls13;
+  flow.sni = "x.com";
+  for (int i = 0; i < 12; ++i) {
+    flow.records.push_back({tls::Direction::kClientToServer,
+                            tls::ContentType::kApplicationData,
+                            tls::ContentType::kApplicationData, 512u, {}, i});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dynamicanalysis::IsUsedConnection(flow));
+  }
+}
+BENCHMARK(BM_UsedConnectionClassification);
+
+void BM_ResumedHandshake(benchmark::State& state) {
+  const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.veridian");
+  util::Rng rng(5);
+  x509::IssueSpec spec;
+  spec.subject.common_name = "resume.bench.com";
+  spec.san_dns = {"resume.bench.com"};
+  spec.not_before = -util::kMillisPerDay;
+  spec.not_after = util::kMillisPerYear;
+  tls::ServerEndpoint server;
+  server.hostname = "resume.bench.com";
+  server.chain = {ca.Issue(spec, rng), ca.certificate()};
+  const x509::RootStore store = x509::PublicCaCatalog::Instance().MozillaStore();
+  tls::ClientTlsConfig client;
+  client.root_store = &store;
+  tls::AppPayload payload;
+  payload.plaintext = "GET /";
+  const auto full = tls::SimulateDirectConnection(client, server, payload, 0, rng);
+  const tls::SessionTicket ticket = *full.ticket;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tls::SimulateResumedConnection(client, server, ticket, payload, 0, rng));
+  }
+}
+BENCHMARK(BM_ResumedHandshake);
+
+void BM_NscParse(benchmark::State& state) {
+  appmodel::AppMetadata meta;
+  meta.app_id = "com.bench.nsc";
+  meta.display_name = "Bench";
+  meta.platform = appmodel::Platform::kAndroid;
+  std::vector<appmodel::NscDomainConfig> configs;
+  for (int i = 0; i < 8; ++i) {
+    appmodel::NscDomainConfig cfg;
+    cfg.domain = "host" + std::to_string(i) + ".bench.com";
+    cfg.include_subdomains = true;
+    cfg.pin_strings = {"sha256/" + std::string(43, 'Z') + "="};
+    configs.push_back(std::move(cfg));
+  }
+  const appmodel::PackageFiles apk =
+      appmodel::AndroidPackageBuilder(meta).WithNsc(configs).Build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(staticanalysis::AnalyzeNsc(apk));
+  }
+}
+BENCHMARK(BM_NscParse);
+
+void BM_IpaDecryption(benchmark::State& state) {
+  appmodel::AppMetadata meta;
+  meta.app_id = "com.bench.ipa";
+  meta.display_name = "BenchIpa";
+  meta.platform = appmodel::Platform::kIos;
+  util::Rng rng(6);
+  appmodel::IosPackageBuilder builder(meta);
+  for (int i = 0; i < 30; ++i) {
+    builder.AddMainBinaryString("string payload number " + std::to_string(i));
+  }
+  const appmodel::PackageFiles ipa = builder.Build(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(staticanalysis::DecryptIpa(
+        ipa, "com.bench.ipa", staticanalysis::DecryptionDevice{}));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ipa.TotalBytes()));
+}
+BENCHMARK(BM_IpaDecryption);
+
+void BM_PinPolicyEvaluate(benchmark::State& state) {
+  const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.meridian");
+  util::Rng rng(7);
+  x509::IssueSpec spec;
+  spec.subject.common_name = "pins.bench.com";
+  spec.san_dns = {"pins.bench.com"};
+  const x509::CertificateChain chain = {ca.Issue(spec, rng), ca.certificate()};
+  tls::PinPolicy policy;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    policy.AddRule({"host" + std::to_string(i) + ".bench.com", true,
+                    {tls::Pin::ForCertificate(chain.back(),
+                                              tls::PinForm::kSpkiSha256)}});
+  }
+  policy.AddRule({"pins.bench.com", false,
+                  {tls::Pin::ForCertificate(chain.back(),
+                                            tls::PinForm::kSpkiSha256)}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Evaluate("pins.bench.com", chain));
+  }
+}
+BENCHMARK(BM_PinPolicyEvaluate)->Arg(1)->Arg(16)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,51 @@
+// §4.2.1 — the sleep-time sweep: how many TLS handshakes a capture records
+// at 15 s / 30 s / 60 s. The paper measured averages of 20.78, 23.5 and
+// 24.62 on a small random app sample and picked 30 s as the point of
+// diminishing returns.
+#include <cstdio>
+
+#include "common.h"
+#include "dynamicanalysis/device.h"
+
+int main() {
+  using namespace pinscope;
+  const core::Study& study = bench::GetStudy();
+  const store::Ecosystem& eco = study.ecosystem();
+
+  std::printf("%s", report::SectionHeader(
+                        "§4.2.1 — handshakes captured vs sleep time").c_str());
+  std::printf("Paper: 20.78 (15 s), 23.5 (30 s), 24.62 (60 s) average TLS\n"
+              "handshakes on a small random app sample; 30 s chosen.\n\n");
+
+  // A small random sample of apps, like the paper's calibration experiment.
+  util::Rng sample_rng(2021);
+  report::TextTable table;
+  table.SetHeader({"Platform", "15 s", "30 s", "60 s"});
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    const auto& apps = eco.apps(p);
+    const auto indices = sample_rng.SampleIndices(apps.size(), 40);
+    const dynamicanalysis::DeviceEmulator device =
+        p == appmodel::Platform::kAndroid
+            ? dynamicanalysis::DeviceEmulator::Pixel3(nullptr)
+            : dynamicanalysis::DeviceEmulator::IPhoneX(nullptr);
+
+    std::vector<std::string> row = {std::string(PlatformName(p))};
+    for (const int seconds : {15, 30, 60}) {
+      double total = 0;
+      for (std::size_t idx : indices) {
+        dynamicanalysis::RunOptions opts;
+        opts.capture_seconds = seconds;
+        util::Rng rng(900 + idx);
+        total += static_cast<double>(
+            device.RunApp(apps[idx], eco.world(), opts, rng).flows.size());
+      }
+      row.push_back(util::FormatDouble(total / static_cast<double>(indices.size()), 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Shape check: handshake counts rise with capture time with clearly\n"
+              "diminishing returns after 30 s — the basis for the paper's choice.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 2: prevalence reported by prior work, contrasted with this
+// reproduction's own measurements using the corresponding techniques.
+//
+// The literature rows are constants from the paper; the "this pipeline" rows
+// re-run (a) the NSC-only static technique of Possemato/Oltrogge and (b) the
+// dynamic differential technique on our corpora, showing the same regime gap
+// the paper highlights.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace pinscope;
+  const core::Study& study = bench::GetStudy();
+
+  std::printf("%s", report::SectionHeader(
+                        "Table 2 — pinning prevalence in prior work").c_str());
+  report::TextTable prior;
+  prior.SetHeader({"Study", "Year", "Prevalence", "Analysis", "Dataset"});
+  prior.AddRow({"Fahl et al.", "2012", "10%", "Dynamic", "20 high-profile Android apps"});
+  prior.AddRow({"Oltrogge et al.", "2015", "0.07%", "Static", "639,283 Play Store apps"});
+  prior.AddRow({"Razaghpanah et al.", "2017", "2%", "Dynamic", "7,258 Android apps in the wild"});
+  prior.AddRow({"Stone et al.", "2017", "28%", "Dynamic", "135 security-sensitive apps"});
+  prior.AddRow({"Possemato et al.", "2020", "0.62%", "Static", "16,332 apps using NSCs"});
+  prior.AddRow({"Oltrogge et al.", "2021", "0.67%", "Static", "99,212 apps using NSCs"});
+  std::printf("%s\n", prior.Render().c_str());
+
+  std::printf("Same techniques, this pipeline's corpora (Android):\n");
+  report::TextTable ours;
+  ours.SetHeader({"Dataset", "NSC-only static (prior-work method)",
+                  "Dynamic differential (this work)"});
+  for (const store::DatasetId id : store::AllDatasets()) {
+    const core::PrevalenceRow row =
+        core::ComputePrevalence(study, id, appmodel::Platform::kAndroid);
+    ours.AddRow({std::string(store::DatasetName(id)),
+                 bench::CountPct(row.config_pinning, row.total),
+                 bench::CountPct(row.dynamic_pinning, row.total)});
+  }
+  std::printf("%s\n", ours.Render().c_str());
+  std::printf(
+      "Shape check: the NSC-only technique lands in prior work's sub-3%% regime\n"
+      "while the dynamic technique finds several times more pinning.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table 3: certificate-pinning prevalence per detection technique.
+//
+// The paper's headline result: dynamic analysis finds far more pinning than
+// the NSC-based technique of prior work, and static embedded-certificate
+// search flags even more potential pinning.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace pinscope;
+  const core::Study& study = bench::GetStudy();
+
+  std::printf("%s", report::SectionHeader(
+                        "Table 3 — pinning prevalence by technique").c_str());
+  std::printf(
+      "Paper: Common  Android 8.17%%(47) / 26.96%%(155) / 2.78%%(16); iOS 8.52%%(49) / 22.96%%(132) / -\n"
+      "       Popular Android 6.7%%(67)  / 19.7%%(197)  / 1.8%%(18);  iOS 11.4%%(114) / 33.4%%(334) / -\n"
+      "       Random  Android 0.9%%(9)   / 9.9%%(99)    / 0.6%%(6);   iOS 2.5%%(25)   / 9.5%%(95)   / -\n\n");
+
+  report::TextTable table;
+  table.SetHeader({"Dataset", "Platform", "Dynamic", "Embedded certs (static)",
+                   "Config files (prior work)"});
+  for (const store::DatasetId id : store::AllDatasets()) {
+    for (const appmodel::Platform p :
+         {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+      const core::PrevalenceRow row = core::ComputePrevalence(study, id, p);
+      table.AddRow({std::string(store::DatasetName(id)) +
+                        " (n=" + std::to_string(row.total) + ")",
+                    std::string(PlatformName(p)),
+                    bench::CountPct(row.dynamic_pinning, row.total),
+                    bench::CountPct(row.embedded_static, row.total),
+                    p == appmodel::Platform::kAndroid
+                        ? bench::CountPct(row.config_pinning, row.total)
+                        : std::string("-")});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // The headline ratio: dynamic vs prior-work NSC detection on Android.
+  const auto popular = core::ComputePrevalence(study, store::DatasetId::kPopular,
+                                               appmodel::Platform::kAndroid);
+  if (popular.config_pinning > 0) {
+    std::printf("Dynamic/NSC detection ratio (Android Popular): %.1fx "
+                "(paper reports up to 4x more pinning than prior studies)\n",
+                static_cast<double>(popular.dynamic_pinning) / popular.config_pinning);
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Table 4: top-10 categories of pinning apps, Android.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace pinscope;
+  const core::Study& study = bench::GetStudy();
+
+  std::printf("%s", report::SectionHeader(
+                        "Table 4 — top pinning categories, Android").c_str());
+  std::printf(
+      "Paper: Finance 22.99%% (20 apps) leads; then Social 17.81%% (13), Events,\n"
+      "Dating, Food & Drink, Shopping, Comics, Automobile, Travel, Weather.\n\n");
+
+  report::TextTable table;
+  table.SetHeader({"Category (rank)", "Pinning %", "No. of Apps"});
+  for (const core::CategoryPinningRow& row :
+       core::ComputePinningByCategory(study, appmodel::Platform::kAndroid)) {
+    table.AddRow({row.category + " (" + std::to_string(row.popularity_rank) + ")",
+                  util::FormatDouble(row.pinning_pct, 2) + " %",
+                  std::to_string(row.pinning_apps)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  const auto rows = core::ComputePinningByCategory(study, appmodel::Platform::kAndroid);
+  if (!rows.empty()) {
+    std::printf("Shape check: top pinning category measured = %s (paper: Finance)\n",
+                rows.front().category.c_str());
+  }
+  return 0;
+}

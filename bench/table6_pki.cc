@@ -1,0 +1,74 @@
+// Table 6 + §5.3.1-§5.3.3: PKI of pinned destinations, CA-vs-leaf pins,
+// self-signed outliers, and key-reusing renewals.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace pinscope;
+  const core::Study& study = bench::GetStudy();
+
+  std::printf("%s", report::SectionHeader(
+                        "Table 6 — PKI used by pinned destinations").c_str());
+  std::printf("Paper: Android 163 default / 4 custom / 11 unavailable;\n"
+              "       iOS     238 default / 1 custom / 14 unavailable.\n\n");
+
+  report::TextTable table;
+  table.SetHeader({"Platform", "Default PKI", "Custom PKI", "Data Unavailable",
+                   "(of custom: self-signed)"});
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    const core::PkiCounts counts = core::ComputePkiCounts(study, p);
+    table.AddRow({std::string(PlatformName(p)), std::to_string(counts.default_pki),
+                  std::to_string(counts.custom_pki),
+                  std::to_string(counts.unavailable),
+                  std::to_string(counts.self_signed)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Self-signed pinned certificates (paper: validities of 27 and 10 years):\n");
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    const core::PkiCounts counts = core::ComputePkiCounts(study, p);
+    for (std::int64_t days : counts.self_signed_validity_days) {
+      std::printf("  %s: self-signed pinned destination valid for %.1f years\n",
+                  PlatformName(p).data(), static_cast<double>(days) / 365.0);
+    }
+  }
+
+  std::printf("%s", report::SectionHeader(
+                        "§5.3.2 — root vs leaf certificates pinned").c_str());
+  std::printf("Paper: ~31%% of pinning apps have a static↔dynamic certificate match;\n"
+              "of the matched certificates, 80/110 are CAs, 30/110 leaves.\n\n");
+  int total_ca = 0, total_leaf = 0, total_spki = 0, total_raw = 0, total_rotated = 0;
+  report::TextTable certs;
+  certs.SetHeader({"Platform", "Pinning apps", "Apps w/ match", "CA certs",
+                   "Leaf certs"});
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    const core::CertMatchStats stats = core::ComputeCertMatches(study, p);
+    certs.AddRow({std::string(PlatformName(p)), std::to_string(stats.pinning_apps),
+                  std::to_string(stats.apps_with_match),
+                  std::to_string(stats.ca_certs), std::to_string(stats.leaf_certs)});
+    total_ca += stats.ca_certs;
+    total_leaf += stats.leaf_certs;
+    total_spki += stats.leaf_spki_pinned;
+    total_raw += stats.leaf_raw_embedded;
+    total_rotated += stats.rotated_still_pinned;
+  }
+  std::printf("%s\n", certs.Render().c_str());
+  if (total_ca + total_leaf > 0) {
+    std::printf("Measured CA share of matched certificates: %.0f%% (paper ~73%%)\n",
+                100.0 * total_ca / (total_ca + total_leaf));
+  }
+
+  std::printf("%s", report::SectionHeader(
+                        "§5.3.3 — whole certificate vs its key").c_str());
+  std::printf("Paper: 24/30 pinned leaves pinned via SPKI hashes; of 6 raw-embedded\n"
+              "leaves, 5 destinations served renewed certificates during testing and\n"
+              "still pinned — i.e. public keys were pinned and reused across renewals.\n\n");
+  std::printf("Measured: %d leaf pins via SPKI hash, %d raw-embedded leaf certs,\n"
+              "of which %d destinations served a renewed leaf yet stayed pinned.\n",
+              total_spki, total_raw, total_rotated);
+  return 0;
+}

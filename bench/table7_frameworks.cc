@@ -1,0 +1,32 @@
+// Table 7: third-party frameworks that ship certificate/pin material.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace pinscope;
+  const core::Study& study = bench::GetStudy();
+
+  std::printf("%s", report::SectionHeader(
+                        "Table 7 — frameworks introducing certificates").c_str());
+  std::printf(
+      "Paper (top 5 per platform):\n"
+      "  Android: Twitter 29, Braintree 27, Paypal 25, Perimeterx 9, MParticle 9\n"
+      "  iOS:     Amplitude 45, Stripe 34, Weibo 24, FraudForce 16, Adobe CC 13\n\n");
+
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    std::printf("%s (code paths with cert/pin evidence in >5 apps):\n",
+                PlatformName(p).data());
+    report::TextTable table;
+    table.SetHeader({"Framework", "# apps", "Code path"});
+    const auto frameworks = core::ComputeFrameworks(study, p);
+    std::size_t shown = 0;
+    for (const auto& fw : frameworks) {
+      table.AddRow({fw.framework, std::to_string(fw.app_count), fw.path_key});
+      if (++shown == 8) break;
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Table 8: weak ciphers advertised — all apps vs pinning apps' pinned
+// connections.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace pinscope;
+  const core::Study& study = bench::GetStudy();
+
+  std::printf("%s", report::SectionHeader(
+                        "Table 8 — weak ciphers in pinned vs all connections").c_str());
+  std::printf(
+      "Paper: Common  Android 8.35%% / 23.4%%;  iOS 93.39%% / 55.77%%\n"
+      "       Popular Android 18.3%% / 1.49%%;  iOS 95.2%%  / 46.09%%\n"
+      "       Random  Android 3.1%%  / 0.0%%;   iOS 82.6%%  / 52.94%%\n"
+      "(columns: overall apps with a weak-cipher connection / pinning apps with a\n"
+      " weak-cipher *pinned* connection)\n\n");
+
+  report::TextTable table;
+  table.SetHeader({"Dataset", "Platform", "Overall", "Pinning apps"});
+  for (const store::DatasetId id : store::AllDatasets()) {
+    for (const appmodel::Platform p :
+         {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+      const core::CipherRow row = core::ComputeCiphers(study, id, p);
+      table.AddRow({std::string(store::DatasetName(id)), std::string(PlatformName(p)),
+                    util::FormatDouble(row.overall_pct, 2) + "%",
+                    util::FormatDouble(row.pinning_apps_pct, 2) + "%"});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Shape check: pinned connections disable weak suites more often than the\n"
+      "overall population on iOS and on Popular/Random Android; the Common Android\n"
+      "set is the paper's noted exception.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table 9 + §4.3: PII in pinned vs non-pinned traffic, plus circumvention
+// success rates.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace pinscope;
+  const core::Study& study = bench::GetStudy();
+
+  std::printf("%s", report::SectionHeader(
+                        "§4.3 — pinning circumvention success").c_str());
+  std::printf("Paper: ≈51.51%% of pinned destinations circumvented on Android,\n"
+              "       ≈66.15%% on iOS.\n\n");
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    const core::CircumventionStats stats = core::ComputeCircumvention(study, p);
+    std::printf("  %s: %d/%d unique pinned destinations circumvented (%.2f%%)\n",
+                PlatformName(p).data(), stats.circumvented_unique,
+                stats.pinned_unique, 100.0 * stats.Rate());
+  }
+
+  std::printf("%s", report::SectionHeader(
+                        "Table 9 — PII in pinned vs non-pinned traffic").c_str());
+  std::printf(
+      "Paper: iOS Ad.ID 25.85%% vs 18.06%% (*significant*), City 0/0.94, State\n"
+      "0/0.31, Lat./Lon. 0/0.04; Android Ad.ID 25.74%% vs 19.96%% (not significant),\n"
+      "Email 0.99/0.52, State 0.99/1.12, City 0/0.45.\n\n");
+
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kIos, appmodel::Platform::kAndroid}) {
+    const core::PiiAnalysis pii = core::ComputePii(study, p);
+    std::printf("%s (decrypted destinations: %d pinned, %d non-pinned):\n",
+                PlatformName(p).data(), pii.pinned_dests, pii.non_pinned_dests);
+    report::TextTable table;
+    table.SetHeader({"PII", "Pinned", "Non-Pinned", "chi2", "p", "significant"});
+    for (const core::PiiRow& row : pii.rows) {
+      table.AddRow({std::string(appmodel::PiiTypeName(row.type)),
+                    util::FormatDouble(row.pinned_pct, 2) + " %",
+                    util::FormatDouble(row.non_pinned_pct, 2) + " %",
+                    util::FormatDouble(row.test.statistic, 2),
+                    util::FormatDouble(row.test.p_value, 4),
+                    row.test.Significant() ? "yes (*)" : "no"});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  std::printf(
+      "Shape check: Ad-ID appears in both traffic classes with a pinned-side\n"
+      "excess; no substantial presence of other identifiers — pinning is not\n"
+      "primarily hiding (non-credential) PII collection.\n");
+  return 0;
+}

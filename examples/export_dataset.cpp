@@ -1,0 +1,129 @@
+// export_dataset: write the study's per-app measurements as JSON Lines —
+// the toolkit's equivalent of the paper's public dataset release
+// (https://github.com/NEU-SNS/app-tls-pinning).
+//
+//   $ ./export_dataset [output.jsonl]
+//
+// One JSON object per (platform, app): metadata, static findings, dynamic
+// per-destination verdicts, circumvention and PII observations.
+#include <cstdio>
+#include <fstream>
+
+#include "core/study.h"
+#include "report/csv_writer.h"
+#include "report/json_writer.h"
+#include "store/generator.h"
+
+namespace {
+
+using namespace pinscope;
+
+std::string AppRecord(const core::AppResult& r) {
+  report::JsonWriter w;
+  w.BeginObject();
+  w.Key("app_id");
+  w.String(r.app->meta.app_id);
+  w.Key("platform");
+  w.String(PlatformName(r.app->meta.platform));
+  w.Key("category");
+  w.String(r.app->meta.category);
+
+  w.Key("static");
+  w.BeginObject();
+  w.Key("embedded_certificates");
+  w.Int(static_cast<std::int64_t>(r.static_report.scan.certificates.size()));
+  w.Key("pin_hashes");
+  w.Int(static_cast<std::int64_t>(r.static_report.pins_total));
+  w.Key("pin_hashes_resolved_via_ct");
+  w.Int(static_cast<std::int64_t>(r.static_report.pins_resolved));
+  w.Key("potential_pinning");
+  w.Bool(r.static_report.PotentialPinning());
+  w.Key("config_pinning");
+  w.Bool(r.static_report.ConfigPinning());
+  w.EndObject();
+
+  w.Key("dynamic");
+  w.BeginObject();
+  w.Key("pins_at_runtime");
+  w.Bool(r.dynamic_report.AppPins());
+  w.Key("destinations");
+  w.BeginArray();
+  for (const auto& dest : r.dynamic_report.destinations) {
+    w.BeginObject();
+    w.Key("hostname");
+    w.String(dest.hostname);
+    w.Key("pinned");
+    w.Bool(dest.pinned);
+    w.Key("used_baseline");
+    w.Bool(dest.used_baseline);
+    w.Key("weak_ciphers");
+    w.Bool(dest.weak_cipher);
+    w.Key("circumvented");
+    w.Bool(dest.circumvented);
+    w.Key("chain_length");
+    w.Int(static_cast<std::int64_t>(dest.served_chain.size()));
+    w.Key("pii");
+    w.BeginArray();
+    for (const auto t : dest.pii) w.String(appmodel::PiiTypeName(t));
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "pinscope_dataset.jsonl";
+  const std::string csv_path =
+      path.substr(0, path.find_last_of('.')) + "_destinations.csv";
+
+  store::EcosystemConfig config;
+  config.seed = 42;
+  config.scale = 0.1;
+  std::printf("Generating ecosystem and running the study (scale %.2f)...\n",
+              config.scale);
+  const store::Ecosystem eco = store::Ecosystem::Generate(config);
+  core::Study study(eco);
+  study.Run();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  int records = 0;
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    for (const core::AppResult* r : study.AllResults(p)) {
+      out << AppRecord(*r) << "\n";
+      ++records;
+    }
+  }
+  std::printf("Wrote %d app records to %s\n", records, path.c_str());
+
+  // Flat per-destination CSV companion (the release's second format).
+  report::CsvWriter csv;
+  csv.SetHeader({"app_id", "platform", "hostname", "pinned", "used_baseline",
+                 "weak_ciphers", "circumvented"});
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    for (const core::AppResult* r : study.AllResults(p)) {
+      for (const auto& dest : r->dynamic_report.destinations) {
+        csv.AddRow({r->app->meta.app_id, std::string(PlatformName(p)),
+                    dest.hostname, dest.pinned ? "1" : "0",
+                    dest.used_baseline ? "1" : "0", dest.weak_cipher ? "1" : "0",
+                    dest.circumvented ? "1" : "0"});
+      }
+    }
+  }
+  std::ofstream csv_out(csv_path);
+  const std::size_t csv_rows = csv.rows();
+  csv_out << csv.TakeString();
+  std::printf("Wrote %zu destination rows to %s\n", csv_rows, csv_path.c_str());
+  return 0;
+}

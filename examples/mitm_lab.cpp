@@ -1,0 +1,103 @@
+// mitm_lab: a step-by-step walkthrough of why the differential detector
+// works — one server, one client, four scenarios:
+//
+//   1. direct connection (baseline),
+//   2. interception of an unpinned client (proxy CA trusted → decrypted),
+//   3. interception of a pinning client (pin failure → the §4.2.2 signals),
+//   4. instrumented client (validation stubbed → pinned traffic readable).
+#include <cstdio>
+
+#include "dynamicanalysis/detector.h"
+#include "net/flow.h"
+#include "net/mitm_proxy.h"
+#include "tls/handshake.h"
+#include "util/rng.h"
+#include "x509/root_store.h"
+
+namespace {
+
+using namespace pinscope;
+
+void Describe(const char* title, const tls::ConnectionOutcome& outcome) {
+  std::printf("-- %s --\n", title);
+  std::printf("   %s, %zu records, failure=%s\n",
+              TlsVersionName(outcome.version).data(), outcome.records.size(),
+              tls::FailureReasonName(outcome.failure).data());
+  for (const tls::Record& r : outcome.records) {
+    std::printf("   %s %-17s (actually %-17s) %4u bytes\n",
+                r.direction == tls::Direction::kClientToServer ? "C→S" : "S→C",
+                tls::ContentTypeName(r.wire_type).data(),
+                tls::ContentTypeName(r.actual_type).data(), r.wire_length);
+  }
+  const net::Flow flow =
+      net::FlowFromOutcome("bank.example.com", outcome, 0, net::FlowOrigin::kApp,
+                           /*observer_decrypted=*/false);
+  std::printf("   detector: used=%s failed=%s\n\n",
+              dynamicanalysis::IsUsedConnection(flow) ? "YES" : "no",
+              dynamicanalysis::IsFailedConnection(flow) ? "YES" : "no");
+}
+
+}  // namespace
+
+int main() {
+  util::Rng rng(404);
+
+  // The genuine server: bank.example.com under a public CA.
+  const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.veridian");
+  x509::IssueSpec spec;
+  spec.subject.common_name = "bank.example.com";
+  spec.san_dns = {"bank.example.com"};
+  spec.not_before = -30 * util::kMillisPerDay;
+  spec.not_after = util::kMillisPerYear;
+  tls::ServerEndpoint server;
+  server.hostname = "bank.example.com";
+  server.chain = {ca.Issue(spec, rng), ca.certificate()};
+
+  // The test device trusts the OS store *plus* the proxy CA (the paper's
+  // instrumented-device setup).
+  net::MitmProxy proxy;
+  x509::RootStore device_store = x509::PublicCaCatalog::Instance().IosStore();
+  device_store.AddRoot(proxy.CaCertificate());
+
+  tls::AppPayload payload;
+  payload.plaintext = "POST /transfer amount=100 to=alice";
+
+  // 1. Baseline: direct connection.
+  tls::ClientTlsConfig plain_client;
+  plain_client.root_store = &device_store;
+  Describe("1. direct connection (no interception)",
+           tls::SimulateDirectConnection(plain_client, server, payload, 0, rng));
+
+  // 2. Intercepting an unpinned client.
+  auto intercepted = proxy.Intercept(plain_client, server, payload, 0, rng);
+  Describe("2. MITM of unpinned client (proxy CA trusted)", intercepted.outcome);
+  std::printf("   proxy observed plaintext: %s\n\n",
+              intercepted.decrypted ? intercepted.outcome.plaintext_sent.c_str()
+                                    : "(nothing)");
+
+  // 3. Intercepting a pinning client.
+  tls::ClientTlsConfig pinning_client = plain_client;
+  pinning_client.pins.AddRule(
+      {"bank.example.com", false,
+       {tls::Pin::ForCertificate(ca.certificate(), tls::PinForm::kSpkiSha256)}});
+  auto pinned = proxy.Intercept(pinning_client, server, payload, 0, rng);
+  Describe("3. MITM of pinning client (pin mismatch)", pinned.outcome);
+  std::printf("   proxy observed plaintext: %s\n\n",
+              pinned.decrypted ? pinned.outcome.plaintext_sent.c_str()
+                               : "(nothing — connection aborted)");
+
+  // 4. Instrumentation: stub out validation like a Frida hook would.
+  tls::ClientTlsConfig hooked = pinning_client;
+  hooked.pins = {};
+  hooked.validation.check_hostname = false;
+  hooked.validation.check_expiry = false;
+  hooked.validation.check_signatures = false;
+  hooked.validation.require_trusted_root = false;
+  auto circumvented = proxy.Intercept(hooked, server, payload, 0, rng);
+  Describe("4. MITM with TLS library hooked (pinning disabled)",
+           circumvented.outcome);
+  std::printf("   proxy observed plaintext: %s\n",
+              circumvented.decrypted ? circumvented.outcome.plaintext_sent.c_str()
+                                     : "(nothing)");
+  return 0;
+}

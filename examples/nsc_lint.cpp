@@ -1,0 +1,62 @@
+// nsc_lint: a Network-Security-Config auditor in the style of Possemato &
+// Fratantonio's USENIX'20 study — walk a corpus of APKs, parse every NSC,
+// and report the misconfigurations that weaken or neutralize pinning.
+#include <cstdio>
+#include <map>
+
+#include "staticanalysis/nsc_analyzer.h"
+#include "store/generator.h"
+
+int main() {
+  using namespace pinscope;
+
+  store::EcosystemConfig config;
+  config.seed = 2020;
+  config.scale = 0.5;
+  std::printf("Generating corpus (scale %.2f)...\n\n", config.scale);
+  const store::Ecosystem eco = store::Ecosystem::Generate(config);
+
+  int apps_total = 0;
+  int apps_with_nsc = 0;
+  int apps_with_nsc_pins = 0;
+  std::map<std::string, int> finding_counts;
+  int findings_shown = 0;
+
+  for (const appmodel::App& app : eco.apps(appmodel::Platform::kAndroid)) {
+    ++apps_total;
+    const staticanalysis::NscAnalysis nsc = staticanalysis::AnalyzeNsc(app.package);
+    if (!nsc.uses_nsc) continue;
+    ++apps_with_nsc;
+    if (nsc.PinsViaNsc()) ++apps_with_nsc_pins;
+
+    const auto findings = nsc.LintFindings();
+    for (const std::string& finding : findings) {
+      // Aggregate by finding class (text before the first " for "/" is ").
+      std::string cls = finding;
+      for (const char* cut : {" for ", " is ", " ("}) {
+        const std::size_t pos = cls.find(cut);
+        if (pos != std::string::npos) cls = cls.substr(0, pos);
+      }
+      ++finding_counts[cls];
+      if (findings_shown < 12) {
+        std::printf("  [%s] %s\n", app.meta.app_id.c_str(), finding.c_str());
+        ++findings_shown;
+      }
+    }
+  }
+
+  std::printf("\n== NSC audit summary ==\n");
+  std::printf("APKs scanned:        %d\n", apps_total);
+  std::printf("APKs with an NSC:    %d (%.1f%%)\n", apps_with_nsc,
+              100.0 * apps_with_nsc / apps_total);
+  std::printf("NSCs that pin:       %d\n", apps_with_nsc_pins);
+  std::printf("\nFinding classes:\n");
+  for (const auto& [cls, count] : finding_counts) {
+    std::printf("  %3d × %s\n", count, cls.c_str());
+  }
+  std::printf(
+      "\n(The paper's §2.2 context: Possemato et al. found 13.02%% of apps using\n"
+      "network security policies, only 0.62%% pinning, and recurring\n"
+      "overridePins-style misconfigurations — the classes this linter flags.)\n");
+  return 0;
+}

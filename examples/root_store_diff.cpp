@@ -1,0 +1,59 @@
+// root_store_diff: compare the trust anchors shipped by AOSP, iOS, Mozilla
+// and an OEM-augmented Android image — the root-store heterogeneity ("A
+// Tangled Mass", Vallina-Rodriguez et al.) that motivates certificate pinning
+// in the first place (§2.1).
+#include <cstdio>
+#include <set>
+
+#include "report/table.h"
+#include "util/clock.h"
+#include "x509/root_store.h"
+
+int main() {
+  using namespace pinscope;
+
+  const auto& catalog = x509::PublicCaCatalog::Instance();
+  const x509::RootStore mozilla = catalog.MozillaStore();
+  const x509::RootStore aosp = catalog.AospStore();
+  const x509::RootStore ios = catalog.IosStore();
+  const x509::RootStore oem = catalog.OemAugmentedStore();
+
+  auto names = [](const x509::RootStore& store) {
+    std::set<std::string> out;
+    for (const auto& root : store.roots()) out.insert(root.subject().common_name);
+    return out;
+  };
+  const auto moz = names(mozilla), android = names(aosp), apple = names(ios),
+             vendor = names(oem);
+
+  report::TextTable table;
+  table.SetHeader({"Anchor", "Mozilla", "AOSP", "iOS", "OEM image", "Status"});
+  std::set<std::string> all = vendor;
+  all.insert(moz.begin(), moz.end());
+  all.insert(apple.begin(), apple.end());
+  for (const std::string& cn : all) {
+    std::string status = "-";
+    for (const auto& store : {&mozilla, &aosp, &ios, &oem}) {
+      if (const auto cert = store->FindBySubject(cn)) {
+        if (cert->not_after() < util::kStudyEpoch) status = "EXPIRED";
+      }
+    }
+    table.AddRow({cn, moz.contains(cn) ? "x" : "", android.contains(cn) ? "x" : "",
+                  apple.contains(cn) ? "x" : "", vendor.contains(cn) ? "x" : "",
+                  status});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  int aosp_only = 0, expired = 0;
+  for (const auto& root : aosp.roots()) {
+    if (!moz.contains(root.subject().common_name)) ++aosp_only;
+    if (root.not_after() < util::kStudyEpoch) ++expired;
+  }
+  std::printf(
+      "\n%d anchors ship in AOSP but not in Mozilla's store; %d AOSP anchor(s)\n"
+      "are expired; the OEM image adds %zu more. Any one of these keys can mint\n"
+      "certificates every stock Android app trusts — which is exactly the attack\n"
+      "surface certificate pinning removes (§2.1).\n",
+      aosp_only, expired, vendor.size() - android.size());
+  return 0;
+}

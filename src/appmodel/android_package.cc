@@ -1,0 +1,187 @@
+#include "appmodel/android_package.h"
+
+#include "util/error.h"
+#include "util/hex.h"
+#include "util/strings.h"
+#include "x509/pem.h"
+
+namespace pinscope::appmodel {
+
+std::string RenderNscXml(const NscDocument& doc) {
+  std::string xml = "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n";
+  xml += "<network-security-config>\n";
+  if (doc.base.present) {
+    xml += "  <base-config";
+    if (doc.base.cleartext_permitted.has_value()) {
+      xml += std::string(" cleartextTrafficPermitted=\"") +
+             (*doc.base.cleartext_permitted ? "true" : "false") + "\"";
+    }
+    xml += ">\n";
+    if (doc.base.trust_user_anchors) {
+      xml +=
+          "    <trust-anchors>\n"
+          "      <certificates src=\"system\"/>\n"
+          "      <certificates src=\"user\"/>\n"
+          "    </trust-anchors>\n";
+    }
+    xml += "  </base-config>\n";
+  }
+  if (doc.debug_overrides.present) {
+    xml += "  <debug-overrides>\n";
+    if (doc.debug_overrides.trust_user_anchors) {
+      xml +=
+          "    <trust-anchors>\n"
+          "      <certificates src=\"user\"/>\n"
+          "    </trust-anchors>\n";
+    }
+    xml += "  </debug-overrides>\n";
+  }
+  for (const NscDomainConfig& cfg : doc.domain_configs) {
+    xml += "  <domain-config";
+    if (cfg.cleartext_permitted.has_value()) {
+      xml += std::string(" cleartextTrafficPermitted=\"") +
+             (*cfg.cleartext_permitted ? "true" : "false") + "\"";
+    }
+    xml += ">\n";
+    xml += "    <domain includeSubdomains=\"";
+    xml += cfg.include_subdomains ? "true" : "false";
+    xml += "\">" + cfg.domain + "</domain>\n";
+    if (!cfg.pin_strings.empty()) {
+      xml += "    <pin-set";
+      if (!cfg.pin_expiration.empty()) {
+        xml += " expiration=\"" + cfg.pin_expiration + "\"";
+      }
+      xml += ">\n";
+      for (const std::string& pin : cfg.pin_strings) {
+        // "sha256/AAA..." → digest attribute + body, the real NSC layout.
+        const std::size_t slash = pin.find('/');
+        const std::string algo = slash == std::string::npos
+                                     ? std::string("SHA-256")
+                                     : (pin.substr(0, slash) == "sha1" ? "SHA-1"
+                                                                       : "SHA-256");
+        const std::string body =
+            slash == std::string::npos ? pin : pin.substr(slash + 1);
+        xml += "      <pin digest=\"" + algo + "\">" + body + "</pin>\n";
+      }
+      xml += "    </pin-set>\n";
+    }
+    if (cfg.override_pins) {
+      xml +=
+          "    <trust-anchors>\n"
+          "      <certificates src=\"user\" overridePins=\"true\"/>\n"
+          "    </trust-anchors>\n";
+    }
+    xml += "  </domain-config>\n";
+  }
+  xml += "</network-security-config>\n";
+  return xml;
+}
+
+std::string RenderNscXml(const std::vector<NscDomainConfig>& configs) {
+  NscDocument doc;
+  doc.domain_configs = configs;
+  return RenderNscXml(doc);
+}
+
+std::string_view CertFileExtension(CertFileFormat f) {
+  switch (f) {
+    case CertFileFormat::kPem: return ".pem";
+    case CertFileFormat::kDer: return ".der";
+    case CertFileFormat::kCrt: return ".crt";
+    case CertFileFormat::kCer: return ".cer";
+    case CertFileFormat::kCert: return ".cert";
+  }
+  throw util::Error("unknown CertFileFormat");
+}
+
+AndroidPackageBuilder::AndroidPackageBuilder(const AppMetadata& meta) : meta_(meta) {
+  if (meta.platform != Platform::kAndroid) {
+    throw util::Error("AndroidPackageBuilder requires an Android AppMetadata");
+  }
+}
+
+AndroidPackageBuilder& AndroidPackageBuilder::WithNsc(
+    std::vector<NscDomainConfig> configs) {
+  NscDocument doc;
+  doc.domain_configs = std::move(configs);
+  return WithNscDocument(doc);
+}
+
+AndroidPackageBuilder& AndroidPackageBuilder::WithNscDocument(
+    const NscDocument& doc) {
+  files_.AddText("res/xml/network_security_config.xml", RenderNscXml(doc));
+  has_nsc_ = true;
+  return *this;
+}
+
+AndroidPackageBuilder& AndroidPackageBuilder::AddSmaliString(
+    std::string_view code_path, std::string_view file_name,
+    std::string_view content) {
+  std::string path = "smali/" + std::string(code_path) + "/" + std::string(file_name);
+  std::string body = ".class public L" + std::string(code_path) + ";\n";
+  body += ".source \"" + std::string(file_name) + "\"\n\n";
+  body += "const-string v0, \"" + std::string(content) + "\"\n";
+  files_.AddText(std::move(path), body);
+  return *this;
+}
+
+AndroidPackageBuilder& AndroidPackageBuilder::AddCertificateFile(
+    std::string_view dir, std::string_view base_name, const x509::Certificate& cert,
+    CertFileFormat format) {
+  std::string path = std::string(dir) + "/" + std::string(base_name) +
+                     std::string(CertFileExtension(format));
+  if (format == CertFileFormat::kPem) {
+    files_.AddText(std::move(path), x509::PemEncode(cert));
+  } else {
+    files_.Add(std::move(path), cert.DerBytes());
+  }
+  return *this;
+}
+
+util::Bytes RenderBinaryWithStrings(const std::vector<std::string>& strings,
+                                    util::Rng& rng, std::size_t noise_bytes) {
+  util::Bytes out;
+  auto noise = [&rng, &out](std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      // Bias toward non-printable bytes so noise does not form strings.
+      out.push_back(static_cast<std::uint8_t>(rng.UniformU64(0, 31)));
+    }
+  };
+  noise(noise_bytes / 2);
+  for (const std::string& s : strings) {
+    util::Append(out, s);
+    out.push_back(0);
+    noise(8 + static_cast<std::size_t>(rng.UniformU64(0, 24)));
+  }
+  noise(noise_bytes / 2);
+  return out;
+}
+
+AndroidPackageBuilder& AndroidPackageBuilder::AddNativeLib(
+    std::string_view lib_name, const std::vector<std::string>& strings,
+    util::Rng& rng) {
+  files_.Add("lib/arm64-v8a/" + std::string(lib_name),
+             RenderBinaryWithStrings(strings, rng));
+  return *this;
+}
+
+AndroidPackageBuilder& AndroidPackageBuilder::AddAsset(std::string path,
+                                                       std::string_view contents) {
+  files_.AddText(std::move(path), contents);
+  return *this;
+}
+
+PackageFiles AndroidPackageBuilder::Build() const {
+  PackageFiles out = files_;
+  std::string manifest = "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n";
+  manifest += "<manifest package=\"" + meta_.app_id + "\">\n";
+  manifest += "  <application android:label=\"" + meta_.display_name + "\"";
+  if (has_nsc_) {
+    manifest += " android:networkSecurityConfig=\"@xml/network_security_config\"";
+  }
+  manifest += ">\n  </application>\n</manifest>\n";
+  out.AddText("AndroidManifest.xml", manifest);
+  return out;
+}
+
+}  // namespace pinscope::appmodel

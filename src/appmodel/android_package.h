@@ -1,0 +1,118 @@
+// Android package (APK) construction.
+//
+// Materializes the decompiled-style file tree an APK yields after Apktool:
+// AndroidManifest.xml, res/xml/ Network Security Configs, smali code trees
+// (whose directory paths identify first- vs third-party code), assets, and
+// native libraries with embedded string tables. The static analyzer consumes
+// exactly these artifacts.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "appmodel/package.h"
+#include "appmodel/platform.h"
+#include "util/rng.h"
+#include "x509/certificate.h"
+
+namespace pinscope::appmodel {
+
+/// One <domain-config> entry of a Network Security Config.
+struct NscDomainConfig {
+  std::string domain;
+  bool include_subdomains = false;
+  /// "sha256/<base64>" or "sha1/<base64>" pin strings (empty ⇒ no pin-set).
+  std::vector<std::string> pin_strings;
+  /// pin-set expiration attribute, "YYYY-MM-DD" or empty.
+  std::string pin_expiration;
+  /// Misconfiguration found by Possemato et al.: custom trust-anchors with
+  /// overridePins="true", which silently disables the pin-set.
+  bool override_pins = false;
+  /// cleartextTrafficPermitted attribute (tri-state: unset inherits base).
+  std::optional<bool> cleartext_permitted;
+};
+
+/// The document-wide <base-config> element.
+struct NscBaseConfig {
+  bool present = false;
+  std::optional<bool> cleartext_permitted;
+  bool trust_user_anchors = false;  ///< <certificates src="user"/>.
+};
+
+/// The <debug-overrides> element; only honored in debuggable builds, but its
+/// presence with user trust is a frequent footgun Possemato et al. flag.
+struct NscDebugOverrides {
+  bool present = false;
+  bool trust_user_anchors = false;
+};
+
+/// A complete Network Security Config document.
+struct NscDocument {
+  NscBaseConfig base;
+  NscDebugOverrides debug_overrides;
+  std::vector<NscDomainConfig> domain_configs;
+};
+
+/// Serializes a complete network_security_config.xml document.
+[[nodiscard]] std::string RenderNscXml(const NscDocument& doc);
+
+/// Convenience overload: domain-configs only.
+[[nodiscard]] std::string RenderNscXml(const std::vector<NscDomainConfig>& configs);
+
+/// Certificate container format for embedded certificate files.
+enum class CertFileFormat { kPem, kDer, kCrt, kCer, kCert };
+
+/// File extension (with dot) for a format.
+[[nodiscard]] std::string_view CertFileExtension(CertFileFormat f);
+
+/// Builder for APK file trees.
+class AndroidPackageBuilder {
+ public:
+  explicit AndroidPackageBuilder(const AppMetadata& meta);
+
+  /// Installs a Network Security Config (referenced from the manifest).
+  AndroidPackageBuilder& WithNsc(std::vector<NscDomainConfig> configs);
+
+  /// Installs a full Network Security Config document.
+  AndroidPackageBuilder& WithNscDocument(const NscDocument& doc);
+
+  /// Adds a smali source file under `code_path` (e.g. "com/twitter/sdk")
+  /// whose body embeds `content` as string constants. The file path is what
+  /// third-party attribution later inspects.
+  AndroidPackageBuilder& AddSmaliString(std::string_view code_path,
+                                        std::string_view file_name,
+                                        std::string_view content);
+
+  /// Embeds a certificate file under `dir` (e.g. "assets" or "res/raw").
+  AndroidPackageBuilder& AddCertificateFile(std::string_view dir,
+                                            std::string_view base_name,
+                                            const x509::Certificate& cert,
+                                            CertFileFormat format);
+
+  /// Adds a native library with the given embedded strings, padded with
+  /// deterministic pseudo-binary noise (the radare2-extraction target).
+  AndroidPackageBuilder& AddNativeLib(std::string_view lib_name,
+                                      const std::vector<std::string>& strings,
+                                      util::Rng& rng);
+
+  /// Adds an arbitrary asset file.
+  AndroidPackageBuilder& AddAsset(std::string path, std::string_view contents);
+
+  /// Finalizes: writes the manifest and returns the tree.
+  [[nodiscard]] PackageFiles Build() const;
+
+ private:
+  AppMetadata meta_;
+  PackageFiles files_;
+  bool has_nsc_ = false;
+};
+
+/// Renders a pseudo-binary blob embedding `strings` (NUL-separated printable
+/// runs amid noise). Shared with the iOS builder.
+[[nodiscard]] util::Bytes RenderBinaryWithStrings(const std::vector<std::string>& strings,
+                                                  util::Rng& rng,
+                                                  std::size_t noise_bytes = 256);
+
+}  // namespace pinscope::appmodel

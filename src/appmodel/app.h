@@ -1,0 +1,21 @@
+// The complete model of one app build: metadata + on-disk package + runtime
+// behaviour.
+#pragma once
+
+#include "appmodel/behavior.h"
+#include "appmodel/package.h"
+#include "appmodel/platform.h"
+
+namespace pinscope::appmodel {
+
+/// One platform build of an app, as the measurement pipeline receives it.
+struct App {
+  AppMetadata meta;
+  /// The distributed artifact (APK tree; IPA tree with encrypted main binary).
+  PackageFiles package;
+  /// Runtime ground truth driven by the device emulator. Analysis code never
+  /// reads this directly — it measures packets/bytes; tests compare against it.
+  AppBehavior behavior;
+};
+
+}  // namespace pinscope::appmodel

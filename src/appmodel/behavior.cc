@@ -1,0 +1,32 @@
+#include "appmodel/behavior.h"
+
+namespace pinscope::appmodel {
+
+std::vector<std::string> AppBehavior::PinnedHostnames() const {
+  std::vector<std::string> out;
+  for (const DestinationBehavior& d : destinations) {
+    if (d.pinned) out.push_back(d.hostname);
+  }
+  return out;
+}
+
+bool AppBehavior::PinsAtRuntime() const {
+  for (const DestinationBehavior& d : destinations) {
+    if (d.pinned) return true;
+  }
+  return false;
+}
+
+tls::PinPolicy AppBehavior::BuildPinPolicy() const {
+  tls::PinPolicy policy;
+  for (const DestinationBehavior& d : destinations) {
+    if (!d.pinned || d.pins.empty()) continue;
+    tls::DomainPinRule rule;
+    rule.pattern = d.hostname;
+    rule.pins = d.pins;
+    policy.AddRule(std::move(rule));
+  }
+  return policy;
+}
+
+}  // namespace pinscope::appmodel

@@ -1,0 +1,90 @@
+// Runtime behaviour specification of an app.
+//
+// Where the package (static artifact) describes what ships on disk, the
+// behaviour describes what the app *does* when launched: which destinations
+// it contacts, which of those it pins and with what pins, which TLS stack
+// carries each connection, what it transmits, and how noisy it is. The
+// corpus generator keeps package and behaviour consistent — or deliberately
+// inconsistent, to model shipped-but-dormant pinning code (the static ≫
+// dynamic gap in Table 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "appmodel/platform.h"
+#include "tls/cipher_suites.h"
+#include "tls/handshake.h"
+#include "tls/pinning.h"
+
+namespace pinscope::appmodel {
+
+/// One destination an app contacts at launch.
+struct DestinationBehavior {
+  std::string hostname;
+
+  /// The app enforces pins on this destination at run time.
+  bool pinned = false;
+  /// Pins enforced when `pinned` (must match the genuine server chain).
+  std::vector<tls::Pin> pins;
+
+  /// TLS implementation carrying these connections; decides hookability for
+  /// pin circumvention (§4.3).
+  tls::TlsStack stack = tls::TlsStack::kAndroidPlatform;
+
+  /// The app trusts its own bundled root for this destination instead of the
+  /// OS store (custom-PKI deployments, §5.3.1). Such connections fail under
+  /// interception exactly like pinned ones.
+  bool custom_trust = false;
+
+  /// Cipher suites this connection's ClientHello advertises.
+  std::vector<tls::CipherSuiteId> cipher_offer = tls::ModernCipherOffer();
+
+  /// Request body template; may carry {{pii}} placeholders. Empty template
+  /// still sends a minimal request (the connection is "used").
+  std::string payload_template = "GET / HTTP/1.1";
+
+  /// Extra connections to the same host that are opened but never used —
+  /// the §4.2.2 confounder ("apps will create redundant connections").
+  int redundant_connections = 0;
+
+  /// If true, the connection is attempted but carries no data even without
+  /// interception (dead endpoint / feature not triggered in 30s).
+  bool never_used = false;
+
+  /// Destination only contacted when the app is actively exercised (login
+  /// flows, deep screens). The paper's automated random interactions produced
+  /// "no significant change in the number of domains contacted" (§4.2.1), and
+  /// §5.6 lists uninteracted code paths as a source of missed pinning.
+  bool requires_interaction = false;
+
+  /// SDK that owns this connection, empty for first-party app code. Used for
+  /// attribution ground truth in tests.
+  std::string owning_sdk;
+};
+
+/// Complete runtime behaviour of one app build.
+struct AppBehavior {
+  std::vector<DestinationBehavior> destinations;
+
+  /// Whether the app's validators check hostnames/expiry (§5.3.4: the paper
+  /// looks for pinning apps that subvert normal validation; our corpus keeps
+  /// these true, and tests exercise the false paths explicitly).
+  bool validates_hostname = true;
+  bool validates_expiry = true;
+
+  /// iOS: associated domains from entitlements. The OS contacts these at
+  /// install time over connections that ignore user-installed CAs (§4.5).
+  std::vector<std::string> associated_domains;
+
+  /// All destinations with `pinned` set (runtime ground truth).
+  [[nodiscard]] std::vector<std::string> PinnedHostnames() const;
+
+  /// True if any destination is pinned at run time.
+  [[nodiscard]] bool PinsAtRuntime() const;
+
+  /// The aggregate pin policy the app enforces (union over destinations).
+  [[nodiscard]] tls::PinPolicy BuildPinPolicy() const;
+};
+
+}  // namespace pinscope::appmodel

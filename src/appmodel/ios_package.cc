@@ -1,0 +1,178 @@
+#include "appmodel/ios_package.h"
+
+#include <cctype>
+
+#include "crypto/sha256.h"
+#include "util/error.h"
+#include "x509/pem.h"
+
+namespace pinscope::appmodel {
+namespace {
+
+// Derives a CamelCase executable name from the display name.
+std::string ExecutableName(const AppMetadata& meta) {
+  std::string out;
+  bool upper_next = true;
+  for (char c : meta.display_name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(upper_next ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                               : c);
+      upper_next = false;
+    } else {
+      upper_next = true;
+    }
+  }
+  return out.empty() ? std::string("App") : out;
+}
+
+util::Bytes Keystream(std::string_view bundle_id, std::size_t len) {
+  util::Bytes stream;
+  stream.reserve(len + 32);
+  std::uint64_t counter = 0;
+  while (stream.size() < len) {
+    const auto block = crypto::Sha256("fairplay|" + std::string(bundle_id) + "|" +
+                                      std::to_string(counter++));
+    stream.insert(stream.end(), block.begin(), block.end());
+  }
+  stream.resize(len);
+  return stream;
+}
+
+}  // namespace
+
+util::Bytes FairPlayEncrypt(const util::Bytes& plain, std::string_view bundle_id) {
+  util::Bytes out = util::ToBytes(kFairPlayMagic);
+  const util::Bytes stream = Keystream(bundle_id, plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    out.push_back(static_cast<std::uint8_t>(plain[i] ^ stream[i]));
+  }
+  return out;
+}
+
+bool IsFairPlayEncrypted(const util::Bytes& data) {
+  if (data.size() < kFairPlayMagic.size()) return false;
+  return std::string_view(reinterpret_cast<const char*>(data.data()),
+                          kFairPlayMagic.size()) == kFairPlayMagic;
+}
+
+util::Bytes FairPlayDecrypt(const util::Bytes& cipher, std::string_view bundle_id) {
+  if (!IsFairPlayEncrypted(cipher)) return {};
+  const std::size_t body = cipher.size() - kFairPlayMagic.size();
+  const util::Bytes stream = Keystream(bundle_id, body);
+  util::Bytes out;
+  out.reserve(body);
+  for (std::size_t i = 0; i < body; ++i) {
+    out.push_back(static_cast<std::uint8_t>(cipher[kFairPlayMagic.size() + i] ^ stream[i]));
+  }
+  return out;
+}
+
+IosPackageBuilder::IosPackageBuilder(const AppMetadata& meta) : meta_(meta) {
+  if (meta.platform != Platform::kIos) {
+    throw util::Error("IosPackageBuilder requires an iOS AppMetadata");
+  }
+}
+
+std::string IosPackageBuilder::BundleRoot() const {
+  return "Payload/" + ExecutableName(meta_) + ".app";
+}
+
+std::string IosPackageBuilder::MainBinaryPath() const {
+  return BundleRoot() + "/" + ExecutableName(meta_);
+}
+
+IosPackageBuilder& IosPackageBuilder::WithAssociatedDomains(
+    const std::vector<std::string>& domains) {
+  associated_domains_ = domains;
+  return *this;
+}
+
+IosPackageBuilder& IosPackageBuilder::WithAtsPinnedDomains(
+    std::vector<AtsPinnedDomain> domains) {
+  ats_pins_ = std::move(domains);
+  return *this;
+}
+
+IosPackageBuilder& IosPackageBuilder::AddMainBinaryString(std::string_view content) {
+  main_binary_strings_.emplace_back(content);
+  return *this;
+}
+
+IosPackageBuilder& IosPackageBuilder::AddFrameworkStrings(
+    std::string_view name, const std::vector<std::string>& strings, util::Rng& rng) {
+  const std::string base =
+      BundleRoot() + "/Frameworks/" + std::string(name) + ".framework/" + std::string(name);
+  files_.Add(base, RenderBinaryWithStrings(strings, rng));
+  return *this;
+}
+
+IosPackageBuilder& IosPackageBuilder::AddCertificateFile(std::string_view base_name,
+                                                         const x509::Certificate& cert,
+                                                         CertFileFormat format) {
+  const std::string path = BundleRoot() + "/" + std::string(base_name) +
+                           std::string(CertFileExtension(format));
+  if (format == CertFileFormat::kPem) {
+    files_.AddText(path, x509::PemEncode(cert));
+  } else {
+    files_.Add(path, cert.DerBytes());
+  }
+  return *this;
+}
+
+IosPackageBuilder& IosPackageBuilder::AddResource(std::string relative_path,
+                                                  std::string_view contents) {
+  files_.AddText(BundleRoot() + "/" + std::move(relative_path), contents);
+  return *this;
+}
+
+PackageFiles IosPackageBuilder::Build(util::Rng& rng) const {
+  PackageFiles out = files_;
+
+  // Info.plist.
+  std::string plist =
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<plist version=\"1.0\">\n<dict>\n";
+  plist += "  <key>CFBundleIdentifier</key>\n  <string>" + meta_.app_id + "</string>\n";
+  plist += "  <key>CFBundleDisplayName</key>\n  <string>" + meta_.display_name +
+           "</string>\n";
+  if (!ats_pins_.empty()) {
+    plist += "  <key>NSAppTransportSecurity</key>\n  <dict>\n";
+    plist += "    <key>NSPinnedDomains</key>\n    <dict>\n";
+    for (const AtsPinnedDomain& d : ats_pins_) {
+      plist += "      <key>" + d.domain + "</key>\n      <dict>\n";
+      if (d.include_subdomains) {
+        plist += "        <key>NSIncludesSubdomains</key>\n        <true/>\n";
+      }
+      plist += "        <key>NSPinnedCAIdentities</key>\n        <array>\n";
+      for (const std::string& spki : d.spki_sha256_base64) {
+        plist += "          <dict>\n            <key>SPKI-SHA256-BASE64</key>\n";
+        plist += "            <string>" + spki + "</string>\n          </dict>\n";
+      }
+      plist += "        </array>\n      </dict>\n";
+    }
+    plist += "    </dict>\n  </dict>\n";
+  }
+  plist += "</dict>\n</plist>\n";
+  out.AddText(BundleRoot() + "/Info.plist", plist);
+
+  // Entitlements (associated domains).
+  std::string ent =
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<plist version=\"1.0\">\n<dict>\n";
+  if (!associated_domains_.empty()) {
+    ent += "  <key>com.apple.developer.associated-domains</key>\n  <array>\n";
+    for (const std::string& d : associated_domains_) {
+      ent += "    <string>applinks:" + d + "</string>\n";
+    }
+    ent += "  </array>\n";
+  }
+  ent += "</dict>\n</plist>\n";
+  out.AddText(BundleRoot() + "/App.entitlements", ent);
+
+  // FairPlay-encrypted main executable.
+  util::Rng bin_rng = rng.Fork("ios-binary:" + meta_.app_id);
+  const util::Bytes plain = RenderBinaryWithStrings(main_binary_strings_, bin_rng);
+  out.Add(MainBinaryPath(), FairPlayEncrypt(plain, meta_.app_id));
+
+  return out;
+}
+
+}  // namespace pinscope::appmodel

@@ -1,0 +1,95 @@
+// iOS package (IPA) construction and FairPlay-style encryption.
+//
+// Real App Store binaries ship FairPlay-encrypted: the main executable's
+// text section is ciphered with device-bound keys, while Info.plist,
+// entitlements, resource files, and (usually) framework binaries stay
+// readable. Static analysis therefore requires a decryption step on a
+// jailbroken device (Flexdecrypt / frida-ios-dump). We reproduce the whole
+// shape: the builder scrambles the main executable; the analyzer must route
+// through the decryptor before string extraction sees anything.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "appmodel/android_package.h"  // CertFileFormat, RenderBinaryWithStrings
+#include "appmodel/package.h"
+#include "appmodel/platform.h"
+#include "util/rng.h"
+#include "x509/certificate.h"
+
+namespace pinscope::appmodel {
+
+/// Magic prefix marking FairPlay-scrambled content.
+inline constexpr std::string_view kFairPlayMagic = "FAIRPLAY1";
+
+/// Scrambles `plain` under a keystream bound to `bundle_id` (models the
+/// device/user key pair). Output starts with kFairPlayMagic.
+[[nodiscard]] util::Bytes FairPlayEncrypt(const util::Bytes& plain,
+                                          std::string_view bundle_id);
+
+/// Inverse of FairPlayEncrypt. Returns an empty buffer if `cipher` does not
+/// carry the magic (i.e., was never encrypted).
+[[nodiscard]] util::Bytes FairPlayDecrypt(const util::Bytes& cipher,
+                                          std::string_view bundle_id);
+
+/// True if `data` carries the FairPlay magic.
+[[nodiscard]] bool IsFairPlayEncrypted(const util::Bytes& data);
+
+/// One NSPinnedDomains entry for App Transport Security (iOS 14+; present in
+/// the model for completeness — the paper's device ran iOS 13 and skipped it).
+struct AtsPinnedDomain {
+  std::string domain;
+  bool include_subdomains = false;
+  std::vector<std::string> spki_sha256_base64;  ///< Pin digests.
+};
+
+/// Builder for IPA file trees (rooted at "Payload/<App>.app/").
+class IosPackageBuilder {
+ public:
+  explicit IosPackageBuilder(const AppMetadata& meta);
+
+  /// Declares associated domains (written into the entitlements plist; the
+  /// OS will contact these on install — §4.5's confounder).
+  IosPackageBuilder& WithAssociatedDomains(const std::vector<std::string>& domains);
+
+  /// Adds NSPinnedDomains to Info.plist's NSAppTransportSecurity dict.
+  IosPackageBuilder& WithAtsPinnedDomains(std::vector<AtsPinnedDomain> domains);
+
+  /// Adds strings compiled into the (to-be-encrypted) main executable.
+  IosPackageBuilder& AddMainBinaryString(std::string_view content);
+
+  /// Adds a framework binary (plaintext) with embedded strings. `name` like
+  /// "TwitterKit" becomes Frameworks/TwitterKit.framework/TwitterKit.
+  IosPackageBuilder& AddFrameworkStrings(std::string_view name,
+                                         const std::vector<std::string>& strings,
+                                         util::Rng& rng);
+
+  /// Embeds a certificate file in the bundle.
+  IosPackageBuilder& AddCertificateFile(std::string_view base_name,
+                                        const x509::Certificate& cert,
+                                        CertFileFormat format);
+
+  /// Adds an arbitrary bundle resource.
+  IosPackageBuilder& AddResource(std::string relative_path, std::string_view contents);
+
+  /// Finalizes: writes Info.plist, entitlements, and the FairPlay-encrypted
+  /// main executable, then returns the tree.
+  [[nodiscard]] PackageFiles Build(util::Rng& rng) const;
+
+  /// Root of the bundle inside the IPA, e.g. "Payload/MyApp.app".
+  [[nodiscard]] std::string BundleRoot() const;
+
+  /// Path of the main executable inside the IPA.
+  [[nodiscard]] std::string MainBinaryPath() const;
+
+ private:
+  AppMetadata meta_;
+  PackageFiles files_;
+  std::vector<std::string> main_binary_strings_;
+  std::vector<std::string> associated_domains_;
+  std::vector<AtsPinnedDomain> ats_pins_;
+};
+
+}  // namespace pinscope::appmodel

@@ -1,0 +1,39 @@
+#include "appmodel/package.h"
+
+#include "util/strings.h"
+
+namespace pinscope::appmodel {
+
+void PackageFiles::Add(std::string path, util::Bytes contents) {
+  files_[std::move(path)] = std::move(contents);
+}
+
+void PackageFiles::AddText(std::string path, std::string_view contents) {
+  files_[std::move(path)] = util::ToBytes(contents);
+}
+
+const util::Bytes* PackageFiles::Find(std::string_view path) const {
+  const auto it = files_.find(std::string(path));
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+bool PackageFiles::Contains(std::string_view path) const {
+  return files_.contains(std::string(path));
+}
+
+std::vector<std::string> PackageFiles::PathsWithSuffix(std::string_view suffix) const {
+  const std::string want = util::ToLower(suffix);
+  std::vector<std::string> out;
+  for (const auto& [path, _] : files_) {
+    if (util::EndsWith(util::ToLower(path), want)) out.push_back(path);
+  }
+  return out;
+}
+
+std::size_t PackageFiles::TotalBytes() const {
+  std::size_t total = 0;
+  for (const auto& [_, contents] : files_) total += contents.size();
+  return total;
+}
+
+}  // namespace pinscope::appmodel

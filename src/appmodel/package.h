@@ -1,0 +1,52 @@
+// App package file trees.
+//
+// Both APKs and decrypted IPAs reduce, for analysis purposes, to a tree of
+// named files. The static analyzer walks these trees exactly the way the
+// paper runs ripgrep over unpacked app directories.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace pinscope::appmodel {
+
+/// An immutable-ish file tree: path → contents. Paths use '/' separators and
+/// are unique.
+class PackageFiles {
+ public:
+  /// Adds or replaces a file.
+  void Add(std::string path, util::Bytes contents);
+
+  /// Adds or replaces a text file.
+  void AddText(std::string path, std::string_view contents);
+
+  /// Contents of `path`, or nullptr if absent.
+  [[nodiscard]] const util::Bytes* Find(std::string_view path) const;
+
+  /// True if `path` exists.
+  [[nodiscard]] bool Contains(std::string_view path) const;
+
+  /// All files, ordered by path.
+  [[nodiscard]] const std::map<std::string, util::Bytes>& files() const {
+    return files_;
+  }
+
+  /// Paths whose name ends with `suffix` (case-insensitive), e.g. ".pem".
+  [[nodiscard]] std::vector<std::string> PathsWithSuffix(std::string_view suffix) const;
+
+  /// Number of files.
+  [[nodiscard]] std::size_t size() const { return files_.size(); }
+
+  /// Total bytes across all files.
+  [[nodiscard]] std::size_t TotalBytes() const;
+
+ private:
+  std::map<std::string, util::Bytes> files_;
+};
+
+}  // namespace pinscope::appmodel

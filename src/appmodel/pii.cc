@@ -1,0 +1,72 @@
+#include "appmodel/pii.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace pinscope::appmodel {
+
+const std::vector<PiiType>& AllPiiTypes() {
+  static const std::vector<PiiType> all = {
+      PiiType::kImei,  PiiType::kAdvertisingId, PiiType::kWifiMac,
+      PiiType::kEmail, PiiType::kState,         PiiType::kCity,
+      PiiType::kLatLong};
+  return all;
+}
+
+std::string_view PiiTypeName(PiiType t) {
+  switch (t) {
+    case PiiType::kImei: return "IMEI";
+    case PiiType::kAdvertisingId: return "Ad. ID";
+    case PiiType::kWifiMac: return "WiFi MAC";
+    case PiiType::kEmail: return "Email";
+    case PiiType::kState: return "State";
+    case PiiType::kCity: return "City";
+    case PiiType::kLatLong: return "Lat./Lon.";
+  }
+  throw util::Error("unknown PiiType");
+}
+
+std::string_view PiiPlaceholder(PiiType t) {
+  switch (t) {
+    case PiiType::kImei: return "{{imei}}";
+    case PiiType::kAdvertisingId: return "{{ad_id}}";
+    case PiiType::kWifiMac: return "{{wifi_mac}}";
+    case PiiType::kEmail: return "{{email}}";
+    case PiiType::kState: return "{{state}}";
+    case PiiType::kCity: return "{{city}}";
+    case PiiType::kLatLong: return "{{lat_long}}";
+  }
+  throw util::Error("unknown PiiType");
+}
+
+const std::string& DeviceIdentity::Value(PiiType t) const {
+  switch (t) {
+    case PiiType::kImei: return imei;
+    case PiiType::kAdvertisingId: return advertising_id;
+    case PiiType::kWifiMac: return wifi_mac;
+    case PiiType::kEmail: return email;
+    case PiiType::kState: return state;
+    case PiiType::kCity: return city;
+    case PiiType::kLatLong: return lat_long;
+  }
+  throw util::Error("unknown PiiType");
+}
+
+std::string ExpandPiiTemplate(std::string_view payload_template,
+                              const DeviceIdentity& device) {
+  std::string out(payload_template);
+  for (PiiType t : AllPiiTypes()) {
+    out = util::ReplaceAll(out, PiiPlaceholder(t), device.Value(t));
+  }
+  return out;
+}
+
+std::vector<PiiType> PiiInTemplate(std::string_view payload_template) {
+  std::vector<PiiType> out;
+  for (PiiType t : AllPiiTypes()) {
+    if (util::Contains(payload_template, PiiPlaceholder(t))) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace pinscope::appmodel

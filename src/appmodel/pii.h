@@ -1,0 +1,59 @@
+// Personally identifiable information model (§4.4).
+//
+// Apps embed PII placeholders in their request templates; the device emulator
+// expands them with the test device's identity at run time; the PII detector
+// searches decrypted payloads for the known identity values (the ReCon-style
+// approach the paper builds on).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pinscope::appmodel {
+
+/// PII classes the paper searches for (§4.4).
+enum class PiiType {
+  kImei,
+  kAdvertisingId,
+  kWifiMac,
+  kEmail,
+  kState,
+  kCity,
+  kLatLong,
+};
+
+/// All PII types, in report order.
+[[nodiscard]] const std::vector<PiiType>& AllPiiTypes();
+
+/// Human-readable PII name (matches Table 9 row labels).
+[[nodiscard]] std::string_view PiiTypeName(PiiType t);
+
+/// Template placeholder for a PII type, e.g. "{{ad_id}}".
+[[nodiscard]] std::string_view PiiPlaceholder(PiiType t);
+
+/// The identity of a test device — ground-truth values the detector matches.
+struct DeviceIdentity {
+  std::string imei;
+  std::string advertising_id;
+  std::string wifi_mac;
+  std::string email;
+  std::string state;
+  std::string city;
+  std::string lat_long;
+
+  /// Value for a given PII type.
+  [[nodiscard]] const std::string& Value(PiiType t) const;
+};
+
+/// Expands every "{{...}}" PII placeholder in `payload_template` with the
+/// device's values. Unknown placeholders are left intact.
+[[nodiscard]] std::string ExpandPiiTemplate(std::string_view payload_template,
+                                            const DeviceIdentity& device);
+
+/// PII types whose placeholder occurs in `payload_template` (ground truth for
+/// tests and calibration).
+[[nodiscard]] std::vector<PiiType> PiiInTemplate(std::string_view payload_template);
+
+}  // namespace pinscope::appmodel

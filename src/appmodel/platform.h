@@ -1,0 +1,28 @@
+// Platforms and app metadata.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pinscope::appmodel {
+
+/// Mobile platform an app build targets.
+enum class Platform { kAndroid, kIos };
+
+/// Human-readable platform name.
+[[nodiscard]] constexpr std::string_view PlatformName(Platform p) {
+  return p == Platform::kAndroid ? "android" : "ios";
+}
+
+/// Store-level metadata for one app build (one platform's version of an app).
+struct AppMetadata {
+  std::string app_id;        ///< Package name / bundle identifier.
+  std::string display_name;  ///< Store listing name.
+  Platform platform = Platform::kAndroid;
+  std::string category;      ///< Store category ("Finance", "Games", ...).
+  std::string developer_org; ///< Organization identifier (party attribution).
+  int popularity_rank = 0;   ///< 1 = most popular in its store listing.
+  bool free = true;          ///< Paid apps are excluded from the datasets.
+};
+
+}  // namespace pinscope::appmodel

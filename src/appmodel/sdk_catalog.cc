@@ -1,0 +1,91 @@
+#include "appmodel/sdk_catalog.h"
+
+namespace pinscope::appmodel {
+
+const std::vector<SdkInfo>& SdkCatalog() {
+  // Weights approximate the per-platform embedding counts of Table 7 (per
+  // ~2,500 apps); the generator scales them to dataset sizes.
+  static const std::vector<SdkInfo> catalog = {
+      {"Twitter", "com/twitter/sdk", "TwitterKit",
+       {"api.twitter.com"}, "twitter",
+       true, true, true, true, true,
+       tls::TlsStack::kOkHttp, tls::TlsStack::kNsUrlSession, 29, 6},
+      {"Braintree", "com/braintreepayments/api", "Braintree",
+       {"api.braintreegateway.com"}, "braintree",
+       true, true, true, true, false,
+       tls::TlsStack::kOkHttp, tls::TlsStack::kNsUrlSession, 27, 7},
+      {"Paypal", "com/paypal/android/sdk", "PayPalKit",
+       {"www.paypalobjects.com", "api.paypal.com"}, "paypal",
+       true, true, true, true, true,
+       tls::TlsStack::kOkHttp, tls::TlsStack::kNsUrlSession, 25, 11},
+      {"Perimeterx", "com/perimeterx/mobile_sdk", "PerimeterX",
+       {"collector.perimeterx.net"}, "perimeterx",
+       true, false, true, true, false,
+       tls::TlsStack::kAndroidPlatform, tls::TlsStack::kNsUrlSession, 9, 0},
+      {"MParticle", "com/mparticle", "mParticle",
+       {"config2.mparticle.com"}, "mparticle",
+       true, true, true, true, false,
+       tls::TlsStack::kOkHttp, tls::TlsStack::kNsUrlSession, 9, 3},
+      {"Amplitude", "com/amplitude/api", "Amplitude",
+       {"api2.amplitude.com"}, "amplitude",
+       true, true, true, false, true,
+       tls::TlsStack::kOkHttp, tls::TlsStack::kNsUrlSession, 6, 45},
+      {"Stripe", "com/stripe/android", "Stripe",
+       {"api.stripe.com"}, "stripe",
+       true, true, true, false, true,
+       tls::TlsStack::kOkHttp, tls::TlsStack::kAlamofire, 8, 42},
+      {"Weibo", "com/sina/weibo/sdk", "WeiboSDK",
+       {"api.weibo.com"}, "weibo",
+       false, true, true, false, true,
+       tls::TlsStack::kOkHttp, tls::TlsStack::kAfNetworking, 0, 20},
+      {"FraudForce", "com/iovation/mobile", "FraudForce",
+       {"mpsnare.iesnare.com"}, "iovation",
+       false, true, true, false, true,
+       tls::TlsStack::kAndroidPlatform, tls::TlsStack::kNsUrlSession, 0, 16},
+      {"Adobe Creative Cloud", "com/adobe/creativesdk", "AdobeCreativeCloud",
+       {"cc-api-data.adobe.io"}, "adobe",
+       false, true, true, false, true,
+       tls::TlsStack::kCronet, tls::TlsStack::kNsUrlSession, 0, 13},
+      {"Sensibill", "com/getsensibill/sdk", "Sensibill",
+       {"api.getsensibill.com"}, "sensibill",
+       true, false, true, true, false,
+       tls::TlsStack::kOkHttp, tls::TlsStack::kNsUrlSession, 6, 0},
+      {"Firestore", "com/google/firebase/firestore", "FirebaseFirestore",
+       {"firestore.googleapis.com"}, "google",
+       true, true, false, false, true,
+       tls::TlsStack::kCronet, tls::TlsStack::kNsUrlSession, 40, 30},
+      // Pure traffic generators: contacted but never pinned, no cert material.
+      {"Facebook", "com/facebook/sdk", "FBSDKCoreKit",
+       {"graph.facebook.com"}, "facebook",
+       true, true, false, false, false,
+       tls::TlsStack::kOkHttp, tls::TlsStack::kNsUrlSession, 60, 55},
+      {"Crashlane", "com/crashlane/agent", "Crashlane",
+       {"reports.crashlane.io"}, "crashlane",
+       true, true, false, false, false,
+       tls::TlsStack::kOkHttp, tls::TlsStack::kNsUrlSession, 50, 45},
+      {"AdNetwork", "com/adnetwork/ads", "AdNetworkKit",
+       {"ads.adnetwork-cdn.com", "metrics.adnetwork-cdn.com"}, "adnetwork",
+       true, true, false, false, false,
+       tls::TlsStack::kOkHttp, tls::TlsStack::kNsUrlSession, 70, 60},
+  };
+  return catalog;
+}
+
+std::optional<SdkInfo> FindSdk(std::string_view name) {
+  for (const SdkInfo& sdk : SdkCatalog()) {
+    if (sdk.name == name) return sdk;
+  }
+  return std::nullopt;
+}
+
+std::vector<SdkInfo> SdksEmbeddingCertificates(Platform platform) {
+  std::vector<SdkInfo> out;
+  for (const SdkInfo& sdk : SdkCatalog()) {
+    const bool available = platform == Platform::kAndroid ? sdk.available_android
+                                                          : sdk.available_ios;
+    if (available && sdk.embeds_certificate) out.push_back(sdk);
+  }
+  return out;
+}
+
+}  // namespace pinscope::appmodel

@@ -1,0 +1,52 @@
+// Third-party SDK catalog.
+//
+// §5.3.5 finds that social-network, payment-processing, and app-analytics
+// frameworks are the dominant source of third-party pinning code (Table 7).
+// The catalog models those frameworks: each entry knows where its code lives
+// inside packages on each platform (the attribution signal), which endpoints
+// it contacts, whether it ships certificate material, and whether it enforces
+// pinning at run time.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "appmodel/platform.h"
+#include "tls/handshake.h"
+
+namespace pinscope::appmodel {
+
+/// What a bundled SDK contributes to an app.
+struct SdkInfo {
+  std::string name;               ///< Display name ("Twitter", "Stripe", ...).
+  std::string android_code_path;  ///< smali directory, e.g. "com/twitter/sdk".
+  std::string ios_framework;      ///< Framework name, e.g. "TwitterKit".
+  std::vector<std::string> domains;  ///< Endpoints the SDK contacts.
+  std::string organization;       ///< Operator of those endpoints.
+  bool available_android = true;
+  bool available_ios = true;
+  /// SDK ships certificate/pin material in its code (static-analysis signal).
+  bool embeds_certificate = false;
+  /// SDK enforces pinning at run time on each platform.
+  bool pins_android = false;
+  bool pins_ios = false;
+  /// TLS stack the SDK uses per platform.
+  tls::TlsStack stack_android = tls::TlsStack::kOkHttp;
+  tls::TlsStack stack_ios = tls::TlsStack::kNsUrlSession;
+  /// Relative placement weight per platform (drives Table 7's ordering).
+  double weight_android = 1.0;
+  double weight_ios = 1.0;
+};
+
+/// The full SDK catalog (fixed, deterministic order).
+[[nodiscard]] const std::vector<SdkInfo>& SdkCatalog();
+
+/// Finds an SDK by name.
+[[nodiscard]] std::optional<SdkInfo> FindSdk(std::string_view name);
+
+/// Catalog entries available on `platform` that embed certificate material.
+[[nodiscard]] std::vector<SdkInfo> SdksEmbeddingCertificates(Platform platform);
+
+}  // namespace pinscope::appmodel

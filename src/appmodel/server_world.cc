@@ -1,0 +1,253 @@
+#include "appmodel/server_world.h"
+
+#include "net/hostname.h"
+#include "util/error.h"
+
+namespace pinscope::appmodel {
+
+std::string_view PkiTypeName(PkiType t) {
+  switch (t) {
+    case PkiType::kDefaultPki: return "default-pki";
+    case PkiType::kCustomPki: return "custom-pki";
+    case PkiType::kSelfSigned: return "self-signed";
+  }
+  throw util::Error("unknown PkiType");
+}
+
+namespace {
+
+x509::IssueSpec LeafSpec(std::string_view hostname) {
+  x509::IssueSpec spec;
+  spec.subject.common_name = std::string(hostname);
+  spec.san_dns = {std::string(hostname)};
+  spec.not_before = util::kStudyEpoch - 30 * util::kMillisPerDay;
+  spec.not_after = util::kStudyEpoch + util::kMillisPerYear;
+  return spec;
+}
+
+}  // namespace
+
+ServerWorld::ServerWorld(std::uint64_t seed) : rng_(seed) {}
+
+const x509::CertificateIssuer& ServerWorld::IntermediateFor(
+    const std::string& ca_label) const {
+  auto it = intermediates_.find(ca_label);
+  if (it != intermediates_.end()) return it->second;
+
+  const x509::CertificateIssuer& root =
+      x509::PublicCaCatalog::Instance().ByLabel(ca_label);
+  x509::IssueSpec spec;
+  spec.subject.common_name =
+      root.certificate().subject().common_name + " Intermediate CA";
+  spec.subject.organization = root.certificate().subject().organization;
+  spec.not_before = util::kStudyEpoch - 2 * util::kMillisPerYear;
+  spec.not_after = util::kStudyEpoch + 5 * util::kMillisPerYear;
+  spec.is_ca = true;
+  x509::CertificateIssuer inter =
+      root.CreateIntermediate(spec, ca_label + ".intermediate");
+  return intermediates_.emplace(ca_label, std::move(inter)).first->second;
+}
+
+const ServerInfo& ServerWorld::EnsureDefaultPki(std::string_view hostname,
+                                                std::string_view organization) {
+  const std::string key(hostname);
+  if (const auto it = servers_.find(key); it != servers_.end()) return it->second;
+
+  // Deterministically spread hostnames across catalog CAs present in all
+  // public stores (so default-PKI servers validate everywhere).
+  const auto& catalog = x509::PublicCaCatalog::Instance();
+  std::vector<std::string> universal;
+  for (const auto& info : catalog.infos()) {
+    if (info.in_mozilla && info.in_aosp && info.in_ios && !info.expired) {
+      universal.push_back(info.label);
+    }
+  }
+  const std::string ca_label =
+      universal[util::StableHash64(key) % universal.size()];
+
+  const x509::CertificateIssuer& inter = IntermediateFor(ca_label);
+  const crypto::KeyPair leaf_key = crypto::KeyPair::Generate(rng_);
+  const x509::Certificate leaf = inter.IssueForKey(LeafSpec(hostname), leaf_key);
+  leaf_keys_.emplace(key, leaf_key);
+
+  ServerInfo info;
+  info.endpoint.hostname = key;
+  info.endpoint.chain = {leaf, inter.certificate(),
+                         catalog.ByLabel(ca_label).certificate()};
+  info.organization = std::string(organization);
+  info.pki = PkiType::kDefaultPki;
+  info.ca_label = ca_label;
+  return servers_.emplace(key, std::move(info)).first->second;
+}
+
+const ServerInfo& ServerWorld::EnsureCustomPki(std::string_view hostname,
+                                               std::string_view organization) {
+  const std::string key(hostname);
+  if (const auto it = servers_.find(key); it != servers_.end()) return it->second;
+
+  const std::string org(organization);
+  auto root_it = custom_roots_.find(org);
+  if (root_it == custom_roots_.end()) {
+    x509::DistinguishedName dn;
+    dn.common_name = org + " Private Root CA";
+    dn.organization = org;
+    root_it = custom_roots_
+                  .emplace(org, x509::CertificateIssuer::SelfSignedRoot(
+                                    "custom-root:" + org, dn,
+                                    util::kStudyEpoch - 5 * util::kMillisPerYear,
+                                    util::kStudyEpoch + 15 * util::kMillisPerYear))
+                  .first;
+  }
+
+  const crypto::KeyPair leaf_key = crypto::KeyPair::Generate(rng_);
+  const x509::Certificate leaf = root_it->second.IssueForKey(LeafSpec(hostname), leaf_key);
+  leaf_keys_.emplace(key, leaf_key);
+
+  ServerInfo info;
+  info.endpoint.hostname = key;
+  info.endpoint.chain = {leaf, root_it->second.certificate()};
+  info.organization = org;
+  info.pki = PkiType::kCustomPki;
+  return servers_.emplace(key, std::move(info)).first->second;
+}
+
+const ServerInfo& ServerWorld::EnsureSelfSigned(std::string_view hostname,
+                                                std::string_view organization,
+                                                int validity_years) {
+  const std::string key(hostname);
+  if (const auto it = servers_.find(key); it != servers_.end()) return it->second;
+
+  x509::IssueSpec spec = LeafSpec(hostname);
+  spec.not_after =
+      util::kStudyEpoch + validity_years * util::kMillisPerYear;
+  const x509::Certificate leaf =
+      x509::CertificateIssuer::SelfSignedLeaf("selfsigned:" + key, spec);
+
+  ServerInfo info;
+  info.endpoint.hostname = key;
+  info.endpoint.chain = {leaf};
+  info.organization = std::string(organization);
+  info.pki = PkiType::kSelfSigned;
+  return servers_.emplace(key, std::move(info)).first->second;
+}
+
+const ServerInfo* ServerWorld::Find(std::string_view hostname) const {
+  const auto it = servers_.find(std::string(hostname));
+  return it == servers_.end() ? nullptr : &it->second;
+}
+
+void ServerWorld::RotateLeaf(std::string_view hostname, bool reuse_key) {
+  const std::string key(hostname);
+  auto it = servers_.find(key);
+  if (it == servers_.end()) throw util::Error("RotateLeaf: unknown host " + key);
+  ServerInfo& info = it->second;
+  if (info.pki == PkiType::kSelfSigned) {
+    throw util::Error("RotateLeaf: self-signed hosts have no issuer");
+  }
+
+  const crypto::KeyPair new_key =
+      reuse_key ? leaf_keys_.at(key) : crypto::KeyPair::Generate(rng_);
+  leaf_keys_.insert_or_assign(key, new_key);
+
+  x509::IssueSpec spec = LeafSpec(hostname);
+  // Renewal: shift the validity window forward.
+  spec.not_before = util::kStudyEpoch;
+  spec.not_after = util::kStudyEpoch + util::kMillisPerYear + 90 * util::kMillisPerDay;
+
+  if (info.pki == PkiType::kDefaultPki) {
+    info.endpoint.chain[0] = IntermediateFor(info.ca_label).IssueForKey(spec, new_key);
+  } else {
+    info.endpoint.chain[0] =
+        custom_roots_.at(info.organization).IssueForKey(spec, new_key);
+  }
+}
+
+void ServerWorld::Downgrade(std::string_view hostname) {
+  auto it = servers_.find(std::string(hostname));
+  if (it == servers_.end()) throw util::Error("Downgrade: unknown host");
+  it->second.endpoint.max_version = tls::TlsVersion::kTls12;
+  it->second.endpoint.ciphers = tls::LegacyCipherOffer();
+}
+
+void ServerWorld::MarkChainFetchUnavailable(std::string_view hostname) {
+  auto it = servers_.find(std::string(hostname));
+  if (it == servers_.end()) {
+    throw util::Error("MarkChainFetchUnavailable: unknown host");
+  }
+  it->second.chain_fetch_unavailable = true;
+}
+
+x509::CertificateChain ServerWorld::MakeDecoyChain(std::string_view like_hostname,
+                                                   std::string_view decoy_host) const {
+  const ServerInfo* info = Find(like_hostname);
+  if (info == nullptr) throw util::Error("MakeDecoyChain: unknown host");
+
+  x509::IssueSpec spec = LeafSpec(decoy_host);
+  const crypto::KeyPair key =
+      crypto::KeyPair::FromLabel("decoy:" + std::string(decoy_host));
+  switch (info->pki) {
+    case PkiType::kDefaultPki: {
+      const x509::CertificateIssuer& inter = IntermediateFor(info->ca_label);
+      return {inter.IssueForKey(spec, key), inter.certificate(),
+              x509::PublicCaCatalog::Instance().ByLabel(info->ca_label).certificate()};
+    }
+    case PkiType::kCustomPki: {
+      const auto& root = custom_roots_.at(info->organization);
+      return {root.IssueForKey(spec, key), root.certificate()};
+    }
+    case PkiType::kSelfSigned:
+      return {x509::CertificateIssuer::SelfSignedLeaf(
+          "decoy:" + std::string(decoy_host), spec)};
+  }
+  throw util::Error("unknown PkiType");
+}
+
+x509::CertificateChain ServerWorld::MakeForeignChain(std::string_view like_hostname,
+                                                     std::string_view decoy_host) const {
+  const ServerInfo* info = Find(like_hostname);
+  if (info == nullptr) throw util::Error("MakeForeignChain: unknown host");
+
+  // Pick a universal public CA different from the target's issuer.
+  const auto& catalog = x509::PublicCaCatalog::Instance();
+  std::string foreign_label;
+  for (const auto& ca : catalog.infos()) {
+    if (ca.in_mozilla && ca.in_aosp && ca.in_ios && !ca.expired &&
+        ca.label != info->ca_label) {
+      foreign_label = ca.label;
+      break;
+    }
+  }
+  x509::IssueSpec spec = LeafSpec(decoy_host);
+  const crypto::KeyPair key =
+      crypto::KeyPair::FromLabel("foreign-decoy:" + std::string(decoy_host));
+  const x509::CertificateIssuer& inter = IntermediateFor(foreign_label);
+  return {inter.IssueForKey(spec, key), inter.certificate(),
+          catalog.ByLabel(foreign_label).certificate()};
+}
+
+void ServerWorld::ExportOwnership(net::OrganizationDirectory& dir) const {
+  for (const auto& [hostname, info] : servers_) {
+    dir.Register(net::RegistrableDomain(hostname), info.organization);
+  }
+}
+
+void ServerWorld::ExportToCtLog(x509::CtLog& log) const {
+  for (const auto& [_, info] : servers_) {
+    if (info.pki != PkiType::kDefaultPki) continue;
+    // CT logs index end-entity and intermediate certificates; self-signed
+    // trust anchors are not submitted. This is why roughly half of the pins
+    // found in apps (those targeting roots) resolve via crt.sh (§4.1.3).
+    for (std::size_t i = 0; i + 1 < info.endpoint.chain.size(); ++i) {
+      log.Add(info.endpoint.chain[i]);
+    }
+  }
+}
+
+std::vector<std::string> ServerWorld::Hostnames() const {
+  std::vector<std::string> out;
+  out.reserve(servers_.size());
+  for (const auto& [hostname, _] : servers_) out.push_back(hostname);
+  return out;
+}
+
+}  // namespace pinscope::appmodel

@@ -1,0 +1,117 @@
+// The simulated server-side Internet.
+//
+// Every destination the corpus contacts is backed by a server with a real
+// certificate chain: default-PKI chains issued by catalog CAs (root →
+// intermediate → leaf), custom-PKI chains under private roots, or bare
+// self-signed leaves (§5.3.1 found one of each per platform, with 27- and
+// 10-year validities). The world also tracks domain ownership for party
+// attribution and can publish its public chains to a CT log.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/party.h"
+#include "tls/handshake.h"
+#include "util/rng.h"
+#include "x509/ct_log.h"
+#include "x509/issuer.h"
+#include "x509/root_store.h"
+
+namespace pinscope::appmodel {
+
+/// How a server's chain anchors (Table 6's categories).
+enum class PkiType {
+  kDefaultPki,  ///< Chains to a public root store.
+  kCustomPki,   ///< Chains to a private root.
+  kSelfSigned,  ///< Single self-signed leaf, no chain.
+};
+
+/// Human-readable PKI type.
+[[nodiscard]] std::string_view PkiTypeName(PkiType t);
+
+/// One destination server.
+struct ServerInfo {
+  tls::ServerEndpoint endpoint;
+  std::string organization;   ///< Operator (for whois/party attribution).
+  PkiType pki = PkiType::kDefaultPki;
+  std::string ca_label;       ///< Issuing catalog CA ("" for custom/self).
+  /// The out-of-band chain fetch (§5.3's OpenSSL step) fails for this host —
+  /// Table 6's "Data Unavailable" bucket.
+  bool chain_fetch_unavailable = false;
+};
+
+/// Registry of all reachable servers, keyed by hostname.
+class ServerWorld {
+ public:
+  /// Creates a world; `seed` drives all key generation.
+  explicit ServerWorld(std::uint64_t seed);
+
+  /// Returns the server for `hostname`, creating a default-PKI one (root →
+  /// intermediate → leaf under a deterministic catalog CA) on first use.
+  const ServerInfo& EnsureDefaultPki(std::string_view hostname,
+                                     std::string_view organization);
+
+  /// Creates/returns a custom-PKI server: leaf → private intermediate →
+  /// private root (not in any public store).
+  const ServerInfo& EnsureCustomPki(std::string_view hostname,
+                                    std::string_view organization);
+
+  /// Creates/returns a self-signed server with the given validity.
+  const ServerInfo& EnsureSelfSigned(std::string_view hostname,
+                                     std::string_view organization,
+                                     int validity_years);
+
+  /// Looks up a server. nullptr if the hostname was never provisioned.
+  [[nodiscard]] const ServerInfo* Find(std::string_view hostname) const;
+
+  /// Renews `hostname`'s leaf certificate. If `reuse_key`, the new leaf keeps
+  /// the old SubjectPublicKeyInfo (so SPKI pins keep matching — §5.3.3);
+  /// otherwise a fresh key is generated (certificate pins break).
+  void RotateLeaf(std::string_view hostname, bool reuse_key);
+
+  /// Weakens a server's TLS configuration to also accept legacy suites and
+  /// TLS 1.2 at most (used to model long-tail endpoints).
+  void Downgrade(std::string_view hostname);
+
+  /// Marks the host's out-of-band chain fetch as failing (Table 6's
+  /// "Data Unavailable"). Live connections are unaffected.
+  void MarkChainFetchUnavailable(std::string_view hostname);
+
+  /// A valid chain for `decoy_host` issued under the *same* hierarchy as
+  /// `like_hostname`'s server (Spinner-style probe material: a real cert of
+  /// some other site sharing the CA). Requires `like_hostname` provisioned.
+  [[nodiscard]] x509::CertificateChain MakeDecoyChain(std::string_view like_hostname,
+                                                      std::string_view decoy_host) const;
+
+  /// A valid chain for `decoy_host` under a public CA *different* from
+  /// `like_hostname`'s issuer.
+  [[nodiscard]] x509::CertificateChain MakeForeignChain(std::string_view like_hostname,
+                                                        std::string_view decoy_host) const;
+
+  /// Registers ownership of every provisioned registrable domain in `dir`.
+  void ExportOwnership(net::OrganizationDirectory& dir) const;
+
+  /// Publishes all default-PKI chains (public certificates) to `log`.
+  void ExportToCtLog(x509::CtLog& log) const;
+
+  /// All hostnames, sorted.
+  [[nodiscard]] std::vector<std::string> Hostnames() const;
+
+  /// Number of provisioned servers.
+  [[nodiscard]] std::size_t size() const { return servers_.size(); }
+
+ private:
+  const x509::CertificateIssuer& IntermediateFor(const std::string& ca_label) const;
+
+  util::Rng rng_;
+  std::map<std::string, ServerInfo> servers_;
+  /// Per-CA-label intermediates, created lazily (also from const probes).
+  mutable std::map<std::string, x509::CertificateIssuer> intermediates_;
+  std::map<std::string, x509::CertificateIssuer> custom_roots_;   // per org
+  std::map<std::string, crypto::KeyPair> leaf_keys_;              // per hostname
+};
+
+}  // namespace pinscope::appmodel

@@ -1,0 +1,33 @@
+#include "appmodel/trust_model.h"
+
+namespace pinscope::appmodel {
+namespace {
+
+x509::RootStore Merge(std::string name, const x509::RootStore& base,
+                      const x509::RootStore& extra) {
+  x509::RootStore merged(std::move(name), base.roots());
+  for (const x509::Certificate& root : extra.roots()) {
+    if (!merged.IsTrustedRoot(root)) merged.AddRoot(root);
+  }
+  return merged;
+}
+
+}  // namespace
+
+x509::RootStore EffectiveAndroidTrustStore(const DeviceTrustState& device,
+                                           int target_sdk, bool nsc_trusts_user) {
+  if (target_sdk < kAndroidUserCaCutoffApi || nsc_trusts_user) {
+    return Merge("android-system+user", device.system_store, device.user_store);
+  }
+  return x509::RootStore("android-system", device.system_store.roots());
+}
+
+x509::RootStore EffectiveIosTrustStore(const DeviceTrustState& device,
+                                       bool os_service) {
+  if (os_service) {
+    return x509::RootStore("ios-system(os-service)", device.system_store.roots());
+  }
+  return Merge("ios-system+user", device.system_store, device.user_store);
+}
+
+}  // namespace pinscope::appmodel

@@ -1,0 +1,37 @@
+// Platform trust-store semantics.
+//
+// Why did the paper need a *modified factory image* to install its proxy CA
+// on Android (§4.2.1)? Because trust in user-installed CAs is API-level
+// dependent: apps targeting API 24+ (Android 7) ignore the user store unless
+// their Network Security Config opts back in, and iOS system services ignore
+// user-trusted roots entirely. This module encodes those rules so tests and
+// examples can demonstrate each interception setup working — or not.
+#pragma once
+
+#include "x509/root_store.h"
+
+namespace pinscope::appmodel {
+
+/// Where a trust anchor was installed on the device.
+struct DeviceTrustState {
+  x509::RootStore system_store;  ///< Vendor-shipped (or image-modified) roots.
+  x509::RootStore user_store;    ///< Roots the user added in Settings.
+};
+
+/// Android: the first targetSdkVersion that stops trusting user CAs by
+/// default (API 24, Android 7.0 "Nougat").
+inline constexpr int kAndroidUserCaCutoffApi = 24;
+
+/// Computes the effective trust store an Android app validates against.
+/// `target_sdk` is the app's targetSdkVersion; `nsc_trusts_user` reflects an
+/// NSC `<certificates src="user"/>` opt-in.
+[[nodiscard]] x509::RootStore EffectiveAndroidTrustStore(
+    const DeviceTrustState& device, int target_sdk, bool nsc_trusts_user);
+
+/// Computes the effective trust store for iOS. Apps honor user-trusted roots
+/// (once enabled in Settings → About → Certificate Trust); OS services never
+/// do — the §4.5 reason Apple background traffic looks pinned under MITM.
+[[nodiscard]] x509::RootStore EffectiveIosTrustStore(const DeviceTrustState& device,
+                                                     bool os_service);
+
+}  // namespace pinscope::appmodel

@@ -1,0 +1,336 @@
+#include "core/analyses.h"
+
+#include <algorithm>
+#include <map>
+
+#include "net/party.h"
+#include "stats/jaccard.h"
+#include "util/hex.h"
+#include "x509/validation.h"
+
+namespace pinscope::core {
+
+PrevalenceRow ComputePrevalence(const Study& study, store::DatasetId id,
+                                appmodel::Platform p) {
+  PrevalenceRow row;
+  row.dataset = id;
+  row.platform = p;
+  for (const AppResult* r : study.DatasetResults(id, p)) {
+    ++row.total;
+    if (r->dynamic_report.AppPins()) ++row.dynamic_pinning;
+    if (r->static_report.PotentialPinning()) ++row.embedded_static;
+    if (r->static_report.ConfigPinning()) ++row.config_pinning;
+  }
+  return row;
+}
+
+std::vector<CategoryPinningRow> ComputePinningByCategory(const Study& study,
+                                                         appmodel::Platform p,
+                                                         std::size_t top_n,
+                                                         std::size_t min_apps) {
+  struct Counts {
+    int total = 0;
+    int pinning = 0;
+  };
+  std::map<std::string, Counts> by_category;
+  for (const AppResult* r : study.AllResults(p)) {
+    Counts& c = by_category[r->app->meta.category];
+    ++c.total;
+    if (r->dynamic_report.AppPins()) ++c.pinning;
+  }
+
+  // Popularity ranks: categories ordered by descending app count.
+  std::vector<std::pair<std::string, int>> by_size;
+  for (const auto& [cat, c] : by_category) by_size.emplace_back(cat, c.total);
+  std::sort(by_size.begin(), by_size.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::map<std::string, int> ranks;
+  for (std::size_t i = 0; i < by_size.size(); ++i) {
+    ranks[by_size[i].first] = static_cast<int>(i) + 1;
+  }
+
+  std::vector<CategoryPinningRow> rows;
+  for (const auto& [cat, c] : by_category) {
+    if (static_cast<std::size_t>(c.total) < min_apps || c.pinning == 0) continue;
+    CategoryPinningRow row;
+    row.category = cat;
+    row.popularity_rank = ranks[cat];
+    row.pinning_apps = c.pinning;
+    row.pinning_pct = 100.0 * c.pinning / c.total;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const CategoryPinningRow& a, const CategoryPinningRow& b) {
+              if (a.pinning_pct != b.pinning_pct) return a.pinning_pct > b.pinning_pct;
+              return a.category < b.category;
+            });
+  if (rows.size() > top_n) rows.resize(top_n);
+  return rows;
+}
+
+std::vector<PairAnalysis> AnalyzeCommonPairs(const Study& study) {
+  std::vector<PairAnalysis> out;
+  for (const store::CommonPair& pair : study.ecosystem().common_pairs()) {
+    const AppResult& a = study.result(appmodel::Platform::kAndroid, pair.android_index);
+    const AppResult& i = study.result(appmodel::Platform::kIos, pair.ios_index);
+
+    PairAnalysis pa;
+    pa.android_index = pair.android_index;
+    pa.ios_index = pair.ios_index;
+    pa.name = a.app->meta.display_name;
+
+    auto fill = [](const dynamicanalysis::DynamicReport& report,
+                   std::set<std::string>& pinned, std::set<std::string>& unpinned) {
+      for (const auto& dest : report.destinations) {
+        if (dest.pinned) {
+          pinned.insert(dest.hostname);
+        } else if (dest.used_baseline) {
+          unpinned.insert(dest.hostname);
+        }
+      }
+    };
+    fill(a.dynamic_report, pa.pinned_android, pa.unpinned_android);
+    fill(i.dynamic_report, pa.pinned_ios, pa.unpinned_ios);
+
+    const bool pins_a = !pa.pinned_android.empty();
+    const bool pins_i = !pa.pinned_ios.empty();
+
+    pa.jaccard = stats::JaccardIndex(pa.pinned_android, pa.pinned_ios);
+    pa.android_pinned_unpinned_on_ios =
+        stats::OverlapFraction(pa.pinned_android, pa.unpinned_ios);
+    pa.ios_pinned_unpinned_on_android =
+        stats::OverlapFraction(pa.pinned_ios, pa.unpinned_android);
+
+    if (!pins_a && !pins_i) {
+      pa.mode = PairAnalysis::Mode::kNone;
+      out.push_back(std::move(pa));
+      continue;
+    }
+
+    const bool a_in_i_unpinned = pa.android_pinned_unpinned_on_ios > 0.0;
+    const bool i_in_a_unpinned = pa.ios_pinned_unpinned_on_android > 0.0;
+
+    if (pins_a && pins_i) {
+      pa.mode = PairAnalysis::Mode::kBoth;
+      if (a_in_i_unpinned || i_in_a_unpinned) {
+        pa.verdict = PairAnalysis::Verdict::kInconsistent;
+      } else if (!stats::Intersect(pa.pinned_android, pa.pinned_ios).empty()) {
+        pa.verdict = PairAnalysis::Verdict::kConsistent;
+        pa.identical_sets = pa.pinned_android == pa.pinned_ios;
+      } else {
+        pa.verdict = PairAnalysis::Verdict::kInconclusive;
+      }
+    } else {
+      pa.mode = pins_a ? PairAnalysis::Mode::kAndroidOnly
+                       : PairAnalysis::Mode::kIosOnly;
+      const bool observed_unpinned = pins_a ? a_in_i_unpinned : i_in_a_unpinned;
+      pa.verdict = observed_unpinned ? PairAnalysis::Verdict::kInconsistent
+                                     : PairAnalysis::Verdict::kInconclusive;
+    }
+    out.push_back(std::move(pa));
+  }
+  return out;
+}
+
+std::vector<AppDomainProfile> ComputeDomainProfiles(const Study& study,
+                                                    appmodel::Platform p) {
+  const net::OrganizationDirectory& orgs = study.ecosystem().organizations();
+  std::vector<AppDomainProfile> out;
+  std::set<std::size_t> seen;
+  for (const store::DatasetId id : {store::DatasetId::kPopular, store::DatasetId::kRandom}) {
+    for (const AppResult* r : study.DatasetResults(id, p)) {
+      if (!seen.insert(r->universe_index).second) continue;
+      if (!r->dynamic_report.AppPins()) continue;
+      AppDomainProfile profile;
+      profile.app_id = r->app->meta.app_id;
+      profile.dataset = id;
+      for (const auto& dest : r->dynamic_report.destinations) {
+        if (!dest.pinned && !dest.used_baseline) continue;
+        const bool first = orgs.PartyOrThird(r->app->meta.developer_org,
+                                             dest.hostname) == net::Party::kFirst;
+        if (dest.pinned) {
+          (first ? profile.first_party_pinned : profile.third_party_pinned) += 1;
+        } else {
+          (first ? profile.first_party_unpinned : profile.third_party_unpinned) += 1;
+        }
+      }
+      out.push_back(std::move(profile));
+    }
+  }
+  return out;
+}
+
+PkiCounts ComputePkiCounts(const Study& study, appmodel::Platform p) {
+  const x509::RootStore mozilla = x509::PublicCaCatalog::Instance().MozillaStore();
+  // Unique pinned destinations across all datasets.
+  std::map<std::string, const x509::CertificateChain*> chains;
+  for (const AppResult* r : study.AllResults(p)) {
+    for (const auto& dest : r->dynamic_report.destinations) {
+      if (dest.pinned) chains.emplace(dest.hostname, &dest.served_chain);
+    }
+  }
+
+  PkiCounts counts;
+  for (const auto& [host, chain] : chains) {
+    if (chain->empty()) {
+      ++counts.unavailable;
+      continue;
+    }
+    if (x509::ChainsToPublicRoot(*chain, mozilla)) {
+      ++counts.default_pki;
+      continue;
+    }
+    ++counts.custom_pki;
+    if (chain->size() == 1 && chain->front().IsSelfIssued()) {
+      ++counts.self_signed;
+      counts.self_signed_validity_days.push_back(chain->front().ValidityDays());
+    }
+  }
+  return counts;
+}
+
+CertMatchStats ComputeCertMatches(const Study& study, appmodel::Platform p) {
+  CertMatchStats stats;
+  for (const AppResult* r : study.AllResults(p)) {
+    if (!r->dynamic_report.AppPins()) continue;
+    ++stats.pinning_apps;
+
+    // Static evidence, indexed by subject common name.
+    std::set<std::string> raw_cns;       // embedded certificate files
+    std::set<std::string> resolved_cns;  // CT-resolved from scanned hashes
+    std::map<std::string, util::Bytes> raw_der;
+    for (const auto& found : r->static_report.scan.certificates) {
+      raw_cns.insert(found.cert.subject().common_name);
+      raw_der[found.cert.subject().common_name] = found.cert.DerBytes();
+    }
+    for (const auto& cert : r->static_report.ct_resolved) {
+      resolved_cns.insert(cert.subject().common_name);
+    }
+
+    bool matched_any = false;
+    std::set<std::string> counted;  // avoid double-counting a CN per app
+    for (const auto& dest : r->dynamic_report.destinations) {
+      if (!dest.pinned) continue;
+      for (std::size_t i = 0; i < dest.served_chain.size(); ++i) {
+        const x509::Certificate& cert = dest.served_chain[i];
+        const std::string& cn = cert.subject().common_name;
+        const bool in_static = raw_cns.contains(cn) || resolved_cns.contains(cn);
+        if (!in_static || !counted.insert(cn).second) continue;
+        matched_any = true;
+        if (cert.is_ca()) {
+          ++stats.ca_certs;
+        } else {
+          ++stats.leaf_certs;
+          if (resolved_cns.contains(cn)) ++stats.leaf_spki_pinned;
+          if (raw_cns.contains(cn)) {
+            ++stats.leaf_raw_embedded;
+            // §5.3.3: embedded cert differs from the served one — the server
+            // renewed, yet the connection still pinned successfully.
+            const auto it = raw_der.find(cn);
+            if (it != raw_der.end() && it->second != cert.DerBytes()) {
+              ++stats.rotated_still_pinned;
+            }
+          }
+        }
+      }
+    }
+    if (matched_any) ++stats.apps_with_match;
+  }
+  return stats;
+}
+
+std::vector<staticanalysis::FrameworkAttribution> ComputeFrameworks(
+    const Study& study, appmodel::Platform p, std::size_t min_apps) {
+  std::vector<staticanalysis::AppEvidence> evidence;
+  for (const AppResult* r : study.AllResults(p)) {
+    staticanalysis::AppEvidence e;
+    e.app_id = r->app->meta.app_id;
+    e.platform = p;
+    e.evidence_paths = r->static_report.EvidencePaths();
+    if (!e.evidence_paths.empty()) evidence.push_back(std::move(e));
+  }
+  return staticanalysis::AttributeFrameworks(evidence, p, min_apps);
+}
+
+CipherRow ComputeCiphers(const Study& study, store::DatasetId id,
+                         appmodel::Platform p) {
+  CipherRow row;
+  row.dataset = id;
+  row.platform = p;
+  int total = 0, overall = 0, pinning_apps = 0, pinning_weak = 0;
+  for (const AppResult* r : study.DatasetResults(id, p)) {
+    ++total;
+    bool any_weak = false, any_pinned_weak = false;
+    for (const auto& dest : r->dynamic_report.destinations) {
+      if (dest.weak_cipher) {
+        any_weak = true;
+        if (dest.pinned) any_pinned_weak = true;
+      }
+    }
+    if (any_weak) ++overall;
+    if (r->dynamic_report.AppPins()) {
+      ++pinning_apps;
+      if (any_pinned_weak) ++pinning_weak;
+    }
+  }
+  row.overall_pct = total == 0 ? 0.0 : 100.0 * overall / total;
+  row.pinning_apps_pct =
+      pinning_apps == 0 ? 0.0 : 100.0 * pinning_weak / pinning_apps;
+  return row;
+}
+
+PiiAnalysis ComputePii(const Study& study, appmodel::Platform p) {
+  PiiAnalysis out;
+  std::map<appmodel::PiiType, std::pair<int, int>> hits;  // type → (pinned, non)
+  for (const AppResult* r : study.AllResults(p)) {
+    for (const auto& dest : r->dynamic_report.destinations) {
+      if (dest.pinned) {
+        if (!dest.circumvented) continue;  // opaque: no PII observation
+        ++out.pinned_dests;
+        for (appmodel::PiiType t : dest.pii) ++hits[t].first;
+      } else {
+        if (!dest.used_baseline) continue;
+        ++out.non_pinned_dests;
+        for (appmodel::PiiType t : dest.pii) ++hits[t].second;
+      }
+    }
+  }
+  for (appmodel::PiiType t : appmodel::AllPiiTypes()) {
+    const auto it = hits.find(t);
+    const int pinned = it == hits.end() ? 0 : it->second.first;
+    const int non = it == hits.end() ? 0 : it->second.second;
+    if (pinned == 0 && non == 0) continue;
+    PiiRow row;
+    row.type = t;
+    row.pinned_pct =
+        out.pinned_dests == 0 ? 0.0 : 100.0 * pinned / out.pinned_dests;
+    row.non_pinned_pct =
+        out.non_pinned_dests == 0 ? 0.0 : 100.0 * non / out.non_pinned_dests;
+    row.test = stats::ChiSquareTest({pinned, out.pinned_dests - pinned, non,
+                                     out.non_pinned_dests - non});
+    out.rows.push_back(row);
+  }
+  std::sort(out.rows.begin(), out.rows.end(), [](const PiiRow& a, const PiiRow& b) {
+    return a.pinned_pct + a.non_pinned_pct > b.pinned_pct + b.non_pinned_pct;
+  });
+  return out;
+}
+
+CircumventionStats ComputeCircumvention(const Study& study, appmodel::Platform p) {
+  std::set<std::string> pinned, circumvented;
+  for (const AppResult* r : study.AllResults(p)) {
+    for (const auto& dest : r->dynamic_report.destinations) {
+      if (!dest.pinned) continue;
+      pinned.insert(dest.hostname);
+      if (dest.circumvented) circumvented.insert(dest.hostname);
+    }
+  }
+  CircumventionStats stats;
+  stats.pinned_unique = static_cast<int>(pinned.size());
+  stats.circumvented_unique = static_cast<int>(circumvented.size());
+  return stats;
+}
+
+}  // namespace pinscope::core

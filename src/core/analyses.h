@@ -1,0 +1,172 @@
+// Evaluation analyses: one function per table/figure of the paper.
+//
+// Every function consumes only measured Study results (never generator
+// ground truth), exactly as the paper derives its tables from captures and
+// scans.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "appmodel/pii.h"
+#include "core/study.h"
+#include "staticanalysis/attribution.h"
+#include "stats/chi_square.h"
+
+namespace pinscope::core {
+
+// --- Table 3: prevalence by technique --------------------------------------
+
+struct PrevalenceRow {
+  store::DatasetId dataset = store::DatasetId::kCommon;
+  appmodel::Platform platform = appmodel::Platform::kAndroid;
+  int total = 0;
+  int dynamic_pinning = 0;    ///< Apps with ≥1 pinned connection at run time.
+  int embedded_static = 0;    ///< Apps with embedded certificates / pin hashes.
+  int config_pinning = 0;     ///< Apps pinning via NSC (Android; prior work).
+};
+
+[[nodiscard]] PrevalenceRow ComputePrevalence(const Study& study,
+                                              store::DatasetId id,
+                                              appmodel::Platform p);
+
+// --- Tables 4 & 5: pinning by category --------------------------------------
+
+struct CategoryPinningRow {
+  std::string category;
+  int popularity_rank = 0;    ///< Rank of the category by app count.
+  double pinning_pct = 0.0;   ///< Pinning apps / apps in category.
+  int pinning_apps = 0;
+};
+
+/// Top-`top_n` categories by pinning percentage across all datasets
+/// (categories with fewer than `min_apps` members are skipped).
+[[nodiscard]] std::vector<CategoryPinningRow> ComputePinningByCategory(
+    const Study& study, appmodel::Platform p, std::size_t top_n = 10,
+    std::size_t min_apps = 5);
+
+// --- Figures 2-4: cross-platform consistency ---------------------------------
+
+/// Measured consistency of one Common pair (§5.1 definitions).
+struct PairAnalysis {
+  std::size_t android_index = 0;
+  std::size_t ios_index = 0;
+  std::string name;
+
+  std::set<std::string> pinned_android, pinned_ios;
+  std::set<std::string> unpinned_android, unpinned_ios;  ///< used, not pinned
+
+  enum class Mode { kNone, kBoth, kAndroidOnly, kIosOnly } mode = Mode::kNone;
+  enum class Verdict { kNone, kConsistent, kInconsistent, kInconclusive } verdict =
+      Verdict::kNone;
+  bool identical_sets = false;  ///< Consistent with equal pinned sets.
+
+  double jaccard = 0.0;  ///< Jaccard(pinned_android, pinned_ios).
+  /// Fraction of Android-pinned domains observed unpinned on iOS, and the
+  /// mirror (the Figure 3/4 heatmap cells).
+  double android_pinned_unpinned_on_ios = 0.0;
+  double ios_pinned_unpinned_on_android = 0.0;
+};
+
+[[nodiscard]] std::vector<PairAnalysis> AnalyzeCommonPairs(const Study& study);
+
+// --- Figure 5: per-app pinned vs unpinned domains, by party -----------------
+
+struct AppDomainProfile {
+  std::string app_id;
+  store::DatasetId dataset = store::DatasetId::kPopular;
+  int first_party_pinned = 0;
+  int first_party_unpinned = 0;
+  int third_party_pinned = 0;
+  int third_party_unpinned = 0;
+
+  [[nodiscard]] int Total() const {
+    return first_party_pinned + first_party_unpinned + third_party_pinned +
+           third_party_unpinned;
+  }
+  [[nodiscard]] bool PinsAll() const {
+    return first_party_unpinned + third_party_unpinned == 0 && Total() > 0;
+  }
+};
+
+/// Profiles of every pinning app in the Popular and Random datasets.
+[[nodiscard]] std::vector<AppDomainProfile> ComputeDomainProfiles(
+    const Study& study, appmodel::Platform p);
+
+// --- Table 6 + §5.3.1: PKI of pinned destinations ----------------------------
+
+struct PkiCounts {
+  int default_pki = 0;
+  int custom_pki = 0;      ///< Includes self-signed (broken out below).
+  int unavailable = 0;
+  int self_signed = 0;     ///< Subset of custom_pki.
+  std::vector<std::int64_t> self_signed_validity_days;
+};
+
+[[nodiscard]] PkiCounts ComputePkiCounts(const Study& study, appmodel::Platform p);
+
+// --- §5.3.2 / §5.3.3: which certificates are pinned --------------------------
+
+struct CertMatchStats {
+  int pinning_apps = 0;          ///< Apps pinning at run time.
+  int apps_with_match = 0;       ///< ≥1 cert in both static & dynamic data.
+  int ca_certs = 0;              ///< Matched certificates that are CAs.
+  int leaf_certs = 0;            ///< Matched leaf certificates.
+  int leaf_spki_pinned = 0;      ///< Leaves pinned via SPKI hash.
+  int leaf_raw_embedded = 0;     ///< Leaves embedded as raw cert files.
+  int rotated_still_pinned = 0;  ///< New leaf served, connection still pinned.
+};
+
+[[nodiscard]] CertMatchStats ComputeCertMatches(const Study& study,
+                                                appmodel::Platform p);
+
+// --- Table 7: frameworks shipping certificates -------------------------------
+
+[[nodiscard]] std::vector<staticanalysis::FrameworkAttribution> ComputeFrameworks(
+    const Study& study, appmodel::Platform p, std::size_t min_apps = 5);
+
+// --- Table 8: weak ciphers ---------------------------------------------------
+
+struct CipherRow {
+  store::DatasetId dataset = store::DatasetId::kCommon;
+  appmodel::Platform platform = appmodel::Platform::kAndroid;
+  double overall_pct = 0.0;       ///< Apps with ≥1 weak-cipher connection.
+  double pinning_apps_pct = 0.0;  ///< Pinning apps with ≥1 weak pinned conn.
+};
+
+[[nodiscard]] CipherRow ComputeCiphers(const Study& study, store::DatasetId id,
+                                       appmodel::Platform p);
+
+// --- Table 9 + §4.3: PII and circumvention -----------------------------------
+
+struct PiiRow {
+  appmodel::PiiType type = appmodel::PiiType::kAdvertisingId;
+  double pinned_pct = 0.0;
+  double non_pinned_pct = 0.0;
+  stats::ChiSquareResult test;
+};
+
+struct PiiAnalysis {
+  std::vector<PiiRow> rows;   ///< Only types observed at least once.
+  int pinned_dests = 0;       ///< Decrypted pinned (app, destination) pairs.
+  int non_pinned_dests = 0;   ///< Decrypted non-pinned pairs.
+};
+
+[[nodiscard]] PiiAnalysis ComputePii(const Study& study, appmodel::Platform p);
+
+struct CircumventionStats {
+  int pinned_unique = 0;        ///< Unique pinned hostnames.
+  int circumvented_unique = 0;  ///< Of those, decrypted via instrumentation.
+
+  [[nodiscard]] double Rate() const {
+    return pinned_unique == 0
+               ? 0.0
+               : static_cast<double>(circumvented_unique) / pinned_unique;
+  }
+};
+
+[[nodiscard]] CircumventionStats ComputeCircumvention(const Study& study,
+                                                      appmodel::Platform p);
+
+}  // namespace pinscope::core

@@ -1,0 +1,76 @@
+#include "core/study.h"
+
+#include "util/error.h"
+
+namespace pinscope::core {
+
+Study::Study(const store::Ecosystem& eco, StudyOptions options)
+    : eco_(&eco), options_(options) {}
+
+void Study::RunApp(appmodel::Platform p, std::size_t index) {
+  auto& results = p == appmodel::Platform::kAndroid ? android_results_ : ios_results_;
+  if (results.contains(index)) return;
+
+  AppResult r;
+  r.universe_index = index;
+  r.app = &eco_->apps(p)[index];
+
+  staticanalysis::StaticAnalysisOptions static_opts;
+  static_opts.ct_log = &eco_->ct_log();
+  r.static_report = staticanalysis::AnalyzeStatically(*r.app, static_opts);
+
+  dynamicanalysis::DynamicOptions dyn = options_.dynamic;
+  // §4.5: the Common-iOS re-run settles 2 minutes before capture.
+  if (p == appmodel::Platform::kIos) {
+    const store::Dataset& common =
+        eco_->dataset(store::DatasetId::kCommon, appmodel::Platform::kIos);
+    for (std::size_t idx : common.app_indices) {
+      if (idx == index) {
+        dyn.settle_seconds = options_.common_ios_settle_seconds;
+        break;
+      }
+    }
+  }
+  r.dynamic_report = dynamicanalysis::RunDynamicAnalysis(*r.app, eco_->world(), dyn);
+
+  results.emplace(index, std::move(r));
+}
+
+void Study::Run() {
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    for (const store::DatasetId id : store::AllDatasets()) {
+      for (std::size_t idx : eco_->dataset(id, p).app_indices) {
+        RunApp(p, idx);
+      }
+    }
+  }
+}
+
+const AppResult& Study::result(appmodel::Platform p, std::size_t universe_index) const {
+  const auto& results =
+      p == appmodel::Platform::kAndroid ? android_results_ : ios_results_;
+  const auto it = results.find(universe_index);
+  if (it == results.end()) throw util::Error("Study::result: app not analyzed");
+  return it->second;
+}
+
+std::vector<const AppResult*> Study::DatasetResults(store::DatasetId id,
+                                                    appmodel::Platform p) const {
+  std::vector<const AppResult*> out;
+  for (std::size_t idx : eco_->dataset(id, p).app_indices) {
+    out.push_back(&result(p, idx));
+  }
+  return out;
+}
+
+std::vector<const AppResult*> Study::AllResults(appmodel::Platform p) const {
+  const auto& results =
+      p == appmodel::Platform::kAndroid ? android_results_ : ios_results_;
+  std::vector<const AppResult*> out;
+  out.reserve(results.size());
+  for (const auto& [_, r] : results) out.push_back(&r);
+  return out;
+}
+
+}  // namespace pinscope::core

@@ -1,0 +1,65 @@
+// The study driver: runs static + dynamic analysis over every dataset and
+// caches per-app results for the evaluation analyses (src/core/analyses.h).
+//
+// This is the paper's Figure 1 pipeline, end to end: crawl (generated
+// ecosystem) → static detection → two-phase dynamic detection → circumvention
+// → PII inspection.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "dynamicanalysis/pipeline.h"
+#include "staticanalysis/static_report.h"
+#include "store/generator.h"
+
+namespace pinscope::core {
+
+/// Combined per-app result.
+struct AppResult {
+  std::size_t universe_index = 0;
+  const appmodel::App* app = nullptr;
+  staticanalysis::StaticReport static_report;
+  dynamicanalysis::DynamicReport dynamic_report;
+};
+
+/// Study configuration.
+struct StudyOptions {
+  dynamicanalysis::DynamicOptions dynamic;
+  /// §4.5: the Common-iOS dataset is re-run with a 2-minute settle so
+  /// associated-domain verification finishes before capture.
+  int common_ios_settle_seconds = 120;
+};
+
+/// Runs and caches the full measurement over one generated ecosystem.
+class Study {
+ public:
+  explicit Study(const store::Ecosystem& eco, StudyOptions options = {});
+
+  /// Executes static + dynamic analysis for every app appearing in any
+  /// dataset (each app analyzed once; dataset views share results).
+  void Run();
+
+  [[nodiscard]] const store::Ecosystem& ecosystem() const { return *eco_; }
+
+  /// Result for one universe app (Run() must have completed).
+  [[nodiscard]] const AppResult& result(appmodel::Platform p,
+                                        std::size_t universe_index) const;
+
+  /// Results for every member of a dataset.
+  [[nodiscard]] std::vector<const AppResult*> DatasetResults(
+      store::DatasetId id, appmodel::Platform p) const;
+
+  /// All analyzed results for a platform.
+  [[nodiscard]] std::vector<const AppResult*> AllResults(appmodel::Platform p) const;
+
+ private:
+  void RunApp(appmodel::Platform p, std::size_t index);
+
+  const store::Ecosystem* eco_;
+  StudyOptions options_;
+  std::map<std::size_t, AppResult> android_results_;
+  std::map<std::size_t, AppResult> ios_results_;
+};
+
+}  // namespace pinscope::core

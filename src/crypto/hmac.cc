@@ -1,0 +1,37 @@
+#include "crypto/hmac.h"
+
+namespace pinscope::crypto {
+namespace {
+constexpr std::size_t kBlockSize = 64;
+}
+
+Sha256Digest HmacSha256(const util::Bytes& key, const util::Bytes& message) {
+  util::Bytes k = key;
+  if (k.size() > kBlockSize) {
+    const Sha256Digest d = Sha256(k);
+    k.assign(d.begin(), d.end());
+  }
+  k.resize(kBlockSize, 0);
+
+  util::Bytes inner_msg;
+  inner_msg.reserve(kBlockSize + message.size());
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    inner_msg.push_back(static_cast<std::uint8_t>(k[i] ^ 0x36));
+  }
+  inner_msg.insert(inner_msg.end(), message.begin(), message.end());
+  const Sha256Digest inner_digest = Sha256(inner_msg);
+
+  util::Bytes outer_msg;
+  outer_msg.reserve(kBlockSize + inner_digest.size());
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    outer_msg.push_back(static_cast<std::uint8_t>(k[i] ^ 0x5c));
+  }
+  outer_msg.insert(outer_msg.end(), inner_digest.begin(), inner_digest.end());
+  return Sha256(outer_msg);
+}
+
+Sha256Digest HmacSha256(std::string_view key, std::string_view message) {
+  return HmacSha256(util::ToBytes(key), util::ToBytes(message));
+}
+
+}  // namespace pinscope::crypto

@@ -1,0 +1,20 @@
+// HMAC-SHA256 (RFC 2104).
+//
+// The TLS simulator derives per-connection "encryption" keystreams and finished
+// verifiers from HMAC so that record payloads are deterministic functions of
+// the handshake inputs without real key exchange.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace pinscope::crypto {
+
+/// HMAC-SHA256 of `message` under `key`.
+[[nodiscard]] Sha256Digest HmacSha256(const util::Bytes& key,
+                                      const util::Bytes& message);
+
+/// Convenience overload for string keys/messages.
+[[nodiscard]] Sha256Digest HmacSha256(std::string_view key, std::string_view message);
+
+}  // namespace pinscope::crypto

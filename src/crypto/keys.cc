@@ -1,0 +1,61 @@
+#include "crypto/keys.h"
+
+#include "crypto/hmac.h"
+#include "util/error.h"
+#include "util/hex.h"
+
+namespace pinscope::crypto {
+
+std::string_view KeyAlgorithmName(KeyAlgorithm a) {
+  switch (a) {
+    case KeyAlgorithm::kRsa2048:
+      return "rsaEncryption-2048";
+    case KeyAlgorithm::kRsa4096:
+      return "rsaEncryption-4096";
+    case KeyAlgorithm::kEcdsaP256:
+      return "ecdsa-p256";
+  }
+  throw util::Error("unknown KeyAlgorithm");
+}
+
+KeyPair::KeyPair(KeyAlgorithm alg, util::Bytes material)
+    : alg_(alg), material_(std::move(material)) {
+  // SPKI layout: "SPKI:" <alg> ":" <hex key material>. A textual DER stand-in;
+  // what matters is that it is a stable, hashable function of the public key.
+  std::string enc = "SPKI:";
+  enc += KeyAlgorithmName(alg_);
+  enc += ':';
+  enc += util::HexEncode(material_);
+  spki_ = util::ToBytes(enc);
+}
+
+KeyPair KeyPair::Generate(util::Rng& rng, KeyAlgorithm alg) {
+  util::Bytes material(32);
+  for (auto& b : material) {
+    b = static_cast<std::uint8_t>(rng.UniformU64(0, 255));
+  }
+  return KeyPair(alg, std::move(material));
+}
+
+KeyPair KeyPair::FromLabel(std::string_view label, KeyAlgorithm alg) {
+  const Sha256Digest d = Sha256(std::string("pinscope-key:") + std::string(label));
+  return KeyPair(alg, util::Bytes(d.begin(), d.end()));
+}
+
+Sha256Digest KeyPair::SpkiSha256() const { return Sha256(spki_); }
+
+Sha1Digest KeyPair::SpkiSha1() const {
+  return Sha1(util::ToString(spki_));
+}
+
+util::Bytes KeyPair::Sign(const util::Bytes& message) const {
+  const Sha256Digest mac = HmacSha256(material_, message);
+  return util::Bytes(mac.begin(), mac.end());
+}
+
+bool KeyPair::Verify(const util::Bytes& message, const util::Bytes& signature) const {
+  const util::Bytes expected = Sign(message);
+  return expected == signature;
+}
+
+}  // namespace pinscope::crypto

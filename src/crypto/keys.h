@@ -1,0 +1,75 @@
+// Simulated asymmetric keypairs and signatures.
+//
+// The toolkit does not need real public-key math: pinning semantics only
+// require that (a) each key has a stable SubjectPublicKeyInfo encoding that
+// can be hashed into a pin, and (b) a signature verifies iff it was produced
+// over the same message by the same keypair. We model a keypair as 32 bytes
+// of deterministic key material; "signing" is HMAC over the message. This is
+// a *structural* signature — sufficient for measurement semantics, documented
+// as a substitution in DESIGN.md.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace pinscope::crypto {
+
+/// Public-key algorithm label carried in the SPKI encoding.
+enum class KeyAlgorithm {
+  kRsa2048,
+  kRsa4096,
+  kEcdsaP256,
+};
+
+/// Human-readable algorithm name (as it appears in serialized SPKI blobs).
+[[nodiscard]] std::string_view KeyAlgorithmName(KeyAlgorithm a);
+
+/// A simulated keypair. Value type; equality means "the same key".
+class KeyPair {
+ public:
+  /// Generates a fresh keypair from `rng`.
+  static KeyPair Generate(util::Rng& rng, KeyAlgorithm alg = KeyAlgorithm::kRsa2048);
+
+  /// Derives a keypair deterministically from a label (used for well-known CA
+  /// keys so root stores are stable across runs).
+  static KeyPair FromLabel(std::string_view label,
+                           KeyAlgorithm alg = KeyAlgorithm::kRsa2048);
+
+  /// Algorithm of this key.
+  [[nodiscard]] KeyAlgorithm algorithm() const { return alg_; }
+
+  /// The DER-like SubjectPublicKeyInfo encoding of the public key. This is the
+  /// blob whose SHA-1/SHA-256 digest forms a pin.
+  [[nodiscard]] const util::Bytes& SubjectPublicKeyInfo() const { return spki_; }
+
+  /// SHA-256 of the SPKI (the canonical modern pin).
+  [[nodiscard]] Sha256Digest SpkiSha256() const;
+
+  /// SHA-1 of the SPKI (legacy pin form).
+  [[nodiscard]] Sha1Digest SpkiSha1() const;
+
+  /// Signs `message` with the private half.
+  [[nodiscard]] util::Bytes Sign(const util::Bytes& message) const;
+
+  /// Verifies that `signature` was produced by this key over `message`.
+  [[nodiscard]] bool Verify(const util::Bytes& message,
+                            const util::Bytes& signature) const;
+
+  friend bool operator==(const KeyPair&, const KeyPair&) = default;
+
+ private:
+  KeyPair(KeyAlgorithm alg, util::Bytes material);
+
+  KeyAlgorithm alg_;
+  util::Bytes material_;  // 32 bytes of key material (public == private half)
+  util::Bytes spki_;      // cached SPKI encoding
+};
+
+}  // namespace pinscope::crypto

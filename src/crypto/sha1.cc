@@ -1,0 +1,94 @@
+#include "crypto/sha1.h"
+
+#include <cstring>
+
+namespace pinscope::crypto {
+namespace {
+
+std::uint32_t Rotl32(std::uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+struct Sha1State {
+  std::uint32_t h[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u,
+                        0xC3D2E1F0u};
+
+  void ProcessBlock(const std::uint8_t* p) {
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = static_cast<std::uint32_t>(p[i * 4]) << 24 |
+             static_cast<std::uint32_t>(p[i * 4 + 1]) << 16 |
+             static_cast<std::uint32_t>(p[i * 4 + 2]) << 8 |
+             static_cast<std::uint32_t>(p[i * 4 + 3]);
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int i = 0; i < 80; ++i) {
+      std::uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5A827999u;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1u;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDCu;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6u;
+      }
+      const std::uint32_t tmp = Rotl32(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = Rotl32(b, 30);
+      b = a;
+      a = tmp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+};
+
+Sha1Digest Compute(const std::uint8_t* data, std::size_t len) {
+  Sha1State st;
+  std::size_t i = 0;
+  for (; i + 64 <= len; i += 64) st.ProcessBlock(data + i);
+
+  std::uint8_t block[128] = {};
+  const std::size_t rest = len - i;
+  if (rest > 0) std::memcpy(block, data + i, rest);
+  block[rest] = 0x80;
+  const std::size_t padded = rest + 1 + 8 <= 64 ? 64 : 128;
+  const std::uint64_t bits = static_cast<std::uint64_t>(len) * 8;
+  for (int j = 0; j < 8; ++j) {
+    block[padded - 8 + static_cast<std::size_t>(j)] =
+        static_cast<std::uint8_t>(bits >> (56 - 8 * j));
+  }
+  st.ProcessBlock(block);
+  if (padded == 128) st.ProcessBlock(block + 64);
+
+  Sha1Digest out{};
+  for (int j = 0; j < 5; ++j) {
+    out[static_cast<std::size_t>(j * 4)] = static_cast<std::uint8_t>(st.h[j] >> 24);
+    out[static_cast<std::size_t>(j * 4 + 1)] = static_cast<std::uint8_t>(st.h[j] >> 16);
+    out[static_cast<std::size_t>(j * 4 + 2)] = static_cast<std::uint8_t>(st.h[j] >> 8);
+    out[static_cast<std::size_t>(j * 4 + 3)] = static_cast<std::uint8_t>(st.h[j]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Sha1Digest Sha1(const util::Bytes& data) { return Compute(data.data(), data.size()); }
+
+Sha1Digest Sha1(std::string_view data) {
+  return Compute(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+}
+
+util::Bytes ToBytes(const Sha1Digest& d) { return util::Bytes(d.begin(), d.end()); }
+
+}  // namespace pinscope::crypto

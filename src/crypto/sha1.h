@@ -1,0 +1,29 @@
+// SHA-1 (FIPS 180-4). Implemented from scratch for deterministic, offline use.
+//
+// SHA-1 is cryptographically broken for collision resistance, but the paper's
+// static analysis must recognize legacy "sha1/<base64>" pin syntax, so the
+// toolkit supports computing and matching SHA-1 SPKI digests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace pinscope::crypto {
+
+/// 20-byte SHA-1 digest.
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// Computes SHA-1 over `data`.
+[[nodiscard]] Sha1Digest Sha1(const util::Bytes& data);
+
+/// Computes SHA-1 over a string's characters.
+[[nodiscard]] Sha1Digest Sha1(std::string_view data);
+
+/// Digest as a byte buffer (for codecs).
+[[nodiscard]] util::Bytes ToBytes(const Sha1Digest& d);
+
+}  // namespace pinscope::crypto

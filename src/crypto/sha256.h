@@ -1,0 +1,29 @@
+// SHA-256 (FIPS 180-4). Implemented from scratch for deterministic, offline use.
+//
+// SHA-256 over the SubjectPublicKeyInfo is the canonical pin digest in HPKP
+// (RFC 7469), OkHttp's CertificatePinner, and Android Network Security
+// Configurations — all formats this toolkit detects.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace pinscope::crypto {
+
+/// 32-byte SHA-256 digest.
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Computes SHA-256 over `data`.
+[[nodiscard]] Sha256Digest Sha256(const util::Bytes& data);
+
+/// Computes SHA-256 over a string's characters.
+[[nodiscard]] Sha256Digest Sha256(std::string_view data);
+
+/// Digest as a byte buffer (for codecs).
+[[nodiscard]] util::Bytes ToBytes(const Sha256Digest& d);
+
+}  // namespace pinscope::crypto

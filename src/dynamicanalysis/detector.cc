@@ -1,0 +1,131 @@
+#include "dynamicanalysis/detector.h"
+
+#include <map>
+#include <set>
+
+#include "dynamicanalysis/device.h"
+#include "net/hostname.h"
+
+namespace pinscope::dynamicanalysis {
+
+bool IsUsedConnection(const net::Flow& flow) {
+  if (flow.version != tls::TlsVersion::kTls13) {
+    // TLS ≤1.2: content types are visible; any application-data record in
+    // either direction means the connection carried data.
+    for (const tls::Record& r : flow.records) {
+      if (r.wire_type == tls::ContentType::kApplicationData) return true;
+    }
+    return false;
+  }
+
+  // TLS 1.3: every encrypted record is disguised as application data, so
+  // count client-sent application-data records and apply the two heuristics.
+  std::vector<const tls::Record*> client_appdata;
+  for (const tls::Record& r : flow.records) {
+    if (r.direction == tls::Direction::kClientToServer &&
+        r.wire_type == tls::ContentType::kApplicationData) {
+      client_appdata.push_back(&r);
+    }
+  }
+  if (client_appdata.size() > 2) return true;
+  if (client_appdata.size() == 2 &&
+      client_appdata[1]->wire_length != tls::kEncryptedAlertWireLength) {
+    return true;
+  }
+  return false;
+}
+
+bool IsFailedConnection(const net::Flow& flow) {
+  if (IsUsedConnection(flow)) return false;
+  return flow.closure == tls::Closure::kClientReset ||
+         flow.closure == tls::Closure::kCleanFin;
+}
+
+bool ExclusionRules::IsExcluded(std::string_view hostname) const {
+  for (const std::string& excluded : excluded_hostnames) {
+    if (hostname == excluded) return true;
+  }
+  const std::string registrable = net::RegistrableDomain(hostname);
+  for (const std::string& domain : excluded_registrable_domains) {
+    if (registrable == domain) return true;
+  }
+  return false;
+}
+
+ExclusionRules ExclusionRules::ForIos(
+    const std::vector<std::string>& associated_domains) {
+  ExclusionRules rules;
+  // OS background traffic spans many Apple hosts: exclude whole domains.
+  for (const std::string& host : AppleBackgroundDomains()) {
+    rules.excluded_registrable_domains.push_back(net::RegistrableDomain(host));
+  }
+  // Associated destinations are excluded exactly as listed in the
+  // entitlements (§4.5) — not their whole registrable domain, which would
+  // blind the detector to first-party pinning (a false negative the paper's
+  // Common-iOS re-run is designed to avoid).
+  rules.excluded_hostnames = associated_domains;
+  return rules;
+}
+
+DetectionResult DetectPinning(const net::Capture& baseline,
+                              const net::Capture& mitm,
+                              const ExclusionRules& exclusions) {
+  struct Agg {
+    bool used_baseline = false;
+    bool seen_mitm = false;
+    bool used_mitm = false;
+    bool any_mitm_not_failed = false;
+  };
+  std::map<std::string, Agg> by_host;
+
+  for (const net::Flow& f : baseline.flows) {
+    if (f.sni.empty() || exclusions.IsExcluded(f.sni)) continue;
+    if (IsUsedConnection(f)) by_host[f.sni].used_baseline = true;
+    else by_host.try_emplace(f.sni);
+  }
+  for (const net::Flow& f : mitm.flows) {
+    if (f.sni.empty() || exclusions.IsExcluded(f.sni)) continue;
+    Agg& agg = by_host[f.sni];
+    agg.seen_mitm = true;
+    if (IsUsedConnection(f)) agg.used_mitm = true;
+    if (!IsFailedConnection(f)) agg.any_mitm_not_failed = true;
+  }
+
+  DetectionResult result;
+  for (const auto& [host, agg] : by_host) {
+    DestinationVerdict v;
+    v.hostname = host;
+    v.used_baseline = agg.used_baseline;
+    v.seen_mitm = agg.seen_mitm;
+    v.used_mitm = agg.used_mitm;
+    v.all_failed_mitm = agg.seen_mitm && !agg.any_mitm_not_failed;
+    v.pinned = v.used_baseline && v.seen_mitm && v.all_failed_mitm;
+    result.verdicts.push_back(std::move(v));
+  }
+  return result;
+}
+
+std::vector<std::string> DetectionResult::PinnedDestinations() const {
+  std::vector<std::string> out;
+  for (const DestinationVerdict& v : verdicts) {
+    if (v.pinned) out.push_back(v.hostname);
+  }
+  return out;
+}
+
+std::vector<std::string> DetectionResult::UnpinnedDestinations() const {
+  std::vector<std::string> out;
+  for (const DestinationVerdict& v : verdicts) {
+    if (v.used_mitm) out.push_back(v.hostname);
+  }
+  return out;
+}
+
+bool DetectionResult::AppPins() const {
+  for (const DestinationVerdict& v : verdicts) {
+    if (v.pinned) return true;
+  }
+  return false;
+}
+
+}  // namespace pinscope::dynamicanalysis

@@ -1,0 +1,73 @@
+// Pinned-connection detection (§4.2.2).
+//
+// Implements the paper's differential analysis verbatim:
+//   * used connection:  TLS ≤1.2 — any "Encrypted Application Data" record;
+//                       TLS 1.3 — the client sends more than two
+//                       application-data records, OR its second one differs
+//                       in length from an encrypted alert.
+//   * failed connection: unused, and the client aborted (RST or FIN).
+//   * pinned destination: used at least once without interception, contacted
+//     under interception, and every intercepted connection failed.
+// Only wire-visible observables are consulted; TLS 1.3's record disguise is
+// in effect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/flow.h"
+
+namespace pinscope::dynamicanalysis {
+
+/// §4.2.2 "Used Connection" test over wire observables.
+[[nodiscard]] bool IsUsedConnection(const net::Flow& flow);
+
+/// §4.2.2 "Failed Connection" test (unused + client abort).
+[[nodiscard]] bool IsFailedConnection(const net::Flow& flow);
+
+/// Destinations excluded from attribution (§4.5): Apple background domains
+/// and the app's associated domains (iOS), flaky retry-prone hosts.
+struct ExclusionRules {
+  /// Exact hostnames to ignore (the app's associated destinations).
+  std::vector<std::string> excluded_hostnames;
+  /// Registrable domains ignored wholesale (Apple-controlled background
+  /// traffic appears under many hosts of icloud.com / apple.com / mzstatic.com).
+  std::vector<std::string> excluded_registrable_domains;
+
+  [[nodiscard]] bool IsExcluded(std::string_view hostname) const;
+
+  /// The paper's iOS exclusion set: Apple-controlled background domains plus
+  /// the app's associated domains from its entitlements.
+  static ExclusionRules ForIos(const std::vector<std::string>& associated_domains);
+};
+
+/// Per-destination differential verdict.
+struct DestinationVerdict {
+  std::string hostname;
+  bool used_baseline = false;    ///< Used at least once, non-MITM run.
+  bool seen_mitm = false;        ///< Contacted during the MITM run.
+  bool used_mitm = false;        ///< Used at least once under MITM.
+  bool all_failed_mitm = false;  ///< Every MITM connection failed.
+  bool pinned = false;           ///< The paper's final per-destination verdict.
+};
+
+/// Result of differential detection for one app.
+struct DetectionResult {
+  std::vector<DestinationVerdict> verdicts;
+
+  /// Hostnames marked pinned.
+  [[nodiscard]] std::vector<std::string> PinnedDestinations() const;
+
+  /// Hostnames observed used under MITM (definitively not pinned).
+  [[nodiscard]] std::vector<std::string> UnpinnedDestinations() const;
+
+  /// True if any destination is pinned — the paper's per-app pinning verdict.
+  [[nodiscard]] bool AppPins() const;
+};
+
+/// Runs the differential analysis over the two captures.
+[[nodiscard]] DetectionResult DetectPinning(const net::Capture& baseline,
+                                            const net::Capture& mitm,
+                                            const ExclusionRules& exclusions = {});
+
+}  // namespace pinscope::dynamicanalysis

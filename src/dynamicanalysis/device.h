@@ -1,0 +1,81 @@
+// Test-device emulation (§4.2.1).
+//
+// Models the paper's two test devices — a Pixel 3 on Android 11 with the
+// mitmproxy CA added to the system store, and a checkra1n-jailbroken
+// iPhone X on iOS 13.6 with user trust for the proxy CA — and executes app
+// behaviour under them: per-destination TLS connections, redundant
+// connections, iOS OS-background traffic to Apple domains, and
+// associated-domain verification traffic that OS services perform with a
+// validator that ignores user-installed CAs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "appmodel/app.h"
+#include "appmodel/pii.h"
+#include "appmodel/server_world.h"
+#include "net/flow.h"
+#include "net/mitm_proxy.h"
+#include "util/rng.h"
+#include "x509/root_store.h"
+
+namespace pinscope::dynamicanalysis {
+
+/// Apple-controlled domains that generate background traffic throughout iOS
+/// tests (§4.5 excludes them from analysis).
+[[nodiscard]] const std::vector<std::string>& AppleBackgroundDomains();
+
+/// Options for one app test run.
+struct RunOptions {
+  /// Interception proxy; nullptr = the baseline (non-MITM) experiment.
+  net::MitmProxy* proxy = nullptr;
+  /// Capture duration after launch (the paper settled on 30 s).
+  int capture_seconds = 30;
+  /// Delay between install and launch; the Common-iOS re-run uses 120 s so
+  /// associated-domain verification finishes before capture (§4.5).
+  int settle_seconds = 0;
+  /// Exercise the app with (random monkey-style) UI interactions, reaching
+  /// destinations behind deeper code paths. The paper ran without them.
+  bool interact = false;
+};
+
+/// A simulated test device.
+class DeviceEmulator {
+ public:
+  /// The paper's Android device. If `proxy_ca` is non-null it is installed
+  /// into the system store (the paper modified the factory image).
+  static DeviceEmulator Pixel3(const x509::Certificate* proxy_ca);
+
+  /// The paper's iOS device. If `proxy_ca` is non-null the user trusts it —
+  /// but OS services still ignore user-installed CAs.
+  static DeviceEmulator IPhoneX(const x509::Certificate* proxy_ca);
+
+  [[nodiscard]] appmodel::Platform platform() const { return platform_; }
+  [[nodiscard]] const std::string& model() const { return model_; }
+  [[nodiscard]] const std::string& os_version() const { return os_version_; }
+  [[nodiscard]] const appmodel::DeviceIdentity& identity() const { return identity_; }
+  [[nodiscard]] const x509::RootStore& system_store() const { return system_store_; }
+
+  /// Installs `app`, waits, captures `capture_seconds` of traffic, uninstalls.
+  /// Servers come from `world`; destinations without a provisioned server
+  /// produce no flow (DNS failure). Deterministic given `rng`.
+  [[nodiscard]] net::Capture RunApp(const appmodel::App& app,
+                                    const appmodel::ServerWorld& world,
+                                    const RunOptions& options, util::Rng& rng) const;
+
+ private:
+  DeviceEmulator(appmodel::Platform platform, std::string model,
+                 std::string os_version, x509::RootStore store,
+                 appmodel::DeviceIdentity identity);
+
+  appmodel::Platform platform_;
+  std::string model_;
+  std::string os_version_;
+  x509::RootStore system_store_;       ///< App-visible trust store.
+  x509::RootStore os_service_store_;   ///< Store OS services use (no user CAs).
+  appmodel::DeviceIdentity identity_;
+};
+
+}  // namespace pinscope::dynamicanalysis

@@ -1,0 +1,92 @@
+#include "dynamicanalysis/frida.h"
+
+namespace pinscope::dynamicanalysis {
+
+bool IsHookable(tls::TlsStack stack, appmodel::Platform platform) {
+  switch (stack) {
+    case tls::TlsStack::kOkHttp:
+    case tls::TlsStack::kAndroidPlatform:
+    case tls::TlsStack::kConscrypt:
+      return platform == appmodel::Platform::kAndroid;
+    case tls::TlsStack::kNsUrlSession:
+    case tls::TlsStack::kAfNetworking:
+    case tls::TlsStack::kAlamofire:
+      return platform == appmodel::Platform::kIos;
+    case tls::TlsStack::kCronet:
+      return true;  // hook scripts exist on both platforms
+    case tls::TlsStack::kCustom:
+      return false;  // statically linked, unknown symbols
+  }
+  return false;
+}
+
+CircumventionRun RunWithPinningDisabled(const appmodel::App& app,
+                                        const appmodel::ServerWorld& world,
+                                        const DeviceEmulator& device,
+                                        net::MitmProxy& proxy,
+                                        const RunOptions& options,
+                                        util::Rng& rng) {
+  CircumventionRun run;
+  const std::int64_t capture_ms =
+      static_cast<std::int64_t>(options.capture_seconds) * 1000;
+
+  for (const appmodel::DestinationBehavior& d : app.behavior.destinations) {
+    const appmodel::ServerInfo* srv = world.Find(d.hostname);
+    if (srv == nullptr) continue;
+
+    const bool hooked = IsHookable(d.stack, app.meta.platform);
+    if (hooked) {
+      run.hooked_destinations.push_back(d.hostname);
+    } else {
+      run.unhookable_destinations.push_back(d.hostname);
+    }
+
+    tls::ClientTlsConfig cfg;
+    cfg.root_store = &device.system_store();
+    cfg.offered_ciphers = d.cipher_offer;
+    cfg.stack = d.stack;
+    if (hooked) {
+      // The hook stubs out the library's verify callback: no pins, no chain
+      // validation, no hostname check.
+      cfg.validation.check_hostname = false;
+      cfg.validation.check_expiry = false;
+      cfg.validation.check_signatures = false;
+      cfg.validation.require_trusted_root = false;
+    } else {
+      cfg.validation.check_hostname = app.behavior.validates_hostname;
+      cfg.validation.check_expiry = app.behavior.validates_expiry;
+      if (d.pinned && !d.pins.empty()) {
+        tls::DomainPinRule rule;
+        rule.pattern = d.hostname;
+        rule.pins = d.pins;
+        cfg.pins.AddRule(std::move(rule));
+      }
+      // Custom-PKI destinations with unhookable stacks still distrust the
+      // proxy (their bundled store lacks the proxy CA).
+    }
+
+    std::optional<x509::RootStore> custom_store;
+    if (!hooked && d.custom_trust) {
+      custom_store = x509::RootStore("app-bundled", {srv->endpoint.chain.back()});
+      cfg.root_store = &*custom_store;
+    }
+
+    tls::AppPayload payload;
+    if (!d.never_used) {
+      payload.plaintext =
+          appmodel::ExpandPiiTemplate(d.payload_template, device.identity());
+      payload.client_records =
+          1 + static_cast<int>(payload.plaintext.size() / 1200);
+    }
+
+    const std::int64_t t0 = static_cast<std::int64_t>(
+        rng.UniformU64(100, static_cast<std::uint64_t>(capture_ms * 3 / 4)));
+    const net::InterceptResult res =
+        proxy.Intercept(cfg, srv->endpoint, payload, util::kStudyEpoch, rng);
+    run.capture.flows.push_back(net::FlowFromOutcome(
+        d.hostname, res.outcome, t0, net::FlowOrigin::kApp, res.decrypted));
+  }
+  return run;
+}
+
+}  // namespace pinscope::dynamicanalysis

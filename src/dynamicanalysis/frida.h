@@ -1,0 +1,44 @@
+// Pin-circumvention instrumentation (Frida substitute, §4.3).
+//
+// The paper hooks popular TLS libraries at run time and disables certificate
+// validation, then re-runs the MITM pipeline to read pinned traffic. Hooks
+// exist only for catalogued stacks; apps with statically linked custom TLS
+// cannot be instrumented — which is why the paper only circumvented ≈51.5%
+// of pinned destinations on Android and ≈66.2% on iOS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "appmodel/app.h"
+#include "appmodel/server_world.h"
+#include "dynamicanalysis/device.h"
+#include "net/flow.h"
+#include "net/mitm_proxy.h"
+#include "tls/handshake.h"
+
+namespace pinscope::dynamicanalysis {
+
+/// True if a Frida hook script exists for `stack` on `platform` — i.e. the
+/// library's certificate-validation entry points are known and patchable.
+[[nodiscard]] bool IsHookable(tls::TlsStack stack, appmodel::Platform platform);
+
+/// Result of an instrumented (pin-disabled) MITM run.
+struct CircumventionRun {
+  net::Capture capture;
+  /// Destinations whose TLS stack was successfully hooked.
+  std::vector<std::string> hooked_destinations;
+  /// Destinations whose stack had no hook (traffic still opaque).
+  std::vector<std::string> unhookable_destinations;
+};
+
+/// Re-runs `app` on `device` through `proxy` with every hookable stack's
+/// validation and pinning disabled. Returns the capture — flows to hooked
+/// destinations now complete and are decrypted by the proxy; unhookable
+/// destinations still fail.
+[[nodiscard]] CircumventionRun RunWithPinningDisabled(
+    const appmodel::App& app, const appmodel::ServerWorld& world,
+    const DeviceEmulator& device, net::MitmProxy& proxy,
+    const RunOptions& options, util::Rng& rng);
+
+}  // namespace pinscope::dynamicanalysis

@@ -1,0 +1,86 @@
+#include "dynamicanalysis/pii_detector.h"
+
+#include <algorithm>
+
+#include "net/http.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace pinscope::dynamicanalysis {
+
+std::vector<appmodel::PiiType> DetectPii(std::string_view payload,
+                                         const appmodel::DeviceIdentity& device) {
+  std::vector<appmodel::PiiType> out;
+  for (appmodel::PiiType t : appmodel::AllPiiTypes()) {
+    const std::string& value = device.Value(t);
+    if (!value.empty() && util::Contains(payload, value)) out.push_back(t);
+  }
+  return out;
+}
+
+std::string_view PiiLocationName(PiiLocation loc) {
+  switch (loc) {
+    case PiiLocation::kQueryParam: return "query-param";
+    case PiiLocation::kHeader: return "header";
+    case PiiLocation::kFormBody: return "form-body";
+    case PiiLocation::kRawBytes: return "raw-bytes";
+  }
+  throw util::Error("unknown PiiLocation");
+}
+
+std::vector<PiiFinding> DetectPiiDetailed(std::string_view payload,
+                                          const appmodel::DeviceIdentity& device) {
+  std::vector<PiiFinding> out;
+  auto add = [&out](appmodel::PiiType type, PiiLocation loc, std::string key) {
+    for (const PiiFinding& f : out) {
+      if (f.type == type && f.location == loc && f.key == key) return;
+    }
+    out.push_back({type, loc, std::move(key)});
+  };
+
+  const auto request = net::HttpRequest::Parse(payload);
+  if (!request.has_value()) {
+    for (appmodel::PiiType t : DetectPii(payload, device)) {
+      add(t, PiiLocation::kRawBytes, "");
+    }
+    return out;
+  }
+
+  for (appmodel::PiiType t : appmodel::AllPiiTypes()) {
+    const std::string& value = device.Value(t);
+    if (value.empty()) continue;
+    for (const auto& [key, v] : request->QueryParams()) {
+      if (util::Contains(v, value)) add(t, PiiLocation::kQueryParam, key);
+    }
+    for (const auto& [key, v] : request->headers) {
+      if (util::Contains(v, value)) add(t, PiiLocation::kHeader, key);
+    }
+    for (const auto& [key, v] : request->FormParams()) {
+      if (util::Contains(v, value)) add(t, PiiLocation::kFormBody, key);
+    }
+    // Anything the structured views missed (free-form bodies).
+    bool located = false;
+    for (const PiiFinding& f : out) {
+      if (f.type == t) located = true;
+    }
+    if (!located && util::Contains(request->body, value)) {
+      add(t, PiiLocation::kRawBytes, "");
+    }
+  }
+  return out;
+}
+
+std::vector<appmodel::PiiType> DetectPiiForDestination(
+    const net::Capture& capture, std::string_view hostname,
+    const appmodel::DeviceIdentity& device) {
+  std::vector<appmodel::PiiType> out;
+  for (const net::Flow& f : capture.flows) {
+    if (f.sni != hostname || !f.decrypted_payload.has_value()) continue;
+    for (appmodel::PiiType t : DetectPii(*f.decrypted_payload, device)) {
+      if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace pinscope::dynamicanalysis

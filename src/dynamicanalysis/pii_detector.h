@@ -1,0 +1,45 @@
+// PII detection in decrypted traffic (§4.4).
+//
+// ReCon-style: the detector knows the test device's identity values and
+// searches decrypted payloads for them. It never sees the app's templates —
+// only bytes on the wire.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "appmodel/pii.h"
+#include "net/flow.h"
+
+namespace pinscope::dynamicanalysis {
+
+/// PII types whose device value occurs verbatim in `payload`.
+[[nodiscard]] std::vector<appmodel::PiiType> DetectPii(
+    std::string_view payload, const appmodel::DeviceIdentity& device);
+
+/// Where inside a request a PII value was found.
+enum class PiiLocation { kQueryParam, kHeader, kFormBody, kRawBytes };
+
+/// Human-readable location name.
+[[nodiscard]] std::string_view PiiLocationName(PiiLocation loc);
+
+/// A located PII observation.
+struct PiiFinding {
+  appmodel::PiiType type = appmodel::PiiType::kAdvertisingId;
+  PiiLocation location = PiiLocation::kRawBytes;
+  std::string key;  ///< Parameter/header name carrying the value ("" for raw).
+};
+
+/// Structured PII detection: parses `payload` as an HTTP request and
+/// attributes each detected value to the query string, a header, or the form
+/// body; payloads that are not HTTP fall back to raw-byte matching.
+[[nodiscard]] std::vector<PiiFinding> DetectPiiDetailed(
+    std::string_view payload, const appmodel::DeviceIdentity& device);
+
+/// Union of PII found in all decrypted flows of `capture` whose SNI is
+/// `hostname`. Flows without decrypted payloads contribute nothing.
+[[nodiscard]] std::vector<appmodel::PiiType> DetectPiiForDestination(
+    const net::Capture& capture, std::string_view hostname,
+    const appmodel::DeviceIdentity& device);
+
+}  // namespace pinscope::dynamicanalysis

@@ -1,0 +1,120 @@
+#include "dynamicanalysis/pipeline.h"
+
+#include <algorithm>
+#include <map>
+
+#include "dynamicanalysis/device.h"
+#include "dynamicanalysis/frida.h"
+#include "dynamicanalysis/pii_detector.h"
+#include "net/mitm_proxy.h"
+
+namespace pinscope::dynamicanalysis {
+
+bool DynamicReport::AppPins() const {
+  return std::any_of(destinations.begin(), destinations.end(),
+                     [](const DestinationReport& d) { return d.pinned; });
+}
+
+std::vector<std::string> DynamicReport::PinnedDestinations() const {
+  std::vector<std::string> out;
+  for (const DestinationReport& d : destinations) {
+    if (d.pinned) out.push_back(d.hostname);
+  }
+  return out;
+}
+
+std::vector<std::string> DynamicReport::UnpinnedDestinations() const {
+  std::vector<std::string> out;
+  for (const DestinationReport& d : destinations) {
+    if (!d.pinned) out.push_back(d.hostname);
+  }
+  return out;
+}
+
+DynamicReport RunDynamicAnalysis(const appmodel::App& app,
+                                 const appmodel::ServerWorld& world,
+                                 const DynamicOptions& options) {
+  DynamicReport report;
+  report.app_id = app.meta.app_id;
+  report.platform = app.meta.platform;
+
+  net::MitmProxy proxy;
+  const DeviceEmulator device =
+      app.meta.platform == appmodel::Platform::kAndroid
+          ? DeviceEmulator::Pixel3(&proxy.CaCertificate())
+          : DeviceEmulator::IPhoneX(&proxy.CaCertificate());
+
+  util::Rng rng(options.seed ^ util::StableHash64(app.meta.app_id));
+
+  RunOptions baseline_opts;
+  baseline_opts.capture_seconds = options.capture_seconds;
+  baseline_opts.settle_seconds = options.settle_seconds;
+  util::Rng baseline_rng = rng.Fork("baseline");
+  const net::Capture baseline =
+      device.RunApp(app, world, baseline_opts, baseline_rng);
+
+  RunOptions mitm_opts = baseline_opts;
+  mitm_opts.proxy = &proxy;
+  util::Rng mitm_rng = rng.Fork("mitm");
+  const net::Capture mitm = device.RunApp(app, world, mitm_opts, mitm_rng);
+
+  const ExclusionRules exclusions =
+      app.meta.platform == appmodel::Platform::kIos
+          ? ExclusionRules::ForIos(app.behavior.associated_domains)
+          : ExclusionRules{};
+  const DetectionResult detection = DetectPinning(baseline, mitm, exclusions);
+
+  // Instrumented pass, only when pinning was observed.
+  CircumventionRun frida;
+  if (options.circumvent && detection.AppPins()) {
+    util::Rng frida_rng = rng.Fork("frida");
+    frida = RunWithPinningDisabled(app, world, device, proxy, mitm_opts,
+                                   frida_rng);
+  }
+
+  for (const DestinationVerdict& v : detection.verdicts) {
+    DestinationReport dest;
+    dest.hostname = v.hostname;
+    dest.pinned = v.pinned;
+    dest.used_baseline = v.used_baseline;
+
+    // Weak-cipher advertisement, from baseline flows (§5.4 inspects the
+    // ClientHello, which interception does not change).
+    for (const net::Flow* f : baseline.FlowsTo(v.hostname)) {
+      if (f->AdvertisesWeakCipher()) {
+        dest.weak_cipher = true;
+        break;
+      }
+    }
+
+    // PII: unpinned destinations decrypt in the MITM run; pinned ones only
+    // via successful instrumentation.
+    dest.pii = DetectPiiForDestination(mitm, v.hostname, device.identity());
+    const auto frida_pii =
+        DetectPiiForDestination(frida.capture, v.hostname, device.identity());
+    for (appmodel::PiiType t : frida_pii) {
+      if (std::find(dest.pii.begin(), dest.pii.end(), t) == dest.pii.end()) {
+        dest.pii.push_back(t);
+      }
+    }
+    if (v.pinned) {
+      for (const net::Flow& f : frida.capture.flows) {
+        if (f.sni == v.hostname && f.decrypted_payload.has_value()) {
+          dest.circumvented = true;
+          break;
+        }
+      }
+    }
+
+    // Out-of-band chain fetch at the genuine destination (§5.3). Some hosts
+    // refuse the fetch — those end up in Table 6's "Data Unavailable" bucket.
+    if (const appmodel::ServerInfo* srv = world.Find(v.hostname)) {
+      if (!srv->chain_fetch_unavailable) dest.served_chain = srv->endpoint.chain;
+    }
+
+    report.destinations.push_back(std::move(dest));
+  }
+  return report;
+}
+
+}  // namespace pinscope::dynamicanalysis

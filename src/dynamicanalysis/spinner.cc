@@ -1,0 +1,100 @@
+#include "dynamicanalysis/spinner.h"
+
+#include "util/error.h"
+#include "x509/validation.h"
+
+namespace pinscope::dynamicanalysis {
+
+std::string_view SpinnerVerdictName(SpinnerVerdict v) {
+  switch (v) {
+    case SpinnerVerdict::kNoPinning: return "no-pinning";
+    case SpinnerVerdict::kVulnerable: return "vulnerable-no-hostname-check";
+    case SpinnerVerdict::kCaPinningDetected: return "ca-pinning-detected";
+    case SpinnerVerdict::kIndistinguishable: return "indistinguishable";
+  }
+  throw util::Error("unknown SpinnerVerdict");
+}
+
+namespace {
+
+// Where a probe chain is rejected (what Spinner infers from alert patterns
+// and handshake progress).
+enum class Stage { kAccepted, kPinOrTrust, kHostname };
+
+Stage ProbeStage(const appmodel::DestinationBehavior& dest,
+                 const appmodel::AppBehavior& behavior,
+                 const x509::RootStore& store,
+                 const x509::CertificateChain& probe_chain) {
+  // Chain trust and pin evaluation reject early with distinctive signals;
+  // hostname mismatch rejects later.
+  x509::ValidationOptions opts;
+  opts.check_hostname = false;
+  opts.check_expiry = behavior.validates_expiry;
+  const bool trust_ok =
+      x509::ValidateChain(probe_chain, "", util::kStudyEpoch, store, opts).ok();
+
+  bool pin_ok = true;
+  if (dest.pinned && !dest.pins.empty()) {
+    pin_ok = false;
+    for (const tls::Pin& pin : dest.pins) {
+      for (const x509::Certificate& cert : probe_chain) {
+        if (pin.Matches(cert)) pin_ok = true;
+      }
+    }
+  }
+  if (!trust_ok || !pin_ok) return Stage::kPinOrTrust;
+
+  if (behavior.validates_hostname &&
+      !probe_chain.front().MatchesHostname(dest.hostname)) {
+    return Stage::kHostname;
+  }
+  return Stage::kAccepted;
+}
+
+}  // namespace
+
+std::vector<SpinnerResult> RunSpinnerProbes(const appmodel::App& app,
+                                            const appmodel::ServerWorld& world,
+                                            util::Rng& rng) {
+  const x509::RootStore system_store =
+      app.meta.platform == appmodel::Platform::kAndroid
+          ? x509::PublicCaCatalog::Instance().AospStore()
+          : x509::PublicCaCatalog::Instance().IosStore();
+
+  std::vector<SpinnerResult> out;
+  for (const appmodel::DestinationBehavior& dest : app.behavior.destinations) {
+    const appmodel::ServerInfo* srv = world.Find(dest.hostname);
+    if (srv == nullptr) continue;
+
+    // Spinner's probe database: a valid certificate for some *other* site
+    // under the same CA hierarchy, and one under a different hierarchy.
+    const std::string decoy = "decoy-" + rng.Identifier(6) + ".example.net";
+    const x509::CertificateChain same_ca = world.MakeDecoyChain(dest.hostname, decoy);
+    const x509::CertificateChain other_ca = world.MakeForeignChain(dest.hostname, decoy);
+
+    // Custom-trust destinations validate against the app's bundled store.
+    const x509::RootStore bundled("app-bundled", {srv->endpoint.chain.back()});
+    const x509::RootStore& store = dest.custom_trust ? bundled : system_store;
+
+    const Stage s_same = ProbeStage(dest, app.behavior, store, same_ca);
+    const Stage s_other = ProbeStage(dest, app.behavior, store, other_ca);
+
+    SpinnerResult result;
+    result.hostname = dest.hostname;
+    if (s_same == Stage::kAccepted || s_other == Stage::kAccepted) {
+      result.verdict = SpinnerVerdict::kVulnerable;
+    } else if (s_same == Stage::kHostname && s_other == Stage::kPinOrTrust) {
+      result.verdict = SpinnerVerdict::kCaPinningDetected;
+    } else if (s_same == Stage::kHostname && s_other == Stage::kHostname) {
+      result.verdict = SpinnerVerdict::kNoPinning;
+    } else {
+      // Every probe dies at the pin/trust stage: leaf pinning, key pinning
+      // and bundled custom trust all look identical to Spinner.
+      result.verdict = SpinnerVerdict::kIndistinguishable;
+    }
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace pinscope::dynamicanalysis

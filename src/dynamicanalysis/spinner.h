@@ -1,0 +1,61 @@
+// Spinner-style pinning detection (Stone, Chothia & Garcia, ACSAC'17) —
+// the baseline technique the paper contrasts with its differential detector.
+//
+// Spinner redirects an app's TLS traffic to certificates of *other* websites
+// (it has no CA power, so every probe chain is valid but for the wrong
+// hostname) and classifies by where the client aborts:
+//
+//   * accepts a wrong-hostname chain            → broken hostname validation
+//     (Spinner's headline vulnerability);
+//   * rejects a wrong-host chain issued under a *different* CA hierarchy but
+//     progresses further with one under the pinned CA                → the
+//     app pins a CA/intermediate certificate;
+//   * rejects every probe at the same (pin) stage                    → leaf
+//     pinning and strict validation are indistinguishable — Spinner reports
+//     nothing. This is the §2.2 limitation: "their technique only finds apps
+//     that pin intermediate or root certificates"; the differential detector
+//     covers all pin targets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "appmodel/app.h"
+#include "appmodel/server_world.h"
+#include "util/rng.h"
+
+namespace pinscope::dynamicanalysis {
+
+/// Spinner's per-destination classification.
+enum class SpinnerVerdict {
+  kNoPinning,           ///< Wrong-host probes rejected on hostname alone.
+  kVulnerable,          ///< Wrong-host chain accepted: no hostname validation.
+  kCaPinningDetected,   ///< Pin-stage rejection differs across CA hierarchies.
+  kIndistinguishable,   ///< Rejects everything identically (leaf pin or
+                        ///  custom trust) — Spinner cannot tell.
+};
+
+/// Human-readable verdict name.
+[[nodiscard]] std::string_view SpinnerVerdictName(SpinnerVerdict v);
+
+/// One probed destination.
+struct SpinnerResult {
+  std::string hostname;
+  SpinnerVerdict verdict = SpinnerVerdict::kNoPinning;
+  /// Ground-truth cross-check convenience: true if the destination is pinned
+  /// at run time (any target). Filled by the prober from app behaviour ONLY
+  /// in tests; the bench comparison uses the differential detector instead.
+  bool detected_pinning() const {
+    return verdict == SpinnerVerdict::kCaPinningDetected;
+  }
+};
+
+/// Runs Spinner probes against every destination of `app`. For each
+/// destination it synthesizes the probe chains (same-CA wrong-host,
+/// different-CA wrong-host) and classifies from the client's accept/reject
+/// pattern.
+[[nodiscard]] std::vector<SpinnerResult> RunSpinnerProbes(
+    const appmodel::App& app, const appmodel::ServerWorld& world,
+    util::Rng& rng);
+
+}  // namespace pinscope::dynamicanalysis

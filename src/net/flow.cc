@@ -1,0 +1,49 @@
+#include "net/flow.h"
+
+#include <algorithm>
+#include <set>
+
+namespace pinscope::net {
+
+std::vector<std::string> Capture::Destinations() const {
+  std::set<std::string> unique;
+  for (const Flow& f : flows) {
+    if (!f.sni.empty()) unique.insert(f.sni);
+  }
+  return std::vector<std::string>(unique.begin(), unique.end());
+}
+
+std::vector<const Flow*> Capture::FlowsTo(std::string_view sni) const {
+  std::vector<const Flow*> out;
+  for (const Flow& f : flows) {
+    if (f.sni == sni) out.push_back(&f);
+  }
+  return out;
+}
+
+double Capture::SniCoverage() const {
+  if (flows.empty()) return 0.0;
+  const auto with_sni = std::count_if(flows.begin(), flows.end(),
+                                      [](const Flow& f) { return !f.sni.empty(); });
+  return static_cast<double>(with_sni) / static_cast<double>(flows.size());
+}
+
+Flow FlowFromOutcome(std::string sni, const tls::ConnectionOutcome& outcome,
+                     std::int64_t start_ms, FlowOrigin origin,
+                     bool observer_decrypted) {
+  Flow f;
+  f.sni = std::move(sni);
+  f.origin = origin;
+  f.start_ms = start_ms;
+  f.version = outcome.version;
+  f.offered_ciphers = outcome.offered_ciphers;
+  f.negotiated_cipher = outcome.negotiated_cipher;
+  f.records = outcome.records;
+  f.closure = outcome.closure;
+  if (observer_decrypted && outcome.application_data_sent) {
+    f.decrypted_payload = outcome.plaintext_sent;
+  }
+  return f;
+}
+
+}  // namespace pinscope::net

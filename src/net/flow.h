@@ -1,0 +1,65 @@
+// Captured TLS flows — what the dynamic pipeline's "pcap" contains.
+//
+// A Flow is the passive observer's view of one TLS connection: SNI, record
+// trace, closure flags, and ClientHello metadata. Plaintext only appears when
+// an active component (MITM proxy with an accepted certificate, or the
+// instrumentation layer) managed to decrypt the session.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tls/cipher_suites.h"
+#include "tls/handshake.h"
+#include "tls/record.h"
+
+namespace pinscope::net {
+
+/// What generated a flow on the device.
+enum class FlowOrigin {
+  kApp,               ///< Traffic from the app under test.
+  kOsBackground,      ///< Platform services (iOS: apple.com, icloud.com, ...).
+  kAssociatedDomains, ///< iOS associated-domain verification (§4.5).
+};
+
+/// One captured TLS connection.
+struct Flow {
+  std::string sni;                 ///< Server Name Indication (may be empty).
+  FlowOrigin origin = FlowOrigin::kApp;
+  std::int64_t start_ms = 0;       ///< Capture-relative start time.
+  tls::TlsVersion version = tls::TlsVersion::kTls13;
+  std::vector<tls::CipherSuiteId> offered_ciphers;
+  std::optional<tls::CipherSuiteId> negotiated_cipher;
+  std::vector<tls::Record> records;
+  tls::Closure closure = tls::Closure::kCleanFin;
+  /// Filled only when an active observer could decrypt the session.
+  std::optional<std::string> decrypted_payload;
+
+  /// True if the flow advertises any §5.4 "bad" cipher suite.
+  [[nodiscard]] bool AdvertisesWeakCipher() const {
+    return tls::AdvertisesWeakCipher(offered_ciphers);
+  }
+};
+
+/// A device capture: every flow observed during one app test run.
+struct Capture {
+  std::vector<Flow> flows;
+
+  /// Distinct non-empty SNI values, sorted.
+  [[nodiscard]] std::vector<std::string> Destinations() const;
+
+  /// Flows whose SNI equals `sni`.
+  [[nodiscard]] std::vector<const Flow*> FlowsTo(std::string_view sni) const;
+
+  /// Fraction of flows with a non-empty SNI (the paper reports 99%).
+  [[nodiscard]] double SniCoverage() const;
+};
+
+/// Builds a Flow from a simulated connection outcome.
+[[nodiscard]] Flow FlowFromOutcome(std::string sni,
+                                   const tls::ConnectionOutcome& outcome,
+                                   std::int64_t start_ms, FlowOrigin origin,
+                                   bool observer_decrypted);
+
+}  // namespace pinscope::net

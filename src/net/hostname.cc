@@ -1,0 +1,58 @@
+#include "net/hostname.h"
+
+#include <array>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace pinscope::net {
+namespace {
+
+// Two-label public suffixes checked before the generic one-label rule.
+constexpr std::array<std::string_view, 8> kTwoLabelSuffixes = {
+    "co.uk", "com.au", "co.jp", "com.br", "co.in", "com.cn", "co.kr", "org.uk"};
+
+bool IsTwoLabelSuffix(std::string_view s) {
+  for (std::string_view suffix : kTwoLabelSuffixes) {
+    if (s == suffix) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string RegistrableDomain(std::string_view hostname) {
+  const std::vector<std::string> labels = util::Split(hostname, '.');
+  const std::size_t n = labels.size();
+  if (n <= 2) return std::string(hostname);
+
+  const std::string last_two = labels[n - 2] + "." + labels[n - 1];
+  if (IsTwoLabelSuffix(last_two)) {
+    return labels[n - 3] + "." + last_two;
+  }
+  return last_two;
+}
+
+bool IsSubdomainOf(std::string_view hostname, std::string_view domain) {
+  if (hostname == domain) return true;
+  return util::EndsWith(hostname, "." + std::string(domain));
+}
+
+bool LooksLikeHostname(std::string_view s) {
+  if (s.empty() || s.size() > 253) return false;
+  bool saw_dot = false;
+  char prev = '.';
+  for (char c : s) {
+    if (c == '.') {
+      if (prev == '.') return false;  // empty label
+      saw_dot = true;
+    } else if (!(std::islower(static_cast<unsigned char>(c)) ||
+                 std::isdigit(static_cast<unsigned char>(c)) || c == '-')) {
+      return false;
+    }
+    prev = c;
+  }
+  return saw_dot && prev != '.';
+}
+
+}  // namespace pinscope::net

@@ -1,0 +1,24 @@
+// Hostname utilities: registrable-domain (eTLD+1) extraction.
+//
+// Party attribution (§5.2, Figure 5) groups destinations by registrable
+// domain before mapping them to organizations. We embed a compact public
+// suffix list covering the suffixes the simulated ecosystem uses.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pinscope::net {
+
+/// Returns the registrable domain (eTLD+1) of `hostname`, e.g.
+/// "api.cdn.example.co.uk" → "example.co.uk". Returns `hostname` unchanged if
+/// it already is a registrable domain or cannot be split.
+[[nodiscard]] std::string RegistrableDomain(std::string_view hostname);
+
+/// True if `hostname` equals `domain` or is a subdomain of it.
+[[nodiscard]] bool IsSubdomainOf(std::string_view hostname, std::string_view domain);
+
+/// Syntactic validity check used by parsers (labels of [a-z0-9-], dots).
+[[nodiscard]] bool LooksLikeHostname(std::string_view s);
+
+}  // namespace pinscope::net

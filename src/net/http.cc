@@ -1,0 +1,102 @@
+#include "net/http.h"
+
+#include "util/strings.h"
+
+namespace pinscope::net {
+
+std::vector<std::pair<std::string, std::string>> ParseFormEncoded(
+    std::string_view text) {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (text.empty()) return out;
+  for (const std::string& piece : util::Split(text, '&')) {
+    if (piece.empty()) continue;
+    const std::size_t eq = piece.find('=');
+    if (eq == std::string::npos) {
+      out.emplace_back(piece, "");
+    } else {
+      out.emplace_back(piece.substr(0, eq), piece.substr(eq + 1));
+    }
+  }
+  return out;
+}
+
+std::string HttpRequest::Path() const {
+  const std::size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::vector<std::pair<std::string, std::string>> HttpRequest::QueryParams() const {
+  const std::size_t q = target.find('?');
+  if (q == std::string::npos) return {};
+  return ParseFormEncoded(std::string_view(target).substr(q + 1));
+}
+
+std::vector<std::pair<std::string, std::string>> HttpRequest::FormParams() const {
+  const auto type = Header("content-type");
+  if (!type.has_value() ||
+      !util::Contains(util::ToLower(*type), "x-www-form-urlencoded")) {
+    return {};
+  }
+  return ParseFormEncoded(body);
+}
+
+std::optional<std::string> HttpRequest::Header(std::string_view name) const {
+  const std::string want = util::ToLower(name);
+  for (const auto& [key, value] : headers) {
+    if (util::ToLower(key) == want) return value;
+  }
+  return std::nullopt;
+}
+
+std::string HttpRequest::Serialize() const {
+  std::string out = method + " " + target + " " + version + "\r\n";
+  for (const auto& [key, value] : headers) {
+    out += key + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::optional<HttpRequest> HttpRequest::Parse(std::string_view raw) {
+  // Split head from body at the blank line.
+  std::string_view head = raw;
+  std::string_view body;
+  if (const std::size_t sep = raw.find("\r\n\r\n"); sep != std::string_view::npos) {
+    head = raw.substr(0, sep);
+    body = raw.substr(sep + 4);
+  }
+
+  HttpRequest req;
+  bool first_line = true;
+  std::size_t pos = 0;
+  while (pos <= head.size()) {
+    std::size_t end = head.find("\r\n", pos);
+    if (end == std::string_view::npos) end = head.size();
+    const std::string_view line = head.substr(pos, end - pos);
+    pos = end + 2;
+
+    if (first_line) {
+      first_line = false;
+      const std::vector<std::string> parts = util::Split(line, ' ');
+      // Request-line: exactly method SP target SP version, HTTP version tag.
+      if (parts.size() != 3 || parts[0].empty() || parts[1].empty() ||
+          !util::StartsWith(parts[2], "HTTP/")) {
+        return std::nullopt;
+      }
+      req.method = parts[0];
+      req.target = parts[1];
+      req.version = parts[2];
+      continue;
+    }
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    req.headers.emplace_back(std::string(util::Trim(line.substr(0, colon))),
+                             std::string(util::Trim(line.substr(colon + 1))));
+  }
+  req.body = std::string(body);
+  return req;
+}
+
+}  // namespace pinscope::net

@@ -1,0 +1,50 @@
+// A minimal HTTP/1.1 request model.
+//
+// App payloads in the simulation are real HTTP requests; the PII analysis
+// (§4.4) parses them the way the paper's mitmproxy scripts inspect decrypted
+// flows — URL query parameters, headers, and form bodies — instead of only
+// grepping raw bytes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pinscope::net {
+
+/// One parsed HTTP request.
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ...
+  std::string target;   ///< Request target incl. query ("/v1/collect?x=1").
+  std::string version = "HTTP/1.1";
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Path part of the target (before '?').
+  [[nodiscard]] std::string Path() const;
+
+  /// Decoded key/value pairs from the query string.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> QueryParams() const;
+
+  /// Decoded key/value pairs from an x-www-form-urlencoded body.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> FormParams() const;
+
+  /// First header value with the given (case-insensitive) name.
+  [[nodiscard]] std::optional<std::string> Header(std::string_view name) const;
+
+  /// Serializes back to wire format (CRLF line endings, blank line, body).
+  [[nodiscard]] std::string Serialize() const;
+
+  /// Parses a serialized request. Returns nullopt when the request line is
+  /// malformed; tolerates missing headers/body.
+  [[nodiscard]] static std::optional<HttpRequest> Parse(std::string_view raw);
+};
+
+/// Splits "a=1&b=2" into decoded pairs (no %-decoding: the simulation never
+/// emits escapes).
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> ParseFormEncoded(
+    std::string_view text);
+
+}  // namespace pinscope::net

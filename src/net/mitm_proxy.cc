@@ -1,0 +1,48 @@
+#include "net/mitm_proxy.h"
+
+namespace pinscope::net {
+namespace {
+
+x509::DistinguishedName ProxyCaName() {
+  x509::DistinguishedName dn;
+  dn.common_name = "mitmproxy";
+  dn.organization = "mitmproxy";
+  dn.country = "US";
+  return dn;
+}
+
+}  // namespace
+
+MitmProxy::MitmProxy(std::string ca_label)
+    : ca_(x509::CertificateIssuer::SelfSignedRoot(
+          ca_label, ProxyCaName(), util::kStudyEpoch - util::kMillisPerYear,
+          util::kStudyEpoch + 10 * util::kMillisPerYear)) {}
+
+const x509::Certificate& MitmProxy::CaCertificate() const {
+  return ca_.certificate();
+}
+
+InterceptResult MitmProxy::Intercept(const tls::ClientTlsConfig& client,
+                                     const tls::ServerEndpoint& server,
+                                     const tls::AppPayload& payload,
+                                     util::SimTime now, util::Rng& rng) {
+  auto it = forged_cache_.find(server.hostname);
+  if (it == forged_cache_.end()) {
+    x509::IssueSpec spec;
+    spec.subject.common_name = server.hostname;
+    spec.subject.organization = "mitmproxy";
+    spec.san_dns = {server.hostname};
+    spec.not_before = util::kStudyEpoch - util::kMillisPerDay;
+    spec.not_after = util::kStudyEpoch + util::kMillisPerYear;
+    x509::CertificateChain forged = {ca_.Issue(spec, rng), ca_.certificate()};
+    it = forged_cache_.emplace(server.hostname, std::move(forged)).first;
+  }
+
+  InterceptResult result;
+  result.outcome =
+      tls::SimulateConnection(client, server, it->second, payload, now, rng);
+  result.decrypted = result.outcome.application_data_sent;
+  return result;
+}
+
+}  // namespace pinscope::net

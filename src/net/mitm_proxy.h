@@ -1,0 +1,49 @@
+// Monkey-in-the-middle proxy (mitmproxy substitute).
+//
+// The proxy terminates the client's TLS connection with a chain it forges on
+// the fly for the requested SNI, signed by its own CA. Test devices have that
+// CA installed in their OS store, so unpinned apps accept the forged chain and
+// the proxy observes plaintext; pinned (or custom-PKI) connections abort —
+// exactly the differential the §4.2.2 detector keys on.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tls/handshake.h"
+#include "util/rng.h"
+#include "x509/issuer.h"
+
+namespace pinscope::net {
+
+/// Result of proxying one connection.
+struct InterceptResult {
+  tls::ConnectionOutcome outcome;  ///< Client-side connection as captured.
+  bool decrypted = false;          ///< Proxy observed application plaintext.
+};
+
+/// An intercepting TLS proxy with a deterministic CA identity.
+class MitmProxy {
+ public:
+  /// Creates a proxy whose CA key derives from `ca_label` (stable across runs).
+  explicit MitmProxy(std::string ca_label = "mitmproxy");
+
+  /// The proxy's CA certificate — install this in a device's root store to
+  /// emulate the paper's test-device setup.
+  [[nodiscard]] const x509::Certificate& CaCertificate() const;
+
+  /// Intercepts a connection from `client` to `server`: forges a leaf for the
+  /// server's hostname, presents [forged-leaf, proxy-CA], and reports whether
+  /// plaintext was recovered. Forged leaves are cached per hostname, like
+  /// mitmproxy's certificate cache.
+  [[nodiscard]] InterceptResult Intercept(const tls::ClientTlsConfig& client,
+                                          const tls::ServerEndpoint& server,
+                                          const tls::AppPayload& payload,
+                                          util::SimTime now, util::Rng& rng);
+
+ private:
+  x509::CertificateIssuer ca_;
+  std::map<std::string, x509::CertificateChain> forged_cache_;
+};
+
+}  // namespace pinscope::net

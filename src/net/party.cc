@@ -1,0 +1,42 @@
+#include "net/party.h"
+
+#include "net/hostname.h"
+#include "util/error.h"
+
+namespace pinscope::net {
+
+std::string_view PartyName(Party p) {
+  switch (p) {
+    case Party::kFirst: return "first-party";
+    case Party::kThird: return "third-party";
+    case Party::kUnknown: return "unknown";
+  }
+  throw util::Error("unknown Party");
+}
+
+void OrganizationDirectory::Register(std::string registrable_domain,
+                                     std::string organization) {
+  owners_[std::move(registrable_domain)] = std::move(organization);
+}
+
+std::optional<std::string> OrganizationDirectory::OwnerOf(
+    std::string_view hostname) const {
+  const auto it = owners_.find(RegistrableDomain(hostname));
+  if (it == owners_.end()) return std::nullopt;
+  return it->second;
+}
+
+Party OrganizationDirectory::Attribute(std::string_view app_organization,
+                                       std::string_view hostname) const {
+  const auto owner = OwnerOf(hostname);
+  if (!owner.has_value()) return Party::kUnknown;
+  return *owner == app_organization ? Party::kFirst : Party::kThird;
+}
+
+Party OrganizationDirectory::PartyOrThird(std::string_view app_organization,
+                                          std::string_view hostname) const {
+  const Party p = Attribute(app_organization, hostname);
+  return p == Party::kUnknown ? Party::kThird : p;
+}
+
+}  // namespace pinscope::net

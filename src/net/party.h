@@ -1,0 +1,52 @@
+// First-/third-party attribution of destinations.
+//
+// §5.2: "We divide domains contacted by an app into first and third party,
+// attributing each domain for an app using various points of information
+// (whois data, certificate subject names, etc.)". The simulation's whois
+// substitute is an organization directory mapping registrable domains to the
+// organizations that operate them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pinscope::net {
+
+/// Whether a destination belongs to the app's own operator.
+enum class Party { kFirst, kThird, kUnknown };
+
+/// Human-readable party name.
+[[nodiscard]] std::string_view PartyName(Party p);
+
+/// Registry of domain ownership (whois substitute). Keys are registrable
+/// domains; values are organization identifiers.
+class OrganizationDirectory {
+ public:
+  /// Registers `registrable_domain` as operated by `organization`.
+  /// Re-registration overwrites (latest record wins, like whois updates).
+  void Register(std::string registrable_domain, std::string organization);
+
+  /// Organization operating the registrable domain of `hostname`, if known.
+  [[nodiscard]] std::optional<std::string> OwnerOf(std::string_view hostname) const;
+
+  /// Attribution: kFirst if `hostname`'s owner equals `app_organization`,
+  /// kThird if it is some other known organization, kUnknown otherwise.
+  /// The paper treats unknown-ownership destinations conservatively as third
+  /// party; `PartyOrThird` applies that collapse.
+  [[nodiscard]] Party Attribute(std::string_view app_organization,
+                                std::string_view hostname) const;
+
+  /// Attribution with kUnknown collapsed to kThird.
+  [[nodiscard]] Party PartyOrThird(std::string_view app_organization,
+                                   std::string_view hostname) const;
+
+  /// Number of registered domains.
+  [[nodiscard]] std::size_t size() const { return owners_.size(); }
+
+ private:
+  std::map<std::string, std::string> owners_;
+};
+
+}  // namespace pinscope::net

@@ -1,0 +1,47 @@
+#include "report/csv_writer.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace pinscope::report {
+
+std::string CsvEscape(std::string_view field) {
+  const bool needs_quotes = field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  return "\"" + util::ReplaceAll(field, "\"", "\"\"") + "\"";
+}
+
+namespace {
+
+std::string RenderRow(const std::vector<std::string>& row) {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += CsvEscape(row[i]);
+  }
+  out += "\r\n";
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::SetHeader(std::vector<std::string> columns) {
+  if (columns_ != 0) throw util::Error("CsvWriter: header already set");
+  if (columns.empty()) throw util::Error("CsvWriter: empty header");
+  columns_ = columns.size();
+  out_ += RenderRow(columns);
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& row) {
+  if (columns_ == 0) throw util::Error("CsvWriter: SetHeader first");
+  if (row.size() != columns_) {
+    throw util::Error("CsvWriter: row has " + std::to_string(row.size()) +
+                      " fields, header has " + std::to_string(columns_));
+  }
+  out_ += RenderRow(row);
+  ++rows_;
+}
+
+std::string CsvWriter::TakeString() { return std::move(out_); }
+
+}  // namespace pinscope::report

@@ -1,0 +1,35 @@
+// Minimal RFC 4180-style CSV emission (the second format of the dataset
+// export alongside JSON Lines).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pinscope::report {
+
+/// Quotes a CSV field when needed (commas, quotes, newlines).
+[[nodiscard]] std::string CsvEscape(std::string_view field);
+
+/// Row-oriented CSV builder.
+class CsvWriter {
+ public:
+  /// Sets the header row (must be called before AddRow; fixes column count).
+  void SetHeader(std::vector<std::string> columns);
+
+  /// Adds a data row; must match the header's column count.
+  void AddRow(const std::vector<std::string>& row);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+
+  /// The document with CRLF line endings.
+  [[nodiscard]] std::string TakeString();
+
+ private:
+  std::string out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace pinscope::report

@@ -1,0 +1,118 @@
+#include "report/json_writer.h"
+
+#include <cstdio>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace pinscope::report {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;
+  if (stack_.back() == Frame::kObject && !pending_key_) {
+    throw util::Error("JsonWriter: value inside object requires a Key()");
+  }
+  if (stack_.back() == Frame::kArray) {
+    if (needs_comma_.back()) out_.push_back(',');
+    needs_comma_.back() = true;
+  }
+  pending_key_ = false;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  if (stack_.empty() || stack_.back() != Frame::kObject) {
+    throw util::Error("JsonWriter: Key() outside an object");
+  }
+  if (pending_key_) throw util::Error("JsonWriter: consecutive Key() calls");
+  if (needs_comma_.back()) out_.push_back(',');
+  needs_comma_.back() = true;
+  out_ += "\"" + JsonEscape(key) + "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  stack_.push_back(Frame::kObject);
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  if (stack_.empty() || stack_.back() != Frame::kObject || pending_key_) {
+    throw util::Error("JsonWriter: unbalanced EndObject");
+  }
+  out_.push_back('}');
+  stack_.pop_back();
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  stack_.push_back(Frame::kArray);
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw util::Error("JsonWriter: unbalanced EndArray");
+  }
+  out_.push_back(']');
+  stack_.pop_back();
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += "\"" + JsonEscape(value) + "\"";
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value, int digits) {
+  BeforeValue();
+  out_ += util::FormatDouble(value, digits);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+std::string JsonWriter::TakeString() {
+  if (!stack_.empty()) throw util::Error("JsonWriter: unbalanced document");
+  return std::move(out_);
+}
+
+}  // namespace pinscope::report

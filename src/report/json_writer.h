@@ -1,0 +1,55 @@
+// A minimal JSON emitter.
+//
+// The paper releases its dataset and per-app results publicly; pinscope's
+// equivalent is a JSON export of measurements (see examples/export_dataset).
+// The writer is a small streaming builder — no DOM, no dependencies — with
+// correct string escaping.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pinscope::report {
+
+/// Escapes a string for inclusion inside JSON quotes.
+[[nodiscard]] std::string JsonEscape(std::string_view s);
+
+/// Streaming JSON builder. Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("name"); w.String("value");
+///   w.Key("items"); w.BeginArray(); w.Int(1); w.Int(2); w.EndArray();
+///   w.EndObject();
+///   std::string json = w.TakeString();
+/// The writer inserts commas automatically; nesting errors throw.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key (must be inside an object).
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(std::int64_t value);
+  void Double(double value, int digits = 4);
+  void Bool(bool value);
+  void Null();
+
+  /// Finalizes and returns the document. The writer must be balanced.
+  [[nodiscard]] std::string TakeString();
+
+ private:
+  enum class Frame { kObject, kArray };
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+}  // namespace pinscope::report

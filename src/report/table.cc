@@ -1,0 +1,67 @@
+#include "report/table.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace pinscope::report {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(std::max(row.size(), header_.size()));
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i >= widths.size()) widths.resize(i + 1, 0);
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string out;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      cell.resize(widths[i], ' ');
+      out += cell;
+      if (i + 1 < widths.size()) out += "  ";
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+    return out;
+  };
+
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string HeatCell(double fraction, int width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const int filled = static_cast<int>(fraction * width + 0.5);
+  std::string out = "[";
+  out += std::string(static_cast<std::size_t>(filled), '#');
+  out += std::string(static_cast<std::size_t>(width - filled), ' ');
+  out += "] ";
+  out += util::Percent(fraction, 0);
+  return out;
+}
+
+std::string SectionHeader(const std::string& title) {
+  std::string out = "\n=== " + title + " ===\n";
+  return out;
+}
+
+}  // namespace pinscope::report

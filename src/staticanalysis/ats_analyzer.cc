@@ -1,0 +1,105 @@
+#include "staticanalysis/ats_analyzer.h"
+
+#include "staticanalysis/xml.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace pinscope::staticanalysis {
+namespace {
+
+// Plist <dict>: children alternate <key> and a value element. Returns the
+// value element following the given key, or nullptr.
+const XmlNode* DictValue(const XmlNode& dict, std::string_view key) {
+  for (std::size_t i = 0; i + 1 < dict.children.size(); ++i) {
+    const XmlNode& k = *dict.children[i];
+    if (k.name == "key" && k.TrimmedText() == key) {
+      return dict.children[i + 1].get();
+    }
+  }
+  return nullptr;
+}
+
+// The root <dict> of a plist document, or nullptr.
+const XmlNode* PlistRootDict(const XmlNode& plist) {
+  if (plist.name == "dict") return &plist;
+  return plist.Child("dict");
+}
+
+AtsPinnedDomainResult ParsePinnedDomain(const std::string& domain,
+                                        const XmlNode& dict) {
+  AtsPinnedDomainResult out;
+  out.domain = domain;
+  if (const XmlNode* subs = DictValue(dict, "NSIncludesSubdomains")) {
+    out.include_subdomains = subs->name == "true";
+  }
+  for (const char* key : {"NSPinnedCAIdentities", "NSPinnedLeafIdentities"}) {
+    const XmlNode* identities = DictValue(dict, key);
+    if (identities == nullptr || identities->name != "array") continue;
+    for (const auto& ident : identities->children) {
+      if (ident->name != "dict") continue;
+      const XmlNode* spki = DictValue(*ident, "SPKI-SHA256-BASE64");
+      if (spki == nullptr) continue;
+      if (auto pin = tls::Pin::FromPinString("sha256/" + spki->TrimmedText())) {
+        out.pins.push_back(std::move(*pin));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+AtsAnalysis AnalyzeAts(const appmodel::PackageFiles& ipa) {
+  AtsAnalysis out;
+
+  for (const auto& [path, content] : ipa.files()) {
+    const bool is_info = util::EndsWith(path, "/Info.plist");
+    const bool is_entitlements = util::EndsWith(path, ".entitlements");
+    if (!is_info && !is_entitlements) continue;
+
+    std::unique_ptr<XmlNode> doc;
+    try {
+      doc = ParseXml(util::ToString(content));
+    } catch (const util::ParseError&) {
+      continue;
+    }
+    const XmlNode* dict = PlistRootDict(*doc);
+    if (dict == nullptr) continue;
+
+    if (is_info) {
+      out.has_info_plist = true;
+      if (const XmlNode* bid = DictValue(*dict, "CFBundleIdentifier")) {
+        out.bundle_id = bid->TrimmedText();
+      }
+      const XmlNode* ats = DictValue(*dict, "NSAppTransportSecurity");
+      if (ats != nullptr && ats->name == "dict") {
+        const XmlNode* pinned = DictValue(*ats, "NSPinnedDomains");
+        if (pinned != nullptr && pinned->name == "dict") {
+          for (std::size_t i = 0; i + 1 < pinned->children.size(); i += 2) {
+            const XmlNode& k = *pinned->children[i];
+            const XmlNode& v = *pinned->children[i + 1];
+            if (k.name != "key" || v.name != "dict") continue;
+            AtsPinnedDomainResult entry = ParsePinnedDomain(k.TrimmedText(), v);
+            if (!entry.pins.empty()) out.pinned_domains.push_back(std::move(entry));
+          }
+        }
+      }
+    } else {
+      const XmlNode* assoc =
+          DictValue(*dict, "com.apple.developer.associated-domains");
+      if (assoc != nullptr && assoc->name == "array") {
+        for (const auto& entry : assoc->children) {
+          if (entry->name != "string") continue;
+          std::string value = entry->TrimmedText();
+          // "applinks:example.com" → "example.com".
+          const std::size_t colon = value.find(':');
+          if (colon != std::string::npos) value = value.substr(colon + 1);
+          out.associated_domains.push_back(std::move(value));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pinscope::staticanalysis

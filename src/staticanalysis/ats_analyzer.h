@@ -1,0 +1,38 @@
+// iOS App Transport Security analysis.
+//
+// Parses Info.plist for NSAppTransportSecurity → NSPinnedDomains (the iOS 14+
+// declarative pinning mechanism, §4.1.1) and the entitlements plist for
+// associated domains (whose OS-initiated verification traffic §4.5 must
+// exclude from pinning attribution).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "appmodel/package.h"
+#include "tls/pinning.h"
+
+namespace pinscope::staticanalysis {
+
+/// One NSPinnedDomains entry.
+struct AtsPinnedDomainResult {
+  std::string domain;
+  bool include_subdomains = false;
+  std::vector<tls::Pin> pins;  ///< Parsed SPKI-SHA256 identities.
+};
+
+/// Result of ATS / entitlements analysis for one (decrypted) IPA tree.
+struct AtsAnalysis {
+  bool has_info_plist = false;
+  std::string bundle_id;
+  std::vector<AtsPinnedDomainResult> pinned_domains;
+  std::vector<std::string> associated_domains;  ///< From entitlements.
+
+  /// True if NSPinnedDomains declares any well-formed pin.
+  [[nodiscard]] bool PinsViaAts() const { return !pinned_domains.empty(); }
+};
+
+/// Analyzes an IPA tree (Info.plist may live under any Payload/<App>.app/).
+[[nodiscard]] AtsAnalysis AnalyzeAts(const appmodel::PackageFiles& ipa);
+
+}  // namespace pinscope::staticanalysis

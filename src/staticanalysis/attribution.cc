@@ -1,0 +1,99 @@
+#include "staticanalysis/attribution.h"
+
+#include <algorithm>
+#include <set>
+
+#include "appmodel/sdk_catalog.h"
+#include "util/strings.h"
+
+namespace pinscope::staticanalysis {
+
+std::string NormalizeEvidencePath(std::string_view path,
+                                  appmodel::Platform platform) {
+  if (platform == appmodel::Platform::kAndroid) {
+    if (util::StartsWith(path, "smali/")) {
+      const std::string_view rest = path.substr(6);
+      // Prefer an exact catalog package prefix.
+      for (const appmodel::SdkInfo& sdk : appmodel::SdkCatalog()) {
+        if (!sdk.android_code_path.empty() &&
+            util::StartsWith(rest, sdk.android_code_path)) {
+          return sdk.android_code_path;
+        }
+      }
+      // Fallback: the first two package components.
+      const std::vector<std::string> parts = util::Split(rest, '/');
+      if (parts.size() >= 2) return parts[0] + "/" + parts[1];
+      return std::string(rest);
+    }
+    if (util::StartsWith(path, "lib/")) {
+      const std::size_t last = path.rfind('/');
+      return std::string(path.substr(last + 1));  // libname.so
+    }
+    return "";  // assets/, res/raw/, generic config files
+  }
+
+  // iOS: framework binaries and resources.
+  const std::size_t fw = path.find("/Frameworks/");
+  if (fw != std::string_view::npos) {
+    const std::string_view rest = path.substr(fw + 12);
+    const std::size_t end = rest.find(".framework");
+    if (end != std::string_view::npos) {
+      return "Frameworks/" + std::string(rest.substr(0, end)) + ".framework";
+    }
+  }
+  return "";  // main binary, bundle-root certificates: generic
+}
+
+namespace {
+
+std::optional<std::string> CatalogNameForPathKey(const std::string& key,
+                                                 appmodel::Platform platform) {
+  for (const appmodel::SdkInfo& sdk : appmodel::SdkCatalog()) {
+    if (platform == appmodel::Platform::kAndroid) {
+      if (sdk.android_code_path == key) return sdk.name;
+    } else {
+      if ("Frameworks/" + sdk.ios_framework + ".framework" == key) return sdk.name;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<FrameworkAttribution> AttributeFrameworks(
+    const std::vector<AppEvidence>& evidence, appmodel::Platform platform,
+    std::size_t min_apps) {
+  // Distinct apps per normalized path key.
+  std::map<std::string, std::set<std::string>> apps_by_key;
+  for (const AppEvidence& app : evidence) {
+    if (app.platform != platform) continue;
+    for (const std::string& path : app.evidence_paths) {
+      const std::string key = NormalizeEvidencePath(path, platform);
+      if (!key.empty()) apps_by_key[key].insert(app.app_id);
+    }
+  }
+
+  std::vector<FrameworkAttribution> out;
+  for (const auto& [key, apps] : apps_by_key) {
+    if (apps.size() <= min_apps) continue;
+    FrameworkAttribution fa;
+    fa.path_key = key;
+    fa.app_count = apps.size();
+    if (const auto name = CatalogNameForPathKey(key, platform)) {
+      fa.framework = *name;
+      fa.matched_catalog = true;
+    } else {
+      fa.framework = key;
+    }
+    out.push_back(std::move(fa));
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const FrameworkAttribution& a, const FrameworkAttribution& b) {
+              if (a.app_count != b.app_count) return a.app_count > b.app_count;
+              return a.framework < b.framework;
+            });
+  return out;
+}
+
+}  // namespace pinscope::staticanalysis

@@ -1,0 +1,49 @@
+// Third-party code-path attribution (§4.1.4, Table 7).
+//
+// The scanner records the file path where every certificate/pin was found.
+// Paths that recur across many apps (>5 in the paper) identify third-party
+// frameworks: "code in the sensibill folder reflects the billing API of the
+// Sensibill SDK". We normalize paths to their framework directory, count
+// distinct apps per directory, and map directories to the SDK catalog.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "appmodel/platform.h"
+#include "staticanalysis/scanner.h"
+
+namespace pinscope::staticanalysis {
+
+/// Evidence collected from one app for attribution.
+struct AppEvidence {
+  std::string app_id;
+  appmodel::Platform platform = appmodel::Platform::kAndroid;
+  std::vector<std::string> evidence_paths;  ///< Paths holding certs/pins.
+};
+
+/// One attributed framework.
+struct FrameworkAttribution {
+  std::string framework;         ///< SDK display name (or raw path key).
+  std::string path_key;          ///< Normalized code path shared across apps.
+  std::size_t app_count = 0;     ///< Distinct apps carrying evidence there.
+  bool matched_catalog = false;  ///< Resolved to a known SDK.
+};
+
+/// Normalizes an evidence path to a framework-identifying key:
+/// smali trees → their package directory; iOS frameworks → framework name;
+/// everything else → the containing directory. Generic names (assets,
+/// res/raw, config files) normalize to "" and are skipped.
+[[nodiscard]] std::string NormalizeEvidencePath(std::string_view path,
+                                                appmodel::Platform platform);
+
+/// Aggregates evidence across apps and returns frameworks seen in more than
+/// `min_apps` apps, ordered by descending app count (Table 7's ranking).
+[[nodiscard]] std::vector<FrameworkAttribution> AttributeFrameworks(
+    const std::vector<AppEvidence>& evidence, appmodel::Platform platform,
+    std::size_t min_apps = 5);
+
+}  // namespace pinscope::staticanalysis

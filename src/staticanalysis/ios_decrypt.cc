@@ -1,0 +1,35 @@
+#include "staticanalysis/ios_decrypt.h"
+
+#include "appmodel/ios_package.h"
+
+namespace pinscope::staticanalysis {
+
+DecryptResult DecryptIpa(const appmodel::PackageFiles& ipa,
+                         std::string_view bundle_id,
+                         const DecryptionDevice& device, DecryptTool tool) {
+  DecryptResult out;
+  if (!device.jailbroken) {
+    out.error = "decryption requires a jailbroken device";
+    return out;
+  }
+
+  std::size_t encrypted_files = 0;
+  for (const auto& [path, content] : ipa.files()) {
+    if (appmodel::IsFairPlayEncrypted(content)) {
+      ++encrypted_files;
+      out.files.Add(path, appmodel::FairPlayDecrypt(content, bundle_id));
+    } else {
+      out.files.Add(path, content);
+    }
+  }
+
+  out.ok = true;
+  out.launched_app = tool == DecryptTool::kFridaIosDump;
+  // Cost model: Flexdecrypt ~2s + per-file work; frida-ios-dump adds an app
+  // launch (~8s) before dumping.
+  out.cost_ms = 2'000 + static_cast<std::int64_t>(encrypted_files) * 500;
+  if (out.launched_app) out.cost_ms += 8'000;
+  return out;
+}
+
+}  // namespace pinscope::staticanalysis

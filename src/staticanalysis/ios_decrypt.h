@@ -1,0 +1,45 @@
+// iOS app decryption (Flexdecrypt / frida-ios-dump substitutes, §4.1.2).
+//
+// App Store binaries are FairPlay-encrypted; static analysis must first
+// obtain decrypted payloads on a jailbroken device. Two tools are modeled
+// with their real trade-off: Flexdecrypt decrypts in place without launching
+// the app (fast), frida-ios-dump launches the app and dumps decrypted memory
+// (slower, needs a spawnable app). Both need a jailbroken device.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "appmodel/package.h"
+
+namespace pinscope::staticanalysis {
+
+/// A handle to a (possibly jailbroken) test device for decryption purposes.
+struct DecryptionDevice {
+  bool jailbroken = true;        ///< checkra1n'd in the paper's setup.
+  std::string name = "iphone-x";
+};
+
+/// Which decryption tool to use.
+enum class DecryptTool { kFlexdecrypt, kFridaIosDump };
+
+/// Result of a decryption attempt.
+struct DecryptResult {
+  bool ok = false;
+  std::string error;             ///< Set when !ok.
+  appmodel::PackageFiles files;  ///< Tree with the main binary decrypted.
+  /// Simulated wall-clock cost in milliseconds (Flexdecrypt is faster; the
+  /// paper chose it for exactly that reason).
+  std::int64_t cost_ms = 0;
+  bool launched_app = false;     ///< frida-ios-dump must launch the app.
+};
+
+/// Decrypts an IPA tree for the bundle `bundle_id` on `device`. Fails when
+/// the device is not jailbroken. Files that are not FairPlay-encrypted are
+/// passed through unchanged.
+[[nodiscard]] DecryptResult DecryptIpa(const appmodel::PackageFiles& ipa,
+                                       std::string_view bundle_id,
+                                       const DecryptionDevice& device,
+                                       DecryptTool tool = DecryptTool::kFlexdecrypt);
+
+}  // namespace pinscope::staticanalysis

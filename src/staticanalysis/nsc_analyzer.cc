@@ -1,0 +1,162 @@
+#include "staticanalysis/nsc_analyzer.h"
+
+#include "staticanalysis/xml.h"
+#include "util/base64.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace pinscope::staticanalysis {
+
+bool NscAnalysis::PinsViaNsc() const {
+  for (const NscDomainResult& d : domains) {
+    if (!d.parsed_pins.empty()) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> NscAnalysis::MisconfiguredDomains() const {
+  std::vector<std::string> out;
+  for (const NscDomainResult& d : domains) {
+    if (d.override_pins && !d.pin_strings.empty()) out.push_back(d.domain);
+  }
+  return out;
+}
+
+std::vector<std::string> NscAnalysis::LintFindings() const {
+  std::vector<std::string> findings;
+  for (const std::string& domain : MisconfiguredDomains()) {
+    findings.push_back("pin-set for " + domain +
+                       " is neutralized by overridePins=\"true\"");
+  }
+  if (has_debug_overrides && debug_trusts_user_anchors) {
+    findings.push_back(
+        "debug-overrides trust user-installed CAs (MITM-able if the release "
+        "build is debuggable)");
+  }
+  if (base_cleartext_permitted == true) {
+    findings.push_back("base-config permits cleartext traffic globally");
+  }
+  for (const NscDomainResult& d : domains) {
+    if (d.cleartext_permitted == true) {
+      findings.push_back("cleartext traffic permitted for " + d.domain);
+    }
+    if (!d.parsed_pins.empty() && d.parsed_pins.size() < 2) {
+      findings.push_back("pin-set for " + d.domain +
+                         " has no backup pin (rotation will break the app)");
+    }
+  }
+  if (base_trusts_user_anchors) {
+    findings.push_back("base-config trusts user-installed CAs");
+  }
+  return findings;
+}
+
+namespace {
+
+std::optional<tls::Pin> ParseNscPin(const std::string& digest_attr,
+                                    const std::string& body) {
+  std::string prefix;
+  if (digest_attr == "SHA-256") {
+    prefix = "sha256/";
+  } else if (digest_attr == "SHA-1") {
+    prefix = "sha1/";
+  } else {
+    return std::nullopt;
+  }
+  return tls::Pin::FromPinString(prefix + std::string(util::Trim(body)));
+}
+
+NscDomainResult ParseDomainConfig(const XmlNode& cfg) {
+  NscDomainResult out;
+  if (const XmlNode* domain = cfg.Child("domain")) {
+    out.domain = domain->TrimmedText();
+    out.include_subdomains = domain->Attr("includeSubdomains") == "true";
+  }
+  if (const XmlNode* pin_set = cfg.Child("pin-set")) {
+    if (const auto exp = pin_set->Attr("expiration")) out.pin_expiration = *exp;
+    for (const XmlNode* pin : pin_set->Children("pin")) {
+      const std::string digest = pin->Attr("digest").value_or("");
+      const std::string body = pin->TrimmedText();
+      out.pin_strings.push_back(digest + ":" + body);
+      if (auto parsed = ParseNscPin(digest, body)) {
+        out.parsed_pins.push_back(std::move(*parsed));
+      }
+    }
+  }
+  if (const XmlNode* anchors = cfg.Child("trust-anchors")) {
+    for (const XmlNode* certs : anchors->Children("certificates")) {
+      if (certs->Attr("overridePins") == "true") out.override_pins = true;
+    }
+  }
+  if (const auto cleartext = cfg.Attr("cleartextTrafficPermitted")) {
+    out.cleartext_permitted = *cleartext == "true";
+  }
+  return out;
+}
+
+bool TrustsUserAnchors(const XmlNode& element) {
+  const XmlNode* anchors = element.Child("trust-anchors");
+  if (anchors == nullptr) return false;
+  for (const XmlNode* certs : anchors->Children("certificates")) {
+    if (certs->Attr("src") == "user") return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+NscAnalysis AnalyzeNsc(const appmodel::PackageFiles& apk) {
+  NscAnalysis out;
+
+  const util::Bytes* manifest_bytes = apk.Find("AndroidManifest.xml");
+  if (manifest_bytes == nullptr) return out;
+  out.has_manifest = true;
+
+  std::unique_ptr<XmlNode> manifest;
+  try {
+    manifest = ParseXml(util::ToString(*manifest_bytes));
+  } catch (const util::ParseError&) {
+    return out;
+  }
+
+  const XmlNode* application = manifest->Child("application");
+  if (application == nullptr) return out;
+  const auto nsc_ref = application->Attr("android:networkSecurityConfig");
+  if (!nsc_ref.has_value()) return out;
+  out.uses_nsc = true;
+
+  // "@xml/network_security_config" → res/xml/network_security_config.xml.
+  std::string path(*nsc_ref);
+  if (util::StartsWith(path, "@xml/")) {
+    path = "res/xml/" + path.substr(5) + ".xml";
+  }
+  const util::Bytes* nsc_bytes = apk.Find(path);
+  if (nsc_bytes == nullptr) return out;
+
+  std::unique_ptr<XmlNode> nsc;
+  try {
+    nsc = ParseXml(util::ToString(*nsc_bytes));
+  } catch (const util::ParseError&) {
+    return out;
+  }
+  if (nsc->name != "network-security-config") return out;
+  out.nsc_file_found = true;
+
+  for (const XmlNode* cfg : nsc->Children("domain-config")) {
+    out.domains.push_back(ParseDomainConfig(*cfg));
+  }
+  if (const XmlNode* base = nsc->Child("base-config")) {
+    out.has_base_config = true;
+    if (const auto cleartext = base->Attr("cleartextTrafficPermitted")) {
+      out.base_cleartext_permitted = *cleartext == "true";
+    }
+    out.base_trusts_user_anchors = TrustsUserAnchors(*base);
+  }
+  if (const XmlNode* debug = nsc->Child("debug-overrides")) {
+    out.has_debug_overrides = true;
+    out.debug_trusts_user_anchors = TrustsUserAnchors(*debug);
+  }
+  return out;
+}
+
+}  // namespace pinscope::staticanalysis

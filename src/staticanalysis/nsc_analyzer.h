@@ -1,0 +1,62 @@
+// Android Network Security Configuration analysis (§4.1.1).
+//
+// The prior-work detection technique (Possemato et al., Oltrogge et al.):
+// read AndroidManifest.xml, follow the android:networkSecurityConfig
+// reference, and parse the NSC's <pin-set> entries. Also flags the
+// misconfiguration Possemato et al. observed — a pin-set combined with
+// trust-anchors carrying overridePins="true", which neutralizes the pins.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "appmodel/package.h"
+#include "tls/pinning.h"
+
+namespace pinscope::staticanalysis {
+
+/// One parsed <domain-config>.
+struct NscDomainResult {
+  std::string domain;
+  bool include_subdomains = false;
+  std::vector<std::string> pin_strings;         ///< Raw pin texts.
+  std::vector<tls::Pin> parsed_pins;            ///< Well-formed subset.
+  std::string pin_expiration;                   ///< Raw expiration attribute.
+  bool override_pins = false;                   ///< Misconfiguration flag.
+  /// cleartextTrafficPermitted attribute (unset inherits the base config).
+  std::optional<bool> cleartext_permitted;
+};
+
+/// Result of NSC analysis for one APK.
+struct NscAnalysis {
+  bool has_manifest = false;
+  bool uses_nsc = false;           ///< Manifest references an NSC file.
+  bool nsc_file_found = false;     ///< The referenced file exists and parsed.
+  std::vector<NscDomainResult> domains;
+
+  /// <base-config> findings.
+  bool has_base_config = false;
+  std::optional<bool> base_cleartext_permitted;
+  bool base_trusts_user_anchors = false;
+
+  /// <debug-overrides> findings.
+  bool has_debug_overrides = false;
+  bool debug_trusts_user_anchors = false;
+
+  /// True if any domain-config carries well-formed pins — the prior-work
+  /// static pinning signal ("Configuration Files" column of Table 3).
+  [[nodiscard]] bool PinsViaNsc() const;
+
+  /// Domains whose pins are neutralized by overridePins="true".
+  [[nodiscard]] std::vector<std::string> MisconfiguredDomains() const;
+
+  /// Lint findings over the whole document (Possemato-et-al.-style audit):
+  /// neutralized pins, user-trusting debug overrides, cleartext enabled.
+  [[nodiscard]] std::vector<std::string> LintFindings() const;
+};
+
+/// Analyzes an APK tree.
+[[nodiscard]] NscAnalysis AnalyzeNsc(const appmodel::PackageFiles& apk);
+
+}  // namespace pinscope::staticanalysis

@@ -1,0 +1,335 @@
+#include "staticanalysis/regex.h"
+
+#include <functional>
+#include <limits>
+
+#include "util/error.h"
+
+namespace pinscope::staticanalysis {
+
+// --- AST ---------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kUnbounded = std::numeric_limits<std::size_t>::max();
+
+enum class AtomKind { kLiteral, kAny, kClass, kGroup };
+
+}  // namespace
+
+struct Regex::Node {
+  // A Node is a group: a list of alternatives, each a sequence of atoms.
+  struct Atom {
+    AtomKind kind = AtomKind::kLiteral;
+    char literal = 0;
+    std::bitset<256> cls;  // for kClass
+    std::unique_ptr<Node> group;
+    std::size_t min = 1;
+    std::size_t max = 1;
+  };
+  using Sequence = std::vector<Atom>;
+  std::vector<Sequence> alternatives;
+};
+
+// --- Parser ------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view p) : p_(p) {}
+
+  std::unique_ptr<Regex::Node> Parse() {
+    auto node = ParseGroupBody();
+    if (pos_ != p_.size()) Fail("unexpected ')'");
+    return node;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& why) const {
+    throw util::ParseError("regex '" + std::string(p_) + "': " + why);
+  }
+
+  bool AtEnd() const { return pos_ >= p_.size(); }
+  char Peek() const { return p_[pos_]; }
+  char Next() {
+    if (AtEnd()) Fail("unexpected end of pattern");
+    return p_[pos_++];
+  }
+
+  std::unique_ptr<Regex::Node> ParseGroupBody() {
+    auto node = std::make_unique<Regex::Node>();
+    node->alternatives.emplace_back();
+    while (!AtEnd() && Peek() != ')') {
+      if (Peek() == '|') {
+        ++pos_;
+        node->alternatives.emplace_back();
+        continue;
+      }
+      node->alternatives.back().push_back(ParseAtom());
+    }
+    return node;
+  }
+
+  Regex::Node::Atom ParseAtom() {
+    Regex::Node::Atom atom;
+    const char c = Next();
+    switch (c) {
+      case '(': {
+        atom.kind = AtomKind::kGroup;
+        atom.group = ParseGroupBody();
+        if (AtEnd() || Next() != ')') Fail("missing ')'");
+        break;
+      }
+      case '[':
+        atom.kind = AtomKind::kClass;
+        atom.cls = ParseClass();
+        break;
+      case '.':
+        atom.kind = AtomKind::kAny;
+        break;
+      case '\\':
+        atom.kind = AtomKind::kLiteral;
+        atom.literal = Next();
+        break;
+      case '*':
+      case '+':
+      case '?':
+      case '{':
+        Fail("quantifier with nothing to repeat");
+      default:
+        atom.kind = AtomKind::kLiteral;
+        atom.literal = c;
+    }
+    ParseQuantifier(atom);
+    return atom;
+  }
+
+  std::bitset<256> ParseClass() {
+    std::bitset<256> cls;
+    bool negated = false;
+    if (!AtEnd() && Peek() == '^') {
+      negated = true;
+      ++pos_;
+    }
+    bool first = true;
+    while (true) {
+      if (AtEnd()) Fail("missing ']'");
+      char c = Next();
+      if (c == ']' && !first) break;
+      first = false;
+      if (c == '\\') c = Next();
+      if (!AtEnd() && Peek() == '-' && pos_ + 1 < p_.size() && p_[pos_ + 1] != ']') {
+        ++pos_;  // consume '-'
+        char hi = Next();
+        if (hi == '\\') hi = Next();
+        if (static_cast<unsigned char>(hi) < static_cast<unsigned char>(c)) {
+          Fail("inverted class range");
+        }
+        for (int v = static_cast<unsigned char>(c); v <= static_cast<unsigned char>(hi);
+             ++v) {
+          cls.set(static_cast<std::size_t>(v));
+        }
+      } else {
+        cls.set(static_cast<unsigned char>(c));
+      }
+    }
+    if (negated) cls.flip();
+    return cls;
+  }
+
+  void ParseQuantifier(Regex::Node::Atom& atom) {
+    if (AtEnd()) return;
+    switch (Peek()) {
+      case '*':
+        ++pos_;
+        atom.min = 0;
+        atom.max = kUnbounded;
+        return;
+      case '+':
+        ++pos_;
+        atom.min = 1;
+        atom.max = kUnbounded;
+        return;
+      case '?':
+        ++pos_;
+        atom.min = 0;
+        atom.max = 1;
+        return;
+      case '{': {
+        ++pos_;
+        atom.min = ParseNumber();
+        if (Peek() == ',') {
+          ++pos_;
+          atom.max = Peek() == '}' ? kUnbounded : ParseNumber();
+        } else {
+          atom.max = atom.min;
+        }
+        if (Next() != '}') Fail("missing '}'");
+        if (atom.max < atom.min) Fail("quantifier max < min");
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  std::size_t ParseNumber() {
+    if (AtEnd() || Peek() < '0' || Peek() > '9') Fail("expected number");
+    std::size_t n = 0;
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+      n = n * 10 + static_cast<std::size_t>(Next() - '0');
+      if (n > 100'000) Fail("quantifier too large");
+    }
+    return n;
+  }
+
+  std::string_view p_;
+  std::size_t pos_ = 0;
+};
+
+// --- Matcher -----------------------------------------------------------
+
+// Backtracking matcher. The continuation is invoked with the subject position
+// after a successful partial match; returning true commits the parse. The
+// continuation is type-erased: the AST nests at run time, so a templated
+// continuation would instantiate without bound.
+class Matcher {
+ public:
+  using Cont = std::function<bool(std::size_t)>;
+
+  explicit Matcher(std::string_view text) : text_(text) {}
+
+  // Longest match of `node` starting at `pos`; npos if none.
+  std::size_t LongestMatch(const Regex::Node& node, std::size_t pos) {
+    best_ = std::string_view::npos;
+    MatchNode(node, pos, [this](std::size_t end) {
+      if (best_ == std::string_view::npos || end > best_) best_ = end;
+      return false;  // keep exploring for a longer match
+    });
+    return best_;
+  }
+
+ private:
+  bool MatchNode(const Regex::Node& node, std::size_t pos, const Cont& cont) {
+    for (const auto& alt : node.alternatives) {
+      if (MatchSeq(alt, 0, pos, cont)) return true;
+    }
+    return false;
+  }
+
+  bool MatchSeq(const Regex::Node::Sequence& seq, std::size_t idx, std::size_t pos,
+                const Cont& cont) {
+    if (idx == seq.size()) return cont(pos);
+    return MatchAtomRep(seq, idx, seq[idx], 0, pos, cont);
+  }
+
+  // Matches `count` occurrences so far of `atom`, then either more (greedy)
+  // or the rest of the sequence.
+  bool MatchAtomRep(const Regex::Node::Sequence& seq, std::size_t idx,
+                    const Regex::Node::Atom& atom, std::size_t count,
+                    std::size_t pos, const Cont& cont) {
+    // Greedy: try one more repetition first (if allowed).
+    if (count < atom.max) {
+      const bool matched = MatchSingle(atom, pos, [&](std::size_t next) {
+        return MatchAtomRep(seq, idx, atom, count + 1, next, cont);
+      });
+      if (matched) return true;
+    }
+    if (count >= atom.min) {
+      return MatchSeq(seq, idx + 1, pos, cont);
+    }
+    return false;
+  }
+
+  bool MatchSingle(const Regex::Node::Atom& atom, std::size_t pos, const Cont& cont) {
+    switch (atom.kind) {
+      case AtomKind::kLiteral:
+        if (pos < text_.size() && text_[pos] == atom.literal) return cont(pos + 1);
+        return false;
+      case AtomKind::kAny:
+        if (pos < text_.size()) return cont(pos + 1);
+        return false;
+      case AtomKind::kClass:
+        if (pos < text_.size() &&
+            atom.cls.test(static_cast<unsigned char>(text_[pos]))) {
+          return cont(pos + 1);
+        }
+        return false;
+      case AtomKind::kGroup:
+        return MatchNode(*atom.group, pos, cont);
+    }
+    return false;
+  }
+
+  std::string_view text_;
+  std::size_t best_ = std::string_view::npos;
+};
+
+}  // namespace
+
+namespace {
+
+// Mandatory literal prefix of a pattern: the leading run of single-shot
+// literal atoms in a single-alternative root.
+std::string ComputePrefix(const Regex::Node& root) {
+  std::string prefix;
+  if (root.alternatives.size() != 1) return prefix;
+  for (const auto& atom : root.alternatives.front()) {
+    if (atom.kind != AtomKind::kLiteral || atom.min != 1 || atom.max != 1) break;
+    prefix.push_back(atom.literal);
+  }
+  return prefix;
+}
+
+}  // namespace
+
+// --- Public API ---------------------------------------------------------
+
+Regex::Regex(std::string_view pattern)
+    : pattern_(pattern), root_(Parser(pattern).Parse()), prefix_(ComputePrefix(*root_)) {}
+
+Regex::Regex(Regex&&) noexcept = default;
+Regex& Regex::operator=(Regex&&) noexcept = default;
+Regex::~Regex() = default;
+
+bool Regex::MatchAt(std::string_view text, std::size_t pos,
+                    std::size_t* match_len) const {
+  Matcher m(text);
+  const std::size_t end = m.LongestMatch(*root_, pos);
+  if (end == std::string_view::npos) return false;
+  if (match_len != nullptr) *match_len = end - pos;
+  return true;
+}
+
+bool Regex::Search(std::string_view text) const {
+  for (std::size_t pos = 0; pos <= text.size(); ++pos) {
+    if (!prefix_.empty()) {
+      pos = text.find(prefix_, pos);
+      if (pos == std::string_view::npos) return false;
+    }
+    if (MatchAt(text, pos)) return true;
+  }
+  return false;
+}
+
+std::vector<RegexMatch> Regex::FindAll(std::string_view text) const {
+  std::vector<RegexMatch> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    if (!prefix_.empty()) {
+      pos = text.find(prefix_, pos);
+      if (pos == std::string_view::npos) return out;
+    }
+    std::size_t len = 0;
+    if (MatchAt(text, pos, &len)) {
+      out.push_back({pos, std::string(text.substr(pos, len))});
+      pos += len == 0 ? 1 : len;
+    } else {
+      ++pos;
+    }
+  }
+  return out;
+}
+
+}  // namespace pinscope::staticanalysis

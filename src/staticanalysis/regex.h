@@ -1,0 +1,63 @@
+// A small from-scratch regular-expression engine.
+//
+// Supports exactly the constructs the paper's search patterns need:
+// literals, '.', character classes with ranges and negation, groups with
+// alternation, and the quantifiers * + ? {m} {m,} {m,n} (greedy, with
+// backtracking). No anchors, no captures, no std::regex dependency — the
+// engine is part of the reproduced tooling (the ripgrep substitute).
+#pragma once
+
+#include <bitset>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pinscope::staticanalysis {
+
+/// One match found in a subject string.
+struct RegexMatch {
+  std::size_t position = 0;  ///< Byte offset of the match start.
+  std::string text;          ///< Matched text.
+};
+
+/// A compiled pattern. Compile once, match many times.
+class Regex {
+ public:
+  /// Compiles `pattern`. Throws util::ParseError on invalid syntax.
+  explicit Regex(std::string_view pattern);
+
+  Regex(Regex&&) noexcept;
+  Regex& operator=(Regex&&) noexcept;
+  ~Regex();
+
+  /// The source pattern.
+  [[nodiscard]] const std::string& pattern() const { return pattern_; }
+
+  /// True if the pattern matches starting exactly at `text[pos]`.
+  /// `match_len` (optional) receives the longest match length.
+  [[nodiscard]] bool MatchAt(std::string_view text, std::size_t pos,
+                             std::size_t* match_len = nullptr) const;
+
+  /// True if the pattern matches anywhere in `text`.
+  [[nodiscard]] bool Search(std::string_view text) const;
+
+  /// All non-overlapping matches, leftmost-greedy.
+  [[nodiscard]] std::vector<RegexMatch> FindAll(std::string_view text) const;
+
+  /// Implementation AST node (public so the out-of-line parser/matcher can
+  /// reach it; not part of the supported API surface).
+  struct Node;
+
+  /// The literal prefix every match must start with ("" when the pattern has
+  /// no mandatory literal head). Search() and FindAll() use it to skip
+  /// non-candidate positions — essential for corpus-scale scanning.
+  [[nodiscard]] const std::string& literal_prefix() const { return prefix_; }
+
+ private:
+  std::string pattern_;
+  std::unique_ptr<Node> root_;
+  std::string prefix_;
+};
+
+}  // namespace pinscope::staticanalysis

@@ -1,0 +1,114 @@
+#include "staticanalysis/scanner.h"
+
+#include "util/strings.h"
+#include "x509/pem.h"
+
+namespace pinscope::staticanalysis {
+
+bool ScanResult::HasPinningEvidence() const {
+  if (!certificates.empty()) return true;
+  for (const FoundPin& pin : pins) {
+    if (pin.parsed.has_value()) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ExtractStrings(const util::Bytes& data,
+                                        std::size_t min_len) {
+  std::vector<std::string> out;
+  std::string current;
+  for (std::uint8_t b : data) {
+    if (b >= 0x20 && b <= 0x7e) {
+      current.push_back(static_cast<char>(b));
+    } else {
+      if (current.size() >= min_len) out.push_back(current);
+      current.clear();
+    }
+  }
+  if (current.size() >= min_len) out.push_back(current);
+  return out;
+}
+
+const std::vector<std::string>& CertFileSuffixes() {
+  static const std::vector<std::string> suffixes = {".der", ".pem", ".crt",
+                                                    ".cert", ".cer"};
+  return suffixes;
+}
+
+namespace {
+
+// Heuristic: treat content as binary if it contains NUL or a significant
+// fraction of non-printable bytes in its head.
+bool LooksBinary(const util::Bytes& data) {
+  const std::size_t probe = std::min<std::size_t>(data.size(), 512);
+  std::size_t nonprint = 0;
+  for (std::size_t i = 0; i < probe; ++i) {
+    if (data[i] == 0) return true;
+    if (data[i] < 0x09 || (data[i] > 0x0d && data[i] < 0x20) || data[i] > 0x7e) {
+      ++nonprint;
+    }
+  }
+  return probe > 0 && nonprint * 10 > probe;  // >10% non-printable
+}
+
+}  // namespace
+
+Scanner::Scanner() : pin_pattern_("sha(1|256)/[a-zA-Z0-9+/=]{28,64}") {}
+
+void Scanner::ScanContent(const std::string& path, const std::string& text,
+                          ScanResult& out) const {
+  // PEM blobs anywhere in the content.
+  for (x509::Certificate& cert : x509::PemDecodeAll(text)) {
+    out.certificates.push_back({path, std::move(cert), true});
+  }
+  // Pin hashes by regex.
+  for (const RegexMatch& m : pin_pattern_.FindAll(text)) {
+    FoundPin pin;
+    pin.path = path;
+    pin.pin_string = m.text;
+    pin.parsed = tls::Pin::FromPinString(m.text);
+    out.pins.push_back(std::move(pin));
+  }
+}
+
+ScanResult Scanner::Scan(const appmodel::PackageFiles& files) const {
+  ScanResult out;
+  for (const auto& [path, content] : files.files()) {
+    ++out.files_scanned;
+    out.bytes_scanned += content.size();
+
+    // (a) Certificate files by extension.
+    const std::string lower = util::ToLower(path);
+    bool is_cert_file = false;
+    for (const std::string& suffix : CertFileSuffixes()) {
+      if (util::EndsWith(lower, suffix)) {
+        is_cert_file = true;
+        break;
+      }
+    }
+    if (is_cert_file) {
+      const std::string text = util::ToString(content);
+      if (auto cert = x509::PemDecode(text)) {
+        out.certificates.push_back({path, std::move(*cert), true});
+        continue;
+      }
+      if (auto cert = x509::Certificate::ParseDer(content)) {
+        out.certificates.push_back({path, std::move(*cert), false});
+        continue;
+      }
+      // Unparseable cert file: fall through to content scanning.
+    }
+
+    // (b)+(c) Content scanning; binaries reduce to printable strings first.
+    if (LooksBinary(content)) {
+      for (const std::string& s : ExtractStrings(content)) {
+        ScanContent(path, s, out);
+      }
+    } else {
+      ScanContent(path, util::ToString(content), out);
+    }
+  }
+  return out;
+}
+
+}  // namespace pinscope::staticanalysis

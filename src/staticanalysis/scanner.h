@@ -1,0 +1,74 @@
+// Package scanner (§4.1.2): the ripgrep + radare2 substitute.
+//
+// Walks an app's file tree looking for (a) certificate files by extension,
+// (b) PEM blobs by their BEGIN delimiter, and (c) SPKI pin hashes via the
+// paper's regex sha(1|256)/[a-zA-Z0-9+/=]{28,64}. Binary files (native libs,
+// executables) are first reduced to their printable string runs, like
+// radare2's string extraction.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "appmodel/package.h"
+#include "staticanalysis/regex.h"
+#include "tls/pinning.h"
+#include "x509/certificate.h"
+
+namespace pinscope::staticanalysis {
+
+/// A certificate discovered in a package.
+struct FoundCertificate {
+  std::string path;          ///< File where it was found.
+  x509::Certificate cert;
+  bool from_pem = false;     ///< Found via PEM armor (vs raw DER file).
+};
+
+/// A pin string discovered in a package.
+struct FoundPin {
+  std::string path;          ///< File where it was found.
+  std::string pin_string;    ///< Raw "sha256/..." text as matched.
+  std::optional<tls::Pin> parsed;  ///< Decoded pin (nullopt if malformed).
+};
+
+/// Everything the scanner extracted from one package.
+struct ScanResult {
+  std::vector<FoundCertificate> certificates;
+  std::vector<FoundPin> pins;
+  std::size_t files_scanned = 0;
+  std::size_t bytes_scanned = 0;
+
+  /// True if any certificate or well-formed pin was found — the paper's
+  /// "embedded certificates" static-detection signal.
+  [[nodiscard]] bool HasPinningEvidence() const;
+};
+
+/// Extracts printable ASCII runs of at least `min_len` characters from a
+/// binary blob (radare2-equivalent string extraction).
+[[nodiscard]] std::vector<std::string> ExtractStrings(const util::Bytes& data,
+                                                      std::size_t min_len = 6);
+
+/// The certificate-file extensions §4.1.2 searches for.
+[[nodiscard]] const std::vector<std::string>& CertFileSuffixes();
+
+/// Package scanner. Construct once; the pin regex is compiled at
+/// construction.
+class Scanner {
+ public:
+  Scanner();
+
+  /// Scans a (decoded, decrypted) package tree.
+  [[nodiscard]] ScanResult Scan(const appmodel::PackageFiles& files) const;
+
+  /// The compiled pin-hash pattern (exposed for tests and benchmarks).
+  [[nodiscard]] const Regex& pin_pattern() const { return pin_pattern_; }
+
+ private:
+  void ScanContent(const std::string& path, const std::string& text,
+                   ScanResult& out) const;
+
+  Regex pin_pattern_;
+};
+
+}  // namespace pinscope::staticanalysis

@@ -1,0 +1,69 @@
+#include "staticanalysis/static_report.h"
+
+#include <set>
+
+namespace pinscope::staticanalysis {
+
+bool StaticReport::PotentialPinning() const { return scan.HasPinningEvidence(); }
+
+bool StaticReport::ConfigPinning() const {
+  return platform == appmodel::Platform::kAndroid ? nsc.PinsViaNsc()
+                                                  : ats.PinsViaAts();
+}
+
+std::vector<std::string> StaticReport::EvidencePaths() const {
+  std::set<std::string> paths;
+  for (const FoundCertificate& c : scan.certificates) paths.insert(c.path);
+  for (const FoundPin& p : scan.pins) {
+    if (p.parsed.has_value()) paths.insert(p.path);
+  }
+  return std::vector<std::string>(paths.begin(), paths.end());
+}
+
+StaticReport AnalyzeStatically(const appmodel::App& app,
+                               const StaticAnalysisOptions& options) {
+  StaticReport report;
+  report.app_id = app.meta.app_id;
+  report.platform = app.meta.platform;
+
+  static const Scanner scanner;  // stateless; the pin regex compiles once
+
+  if (app.meta.platform == appmodel::Platform::kAndroid) {
+    // Apktool step: our APK trees are stored decoded; scanning is direct.
+    report.scan = scanner.Scan(app.package);
+    report.nsc = AnalyzeNsc(app.package);
+  } else {
+    const DecryptResult dec = DecryptIpa(app.package, app.meta.app_id,
+                                         options.device, options.decrypt_tool);
+    report.decryption_ok = dec.ok;
+    // On failure, scan what is readable (plaintext resources) anyway.
+    const appmodel::PackageFiles& tree = dec.ok ? dec.files : app.package;
+    report.scan = scanner.Scan(tree);
+    report.ats = AnalyzeAts(tree);
+  }
+
+  // §4.1.3: resolve found pin hashes against the CT log.
+  if (options.ct_log != nullptr) {
+    std::set<std::string> seen_pins;
+    std::set<std::string> seen_fingerprints;
+    for (const FoundPin& pin : report.scan.pins) {
+      if (!pin.parsed.has_value()) continue;
+      if (!seen_pins.insert(pin.pin_string).second) continue;
+      ++report.pins_total;
+      const auto certs = options.ct_log->FindBySpkiDigest(
+          pin.pin_string.substr(pin.pin_string.find('/') + 1));
+      if (!certs.empty()) ++report.pins_resolved;
+      for (const x509::Certificate& cert : certs) {
+        const auto fp = cert.FingerprintSha256();
+        const std::string key(fp.begin(), fp.end());
+        if (seen_fingerprints.insert(key).second) {
+          report.ct_resolved.push_back(cert);
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace pinscope::staticanalysis

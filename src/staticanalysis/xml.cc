@@ -1,0 +1,167 @@
+#include "staticanalysis/xml.h"
+
+#include <cctype>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace pinscope::staticanalysis {
+
+std::optional<std::string> XmlNode::Attr(std::string_view key) const {
+  const auto it = attributes.find(std::string(key));
+  if (it == attributes.end()) return std::nullopt;
+  return it->second;
+}
+
+const XmlNode* XmlNode::Child(std::string_view name) const {
+  for (const auto& c : children) {
+    if (c->name == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::Children(std::string_view name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c->name == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string XmlNode::TrimmedText() const { return std::string(util::Trim(text)); }
+
+namespace {
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view input) : in_(input) {}
+
+  std::unique_ptr<XmlNode> Parse() {
+    SkipProlog();
+    auto root = ParseElement();
+    SkipWhitespaceAndComments();
+    if (pos_ != in_.size()) Fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& why) const {
+    throw util::ParseError("xml at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (true) {
+      SkipWhitespace();
+      if (util::StartsWith(in_.substr(pos_), "<!--")) {
+        const std::size_t end = in_.find("-->", pos_);
+        if (end == std::string_view::npos) Fail("unterminated comment");
+        pos_ = end + 3;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipProlog() {
+    SkipWhitespaceAndComments();
+    while (!AtEnd() && util::StartsWith(in_.substr(pos_), "<?")) {
+      const std::size_t end = in_.find("?>", pos_);
+      if (end == std::string_view::npos) Fail("unterminated declaration");
+      pos_ = end + 2;
+      SkipWhitespaceAndComments();
+    }
+  }
+
+  std::string ParseName() {
+    const std::size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '-' || Peek() == '_' || Peek() == ':' ||
+                        Peek() == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected a name");
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  std::unique_ptr<XmlNode> ParseElement() {
+    if (AtEnd() || Peek() != '<') Fail("expected '<'");
+    ++pos_;
+    auto node = std::make_unique<XmlNode>();
+    node->name = ParseName();
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) Fail("unterminated tag");
+      if (Peek() == '/') {
+        ++pos_;
+        if (AtEnd() || Peek() != '>') Fail("expected '>' after '/'");
+        ++pos_;
+        return node;  // self-closing
+      }
+      if (Peek() == '>') {
+        ++pos_;
+        break;
+      }
+      const std::string key = ParseName();
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') Fail("expected '=' in attribute");
+      ++pos_;
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) Fail("expected quote");
+      const char quote = Peek();
+      ++pos_;
+      const std::size_t vstart = pos_;
+      while (!AtEnd() && Peek() != quote) ++pos_;
+      if (AtEnd()) Fail("unterminated attribute value");
+      node->attributes[key] = std::string(in_.substr(vstart, pos_ - vstart));
+      ++pos_;
+    }
+
+    // Content.
+    while (true) {
+      if (AtEnd()) Fail("unterminated element <" + node->name + ">");
+      if (Peek() == '<') {
+        if (util::StartsWith(in_.substr(pos_), "<!--")) {
+          const std::size_t end = in_.find("-->", pos_);
+          if (end == std::string_view::npos) Fail("unterminated comment");
+          pos_ = end + 3;
+          continue;
+        }
+        if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '/') {
+          pos_ += 2;
+          const std::string closing = ParseName();
+          if (closing != node->name) {
+            Fail("mismatched closing tag </" + closing + "> for <" + node->name + ">");
+          }
+          SkipWhitespace();
+          if (AtEnd() || Peek() != '>') Fail("expected '>' in closing tag");
+          ++pos_;
+          return node;
+        }
+        node->children.push_back(ParseElement());
+      } else {
+        node->text.push_back(Peek());
+        ++pos_;
+      }
+    }
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<XmlNode> ParseXml(std::string_view input) {
+  return XmlParser(input).Parse();
+}
+
+}  // namespace pinscope::staticanalysis

@@ -1,0 +1,42 @@
+// A minimal XML parser.
+//
+// Covers the subset that AndroidManifest.xml, Network Security Configs and
+// property lists use: declarations, elements with quoted attributes,
+// self-closing tags, text content, and comments. No namespaces, CDATA, or
+// DTDs. Parsing either succeeds with a document tree or throws ParseError.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pinscope::staticanalysis {
+
+/// One XML element.
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<std::unique_ptr<XmlNode>> children;
+  std::string text;  ///< Concatenated character data directly inside this node.
+
+  /// Attribute value, or nullopt.
+  [[nodiscard]] std::optional<std::string> Attr(std::string_view key) const;
+
+  /// First child element with the given name, or nullptr.
+  [[nodiscard]] const XmlNode* Child(std::string_view name) const;
+
+  /// All child elements with the given name.
+  [[nodiscard]] std::vector<const XmlNode*> Children(std::string_view name) const;
+
+  /// Trimmed text content.
+  [[nodiscard]] std::string TrimmedText() const;
+};
+
+/// Parses a document; returns its root element. Throws util::ParseError on
+/// malformed input.
+[[nodiscard]] std::unique_ptr<XmlNode> ParseXml(std::string_view input);
+
+}  // namespace pinscope::staticanalysis

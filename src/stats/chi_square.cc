@@ -1,0 +1,31 @@
+#include "stats/chi_square.h"
+
+#include <cmath>
+
+namespace pinscope::stats {
+
+double ChiSquareSurvivalDf1(double x) {
+  if (x <= 0.0) return 1.0;
+  // For one degree of freedom, P(X² > x) = erfc(sqrt(x/2)).
+  return std::erfc(std::sqrt(x / 2.0));
+}
+
+ChiSquareResult ChiSquareTest(const Contingency2x2& t) {
+  ChiSquareResult out;
+  const double n = static_cast<double>(t.Total());
+  const double row1 = static_cast<double>(t.a + t.b);
+  const double row2 = static_cast<double>(t.c + t.d);
+  const double col1 = static_cast<double>(t.a + t.c);
+  const double col2 = static_cast<double>(t.b + t.d);
+  if (n <= 0 || row1 <= 0 || row2 <= 0 || col1 <= 0 || col2 <= 0) {
+    return out;  // degenerate margins: test undefined
+  }
+  const double det = static_cast<double>(t.a) * static_cast<double>(t.d) -
+                     static_cast<double>(t.b) * static_cast<double>(t.c);
+  out.statistic = n * det * det / (row1 * row2 * col1 * col2);
+  out.p_value = ChiSquareSurvivalDf1(out.statistic);
+  out.valid = true;
+  return out;
+}
+
+}  // namespace pinscope::stats

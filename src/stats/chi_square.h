@@ -1,0 +1,43 @@
+// Chi-square test of independence for 2x2 contingency tables.
+//
+// §5.5 compares PII prevalence in pinned vs non-pinned destinations and
+// highlights differences with p < 0.05 under this exact test.
+#pragma once
+
+#include <cstdint>
+
+namespace pinscope::stats {
+
+/// A 2x2 contingency table:
+///            outcome+   outcome-
+///  group A      a          b
+///  group B      c          d
+struct Contingency2x2 {
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+  std::int64_t d = 0;
+
+  [[nodiscard]] std::int64_t Total() const { return a + b + c + d; }
+};
+
+/// Test result.
+struct ChiSquareResult {
+  double statistic = 0.0;  ///< Pearson X² with 1 degree of freedom.
+  double p_value = 1.0;
+  bool valid = false;      ///< False when a margin is zero (test undefined).
+
+  /// Significance at the paper's threshold.
+  [[nodiscard]] bool Significant(double alpha = 0.05) const {
+    return valid && p_value < alpha;
+  }
+};
+
+/// Pearson chi-square test of independence (df = 1, no Yates correction —
+/// matching scipy.stats.chi2_contingency(correction=False)).
+[[nodiscard]] ChiSquareResult ChiSquareTest(const Contingency2x2& table);
+
+/// Survival function of the chi-square distribution with 1 df.
+[[nodiscard]] double ChiSquareSurvivalDf1(double x);
+
+}  // namespace pinscope::stats

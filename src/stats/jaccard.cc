@@ -1,0 +1,35 @@
+#include "stats/jaccard.h"
+
+#include <algorithm>
+
+namespace pinscope::stats {
+
+std::set<std::string> Intersect(const std::set<std::string>& a,
+                                const std::set<std::string>& b) {
+  std::set<std::string> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::inserter(out, out.begin()));
+  return out;
+}
+
+double JaccardIndex(const std::set<std::string>& a, const std::set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const std::size_t inter = Intersect(a, b).size();
+  const std::size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double JaccardIndex(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  return JaccardIndex(std::set<std::string>(a.begin(), a.end()),
+                      std::set<std::string>(b.begin(), b.end()));
+}
+
+double OverlapFraction(const std::set<std::string>& a,
+                       const std::set<std::string>& b) {
+  if (a.empty()) return 0.0;
+  return static_cast<double>(Intersect(a, b).size()) /
+         static_cast<double>(a.size());
+}
+
+}  // namespace pinscope::stats

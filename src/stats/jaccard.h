@@ -1,0 +1,32 @@
+// Jaccard similarity between string sets.
+//
+// §5.1 compares the pinned-domain sets of an app's Android and iOS builds
+// with Jaccard indices, and pinned-vs-unpinned sets with one-sided overlap
+// percentages.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pinscope::stats {
+
+/// |A∩B| / |A∪B|; defined as 1 when both sets are empty.
+[[nodiscard]] double JaccardIndex(const std::set<std::string>& a,
+                                  const std::set<std::string>& b);
+
+/// Convenience overload over vectors (deduplicated internally).
+[[nodiscard]] double JaccardIndex(const std::vector<std::string>& a,
+                                  const std::vector<std::string>& b);
+
+/// Fraction of `a`'s elements present in `b`; 0 when `a` is empty.
+/// (§5.1's "percentage of pinned domains on one platform found as not pinned
+/// on the other".)
+[[nodiscard]] double OverlapFraction(const std::set<std::string>& a,
+                                     const std::set<std::string>& b);
+
+/// Intersection of two sets.
+[[nodiscard]] std::set<std::string> Intersect(const std::set<std::string>& a,
+                                              const std::set<std::string>& b);
+
+}  // namespace pinscope::stats

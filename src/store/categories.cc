@@ -1,0 +1,177 @@
+#include "store/categories.h"
+
+#include <map>
+
+#include "util/error.h"
+
+namespace pinscope::store {
+namespace {
+
+const std::vector<std::string>& AndroidCategories() {
+  static const std::vector<std::string> cats = {
+      "Education",     "Games",        "Tools",         "Music",
+      "Books",         "Business",     "Lifestyle",     "Entertainment",
+      "Travel",        "Personalization", "Weather",    "Finance",
+      "Shopping",      "Food & Drink", "Social",        "Productivity",
+      "Communication", "Health",       "Photography",   "Dating",
+      "Events",        "Comics",       "Automobile",    "Sports",
+      "News",          "Maps",         "Video Players", "Art & Design",
+      "Beauty",        "House & Home", "Libraries",     "Medical",
+      "Parenting",     "Trivia"};
+  return cats;
+}
+
+const std::vector<std::string>& IosCategories() {
+  static const std::vector<std::string> cats = {
+      "Games",         "Productivity",     "Business",      "Social Networking",
+      "Photo & Video", "Education",        "Finance",       "Lifestyle",
+      "Utilities",     "Entertainment",    "Health",        "Travel",
+      "Shopping",      "Weather",          "Food & Drink",  "Navigation",
+      "Books",         "Sports",           "Music",         "News",
+      "Medical",       "Reference",        "Magazines",     "Developer Tools",
+      "Graphics & Design", "Stickers"};
+  return cats;
+}
+
+// A sparse weight table: (category → percent); the rest of the probability
+// mass spreads uniformly over the unlisted categories.
+using WeightTable = std::vector<std::pair<std::string, double>>;
+
+std::string Sample(const WeightTable& table, const std::vector<std::string>& all,
+                   util::Rng& rng) {
+  double listed = 0.0;
+  for (const auto& [_, w] : table) listed += w;
+  const double rest = listed >= 100.0 ? 0.0 : 100.0 - listed;
+
+  std::vector<std::string> unlisted;
+  for (const std::string& c : all) {
+    bool in_table = false;
+    for (const auto& [name, _] : table) {
+      if (name == c) {
+        in_table = true;
+        break;
+      }
+    }
+    if (!in_table) unlisted.push_back(c);
+  }
+
+  std::vector<double> weights;
+  weights.reserve(table.size() + 1);
+  for (const auto& [_, w] : table) weights.push_back(w);
+  if (!unlisted.empty()) weights.push_back(rest);
+
+  const std::size_t idx = rng.WeightedIndex(weights);
+  if (idx < table.size()) return table[idx].first;
+  return rng.Pick(unlisted);
+}
+
+// --- Table 1 distributions ---------------------------------------------
+
+const WeightTable& Table1(appmodel::Platform p, DatasetId d) {
+  static const WeightTable android_random = {
+      {"Education", 12}, {"Games", 12},        {"Tools", 6},
+      {"Music", 6},      {"Books", 6},         {"Business", 5},
+      {"Lifestyle", 5},  {"Entertainment", 4}, {"Travel", 4},
+      {"Personalization", 4}};
+  static const WeightTable android_popular = {
+      {"Games", 36},   {"Weather", 2},      {"Finance", 2}, {"Shopping", 2},
+      {"Entertainment", 2}, {"Food & Drink", 2}, {"Social", 2},
+      {"Productivity", 2},  {"Photography", 2},  {"Music", 2}};
+  static const WeightTable android_common = {
+      {"Games", 18},  {"Productivity", 12}, {"Business", 7},
+      {"Communication", 6}, {"Finance", 6},  {"Education", 5},
+      {"Social", 5},  {"Health", 4},        {"Travel", 3},
+      {"Lifestyle", 3}};
+  static const WeightTable ios_random = {
+      {"Games", 15},     {"Business", 11},     {"Education", 11},
+      {"Food & Drink", 7}, {"Lifestyle", 7},   {"Utilities", 6},
+      {"Entertainment", 4}, {"Health", 4},     {"Travel", 4},
+      {"Shopping", 3}};
+  static const WeightTable ios_popular = {
+      {"Games", 21},        {"Photo & Video", 11}, {"Social Networking", 6},
+      {"Education", 6},     {"Finance", 6},        {"Lifestyle", 5},
+      {"Entertainment", 4}, {"Utilities", 4},      {"Productivity", 4},
+      {"Weather", 4}};
+  static const WeightTable ios_common = {
+      {"Games", 18},    {"Productivity", 14},     {"Business", 8},
+      {"Social Networking", 7}, {"Education", 6}, {"Finance", 6},
+      {"Utilities", 5}, {"Photo & Video", 4},     {"Health", 3},
+      {"Lifestyle", 3}};
+
+  if (p == appmodel::Platform::kAndroid) {
+    switch (d) {
+      case DatasetId::kCommon: return android_common;
+      case DatasetId::kPopular: return android_popular;
+      case DatasetId::kRandom: return android_random;
+    }
+  } else {
+    switch (d) {
+      case DatasetId::kCommon: return ios_common;
+      case DatasetId::kPopular: return ios_popular;
+      case DatasetId::kRandom: return ios_random;
+    }
+  }
+  throw util::Error("unknown platform/dataset");
+}
+
+// --- Tables 4 & 5: pinning-app category mixes ----------------------------
+
+const WeightTable& PinningTable(appmodel::Platform p) {
+  // Percentages derived from "No. of Apps" columns, with the remainder
+  // flowing to unlisted categories.
+  static const WeightTable android = {
+      {"Finance", 22},     {"Social", 10},  {"Food & Drink", 3},
+      {"Shopping", 5},     {"Travel", 4},   {"Events", 2},
+      {"Dating", 2},       {"Comics", 2},   {"Automobile", 2},
+      {"Weather", 2},      {"Games", 5},    {"Productivity", 5}};
+  static const WeightTable ios = {
+      {"Finance", 14},        {"Photo & Video", 9}, {"Shopping", 8},
+      {"Social Networking", 7}, {"Lifestyle", 7},   {"Travel", 6},
+      {"Food & Drink", 5},    {"Sports", 2},        {"Books", 2},
+      {"Navigation", 1},      {"Games", 6},         {"Productivity", 5}};
+  return p == appmodel::Platform::kAndroid ? android : ios;
+}
+
+}  // namespace
+
+const std::vector<std::string>& Categories(appmodel::Platform p) {
+  return p == appmodel::Platform::kAndroid ? AndroidCategories() : IosCategories();
+}
+
+std::string ToIosCategory(const std::string& android_category) {
+  static const std::map<std::string, std::string> mapping = {
+      {"Social", "Social Networking"},
+      {"Photography", "Photo & Video"},
+      {"Tools", "Utilities"},
+      {"Communication", "Social Networking"},
+      {"Personalization", "Utilities"},
+      {"Video Players", "Photo & Video"},
+      {"Maps", "Navigation"},
+      {"Automobile", "Navigation"},
+      {"Events", "Lifestyle"},
+      {"Dating", "Lifestyle"},
+      {"Comics", "Books"},
+      {"Art & Design", "Graphics & Design"},
+      {"Beauty", "Lifestyle"},
+      {"House & Home", "Lifestyle"},
+      {"Libraries", "Reference"},
+      {"Parenting", "Lifestyle"},
+      {"Trivia", "Games"}};
+  const auto it = mapping.find(android_category);
+  if (it != mapping.end()) return it->second;
+  // Names shared by both stores pass through.
+  for (const std::string& c : IosCategories()) {
+    if (c == android_category) return c;
+  }
+  return "Lifestyle";
+}
+
+std::string SampleCategory(appmodel::Platform p, DatasetId d, util::Rng& rng) {
+  return Sample(Table1(p, d), Categories(p), rng);
+}
+
+std::string SamplePinningCategory(appmodel::Platform p, util::Rng& rng) {
+  return Sample(PinningTable(p), Categories(p), rng);
+}
+
+}  // namespace pinscope::store

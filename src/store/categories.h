@@ -1,0 +1,30 @@
+// Store categories and their dataset distributions (Table 1) plus the
+// pinning-propensity distributions (Tables 4 & 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "appmodel/platform.h"
+#include "store/dataset.h"
+#include "util/rng.h"
+
+namespace pinscope::store {
+
+/// Full category list for a platform's store (Play Store / App Store names).
+[[nodiscard]] const std::vector<std::string>& Categories(appmodel::Platform p);
+
+/// Translates an Android category name to its App Store counterpart (used
+/// for the Common dataset, where one logical app carries one category).
+[[nodiscard]] std::string ToIosCategory(const std::string& android_category);
+
+/// Samples a category for a (non-pinning) app of the given dataset/platform,
+/// following the Table 1 distribution.
+[[nodiscard]] std::string SampleCategory(appmodel::Platform p, DatasetId d,
+                                         util::Rng& rng);
+
+/// Samples a category for a *pinning* app, following the Table 4 (Android) /
+/// Table 5 (iOS) category mix — Finance-heavy.
+[[nodiscard]] std::string SamplePinningCategory(appmodel::Platform p, util::Rng& rng);
+
+}  // namespace pinscope::store

@@ -1,0 +1,91 @@
+#include "store/crawler.h"
+
+#include <algorithm>
+
+namespace pinscope::store {
+namespace {
+
+const appmodel::App* FindByAppId(const Ecosystem& eco, appmodel::Platform p,
+                                 std::string_view app_id) {
+  for (const appmodel::App& app : eco.apps(p)) {
+    if (app.meta.app_id == app_id) return &app;
+  }
+  return nullptr;
+}
+
+std::vector<const appmodel::App*> ByCategorySorted(const Ecosystem& eco,
+                                                   appmodel::Platform p,
+                                                   std::string_view category) {
+  std::vector<const appmodel::App*> out;
+  for (const appmodel::App& app : eco.apps(p)) {
+    if (app.meta.category == category) out.push_back(&app);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const appmodel::App* a, const appmodel::App* b) {
+              return a->meta.popularity_rank < b->meta.popularity_rank;
+            });
+  return out;
+}
+
+}  // namespace
+
+GPlayCli::GPlayCli(const Ecosystem& eco) : eco_(&eco) {}
+
+std::optional<const appmodel::App*> GPlayCli::Download(std::string_view app_id) {
+  ++stats_.requests;
+  stats_.elapsed_ms += 1'500;  // one APK fetch
+  const appmodel::App* app = FindByAppId(*eco_, appmodel::Platform::kAndroid, app_id);
+  if (app == nullptr) return std::nullopt;
+  return app;
+}
+
+ITunesGuiCrawler::ITunesGuiCrawler(const Ecosystem& eco, bool attended)
+    : eco_(&eco), attended_(attended) {}
+
+std::optional<const appmodel::App*> ITunesGuiCrawler::Download(
+    std::string_view bundle_id) {
+  ++stats_.requests;
+  stats_.elapsed_ms += 9'000;  // GUI automation is slow
+  // Appendix A: periodically the workflow wedges (re-authentication etc.).
+  if (stats_.requests % 40 == 0) {
+    if (!attended_) return std::nullopt;
+    ++stats_.manual_interventions;
+    stats_.elapsed_ms += 60'000;  // a human untangles iTunes
+  }
+  const appmodel::App* app = FindByAppId(*eco_, appmodel::Platform::kIos, bundle_id);
+  if (app == nullptr) return std::nullopt;
+  return app;
+}
+
+std::vector<const appmodel::App*> GooglePlayScraper::TopFree(
+    std::string_view category) const {
+  auto apps = ByCategorySorted(*eco_, appmodel::Platform::kAndroid, category);
+  std::erase_if(apps, [](const appmodel::App* a) { return !a->meta.free; });
+  return apps;
+}
+
+std::vector<const appmodel::App*> ITunesSearchApi::TopApps(
+    std::string_view category) const {
+  auto apps = ByCategorySorted(*eco_, appmodel::Platform::kIos, category);
+  if (apps.size() > 100) apps.resize(100);  // API page cap
+  return apps;
+}
+
+std::vector<AlternativeToCrawler::Listing> AlternativeToCrawler::PopularListings(
+    int pages) {
+  std::vector<Listing> out;
+  const auto& pairs = eco_->common_pairs();
+  const std::size_t want =
+      std::min<std::size_t>(pairs.size(), static_cast<std::size_t>(pages) * 10);
+  for (std::size_t i = 0; i < want; ++i) {
+    const auto& android = eco_->apps(appmodel::Platform::kAndroid)[pairs[i].android_index];
+    const auto& ios = eco_->apps(appmodel::Platform::kIos)[pairs[i].ios_index];
+    out.push_back({android.meta.display_name, android.meta.app_id, ios.meta.app_id});
+  }
+  // §7: 1 page per second, contact details in the User-Agent.
+  stats_.requests += pages;
+  stats_.elapsed_ms += static_cast<std::int64_t>(pages) * 1'000;
+  return out;
+}
+
+}  // namespace pinscope::store

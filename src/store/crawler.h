@@ -1,0 +1,104 @@
+// App acquisition front-ends (§3 and Appendix A).
+//
+// Models the paper's collection tooling over the simulated stores: GPlayCLI
+// for direct APK downloads, the semi-automated iTunes 12.6 GUI workflow for
+// IPAs (which occasionally needs a human to re-authenticate — the reason the
+// paper capped its iOS corpus), google-play-scraper / iTunes Search for
+// popularity listings, and the rate-limited AlternativeTo crawl that links
+// the two stores for the Common dataset.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/generator.h"
+
+namespace pinscope::store {
+
+/// Bookkeeping every crawler keeps (ethics §7: low rates, identifiable UA).
+struct CrawlStats {
+  int requests = 0;
+  int manual_interventions = 0;   ///< iTunes re-auth fixes.
+  std::int64_t elapsed_ms = 0;    ///< Simulated wall-clock spent crawling.
+  std::string user_agent = "pinscope-research-crawler/1.0 (contact: research@example.edu)";
+};
+
+/// Direct APK downloader (GPlayCLI substitute).
+class GPlayCli {
+ public:
+  explicit GPlayCli(const Ecosystem& eco);
+
+  /// Downloads an app by package name; nullopt for unknown ids.
+  [[nodiscard]] std::optional<const appmodel::App*> Download(std::string_view app_id);
+
+  [[nodiscard]] const CrawlStats& stats() const { return stats_; }
+
+ private:
+  const Ecosystem* eco_;
+  CrawlStats stats_;
+};
+
+/// Semi-automated iTunes 12.6 GUI downloader (Appendix A). Every ~40th
+/// download needs a manual fix; in unattended mode those downloads fail.
+class ITunesGuiCrawler {
+ public:
+  ITunesGuiCrawler(const Ecosystem& eco, bool attended);
+
+  [[nodiscard]] std::optional<const appmodel::App*> Download(std::string_view bundle_id);
+
+  [[nodiscard]] const CrawlStats& stats() const { return stats_; }
+
+ private:
+  const Ecosystem* eco_;
+  bool attended_;
+  CrawlStats stats_;
+};
+
+/// Top-free listings per category (google-play-scraper substitute).
+class GooglePlayScraper {
+ public:
+  explicit GooglePlayScraper(const Ecosystem& eco) : eco_(&eco) {}
+
+  /// Apps of `category` ordered by popularity rank.
+  [[nodiscard]] std::vector<const appmodel::App*> TopFree(std::string_view category) const;
+
+ private:
+  const Ecosystem* eco_;
+};
+
+/// iTunes Search API substitute: returns at most 100 results per call.
+class ITunesSearchApi {
+ public:
+  explicit ITunesSearchApi(const Ecosystem& eco) : eco_(&eco) {}
+
+  [[nodiscard]] std::vector<const appmodel::App*> TopApps(std::string_view category) const;
+
+ private:
+  const Ecosystem* eco_;
+};
+
+/// AlternativeTo crawl: cross-store links for the Common dataset, rate
+/// limited to 1 page/second as in §7.
+class AlternativeToCrawler {
+ public:
+  struct Listing {
+    std::string name;
+    std::string android_app_id;
+    std::string ios_app_id;
+  };
+
+  explicit AlternativeToCrawler(const Ecosystem& eco) : eco_(&eco) {}
+
+  /// Crawls `pages` popularity-sorted pages (10 listings per page).
+  [[nodiscard]] std::vector<Listing> PopularListings(int pages);
+
+  [[nodiscard]] const CrawlStats& stats() const { return stats_; }
+
+ private:
+  const Ecosystem* eco_;
+  CrawlStats stats_;
+};
+
+}  // namespace pinscope::store

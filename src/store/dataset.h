@@ -1,0 +1,42 @@
+// Dataset identifiers (§3): Common, Popular, Random — per platform.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "appmodel/platform.h"
+
+namespace pinscope::store {
+
+/// Which of the paper's three app collections a dataset is.
+enum class DatasetId { kCommon, kPopular, kRandom };
+
+/// All dataset ids in report order.
+[[nodiscard]] inline const std::vector<DatasetId>& AllDatasets() {
+  static const std::vector<DatasetId> all = {DatasetId::kCommon,
+                                             DatasetId::kPopular,
+                                             DatasetId::kRandom};
+  return all;
+}
+
+/// Human-readable dataset name.
+[[nodiscard]] constexpr std::string_view DatasetName(DatasetId d) {
+  switch (d) {
+    case DatasetId::kCommon: return "Common";
+    case DatasetId::kPopular: return "Popular";
+    case DatasetId::kRandom: return "Random";
+  }
+  return "?";
+}
+
+/// A dataset: indices into the per-platform app universe. The same app can
+/// appear in several datasets (the §3 "collisions").
+struct Dataset {
+  DatasetId id = DatasetId::kCommon;
+  appmodel::Platform platform = appmodel::Platform::kAndroid;
+  std::vector<std::size_t> app_indices;
+
+  [[nodiscard]] std::size_t size() const { return app_indices.size(); }
+};
+
+}  // namespace pinscope::store

@@ -1,0 +1,1225 @@
+#include "store/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "appmodel/android_package.h"
+#include "appmodel/ios_package.h"
+#include "appmodel/pii.h"
+#include "appmodel/sdk_catalog.h"
+#include "dynamicanalysis/device.h"
+#include "store/categories.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace pinscope::store {
+
+std::string_view ConsistencyClassName(ConsistencyClass c) {
+  switch (c) {
+    case ConsistencyClass::kNotPinning: return "not-pinning";
+    case ConsistencyClass::kConsistentIdentical: return "consistent-identical";
+    case ConsistencyClass::kConsistentPartial: return "consistent-partial";
+    case ConsistencyClass::kInconsistentBoth: return "inconsistent-both";
+    case ConsistencyClass::kInconclusiveBoth: return "inconclusive-both";
+    case ConsistencyClass::kAndroidOnlyInconsistent: return "android-only-inconsistent";
+    case ConsistencyClass::kAndroidOnlyInconclusive: return "android-only-inconclusive";
+    case ConsistencyClass::kIosOnlyInconsistent: return "ios-only-inconsistent";
+    case ConsistencyClass::kIosOnlyInconclusive: return "ios-only-inconclusive";
+  }
+  throw util::Error("unknown ConsistencyClass");
+}
+
+namespace {
+
+using appmodel::App;
+using appmodel::DestinationBehavior;
+using appmodel::Platform;
+
+// --- Calibration constants (DESIGN.md §4) --------------------------------
+
+// Which chain element a pin targets.
+enum class PinTarget { kRoot, kIntermediate, kLeaf };
+
+// Probability that a given destination's ClientHello advertises legacy (bad)
+// suites, fitted so Table 8's app-level rates emerge.
+double LegacyCipherProb(Platform p, DatasetId d, bool pinned_dest) {
+  if (p == Platform::kAndroid) {
+    if (pinned_dest) {
+      switch (d) {
+        case DatasetId::kCommon: return 0.15;
+        case DatasetId::kPopular: return 0.002;
+        case DatasetId::kRandom: return 0.0;
+      }
+    }
+    switch (d) {
+      case DatasetId::kCommon: return 0.019;
+      case DatasetId::kPopular: return 0.052;
+      case DatasetId::kRandom: return 0.0075;
+    }
+  } else {
+    if (pinned_dest) {
+      switch (d) {
+        case DatasetId::kCommon: return 0.62;
+        case DatasetId::kPopular: return 0.40;
+        case DatasetId::kRandom: return 0.50;
+      }
+    }
+    switch (d) {
+      case DatasetId::kCommon: return 0.50;
+      case DatasetId::kPopular: return 0.62;
+      case DatasetId::kRandom: return 0.37;
+    }
+  }
+  return 0.0;
+}
+
+// PII placeholder sampling fitted to Table 9.
+std::string SamplePiiSuffix(Platform p, bool pinned_dest, util::Rng& rng) {
+  std::string out;
+  const double p_ad = pinned_dest ? (p == Platform::kIos ? 0.26 : 0.24)
+                                  : (p == Platform::kIos ? 0.18 : 0.20);
+  if (rng.Bernoulli(p_ad)) out += "&idfa={{ad_id}}";
+  if (p == Platform::kIos) {
+    if (!pinned_dest) {
+      if (rng.Bernoulli(0.0094)) out += "&city={{city}}";
+      if (rng.Bernoulli(0.0031)) out += "&region={{state}}";
+      if (rng.Bernoulli(0.0004)) out += "&ll={{lat_long}}";
+    }
+  } else {
+    if (pinned_dest) {
+      if (rng.Bernoulli(0.010)) out += "&email={{email}}";
+      if (rng.Bernoulli(0.010)) out += "&region={{state}}";
+    } else {
+      if (rng.Bernoulli(0.0052)) out += "&email={{email}}";
+      if (rng.Bernoulli(0.0112)) out += "&region={{state}}";
+      if (rng.Bernoulli(0.0045)) out += "&city={{city}}";
+    }
+  }
+  return out;
+}
+
+// Unhookable-stack probability for pinned destinations (drives the §4.3
+// circumvention rates: ≈51.5% hookable on Android, ≈66.2% on iOS).
+double CustomStackProb(Platform p) {
+  return p == Platform::kAndroid ? 0.49 : 0.365;
+}
+
+tls::TlsStack HookableStack(Platform p, util::Rng& rng) {
+  if (p == Platform::kAndroid) {
+    static const std::vector<tls::TlsStack> stacks = {
+        tls::TlsStack::kOkHttp, tls::TlsStack::kAndroidPlatform,
+        tls::TlsStack::kConscrypt, tls::TlsStack::kCronet};
+    return rng.Pick(stacks);
+  }
+  static const std::vector<tls::TlsStack> stacks = {
+      tls::TlsStack::kNsUrlSession, tls::TlsStack::kAfNetworking,
+      tls::TlsStack::kAlamofire, tls::TlsStack::kCronet};
+  return rng.Pick(stacks);
+}
+
+// Generic third-party hosts contacted by many apps, never pinned.
+const std::vector<std::pair<std::string, std::string>>& NoiseHosts() {
+  static const std::vector<std::pair<std::string, std::string>> hosts = {
+      {"cdn.contentwave.net", "contentwave"},
+      {"telemetry.mobilemetrics.io", "mobilemetrics"},
+      {"api.pushrelay.com", "pushrelay"},
+      {"img.adimagery.com", "adimagery"},
+      {"static.fontsandicons.com", "fontsandicons"},
+      {"events.sessionbeacon.io", "sessionbeacon"},
+      {"api.weatherfeeds.net", "weatherfeeds"},
+      {"social.sharegrid.com", "sharegrid"},
+  };
+  return hosts;
+}
+
+// --- Plans ----------------------------------------------------------------
+
+struct DestPlan {
+  std::string host;
+  bool first_party = false;
+  bool pinned = false;
+  bool custom_trust = false;
+  std::string owning_sdk;
+  bool never_used = false;
+  bool requires_interaction = false;
+  PinTarget target = PinTarget::kIntermediate;
+  tls::PinForm form = tls::PinForm::kSpkiSha256;
+  bool embed_cert_file = false;  ///< Also ship the target cert as a file.
+  bool rotate_leaf_reusing_key = false;  ///< §5.3.3 renewal scenario.
+};
+
+struct AppPlan {
+  appmodel::AppMetadata meta;
+  DatasetId dataset = DatasetId::kPopular;
+  std::string brand;
+  bool runtime_pinning = false;
+  bool static_only = false;
+  bool nsc = false;       ///< Android: ships an NSC.
+  bool nsc_pins = false;  ///< Android: the NSC carries pin-sets.
+  bool pins_all = false;
+  std::vector<DestPlan> dests;
+  std::vector<std::string> sdk_names;  ///< SDKs whose code ships in the package.
+  std::vector<std::string> associated_domains;
+};
+
+}  // namespace
+
+// --- The generator ---------------------------------------------------------
+// (Named class at namespace scope so Ecosystem's friendship applies.)
+
+class GeneratorImpl {
+ public:
+  explicit GeneratorImpl(const EcosystemConfig& config)
+      : config_(config), rng_(config.seed) {
+    eco_.world_ = appmodel::ServerWorld(config.seed ^ 0xabcdef);
+  }
+
+  Ecosystem Build();
+
+ private:
+  // Scales a full-size count; keeps at least 1 when the original is positive.
+  [[nodiscard]] int S(int full) const {
+    if (full <= 0) return 0;
+    return std::max(1, static_cast<int>(std::lround(full * config_.scale)));
+  }
+
+  std::string MakeBrand();
+  void ProvisionInfrastructure();
+
+  // Builds one app from a plan; returns its index in the platform universe.
+  std::size_t BuildApp(AppPlan plan, util::Rng& rng);
+
+  // Fills pins/pin-material for a pinned destination plan (server must exist).
+  void PreparePinnedDest(DestPlan& dp, util::Rng& rng);
+
+  // Creates the behaviour entry for a destination plan.
+  DestinationBehavior MakeBehavior(const DestPlan& dp, Platform p, DatasetId d,
+                                   util::Rng& rng) const;
+
+  // Plan factories.
+  AppPlan NewAppPlan(Platform p, DatasetId d, bool pinning_category,
+                     util::Rng& rng);
+  void AddFirstParty(AppPlan& plan, int host_count, util::Rng& rng);
+  void AddNoise(AppPlan& plan, util::Rng& rng);
+  void AddSdk(AppPlan& plan, const appmodel::SdkInfo& sdk, bool pin_enabled,
+              bool contact, util::Rng& rng);
+  void AddPinningSdk(AppPlan& plan, Platform p, util::Rng& rng);
+  void AddEmbeddingSdks(AppPlan& plan, Platform p, util::Rng& rng);
+  void MakeFirstPartyPinner(AppPlan& plan, Platform p, util::Rng& rng);
+  void ApplyNscPins(AppPlan& plan);
+
+  // Dataset builders.
+  void BuildCommon();
+  void BuildPlatformSets(Platform p);
+  std::pair<AppPlan, AppPlan> MakeCommonPlans(ConsistencyClass cls,
+                                              util::Rng& rng);
+  AppPlan MakePinningApp(Platform p, DatasetId d, std::string_view forced_sdk,
+                         util::Rng& rng);
+  AppPlan MakeStaticOnlyApp(Platform p, DatasetId d, util::Rng& rng);
+  AppPlan MakeRegularApp(Platform p, DatasetId d, util::Rng& rng);
+
+  // Post-pass: §5.3.3 key-reusing renewals + Table 6 "data unavailable".
+  void ApplySpecialCases();
+
+  EcosystemConfig config_;
+  util::Rng rng_;
+  Ecosystem eco_;
+  std::set<std::string> used_brands_;
+  int brand_counter_ = 0;
+
+  // §5.3 special-case quotas, consumed by MakePinningApp.
+  int pins_all_quota_android_ = 0;
+  int pins_all_quota_ios_ = 0;
+  int custom_pki_quota_android_ = 0;
+  int custom_pki_quota_ios_ = 0;
+  int self_signed_quota_android_ = 0;
+  int self_signed_quota_ios_ = 0;
+
+  // Hosts whose leaf certificate is renewed (key reused) after pins baked.
+  std::set<std::string> rotate_hosts_;
+};
+
+std::string GeneratorImpl::MakeBrand() {
+  static const std::vector<std::string> first = {
+      "pixel", "swift", "nova", "blue", "lumen", "terra", "astro", "vivid",
+      "echo",  "cobalt", "amber", "quill", "zephy", "orbit", "delta", "mint",
+      "hyper", "prime", "cedar", "raven"};
+  static const std::vector<std::string> second = {
+      "budget", "chat",  "ride", "news",  "fit",   "pay",   "shop", "note",
+      "cast",   "track", "wall", "dash",  "photo", "games", "bank", "food",
+      "health", "study", "map",  "stream"};
+  while (true) {
+    std::string brand = rng_.Pick(first) + rng_.Pick(second);
+    if (++brand_counter_ > 400) brand += std::to_string(brand_counter_);
+    if (used_brands_.insert(brand).second) return brand;
+  }
+}
+
+void GeneratorImpl::ProvisionInfrastructure() {
+  auto& world = eco_.world_;
+  // Apple background services.
+  for (const std::string& host : dynamicanalysis::AppleBackgroundDomains()) {
+    world.EnsureDefaultPki(host, "apple");
+  }
+  // SDK endpoints.
+  for (const appmodel::SdkInfo& sdk : appmodel::SdkCatalog()) {
+    for (const std::string& host : sdk.domains) {
+      world.EnsureDefaultPki(host, sdk.organization);
+    }
+  }
+  // Shared third-party noise hosts.
+  for (const auto& [host, org] : NoiseHosts()) {
+    world.EnsureDefaultPki(host, org);
+  }
+}
+
+void GeneratorImpl::PreparePinnedDest(DestPlan& dp, util::Rng& rng) {
+  dp.pinned = true;
+  const appmodel::ServerInfo* srv = eco_.world_.Find(dp.host);
+  if (srv == nullptr) throw util::Error("PreparePinnedDest: no server " + dp.host);
+
+  const std::size_t depth = srv->endpoint.chain.size();
+  if (depth == 1) {
+    // Self-signed endpoint: the only thing to pin is the leaf itself, and
+    // there is no issuer to renew under (§5.3.1's inflexible deployments).
+    dp.target = PinTarget::kLeaf;
+    dp.form = tls::PinForm::kSpkiSha256;
+    dp.embed_cert_file = true;
+    return;
+  }
+  if (rng.Bernoulli(0.73)) {
+    // CA pin: root or intermediate.
+    dp.target = (depth >= 3 && rng.Bernoulli(0.5)) ? PinTarget::kIntermediate
+                                                   : PinTarget::kRoot;
+  } else {
+    dp.target = PinTarget::kLeaf;
+  }
+
+  if (dp.target == PinTarget::kLeaf) {
+    // §5.3.3: 24/30 leaf pins are SPKI hashes; the rest embed raw certs and
+    // actually compare public keys, surviving key-reusing renewals.
+    if (rng.Bernoulli(0.8)) {
+      dp.form = rng.Bernoulli(0.9) ? tls::PinForm::kSpkiSha256
+                                   : tls::PinForm::kSpkiSha1;
+    } else {
+      dp.form = tls::PinForm::kPublicKey;
+      dp.embed_cert_file = true;
+      dp.rotate_leaf_reusing_key = rng.Bernoulli(0.8);
+    }
+  } else {
+    dp.form = rng.Bernoulli(0.92) ? tls::PinForm::kSpkiSha256
+                                  : tls::PinForm::kSpkiSha1;
+    // Some apps additionally ship the CA certificate itself.
+    dp.embed_cert_file = rng.Bernoulli(0.35);
+  }
+}
+
+DestinationBehavior GeneratorImpl::MakeBehavior(const DestPlan& dp, Platform p,
+                                                DatasetId d, util::Rng& rng) const {
+  DestinationBehavior b;
+  b.hostname = dp.host;
+  b.custom_trust = dp.custom_trust;
+  b.owning_sdk = dp.owning_sdk;
+  b.never_used = dp.never_used;
+  b.requires_interaction = dp.requires_interaction;
+  b.redundant_connections = static_cast<int>(rng.UniformU64(0, 2));
+
+  if (dp.pinned) {
+    b.pinned = true;
+    const appmodel::ServerInfo* srv = eco_.world_.Find(dp.host);
+    const auto& chain = srv->endpoint.chain;
+    std::size_t idx = 0;
+    switch (dp.target) {
+      case PinTarget::kLeaf: idx = 0; break;
+      case PinTarget::kIntermediate: idx = std::min<std::size_t>(1, chain.size() - 1); break;
+      case PinTarget::kRoot: idx = chain.size() - 1; break;
+    }
+    b.pins.push_back(tls::Pin::ForCertificate(chain[idx], dp.form));
+    b.stack = rng.Bernoulli(CustomStackProb(p)) ? tls::TlsStack::kCustom
+                                                : HookableStack(p, rng);
+  } else {
+    b.stack = HookableStack(p, rng);
+  }
+
+  b.cipher_offer = rng.Bernoulli(LegacyCipherProb(p, d, dp.pinned))
+                       ? tls::LegacyCipherOffer()
+                       : tls::ModernCipherOffer();
+
+  // A genuine HTTP/1.1 request, so the PII analysis can parse it the way
+  // mitmproxy scripts inspect decrypted flows.
+  b.payload_template =
+      "POST /v1/collect HTTP/1.1\r\nHost: " + dp.host +
+      "\r\nUser-Agent: " + (p == Platform::kAndroid ? "okhttp/4.9" : "CFNetwork/1128") +
+      "\r\nContent-Type: application/x-www-form-urlencoded\r\n\r\n" +
+      "session=" + std::to_string(rng.UniformU64(1, 1'000'000'000)) +
+      SamplePiiSuffix(p, dp.pinned, rng);
+  return b;
+}
+
+// --- Plan factories ---------------------------------------------------------
+
+AppPlan GeneratorImpl::NewAppPlan(Platform p, DatasetId d, bool pinning_category,
+                                  util::Rng& rng) {
+  AppPlan plan;
+  plan.dataset = d;
+  plan.brand = MakeBrand();
+  plan.meta.platform = p;
+  plan.meta.app_id = "com." + plan.brand + (p == Platform::kAndroid ? ".app" : ".ios");
+  std::string display = plan.brand;
+  display[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(display[0])));
+  plan.meta.display_name = display;
+  plan.meta.category = pinning_category ? SamplePinningCategory(p, rng)
+                                        : SampleCategory(p, d, rng);
+  plan.meta.developer_org = plan.brand;
+  plan.meta.popularity_rank =
+      d == DatasetId::kPopular ? rng.UniformInt(1, 1000) : rng.UniformInt(1000, 900000);
+  return plan;
+}
+
+void GeneratorImpl::AddFirstParty(AppPlan& plan, int host_count, util::Rng& rng) {
+  static const std::vector<std::string> prefixes = {"api", "www", "cdn", "events",
+                                                    "mobile", "auth"};
+  for (int i = 0; i < host_count && i < static_cast<int>(prefixes.size()); ++i) {
+    const std::string host =
+        prefixes[static_cast<std::size_t>(i)] + "." + plan.brand + ".com";
+    eco_.world_.EnsureDefaultPki(host, plan.brand);
+    DestPlan dp;
+    dp.host = host;
+    dp.first_party = true;
+    dp.never_used = i > 0 && rng.Bernoulli(0.1);
+    plan.dests.push_back(std::move(dp));
+  }
+}
+
+void GeneratorImpl::AddNoise(AppPlan& plan, util::Rng& rng) {
+  const int n = rng.UniformInt(1, 3);
+  std::vector<std::size_t> picks =
+      rng.SampleIndices(NoiseHosts().size(), static_cast<std::size_t>(n));
+  for (std::size_t idx : picks) {
+    DestPlan dp;
+    dp.host = NoiseHosts()[idx].first;
+    plan.dests.push_back(std::move(dp));
+  }
+  // Rarely, a destination hides behind a deeper code path that only UI
+  // interaction triggers (§4.2.1's near-null interaction effect; §5.6's
+  // missed-pinning limitation). Sampled on a dedicated stream.
+  util::Rng irng = rng.Fork("interaction:" + plan.brand);
+  if (irng.Bernoulli(0.12)) {
+    DestPlan dp;
+    dp.host = "deep." + plan.brand + ".com";
+    dp.first_party = true;
+    dp.requires_interaction = true;
+    eco_.world_.EnsureDefaultPki(dp.host, plan.brand);
+    const bool pinning_app = std::any_of(
+        plan.dests.begin(), plan.dests.end(),
+        [](const DestPlan& x) { return x.pinned; });
+    if (pinning_app && irng.Bernoulli(0.15)) PreparePinnedDest(dp, irng);
+    plan.dests.push_back(std::move(dp));
+  }
+}
+
+void GeneratorImpl::AddSdk(AppPlan& plan, const appmodel::SdkInfo& sdk,
+                           bool pin_enabled, bool contact, util::Rng& rng) {
+  for (const std::string& existing : plan.sdk_names) {
+    if (existing == sdk.name) return;  // already placed
+  }
+  plan.sdk_names.push_back(sdk.name);
+  if (!contact) return;
+  for (const std::string& host : sdk.domains) {
+    DestPlan dp;
+    dp.host = host;
+    dp.owning_sdk = sdk.name;
+    if (pin_enabled) PreparePinnedDest(dp, rng);
+    plan.dests.push_back(std::move(dp));
+  }
+}
+
+void GeneratorImpl::AddPinningSdk(AppPlan& plan, Platform p, util::Rng& rng) {
+  std::vector<const appmodel::SdkInfo*> candidates;
+  std::vector<double> weights;
+  for (const appmodel::SdkInfo& sdk : appmodel::SdkCatalog()) {
+    const bool available =
+        p == Platform::kAndroid ? sdk.available_android : sdk.available_ios;
+    const bool pins = p == Platform::kAndroid ? sdk.pins_android : sdk.pins_ios;
+    const double w = p == Platform::kAndroid ? sdk.weight_android : sdk.weight_ios;
+    if (available && pins && w > 0) {
+      candidates.push_back(&sdk);
+      weights.push_back(w);
+    }
+  }
+  if (candidates.empty()) return;
+  const appmodel::SdkInfo& sdk = *candidates[rng.WeightedIndex(weights)];
+  AddSdk(plan, sdk, /*pin_enabled=*/true, /*contact=*/true, rng);
+}
+
+void GeneratorImpl::AddEmbeddingSdks(AppPlan& plan, Platform p, util::Rng& rng) {
+  // Each cert-embedding SDK lands independently. The divisors are tuned so
+  // that dormant placements here, plus the pinning-SDK placements made for
+  // runtime pinners, produce Table 7's per-framework app counts. Apps that
+  // draw no SDK still get static material via BuildApp's bundled-CA fallback
+  // (which normalizes to a generic path and stays out of Table 7, like the
+  // paper's discarded config.json-style paths).
+  const std::vector<appmodel::SdkInfo> embedding =
+      appmodel::SdksEmbeddingCertificates(p);
+  const double divisor = p == Platform::kAndroid ? 1200.0 : 950.0;
+  for (const appmodel::SdkInfo& sdk : embedding) {
+    const double w = p == Platform::kAndroid ? sdk.weight_android : sdk.weight_ios;
+    if (w <= 0) continue;
+    if (rng.Bernoulli(std::min(0.5, w / divisor))) {
+      // Dormant placement: code ships, endpoints contacted unpinned half the
+      // time (library initialized but pinning disabled / outdated).
+      AddSdk(plan, sdk, /*pin_enabled=*/false, /*contact=*/rng.Bernoulli(0.5), rng);
+    }
+  }
+}
+
+void GeneratorImpl::MakeFirstPartyPinner(AppPlan& plan, Platform, util::Rng& rng) {
+  for (DestPlan& dp : plan.dests) {
+    if (dp.first_party && !dp.pinned) PreparePinnedDest(dp, rng);
+  }
+}
+
+void GeneratorImpl::ApplyNscPins(AppPlan& plan) {
+  plan.nsc = true;
+  plan.nsc_pins = true;
+}
+
+// --- App materialization ----------------------------------------------------
+
+namespace {
+
+std::string SanitizeHost(std::string_view host) {
+  std::string out(host);
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+appmodel::CertFileFormat PickCertFormat(util::Rng& rng) {
+  static const std::vector<appmodel::CertFileFormat> formats = {
+      appmodel::CertFileFormat::kPem, appmodel::CertFileFormat::kDer,
+      appmodel::CertFileFormat::kCrt, appmodel::CertFileFormat::kCer,
+      appmodel::CertFileFormat::kCert};
+  return rng.Pick(formats);
+}
+
+}  // namespace
+
+std::size_t GeneratorImpl::BuildApp(AppPlan plan, util::Rng& rng) {
+  const Platform p = plan.meta.platform;
+
+  if (plan.pins_all) {
+    for (DestPlan& dp : plan.dests) {
+      if (!dp.pinned && !dp.never_used) PreparePinnedDest(dp, rng);
+    }
+  }
+
+  App app;
+  app.meta = plan.meta;
+  for (const DestPlan& dp : plan.dests) {
+    // Each destination samples its behaviour from an independent stream, so
+    // structural changes elsewhere never perturb the calibrated cipher/PII
+    // distributions.
+    util::Rng dest_rng = rng.Fork("dest:" + plan.meta.app_id + ":" + dp.host);
+    app.behavior.destinations.push_back(
+        MakeBehavior(dp, p, plan.dataset, dest_rng));
+    if (dp.rotate_leaf_reusing_key) rotate_hosts_.insert(dp.host);
+  }
+
+  // iOS associated domains (§4.5: 66% of apps declare none; the rest average
+  // ~4.8). Never a pinned host — OS verification traffic would otherwise
+  // shadow the app's own pinning signal.
+  if (p == Platform::kIos && rng.Bernoulli(0.34)) {
+    // Associated domains are the developer's *web* properties (universal
+    // links), distinct from the app's API endpoints.
+    std::vector<std::string> assoc;
+    static const std::vector<std::string> extras = {"links", "app", "get", "m",
+                                                    "go", "web"};
+    const std::size_t want = 3 + static_cast<std::size_t>(rng.UniformU64(0, 3));
+    for (std::size_t i = 0; assoc.size() < want && i < extras.size(); ++i) {
+      const std::string host = extras[i] + "." + plan.brand + ".com";
+      eco_.world_.EnsureDefaultPki(host, plan.brand);
+      assoc.push_back(host);
+    }
+    plan.associated_domains = assoc;
+    app.behavior.associated_domains = assoc;
+  }
+
+  // --- Package materialization ---
+  bool has_static_material = false;
+
+  auto target_cert = [&](const DestPlan& dp) -> const x509::Certificate& {
+    const appmodel::ServerInfo* srv = eco_.world_.Find(dp.host);
+    const auto& chain = srv->endpoint.chain;
+    switch (dp.target) {
+      case PinTarget::kLeaf: return chain.front();
+      case PinTarget::kIntermediate:
+        return chain[std::min<std::size_t>(1, chain.size() - 1)];
+      case PinTarget::kRoot: return chain.back();
+    }
+    return chain.front();
+  };
+
+  auto sdk_pin_string = [&](const appmodel::SdkInfo& sdk) {
+    const appmodel::ServerInfo* srv = eco_.world_.Find(sdk.domains.front());
+    const auto& chain = srv->endpoint.chain;
+    const auto& cert = chain[std::min<std::size_t>(1, chain.size() - 1)];
+    return tls::Pin::ForCertificate(cert, tls::PinForm::kSpkiSha256).ToPinString();
+  };
+
+  if (p == Platform::kAndroid) {
+    appmodel::AndroidPackageBuilder builder(plan.meta);
+    builder.AddAsset("assets/config.json",
+                     "{\"brand\":\"" + plan.brand + "\",\"v\":2}");
+
+    for (const std::string& name : plan.sdk_names) {
+      const auto sdk = appmodel::FindSdk(name);
+      if (!sdk.has_value()) continue;
+      if (sdk->embeds_certificate) {
+        builder.AddSmaliString(sdk->android_code_path, "PinningConfig.smali",
+                               sdk_pin_string(*sdk));
+        has_static_material = true;
+      } else {
+        builder.AddSmaliString(sdk->android_code_path, "ApiClient.smali",
+                               "https://" + sdk->domains.front() + "/v2/events");
+      }
+    }
+
+    std::vector<appmodel::NscDomainConfig> nsc_configs;
+    for (std::size_t i = 0; i < plan.dests.size(); ++i) {
+      const DestPlan& dp = plan.dests[i];
+      const DestinationBehavior& db = app.behavior.destinations[i];
+      if (db.pinned && dp.owning_sdk.empty()) {
+        const std::string pin_string = db.pins.front().ToPinString();
+        if (plan.nsc_pins && dp.first_party) {
+          appmodel::NscDomainConfig cfg;
+          cfg.domain = dp.host;
+          cfg.include_subdomains = rng.Bernoulli(0.4);
+          cfg.pin_strings = {pin_string};
+          cfg.pin_expiration = "2022-06-01";
+          nsc_configs.push_back(std::move(cfg));
+        } else {
+          builder.AddSmaliString("com/" + plan.brand + "/net",
+                                 "CertificatePinner" + std::to_string(i) + ".smali",
+                                 pin_string);
+        }
+        has_static_material = true;
+      }
+      if (dp.embed_cert_file) {
+        builder.AddCertificateFile("res/raw", SanitizeHost(dp.host),
+                                   target_cert(dp), PickCertFormat(rng));
+        has_static_material = true;
+      }
+    }
+
+    if (plan.nsc) {
+      util::Rng nsc_rng = rng.Fork("nsc:" + plan.brand);
+      appmodel::NscDocument doc;
+      if (nsc_configs.empty()) {
+        // NSC without pin-sets (cleartext/trust settings only).
+        appmodel::NscDomainConfig cfg;
+        cfg.domain = plan.brand + ".com";
+        cfg.include_subdomains = true;
+        // The Possemato et al. misconfigurations show up occasionally.
+        cfg.override_pins = nsc_rng.Bernoulli(0.05);
+        if (nsc_rng.Bernoulli(0.2)) cfg.cleartext_permitted = true;
+        nsc_configs.push_back(std::move(cfg));
+        if (nsc_rng.Bernoulli(0.3)) {
+          doc.base.present = true;
+          doc.base.cleartext_permitted = nsc_rng.Bernoulli(0.3);
+          doc.base.trust_user_anchors = nsc_rng.Bernoulli(0.15);
+        }
+      }
+      // Debug overrides trusting user CAs: a common development leftover.
+      if (nsc_rng.Bernoulli(0.15)) {
+        doc.debug_overrides.present = true;
+        doc.debug_overrides.trust_user_anchors = true;
+      }
+      doc.domain_configs = std::move(nsc_configs);
+      builder.WithNscDocument(doc);
+    }
+
+    if (plan.static_only && !has_static_material) {
+      // Dormant material without any SDK: a bundled CA file.
+      const auto& ca =
+          x509::PublicCaCatalog::Instance().ByLabel("ca.globaltrust").certificate();
+      builder.AddCertificateFile("assets", "ca_bundle", ca,
+                                 appmodel::CertFileFormat::kPem);
+      has_static_material = true;
+    }
+
+    // Some pinning apps carry native pinning code too.
+    if (plan.runtime_pinning && rng.Bernoulli(0.15)) {
+      for (const auto& db : app.behavior.destinations) {
+        if (db.pinned) {
+          builder.AddNativeLib("lib" + plan.brand + "net.so",
+                               {db.pins.front().ToPinString()}, rng);
+          break;
+        }
+      }
+    }
+
+    app.package = builder.Build();
+  } else {
+    appmodel::IosPackageBuilder builder(plan.meta);
+    builder.AddResource("Assets.car", "ASSETCATALOG:" + plan.brand);
+    builder.WithAssociatedDomains(plan.associated_domains);
+
+    for (const std::string& name : plan.sdk_names) {
+      const auto sdk = appmodel::FindSdk(name);
+      if (!sdk.has_value()) continue;
+      if (sdk->embeds_certificate) {
+        builder.AddFrameworkStrings(sdk->ios_framework, {sdk_pin_string(*sdk)}, rng);
+        has_static_material = true;
+      } else {
+        builder.AddFrameworkStrings(
+            sdk->ios_framework, {"https://" + sdk->domains.front() + "/v2/events"},
+            rng);
+      }
+    }
+
+    for (std::size_t i = 0; i < plan.dests.size(); ++i) {
+      const DestPlan& dp = plan.dests[i];
+      const DestinationBehavior& db = app.behavior.destinations[i];
+      if (db.pinned && dp.owning_sdk.empty()) {
+        builder.AddMainBinaryString(db.pins.front().ToPinString());
+        has_static_material = true;
+      }
+      if (dp.embed_cert_file) {
+        builder.AddCertificateFile(SanitizeHost(dp.host), target_cert(dp),
+                                   PickCertFormat(rng));
+        has_static_material = true;
+      }
+    }
+
+    if (plan.static_only && !has_static_material) {
+      const auto& ca =
+          x509::PublicCaCatalog::Instance().ByLabel("ca.digisign").certificate();
+      builder.AddCertificateFile("bundled_ca", ca, appmodel::CertFileFormat::kCer);
+      has_static_material = true;
+    }
+
+    builder.AddMainBinaryString("https://api." + plan.brand + ".com/v1");
+    app.package = builder.Build(rng);
+  }
+
+  // --- Record truth & store ---
+  AppTruth truth;
+  truth.runtime_pinning = app.behavior.PinsAtRuntime();
+  truth.static_only = plan.static_only;
+  truth.nsc_pins = plan.nsc_pins;
+  truth.pins_all_domains = plan.pins_all;
+
+  if (p == Platform::kAndroid) {
+    eco_.android_apps_.push_back(std::move(app));
+    eco_.android_truth_.push_back(truth);
+    return eco_.android_apps_.size() - 1;
+  }
+  eco_.ios_apps_.push_back(std::move(app));
+  eco_.ios_truth_.push_back(truth);
+  return eco_.ios_apps_.size() - 1;
+}
+
+// --- Common dataset ---------------------------------------------------------
+
+std::pair<AppPlan, AppPlan> GeneratorImpl::MakeCommonPlans(ConsistencyClass cls,
+                                                           util::Rng& rng) {
+  const bool pinning_category = cls != ConsistencyClass::kNotPinning;
+  AppPlan a = NewAppPlan(Platform::kAndroid, DatasetId::kCommon, pinning_category, rng);
+  AppPlan i;
+  i.dataset = DatasetId::kCommon;
+  i.brand = a.brand;
+  i.meta = a.meta;
+  i.meta.platform = Platform::kIos;
+  i.meta.app_id = "com." + a.brand + ".ios";
+  i.meta.category = ToIosCategory(a.meta.category);
+
+  // A shared pool of first-party hosts; the consistency class decides which
+  // platform contacts and pins which host.
+  static const std::vector<std::string> prefixes = {"api", "www", "events", "auth"};
+  std::vector<std::string> fp;
+  for (const std::string& prefix : prefixes) {
+    const std::string host = prefix + "." + a.brand + ".com";
+    eco_.world_.EnsureDefaultPki(host, a.brand);
+    fp.push_back(host);
+  }
+
+  auto add = [&](AppPlan& plan, std::size_t idx, bool pinned) {
+    DestPlan dp;
+    dp.host = fp[idx];
+    dp.first_party = true;
+    if (pinned) PreparePinnedDest(dp, rng);
+    plan.dests.push_back(std::move(dp));
+  };
+
+  switch (cls) {
+    case ConsistencyClass::kNotPinning:
+      add(a, 0, false); add(i, 0, false);
+      if (rng.Bernoulli(0.6)) { add(a, 1, false); add(i, 1, false); }
+      break;
+    case ConsistencyClass::kConsistentIdentical: {
+      // Same pinned set on both platforms (usually one domain, sometimes two).
+      add(a, 0, true); add(i, 0, true);
+      if (rng.Bernoulli(0.4)) { add(a, 1, true); add(i, 1, true); }
+      add(a, 2, false); add(i, 2, false);
+      break;
+    }
+    case ConsistencyClass::kConsistentPartial:
+      // One shared pinned domain; each side pins extras the other never sees.
+      add(a, 0, true); add(i, 0, true);
+      add(a, 1, true);              // Android-only extra (iOS never contacts)
+      add(i, 2, true); add(i, 3, true);  // iOS-only extras
+      break;
+    case ConsistencyClass::kInconsistentBoth:
+      if (rng.Bernoulli(0.4)) {
+        // Overlapping pattern (the paper's Twitter row): both pin fp0;
+        // Android also pins fp1, which iOS contacts unpinned.
+        add(a, 0, true); add(i, 0, true);
+        add(a, 1, true); add(i, 1, false);
+      } else {
+        // Disjoint pattern (TikTok/Jungle rows): each side's pinned domain is
+        // observed unpinned on the other.
+        add(a, 1, true); add(i, 1, false);
+        add(i, 2, true); add(a, 2, false);
+        add(a, 0, false); add(i, 0, false);
+      }
+      break;
+    case ConsistencyClass::kInconclusiveBoth:
+      // Each side pins a domain the other never contacts.
+      add(a, 0, false); add(i, 0, false);
+      add(a, 1, true);
+      add(i, 2, true);
+      break;
+    case ConsistencyClass::kAndroidOnlyInconsistent:
+      add(a, 0, true); add(i, 0, false);
+      if (rng.Bernoulli(0.3)) { add(a, 1, true); add(i, 1, false); }
+      break;
+    case ConsistencyClass::kAndroidOnlyInconclusive:
+      add(a, 1, true);
+      add(a, 0, false); add(i, 0, false);
+      break;
+    case ConsistencyClass::kIosOnlyInconsistent:
+      add(i, 0, true); add(a, 0, false);
+      break;
+    case ConsistencyClass::kIosOnlyInconclusive:
+      add(i, 1, true);
+      add(a, 0, false); add(i, 0, false);
+      break;
+  }
+
+  // Shared ambient traffic: noise hosts + occasionally a non-pinning SDK.
+  AddNoise(a, rng);
+  AddNoise(i, rng);
+  if (rng.Bernoulli(0.3)) {
+    const auto fb = appmodel::FindSdk("Facebook");
+    AddSdk(a, *fb, false, true, rng);
+    AddSdk(i, *fb, false, true, rng);
+  }
+
+  a.runtime_pinning = std::any_of(a.dests.begin(), a.dests.end(),
+                                  [](const DestPlan& d) { return d.pinned; });
+  i.runtime_pinning = std::any_of(i.dests.begin(), i.dests.end(),
+                                  [](const DestPlan& d) { return d.pinned; });
+  return {std::move(a), std::move(i)};
+}
+
+void GeneratorImpl::BuildCommon() {
+  Dataset common_a{DatasetId::kCommon, Platform::kAndroid, {}};
+  Dataset common_i{DatasetId::kCommon, Platform::kIos, {}};
+
+  struct ClassCount {
+    ConsistencyClass cls;
+    int count;
+  };
+  const std::vector<ClassCount> classes = {
+      {ConsistencyClass::kConsistentIdentical, S(13)},
+      {ConsistencyClass::kConsistentPartial, S(2)},
+      {ConsistencyClass::kInconsistentBoth, S(6)},
+      {ConsistencyClass::kInconclusiveBoth, S(6)},
+      {ConsistencyClass::kAndroidOnlyInconsistent, S(10)},
+      {ConsistencyClass::kAndroidOnlyInconclusive, S(10)},
+      {ConsistencyClass::kIosOnlyInconsistent, S(7)},
+      {ConsistencyClass::kIosOnlyInconclusive, S(15)},
+  };
+  int pinning_total = 0;
+  for (const ClassCount& cc : classes) pinning_total += cc.count;
+  const int total = std::max(S(575), pinning_total);
+
+  int nsc_pin_quota = S(16);
+  int a_static_quota = S(108);
+  int i_static_quota = S(83);
+  int nsc_plain_quota = S(20);
+
+  auto build_pair = [&](ConsistencyClass cls) {
+    util::Rng rng = rng_.Fork("common-pair:" + std::to_string(common_a.size()));
+    auto [a, i] = MakeCommonPlans(cls, rng);
+
+    const bool android_pins_fp = std::any_of(
+        a.dests.begin(), a.dests.end(),
+        [](const DestPlan& d) { return d.pinned && d.first_party; });
+    if (android_pins_fp && nsc_pin_quota > 0) {
+      ApplyNscPins(a);
+      --nsc_pin_quota;
+    }
+    if (cls == ConsistencyClass::kNotPinning) {
+      if (a_static_quota > 0) {
+        a.static_only = true;
+        AddEmbeddingSdks(a, Platform::kAndroid, rng);
+        --a_static_quota;
+      } else if (nsc_plain_quota > 0) {
+        a.nsc = true;
+        --nsc_plain_quota;
+      }
+      if (i_static_quota > 0) {
+        i.static_only = true;
+        AddEmbeddingSdks(i, Platform::kIos, rng);
+        --i_static_quota;
+      }
+    }
+
+    CommonPair pair;
+    pair.cls = cls;
+    pair.android_index = BuildApp(std::move(a), rng);
+    pair.ios_index = BuildApp(std::move(i), rng);
+    common_a.app_indices.push_back(pair.android_index);
+    common_i.app_indices.push_back(pair.ios_index);
+    eco_.pairs_.push_back(pair);
+  };
+
+  for (const ClassCount& cc : classes) {
+    for (int n = 0; n < cc.count; ++n) build_pair(cc.cls);
+  }
+  for (int n = pinning_total; n < total; ++n) {
+    build_pair(ConsistencyClass::kNotPinning);
+  }
+
+  eco_.datasets_.push_back(std::move(common_a));
+  eco_.datasets_.push_back(std::move(common_i));
+}
+
+// --- Popular / Random datasets ----------------------------------------------
+
+AppPlan GeneratorImpl::MakePinningApp(Platform p, DatasetId d,
+                                      std::string_view forced_sdk,
+                                      util::Rng& rng) {
+  AppPlan plan = NewAppPlan(p, d, /*pinning_category=*/true, rng);
+  AddFirstParty(plan, rng.UniformInt(1, 3), rng);
+
+  if (!forced_sdk.empty()) {
+    // The iOS-Random phenomenon: PayPal / Firestore SDKs pinning their own
+    // endpoints inside otherwise unremarkable apps.
+    const auto sdk = appmodel::FindSdk(forced_sdk);
+    if (sdk.has_value()) AddSdk(plan, *sdk, /*pin_enabled=*/true, true, rng);
+  } else {
+    const double r = rng.UniformDouble();
+    if (p == Platform::kAndroid) {
+      if (r < 0.35) {
+        // First-party pinner: Android apps that pin first-party pin all of it
+        // (Figure 5a, one exception in the paper).
+        MakeFirstPartyPinner(plan, p, rng);
+        if (rng.Bernoulli(0.3)) AddPinningSdk(plan, p, rng);
+      } else {
+        AddPinningSdk(plan, p, rng);
+      }
+    } else {
+      if (r < 0.35) {
+        MakeFirstPartyPinner(plan, p, rng);
+        if (rng.Bernoulli(0.3)) AddPinningSdk(plan, p, rng);
+      } else if (r < 0.50) {
+        // Partial first-party pinning (dark blue + dark green bars, Fig. 5b).
+        for (DestPlan& dp : plan.dests) {
+          if (dp.first_party) {
+            PreparePinnedDest(dp, rng);
+            break;
+          }
+        }
+      } else {
+        AddPinningSdk(plan, p, rng);
+      }
+    }
+  }
+
+  // §5.3.1 special deployments, consumed from quotas.
+  int& custom_quota = p == Platform::kAndroid ? custom_pki_quota_android_
+                                              : custom_pki_quota_ios_;
+  if (custom_quota > 0) {
+    --custom_quota;
+    const std::string host = "internal." + plan.brand + ".com";
+    eco_.world_.EnsureCustomPki(host, plan.brand);
+    DestPlan dp;
+    dp.host = host;
+    dp.first_party = true;
+    dp.custom_trust = true;
+    PreparePinnedDest(dp, rng);
+    plan.dests.push_back(std::move(dp));
+  }
+  int& self_signed_quota = p == Platform::kAndroid ? self_signed_quota_android_
+                                                   : self_signed_quota_ios_;
+  if (self_signed_quota > 0) {
+    --self_signed_quota;
+    const std::string host = "legacy." + plan.brand + ".com";
+    // The paper found self-signed pinned certs valid for 27 and 10 years.
+    eco_.world_.EnsureSelfSigned(host, plan.brand,
+                                 p == Platform::kAndroid ? 27 : 10);
+    DestPlan dp;
+    dp.host = host;
+    dp.first_party = true;
+    dp.custom_trust = true;  // nothing else would trust it
+    PreparePinnedDest(dp, rng);
+    plan.dests.push_back(std::move(dp));
+  }
+
+  AddNoise(plan, rng);
+
+  // Guarantee at least one pinned destination.
+  const bool any_pinned = std::any_of(plan.dests.begin(), plan.dests.end(),
+                                      [](const DestPlan& x) { return x.pinned; });
+  if (!any_pinned) {
+    for (DestPlan& dp : plan.dests) {
+      if (dp.first_party) {
+        PreparePinnedDest(dp, rng);
+        break;
+      }
+    }
+  }
+
+  // A handful of apps pin everything they contact (§5.2: 5 on Android, 4 on
+  // iOS).
+  int& pins_all_quota = p == Platform::kAndroid ? pins_all_quota_android_
+                                                : pins_all_quota_ios_;
+  if (pins_all_quota > 0 && rng.Bernoulli(0.12)) {
+    --pins_all_quota;
+    plan.pins_all = true;
+  }
+
+  plan.runtime_pinning = true;
+  return plan;
+}
+
+AppPlan GeneratorImpl::MakeStaticOnlyApp(Platform p, DatasetId d, util::Rng& rng) {
+  AppPlan plan = NewAppPlan(p, d, /*pinning_category=*/false, rng);
+  AddFirstParty(plan, rng.UniformInt(1, 2), rng);
+  AddEmbeddingSdks(plan, p, rng);
+  AddNoise(plan, rng);
+  plan.static_only = true;
+  return plan;
+}
+
+AppPlan GeneratorImpl::MakeRegularApp(Platform p, DatasetId d, util::Rng& rng) {
+  AppPlan plan = NewAppPlan(p, d, /*pinning_category=*/false, rng);
+  if (rng.Bernoulli(0.85)) AddFirstParty(plan, rng.UniformInt(1, 2), rng);
+  for (const char* noise_sdk : {"Facebook", "Crashlane", "AdNetwork"}) {
+    if (rng.Bernoulli(0.22)) {
+      const auto sdk = appmodel::FindSdk(noise_sdk);
+      const bool available = p == Platform::kAndroid ? sdk->available_android
+                                                     : sdk->available_ios;
+      if (available) AddSdk(plan, *sdk, false, true, rng);
+    }
+  }
+  AddNoise(plan, rng);
+  return plan;
+}
+
+void GeneratorImpl::BuildPlatformSets(Platform p) {
+  const bool android = p == Platform::kAndroid;
+
+  // --- Popular ---
+  {
+    Dataset popular{DatasetId::kPopular, p, {}};
+    // §3 collisions: some Common apps reappear in the Popular listings.
+    const Dataset& common = eco_.datasets_[android ? 0 : 1];
+    const auto& truths = android ? eco_.android_truth_ : eco_.ios_truth_;
+    int collisions = S(android ? 11 : 60);
+    for (std::size_t idx : common.app_indices) {
+      if (collisions == 0) break;
+      if (!truths[idx].runtime_pinning && !truths[idx].static_only) {
+        popular.app_indices.push_back(idx);
+        --collisions;
+      }
+    }
+
+    const int total = S(1000);
+    int n_pin = S(android ? 67 : 114);
+    int n_static = S(android ? 130 : 220);
+    int nsc_pin = android ? S(18) : 0;
+    int nsc_plain = android ? S(30) : 0;
+
+    while (static_cast<int>(popular.app_indices.size()) < total) {
+      util::Rng rng = rng_.Fork("popular:" + std::string(PlatformName(p)) + ":" +
+                                std::to_string(popular.app_indices.size()));
+      AppPlan plan;
+      if (n_pin > 0) {
+        --n_pin;
+        plan = MakePinningApp(p, DatasetId::kPopular, "", rng);
+        const bool pins_fp = std::any_of(
+            plan.dests.begin(), plan.dests.end(),
+            [](const DestPlan& x) { return x.pinned && x.first_party; });
+        if (pins_fp && nsc_pin > 0) {
+          ApplyNscPins(plan);
+          --nsc_pin;
+        }
+      } else if (n_static > 0) {
+        --n_static;
+        plan = MakeStaticOnlyApp(p, DatasetId::kPopular, rng);
+      } else {
+        plan = MakeRegularApp(p, DatasetId::kPopular, rng);
+        if (nsc_plain > 0) {
+          plan.nsc = true;
+          --nsc_plain;
+        }
+      }
+      popular.app_indices.push_back(BuildApp(std::move(plan), rng));
+    }
+    eco_.datasets_.push_back(std::move(popular));
+  }
+
+  // --- Random ---
+  {
+    Dataset random{DatasetId::kRandom, p, {}};
+    const int total = S(1000);
+    int n_pin = S(android ? 9 : 25);
+    int n_static = S(android ? 90 : 70);
+    int nsc_pin = android ? S(6) : 0;
+    int nsc_plain = android ? S(15) : 0;
+    // The iOS-Random third-party pinning phenomenon (§5): PayPal in 10 apps,
+    // Firestore in 5.
+    int paypal = android ? 0 : S(10);
+    int firestore = android ? 0 : S(5);
+
+    while (static_cast<int>(random.app_indices.size()) < total) {
+      util::Rng rng = rng_.Fork("random:" + std::string(PlatformName(p)) + ":" +
+                                std::to_string(random.app_indices.size()));
+      AppPlan plan;
+      if (n_pin > 0) {
+        --n_pin;
+        std::string forced;
+        if (paypal > 0) {
+          forced = "Paypal";
+          --paypal;
+        } else if (firestore > 0) {
+          forced = "Firestore";
+          --firestore;
+        }
+        plan = MakePinningApp(p, DatasetId::kRandom, forced, rng);
+        const bool pins_fp = std::any_of(
+            plan.dests.begin(), plan.dests.end(),
+            [](const DestPlan& x) { return x.pinned && x.first_party; });
+        if (pins_fp && nsc_pin > 0) {
+          ApplyNscPins(plan);
+          --nsc_pin;
+        }
+      } else if (n_static > 0) {
+        --n_static;
+        plan = MakeStaticOnlyApp(p, DatasetId::kRandom, rng);
+      } else {
+        plan = MakeRegularApp(p, DatasetId::kRandom, rng);
+        if (nsc_plain > 0) {
+          plan.nsc = true;
+          --nsc_plain;
+        }
+      }
+      random.app_indices.push_back(BuildApp(std::move(plan), rng));
+    }
+    eco_.datasets_.push_back(std::move(random));
+  }
+}
+
+// --- Post-pass & assembly ----------------------------------------------------
+
+void GeneratorImpl::ApplySpecialCases() {
+  // §5.3.3: servers renew leaves during the study while reusing keys; SPKI
+  // and public-key pins keep matching, embedded certificate files go stale.
+  for (const std::string& host : rotate_hosts_) {
+    eco_.world_.RotateLeaf(host, /*reuse_key=*/true);
+  }
+
+  // Table 6 "Data Unavailable": some pinned destinations refuse the
+  // out-of-band chain fetch.
+  int a_quota = S(11);
+  int i_quota = S(14);
+  auto pinned_hosts = [](const std::vector<App>& apps) {
+    std::set<std::string> hosts;
+    for (const App& app : apps) {
+      for (const auto& dest : app.behavior.destinations) {
+        if (dest.pinned) hosts.insert(dest.hostname);
+      }
+    }
+    return hosts;
+  };
+  const std::set<std::string> android_pinned = pinned_hosts(eco_.android_apps_);
+  const std::set<std::string> ios_pinned = pinned_hosts(eco_.ios_apps_);
+  auto mark = [&](const std::vector<App>& apps, int& quota,
+                  const std::set<std::string>& other_platform_pinned) {
+    for (const App& app : apps) {
+      if (quota == 0) return;
+      for (const auto& dest : app.behavior.destinations) {
+        if (quota == 0) return;
+        const appmodel::ServerInfo* srv = eco_.world_.Find(dest.hostname);
+        // Mark only hosts pinned exclusively on this platform, so the quota
+        // lands on the intended per-platform Table 6 bucket.
+        if (dest.pinned && srv != nullptr && !srv->chain_fetch_unavailable &&
+            dest.owning_sdk.empty() && !dest.custom_trust &&
+            !other_platform_pinned.contains(dest.hostname)) {
+          eco_.world_.MarkChainFetchUnavailable(dest.hostname);
+          --quota;
+        }
+      }
+    }
+  };
+  mark(eco_.android_apps_, a_quota, ios_pinned);
+  mark(eco_.ios_apps_, i_quota, android_pinned);
+}
+
+Ecosystem GeneratorImpl::Build() {
+  pins_all_quota_android_ = S(5);
+  pins_all_quota_ios_ = S(4);
+  custom_pki_quota_android_ = S(4);
+  custom_pki_quota_ios_ = S(1);
+  self_signed_quota_android_ = S(1);
+  self_signed_quota_ios_ = S(1);
+
+  ProvisionInfrastructure();
+  BuildCommon();
+  BuildPlatformSets(Platform::kAndroid);
+  BuildPlatformSets(Platform::kIos);
+  ApplySpecialCases();
+
+  eco_.world_.ExportOwnership(eco_.orgs_);
+  eco_.world_.ExportToCtLog(eco_.ct_log_);
+  return std::move(eco_);
+}
+
+// --- Ecosystem public API ----------------------------------------------------
+
+Ecosystem Ecosystem::Generate(const EcosystemConfig& config) {
+  GeneratorImpl generator(config);
+  return generator.Build();
+}
+
+const std::vector<App>& Ecosystem::apps(Platform p) const {
+  return p == Platform::kAndroid ? android_apps_ : ios_apps_;
+}
+
+const Dataset& Ecosystem::dataset(DatasetId id, Platform p) const {
+  for (const Dataset& d : datasets_) {
+    if (d.id == id && d.platform == p) return d;
+  }
+  throw util::Error("dataset not generated");
+}
+
+std::vector<const App*> Ecosystem::DatasetApps(DatasetId id, Platform p) const {
+  const Dataset& d = dataset(id, p);
+  const auto& universe = apps(p);
+  std::vector<const App*> out;
+  out.reserve(d.app_indices.size());
+  for (std::size_t idx : d.app_indices) out.push_back(&universe[idx]);
+  return out;
+}
+
+const AppTruth& Ecosystem::truth(Platform p, std::size_t index) const {
+  return p == Platform::kAndroid ? android_truth_.at(index) : ios_truth_.at(index);
+}
+
+}  // namespace pinscope::store

@@ -1,0 +1,113 @@
+// The calibrated ecosystem generator.
+//
+// Builds the entire measurement substrate the paper's pipeline ran against:
+// a server-side Internet, an organization directory, a CT log, and the six
+// app datasets (Common/Popular/Random × Android/iOS) with per-app behaviour
+// profiles fitted to the paper's reported distributions (DESIGN.md §4).
+//
+// Ground truth lives in each App's behaviour and in the AppTruth records;
+// the measurement pipeline never reads either — tests assert that measured
+// results match the generated truth.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "appmodel/app.h"
+#include "appmodel/server_world.h"
+#include "net/party.h"
+#include "store/dataset.h"
+#include "x509/ct_log.h"
+
+namespace pinscope::store {
+
+/// Cross-platform pinning consistency classes for Common-dataset pairs
+/// (§5.1 / Figures 2–4). Assigned as generation ground truth; the study
+/// re-derives them from measurements.
+enum class ConsistencyClass {
+  kNotPinning,              ///< Pins on neither platform.
+  kConsistentIdentical,     ///< Same pinned set on both platforms.
+  kConsistentPartial,       ///< ≥1 shared pinned domain; extras unobservable.
+  kInconsistentBoth,        ///< Pins on both; some domain pinned on one side
+                            ///  observed unpinned on the other.
+  kInconclusiveBoth,        ///< Pins on both; pinned sets never co-observed.
+  kAndroidOnlyInconsistent, ///< Pins only on Android; iOS contacts unpinned.
+  kAndroidOnlyInconclusive, ///< Pins only on Android; iOS never contacts.
+  kIosOnlyInconsistent,     ///< Pins only on iOS; Android contacts unpinned.
+  kIosOnlyInconclusive,     ///< Pins only on iOS; Android never contacts.
+};
+
+/// Human-readable class name.
+[[nodiscard]] std::string_view ConsistencyClassName(ConsistencyClass c);
+
+/// Per-app generation ground truth (test oracle; not read by the pipeline).
+struct AppTruth {
+  bool runtime_pinning = false;  ///< Pins at run time.
+  bool static_only = false;      ///< Ships pin material but never enforces it.
+  bool nsc_pins = false;         ///< Android: pins via Network Security Config.
+  bool pins_all_domains = false; ///< Pins every destination it contacts.
+};
+
+/// One logical app present on both stores.
+struct CommonPair {
+  std::size_t android_index = 0;  ///< Index into apps(kAndroid).
+  std::size_t ios_index = 0;      ///< Index into apps(kIos).
+  ConsistencyClass cls = ConsistencyClass::kNotPinning;
+};
+
+/// Generation parameters.
+struct EcosystemConfig {
+  std::uint64_t seed = 42;
+  /// Scales every dataset size and class count (1.0 = the paper's sizes:
+  /// 575 common pairs, 1000 popular and 1000 random per platform). Use
+  /// smaller values for fast tests; shapes survive down to roughly 0.1.
+  double scale = 1.0;
+};
+
+/// The generated universe.
+class Ecosystem {
+ public:
+  /// Generates deterministically from `config`.
+  static Ecosystem Generate(const EcosystemConfig& config = {});
+
+  [[nodiscard]] const appmodel::ServerWorld& world() const { return world_; }
+  [[nodiscard]] const x509::CtLog& ct_log() const { return ct_log_; }
+  [[nodiscard]] const net::OrganizationDirectory& organizations() const {
+    return orgs_;
+  }
+
+  /// App universe for a platform (indices are stable).
+  [[nodiscard]] const std::vector<appmodel::App>& apps(appmodel::Platform p) const;
+
+  /// A dataset's member indices.
+  [[nodiscard]] const Dataset& dataset(DatasetId id, appmodel::Platform p) const;
+
+  /// All apps of one dataset (resolved from indices).
+  [[nodiscard]] std::vector<const appmodel::App*> DatasetApps(
+      DatasetId id, appmodel::Platform p) const;
+
+  /// Ground truth for an app.
+  [[nodiscard]] const AppTruth& truth(appmodel::Platform p, std::size_t index) const;
+
+  /// The Common dataset's cross-platform links with their truth classes.
+  [[nodiscard]] const std::vector<CommonPair>& common_pairs() const {
+    return pairs_;
+  }
+
+ private:
+  friend class GeneratorImpl;
+  Ecosystem() : world_(0) {}
+
+  appmodel::ServerWorld world_;
+  x509::CtLog ct_log_;
+  net::OrganizationDirectory orgs_;
+  std::vector<appmodel::App> android_apps_;
+  std::vector<appmodel::App> ios_apps_;
+  std::vector<AppTruth> android_truth_;
+  std::vector<AppTruth> ios_truth_;
+  std::vector<Dataset> datasets_;  // 6 entries
+  std::vector<CommonPair> pairs_;
+};
+
+}  // namespace pinscope::store

@@ -1,0 +1,86 @@
+#include "tls/cipher_suites.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace pinscope::tls {
+
+const std::vector<CipherSuiteInfo>& CipherSuiteRegistry() {
+  static const std::vector<CipherSuiteInfo> registry = {
+      {CipherSuiteId::kTlsAes128GcmSha256, "TLS_AES_128_GCM_SHA256", false,
+       TlsVersion::kTls13, TlsVersion::kTls13},
+      {CipherSuiteId::kTlsAes256GcmSha384, "TLS_AES_256_GCM_SHA384", false,
+       TlsVersion::kTls13, TlsVersion::kTls13},
+      {CipherSuiteId::kTlsChacha20Poly1305Sha256, "TLS_CHACHA20_POLY1305_SHA256",
+       false, TlsVersion::kTls13, TlsVersion::kTls13},
+      {CipherSuiteId::kEcdheRsaAes128GcmSha256,
+       "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256", false, TlsVersion::kTls12,
+       TlsVersion::kTls12},
+      {CipherSuiteId::kEcdheRsaAes256GcmSha384,
+       "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384", false, TlsVersion::kTls12,
+       TlsVersion::kTls12},
+      {CipherSuiteId::kEcdheEcdsaAes128GcmSha256,
+       "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256", false, TlsVersion::kTls12,
+       TlsVersion::kTls12},
+      {CipherSuiteId::kEcdheRsaChacha20,
+       "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256", false, TlsVersion::kTls12,
+       TlsVersion::kTls12},
+      {CipherSuiteId::kRsaAes128CbcSha, "TLS_RSA_WITH_AES_128_CBC_SHA", false,
+       TlsVersion::kTls10, TlsVersion::kTls12},
+      {CipherSuiteId::kRsaAes256CbcSha, "TLS_RSA_WITH_AES_256_CBC_SHA", false,
+       TlsVersion::kTls10, TlsVersion::kTls12},
+      {CipherSuiteId::kRsaDesCbcSha, "TLS_RSA_WITH_DES_CBC_SHA", true,
+       TlsVersion::kTls10, TlsVersion::kTls12},
+      {CipherSuiteId::kRsa3DesEdeCbcSha, "TLS_RSA_WITH_3DES_EDE_CBC_SHA", true,
+       TlsVersion::kTls10, TlsVersion::kTls12},
+      {CipherSuiteId::kEcdheRsa3DesEdeCbcSha,
+       "TLS_ECDHE_RSA_WITH_3DES_EDE_CBC_SHA", true, TlsVersion::kTls10,
+       TlsVersion::kTls12},
+      {CipherSuiteId::kRsaRc4128Sha, "TLS_RSA_WITH_RC4_128_SHA", true,
+       TlsVersion::kTls10, TlsVersion::kTls12},
+      {CipherSuiteId::kRsaRc4128Md5, "TLS_RSA_WITH_RC4_128_MD5", true,
+       TlsVersion::kTls10, TlsVersion::kTls12},
+      {CipherSuiteId::kRsaExportRc440Md5, "TLS_RSA_EXPORT_WITH_RC4_40_MD5", true,
+       TlsVersion::kTls10, TlsVersion::kTls11},
+      {CipherSuiteId::kRsaExportDes40CbcSha,
+       "TLS_RSA_EXPORT_WITH_DES40_CBC_SHA", true, TlsVersion::kTls10,
+       TlsVersion::kTls11},
+  };
+  return registry;
+}
+
+const CipherSuiteInfo& CipherSuite(CipherSuiteId id) {
+  for (const CipherSuiteInfo& info : CipherSuiteRegistry()) {
+    if (info.id == id) return info;
+  }
+  throw util::Error("unknown cipher suite id");
+}
+
+bool IsWeakCipher(CipherSuiteId id) { return CipherSuite(id).weak; }
+
+bool AdvertisesWeakCipher(const std::vector<CipherSuiteId>& offered) {
+  return std::any_of(offered.begin(), offered.end(),
+                     [](CipherSuiteId id) { return IsWeakCipher(id); });
+}
+
+std::vector<CipherSuiteId> ModernCipherOffer() {
+  return {CipherSuiteId::kTlsAes128GcmSha256,
+          CipherSuiteId::kTlsAes256GcmSha384,
+          CipherSuiteId::kTlsChacha20Poly1305Sha256,
+          CipherSuiteId::kEcdheRsaAes128GcmSha256,
+          CipherSuiteId::kEcdheRsaAes256GcmSha384,
+          CipherSuiteId::kEcdheRsaChacha20};
+}
+
+std::vector<CipherSuiteId> LegacyCipherOffer() {
+  return {CipherSuiteId::kTlsAes128GcmSha256,
+          CipherSuiteId::kEcdheRsaAes128GcmSha256,
+          CipherSuiteId::kRsaAes128CbcSha,
+          CipherSuiteId::kRsaAes256CbcSha,
+          CipherSuiteId::kRsa3DesEdeCbcSha,
+          CipherSuiteId::kEcdheRsa3DesEdeCbcSha,
+          CipherSuiteId::kRsaRc4128Sha};
+}
+
+}  // namespace pinscope::tls

@@ -1,0 +1,69 @@
+// Cipher-suite registry and the weak-cipher taxonomy of §5.4.
+//
+// The paper flags connections that *advertise* support for bad cipher suites
+// (DES, 3DES, RC4, EXPORT-grade) in the ClientHello. The registry carries the
+// IANA-style identifiers plus the classification used by the Table 8 bench.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "tls/version.h"
+
+namespace pinscope::tls {
+
+/// Identifiers for the cipher suites the simulation knows about. Values match
+/// the IANA TLS Cipher Suite registry where applicable.
+enum class CipherSuiteId : std::uint16_t {
+  // TLS 1.3 suites.
+  kTlsAes128GcmSha256 = 0x1301,
+  kTlsAes256GcmSha384 = 0x1302,
+  kTlsChacha20Poly1305Sha256 = 0x1303,
+  // Modern TLS 1.2 ECDHE suites.
+  kEcdheRsaAes128GcmSha256 = 0xC02F,
+  kEcdheRsaAes256GcmSha384 = 0xC030,
+  kEcdheEcdsaAes128GcmSha256 = 0xC02B,
+  kEcdheRsaChacha20 = 0xCCA8,
+  // CBC-era but not classified "bad" by the paper's list.
+  kRsaAes128CbcSha = 0x002F,
+  kRsaAes256CbcSha = 0x0035,
+  // Bad suites (the §5.4 list: DES, 3DES, RC4, EXPORT).
+  kRsaDesCbcSha = 0x0009,
+  kRsa3DesEdeCbcSha = 0x000A,
+  kEcdheRsa3DesEdeCbcSha = 0xC012,
+  kRsaRc4128Sha = 0x0005,
+  kRsaRc4128Md5 = 0x0004,
+  kRsaExportRc440Md5 = 0x0003,
+  kRsaExportDes40CbcSha = 0x0008,
+};
+
+/// Static description of one suite.
+struct CipherSuiteInfo {
+  CipherSuiteId id;
+  std::string_view name;      ///< IANA-style name.
+  bool weak;                  ///< True for DES/3DES/RC4/EXPORT suites.
+  TlsVersion min_version;     ///< Earliest version the suite applies to.
+  TlsVersion max_version;     ///< Latest version the suite applies to.
+};
+
+/// Full registry (fixed order, suitable for iteration in reports).
+[[nodiscard]] const std::vector<CipherSuiteInfo>& CipherSuiteRegistry();
+
+/// Lookup by id; throws util::Error for unknown ids.
+[[nodiscard]] const CipherSuiteInfo& CipherSuite(CipherSuiteId id);
+
+/// True if the id is a DES/3DES/RC4/EXPORT suite.
+[[nodiscard]] bool IsWeakCipher(CipherSuiteId id);
+
+/// True if any offered suite is weak — the paper's per-connection predicate.
+[[nodiscard]] bool AdvertisesWeakCipher(const std::vector<CipherSuiteId>& offered);
+
+/// A modern, hardened ClientHello offer (TLS 1.3 + ECDHE GCM).
+[[nodiscard]] std::vector<CipherSuiteId> ModernCipherOffer();
+
+/// A permissive legacy offer that still includes bad suites (what §5.4 finds
+/// in the majority of iOS connections).
+[[nodiscard]] std::vector<CipherSuiteId> LegacyCipherOffer();
+
+}  // namespace pinscope::tls

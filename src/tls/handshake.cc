@@ -1,0 +1,370 @@
+#include "tls/handshake.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace pinscope::tls {
+
+std::string_view TlsStackName(TlsStack s) {
+  switch (s) {
+    case TlsStack::kOkHttp: return "okhttp";
+    case TlsStack::kAndroidPlatform: return "android-platform";
+    case TlsStack::kConscrypt: return "conscrypt";
+    case TlsStack::kNsUrlSession: return "nsurlsession";
+    case TlsStack::kAfNetworking: return "afnetworking";
+    case TlsStack::kAlamofire: return "alamofire";
+    case TlsStack::kCronet: return "cronet";
+    case TlsStack::kCustom: return "custom";
+  }
+  throw util::Error("unknown TlsStack");
+}
+
+std::string_view FailureReasonName(FailureReason r) {
+  switch (r) {
+    case FailureReason::kNone: return "none";
+    case FailureReason::kProtocolVersion: return "protocol-version";
+    case FailureReason::kNoCommonCipher: return "no-common-cipher";
+    case FailureReason::kCertificateInvalid: return "certificate-invalid";
+    case FailureReason::kPinMismatch: return "pin-mismatch";
+  }
+  throw util::Error("unknown FailureReason");
+}
+
+namespace {
+
+// Emits a record and advances the per-connection clock a few milliseconds.
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(util::Rng& rng) : rng_(rng) {}
+
+  void Emit(Direction dir, ContentType wire, ContentType actual,
+            std::uint32_t length,
+            AlertDescription alert = AlertDescription::kCloseNotify) {
+    Record r;
+    r.direction = dir;
+    r.wire_type = wire;
+    r.actual_type = actual;
+    r.wire_length = length;
+    r.alert = alert;
+    r.at_ms = clock_ms_;
+    clock_ms_ += static_cast<std::int64_t>(rng_.UniformU64(1, 12));
+    records_.push_back(r);
+  }
+
+  [[nodiscard]] std::vector<Record> Take() { return std::move(records_); }
+
+  util::Rng& rng() { return rng_; }
+
+ private:
+  util::Rng& rng_;
+  std::vector<Record> records_;
+  std::int64_t clock_ms_ = 0;
+};
+
+std::optional<TlsVersion> NegotiateVersion(const ClientTlsConfig& client,
+                                           const ServerEndpoint& server) {
+  const TlsVersion candidate = std::min(client.max_version, server.max_version);
+  if (candidate < client.min_version || candidate < server.min_version) {
+    return std::nullopt;
+  }
+  return candidate;
+}
+
+std::optional<CipherSuiteId> NegotiateCipher(
+    const std::vector<CipherSuiteId>& offered,
+    const std::vector<CipherSuiteId>& supported, TlsVersion version) {
+  for (CipherSuiteId id : offered) {
+    const CipherSuiteInfo& info = CipherSuite(id);
+    if (version < info.min_version || version > info.max_version) continue;
+    if (std::find(supported.begin(), supported.end(), id) != supported.end()) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+// Approximate wire size of the server's certificate flight.
+std::uint32_t ChainFlightLength(const x509::CertificateChain& chain,
+                                util::Rng& rng) {
+  std::uint32_t len = 400;
+  for (const auto& cert : chain) {
+    len += static_cast<std::uint32_t>(cert.DerBytes().size()) + 96;
+  }
+  return len + static_cast<std::uint32_t>(rng.UniformU64(0, 64));
+}
+
+// A data record length guaranteed to differ from the encrypted-alert length,
+// so the simulated wire matches real stacks (app data is never a 24-byte
+// record in practice: headers + padding + tag exceed it).
+std::uint32_t DataRecordLength(std::size_t payload_bytes, util::Rng& rng) {
+  const std::uint32_t base =
+      48 + static_cast<std::uint32_t>(std::min<std::size_t>(payload_bytes, 12'000));
+  return base + static_cast<std::uint32_t>(rng.UniformU64(0, 256));
+}
+
+void EmitClientAbort(TraceBuilder& tb, TlsVersion version, AlertDescription alert) {
+  if (version == TlsVersion::kTls13) {
+    // Encrypted alert: disguised as application data, characteristic length.
+    tb.Emit(Direction::kClientToServer, ContentType::kApplicationData,
+            ContentType::kAlert, kEncryptedAlertWireLength, alert);
+  } else {
+    tb.Emit(Direction::kClientToServer, ContentType::kAlert, ContentType::kAlert,
+            7, alert);
+  }
+}
+
+}  // namespace
+
+ConnectionOutcome SimulateConnection(const ClientTlsConfig& client,
+                                     const ServerEndpoint& server,
+                                     const x509::CertificateChain& presented_chain,
+                                     const AppPayload& payload, util::SimTime now,
+                                     util::Rng& rng) {
+  if (client.root_store == nullptr) {
+    throw util::Error("ClientTlsConfig.root_store must be set");
+  }
+
+  ConnectionOutcome out;
+  out.offered_ciphers = client.offered_ciphers;
+
+  TraceBuilder tb(rng);
+
+  // --- ClientHello ---
+  tb.Emit(Direction::kClientToServer, ContentType::kHandshake,
+          ContentType::kHandshake,
+          220 + static_cast<std::uint32_t>(rng.UniformU64(0, 120)));
+
+  const auto version = NegotiateVersion(client, server);
+  if (!version.has_value()) {
+    out.failure = FailureReason::kProtocolVersion;
+    tb.Emit(Direction::kServerToClient, ContentType::kAlert, ContentType::kAlert,
+            7, AlertDescription::kProtocolVersion);
+    out.records = tb.Take();
+    out.closure = Closure::kCleanFin;
+    return out;
+  }
+  out.version = *version;
+
+  const auto cipher =
+      NegotiateCipher(client.offered_ciphers, server.ciphers, *version);
+  if (!cipher.has_value()) {
+    out.failure = FailureReason::kNoCommonCipher;
+    tb.Emit(Direction::kServerToClient, ContentType::kAlert, ContentType::kAlert,
+            7, AlertDescription::kHandshakeFailure);
+    out.records = tb.Take();
+    out.closure = Closure::kCleanFin;
+    return out;
+  }
+  out.negotiated_cipher = cipher;
+
+  // --- Server flight ---
+  if (*version == TlsVersion::kTls13) {
+    // ServerHello in the clear, then EncryptedExtensions/Certificate/Finished
+    // disguised as application data.
+    tb.Emit(Direction::kServerToClient, ContentType::kHandshake,
+            ContentType::kHandshake, 122);
+    tb.Emit(Direction::kServerToClient, ContentType::kApplicationData,
+            ContentType::kHandshake, ChainFlightLength(presented_chain, tb.rng()));
+  } else {
+    tb.Emit(Direction::kServerToClient, ContentType::kHandshake,
+            ContentType::kHandshake, ChainFlightLength(presented_chain, tb.rng()));
+  }
+
+  // --- Client certificate processing ---
+  out.validation = x509::ValidateChain(presented_chain, server.hostname, now,
+                                       *client.root_store, client.validation);
+  if (!out.validation.ok()) {
+    out.failure = FailureReason::kCertificateInvalid;
+    EmitClientAbort(tb, *version,
+                    out.validation.status == x509::ValidationStatus::kUntrustedRoot
+                        ? AlertDescription::kUnknownCa
+                        : AlertDescription::kBadCertificate);
+    out.records = tb.Take();
+    out.closure = Closure::kClientReset;
+    return out;
+  }
+
+  out.pin_pass = client.pins.Evaluate(server.hostname, presented_chain);
+  if (!out.pin_pass) {
+    out.failure = FailureReason::kPinMismatch;
+    EmitClientAbort(tb, *version, AlertDescription::kBadCertificate);
+    out.records = tb.Take();
+    out.closure = Closure::kClientReset;
+    return out;
+  }
+
+  // --- Client completes the handshake ---
+  if (*version == TlsVersion::kTls13) {
+    // Client Finished, disguised as application data.
+    tb.Emit(Direction::kClientToServer, ContentType::kApplicationData,
+            ContentType::kHandshake, 74);
+  } else {
+    tb.Emit(Direction::kClientToServer, ContentType::kChangeCipherSpec,
+            ContentType::kChangeCipherSpec, 6);
+    tb.Emit(Direction::kClientToServer, ContentType::kHandshake,
+            ContentType::kHandshake, 45);
+    tb.Emit(Direction::kServerToClient, ContentType::kChangeCipherSpec,
+            ContentType::kChangeCipherSpec, 6);
+    tb.Emit(Direction::kServerToClient, ContentType::kHandshake,
+            ContentType::kHandshake, 45);
+  }
+  out.handshake_complete = true;
+
+  // --- Application data ---
+  if (!payload.plaintext.empty()) {
+    const int n = std::max(1, payload.client_records);
+    const std::size_t per_record = payload.plaintext.size() / static_cast<std::size_t>(n) + 1;
+    for (int i = 0; i < n; ++i) {
+      tb.Emit(Direction::kClientToServer, ContentType::kApplicationData,
+              ContentType::kApplicationData, DataRecordLength(per_record, tb.rng()));
+    }
+    tb.Emit(Direction::kServerToClient, ContentType::kApplicationData,
+            ContentType::kApplicationData, DataRecordLength(600, tb.rng()));
+    out.application_data_sent = true;
+    out.plaintext_sent = payload.plaintext;
+  }
+
+  // --- Session ticket ---
+  if (server.issues_session_tickets) {
+    SessionTicket ticket;
+    ticket.hostname = server.hostname;
+    ticket.version = *version;
+    ticket.chain_at_issue = presented_chain;
+    out.ticket = std::move(ticket);
+    if (*version == TlsVersion::kTls13) {
+      // NewSessionTicket rides in the encrypted stream.
+      tb.Emit(Direction::kServerToClient, ContentType::kApplicationData,
+              ContentType::kHandshake, 201);
+    }
+  }
+
+  // --- Orderly shutdown ---
+  if (*version == TlsVersion::kTls13) {
+    tb.Emit(Direction::kClientToServer, ContentType::kApplicationData,
+            ContentType::kAlert, kEncryptedAlertWireLength,
+            AlertDescription::kCloseNotify);
+  } else {
+    tb.Emit(Direction::kClientToServer, ContentType::kAlert, ContentType::kAlert,
+            7, AlertDescription::kCloseNotify);
+  }
+  out.records = tb.Take();
+  out.closure = Closure::kCleanFin;
+  return out;
+}
+
+ConnectionOutcome SimulateResumedConnection(const ClientTlsConfig& client,
+                                            const ServerEndpoint& server,
+                                            const SessionTicket& ticket,
+                                            const AppPayload& payload,
+                                            util::SimTime now, util::Rng& rng) {
+  if (client.root_store == nullptr) {
+    throw util::Error("ClientTlsConfig.root_store must be set");
+  }
+  ConnectionOutcome out;
+  out.offered_ciphers = client.offered_ciphers;
+  out.resumed = true;
+
+  TraceBuilder tb(rng);
+  // ClientHello with a PSK; a mismatched ticket makes the server fall back —
+  // callers model that as a fresh SimulateDirectConnection.
+  tb.Emit(Direction::kClientToServer, ContentType::kHandshake,
+          ContentType::kHandshake,
+          290 + static_cast<std::uint32_t>(rng.UniformU64(0, 60)));
+  if (ticket.hostname != server.hostname) {
+    throw util::Error("SimulateResumedConnection: ticket/server mismatch");
+  }
+
+  const auto version = NegotiateVersion(client, server);
+  if (!version.has_value() || *version != ticket.version) {
+    out.failure = FailureReason::kProtocolVersion;
+    tb.Emit(Direction::kServerToClient, ContentType::kAlert, ContentType::kAlert,
+            7, AlertDescription::kProtocolVersion);
+    out.records = tb.Take();
+    return out;
+  }
+  out.version = *version;
+  const auto cipher =
+      NegotiateCipher(client.offered_ciphers, server.ciphers, *version);
+  if (!cipher.has_value()) {
+    out.failure = FailureReason::kNoCommonCipher;
+    tb.Emit(Direction::kServerToClient, ContentType::kAlert, ContentType::kAlert,
+            7, AlertDescription::kHandshakeFailure);
+    out.records = tb.Take();
+    return out;
+  }
+  out.negotiated_cipher = cipher;
+
+  // ServerHello accepting the PSK — no certificate flight at all.
+  tb.Emit(Direction::kServerToClient, ContentType::kHandshake,
+          ContentType::kHandshake, 128);
+
+  if (client.revalidates_on_resumption) {
+    // Careful stacks re-check the cached chain and pins (OkHttp re-runs its
+    // CertificatePinner against the session's peer certificates).
+    out.validation = x509::ValidateChain(ticket.chain_at_issue, server.hostname,
+                                         now, *client.root_store,
+                                         client.validation);
+    if (!out.validation.ok()) {
+      out.failure = FailureReason::kCertificateInvalid;
+      EmitClientAbort(tb, *version, AlertDescription::kBadCertificate);
+      out.records = tb.Take();
+      out.closure = Closure::kClientReset;
+      return out;
+    }
+    out.pin_pass = client.pins.Evaluate(server.hostname, ticket.chain_at_issue);
+    if (!out.pin_pass) {
+      out.failure = FailureReason::kPinMismatch;
+      EmitClientAbort(tb, *version, AlertDescription::kBadCertificate);
+      out.records = tb.Take();
+      out.closure = Closure::kClientReset;
+      return out;
+    }
+  }
+
+  if (*version == TlsVersion::kTls13) {
+    tb.Emit(Direction::kClientToServer, ContentType::kApplicationData,
+            ContentType::kHandshake, 74);  // Finished
+  } else {
+    tb.Emit(Direction::kClientToServer, ContentType::kChangeCipherSpec,
+            ContentType::kChangeCipherSpec, 6);
+    tb.Emit(Direction::kClientToServer, ContentType::kHandshake,
+            ContentType::kHandshake, 45);
+  }
+  out.handshake_complete = true;
+
+  if (!payload.plaintext.empty()) {
+    const int n = std::max(1, payload.client_records);
+    const std::size_t per_record =
+        payload.plaintext.size() / static_cast<std::size_t>(n) + 1;
+    for (int i = 0; i < n; ++i) {
+      tb.Emit(Direction::kClientToServer, ContentType::kApplicationData,
+              ContentType::kApplicationData, DataRecordLength(per_record, tb.rng()));
+    }
+    tb.Emit(Direction::kServerToClient, ContentType::kApplicationData,
+            ContentType::kApplicationData, DataRecordLength(600, tb.rng()));
+    out.application_data_sent = true;
+    out.plaintext_sent = payload.plaintext;
+  }
+
+  if (*version == TlsVersion::kTls13) {
+    tb.Emit(Direction::kClientToServer, ContentType::kApplicationData,
+            ContentType::kAlert, kEncryptedAlertWireLength,
+            AlertDescription::kCloseNotify);
+  } else {
+    tb.Emit(Direction::kClientToServer, ContentType::kAlert, ContentType::kAlert,
+            7, AlertDescription::kCloseNotify);
+  }
+  out.records = tb.Take();
+  out.closure = Closure::kCleanFin;
+  return out;
+}
+
+ConnectionOutcome SimulateDirectConnection(const ClientTlsConfig& client,
+                                           const ServerEndpoint& server,
+                                           const AppPayload& payload,
+                                           util::SimTime now, util::Rng& rng) {
+  return SimulateConnection(client, server, server.chain, payload, now, rng);
+}
+
+}  // namespace pinscope::tls

@@ -1,0 +1,157 @@
+// TLS connection simulation.
+//
+// Produces a packet-level trace (`Record` sequence) of one TLS connection
+// between a configured client and a server endpoint, optionally with a
+// substituted (intercepted) chain. The traces carry exactly the observables
+// the paper's dynamic detector consumes: wire content types, record lengths,
+// alerts, and TCP closure flags — with TLS 1.3's record disguise applied.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tls/cipher_suites.h"
+#include "tls/pinning.h"
+#include "tls/record.h"
+#include "tls/version.h"
+#include "util/clock.h"
+#include "util/rng.h"
+#include "x509/root_store.h"
+#include "x509/validation.h"
+
+namespace pinscope::tls {
+
+/// Identifier of the TLS implementation a client links. Drives the
+/// instrumentation layer: hooks exist only for well-known stacks (§4.3).
+enum class TlsStack {
+  kOkHttp,          ///< Android: OkHttp CertificatePinner.
+  kAndroidPlatform, ///< Android: platform TrustManager / NSC engine.
+  kConscrypt,       ///< Android: Conscrypt provider used directly.
+  kNsUrlSession,    ///< iOS: NSURLSession / Secure Transport.
+  kAfNetworking,    ///< iOS: AFNetworking's security policy.
+  kAlamofire,       ///< iOS: Alamofire ServerTrustManager.
+  kCronet,          ///< Either: Chromium network stack.
+  kCustom,          ///< Statically linked custom stack — not hookable.
+};
+
+/// Human-readable stack name.
+[[nodiscard]] std::string_view TlsStackName(TlsStack s);
+
+/// Client-side TLS configuration, the app-controlled half of a connection.
+struct ClientTlsConfig {
+  /// Trust anchors (typically the OS store, possibly with a proxy CA added by
+  /// the test harness, or a custom-PKI store bundled by the app).
+  const x509::RootStore* root_store = nullptr;
+  /// The app's pinning policy (empty ⇒ no pinning).
+  PinPolicy pins;
+  /// Suites advertised in the ClientHello (ordered by preference).
+  std::vector<CipherSuiteId> offered_ciphers = ModernCipherOffer();
+  /// Protocol version bounds the client supports.
+  TlsVersion min_version = TlsVersion::kTls10;
+  TlsVersion max_version = TlsVersion::kTls13;
+  /// Whether this stack re-runs certificate validation and pin evaluation on
+  /// session resumption. Stacks that skip it expose the resumption pin-bypass
+  /// class (pins checked only on full handshakes).
+  bool revalidates_on_resumption = true;
+  /// Certificate-validation behavior (broken validators set flags to false).
+  x509::ValidationOptions validation;
+  /// Which implementation performs validation/pinning.
+  TlsStack stack = TlsStack::kAndroidPlatform;
+};
+
+/// A server the simulation can connect to.
+struct ServerEndpoint {
+  std::string hostname;
+  x509::CertificateChain chain;   ///< Leaf first.
+  TlsVersion min_version = TlsVersion::kTls10;
+  TlsVersion max_version = TlsVersion::kTls13;
+  std::vector<CipherSuiteId> ciphers = ModernCipherOffer();
+  bool issues_session_tickets = true;
+};
+
+/// A resumption ticket handed out by a completed handshake. Carries the
+/// chain presented at issue time — what a non-revalidating stack implicitly
+/// keeps trusting.
+struct SessionTicket {
+  std::string hostname;
+  TlsVersion version = TlsVersion::kTls13;
+  x509::CertificateChain chain_at_issue;
+};
+
+/// Why a connection did not reach (or use) the application-data phase.
+enum class FailureReason {
+  kNone,
+  kProtocolVersion,   ///< No common protocol version.
+  kNoCommonCipher,    ///< No mutually supported suite.
+  kCertificateInvalid,///< Path validation failed.
+  kPinMismatch,       ///< Pin evaluation failed.
+};
+
+/// Human-readable failure-reason name.
+[[nodiscard]] std::string_view FailureReasonName(FailureReason r);
+
+/// How the TCP connection ended.
+enum class Closure {
+  kOpen,        ///< Left open at capture end.
+  kCleanFin,    ///< Orderly shutdown (FIN exchange).
+  kClientReset, ///< Client sent TCP RST.
+};
+
+/// Payload the client would send once the handshake succeeds.
+struct AppPayload {
+  /// Plaintext request body (inspected by PII analysis when decryptable).
+  std::string plaintext;
+  /// Number of application-data records used to carry it (≥1 when plaintext
+  /// is non-empty).
+  int client_records = 1;
+};
+
+/// Complete result of a simulated connection.
+struct ConnectionOutcome {
+  bool handshake_complete = false;
+  bool application_data_sent = false;  ///< Ground truth "used".
+  FailureReason failure = FailureReason::kNone;
+  TlsVersion version = TlsVersion::kTls13;
+  std::optional<CipherSuiteId> negotiated_cipher;
+  std::vector<CipherSuiteId> offered_ciphers;
+  x509::ValidationResult validation;
+  bool pin_pass = true;
+  std::vector<Record> records;
+  Closure closure = Closure::kCleanFin;
+  /// Plaintext the client transmitted (ground truth; observers only get it
+  /// when they can decrypt).
+  std::string plaintext_sent;
+  /// Ticket for later resumption (set on completed handshakes against
+  /// ticket-issuing servers).
+  std::optional<SessionTicket> ticket;
+  /// True if this connection resumed a previous session (no cert flight).
+  bool resumed = false;
+};
+
+/// Simulates one connection. `presented_chain` is what the client actually
+/// sees — the server's own chain normally, or an interceptor's re-signed
+/// chain under MITM. `now` drives expiry checks; `rng` jitters record sizes.
+[[nodiscard]] ConnectionOutcome SimulateConnection(
+    const ClientTlsConfig& client, const ServerEndpoint& server,
+    const x509::CertificateChain& presented_chain, const AppPayload& payload,
+    util::SimTime now, util::Rng& rng);
+
+/// Convenience wrapper: connect directly to the server (no interception).
+[[nodiscard]] ConnectionOutcome SimulateDirectConnection(
+    const ClientTlsConfig& client, const ServerEndpoint& server,
+    const AppPayload& payload, util::SimTime now, util::Rng& rng);
+
+/// Resumes a session with `ticket` against the *genuine* server (an
+/// interceptor cannot produce a valid PSK binder, so resumption under MITM
+/// falls back to a full handshake — simulate that with SimulateConnection).
+/// No certificate flight occurs; whether pins/validation re-run depends on
+/// `client.revalidates_on_resumption`. Re-validation happens against the
+/// chain cached in the ticket, exactly like real stacks that cache the
+/// peer's verified chain with the session.
+[[nodiscard]] ConnectionOutcome SimulateResumedConnection(
+    const ClientTlsConfig& client, const ServerEndpoint& server,
+    const SessionTicket& ticket, const AppPayload& payload, util::SimTime now,
+    util::Rng& rng);
+
+}  // namespace pinscope::tls

@@ -1,0 +1,62 @@
+#include "tls/hpkp.h"
+
+#include "util/strings.h"
+
+namespace pinscope::tls {
+
+DomainPinRule HpkpHeader::ToRule(std::string_view host) const {
+  DomainPinRule rule;
+  rule.pattern = std::string(host);
+  rule.include_subdomains = include_subdomains;
+  rule.pins = pins;
+  return rule;
+}
+
+namespace {
+
+// Strips optional double quotes.
+std::string_view Unquote(std::string_view v) {
+  if (v.size() >= 2 && v.front() == '"' && v.back() == '"') {
+    return v.substr(1, v.size() - 2);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<HpkpHeader> ParseHpkpHeader(std::string_view value, bool report_only) {
+  HpkpHeader header;
+  header.report_only = report_only;
+
+  for (const std::string& raw : util::Split(value, ';')) {
+    const std::string_view directive = util::Trim(raw);
+    if (directive.empty()) continue;
+
+    const std::size_t eq = directive.find('=');
+    const std::string_view key =
+        util::Trim(eq == std::string_view::npos ? directive : directive.substr(0, eq));
+    const std::string_view val =
+        eq == std::string_view::npos
+            ? std::string_view{}
+            : Unquote(util::Trim(directive.substr(eq + 1)));
+
+    const std::string key_lower = util::ToLower(key);
+    if (key_lower == "pin-sha256") {
+      if (auto pin = Pin::FromPinString("sha256/" + std::string(val))) {
+        header.pins.push_back(std::move(*pin));
+      }
+    } else if (key_lower == "max-age") {
+      header.max_age_seconds = std::strtoll(std::string(val).c_str(), nullptr, 10);
+    } else if (key_lower == "includesubdomains") {
+      header.include_subdomains = true;
+    } else if (key_lower == "report-uri") {
+      header.report_uri = std::string(val);
+    }
+    // Unknown directives are ignored per RFC 7469 §2.1.
+  }
+
+  if (header.pins.empty()) return std::nullopt;
+  return header;
+}
+
+}  // namespace pinscope::tls

@@ -1,0 +1,47 @@
+// HTTP Public Key Pinning (RFC 7469) header parsing.
+//
+// §2.1 contrasts app pinning with the (now obsolete) web mechanism: HPKP let
+// a site declare pins in a `Public-Key-Pins` response header, trusting the
+// first connection and requiring a backup pin. The toolkit parses the header
+// both as historical reference and because HPKP's "pin-sha256" syntax is one
+// of the on-disk pin spellings the static scanner encounters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tls/pinning.h"
+
+namespace pinscope::tls {
+
+/// A parsed Public-Key-Pins (or -Report-Only) header.
+struct HpkpHeader {
+  std::vector<Pin> pins;            ///< Parsed pin-sha256 directives.
+  std::int64_t max_age_seconds = 0; ///< Required by RFC 7469 (except report-only).
+  bool include_subdomains = false;
+  std::string report_uri;
+  bool report_only = false;
+
+  /// RFC 7469 validity: a header is enforceable only with ≥2 pins (pin +
+  /// backup) and a max-age (unless report-only).
+  [[nodiscard]] bool Enforceable() const {
+    return pins.size() >= 2 && (report_only || max_age_seconds > 0);
+  }
+
+  /// Converts the header into a client-side pin rule for `host`, honoring
+  /// includeSubdomains. The first-seen-trust caveat (§2.1) is the caller's
+  /// problem, exactly as it was the web's.
+  [[nodiscard]] DomainPinRule ToRule(std::string_view host) const;
+};
+
+/// Parses the value of a `Public-Key-Pins[-Report-Only]` header, e.g.
+///   pin-sha256="base64=="; pin-sha256="..."; max-age=5184000;
+///   includeSubDomains; report-uri="https://example.net/pkp-report"
+/// Returns std::nullopt when no well-formed pin-sha256 directive is present.
+[[nodiscard]] std::optional<HpkpHeader> ParseHpkpHeader(std::string_view value,
+                                                        bool report_only = false);
+
+}  // namespace pinscope::tls

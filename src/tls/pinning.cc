@@ -1,0 +1,144 @@
+#include "tls/pinning.h"
+
+#include <algorithm>
+
+#include "util/base64.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace pinscope::tls {
+
+std::string_view PinFormName(PinForm f) {
+  switch (f) {
+    case PinForm::kSpkiSha256: return "spki-sha256";
+    case PinForm::kSpkiSha1: return "spki-sha1";
+    case PinForm::kCertificate: return "certificate";
+    case PinForm::kPublicKey: return "public-key";
+  }
+  throw util::Error("unknown PinForm");
+}
+
+bool Pin::Matches(const x509::Certificate& cert) const {
+  switch (form) {
+    case PinForm::kSpkiSha256: {
+      const auto d = cert.SpkiSha256();
+      return material == util::Bytes(d.begin(), d.end());
+    }
+    case PinForm::kSpkiSha1: {
+      const auto d = cert.SpkiSha1();
+      return material == util::Bytes(d.begin(), d.end());
+    }
+    case PinForm::kCertificate: {
+      const auto d = cert.FingerprintSha256();
+      return material == util::Bytes(d.begin(), d.end());
+    }
+    case PinForm::kPublicKey:
+      return material == cert.spki();
+  }
+  return false;
+}
+
+Pin Pin::ForCertificate(const x509::Certificate& cert, PinForm form) {
+  Pin pin;
+  pin.form = form;
+  switch (form) {
+    case PinForm::kSpkiSha256: {
+      const auto d = cert.SpkiSha256();
+      pin.material.assign(d.begin(), d.end());
+      break;
+    }
+    case PinForm::kSpkiSha1: {
+      const auto d = cert.SpkiSha1();
+      pin.material.assign(d.begin(), d.end());
+      break;
+    }
+    case PinForm::kCertificate: {
+      const auto d = cert.FingerprintSha256();
+      pin.material.assign(d.begin(), d.end());
+      break;
+    }
+    case PinForm::kPublicKey:
+      pin.material = cert.spki();
+      break;
+  }
+  return pin;
+}
+
+std::string Pin::ToPinString() const {
+  switch (form) {
+    case PinForm::kSpkiSha1:
+      return "sha1/" + util::Base64Encode(material);
+    case PinForm::kSpkiSha256:
+      return "sha256/" + util::Base64Encode(material);
+    case PinForm::kCertificate:
+      return "sha256/" + util::Base64Encode(material);
+    case PinForm::kPublicKey: {
+      const auto d = crypto::Sha256(material);
+      return "sha256/" + util::Base64Encode(util::Bytes(d.begin(), d.end()));
+    }
+  }
+  throw util::Error("unknown PinForm");
+}
+
+std::optional<Pin> Pin::FromPinString(std::string_view s) {
+  PinForm form;
+  std::string_view body;
+  if (util::StartsWith(s, "sha256/")) {
+    form = PinForm::kSpkiSha256;
+    body = s.substr(7);
+  } else if (util::StartsWith(s, "sha1/")) {
+    form = PinForm::kSpkiSha1;
+    body = s.substr(5);
+  } else {
+    return std::nullopt;
+  }
+  const auto material = util::Base64Decode(body);
+  if (!material) return std::nullopt;
+  const std::size_t want = form == PinForm::kSpkiSha256 ? 32 : 20;
+  if (material->size() != want) return std::nullopt;
+  Pin pin;
+  pin.form = form;
+  pin.material = *material;
+  return pin;
+}
+
+bool DomainPinRule::AppliesTo(std::string_view hostname) const {
+  if (x509::HostnameMatchesPattern(hostname, pattern)) return true;
+  if (include_subdomains) {
+    // NSC semantics: the rule domain itself plus any depth of subdomains.
+    if (hostname == pattern) return true;
+    return util::EndsWith(hostname, "." + pattern);
+  }
+  return false;
+}
+
+void PinPolicy::AddRule(DomainPinRule rule) { rules_.push_back(std::move(rule)); }
+
+std::vector<Pin> PinPolicy::PinsFor(std::string_view hostname) const {
+  std::vector<Pin> out;
+  for (const DomainPinRule& rule : rules_) {
+    if (!rule.AppliesTo(hostname)) continue;
+    for (const Pin& pin : rule.pins) {
+      if (std::find(out.begin(), out.end(), pin) == out.end()) out.push_back(pin);
+    }
+  }
+  return out;
+}
+
+bool PinPolicy::IsPinned(std::string_view hostname) const {
+  return !PinsFor(hostname).empty();
+}
+
+bool PinPolicy::Evaluate(std::string_view hostname,
+                         const x509::CertificateChain& chain) const {
+  const std::vector<Pin> pins = PinsFor(hostname);
+  if (pins.empty()) return true;
+  for (const Pin& pin : pins) {
+    for (const x509::Certificate& cert : chain) {
+      if (pin.Matches(cert)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pinscope::tls

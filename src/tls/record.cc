@@ -1,0 +1,25 @@
+#include "tls/record.h"
+
+#include <algorithm>
+
+namespace pinscope::tls {
+
+std::string_view ContentTypeName(ContentType t) {
+  switch (t) {
+    case ContentType::kChangeCipherSpec: return "change_cipher_spec";
+    case ContentType::kAlert: return "alert";
+    case ContentType::kHandshake: return "handshake";
+    case ContentType::kApplicationData: return "application_data";
+  }
+  return "unknown";
+}
+
+std::size_t CountWireType(const std::vector<Record>& records, Direction dir,
+                          ContentType t) {
+  return static_cast<std::size_t>(
+      std::count_if(records.begin(), records.end(), [&](const Record& r) {
+        return r.direction == dir && r.wire_type == t;
+      }));
+}
+
+}  // namespace pinscope::tls

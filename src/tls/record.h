@@ -1,0 +1,68 @@
+// TLS record model.
+//
+// The dynamic detector never sees plaintext; it classifies connections from
+// record-level observables (§4.2.2). Each record therefore carries both its
+// *wire* content type — what a passive observer sees — and its *actual* type,
+// which for TLS 1.3 differs: all encrypted records are disguised as
+// "application data" to reduce middlebox breakage. Detector code must only
+// consult the wire view; tests enforce that the heuristics work despite the
+// disguise.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace pinscope::tls {
+
+/// RFC 8446 content types (wire values).
+enum class ContentType : std::uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+/// Who sent a record.
+enum class Direction { kClientToServer, kServerToClient };
+
+/// Alert descriptions used by the simulation.
+enum class AlertDescription : std::uint8_t {
+  kCloseNotify = 0,
+  kHandshakeFailure = 40,
+  kBadCertificate = 42,
+  kCertificateUnknown = 46,
+  kProtocolVersion = 70,
+  kUnknownCa = 48,
+};
+
+/// Length on the wire of an encrypted TLS 1.3 alert record (2 alert bytes +
+/// content-type byte + 16-byte AEAD tag + 5-byte header). The paper's second
+/// TLS 1.3 heuristic compares record lengths against this constant.
+inline constexpr std::uint32_t kEncryptedAlertWireLength = 24;
+
+/// One TLS record as captured on the wire.
+struct Record {
+  Direction direction = Direction::kClientToServer;
+  /// What a capture shows. For encrypted TLS 1.3 records this is always
+  /// kApplicationData regardless of the true content.
+  ContentType wire_type = ContentType::kHandshake;
+  /// Ground truth (available to the simulator and to "decrypting" observers
+  /// such as a successful MITM, never to the passive detector).
+  ContentType actual_type = ContentType::kHandshake;
+  /// Total record length on the wire, header included.
+  std::uint32_t wire_length = 0;
+  /// For actual alerts: the description byte.
+  AlertDescription alert = AlertDescription::kCloseNotify;
+  /// Milliseconds since connection start when the record was sent.
+  std::int64_t at_ms = 0;
+};
+
+/// Human-readable content-type name.
+[[nodiscard]] std::string_view ContentTypeName(ContentType t);
+
+/// Counts records of the given wire type in `records` sent by `dir`.
+[[nodiscard]] std::size_t CountWireType(const std::vector<Record>& records,
+                                        Direction dir, ContentType t);
+
+}  // namespace pinscope::tls

@@ -1,0 +1,28 @@
+// TLS protocol versions.
+#pragma once
+
+#include <string_view>
+
+namespace pinscope::tls {
+
+/// Protocol versions the simulation negotiates. Ordered so that comparison
+/// operators express "newer than".
+enum class TlsVersion {
+  kTls10,
+  kTls11,
+  kTls12,
+  kTls13,
+};
+
+/// Wire-style name, e.g. "TLSv1.3".
+[[nodiscard]] constexpr std::string_view TlsVersionName(TlsVersion v) {
+  switch (v) {
+    case TlsVersion::kTls10: return "TLSv1.0";
+    case TlsVersion::kTls11: return "TLSv1.1";
+    case TlsVersion::kTls12: return "TLSv1.2";
+    case TlsVersion::kTls13: return "TLSv1.3";
+  }
+  return "TLS?";
+}
+
+}  // namespace pinscope::tls

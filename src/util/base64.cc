@@ -1,0 +1,94 @@
+#include "util/base64.h"
+
+#include <array>
+
+namespace pinscope::util {
+namespace {
+
+constexpr std::string_view kAlphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int, 256> BuildReverse() {
+  std::array<int, 256> rev{};
+  rev.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    rev[static_cast<unsigned char>(kAlphabet[static_cast<std::size_t>(i)])] = i;
+  }
+  return rev;
+}
+
+const std::array<int, 256>& Reverse() {
+  static const std::array<int, 256> rev = BuildReverse();
+  return rev;
+}
+
+}  // namespace
+
+std::string Base64Encode(const Bytes& data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16 |
+                            static_cast<std::uint32_t>(data[i + 1]) << 8 |
+                            static_cast<std::uint32_t>(data[i + 2]);
+    out.push_back(kAlphabet[n >> 18 & 0x3f]);
+    out.push_back(kAlphabet[n >> 12 & 0x3f]);
+    out.push_back(kAlphabet[n >> 6 & 0x3f]);
+    out.push_back(kAlphabet[n & 0x3f]);
+    i += 3;
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[n >> 18 & 0x3f]);
+    out.push_back(kAlphabet[n >> 12 & 0x3f]);
+    out.append("==");
+  } else if (rest == 2) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16 |
+                            static_cast<std::uint32_t>(data[i + 1]) << 8;
+    out.push_back(kAlphabet[n >> 18 & 0x3f]);
+    out.push_back(kAlphabet[n >> 12 & 0x3f]);
+    out.push_back(kAlphabet[n >> 6 & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<Bytes> Base64Decode(std::string_view text) {
+  // Strip padding.
+  while (!text.empty() && text.back() == '=') text.remove_suffix(1);
+  Bytes out;
+  out.reserve(text.size() * 3 / 4);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (char c : text) {
+    const int v = Reverse()[static_cast<unsigned char>(c)];
+    if (v < 0) return std::nullopt;
+    acc = acc << 6 | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>(acc >> bits & 0xff));
+    }
+  }
+  // A single leftover sextet cannot encode a byte; reject streams like "A".
+  if (text.size() % 4 == 1) return std::nullopt;
+  return out;
+}
+
+bool IsBase64String(std::string_view s) {
+  if (s.empty()) return false;
+  std::size_t pad = 0;
+  while (!s.empty() && s.back() == '=') {
+    s.remove_suffix(1);
+    ++pad;
+  }
+  if (pad > 2) return false;
+  for (char c : s) {
+    if (Reverse()[static_cast<unsigned char>(c)] < 0) return false;
+  }
+  return true;
+}
+
+}  // namespace pinscope::util

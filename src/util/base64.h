@@ -1,0 +1,26 @@
+// RFC 4648 base64 encoding/decoding (standard alphabet, '=' padding).
+//
+// Used for PEM certificate bodies and SubjectPublicKeyInfo pin hashes, whose
+// on-the-wire forms the static analyzer greps for.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace pinscope::util {
+
+/// Encodes `data` with the standard base64 alphabet and padding.
+[[nodiscard]] std::string Base64Encode(const Bytes& data);
+
+/// Decodes standard base64. Accepts unpadded input; rejects whitespace and
+/// characters outside the alphabet. Returns std::nullopt on malformed input.
+[[nodiscard]] std::optional<Bytes> Base64Decode(std::string_view text);
+
+/// True if `s` consists solely of base64 alphabet characters (optionally
+/// followed by '=' padding) — the character class the paper's pin regex uses.
+[[nodiscard]] bool IsBase64String(std::string_view s);
+
+}  // namespace pinscope::util

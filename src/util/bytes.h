@@ -1,0 +1,36 @@
+// Byte-buffer primitives shared across the toolkit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pinscope::util {
+
+/// Raw byte buffer. Used for certificate bodies, TLS record payloads and
+/// file contents inside app packages.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Copies a string's characters into a byte buffer (no encoding applied).
+[[nodiscard]] inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Reinterprets a byte buffer as text. The buffer is copied verbatim; callers
+/// must know the bytes are printable.
+[[nodiscard]] inline std::string ToString(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Appends the contents of `src` to `dst`.
+inline void Append(Bytes& dst, const Bytes& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Appends the characters of `src` to `dst`.
+inline void Append(Bytes& dst, std::string_view src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+}  // namespace pinscope::util

@@ -1,0 +1,41 @@
+// Simulated time.
+//
+// The dynamic-analysis pipeline reasons about "30 seconds of capture", TLS
+// certificate validity windows and install/settle delays. All of that runs on
+// simulated time so experiments are instantaneous and reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace pinscope::util {
+
+/// Milliseconds since the simulation epoch.
+using SimTime = std::int64_t;
+
+/// Days expressed in milliseconds.
+constexpr SimTime kMillisPerSecond = 1000;
+constexpr SimTime kMillisPerDay = 86'400'000;
+constexpr SimTime kMillisPerYear = 365 * kMillisPerDay;
+
+/// The simulation epoch corresponds to 2021-01-01T00:00:00Z, roughly when the
+/// paper's crawls began; certificate validity windows are expressed around it.
+constexpr SimTime kStudyEpoch = 0;
+
+/// A monotonically advancing simulated clock.
+class SimClock {
+ public:
+  explicit SimClock(SimTime start = kStudyEpoch) : now_(start) {}
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime Now() const { return now_; }
+
+  /// Advances the clock. Negative advances are ignored (time is monotonic).
+  void Advance(SimTime millis) {
+    if (millis > 0) now_ += millis;
+  }
+
+ private:
+  SimTime now_;
+};
+
+}  // namespace pinscope::util

@@ -1,0 +1,26 @@
+// Error handling primitives.
+//
+// Subsystem boundaries throw `Error`; hot paths return std::optional and let
+// the caller decide whether absence is exceptional.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pinscope::util {
+
+/// Base exception for all pinscope failures (parse errors, protocol
+/// violations, corpus misconfiguration). Carries a human-readable message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input blob (NSC XML, plist, PEM, package container) cannot
+/// be decoded.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+}  // namespace pinscope::util

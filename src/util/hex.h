@@ -1,0 +1,22 @@
+// Lowercase hexadecimal encoding/decoding.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace pinscope::util {
+
+/// Encodes `data` as lowercase hex (two characters per byte).
+[[nodiscard]] std::string HexEncode(const Bytes& data);
+
+/// Decodes a hex string (either case). Returns std::nullopt on odd length or
+/// any non-hex character.
+[[nodiscard]] std::optional<Bytes> HexDecode(std::string_view hex);
+
+/// True if every character of `s` is a hex digit.
+[[nodiscard]] bool IsHexString(std::string_view s);
+
+}  // namespace pinscope::util

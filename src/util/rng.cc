@@ -1,0 +1,114 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pinscope::util {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+Rng Rng::Fork(std::string_view label) const {
+  // Mix the current state (without advancing it) with the label hash.
+  const std::uint64_t mix = s_[0] ^ Rotl(s_[1], 13) ^ Rotl(s_[2], 29) ^ s_[3];
+  return Rng(mix ^ StableHash64(label));
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformU64(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw Error("Rng::UniformU64: lo > hi");
+  const std::uint64_t span = hi - lo + 1;  // span==0 means the full 2^64 range
+  if (span == 0) return NextU64();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0} / span) * span;
+  std::uint64_t v = NextU64();
+  while (v >= limit) v = NextU64();
+  return lo + v % span;
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  if (lo > hi) throw Error("Rng::UniformInt: lo > hi");
+  return lo + static_cast<int>(UniformU64(0, static_cast<std::uint64_t>(hi - lo)));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return UniformDouble() < p;
+}
+
+std::size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  if (weights.empty()) throw Error("Rng::WeightedIndex: empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) throw Error("Rng::WeightedIndex: non-positive total weight");
+  double target = UniformDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::SampleIndices(std::size_t n, std::size_t k) {
+  k = std::min(k, n);
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  // Partial Fisher-Yates: the first k slots become the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(UniformU64(0, n - 1 - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+std::string Rng::Identifier(std::size_t len) {
+  static constexpr std::string_view kChars = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kChars[static_cast<std::size_t>(UniformU64(0, kChars.size() - 1))]);
+  }
+  return out;
+}
+
+std::uint64_t StableHash64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace pinscope::util

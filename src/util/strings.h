@@ -1,0 +1,42 @@
+// Small string utilities used across parsers and report renderers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pinscope::util {
+
+/// Splits `s` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+[[nodiscard]] std::string Join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string ToLower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+[[nodiscard]] bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view Trim(std::string_view s);
+
+/// True if `needle` occurs in `haystack`.
+[[nodiscard]] bool Contains(std::string_view haystack, std::string_view needle);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+[[nodiscard]] std::string ReplaceAll(std::string_view s, std::string_view from,
+                                     std::string_view to);
+
+/// Formats a double with `digits` decimal places (locale-independent).
+[[nodiscard]] std::string FormatDouble(double v, int digits);
+
+/// Formats a ratio as a percentage string, e.g. Percent(0.0817, 2) == "8.17%".
+[[nodiscard]] std::string Percent(double ratio, int digits = 1);
+
+}  // namespace pinscope::util

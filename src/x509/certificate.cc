@@ -1,0 +1,128 @@
+#include "x509/certificate.h"
+
+#include "util/error.h"
+#include "util/hex.h"
+#include "util/strings.h"
+
+namespace pinscope::x509 {
+namespace {
+
+constexpr std::string_view kMagic = "PSCERT.v1";
+
+void AppendField(std::string& out, std::string_view key, std::string_view value) {
+  out.append(key);
+  out.push_back('=');
+  out.append(value);
+  out.push_back('\n');
+}
+
+}  // namespace
+
+Certificate::Certificate(CertificateData data) : data_(std::move(data)) {
+  if (data_.serial_hex.empty()) throw util::Error("certificate requires a serial");
+}
+
+util::Bytes Certificate::TbsBytes() const {
+  std::string out;
+  out.append(kMagic);
+  out.push_back('\n');
+  AppendField(out, "serial", data_.serial_hex);
+  AppendField(out, "subject", data_.subject.ToString());
+  AppendField(out, "issuer", data_.issuer.ToString());
+  AppendField(out, "not_before", std::to_string(data_.not_before));
+  AppendField(out, "not_after", std::to_string(data_.not_after));
+  AppendField(out, "san", util::Join(data_.san_dns, "|"));
+  AppendField(out, "ca", data_.is_ca ? "1" : "0");
+  if (data_.path_len.has_value()) {
+    AppendField(out, "pathlen", std::to_string(*data_.path_len));
+  }
+  AppendField(out, "spki", util::ToString(data_.spki));
+  return util::ToBytes(out);
+}
+
+util::Bytes Certificate::DerBytes() const {
+  util::Bytes out = TbsBytes();
+  util::Append(out, "sig=" + util::HexEncode(data_.signature) + "\n");
+  return out;
+}
+
+std::optional<Certificate> Certificate::ParseDer(const util::Bytes& der) {
+  const std::string text = util::ToString(der);
+  const std::vector<std::string> lines = util::Split(text, '\n');
+  if (lines.empty() || lines[0] != kMagic) return std::nullopt;
+
+  CertificateData data;
+  bool saw_serial = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string_view key = std::string_view(line).substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "serial") {
+      data.serial_hex = value;
+      saw_serial = true;
+    } else if (key == "subject") {
+      data.subject = DistinguishedName::Parse(value);
+    } else if (key == "issuer") {
+      data.issuer = DistinguishedName::Parse(value);
+    } else if (key == "not_before") {
+      data.not_before = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "not_after") {
+      data.not_after = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "san") {
+      if (!value.empty()) data.san_dns = util::Split(value, '|');
+    } else if (key == "ca") {
+      data.is_ca = value == "1";
+    } else if (key == "pathlen") {
+      data.path_len = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (key == "spki") {
+      data.spki = util::ToBytes(value);
+    } else if (key == "sig") {
+      const auto sig = util::HexDecode(value);
+      if (!sig) return std::nullopt;
+      data.signature = *sig;
+    } else {
+      return std::nullopt;  // unknown field: treat as corruption
+    }
+  }
+  if (!saw_serial || data.spki.empty()) return std::nullopt;
+  return Certificate(std::move(data));
+}
+
+crypto::Sha256Digest Certificate::FingerprintSha256() const {
+  return crypto::Sha256(DerBytes());
+}
+
+crypto::Sha256Digest Certificate::SpkiSha256() const {
+  return crypto::Sha256(data_.spki);
+}
+
+crypto::Sha1Digest Certificate::SpkiSha1() const {
+  return crypto::Sha1(data_.spki);
+}
+
+bool HostnameMatchesPattern(std::string_view hostname, std::string_view pattern) {
+  if (hostname.empty() || pattern.empty()) return false;
+  if (util::StartsWith(pattern, "*.")) {
+    const std::string_view suffix = pattern.substr(1);  // ".example.com"
+    if (!util::EndsWith(hostname, suffix)) return false;
+    const std::string_view label = hostname.substr(0, hostname.size() - suffix.size());
+    // Exactly one extra, non-empty label: no dots allowed inside it.
+    return !label.empty() && label.find('.') == std::string_view::npos;
+  }
+  return hostname == pattern;
+}
+
+bool Certificate::MatchesHostname(std::string_view hostname) const {
+  if (data_.san_dns.empty()) {
+    return HostnameMatchesPattern(hostname, data_.subject.common_name);
+  }
+  for (const std::string& san : data_.san_dns) {
+    if (HostnameMatchesPattern(hostname, san)) return true;
+  }
+  return false;
+}
+
+}  // namespace pinscope::x509

@@ -1,0 +1,57 @@
+#include "x509/ct_log.h"
+
+#include "util/base64.h"
+#include "util/hex.h"
+#include "util/strings.h"
+
+namespace pinscope::x509 {
+namespace {
+
+// Normalizes any accepted digest spelling to lowercase hex.
+std::string NormalizeDigest(std::string_view digest) {
+  if (util::IsHexString(digest) && (digest.size() == 40 || digest.size() == 64)) {
+    return util::ToLower(digest);
+  }
+  if (const auto raw = util::Base64Decode(digest);
+      raw && (raw->size() == 20 || raw->size() == 32)) {
+    return util::HexEncode(*raw);
+  }
+  return std::string(digest);  // unknown form; will simply never match
+}
+
+}  // namespace
+
+void CtLog::Add(const Certificate& cert) {
+  const std::string fp = util::HexEncode(util::Bytes(
+      cert.FingerprintSha256().begin(), cert.FingerprintSha256().end()));
+  if (by_fingerprint_.contains(fp)) return;
+  const std::size_t idx = certs_.size();
+  certs_.push_back(cert);
+  by_fingerprint_[fp] = idx;
+
+  const auto sha256 = cert.SpkiSha256();
+  const auto sha1 = cert.SpkiSha1();
+  by_digest_[util::HexEncode(util::Bytes(sha256.begin(), sha256.end()))].push_back(idx);
+  by_digest_[util::HexEncode(util::Bytes(sha1.begin(), sha1.end()))].push_back(idx);
+  by_cn_[cert.subject().common_name].push_back(idx);
+}
+
+std::vector<Certificate> CtLog::FindBySpkiDigest(std::string_view digest) const {
+  std::vector<Certificate> out;
+  const auto it = by_digest_.find(NormalizeDigest(digest));
+  if (it == by_digest_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t idx : it->second) out.push_back(certs_[idx]);
+  return out;
+}
+
+std::vector<Certificate> CtLog::FindBySubjectCn(std::string_view cn) const {
+  std::vector<Certificate> out;
+  const auto it = by_cn_.find(std::string(cn));
+  if (it == by_cn_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t idx : it->second) out.push_back(certs_[idx]);
+  return out;
+}
+
+}  // namespace pinscope::x509

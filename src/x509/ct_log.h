@@ -1,0 +1,44 @@
+// Simulated Certificate Transparency log (crt.sh substitute).
+//
+// §4.1.3: the paper resolves SPKI hashes found in app binaries to the
+// certificates they pin by querying crt.sh. We model the same query surface:
+// an index from SPKI digest (hex or base64, SHA-1 or SHA-256) to every logged
+// certificate carrying that key. The corpus generator logs the certificates
+// of all simulated public endpoints; private/staging certificates stay
+// unlogged — reproducing the paper's ~50% hash-resolution rate.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "x509/certificate.h"
+
+namespace pinscope::x509 {
+
+/// An append-only certificate transparency log with SPKI-hash search.
+class CtLog {
+ public:
+  /// Logs a certificate (idempotent per fingerprint).
+  void Add(const Certificate& cert);
+
+  /// Number of logged certificates.
+  [[nodiscard]] std::size_t size() const { return certs_.size(); }
+
+  /// Looks up certificates whose SPKI digest matches `digest`, where `digest`
+  /// is hex or (un)padded base64 of a SHA-1 or SHA-256 SPKI hash — the forms
+  /// found in app binaries. Unknown digests yield an empty vector.
+  [[nodiscard]] std::vector<Certificate> FindBySpkiDigest(std::string_view digest) const;
+
+  /// Looks up certificates by exact subject common name.
+  [[nodiscard]] std::vector<Certificate> FindBySubjectCn(std::string_view cn) const;
+
+ private:
+  std::vector<Certificate> certs_;
+  std::map<std::string, std::vector<std::size_t>> by_digest_;  // key: normalized digest
+  std::map<std::string, std::vector<std::size_t>> by_cn_;
+  std::map<std::string, std::size_t> by_fingerprint_;
+};
+
+}  // namespace pinscope::x509

@@ -1,0 +1,41 @@
+#include "x509/distinguished_name.h"
+
+#include "util/strings.h"
+
+namespace pinscope::x509 {
+
+std::string DistinguishedName::ToString() const {
+  std::string out;
+  auto add = [&out](std::string_view key, const std::string& value) {
+    if (value.empty()) return;
+    if (!out.empty()) out.push_back(',');
+    out.append(key);
+    out.push_back('=');
+    out.append(value);
+  };
+  add("CN", common_name);
+  add("O", organization);
+  add("C", country);
+  return out;
+}
+
+DistinguishedName DistinguishedName::Parse(std::string_view s) {
+  DistinguishedName dn;
+  for (const std::string& part : util::Split(s, ',')) {
+    const std::string_view p = util::Trim(part);
+    const std::size_t eq = p.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string_view key = p.substr(0, eq);
+    const std::string value(p.substr(eq + 1));
+    if (key == "CN") {
+      dn.common_name = value;
+    } else if (key == "O") {
+      dn.organization = value;
+    } else if (key == "C") {
+      dn.country = value;
+    }
+  }
+  return dn;
+}
+
+}  // namespace pinscope::x509

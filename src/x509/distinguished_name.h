@@ -1,0 +1,27 @@
+// X.500 distinguished names (the subset certificates in this study carry).
+#pragma once
+
+#include <compare>
+#include <string>
+#include <string_view>
+
+namespace pinscope::x509 {
+
+/// A distinguished name with the attributes mobile-app certificates carry in
+/// practice: CommonName, Organization, Country.
+struct DistinguishedName {
+  std::string common_name;
+  std::string organization;
+  std::string country;
+
+  friend auto operator<=>(const DistinguishedName&, const DistinguishedName&) = default;
+
+  /// RFC 2253-style single-line rendering, e.g. "CN=api.example.com,O=Example,C=US".
+  [[nodiscard]] std::string ToString() const;
+
+  /// Parses the rendering produced by ToString(). Unknown attributes are
+  /// ignored; missing ones stay empty.
+  [[nodiscard]] static DistinguishedName Parse(std::string_view s);
+};
+
+}  // namespace pinscope::x509

@@ -1,0 +1,108 @@
+#include "x509/issuer.h"
+
+#include "crypto/sha256.h"
+#include "util/hex.h"
+
+namespace pinscope::x509 {
+namespace {
+
+util::Bytes SigPreimage(const util::Bytes& issuer_spki, const util::Bytes& tbs) {
+  util::Bytes pre = util::ToBytes("pinscope.sig|");
+  util::Append(pre, issuer_spki);
+  util::Append(pre, "|");
+  util::Append(pre, tbs);
+  return pre;
+}
+
+std::string DeriveSerial(const util::Bytes& issuer_spki, std::uint64_t counter,
+                         std::string_view subject) {
+  std::string pre = "serial|" + util::ToString(issuer_spki) + "|" +
+                    std::to_string(counter) + "|" + std::string(subject);
+  const crypto::Sha256Digest d = crypto::Sha256(pre);
+  return util::HexEncode(util::Bytes(d.begin(), d.begin() + 8));
+}
+
+CertificateData MakeData(const IssueSpec& spec, const DistinguishedName& issuer_dn,
+                         const util::Bytes& subject_spki, std::string serial) {
+  CertificateData data;
+  data.serial_hex = std::move(serial);
+  data.subject = spec.subject;
+  data.issuer = issuer_dn;
+  data.not_before = spec.not_before;
+  data.not_after = spec.not_after;
+  data.san_dns = spec.san_dns;
+  data.is_ca = spec.is_ca;
+  if (spec.is_ca) data.path_len = spec.path_len;
+  data.spki = subject_spki;
+  return data;
+}
+
+}  // namespace
+
+util::Bytes SignTbs(const util::Bytes& issuer_spki, const util::Bytes& tbs) {
+  const crypto::Sha256Digest d = crypto::Sha256(SigPreimage(issuer_spki, tbs));
+  return util::Bytes(d.begin(), d.end());
+}
+
+bool VerifySignature(const Certificate& cert, const util::Bytes& issuer_spki) {
+  return SignTbs(issuer_spki, cert.TbsBytes()) == cert.signature();
+}
+
+CertificateIssuer::CertificateIssuer(Certificate cert, crypto::KeyPair key)
+    : cert_(std::move(cert)), key_(std::move(key)) {}
+
+CertificateIssuer CertificateIssuer::SelfSignedRoot(std::string_view label,
+                                                    const DistinguishedName& subject,
+                                                    util::SimTime not_before,
+                                                    util::SimTime not_after) {
+  const crypto::KeyPair key = crypto::KeyPair::FromLabel(label);
+  IssueSpec spec;
+  spec.subject = subject;
+  spec.not_before = not_before;
+  spec.not_after = not_after;
+  spec.is_ca = true;
+  CertificateData data = MakeData(spec, subject, key.SubjectPublicKeyInfo(),
+                                  DeriveSerial(key.SubjectPublicKeyInfo(), 0,
+                                               subject.ToString()));
+  Certificate unsigned_cert{data};
+  data.signature = SignTbs(key.SubjectPublicKeyInfo(), unsigned_cert.TbsBytes());
+  return CertificateIssuer(Certificate(std::move(data)), key);
+}
+
+Certificate CertificateIssuer::SelfSignedLeaf(std::string_view label,
+                                              const IssueSpec& spec) {
+  const crypto::KeyPair key = crypto::KeyPair::FromLabel(label);
+  CertificateData data = MakeData(spec, spec.subject, key.SubjectPublicKeyInfo(),
+                                  DeriveSerial(key.SubjectPublicKeyInfo(), 0,
+                                               spec.subject.ToString()));
+  data.is_ca = false;
+  Certificate unsigned_cert{data};
+  data.signature = SignTbs(key.SubjectPublicKeyInfo(), unsigned_cert.TbsBytes());
+  return Certificate(std::move(data));
+}
+
+Certificate CertificateIssuer::Issue(const IssueSpec& spec, util::Rng& rng) const {
+  return IssueForKey(spec, crypto::KeyPair::Generate(rng));
+}
+
+Certificate CertificateIssuer::IssueForKey(const IssueSpec& spec,
+                                           const crypto::KeyPair& subject_key) const {
+  ++serial_counter_;
+  CertificateData data =
+      MakeData(spec, cert_.subject(), subject_key.SubjectPublicKeyInfo(),
+               DeriveSerial(cert_.spki(), serial_counter_, spec.subject.ToString()));
+  Certificate unsigned_cert{data};
+  data.signature = SignTbs(cert_.spki(), unsigned_cert.TbsBytes());
+  return Certificate(std::move(data));
+}
+
+CertificateIssuer CertificateIssuer::CreateIntermediate(
+    const IssueSpec& spec, std::string_view key_label) const {
+  const crypto::KeyPair key = crypto::KeyPair::FromLabel(key_label);
+  IssueSpec ca_spec = spec;
+  ca_spec.is_ca = true;
+  Certificate cert = IssueForKey(ca_spec, key);
+  return CertificateIssuer(std::move(cert), key);
+}
+
+}  // namespace pinscope::x509

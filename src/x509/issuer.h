@@ -1,0 +1,84 @@
+// Certificate issuance.
+//
+// Signature model: sig = SHA-256("pinscope.sig|" + issuer_spki + "|" + tbs).
+// Verification needs only the issuer certificate (public data), matching the
+// real PKI's verifiability property. The model is structural — anyone could
+// compute a signature given the issuer SPKI — but adversary capability in the
+// simulation is expressed explicitly (the MITM proxy signs with its *own* CA,
+// which is simply not in the victim's root store), so trust decisions behave
+// exactly as in the paper's experiments.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "util/clock.h"
+#include "util/rng.h"
+#include "x509/certificate.h"
+
+namespace pinscope::x509 {
+
+/// Computes the structural signature of `tbs` under the issuer whose SPKI is
+/// `issuer_spki`.
+[[nodiscard]] util::Bytes SignTbs(const util::Bytes& issuer_spki,
+                                  const util::Bytes& tbs);
+
+/// Verifies `cert`'s signature against its issuer's SPKI.
+[[nodiscard]] bool VerifySignature(const Certificate& cert,
+                                   const util::Bytes& issuer_spki);
+
+/// Parameters for issuing one certificate.
+struct IssueSpec {
+  DistinguishedName subject;
+  std::vector<std::string> san_dns;
+  util::SimTime not_before = 0;
+  util::SimTime not_after = util::kMillisPerYear;
+  bool is_ca = false;
+  /// pathLenConstraint for CA certificates (ignored for leaves).
+  std::optional<int> path_len;
+};
+
+/// A certificate authority: a CA certificate plus the ability to issue
+/// children. Also builds self-signed certificates (CA roots and the
+/// self-signed leaves §5.3.1 observes in the wild).
+class CertificateIssuer {
+ public:
+  /// Creates a self-signed CA root with a deterministic key derived from
+  /// `label`.
+  static CertificateIssuer SelfSignedRoot(std::string_view label,
+                                          const DistinguishedName& subject,
+                                          util::SimTime not_before,
+                                          util::SimTime not_after);
+
+  /// Builds a standalone self-signed *leaf* (no issuing capability needed by
+  /// callers; returned directly as a certificate).
+  static Certificate SelfSignedLeaf(std::string_view label, const IssueSpec& spec);
+
+  /// The CA certificate of this issuer.
+  [[nodiscard]] const Certificate& certificate() const { return cert_; }
+
+  /// Issues a child certificate for a fresh key drawn from `rng`.
+  [[nodiscard]] Certificate Issue(const IssueSpec& spec, util::Rng& rng) const;
+
+  /// Issues a child certificate over an existing key (certificate renewal
+  /// that *reuses* the key — the §5.3.3 scenario where SPKI pins survive
+  /// certificate rotation).
+  [[nodiscard]] Certificate IssueForKey(const IssueSpec& spec,
+                                        const crypto::KeyPair& subject_key) const;
+
+  /// Creates an intermediate CA chained under this issuer.
+  [[nodiscard]] CertificateIssuer CreateIntermediate(const IssueSpec& spec,
+                                                     std::string_view key_label) const;
+
+ private:
+  CertificateIssuer(Certificate cert, crypto::KeyPair key);
+
+  Certificate cert_;
+  crypto::KeyPair key_;
+  mutable std::uint64_t serial_counter_ = 0;
+};
+
+}  // namespace pinscope::x509

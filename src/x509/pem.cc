@@ -1,0 +1,61 @@
+#include "x509/pem.h"
+
+#include "util/base64.h"
+#include "util/strings.h"
+
+namespace pinscope::x509 {
+
+std::string PemEncode(const Certificate& cert) {
+  const std::string body = util::Base64Encode(cert.DerBytes());
+  std::string out(kPemBegin);
+  out.push_back('\n');
+  for (std::size_t i = 0; i < body.size(); i += 64) {
+    out.append(body.substr(i, 64));
+    out.push_back('\n');
+  }
+  out.append(kPemEnd);
+  out.push_back('\n');
+  return out;
+}
+
+namespace {
+
+std::optional<Certificate> DecodeBlock(std::string_view body) {
+  std::string compact;
+  compact.reserve(body.size());
+  for (char c : body) {
+    if (!std::isspace(static_cast<unsigned char>(c))) compact.push_back(c);
+  }
+  const auto der = util::Base64Decode(compact);
+  if (!der) return std::nullopt;
+  return Certificate::ParseDer(*der);
+}
+
+}  // namespace
+
+std::optional<Certificate> PemDecode(std::string_view text) {
+  const std::size_t begin = text.find(kPemBegin);
+  if (begin == std::string_view::npos) return std::nullopt;
+  const std::size_t body_start = begin + kPemBegin.size();
+  const std::size_t end = text.find(kPemEnd, body_start);
+  if (end == std::string_view::npos) return std::nullopt;
+  return DecodeBlock(text.substr(body_start, end - body_start));
+}
+
+std::vector<Certificate> PemDecodeAll(std::string_view text) {
+  std::vector<Certificate> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t begin = text.find(kPemBegin, pos);
+    if (begin == std::string_view::npos) return out;
+    const std::size_t body_start = begin + kPemBegin.size();
+    const std::size_t end = text.find(kPemEnd, body_start);
+    if (end == std::string_view::npos) return out;
+    if (auto cert = DecodeBlock(text.substr(body_start, end - body_start))) {
+      out.push_back(std::move(*cert));
+    }
+    pos = end + kPemEnd.size();
+  }
+}
+
+}  // namespace pinscope::x509

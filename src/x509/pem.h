@@ -1,0 +1,30 @@
+// PEM armor (RFC 7468 style) for certificates.
+//
+// Apps embed pinned certificates as PEM blobs in assets; the static analyzer
+// finds them by their "-----BEGIN CERTIFICATE-----" delimiter — so the
+// toolkit must both emit and recognize real PEM framing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "x509/certificate.h"
+
+namespace pinscope::x509 {
+
+/// PEM delimiters the scanner searches for.
+inline constexpr std::string_view kPemBegin = "-----BEGIN CERTIFICATE-----";
+inline constexpr std::string_view kPemEnd = "-----END CERTIFICATE-----";
+
+/// Encodes a certificate as a PEM block (64-column base64 body).
+[[nodiscard]] std::string PemEncode(const Certificate& cert);
+
+/// Parses the first PEM certificate block in `text`.
+[[nodiscard]] std::optional<Certificate> PemDecode(std::string_view text);
+
+/// Parses every PEM certificate block in `text`, skipping malformed blocks.
+[[nodiscard]] std::vector<Certificate> PemDecodeAll(std::string_view text);
+
+}  // namespace pinscope::x509

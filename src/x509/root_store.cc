@@ -1,0 +1,124 @@
+#include "x509/root_store.h"
+
+#include "util/error.h"
+
+namespace pinscope::x509 {
+
+RootStore::RootStore(std::string name, std::vector<Certificate> roots)
+    : name_(std::move(name)), roots_(std::move(roots)) {}
+
+void RootStore::AddRoot(Certificate root) { roots_.push_back(std::move(root)); }
+
+bool RootStore::IsTrustedRoot(const Certificate& cert) const {
+  for (const Certificate& r : roots_) {
+    if (r.spki() == cert.spki() && r.subject() == cert.subject()) return true;
+  }
+  return false;
+}
+
+std::optional<Certificate> RootStore::FindBySubject(std::string_view cn) const {
+  for (const Certificate& r : roots_) {
+    if (r.subject().common_name == cn) return r;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// The simulated WebPKI. Names are fictional; flags model the real-world
+// heterogeneity between stores that motivates pinning in the first place.
+std::vector<PublicCaInfo> BuildInfos() {
+  return {
+      // label, CN, O, mozilla, aosp, ios, expired
+      {"ca.globaltrust", "GlobalTrust Root CA", "GlobalTrust Ltd", true, true, true, false},
+      {"ca.digisign", "DigiSign Global Root G2", "DigiSign Inc", true, true, true, false},
+      {"ca.securewire", "SecureWire Root CA", "SecureWire Corp", true, true, true, false},
+      {"ca.trustanchor", "TrustAnchor RSA CA 2018", "TrustAnchor plc", true, true, true, false},
+      {"ca.nimbus", "NimbusTrust Root R4", "NimbusTrust GmbH", true, true, true, false},
+      {"ca.orionsign", "OrionSign Root CA", "OrionSign LLC", true, true, true, false},
+      {"ca.veridian", "Veridian Root CA X3", "Veridian Group", true, true, true, false},
+      {"ca.meridian", "Meridian Public Root", "Meridian Trust SA", true, true, true, false},
+      {"ca.quantumpki", "QuantumPKI Root 2020", "QuantumPKI BV", true, false, true, false},
+      {"ca.asiapac", "AsiaPac Commerce Root", "AsiaPac Trust KK", false, true, false, false},
+      {"ca.regionalgov", "RegionalGov National Root", "Regional Government PKI",
+       false, true, false, true},  // expired anchor still shipped in AOSP
+      {"ca.legacysign", "LegacySign Root CA 1999", "LegacySign Inc", false, true, true, false},
+  };
+}
+
+CertificateIssuer BuildIssuer(const PublicCaInfo& info) {
+  DistinguishedName dn;
+  dn.common_name = info.common_name;
+  dn.organization = info.organization;
+  dn.country = "US";
+  // Roots live decades; the expired anchor ended a year before the study.
+  const util::SimTime begin = util::kStudyEpoch - 15 * util::kMillisPerYear;
+  const util::SimTime end = info.expired
+                                ? util::kStudyEpoch - util::kMillisPerYear
+                                : util::kStudyEpoch + 20 * util::kMillisPerYear;
+  return CertificateIssuer::SelfSignedRoot(info.label, dn, begin, end);
+}
+
+CertificateIssuer BuildOemExtra() {
+  DistinguishedName dn;
+  dn.common_name = "HandsetMaker Device Root CA";
+  dn.organization = "HandsetMaker Electronics";
+  dn.country = "KR";
+  return CertificateIssuer::SelfSignedRoot(
+      "ca.oem.handsetmaker", dn, util::kStudyEpoch - 5 * util::kMillisPerYear,
+      util::kStudyEpoch + 10 * util::kMillisPerYear);
+}
+
+}  // namespace
+
+PublicCaCatalog::PublicCaCatalog()
+    : infos_(BuildInfos()), oem_extra_(BuildOemExtra()) {
+  issuers_.reserve(infos_.size());
+  for (const PublicCaInfo& info : infos_) issuers_.push_back(BuildIssuer(info));
+}
+
+const PublicCaCatalog& PublicCaCatalog::Instance() {
+  static const PublicCaCatalog catalog;
+  return catalog;
+}
+
+const CertificateIssuer& PublicCaCatalog::ByLabel(std::string_view label) const {
+  for (std::size_t i = 0; i < infos_.size(); ++i) {
+    if (infos_[i].label == label) return issuers_[i];
+  }
+  throw util::Error("unknown public CA label: " + std::string(label));
+}
+
+namespace {
+
+RootStore BuildStore(std::string name, const std::vector<PublicCaInfo>& infos,
+                     const std::vector<CertificateIssuer>& issuers,
+                     bool PublicCaInfo::*flag) {
+  std::vector<Certificate> roots;
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    if (infos[i].*flag) roots.push_back(issuers[i].certificate());
+  }
+  return RootStore(std::move(name), std::move(roots));
+}
+
+}  // namespace
+
+RootStore PublicCaCatalog::MozillaStore() const {
+  return BuildStore("mozilla", infos_, issuers_, &PublicCaInfo::in_mozilla);
+}
+
+RootStore PublicCaCatalog::AospStore() const {
+  return BuildStore("aosp", infos_, issuers_, &PublicCaInfo::in_aosp);
+}
+
+RootStore PublicCaCatalog::IosStore() const {
+  return BuildStore("ios", infos_, issuers_, &PublicCaInfo::in_ios);
+}
+
+RootStore PublicCaCatalog::OemAugmentedStore() const {
+  RootStore store = AospStore();
+  store.AddRoot(oem_extra_.certificate());
+  return RootStore("aosp+oem", store.roots());
+}
+
+}  // namespace pinscope::x509

@@ -1,0 +1,91 @@
+// Root stores and the public-CA catalog.
+//
+// Models the trust anchors the paper contrasts: the AOSP store shipped by
+// Android (known to carry obscure and even expired roots [Vallina-Rodriguez
+// et al. 2014]), the iOS store, the Mozilla store (the paper's §5.3.1 uses
+// Mozilla's CA list via OpenSSL to decide default-vs-custom PKI), and
+// OEM-augmented stores.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "x509/certificate.h"
+#include "x509/issuer.h"
+
+namespace pinscope::x509 {
+
+/// A named collection of trusted root certificates.
+class RootStore {
+ public:
+  RootStore() = default;
+  RootStore(std::string name, std::vector<Certificate> roots);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Certificate>& roots() const { return roots_; }
+
+  /// Adds a trust anchor (used for OEM additions and the MITM proxy CA).
+  void AddRoot(Certificate root);
+
+  /// True if `cert` is one of the anchors (matched by SPKI and subject —
+  /// cross-signed re-issues of the same root key are treated as the same
+  /// anchor, as real validators do).
+  [[nodiscard]] bool IsTrustedRoot(const Certificate& cert) const;
+
+  /// Finds an anchor by subject common name.
+  [[nodiscard]] std::optional<Certificate> FindBySubject(std::string_view cn) const;
+
+ private:
+  std::string name_;
+  std::vector<Certificate> roots_;
+};
+
+/// Descriptor of one well-known public CA in the simulated WebPKI.
+struct PublicCaInfo {
+  std::string label;        ///< Stable key-derivation label.
+  std::string common_name;  ///< Root certificate CN.
+  std::string organization;
+  bool in_mozilla = true;   ///< Present in the Mozilla store.
+  bool in_aosp = true;      ///< Present in the AOSP store.
+  bool in_ios = true;       ///< Present in the iOS store.
+  bool expired = false;     ///< Anchor past its notAfter (AOSP hygiene issue).
+};
+
+/// The catalog of well-known public CAs. Deterministic: every run constructs
+/// byte-identical roots. Servers in the simulation obtain their chains from
+/// these issuers; validators consult the derived stores.
+class PublicCaCatalog {
+ public:
+  /// The process-wide catalog (immutable after construction).
+  static const PublicCaCatalog& Instance();
+
+  /// All CA descriptors.
+  [[nodiscard]] const std::vector<PublicCaInfo>& infos() const { return infos_; }
+
+  /// Issuer for a catalog CA, by label. Throws util::Error on unknown label.
+  [[nodiscard]] const CertificateIssuer& ByLabel(std::string_view label) const;
+
+  /// The Mozilla CA store (paper §5.3.1's default-PKI oracle).
+  [[nodiscard]] RootStore MozillaStore() const;
+
+  /// The AOSP system store (includes obscure/expired anchors).
+  [[nodiscard]] RootStore AospStore() const;
+
+  /// The iOS system store.
+  [[nodiscard]] RootStore IosStore() const;
+
+  /// AOSP plus OEM-added anchors (the Gamba et al. preinstalled-software
+  /// observation).
+  [[nodiscard]] RootStore OemAugmentedStore() const;
+
+ private:
+  PublicCaCatalog();
+
+  std::vector<PublicCaInfo> infos_;
+  std::vector<CertificateIssuer> issuers_;
+  CertificateIssuer oem_extra_;
+};
+
+}  // namespace pinscope::x509

@@ -1,0 +1,113 @@
+#include "x509/validation.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "x509/issuer.h"
+
+namespace pinscope::x509 {
+
+std::string_view ValidationStatusName(ValidationStatus s) {
+  switch (s) {
+    case ValidationStatus::kOk: return "ok";
+    case ValidationStatus::kEmptyChain: return "empty-chain";
+    case ValidationStatus::kBadSignature: return "bad-signature";
+    case ValidationStatus::kBadChainOrder: return "bad-chain-order";
+    case ValidationStatus::kNotCa: return "issuer-not-ca";
+    case ValidationStatus::kExpired: return "expired";
+    case ValidationStatus::kNotYetValid: return "not-yet-valid";
+    case ValidationStatus::kHostnameMismatch: return "hostname-mismatch";
+    case ValidationStatus::kUntrustedRoot: return "untrusted-root";
+    case ValidationStatus::kRevoked: return "revoked";
+    case ValidationStatus::kPathLenExceeded: return "path-len-exceeded";
+  }
+  throw util::Error("unknown ValidationStatus");
+}
+
+ValidationResult ValidateChain(const CertificateChain& chain,
+                               std::string_view hostname, util::SimTime now,
+                               const RootStore& store,
+                               const ValidationOptions& options) {
+  if (chain.empty()) return {ValidationStatus::kEmptyChain, 0};
+
+  // Structural pass: issuer/subject linkage, CA bits, signatures.
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Certificate& cert = chain[i];
+    const bool is_last = i + 1 == chain.size();
+    const Certificate& issuer = is_last ? cert : chain[i + 1];
+
+    if (!is_last) {
+      if (cert.issuer() != issuer.subject()) {
+        return {ValidationStatus::kBadChainOrder, i};
+      }
+      if (!issuer.is_ca()) return {ValidationStatus::kNotCa, i + 1};
+      // basicConstraints pathLenConstraint: the issuer at chain index i+1 may
+      // have at most path_len intermediate CA certificates beneath it. In a
+      // leaf-first chain those are indices 1..i, i.e. exactly i of them.
+      if (issuer.path_len().has_value() &&
+          static_cast<int>(i) > *issuer.path_len()) {
+        return {ValidationStatus::kPathLenExceeded, i + 1};
+      }
+    } else {
+      // Terminal certificate: either a self-signed anchor/leaf, or an
+      // intermediate whose issuer must be found in the root store.
+      if (!cert.IsSelfIssued()) {
+        const auto anchor = store.FindBySubject(cert.issuer().common_name);
+        if (anchor.has_value()) {
+          if (options.check_signatures && !VerifySignature(cert, anchor->spki())) {
+            return {ValidationStatus::kBadSignature, i};
+          }
+          // Anchored directly in the store; skip the self-signature check.
+          continue;
+        }
+        if (options.require_trusted_root) {
+          return {ValidationStatus::kUntrustedRoot, i};
+        }
+        continue;
+      }
+    }
+    if (options.check_signatures && !VerifySignature(cert, issuer.spki())) {
+      return {ValidationStatus::kBadSignature, i};
+    }
+  }
+
+  if (options.check_expiry) {
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (now > chain[i].not_after()) return {ValidationStatus::kExpired, i};
+      if (now < chain[i].not_before()) return {ValidationStatus::kNotYetValid, i};
+    }
+  }
+
+  if (options.check_hostname && !chain.front().MatchesHostname(hostname)) {
+    return {ValidationStatus::kHostnameMismatch, 0};
+  }
+
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (std::find(options.revoked_serials.begin(), options.revoked_serials.end(),
+                  chain[i].serial()) != options.revoked_serials.end()) {
+      return {ValidationStatus::kRevoked, i};
+    }
+  }
+
+  if (options.require_trusted_root) {
+    // The terminal certificate (or the anchor that issued it) must be in the
+    // store. Self-signed leaves are trusted only if explicitly anchored.
+    const Certificate& last = chain.back();
+    if (!store.IsTrustedRoot(last) &&
+        !store.FindBySubject(last.issuer().common_name).has_value()) {
+      return {ValidationStatus::kUntrustedRoot, chain.size() - 1};
+    }
+  }
+
+  return {ValidationStatus::kOk, 0};
+}
+
+bool ChainsToPublicRoot(const CertificateChain& chain, const RootStore& public_store) {
+  if (chain.empty()) return false;
+  ValidationOptions opts;
+  opts.check_hostname = false;
+  opts.check_expiry = false;
+  return ValidateChain(chain, "", util::kStudyEpoch, public_store, opts).ok();
+}
+
+}  // namespace pinscope::x509

@@ -1,0 +1,74 @@
+// Certificate-chain path validation.
+//
+// Implements the checks the paper calls "all other properties of certificates"
+// (§2.1): signature chaining, validity windows, hostname (Common Name / SAN)
+// matching, basicConstraints, root-store anchoring, and revocation. Pinning
+// evaluation is layered *on top of* this (src/tls/pinning.h), never instead of
+// it — except when a client deliberately subverts validation, which the model
+// supports so §5.3.4's detection logic has something to detect.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.h"
+#include "x509/certificate.h"
+#include "x509/root_store.h"
+
+namespace pinscope::x509 {
+
+/// Outcome of path validation.
+enum class ValidationStatus {
+  kOk,
+  kEmptyChain,
+  kBadSignature,       ///< Some link's signature does not verify.
+  kBadChainOrder,      ///< Adjacent certs not in issuer/subject relation.
+  kNotCa,              ///< An issuing certificate lacks the CA bit.
+  kExpired,            ///< A certificate is past notAfter.
+  kNotYetValid,        ///< A certificate is before notBefore.
+  kHostnameMismatch,   ///< Leaf does not cover the requested hostname.
+  kUntrustedRoot,      ///< Chain does not anchor in the root store.
+  kRevoked,            ///< A certificate's serial is on the revocation list.
+  kPathLenExceeded,    ///< A CA's basicConstraints pathLenConstraint violated.
+};
+
+/// Human-readable status label.
+[[nodiscard]] std::string_view ValidationStatusName(ValidationStatus s);
+
+/// Result of path validation: overall status plus which chain element failed.
+struct ValidationResult {
+  ValidationStatus status = ValidationStatus::kOk;
+  std::size_t failing_index = 0;  ///< Index into the chain (leaf == 0).
+
+  [[nodiscard]] bool ok() const { return status == ValidationStatus::kOk; }
+};
+
+/// Knobs for validation. Defaults model a correct TLS client; flags allow the
+/// simulation to express the *broken* validators prior work found in the wild.
+struct ValidationOptions {
+  bool check_hostname = true;
+  bool check_expiry = true;
+  bool check_signatures = true;
+  bool require_trusted_root = true;
+  /// Serials considered revoked (leaf-level CRL, per §5.3.1's note that
+  /// revocation applies to leaf certificates).
+  std::vector<std::string> revoked_serials;
+};
+
+/// Validates `chain` (leaf first) for `hostname` at time `now` against
+/// `store`.
+[[nodiscard]] ValidationResult ValidateChain(const CertificateChain& chain,
+                                             std::string_view hostname,
+                                             util::SimTime now,
+                                             const RootStore& store,
+                                             const ValidationOptions& options = {});
+
+/// True if `chain` anchors in the given (public) root store — the paper's
+/// §5.3.1 test for "default PKI" vs "custom PKI". Ignores hostname and expiry;
+/// only structure and anchoring matter.
+[[nodiscard]] bool ChainsToPublicRoot(const CertificateChain& chain,
+                                      const RootStore& public_store);
+
+}  // namespace pinscope::x509

@@ -1,0 +1,109 @@
+#include "appmodel/android_package.h"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+#include "x509/issuer.h"
+#include "x509/pem.h"
+
+namespace pinscope::appmodel {
+namespace {
+
+AppMetadata Meta() {
+  AppMetadata meta;
+  meta.app_id = "com.test.app";
+  meta.display_name = "Test App";
+  meta.platform = Platform::kAndroid;
+  return meta;
+}
+
+x509::Certificate Cert() {
+  x509::IssueSpec spec;
+  spec.subject.common_name = "apk.example.com";
+  return x509::CertificateIssuer::SelfSignedLeaf("apk-cert", spec);
+}
+
+TEST(AndroidPackageTest, ManifestAlwaysPresent) {
+  const PackageFiles apk = AndroidPackageBuilder(Meta()).Build();
+  ASSERT_TRUE(apk.Contains("AndroidManifest.xml"));
+  const std::string manifest = util::ToString(*apk.Find("AndroidManifest.xml"));
+  EXPECT_TRUE(util::Contains(manifest, "com.test.app"));
+  EXPECT_FALSE(util::Contains(manifest, "networkSecurityConfig"));
+}
+
+TEST(AndroidPackageTest, NscWiresManifestReference) {
+  NscDomainConfig cfg;
+  cfg.domain = "example.com";
+  cfg.pin_strings = {"sha256/" + std::string(44, 'A')};
+  const PackageFiles apk = AndroidPackageBuilder(Meta()).WithNsc({cfg}).Build();
+  EXPECT_TRUE(util::Contains(util::ToString(*apk.Find("AndroidManifest.xml")),
+                             "@xml/network_security_config"));
+  ASSERT_TRUE(apk.Contains("res/xml/network_security_config.xml"));
+  const std::string nsc =
+      util::ToString(*apk.Find("res/xml/network_security_config.xml"));
+  EXPECT_TRUE(util::Contains(nsc, "<pin digest=\"SHA-256\">"));
+  EXPECT_TRUE(util::Contains(nsc, "example.com"));
+}
+
+TEST(AndroidPackageTest, NscRendersOverridePinsMisconfiguration) {
+  NscDomainConfig cfg;
+  cfg.domain = "example.com";
+  cfg.pin_strings = {"sha256/" + std::string(44, 'B')};
+  cfg.override_pins = true;
+  const std::string xml = RenderNscXml({cfg});
+  EXPECT_TRUE(util::Contains(xml, "overridePins=\"true\""));
+}
+
+TEST(AndroidPackageTest, SmaliPathEncodesCodeOrigin) {
+  const PackageFiles apk =
+      AndroidPackageBuilder(Meta())
+          .AddSmaliString("com/twitter/sdk", "Pins.smali", "sha256/AAAA")
+          .Build();
+  ASSERT_TRUE(apk.Contains("smali/com/twitter/sdk/Pins.smali"));
+  EXPECT_TRUE(util::Contains(
+      util::ToString(*apk.Find("smali/com/twitter/sdk/Pins.smali")),
+      "const-string"));
+}
+
+TEST(AndroidPackageTest, CertificateFilesUseRequestedFormat) {
+  const x509::Certificate cert = Cert();
+  const PackageFiles apk =
+      AndroidPackageBuilder(Meta())
+          .AddCertificateFile("res/raw", "pinned", cert, CertFileFormat::kPem)
+          .AddCertificateFile("assets", "pinned", cert, CertFileFormat::kDer)
+          .Build();
+  ASSERT_TRUE(apk.Contains("res/raw/pinned.pem"));
+  ASSERT_TRUE(apk.Contains("assets/pinned.der"));
+  // PEM file decodes via PEM armor; DER parses directly.
+  EXPECT_TRUE(
+      x509::PemDecode(util::ToString(*apk.Find("res/raw/pinned.pem"))).has_value());
+  EXPECT_TRUE(x509::Certificate::ParseDer(*apk.Find("assets/pinned.der")).has_value());
+}
+
+TEST(AndroidPackageTest, NativeLibEmbedsExtractableStrings) {
+  util::Rng rng(1);
+  const PackageFiles apk =
+      AndroidPackageBuilder(Meta())
+          .AddNativeLib("libpin.so", {"sha256/PINSTRING0000000000000000000"}, rng)
+          .Build();
+  ASSERT_TRUE(apk.Contains("lib/arm64-v8a/libpin.so"));
+  const std::string blob = util::ToString(*apk.Find("lib/arm64-v8a/libpin.so"));
+  EXPECT_TRUE(util::Contains(blob, "sha256/PINSTRING"));
+}
+
+TEST(AndroidPackageTest, BuilderRejectsIosMetadata) {
+  AppMetadata meta = Meta();
+  meta.platform = Platform::kIos;
+  EXPECT_THROW(AndroidPackageBuilder{meta}, util::Error);
+}
+
+TEST(CertFileFormatTest, ExtensionsMatchPaperList) {
+  EXPECT_EQ(CertFileExtension(CertFileFormat::kPem), ".pem");
+  EXPECT_EQ(CertFileExtension(CertFileFormat::kDer), ".der");
+  EXPECT_EQ(CertFileExtension(CertFileFormat::kCrt), ".crt");
+  EXPECT_EQ(CertFileExtension(CertFileFormat::kCer), ".cer");
+  EXPECT_EQ(CertFileExtension(CertFileFormat::kCert), ".cert");
+}
+
+}  // namespace
+}  // namespace pinscope::appmodel

@@ -1,0 +1,111 @@
+#include "appmodel/ios_package.h"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace pinscope::appmodel {
+namespace {
+
+AppMetadata Meta() {
+  AppMetadata meta;
+  meta.app_id = "com.test.iosapp";
+  meta.display_name = "My iOS App";
+  meta.platform = Platform::kIos;
+  return meta;
+}
+
+TEST(FairPlayTest, EncryptDecryptRoundTrips) {
+  const util::Bytes plain = util::ToBytes("binary contents with pins");
+  const util::Bytes cipher = FairPlayEncrypt(plain, "com.test.iosapp");
+  EXPECT_TRUE(IsFairPlayEncrypted(cipher));
+  EXPECT_EQ(FairPlayDecrypt(cipher, "com.test.iosapp"), plain);
+}
+
+TEST(FairPlayTest, CiphertextHidesPlaintext) {
+  const util::Bytes plain = util::ToBytes("sha256/SECRETPINSTRING0000000000000");
+  const util::Bytes cipher = FairPlayEncrypt(plain, "com.test.iosapp");
+  EXPECT_FALSE(util::Contains(util::ToString(cipher), "SECRETPINSTRING"));
+}
+
+TEST(FairPlayTest, WrongBundleIdYieldsGarbage) {
+  const util::Bytes plain = util::ToBytes("some content");
+  const util::Bytes cipher = FairPlayEncrypt(plain, "com.correct.app");
+  EXPECT_NE(FairPlayDecrypt(cipher, "com.wrong.app"), plain);
+}
+
+TEST(FairPlayTest, DecryptRejectsUnencryptedInput) {
+  EXPECT_TRUE(FairPlayDecrypt(util::ToBytes("plain"), "com.test").empty());
+  EXPECT_FALSE(IsFairPlayEncrypted(util::ToBytes("plain")));
+}
+
+TEST(IosPackageTest, BundleLayoutDerivedFromDisplayName) {
+  IosPackageBuilder builder(Meta());
+  EXPECT_EQ(builder.BundleRoot(), "Payload/MyIOSApp.app");
+  EXPECT_EQ(builder.MainBinaryPath(), "Payload/MyIOSApp.app/MyIOSApp");
+}
+
+TEST(IosPackageTest, MainBinaryShipsEncrypted) {
+  util::Rng rng(1);
+  IosPackageBuilder builder(Meta());
+  builder.AddMainBinaryString("sha256/MAINBINARYPIN0000000000000000");
+  const PackageFiles ipa = builder.Build(rng);
+  const util::Bytes* bin = ipa.Find(builder.MainBinaryPath());
+  ASSERT_NE(bin, nullptr);
+  EXPECT_TRUE(IsFairPlayEncrypted(*bin));
+  EXPECT_FALSE(util::Contains(util::ToString(*bin), "MAINBINARYPIN"));
+  // Decryption recovers the string.
+  const util::Bytes plain = FairPlayDecrypt(*bin, "com.test.iosapp");
+  EXPECT_TRUE(util::Contains(util::ToString(plain), "MAINBINARYPIN"));
+}
+
+TEST(IosPackageTest, FrameworksStayPlaintext) {
+  util::Rng rng(2);
+  IosPackageBuilder builder(Meta());
+  builder.AddFrameworkStrings("TwitterKit", {"sha256/FRAMEWORKPIN00000000000000000"},
+                              rng);
+  const PackageFiles ipa = builder.Build(rng);
+  const std::string path =
+      "Payload/MyIOSApp.app/Frameworks/TwitterKit.framework/TwitterKit";
+  ASSERT_TRUE(ipa.Contains(path));
+  EXPECT_FALSE(IsFairPlayEncrypted(*ipa.Find(path)));
+  EXPECT_TRUE(util::Contains(util::ToString(*ipa.Find(path)), "FRAMEWORKPIN"));
+}
+
+TEST(IosPackageTest, InfoPlistCarriesBundleIdAndAtsPins) {
+  util::Rng rng(3);
+  AtsPinnedDomain pinned;
+  pinned.domain = "api.test.com";
+  pinned.include_subdomains = true;
+  pinned.spki_sha256_base64 = {std::string(44, 'C')};
+  IosPackageBuilder builder(Meta());
+  builder.WithAtsPinnedDomains({pinned});
+  const PackageFiles ipa = builder.Build(rng);
+  const std::string plist =
+      util::ToString(*ipa.Find("Payload/MyIOSApp.app/Info.plist"));
+  EXPECT_TRUE(util::Contains(plist, "com.test.iosapp"));
+  EXPECT_TRUE(util::Contains(plist, "NSPinnedDomains"));
+  EXPECT_TRUE(util::Contains(plist, "SPKI-SHA256-BASE64"));
+  EXPECT_TRUE(util::Contains(plist, "api.test.com"));
+}
+
+TEST(IosPackageTest, EntitlementsCarryAssociatedDomains) {
+  util::Rng rng(4);
+  IosPackageBuilder builder(Meta());
+  builder.WithAssociatedDomains({"test.com", "www.test.com"});
+  const PackageFiles ipa = builder.Build(rng);
+  const std::string ent =
+      util::ToString(*ipa.Find("Payload/MyIOSApp.app/App.entitlements"));
+  EXPECT_TRUE(util::Contains(ent, "applinks:test.com"));
+  EXPECT_TRUE(util::Contains(ent, "applinks:www.test.com"));
+  EXPECT_TRUE(util::Contains(ent, "com.apple.developer.associated-domains"));
+}
+
+TEST(IosPackageTest, BuilderRejectsAndroidMetadata) {
+  AppMetadata meta = Meta();
+  meta.platform = Platform::kAndroid;
+  EXPECT_THROW(IosPackageBuilder{meta}, util::Error);
+}
+
+}  // namespace
+}  // namespace pinscope::appmodel

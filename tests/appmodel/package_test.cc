@@ -1,0 +1,45 @@
+#include "appmodel/package.h"
+
+#include <gtest/gtest.h>
+
+namespace pinscope::appmodel {
+namespace {
+
+TEST(PackageFilesTest, AddAndFind) {
+  PackageFiles files;
+  files.AddText("a/b.txt", "hello");
+  ASSERT_NE(files.Find("a/b.txt"), nullptr);
+  EXPECT_EQ(util::ToString(*files.Find("a/b.txt")), "hello");
+  EXPECT_EQ(files.Find("missing"), nullptr);
+  EXPECT_TRUE(files.Contains("a/b.txt"));
+  EXPECT_FALSE(files.Contains("a"));
+}
+
+TEST(PackageFilesTest, AddReplacesExisting) {
+  PackageFiles files;
+  files.AddText("f", "one");
+  files.AddText("f", "two");
+  EXPECT_EQ(files.size(), 1u);
+  EXPECT_EQ(util::ToString(*files.Find("f")), "two");
+}
+
+TEST(PackageFilesTest, PathsWithSuffixIsCaseInsensitive) {
+  PackageFiles files;
+  files.AddText("certs/ca.PEM", "x");
+  files.AddText("certs/ca.pem", "x");
+  files.AddText("certs/ca.der", "x");
+  files.AddText("readme.md", "x");
+  EXPECT_EQ(files.PathsWithSuffix(".pem").size(), 2u);
+  EXPECT_EQ(files.PathsWithSuffix(".der").size(), 1u);
+  EXPECT_TRUE(files.PathsWithSuffix(".cer").empty());
+}
+
+TEST(PackageFilesTest, TotalBytes) {
+  PackageFiles files;
+  files.AddText("a", "12345");
+  files.AddText("b", "123");
+  EXPECT_EQ(files.TotalBytes(), 8u);
+}
+
+}  // namespace
+}  // namespace pinscope::appmodel

@@ -1,0 +1,69 @@
+#include "appmodel/pii.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pinscope::appmodel {
+namespace {
+
+DeviceIdentity TestDevice() {
+  DeviceIdentity id;
+  id.imei = "358240051111110";
+  id.advertising_id = "cdda802e-fb9c-47ad-9866-0794d394c912";
+  id.wifi_mac = "02:00:00:44:55:66";
+  id.email = "tester@example.com";
+  id.state = "Massachusetts";
+  id.city = "Boston";
+  id.lat_long = "42.3601,-71.0589";
+  return id;
+}
+
+TEST(PiiTest, AllTypesHaveDistinctNamesAndPlaceholders) {
+  std::set<std::string_view> names, placeholders;
+  for (PiiType t : AllPiiTypes()) {
+    EXPECT_TRUE(names.insert(PiiTypeName(t)).second);
+    EXPECT_TRUE(placeholders.insert(PiiPlaceholder(t)).second);
+  }
+  EXPECT_EQ(AllPiiTypes().size(), 7u);
+}
+
+TEST(PiiTest, ExpandReplacesEveryPlaceholder) {
+  const DeviceIdentity device = TestDevice();
+  const std::string expanded = ExpandPiiTemplate(
+      "id={{ad_id}}&imei={{imei}}&mac={{wifi_mac}}&e={{email}}"
+      "&s={{state}}&c={{city}}&ll={{lat_long}}",
+      device);
+  for (PiiType t : AllPiiTypes()) {
+    EXPECT_NE(expanded.find(device.Value(t)), std::string::npos)
+        << PiiTypeName(t);
+    EXPECT_EQ(expanded.find(PiiPlaceholder(t)), std::string::npos);
+  }
+}
+
+TEST(PiiTest, ExpandLeavesUnknownPlaceholders) {
+  EXPECT_EQ(ExpandPiiTemplate("x={{unknown}}", TestDevice()), "x={{unknown}}");
+}
+
+TEST(PiiTest, ExpandOfPlainTextIsIdentity) {
+  EXPECT_EQ(ExpandPiiTemplate("no placeholders here", TestDevice()),
+            "no placeholders here");
+}
+
+TEST(PiiTest, PiiInTemplateDetectsGroundTruth) {
+  const auto found = PiiInTemplate("a={{ad_id}}&b={{city}}");
+  EXPECT_EQ(found.size(), 2u);
+  EXPECT_TRUE(PiiInTemplate("clean").empty());
+}
+
+class PiiValueAccess : public ::testing::TestWithParam<PiiType> {};
+
+TEST_P(PiiValueAccess, ValueIsNonEmptyForTestDevice) {
+  EXPECT_FALSE(TestDevice().Value(GetParam()).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, PiiValueAccess,
+                         ::testing::ValuesIn(AllPiiTypes()));
+
+}  // namespace
+}  // namespace pinscope::appmodel

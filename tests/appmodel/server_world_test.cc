@@ -1,0 +1,129 @@
+#include "appmodel/server_world.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+#include "x509/validation.h"
+
+namespace pinscope::appmodel {
+namespace {
+
+TEST(ServerWorldTest, DefaultPkiChainsValidateAgainstPublicStores) {
+  ServerWorld world(1);
+  const ServerInfo& info = world.EnsureDefaultPki("api.world.com", "world");
+  EXPECT_EQ(info.pki, PkiType::kDefaultPki);
+  ASSERT_EQ(info.endpoint.chain.size(), 3u);  // leaf, intermediate, root
+  for (const auto& store : {x509::PublicCaCatalog::Instance().MozillaStore(),
+                            x509::PublicCaCatalog::Instance().AospStore(),
+                            x509::PublicCaCatalog::Instance().IosStore()}) {
+    EXPECT_TRUE(x509::ChainsToPublicRoot(info.endpoint.chain, store))
+        << store.name();
+  }
+  const auto result = x509::ValidateChain(
+      info.endpoint.chain, "api.world.com", util::kStudyEpoch,
+      x509::PublicCaCatalog::Instance().MozillaStore());
+  EXPECT_TRUE(result.ok()) << x509::ValidationStatusName(result.status);
+}
+
+TEST(ServerWorldTest, EnsureIsIdempotent) {
+  ServerWorld world(2);
+  const ServerInfo& a = world.EnsureDefaultPki("api.same.com", "same");
+  const ServerInfo& b = world.EnsureDefaultPki("api.same.com", "other-org");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(world.size(), 1u);
+  EXPECT_EQ(b.organization, "same");  // first registration wins
+}
+
+TEST(ServerWorldTest, CustomPkiDoesNotChainToPublicRoots) {
+  ServerWorld world(3);
+  const ServerInfo& info = world.EnsureCustomPki("internal.corp.com", "corp");
+  EXPECT_EQ(info.pki, PkiType::kCustomPki);
+  EXPECT_FALSE(x509::ChainsToPublicRoot(
+      info.endpoint.chain, x509::PublicCaCatalog::Instance().MozillaStore()));
+  // But it validates against a store trusting its own root.
+  x509::RootStore own("corp", {info.endpoint.chain.back()});
+  EXPECT_TRUE(x509::ValidateChain(info.endpoint.chain, "internal.corp.com",
+                                  util::kStudyEpoch, own)
+                  .ok());
+}
+
+TEST(ServerWorldTest, SelfSignedHasRequestedValidity) {
+  ServerWorld world(4);
+  const ServerInfo& info = world.EnsureSelfSigned("legacy.corp.com", "corp", 27);
+  EXPECT_EQ(info.pki, PkiType::kSelfSigned);
+  ASSERT_EQ(info.endpoint.chain.size(), 1u);
+  EXPECT_TRUE(info.endpoint.chain.front().IsSelfIssued());
+  EXPECT_NEAR(static_cast<double>(info.endpoint.chain.front().ValidityDays()),
+              27 * 365.0, 40.0);
+}
+
+TEST(ServerWorldTest, RotateLeafReusingKeyPreservesSpki) {
+  ServerWorld world(5);
+  const auto before = world.EnsureDefaultPki("rotate.me.com", "me").endpoint.chain;
+  world.RotateLeaf("rotate.me.com", /*reuse_key=*/true);
+  const auto after = world.Find("rotate.me.com")->endpoint.chain;
+  EXPECT_NE(before.front().DerBytes(), after.front().DerBytes());
+  EXPECT_EQ(before.front().SpkiSha256(), after.front().SpkiSha256());
+}
+
+TEST(ServerWorldTest, RotateLeafWithNewKeyChangesSpki) {
+  ServerWorld world(6);
+  const auto before = world.EnsureDefaultPki("rekey.me.com", "me").endpoint.chain;
+  world.RotateLeaf("rekey.me.com", /*reuse_key=*/false);
+  const auto after = world.Find("rekey.me.com")->endpoint.chain;
+  EXPECT_NE(before.front().SpkiSha256(), after.front().SpkiSha256());
+}
+
+TEST(ServerWorldTest, RotateLeafRejectsUnknownAndSelfSigned) {
+  ServerWorld world(7);
+  EXPECT_THROW(world.RotateLeaf("nope.com", true), util::Error);
+  world.EnsureSelfSigned("self.com", "self", 10);
+  EXPECT_THROW(world.RotateLeaf("self.com", true), util::Error);
+}
+
+TEST(ServerWorldTest, DowngradeWeakensEndpoint) {
+  ServerWorld world(8);
+  world.EnsureDefaultPki("old.server.com", "old");
+  world.Downgrade("old.server.com");
+  const ServerInfo* info = world.Find("old.server.com");
+  EXPECT_EQ(info->endpoint.max_version, tls::TlsVersion::kTls12);
+  EXPECT_TRUE(tls::AdvertisesWeakCipher(info->endpoint.ciphers));
+}
+
+TEST(ServerWorldTest, ExportOwnershipRegistersRegistrableDomains) {
+  ServerWorld world(9);
+  world.EnsureDefaultPki("api.owned.com", "owner-org");
+  net::OrganizationDirectory dir;
+  world.ExportOwnership(dir);
+  EXPECT_EQ(dir.OwnerOf("other.owned.com"), "owner-org");
+}
+
+TEST(ServerWorldTest, CtLogContainsOnlyPublicChains) {
+  ServerWorld world(10);
+  world.EnsureDefaultPki("public.site.com", "pub");
+  world.EnsureCustomPki("private.corp.com", "corp");
+  x509::CtLog log;
+  world.ExportToCtLog(log);
+  const auto* pub = world.Find("public.site.com");
+  const auto* priv = world.Find("private.corp.com");
+  const auto pub_digest = pub->endpoint.chain.front().SpkiSha256();
+  const auto priv_digest = priv->endpoint.chain.front().SpkiSha256();
+  EXPECT_FALSE(log.FindBySpkiDigest(
+                      util::HexEncode(util::Bytes(pub_digest.begin(), pub_digest.end())))
+                   .empty());
+  EXPECT_TRUE(log.FindBySpkiDigest(util::HexEncode(
+                                       util::Bytes(priv_digest.begin(), priv_digest.end())))
+                  .empty());
+}
+
+TEST(ServerWorldTest, ChainFetchUnavailableFlag) {
+  ServerWorld world(11);
+  world.EnsureDefaultPki("flaky.site.com", "flaky");
+  EXPECT_FALSE(world.Find("flaky.site.com")->chain_fetch_unavailable);
+  world.MarkChainFetchUnavailable("flaky.site.com");
+  EXPECT_TRUE(world.Find("flaky.site.com")->chain_fetch_unavailable);
+  EXPECT_THROW(world.MarkChainFetchUnavailable("unknown.com"), util::Error);
+}
+
+}  // namespace
+}  // namespace pinscope::appmodel

@@ -1,0 +1,99 @@
+#include "appmodel/trust_model.h"
+
+#include <gtest/gtest.h>
+
+#include "net/mitm_proxy.h"
+#include "tls/handshake.h"
+#include "util/rng.h"
+
+namespace pinscope::appmodel {
+namespace {
+
+DeviceTrustState StockPixelWithUserProxyCa(const x509::Certificate& proxy_ca) {
+  DeviceTrustState state;
+  state.system_store = x509::PublicCaCatalog::Instance().AospStore();
+  state.user_store = x509::RootStore("user", {proxy_ca});
+  return state;
+}
+
+TEST(TrustModelTest, LegacyAndroidAppsTrustUserCas) {
+  net::MitmProxy proxy;
+  const auto state = StockPixelWithUserProxyCa(proxy.CaCertificate());
+  const auto store = EffectiveAndroidTrustStore(state, /*target_sdk=*/23, false);
+  EXPECT_TRUE(store.IsTrustedRoot(proxy.CaCertificate()));
+}
+
+TEST(TrustModelTest, ModernAndroidAppsIgnoreUserCas) {
+  net::MitmProxy proxy;
+  const auto state = StockPixelWithUserProxyCa(proxy.CaCertificate());
+  const auto store = EffectiveAndroidTrustStore(state, /*target_sdk=*/30, false);
+  EXPECT_FALSE(store.IsTrustedRoot(proxy.CaCertificate()));
+  // System anchors survive.
+  EXPECT_FALSE(store.roots().empty());
+}
+
+TEST(TrustModelTest, NscOptInRestoresUserTrust) {
+  net::MitmProxy proxy;
+  const auto state = StockPixelWithUserProxyCa(proxy.CaCertificate());
+  const auto store =
+      EffectiveAndroidTrustStore(state, /*target_sdk=*/30, /*nsc_trusts_user=*/true);
+  EXPECT_TRUE(store.IsTrustedRoot(proxy.CaCertificate()));
+}
+
+TEST(TrustModelTest, IosAppsHonorUserTrustButServicesDoNot) {
+  net::MitmProxy proxy;
+  DeviceTrustState state;
+  state.system_store = x509::PublicCaCatalog::Instance().IosStore();
+  state.user_store = x509::RootStore("user", {proxy.CaCertificate()});
+
+  EXPECT_TRUE(EffectiveIosTrustStore(state, /*os_service=*/false)
+                  .IsTrustedRoot(proxy.CaCertificate()));
+  EXPECT_FALSE(EffectiveIosTrustStore(state, /*os_service=*/true)
+                   .IsTrustedRoot(proxy.CaCertificate()));
+}
+
+TEST(TrustModelTest, MergeDeduplicatesAnchors) {
+  DeviceTrustState state;
+  state.system_store = x509::PublicCaCatalog::Instance().AospStore();
+  state.user_store =
+      x509::RootStore("user", {state.system_store.roots().front()});
+  const auto store = EffectiveAndroidTrustStore(state, 23, false);
+  EXPECT_EQ(store.roots().size(), state.system_store.roots().size());
+}
+
+TEST(TrustModelTest, WhyThePaperModifiedTheFactoryImage) {
+  // End-to-end: user-installed proxy CA cannot intercept a modern Android
+  // app; a system-installed one can. This is §4.2.1's setup decision.
+  net::MitmProxy proxy;
+  const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.globaltrust");
+  util::Rng rng(12);
+  x509::IssueSpec spec;
+  spec.subject.common_name = "bank.trust.com";
+  spec.san_dns = {"bank.trust.com"};
+  spec.not_before = -util::kMillisPerDay;
+  spec.not_after = util::kMillisPerYear;
+  tls::ServerEndpoint server;
+  server.hostname = "bank.trust.com";
+  server.chain = {ca.Issue(spec, rng), ca.certificate()};
+
+  const auto user_state = StockPixelWithUserProxyCa(proxy.CaCertificate());
+
+  // Stock image, user-installed CA, modern app: interception fails.
+  const auto user_store = EffectiveAndroidTrustStore(user_state, 30, false);
+  tls::ClientTlsConfig client;
+  client.root_store = &user_store;
+  tls::AppPayload payload;
+  payload.plaintext = "GET /";
+  EXPECT_FALSE(proxy.Intercept(client, server, payload, 0, rng).decrypted);
+
+  // Modified image: proxy CA in the *system* store — interception works.
+  DeviceTrustState modified = user_state;
+  modified.system_store.AddRoot(proxy.CaCertificate());
+  modified.user_store = x509::RootStore("user", {});
+  const auto sys_store = EffectiveAndroidTrustStore(modified, 30, false);
+  client.root_store = &sys_store;
+  EXPECT_TRUE(proxy.Intercept(client, server, payload, 0, rng).decrypted);
+}
+
+}  // namespace
+}  // namespace pinscope::appmodel

@@ -1,0 +1,48 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+
+namespace pinscope::crypto {
+namespace {
+
+std::string HexOf(const Sha256Digest& d) {
+  return util::HexEncode(util::Bytes(d.begin(), d.end()));
+}
+
+// RFC 4231 test vectors.
+TEST(HmacTest, Rfc4231Case1) {
+  const util::Bytes key(20, 0x0b);
+  EXPECT_EQ(HexOf(HmacSha256(key, util::ToBytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(HexOf(HmacSha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  const util::Bytes key(20, 0xaa);
+  const util::Bytes msg(50, 0xdd);
+  EXPECT_EQ(HexOf(HmacSha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const util::Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      HexOf(HmacSha256(key, util::ToBytes("Test Using Larger Than Block-Size "
+                                          "Key - Hash Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, KeySensitivity) {
+  EXPECT_NE(HmacSha256("key-a", "msg"), HmacSha256("key-b", "msg"));
+  EXPECT_NE(HmacSha256("key", "msg-a"), HmacSha256("key", "msg-b"));
+}
+
+}  // namespace
+}  // namespace pinscope::crypto

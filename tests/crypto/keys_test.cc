@@ -1,0 +1,64 @@
+#include "crypto/keys.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace pinscope::crypto {
+namespace {
+
+TEST(KeysTest, GenerateProducesDistinctKeys) {
+  util::Rng rng(1);
+  const KeyPair a = KeyPair::Generate(rng);
+  const KeyPair b = KeyPair::Generate(rng);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.SubjectPublicKeyInfo(), b.SubjectPublicKeyInfo());
+}
+
+TEST(KeysTest, FromLabelIsDeterministic) {
+  const KeyPair a = KeyPair::FromLabel("ca.root.1");
+  const KeyPair b = KeyPair::FromLabel("ca.root.1");
+  const KeyPair c = KeyPair::FromLabel("ca.root.2");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(KeysTest, SpkiEncodesAlgorithm) {
+  const KeyPair rsa = KeyPair::FromLabel("k", KeyAlgorithm::kRsa2048);
+  const KeyPair ec = KeyPair::FromLabel("k", KeyAlgorithm::kEcdsaP256);
+  EXPECT_TRUE(util::Contains(util::ToString(rsa.SubjectPublicKeyInfo()),
+                             "rsaEncryption-2048"));
+  EXPECT_TRUE(util::Contains(util::ToString(ec.SubjectPublicKeyInfo()),
+                             "ecdsa-p256"));
+  EXPECT_NE(rsa.SubjectPublicKeyInfo(), ec.SubjectPublicKeyInfo());
+}
+
+TEST(KeysTest, SignVerifyRoundTrip) {
+  const KeyPair key = KeyPair::FromLabel("signer");
+  const util::Bytes msg = util::ToBytes("to be signed");
+  const util::Bytes sig = key.Sign(msg);
+  EXPECT_TRUE(key.Verify(msg, sig));
+}
+
+TEST(KeysTest, VerifyRejectsTamperedMessage) {
+  const KeyPair key = KeyPair::FromLabel("signer");
+  const util::Bytes sig = key.Sign(util::ToBytes("message"));
+  EXPECT_FALSE(key.Verify(util::ToBytes("messagE"), sig));
+}
+
+TEST(KeysTest, VerifyRejectsWrongKey) {
+  const KeyPair a = KeyPair::FromLabel("a");
+  const KeyPair b = KeyPair::FromLabel("b");
+  const util::Bytes msg = util::ToBytes("message");
+  EXPECT_FALSE(b.Verify(msg, a.Sign(msg)));
+}
+
+TEST(KeysTest, SpkiDigestsAreStable) {
+  const KeyPair key = KeyPair::FromLabel("pin-me");
+  EXPECT_EQ(key.SpkiSha256(), KeyPair::FromLabel("pin-me").SpkiSha256());
+  EXPECT_EQ(key.SpkiSha1(), KeyPair::FromLabel("pin-me").SpkiSha1());
+}
+
+}  // namespace
+}  // namespace pinscope::crypto

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+#include "util/hex.h"
+
+namespace pinscope::crypto {
+namespace {
+
+std::string HexOf(const util::Bytes& b) { return util::HexEncode(b); }
+
+TEST(Sha256Test, Fips180Vectors) {
+  EXPECT_EQ(HexOf(ToBytes(Sha256(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(HexOf(ToBytes(Sha256("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(HexOf(ToBytes(Sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  const std::string input(1'000'000, 'a');
+  EXPECT_EQ(HexOf(ToBytes(Sha256(input))),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding edges must all differ.
+  std::set<std::string> digests;
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    digests.insert(HexOf(ToBytes(Sha256(std::string(len, 'x')))));
+  }
+  EXPECT_EQ(digests.size(), 10u);
+}
+
+TEST(Sha1Test, Fips180Vectors) {
+  EXPECT_EQ(HexOf(ToBytes(Sha1(""))),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(HexOf(ToBytes(Sha1("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(HexOf(ToBytes(Sha1(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  const std::string input(1'000'000, 'a');
+  EXPECT_EQ(HexOf(ToBytes(Sha1(input))),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(ShaTest, ByteAndStringOverloadsAgree) {
+  const std::string s = "overload parity";
+  EXPECT_EQ(Sha256(s), Sha256(util::ToBytes(s)));
+  EXPECT_EQ(Sha1(s), Sha1(util::ToBytes(s)));
+}
+
+// Property: digests are length-sensitive prefixes aside (no trivial
+// collisions across incremental inputs).
+class ShaIncrement : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShaIncrement, NeighboringInputsDiffer) {
+  const std::string base(static_cast<std::size_t>(GetParam()), 'q');
+  EXPECT_NE(Sha256(base), Sha256(base + "q"));
+  EXPECT_NE(Sha1(base), Sha1(base + "q"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ShaIncrement,
+                         ::testing::Values(0, 1, 31, 55, 56, 63, 64, 100, 127));
+
+}  // namespace
+}  // namespace pinscope::crypto

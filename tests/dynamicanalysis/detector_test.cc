@@ -1,0 +1,188 @@
+#include "dynamicanalysis/detector.h"
+
+#include <gtest/gtest.h>
+
+namespace pinscope::dynamicanalysis {
+namespace {
+
+using tls::ContentType;
+using tls::Direction;
+using tls::Record;
+
+net::Flow Tls12Flow(bool with_appdata, tls::Closure closure) {
+  net::Flow f;
+  f.version = tls::TlsVersion::kTls12;
+  f.sni = "host.test.com";
+  f.closure = closure;
+  f.records.push_back({Direction::kClientToServer, ContentType::kHandshake,
+                       ContentType::kHandshake, 300, {}, 0});
+  f.records.push_back({Direction::kServerToClient, ContentType::kHandshake,
+                       ContentType::kHandshake, 3000, {}, 1});
+  if (with_appdata) {
+    f.records.push_back({Direction::kClientToServer, ContentType::kApplicationData,
+                         ContentType::kApplicationData, 500, {}, 2});
+  }
+  return f;
+}
+
+// TLS 1.3 flow where the client sends the given wire app-data record lengths.
+net::Flow Tls13Flow(const std::vector<std::uint32_t>& client_appdata_lengths,
+                    tls::Closure closure) {
+  net::Flow f;
+  f.version = tls::TlsVersion::kTls13;
+  f.sni = "host.test.com";
+  f.closure = closure;
+  f.records.push_back({Direction::kClientToServer, ContentType::kHandshake,
+                       ContentType::kHandshake, 300, {}, 0});
+  f.records.push_back({Direction::kServerToClient, ContentType::kHandshake,
+                       ContentType::kHandshake, 122, {}, 1});
+  f.records.push_back({Direction::kServerToClient, ContentType::kApplicationData,
+                       ContentType::kHandshake, 3200, {}, 2});
+  for (std::uint32_t len : client_appdata_lengths) {
+    f.records.push_back({Direction::kClientToServer, ContentType::kApplicationData,
+                         ContentType::kApplicationData, len, {}, 3});
+  }
+  return f;
+}
+
+TEST(UsedConnectionTest, Tls12UsesApplicationDataPresence) {
+  EXPECT_TRUE(IsUsedConnection(Tls12Flow(true, tls::Closure::kCleanFin)));
+  EXPECT_FALSE(IsUsedConnection(Tls12Flow(false, tls::Closure::kCleanFin)));
+}
+
+TEST(UsedConnectionTest, Tls13MoreThanTwoClientRecordsIsUsed) {
+  EXPECT_TRUE(IsUsedConnection(
+      Tls13Flow({74, 600, tls::kEncryptedAlertWireLength}, tls::Closure::kCleanFin)));
+}
+
+TEST(UsedConnectionTest, Tls13SecondRecordNotAlertSizedIsUsed) {
+  // Finished + one data record of non-alert length.
+  EXPECT_TRUE(IsUsedConnection(Tls13Flow({74, 612}, tls::Closure::kCleanFin)));
+}
+
+TEST(UsedConnectionTest, Tls13FinishedPlusCloseNotifyIsUnused) {
+  // The §4.2.2 confounder: a completed but idle connection — second client
+  // record is exactly an encrypted alert.
+  EXPECT_FALSE(IsUsedConnection(
+      Tls13Flow({74, tls::kEncryptedAlertWireLength}, tls::Closure::kCleanFin)));
+}
+
+TEST(UsedConnectionTest, Tls13SingleAlertIsUnused) {
+  // A pin-failure abort: one disguised alert record.
+  EXPECT_FALSE(IsUsedConnection(
+      Tls13Flow({tls::kEncryptedAlertWireLength}, tls::Closure::kClientReset)));
+}
+
+TEST(FailedConnectionTest, UnusedAbortedIsFailed) {
+  EXPECT_TRUE(IsFailedConnection(
+      Tls13Flow({tls::kEncryptedAlertWireLength}, tls::Closure::kClientReset)));
+  EXPECT_TRUE(IsFailedConnection(Tls12Flow(false, tls::Closure::kCleanFin)));
+}
+
+TEST(FailedConnectionTest, UsedConnectionIsNeverFailed) {
+  EXPECT_FALSE(IsFailedConnection(Tls12Flow(true, tls::Closure::kClientReset)));
+}
+
+TEST(FailedConnectionTest, OpenUnusedConnectionIsNotFailed) {
+  // Still open at capture end: may simply be idle (limited recording time).
+  EXPECT_FALSE(IsFailedConnection(Tls12Flow(false, tls::Closure::kOpen)));
+}
+
+net::Capture CaptureOf(const std::vector<net::Flow>& flows) {
+  net::Capture c;
+  c.flows = flows;
+  return c;
+}
+
+TEST(DetectPinningTest, PinnedDestinationRequiresDifferential) {
+  // Used without MITM, always failed with MITM → pinned.
+  const auto baseline = CaptureOf({Tls13Flow({74, 612}, tls::Closure::kCleanFin)});
+  const auto mitm = CaptureOf(
+      {Tls13Flow({tls::kEncryptedAlertWireLength}, tls::Closure::kClientReset)});
+  const DetectionResult result = DetectPinning(baseline, mitm);
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  EXPECT_TRUE(result.verdicts[0].pinned);
+  EXPECT_TRUE(result.AppPins());
+  EXPECT_EQ(result.PinnedDestinations(),
+            std::vector<std::string>{"host.test.com"});
+}
+
+TEST(DetectPinningTest, UsedUnderMitmIsNotPinned) {
+  const auto baseline = CaptureOf({Tls13Flow({74, 612}, tls::Closure::kCleanFin)});
+  const auto mitm = CaptureOf({Tls13Flow({74, 612}, tls::Closure::kCleanFin)});
+  const DetectionResult result = DetectPinning(baseline, mitm);
+  EXPECT_FALSE(result.verdicts[0].pinned);
+  EXPECT_EQ(result.UnpinnedDestinations(),
+            std::vector<std::string>{"host.test.com"});
+}
+
+TEST(DetectPinningTest, UnusedBaselineNeverMarksPinned) {
+  // Server-side failure in both runs must not read as pinning.
+  const auto baseline = CaptureOf(
+      {Tls13Flow({tls::kEncryptedAlertWireLength}, tls::Closure::kClientReset)});
+  const auto mitm = CaptureOf(
+      {Tls13Flow({tls::kEncryptedAlertWireLength}, tls::Closure::kClientReset)});
+  EXPECT_FALSE(DetectPinning(baseline, mitm).AppPins());
+}
+
+TEST(DetectPinningTest, RedundantConnectionsDoNotConfuseDetection) {
+  // Baseline: one used + one idle connection. MITM: all failed → pinned.
+  const auto baseline = CaptureOf(
+      {Tls13Flow({74, 612}, tls::Closure::kCleanFin),
+       Tls13Flow({74, tls::kEncryptedAlertWireLength}, tls::Closure::kCleanFin)});
+  const auto mitm = CaptureOf(
+      {Tls13Flow({tls::kEncryptedAlertWireLength}, tls::Closure::kClientReset),
+       Tls13Flow({tls::kEncryptedAlertWireLength}, tls::Closure::kClientReset)});
+  EXPECT_TRUE(DetectPinning(baseline, mitm).AppPins());
+}
+
+TEST(DetectPinningTest, AnySuccessfulMitmConnectionClearsDestination) {
+  const auto baseline = CaptureOf({Tls13Flow({74, 612}, tls::Closure::kCleanFin)});
+  const auto mitm = CaptureOf(
+      {Tls13Flow({tls::kEncryptedAlertWireLength}, tls::Closure::kClientReset),
+       Tls13Flow({74, 612}, tls::Closure::kCleanFin)});
+  EXPECT_FALSE(DetectPinning(baseline, mitm).AppPins());
+}
+
+TEST(DetectPinningTest, DestinationAbsentUnderMitmIsNotPinned) {
+  const auto baseline = CaptureOf({Tls13Flow({74, 612}, tls::Closure::kCleanFin)});
+  const DetectionResult result = DetectPinning(baseline, CaptureOf({}));
+  EXPECT_FALSE(result.AppPins());
+  EXPECT_FALSE(result.verdicts[0].seen_mitm);
+}
+
+TEST(DetectPinningTest, ExclusionRulesDropHosts) {
+  auto flow = Tls13Flow({74, 612}, tls::Closure::kCleanFin);
+  flow.sni = "gsp-ssl.icloud.com";
+  const auto baseline = CaptureOf({flow});
+  auto failed = Tls13Flow({tls::kEncryptedAlertWireLength}, tls::Closure::kClientReset);
+  failed.sni = "gsp-ssl.icloud.com";
+  const auto mitm = CaptureOf({failed});
+  const DetectionResult result =
+      DetectPinning(baseline, mitm, ExclusionRules::ForIos({}));
+  EXPECT_TRUE(result.verdicts.empty());
+}
+
+TEST(DetectPinningTest, ExclusionScopes) {
+  ExclusionRules rules = ExclusionRules::ForIos({"links.myapp.com"});
+  // Associated destinations are excluded exactly — sibling hosts of the same
+  // registrable domain stay attributable (first-party pinning must remain
+  // visible).
+  EXPECT_TRUE(rules.IsExcluded("links.myapp.com"));
+  EXPECT_FALSE(rules.IsExcluded("api.myapp.com"));
+  // Apple background traffic is excluded domain-wide.
+  EXPECT_TRUE(rules.IsExcluded("init.itunes.apple.com"));
+  EXPECT_TRUE(rules.IsExcluded("other-host.apple.com"));
+  EXPECT_TRUE(rules.IsExcluded("gsp-ssl.icloud.com"));
+  EXPECT_FALSE(rules.IsExcluded("other.com"));
+}
+
+TEST(DetectPinningTest, EmptySniFlowsAreIgnored) {
+  auto flow = Tls13Flow({74, 612}, tls::Closure::kCleanFin);
+  flow.sni.clear();
+  const DetectionResult result = DetectPinning(CaptureOf({flow}), CaptureOf({}));
+  EXPECT_TRUE(result.verdicts.empty());
+}
+
+}  // namespace
+}  // namespace pinscope::dynamicanalysis

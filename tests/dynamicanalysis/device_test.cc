@@ -1,0 +1,188 @@
+#include "dynamicanalysis/device.h"
+
+#include <gtest/gtest.h>
+
+#include "dynamicanalysis/detector.h"
+#include "net/mitm_proxy.h"
+#include "testing/fixtures.h"
+
+namespace pinscope::dynamicanalysis {
+namespace {
+
+using pinscope::testing::MakePinningApp;
+using pinscope::testing::MakePlainApp;
+using pinscope::testing::MakeWorld;
+
+TEST(DeviceTest, FactoryConfigurations) {
+  const DeviceEmulator pixel = DeviceEmulator::Pixel3(nullptr);
+  EXPECT_EQ(pixel.platform(), appmodel::Platform::kAndroid);
+  EXPECT_EQ(pixel.model(), "Pixel 3");
+  EXPECT_EQ(pixel.os_version(), "Android 11");
+
+  const DeviceEmulator iphone = DeviceEmulator::IPhoneX(nullptr);
+  EXPECT_EQ(iphone.platform(), appmodel::Platform::kIos);
+  EXPECT_EQ(iphone.os_version(), "iOS 13.6");
+  EXPECT_NE(pixel.identity().advertising_id, iphone.identity().advertising_id);
+}
+
+TEST(DeviceTest, BaselineRunCapturesAppDestinations) {
+  const auto world = MakeWorld();
+  const DeviceEmulator device = DeviceEmulator::Pixel3(nullptr);
+  const auto app = MakePinningApp(world, appmodel::Platform::kAndroid);
+  util::Rng rng(1);
+  const net::Capture cap = device.RunApp(app, world, RunOptions{}, rng);
+  const auto dests = cap.Destinations();
+  EXPECT_EQ(dests, (std::vector<std::string>{"api.fixture.com", "tracker.ads.com"}));
+  for (const net::Flow& f : cap.flows) {
+    EXPECT_EQ(f.origin, net::FlowOrigin::kApp);
+    EXPECT_FALSE(f.decrypted_payload.has_value());  // passive capture
+  }
+}
+
+TEST(DeviceTest, PayloadPiiIsExpandedWithDeviceIdentity) {
+  auto world = MakeWorld();
+  const DeviceEmulator device = DeviceEmulator::Pixel3(nullptr);
+  const auto app = MakePinningApp(world, appmodel::Platform::kAndroid);
+  net::MitmProxy proxy;
+  // Give the client the proxy CA so the tracker flow decrypts.
+  const DeviceEmulator trusting = DeviceEmulator::Pixel3(&proxy.CaCertificate());
+  RunOptions opts;
+  opts.proxy = &proxy;
+  util::Rng rng(2);
+  const net::Capture cap = trusting.RunApp(app, world, opts, rng);
+  bool saw_ad_id = false;
+  for (const net::Flow& f : cap.flows) {
+    if (f.sni == "tracker.ads.com" && f.decrypted_payload.has_value()) {
+      saw_ad_id = f.decrypted_payload->find(trusting.identity().advertising_id) !=
+                  std::string::npos;
+    }
+  }
+  EXPECT_TRUE(saw_ad_id);
+  (void)device;
+}
+
+TEST(DeviceTest, MitmRunFailsPinnedAndDecryptsUnpinned) {
+  const auto world = MakeWorld();
+  net::MitmProxy proxy;
+  const DeviceEmulator device = DeviceEmulator::Pixel3(&proxy.CaCertificate());
+  const auto app = MakePinningApp(world, appmodel::Platform::kAndroid);
+  RunOptions opts;
+  opts.proxy = &proxy;
+  util::Rng rng(3);
+  const net::Capture cap = device.RunApp(app, world, opts, rng);
+  for (const net::Flow* f : cap.FlowsTo("api.fixture.com")) {
+    EXPECT_TRUE(IsFailedConnection(*f));
+  }
+  bool tracker_used = false;
+  for (const net::Flow* f : cap.FlowsTo("tracker.ads.com")) {
+    tracker_used |= IsUsedConnection(*f);
+  }
+  EXPECT_TRUE(tracker_used);
+}
+
+TEST(DeviceTest, IosRunsIncludeAppleBackgroundTraffic) {
+  auto world = MakeWorld();
+  for (const std::string& host : AppleBackgroundDomains()) {
+    world.EnsureDefaultPki(host, "apple");
+  }
+  const DeviceEmulator device = DeviceEmulator::IPhoneX(nullptr);
+  const auto app = MakePlainApp(world, appmodel::Platform::kIos);
+  util::Rng rng(4);
+  const net::Capture cap = device.RunApp(app, world, RunOptions{}, rng);
+  bool saw_background = false;
+  for (const net::Flow& f : cap.flows) {
+    if (f.origin == net::FlowOrigin::kOsBackground) saw_background = true;
+  }
+  EXPECT_TRUE(saw_background);
+}
+
+TEST(DeviceTest, OsServicesIgnoreUserInstalledProxyCa) {
+  // §4.5: Apple background traffic appears pinned under MITM because system
+  // services do not honor the user-installed CA.
+  auto world = MakeWorld();
+  for (const std::string& host : AppleBackgroundDomains()) {
+    world.EnsureDefaultPki(host, "apple");
+  }
+  net::MitmProxy proxy;
+  const DeviceEmulator device = DeviceEmulator::IPhoneX(&proxy.CaCertificate());
+  const auto app = MakePlainApp(world, appmodel::Platform::kIos);
+  RunOptions opts;
+  opts.proxy = &proxy;
+  util::Rng rng(5);
+  const net::Capture cap = device.RunApp(app, world, opts, rng);
+  for (const net::Flow& f : cap.flows) {
+    if (f.origin == net::FlowOrigin::kOsBackground) {
+      EXPECT_TRUE(IsFailedConnection(f)) << f.sni;
+    }
+  }
+}
+
+TEST(DeviceTest, AssociatedDomainTrafficSuppressedBySettleDelay) {
+  auto world = MakeWorld();
+  auto app = MakePlainApp(world, appmodel::Platform::kIos);
+  app.behavior.associated_domains = {"www.fixture.com"};
+
+  const DeviceEmulator device = DeviceEmulator::IPhoneX(nullptr);
+  util::Rng rng(6);
+  RunOptions no_settle;
+  const net::Capture immediate = device.RunApp(app, world, no_settle, rng);
+  bool saw_assoc = false;
+  for (const net::Flow& f : immediate.flows) {
+    if (f.origin == net::FlowOrigin::kAssociatedDomains) saw_assoc = true;
+  }
+  EXPECT_TRUE(saw_assoc);
+
+  RunOptions settled;
+  settled.settle_seconds = 120;
+  const net::Capture after = device.RunApp(app, world, settled, rng);
+  for (const net::Flow& f : after.flows) {
+    EXPECT_NE(f.origin, net::FlowOrigin::kAssociatedDomains);
+  }
+}
+
+TEST(DeviceTest, UnresolvableDestinationsProduceNoFlows) {
+  appmodel::ServerWorld empty_world(1);
+  const auto world = MakeWorld();
+  const auto app = MakePlainApp(world, appmodel::Platform::kAndroid);
+  const DeviceEmulator device = DeviceEmulator::Pixel3(nullptr);
+  util::Rng rng(7);
+  const net::Capture cap = device.RunApp(app, empty_world, RunOptions{}, rng);
+  EXPECT_TRUE(cap.flows.empty());
+}
+
+TEST(DeviceTest, PlatformMismatchThrows) {
+  const auto world = MakeWorld();
+  const auto app = MakePlainApp(world, appmodel::Platform::kIos);
+  const DeviceEmulator device = DeviceEmulator::Pixel3(nullptr);
+  util::Rng rng(8);
+  EXPECT_THROW((void)device.RunApp(app, world, RunOptions{}, rng), util::Error);
+}
+
+TEST(DeviceTest, CustomTrustDestinationRejectsProxy) {
+  auto world = MakeWorld();
+  world.EnsureCustomPki("internal.fixture.com", "fixture");
+  appmodel::App app;
+  app.meta = pinscope::testing::FixtureMeta(appmodel::Platform::kAndroid);
+  appmodel::DestinationBehavior d;
+  d.hostname = "internal.fixture.com";
+  d.custom_trust = true;
+  app.behavior.destinations.push_back(d);
+
+  net::MitmProxy proxy;
+  const DeviceEmulator device = DeviceEmulator::Pixel3(&proxy.CaCertificate());
+  util::Rng rng(9);
+
+  // Baseline succeeds: the app trusts its own root.
+  const net::Capture baseline = device.RunApp(app, world, RunOptions{}, rng);
+  ASSERT_FALSE(baseline.flows.empty());
+  EXPECT_TRUE(IsUsedConnection(baseline.flows.front()));
+
+  RunOptions opts;
+  opts.proxy = &proxy;
+  const net::Capture mitm = device.RunApp(app, world, opts, rng);
+  ASSERT_FALSE(mitm.flows.empty());
+  EXPECT_TRUE(IsFailedConnection(mitm.flows.front()));
+}
+
+}  // namespace
+}  // namespace pinscope::dynamicanalysis

@@ -1,0 +1,92 @@
+#include "dynamicanalysis/frida.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace pinscope::dynamicanalysis {
+namespace {
+
+using pinscope::testing::MakePinningApp;
+using pinscope::testing::MakeWorld;
+
+TEST(HookabilityTest, PlatformStacksAreHookableOnTheirPlatform) {
+  EXPECT_TRUE(IsHookable(tls::TlsStack::kOkHttp, appmodel::Platform::kAndroid));
+  EXPECT_FALSE(IsHookable(tls::TlsStack::kOkHttp, appmodel::Platform::kIos));
+  EXPECT_TRUE(IsHookable(tls::TlsStack::kNsUrlSession, appmodel::Platform::kIos));
+  EXPECT_FALSE(IsHookable(tls::TlsStack::kNsUrlSession, appmodel::Platform::kAndroid));
+  EXPECT_TRUE(IsHookable(tls::TlsStack::kCronet, appmodel::Platform::kAndroid));
+  EXPECT_TRUE(IsHookable(tls::TlsStack::kCronet, appmodel::Platform::kIos));
+}
+
+TEST(HookabilityTest, CustomStacksAreNeverHookable) {
+  EXPECT_FALSE(IsHookable(tls::TlsStack::kCustom, appmodel::Platform::kAndroid));
+  EXPECT_FALSE(IsHookable(tls::TlsStack::kCustom, appmodel::Platform::kIos));
+}
+
+TEST(FridaTest, HookedPinnedDestinationDecrypts) {
+  const auto world = MakeWorld();
+  const auto app = MakePinningApp(world, appmodel::Platform::kAndroid);
+  net::MitmProxy proxy;
+  const DeviceEmulator device = DeviceEmulator::Pixel3(&proxy.CaCertificate());
+  util::Rng rng(1);
+  const CircumventionRun run =
+      RunWithPinningDisabled(app, world, device, proxy, RunOptions{}, rng);
+
+  ASSERT_EQ(run.hooked_destinations.size(), 2u);  // both use OkHttp-family
+  EXPECT_TRUE(run.unhookable_destinations.empty());
+  bool pinned_decrypted = false;
+  for (const net::Flow& f : run.capture.flows) {
+    if (f.sni == "api.fixture.com" && f.decrypted_payload.has_value()) {
+      pinned_decrypted = true;
+      EXPECT_NE(f.decrypted_payload->find(device.identity().advertising_id),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(pinned_decrypted);
+}
+
+TEST(FridaTest, CustomStackStaysOpaque) {
+  const auto world = MakeWorld();
+  auto app = MakePinningApp(world, appmodel::Platform::kAndroid);
+  app.behavior.destinations[0].stack = tls::TlsStack::kCustom;
+  net::MitmProxy proxy;
+  const DeviceEmulator device = DeviceEmulator::Pixel3(&proxy.CaCertificate());
+  util::Rng rng(2);
+  const CircumventionRun run =
+      RunWithPinningDisabled(app, world, device, proxy, RunOptions{}, rng);
+
+  EXPECT_EQ(run.unhookable_destinations,
+            std::vector<std::string>{"api.fixture.com"});
+  for (const net::Flow& f : run.capture.flows) {
+    if (f.sni == "api.fixture.com") {
+      EXPECT_FALSE(f.decrypted_payload.has_value());
+    }
+  }
+}
+
+TEST(FridaTest, HookDisablesValidationNotJustPins) {
+  // A custom-trust destination (bundled store without proxy CA) must also
+  // decrypt once the library's verify callback is stubbed out.
+  auto world = MakeWorld();
+  world.EnsureCustomPki("internal.fixture.com", "fixture");
+  appmodel::App app;
+  app.meta = pinscope::testing::FixtureMeta(appmodel::Platform::kAndroid);
+  appmodel::DestinationBehavior d;
+  d.hostname = "internal.fixture.com";
+  d.custom_trust = true;
+  d.stack = tls::TlsStack::kOkHttp;
+  d.payload_template = "GET /internal";
+  app.behavior.destinations.push_back(d);
+
+  net::MitmProxy proxy;
+  const DeviceEmulator device = DeviceEmulator::Pixel3(&proxy.CaCertificate());
+  util::Rng rng(3);
+  const CircumventionRun run =
+      RunWithPinningDisabled(app, world, device, proxy, RunOptions{}, rng);
+  ASSERT_EQ(run.capture.flows.size(), 1u);
+  EXPECT_TRUE(run.capture.flows[0].decrypted_payload.has_value());
+}
+
+}  // namespace
+}  // namespace pinscope::dynamicanalysis

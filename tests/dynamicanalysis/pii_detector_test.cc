@@ -1,0 +1,116 @@
+#include "dynamicanalysis/pii_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace pinscope::dynamicanalysis {
+namespace {
+
+appmodel::DeviceIdentity Device() {
+  appmodel::DeviceIdentity id;
+  id.imei = "358240051111110";
+  id.advertising_id = "cdda802e-fb9c-47ad-9866-0794d394c912";
+  id.wifi_mac = "02:00:00:44:55:66";
+  id.email = "tester@example.com";
+  id.state = "Massachusetts";
+  id.city = "Boston";
+  id.lat_long = "42.3601,-71.0589";
+  return id;
+}
+
+TEST(PiiDetectorTest, FindsKnownValues) {
+  const auto found = DetectPii(
+      "POST /collect idfa=cdda802e-fb9c-47ad-9866-0794d394c912&city=Boston",
+      Device());
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0], appmodel::PiiType::kAdvertisingId);
+  EXPECT_EQ(found[1], appmodel::PiiType::kCity);
+}
+
+TEST(PiiDetectorTest, NoFalsePositivesOnCleanPayload) {
+  EXPECT_TRUE(DetectPii("GET / HTTP/1.1 host: example.com", Device()).empty());
+}
+
+TEST(PiiDetectorTest, EmptyIdentityValuesNeverMatch) {
+  appmodel::DeviceIdentity blank;
+  EXPECT_TRUE(DetectPii("anything at all", blank).empty());
+}
+
+TEST(PiiDetectorTest, AggregatesAcrossFlowsOfDestination) {
+  net::Capture cap;
+  net::Flow f1;
+  f1.sni = "t.com";
+  f1.decrypted_payload = "imei=358240051111110";
+  net::Flow f2;
+  f2.sni = "t.com";
+  f2.decrypted_payload = "mail=tester@example.com";
+  net::Flow undecrypted;
+  undecrypted.sni = "t.com";
+  net::Flow other;
+  other.sni = "u.com";
+  other.decrypted_payload = "city=Boston";
+  cap.flows = {f1, f2, undecrypted, other};
+
+  const auto found = DetectPiiForDestination(cap, "t.com", Device());
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0], appmodel::PiiType::kImei);
+  EXPECT_EQ(found[1], appmodel::PiiType::kEmail);
+}
+
+TEST(PiiDetectorTest, DuplicateHitsCollapse) {
+  net::Capture cap;
+  net::Flow f;
+  f.sni = "t.com";
+  f.decrypted_payload = "a=Boston b=Boston";
+  cap.flows = {f, f};
+  EXPECT_EQ(DetectPiiForDestination(cap, "t.com", Device()).size(), 1u);
+}
+
+TEST(PiiDetectorDetailedTest, AttributesFindingsToFormBody) {
+  const std::string payload =
+      "POST /v1/collect HTTP/1.1\r\nHost: t.com\r\n"
+      "Content-Type: application/x-www-form-urlencoded\r\n\r\n"
+      "session=1&idfa=cdda802e-fb9c-47ad-9866-0794d394c912";
+  const auto findings = DetectPiiDetailed(payload, Device());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].type, appmodel::PiiType::kAdvertisingId);
+  EXPECT_EQ(findings[0].location, PiiLocation::kFormBody);
+  EXPECT_EQ(findings[0].key, "idfa");
+}
+
+TEST(PiiDetectorDetailedTest, AttributesFindingsToQueryAndHeader) {
+  const std::string payload =
+      "GET /pixel?city=Boston HTTP/1.1\r\nHost: t.com\r\n"
+      "X-Device-Mac: 02:00:00:44:55:66\r\n\r\n";
+  const auto findings = DetectPiiDetailed(payload, Device());
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].location, PiiLocation::kHeader);
+  EXPECT_EQ(findings[0].key, "X-Device-Mac");
+  EXPECT_EQ(findings[1].location, PiiLocation::kQueryParam);
+  EXPECT_EQ(findings[1].key, "city");
+}
+
+TEST(PiiDetectorDetailedTest, NonHttpPayloadFallsBackToRaw) {
+  const auto findings =
+      DetectPiiDetailed("binaryish blob imei=358240051111110", Device());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].location, PiiLocation::kRawBytes);
+  EXPECT_TRUE(findings[0].key.empty());
+}
+
+TEST(PiiDetectorDetailedTest, FreeFormBodyReportsRawBytes) {
+  const std::string payload =
+      "POST /log HTTP/1.1\r\nHost: t.com\r\nContent-Type: application/json\r\n\r\n"
+      "{\"mail\":\"tester@example.com\"}";
+  const auto findings = DetectPiiDetailed(payload, Device());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].type, appmodel::PiiType::kEmail);
+  EXPECT_EQ(findings[0].location, PiiLocation::kRawBytes);
+}
+
+TEST(PiiDetectorDetailedTest, LocationNamesAreStable) {
+  EXPECT_EQ(PiiLocationName(PiiLocation::kQueryParam), "query-param");
+  EXPECT_EQ(PiiLocationName(PiiLocation::kRawBytes), "raw-bytes");
+}
+
+}  // namespace
+}  // namespace pinscope::dynamicanalysis

@@ -1,0 +1,117 @@
+#include "dynamicanalysis/spinner.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace pinscope::dynamicanalysis {
+namespace {
+
+using pinscope::testing::FixtureMeta;
+using pinscope::testing::MakeWorld;
+
+appmodel::App AppWithDest(appmodel::DestinationBehavior dest) {
+  appmodel::App app;
+  app.meta = FixtureMeta(appmodel::Platform::kAndroid);
+  app.behavior.destinations.push_back(std::move(dest));
+  return app;
+}
+
+SpinnerVerdict ProbeOne(const appmodel::App& app,
+                        const appmodel::ServerWorld& world) {
+  util::Rng rng(1);
+  const auto results = RunSpinnerProbes(app, world, rng);
+  EXPECT_EQ(results.size(), 1u);
+  return results.empty() ? SpinnerVerdict::kNoPinning : results[0].verdict;
+}
+
+TEST(SpinnerTest, UnpinnedDestinationIsNoPinning) {
+  const auto world = MakeWorld();
+  appmodel::DestinationBehavior d;
+  d.hostname = "www.fixture.com";
+  EXPECT_EQ(ProbeOne(AppWithDest(d), world), SpinnerVerdict::kNoPinning);
+}
+
+TEST(SpinnerTest, CaPinIsDetected) {
+  // The Spinner success case: a pin on the intermediate/root is visible
+  // because a same-hierarchy decoy passes the pin but fails on hostname,
+  // while a foreign-hierarchy decoy dies at the pin stage.
+  const auto world = MakeWorld();
+  const auto& chain = world.Find("api.fixture.com")->endpoint.chain;
+  for (std::size_t idx : {std::size_t{1}, chain.size() - 1}) {
+    appmodel::DestinationBehavior d;
+    d.hostname = "api.fixture.com";
+    d.pinned = true;
+    d.pins = {tls::Pin::ForCertificate(chain[idx], tls::PinForm::kSpkiSha256)};
+    EXPECT_EQ(ProbeOne(AppWithDest(d), world), SpinnerVerdict::kCaPinningDetected)
+        << "chain index " << idx;
+  }
+}
+
+TEST(SpinnerTest, LeafPinIsInvisible) {
+  // The §2.2 limitation: leaf pins reject every probe at the pin stage,
+  // indistinguishable from paranoid validation.
+  const auto world = MakeWorld();
+  appmodel::DestinationBehavior d;
+  d.hostname = "api.fixture.com";
+  d.pinned = true;
+  d.pins = {tls::Pin::ForCertificate(world.Find("api.fixture.com")->endpoint.chain[0],
+                                     tls::PinForm::kSpkiSha256)};
+  EXPECT_EQ(ProbeOne(AppWithDest(d), world), SpinnerVerdict::kIndistinguishable);
+}
+
+TEST(SpinnerTest, MissingHostnameValidationIsVulnerable) {
+  // Stone et al.'s headline finding: pinning with no hostname verification.
+  const auto world = MakeWorld();
+  appmodel::DestinationBehavior d;
+  d.hostname = "api.fixture.com";
+  auto app = AppWithDest(d);
+  app.behavior.validates_hostname = false;
+  EXPECT_EQ(ProbeOne(app, world), SpinnerVerdict::kVulnerable);
+}
+
+TEST(SpinnerTest, CaPinnedWithoutHostnameCheckIsVulnerable) {
+  const auto world = MakeWorld();
+  appmodel::DestinationBehavior d;
+  d.hostname = "api.fixture.com";
+  d.pinned = true;
+  d.pins = {tls::Pin::ForCertificate(world.Find("api.fixture.com")->endpoint.chain.back(),
+                                     tls::PinForm::kSpkiSha256)};
+  auto app = AppWithDest(d);
+  app.behavior.validates_hostname = false;
+  EXPECT_EQ(ProbeOne(app, world), SpinnerVerdict::kVulnerable);
+}
+
+TEST(SpinnerTest, CustomTrustLooksIndistinguishable) {
+  auto world = MakeWorld();
+  world.EnsureCustomPki("internal.fixture.com", "fixture");
+  appmodel::DestinationBehavior d;
+  d.hostname = "internal.fixture.com";
+  d.custom_trust = true;
+  d.pinned = true;
+  d.pins = {tls::Pin::ForCertificate(
+      world.Find("internal.fixture.com")->endpoint.chain.front(),
+      tls::PinForm::kSpkiSha256)};
+  EXPECT_EQ(ProbeOne(AppWithDest(d), world), SpinnerVerdict::kIndistinguishable);
+}
+
+TEST(SpinnerTest, DecoyChainsAreValidForTheDecoyHost) {
+  const auto world = MakeWorld();
+  const auto decoy = world.MakeDecoyChain("api.fixture.com", "other.site.net");
+  const auto store = x509::PublicCaCatalog::Instance().MozillaStore();
+  EXPECT_TRUE(x509::ValidateChain(decoy, "other.site.net", util::kStudyEpoch, store)
+                  .ok());
+  EXPECT_FALSE(
+      x509::ValidateChain(decoy, "api.fixture.com", util::kStudyEpoch, store).ok());
+}
+
+TEST(SpinnerTest, ForeignChainUsesDifferentAnchor) {
+  const auto world = MakeWorld();
+  const auto same = world.MakeDecoyChain("api.fixture.com", "a.net");
+  const auto foreign = world.MakeForeignChain("api.fixture.com", "a.net");
+  EXPECT_NE(same.back().subject().common_name,
+            foreign.back().subject().common_name);
+}
+
+}  // namespace
+}  // namespace pinscope::dynamicanalysis

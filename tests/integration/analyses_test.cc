@@ -1,0 +1,162 @@
+// Unit-level checks of the per-table analysis functions, on a small study.
+#include "core/analyses.h"
+
+#include <gtest/gtest.h>
+
+namespace pinscope::core {
+namespace {
+
+using appmodel::Platform;
+using store::DatasetId;
+
+struct SmallStudy {
+  SmallStudy() : eco([] {
+    store::EcosystemConfig config;
+    config.seed = 17;
+    config.scale = 0.05;
+    return store::Ecosystem::Generate(config);
+  }()), study(eco) {
+    study.Run();
+  }
+  store::Ecosystem eco;
+  Study study;
+};
+
+const SmallStudy& S() {
+  static const SmallStudy s;
+  return s;
+}
+
+TEST(AnalysesTest, PrevalenceTotalsMatchDatasetSizes) {
+  for (Platform p : {Platform::kAndroid, Platform::kIos}) {
+    for (DatasetId id : store::AllDatasets()) {
+      const PrevalenceRow row = ComputePrevalence(S().study, id, p);
+      EXPECT_EQ(static_cast<std::size_t>(row.total),
+                S().eco.dataset(id, p).size());
+      EXPECT_LE(row.dynamic_pinning, row.total);
+      EXPECT_LE(row.config_pinning, row.dynamic_pinning);
+    }
+  }
+}
+
+TEST(AnalysesTest, CategoryRowsAreOrderedAndBounded) {
+  for (Platform p : {Platform::kAndroid, Platform::kIos}) {
+    const auto rows = ComputePinningByCategory(S().study, p, 10, 1);
+    EXPECT_LE(rows.size(), 10u);
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      EXPECT_GE(rows[i - 1].pinning_pct, rows[i].pinning_pct);
+    }
+    for (const auto& row : rows) {
+      EXPECT_GT(row.pinning_apps, 0);
+      EXPECT_GT(row.popularity_rank, 0);
+      EXPECT_LE(row.pinning_pct, 100.0);
+    }
+  }
+}
+
+TEST(AnalysesTest, PairAnalysisCoversEveryCommonPair) {
+  const auto pairs = AnalyzeCommonPairs(S().study);
+  EXPECT_EQ(pairs.size(), S().eco.common_pairs().size());
+  for (const PairAnalysis& pa : pairs) {
+    // Heatmap fractions are well-formed.
+    EXPECT_GE(pa.jaccard, 0.0);
+    EXPECT_LE(pa.jaccard, 1.0);
+    EXPECT_GE(pa.android_pinned_unpinned_on_ios, 0.0);
+    EXPECT_LE(pa.android_pinned_unpinned_on_ios, 1.0);
+    // Verdicts only exist when someone pins.
+    if (pa.mode == PairAnalysis::Mode::kNone) {
+      EXPECT_EQ(pa.verdict, PairAnalysis::Verdict::kNone);
+      EXPECT_TRUE(pa.pinned_android.empty());
+      EXPECT_TRUE(pa.pinned_ios.empty());
+    } else {
+      EXPECT_NE(pa.verdict, PairAnalysis::Verdict::kNone);
+    }
+    // Identical sets imply a consistent verdict.
+    if (pa.identical_sets) {
+      EXPECT_EQ(pa.verdict, PairAnalysis::Verdict::kConsistent);
+      EXPECT_DOUBLE_EQ(pa.jaccard, 1.0);
+    }
+  }
+}
+
+TEST(AnalysesTest, DomainProfilesOnlyCoverPinningApps) {
+  for (Platform p : {Platform::kAndroid, Platform::kIos}) {
+    for (const AppDomainProfile& prof : ComputeDomainProfiles(S().study, p)) {
+      EXPECT_GT(prof.first_party_pinned + prof.third_party_pinned, 0)
+          << prof.app_id;
+      EXPECT_GE(prof.Total(), 1);
+    }
+  }
+}
+
+TEST(AnalysesTest, PkiBucketsArePartition) {
+  for (Platform p : {Platform::kAndroid, Platform::kIos}) {
+    const PkiCounts counts = ComputePkiCounts(S().study, p);
+    // Unique pinned hostnames == sum of the three buckets.
+    std::set<std::string> hosts;
+    for (const AppResult* r : S().study.AllResults(p)) {
+      for (const auto& host : r->dynamic_report.PinnedDestinations()) {
+        hosts.insert(host);
+      }
+    }
+    EXPECT_EQ(static_cast<int>(hosts.size()),
+              counts.default_pki + counts.custom_pki + counts.unavailable);
+    EXPECT_LE(counts.self_signed, counts.custom_pki);
+    EXPECT_EQ(counts.self_signed_validity_days.size(),
+              static_cast<std::size_t>(counts.self_signed));
+  }
+}
+
+TEST(AnalysesTest, CertMatchInvariants) {
+  for (Platform p : {Platform::kAndroid, Platform::kIos}) {
+    const CertMatchStats stats = ComputeCertMatches(S().study, p);
+    EXPECT_LE(stats.apps_with_match, stats.pinning_apps);
+    EXPECT_LE(stats.leaf_spki_pinned + stats.leaf_raw_embedded,
+              2 * stats.leaf_certs);  // a leaf may have both evidence kinds
+    EXPECT_LE(stats.rotated_still_pinned, stats.leaf_raw_embedded);
+  }
+}
+
+TEST(AnalysesTest, CipherPercentagesBounded) {
+  for (Platform p : {Platform::kAndroid, Platform::kIos}) {
+    for (DatasetId id : store::AllDatasets()) {
+      const CipherRow row = ComputeCiphers(S().study, id, p);
+      EXPECT_GE(row.overall_pct, 0.0);
+      EXPECT_LE(row.overall_pct, 100.0);
+      EXPECT_GE(row.pinning_apps_pct, 0.0);
+      EXPECT_LE(row.pinning_apps_pct, 100.0);
+    }
+  }
+}
+
+TEST(AnalysesTest, PiiRowsOnlyForObservedTypes) {
+  for (Platform p : {Platform::kAndroid, Platform::kIos}) {
+    const PiiAnalysis pii = ComputePii(S().study, p);
+    for (const PiiRow& row : pii.rows) {
+      EXPECT_GT(row.pinned_pct + row.non_pinned_pct, 0.0);
+      EXPECT_LE(row.pinned_pct, 100.0);
+      EXPECT_LE(row.non_pinned_pct, 100.0);
+    }
+    EXPECT_GE(pii.non_pinned_dests, pii.pinned_dests);
+  }
+}
+
+TEST(AnalysesTest, CircumventionBounded) {
+  for (Platform p : {Platform::kAndroid, Platform::kIos}) {
+    const CircumventionStats stats = ComputeCircumvention(S().study, p);
+    EXPECT_LE(stats.circumvented_unique, stats.pinned_unique);
+    EXPECT_GE(stats.Rate(), 0.0);
+    EXPECT_LE(stats.Rate(), 1.0);
+  }
+}
+
+TEST(AnalysesTest, FrameworksNeedMinimumAppCount) {
+  const auto frameworks = ComputeFrameworks(S().study, Platform::kAndroid, 2);
+  for (const auto& fw : frameworks) {
+    EXPECT_GT(fw.app_count, 2u);
+    EXPECT_FALSE(fw.framework.empty());
+  }
+}
+
+}  // namespace
+}  // namespace pinscope::core

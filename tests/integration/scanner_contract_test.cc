@@ -1,0 +1,85 @@
+// Contract property between the generator and the static scanner: pin
+// material the generator claims to ship must actually be discoverable by the
+// analyzer, on every app of a generated corpus.
+#include <gtest/gtest.h>
+
+#include "staticanalysis/static_report.h"
+#include "store/generator.h"
+
+namespace pinscope {
+namespace {
+
+const store::Ecosystem& Eco() {
+  static const store::Ecosystem eco = [] {
+    store::EcosystemConfig config;
+    config.seed = 23;
+    config.scale = 0.05;
+    return store::Ecosystem::Generate(config);
+  }();
+  return eco;
+}
+
+TEST(ScannerContractTest, FirstPartyPinsAreStaticallyDiscoverable) {
+  staticanalysis::StaticAnalysisOptions opts;
+  opts.ct_log = &Eco().ct_log();
+  int checked = 0;
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    for (const appmodel::App& app : Eco().apps(p)) {
+      bool has_first_party_pin = false;
+      for (const auto& dest : app.behavior.destinations) {
+        if (dest.pinned && dest.owning_sdk.empty() && !dest.requires_interaction) {
+          has_first_party_pin = true;
+        }
+      }
+      if (!has_first_party_pin) continue;
+      ++checked;
+      const auto report = staticanalysis::AnalyzeStatically(app, opts);
+      EXPECT_TRUE(report.PotentialPinning() || report.ConfigPinning())
+          << app.meta.app_id;
+    }
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST(ScannerContractTest, PinningSdkPlacementLeavesEvidencePaths) {
+  // Apps carrying a cert-embedding SDK must yield attribution-grade paths.
+  staticanalysis::StaticAnalysisOptions opts;
+  int checked = 0;
+  for (const appmodel::App& app : Eco().apps(appmodel::Platform::kAndroid)) {
+    bool has_embedding_sdk = false;
+    for (const auto& dest : app.behavior.destinations) {
+      if (!dest.owning_sdk.empty() && dest.pinned) has_embedding_sdk = true;
+    }
+    if (!has_embedding_sdk) continue;
+    ++checked;
+    const auto report = staticanalysis::AnalyzeStatically(app, opts);
+    bool smali_evidence = false;
+    for (const std::string& path : report.EvidencePaths()) {
+      if (path.rfind("smali/", 0) == 0) smali_evidence = true;
+    }
+    EXPECT_TRUE(smali_evidence) << app.meta.app_id;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(ScannerContractTest, EmbeddedCertFilesParseBackToServedCertificates) {
+  // Every cert file the generator drops must decode, and its subject must
+  // correspond to a provisioned server or catalog CA.
+  staticanalysis::StaticAnalysisOptions opts;
+  int certs_seen = 0;
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    for (const appmodel::App& app : Eco().apps(p)) {
+      const auto report = staticanalysis::AnalyzeStatically(app, opts);
+      for (const auto& found : report.scan.certificates) {
+        ++certs_seen;
+        EXPECT_FALSE(found.cert.subject().common_name.empty()) << found.path;
+      }
+    }
+  }
+  EXPECT_GT(certs_seen, 10);
+}
+
+}  // namespace
+}  // namespace pinscope

@@ -1,0 +1,98 @@
+#include "net/flow.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "x509/root_store.h"
+
+namespace pinscope::net {
+namespace {
+
+tls::ConnectionOutcome MakeOutcome(bool with_data) {
+  static x509::RootStore store = x509::PublicCaCatalog::Instance().MozillaStore();
+  const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.globaltrust");
+  util::Rng rng(21);
+  x509::IssueSpec spec;
+  spec.subject.common_name = "flow.test.com";
+  spec.san_dns = {"flow.test.com"};
+  spec.not_before = -util::kMillisPerDay;
+  spec.not_after = util::kMillisPerYear;
+  tls::ServerEndpoint server;
+  server.hostname = "flow.test.com";
+  server.chain = {ca.Issue(spec, rng), ca.certificate()};
+  tls::ClientTlsConfig client;
+  client.root_store = &store;
+  tls::AppPayload payload;
+  if (with_data) payload.plaintext = "GET / HTTP/1.1";
+  return tls::SimulateDirectConnection(client, server, payload, 0, rng);
+}
+
+TEST(FlowTest, FlowFromOutcomeCopiesWireMetadata) {
+  const auto outcome = MakeOutcome(true);
+  const Flow f = FlowFromOutcome("flow.test.com", outcome, 1234,
+                                 FlowOrigin::kApp, false);
+  EXPECT_EQ(f.sni, "flow.test.com");
+  EXPECT_EQ(f.start_ms, 1234);
+  EXPECT_EQ(f.records.size(), outcome.records.size());
+  EXPECT_EQ(f.version, outcome.version);
+  EXPECT_FALSE(f.decrypted_payload.has_value());
+}
+
+TEST(FlowTest, DecryptedPayloadOnlyWhenObserverDecrypted) {
+  const auto outcome = MakeOutcome(true);
+  const Flow visible =
+      FlowFromOutcome("flow.test.com", outcome, 0, FlowOrigin::kApp, true);
+  ASSERT_TRUE(visible.decrypted_payload.has_value());
+  EXPECT_EQ(*visible.decrypted_payload, "GET / HTTP/1.1");
+}
+
+TEST(FlowTest, NoPayloadNoDecryptedContentEvenForDecryptingObserver) {
+  const auto outcome = MakeOutcome(false);
+  const Flow f = FlowFromOutcome("flow.test.com", outcome, 0, FlowOrigin::kApp, true);
+  EXPECT_FALSE(f.decrypted_payload.has_value());
+}
+
+TEST(CaptureTest, DestinationsAreUniqueAndSorted) {
+  Capture cap;
+  Flow a;
+  a.sni = "b.com";
+  Flow b;
+  b.sni = "a.com";
+  Flow c;
+  c.sni = "b.com";
+  Flow empty;  // no SNI
+  cap.flows = {a, b, c, empty};
+  EXPECT_EQ(cap.Destinations(), (std::vector<std::string>{"a.com", "b.com"}));
+}
+
+TEST(CaptureTest, FlowsToFiltersBySni) {
+  Capture cap;
+  Flow a;
+  a.sni = "x.com";
+  Flow b;
+  b.sni = "y.com";
+  cap.flows = {a, b, a};
+  EXPECT_EQ(cap.FlowsTo("x.com").size(), 2u);
+  EXPECT_EQ(cap.FlowsTo("z.com").size(), 0u);
+}
+
+TEST(CaptureTest, SniCoverage) {
+  Capture cap;
+  Flow named;
+  named.sni = "x.com";
+  Flow anonymous;
+  cap.flows = {named, named, named, anonymous};
+  EXPECT_DOUBLE_EQ(cap.SniCoverage(), 0.75);
+  EXPECT_DOUBLE_EQ(Capture{}.SniCoverage(), 0.0);
+}
+
+TEST(FlowTest, WeakCipherFlagFollowsOffer) {
+  Flow f;
+  f.offered_ciphers = tls::ModernCipherOffer();
+  EXPECT_FALSE(f.AdvertisesWeakCipher());
+  f.offered_ciphers = tls::LegacyCipherOffer();
+  EXPECT_TRUE(f.AdvertisesWeakCipher());
+}
+
+}  // namespace
+}  // namespace pinscope::net

@@ -1,0 +1,40 @@
+#include "net/hostname.h"
+
+#include <gtest/gtest.h>
+
+namespace pinscope::net {
+namespace {
+
+TEST(HostnameTest, RegistrableDomainBasic) {
+  EXPECT_EQ(RegistrableDomain("api.example.com"), "example.com");
+  EXPECT_EQ(RegistrableDomain("a.b.c.example.com"), "example.com");
+  EXPECT_EQ(RegistrableDomain("example.com"), "example.com");
+  EXPECT_EQ(RegistrableDomain("localhost"), "localhost");
+}
+
+TEST(HostnameTest, RegistrableDomainTwoLabelSuffixes) {
+  EXPECT_EQ(RegistrableDomain("shop.example.co.uk"), "example.co.uk");
+  EXPECT_EQ(RegistrableDomain("example.co.uk"), "example.co.uk");
+  EXPECT_EQ(RegistrableDomain("a.b.site.com.au"), "site.com.au");
+}
+
+TEST(HostnameTest, IsSubdomainOf) {
+  EXPECT_TRUE(IsSubdomainOf("api.example.com", "example.com"));
+  EXPECT_TRUE(IsSubdomainOf("example.com", "example.com"));
+  EXPECT_FALSE(IsSubdomainOf("badexample.com", "example.com"));
+  EXPECT_FALSE(IsSubdomainOf("example.com", "api.example.com"));
+}
+
+TEST(HostnameTest, LooksLikeHostname) {
+  EXPECT_TRUE(LooksLikeHostname("api.example.com"));
+  EXPECT_TRUE(LooksLikeHostname("a-b.c1.io"));
+  EXPECT_FALSE(LooksLikeHostname("nohost"));
+  EXPECT_FALSE(LooksLikeHostname(""));
+  EXPECT_FALSE(LooksLikeHostname("has space.com"));
+  EXPECT_FALSE(LooksLikeHostname("double..dot.com"));
+  EXPECT_FALSE(LooksLikeHostname("trailing.dot."));
+  EXPECT_FALSE(LooksLikeHostname("UPPER.case.com"));
+}
+
+}  // namespace
+}  // namespace pinscope::net

@@ -1,0 +1,87 @@
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+namespace pinscope::net {
+namespace {
+
+constexpr const char* kRequest =
+    "POST /v1/collect?src=sdk HTTP/1.1\r\n"
+    "Host: api.example.com\r\n"
+    "User-Agent: okhttp/4.9\r\n"
+    "Content-Type: application/x-www-form-urlencoded\r\n"
+    "\r\n"
+    "session=123&idfa=abc-def";
+
+TEST(HttpTest, ParsesRequestLineHeadersBody) {
+  const auto req = HttpRequest::Parse(kRequest);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, "POST");
+  EXPECT_EQ(req->target, "/v1/collect?src=sdk");
+  EXPECT_EQ(req->version, "HTTP/1.1");
+  EXPECT_EQ(req->headers.size(), 3u);
+  EXPECT_EQ(req->Header("host"), "api.example.com");
+  EXPECT_EQ(req->Header("HOST"), "api.example.com");
+  EXPECT_EQ(req->body, "session=123&idfa=abc-def");
+}
+
+TEST(HttpTest, PathAndQuery) {
+  const auto req = HttpRequest::Parse(kRequest);
+  EXPECT_EQ(req->Path(), "/v1/collect");
+  const auto query = req->QueryParams();
+  ASSERT_EQ(query.size(), 1u);
+  EXPECT_EQ(query[0], (std::pair<std::string, std::string>{"src", "sdk"}));
+}
+
+TEST(HttpTest, FormParamsRequireFormContentType) {
+  const auto req = HttpRequest::Parse(kRequest);
+  const auto form = req->FormParams();
+  ASSERT_EQ(form.size(), 2u);
+  EXPECT_EQ(form[1].first, "idfa");
+  EXPECT_EQ(form[1].second, "abc-def");
+
+  auto json = *req;
+  json.headers[2] = {"Content-Type", "application/json"};
+  EXPECT_TRUE(json.FormParams().empty());
+}
+
+TEST(HttpTest, SerializeRoundTrips) {
+  const auto req = HttpRequest::Parse(kRequest);
+  const auto again = HttpRequest::Parse(req->Serialize());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->method, req->method);
+  EXPECT_EQ(again->target, req->target);
+  EXPECT_EQ(again->headers, req->headers);
+  EXPECT_EQ(again->body, req->body);
+}
+
+TEST(HttpTest, ParsesBodylessRequest) {
+  const auto req = HttpRequest::Parse("GET / HTTP/1.1\r\nHost: x.com\r\n\r\n");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_TRUE(req->body.empty());
+  EXPECT_TRUE(req->QueryParams().empty());
+}
+
+TEST(HttpTest, RejectsMalformedRequestLine) {
+  EXPECT_FALSE(HttpRequest::Parse("not http at all").has_value());
+  EXPECT_FALSE(HttpRequest::Parse("GET /missing-version\r\n\r\n").has_value());
+  EXPECT_FALSE(HttpRequest::Parse("").has_value());
+}
+
+TEST(HttpTest, RejectsHeaderWithoutColon) {
+  EXPECT_FALSE(
+      HttpRequest::Parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n").has_value());
+}
+
+TEST(HttpTest, ParseFormEncoded) {
+  const auto params = ParseFormEncoded("a=1&b=&c&d=x=y");
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0], (std::pair<std::string, std::string>{"a", "1"}));
+  EXPECT_EQ(params[1], (std::pair<std::string, std::string>{"b", ""}));
+  EXPECT_EQ(params[2], (std::pair<std::string, std::string>{"c", ""}));
+  EXPECT_EQ(params[3], (std::pair<std::string, std::string>{"d", "x=y"}));
+  EXPECT_TRUE(ParseFormEncoded("").empty());
+}
+
+}  // namespace
+}  // namespace pinscope::net

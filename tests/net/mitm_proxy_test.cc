@@ -1,0 +1,95 @@
+#include "net/mitm_proxy.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace pinscope::net {
+namespace {
+
+struct ProxyWorld {
+  ProxyWorld() : store(x509::PublicCaCatalog::Instance().MozillaStore()) {
+    const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.orionsign");
+    util::Rng rng(31);
+    x509::IssueSpec spec;
+    spec.subject.common_name = "api.proxied.com";
+    spec.san_dns = {"api.proxied.com"};
+    spec.not_before = -util::kMillisPerDay;
+    spec.not_after = util::kMillisPerYear;
+    server.hostname = "api.proxied.com";
+    server.chain = {ca.Issue(spec, rng), ca.certificate()};
+    client.root_store = &store;
+    payload.plaintext = "POST /login user=alice";
+  }
+  tls::ServerEndpoint server;
+  x509::RootStore store;
+  tls::ClientTlsConfig client;
+  tls::AppPayload payload;
+};
+
+TEST(MitmProxyTest, ClientWithoutProxyCaRejectsInterception) {
+  ProxyWorld w;
+  MitmProxy proxy;
+  util::Rng rng(1);
+  const auto result = proxy.Intercept(w.client, w.server, w.payload, 0, rng);
+  EXPECT_FALSE(result.decrypted);
+  EXPECT_EQ(result.outcome.failure, tls::FailureReason::kCertificateInvalid);
+}
+
+TEST(MitmProxyTest, ClientTrustingProxyCaIsDecrypted) {
+  // The paper's test-device setup: proxy CA installed in the OS store.
+  ProxyWorld w;
+  MitmProxy proxy;
+  w.store.AddRoot(proxy.CaCertificate());
+  util::Rng rng(2);
+  const auto result = proxy.Intercept(w.client, w.server, w.payload, 0, rng);
+  EXPECT_TRUE(result.decrypted);
+  EXPECT_TRUE(result.outcome.handshake_complete);
+  EXPECT_EQ(result.outcome.plaintext_sent, w.payload.plaintext);
+}
+
+TEST(MitmProxyTest, PinnedClientDefeatsInterceptionDespiteTrustedCa) {
+  ProxyWorld w;
+  MitmProxy proxy;
+  w.store.AddRoot(proxy.CaCertificate());
+  w.client.pins.AddRule(
+      {"api.proxied.com", false,
+       {tls::Pin::ForCertificate(w.server.chain.back(), tls::PinForm::kSpkiSha256)}});
+  util::Rng rng(3);
+  const auto result = proxy.Intercept(w.client, w.server, w.payload, 0, rng);
+  EXPECT_FALSE(result.decrypted);
+  EXPECT_EQ(result.outcome.failure, tls::FailureReason::kPinMismatch);
+  EXPECT_EQ(result.outcome.closure, tls::Closure::kClientReset);
+}
+
+TEST(MitmProxyTest, ForgedLeafCoversRequestedHostname) {
+  ProxyWorld w;
+  MitmProxy proxy;
+  w.store.AddRoot(proxy.CaCertificate());
+  util::Rng rng(4);
+  const auto result = proxy.Intercept(w.client, w.server, w.payload, 0, rng);
+  // Hostname validation passed ⇒ the forged leaf covered the SNI.
+  EXPECT_TRUE(result.outcome.validation.ok());
+}
+
+TEST(MitmProxyTest, ForgedChainIsCachedPerHost) {
+  ProxyWorld w;
+  MitmProxy proxy;
+  w.store.AddRoot(proxy.CaCertificate());
+  util::Rng rng(5);
+  const auto first = proxy.Intercept(w.client, w.server, w.payload, 0, rng);
+  const auto second = proxy.Intercept(w.client, w.server, w.payload, 0, rng);
+  EXPECT_TRUE(first.decrypted);
+  EXPECT_TRUE(second.decrypted);
+}
+
+TEST(MitmProxyTest, CaIdentityIsDeterministicPerLabel) {
+  MitmProxy a("proxy-ca");
+  MitmProxy b("proxy-ca");
+  MitmProxy c("other-ca");
+  EXPECT_EQ(a.CaCertificate(), b.CaCertificate());
+  EXPECT_NE(a.CaCertificate(), c.CaCertificate());
+}
+
+}  // namespace
+}  // namespace pinscope::net

@@ -1,0 +1,53 @@
+#include "net/party.h"
+
+#include <gtest/gtest.h>
+
+namespace pinscope::net {
+namespace {
+
+OrganizationDirectory MakeDir() {
+  OrganizationDirectory dir;
+  dir.Register("acme.com", "acme");
+  dir.Register("acmecdn.net", "acme");
+  dir.Register("tracker.io", "bigdata");
+  return dir;
+}
+
+TEST(PartyTest, OwnerLookupUsesRegistrableDomain) {
+  const auto dir = MakeDir();
+  EXPECT_EQ(dir.OwnerOf("api.acme.com"), "acme");
+  EXPECT_EQ(dir.OwnerOf("deep.sub.acme.com"), "acme");
+  EXPECT_EQ(dir.OwnerOf("acme.com"), "acme");
+  EXPECT_FALSE(dir.OwnerOf("unknown.org").has_value());
+}
+
+TEST(PartyTest, FirstPartyAttribution) {
+  const auto dir = MakeDir();
+  EXPECT_EQ(dir.Attribute("acme", "api.acme.com"), Party::kFirst);
+  EXPECT_EQ(dir.Attribute("acme", "img.acmecdn.net"), Party::kFirst);
+  EXPECT_EQ(dir.Attribute("acme", "collect.tracker.io"), Party::kThird);
+  EXPECT_EQ(dir.Attribute("acme", "unknown.org"), Party::kUnknown);
+}
+
+TEST(PartyTest, PartyOrThirdCollapsesUnknown) {
+  const auto dir = MakeDir();
+  EXPECT_EQ(dir.PartyOrThird("acme", "unknown.org"), Party::kThird);
+  EXPECT_EQ(dir.PartyOrThird("acme", "api.acme.com"), Party::kFirst);
+}
+
+TEST(PartyTest, ReRegistrationWins) {
+  OrganizationDirectory dir;
+  dir.Register("sold.com", "old-owner");
+  dir.Register("sold.com", "new-owner");
+  EXPECT_EQ(dir.OwnerOf("www.sold.com"), "new-owner");
+  EXPECT_EQ(dir.size(), 1u);
+}
+
+TEST(PartyTest, NamesAreStable) {
+  EXPECT_EQ(PartyName(Party::kFirst), "first-party");
+  EXPECT_EQ(PartyName(Party::kThird), "third-party");
+  EXPECT_EQ(PartyName(Party::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace pinscope::net

@@ -1,0 +1,45 @@
+#include "report/csv_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pinscope::report {
+namespace {
+
+TEST(CsvEscapeTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(CsvEscape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(CsvEscape("has\nnewline"), "\"has\nnewline\"");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvWriterTest, BuildsDocument) {
+  CsvWriter w;
+  w.SetHeader({"app", "pinned"});
+  w.AddRow({"com.a", "true"});
+  w.AddRow({"com,b", "false"});
+  EXPECT_EQ(w.rows(), 2u);
+  EXPECT_EQ(w.TakeString(),
+            "app,pinned\r\ncom.a,true\r\n\"com,b\",false\r\n");
+}
+
+TEST(CsvWriterTest, EnforcesColumnCount) {
+  CsvWriter w;
+  w.SetHeader({"a", "b"});
+  EXPECT_THROW(w.AddRow({"only-one"}), util::Error);
+  EXPECT_THROW(w.AddRow({"1", "2", "3"}), util::Error);
+}
+
+TEST(CsvWriterTest, RequiresHeaderFirst) {
+  CsvWriter w;
+  EXPECT_THROW(w.AddRow({"x"}), util::Error);
+  CsvWriter w2;
+  w2.SetHeader({"a"});
+  EXPECT_THROW(w2.SetHeader({"b"}), util::Error);
+  EXPECT_THROW(CsvWriter{}.SetHeader({}), util::Error);
+}
+
+}  // namespace
+}  // namespace pinscope::report

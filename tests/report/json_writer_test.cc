@@ -1,0 +1,97 @@
+#include "report/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pinscope::report {
+namespace {
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("quote\"back\\slash"), "quote\\\"back\\\\slash");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, BuildsNestedDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("app");
+  w.String("com.example");
+  w.Key("pins");
+  w.BeginArray();
+  w.String("sha256/AAA");
+  w.String("sha256/BBB");
+  w.EndArray();
+  w.Key("count");
+  w.Int(2);
+  w.Key("rate");
+  w.Double(0.5, 2);
+  w.Key("pinned");
+  w.Bool(true);
+  w.Key("note");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(),
+            "{\"app\":\"com.example\",\"pins\":[\"sha256/AAA\",\"sha256/BBB\"],"
+            "\"count\":2,\"rate\":0.50,\"pinned\":true,\"note\":null}");
+}
+
+TEST(JsonWriterTest, ArrayOfObjects) {
+  JsonWriter w;
+  w.BeginArray();
+  for (int i = 0; i < 2; ++i) {
+    w.BeginObject();
+    w.Key("i");
+    w.Int(i);
+    w.EndObject();
+  }
+  w.EndArray();
+  EXPECT_EQ(w.TakeString(), "[{\"i\":0},{\"i\":1}]");
+}
+
+TEST(JsonWriterTest, RejectsValueWithoutKeyInObject) {
+  JsonWriter w;
+  w.BeginObject();
+  EXPECT_THROW(w.Int(1), util::Error);
+}
+
+TEST(JsonWriterTest, RejectsKeyOutsideObject) {
+  JsonWriter w;
+  w.BeginArray();
+  EXPECT_THROW(w.Key("x"), util::Error);
+}
+
+TEST(JsonWriterTest, RejectsConsecutiveKeys) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  EXPECT_THROW(w.Key("b"), util::Error);
+}
+
+TEST(JsonWriterTest, RejectsUnbalancedDocuments) {
+  JsonWriter open_object;
+  open_object.BeginObject();
+  EXPECT_THROW((void)open_object.TakeString(), util::Error);
+
+  JsonWriter mismatched;
+  mismatched.BeginArray();
+  EXPECT_THROW(mismatched.EndObject(), util::Error);
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("empty_arr");
+  w.BeginArray();
+  w.EndArray();
+  w.Key("empty_obj");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(), "{\"empty_arr\":[],\"empty_obj\":{}}");
+}
+
+}  // namespace
+}  // namespace pinscope::report

@@ -1,0 +1,64 @@
+#include "report/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace pinscope::report {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table;
+  table.SetHeader({"Name", "Count"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"bee", "22"});
+  const std::string out = table.Render();
+  const auto lines = util::Split(out, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "Name   Count");
+  EXPECT_EQ(lines[1], std::string(12, '-'));
+  EXPECT_EQ(lines[2], "alpha  1");
+  EXPECT_EQ(lines[3], "bee    22");
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable table;
+  table.SetHeader({"A", "B", "C"});
+  table.AddRow({"only-a"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("only-a"), std::string::npos);
+}
+
+TEST(TextTableTest, WideCellsStretchColumns) {
+  TextTable table;
+  table.SetHeader({"X"});
+  table.AddRow({"very-long-cell-content"});
+  const auto lines = util::Split(table.Render(), '\n');
+  EXPECT_EQ(lines[1].size(), std::string("very-long-cell-content").size());
+}
+
+TEST(TextTableTest, EmptyTableRendersHeaderOnly) {
+  TextTable table;
+  table.SetHeader({"H1", "H2"});
+  const auto lines = util::Split(table.Render(), '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "H1  H2");
+}
+
+TEST(HeatCellTest, FractionMapsToFill) {
+  EXPECT_EQ(HeatCell(0.0, 10), "[          ] 0%");
+  EXPECT_EQ(HeatCell(1.0, 10), "[##########] 100%");
+  EXPECT_EQ(HeatCell(0.5, 10), "[#####     ] 50%");
+}
+
+TEST(HeatCellTest, ClampsOutOfRange) {
+  EXPECT_EQ(HeatCell(-0.5, 10), HeatCell(0.0, 10));
+  EXPECT_EQ(HeatCell(1.5, 10), HeatCell(1.0, 10));
+}
+
+TEST(SectionHeaderTest, WrapsTitle) {
+  EXPECT_EQ(SectionHeader("Table 1"), "\n=== Table 1 ===\n");
+}
+
+}  // namespace
+}  // namespace pinscope::report

@@ -1,0 +1,81 @@
+#include "staticanalysis/ats_analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "appmodel/ios_package.h"
+#include "util/base64.h"
+#include "util/rng.h"
+
+namespace pinscope::staticanalysis {
+namespace {
+
+appmodel::AppMetadata Meta() {
+  appmodel::AppMetadata meta;
+  meta.app_id = "com.ats.app";
+  meta.display_name = "ATS App";
+  meta.platform = appmodel::Platform::kIos;
+  return meta;
+}
+
+TEST(AtsAnalyzerTest, EmptyTreeYieldsNothing) {
+  const AtsAnalysis result = AnalyzeAts(appmodel::PackageFiles{});
+  EXPECT_FALSE(result.has_info_plist);
+  EXPECT_FALSE(result.PinsViaAts());
+}
+
+TEST(AtsAnalyzerTest, ReadsBundleId) {
+  util::Rng rng(1);
+  const auto ipa = appmodel::IosPackageBuilder(Meta()).Build(rng);
+  const AtsAnalysis result = AnalyzeAts(ipa);
+  EXPECT_TRUE(result.has_info_plist);
+  EXPECT_EQ(result.bundle_id, "com.ats.app");
+  EXPECT_FALSE(result.PinsViaAts());
+}
+
+TEST(AtsAnalyzerTest, ParsesPinnedDomains) {
+  util::Rng rng(2);
+  appmodel::AtsPinnedDomain domain;
+  domain.domain = "api.ats.com";
+  domain.include_subdomains = true;
+  domain.spki_sha256_base64 = {util::Base64Encode(util::Bytes(32, 0x24))};
+  const auto ipa =
+      appmodel::IosPackageBuilder(Meta()).WithAtsPinnedDomains({domain}).Build(rng);
+
+  const AtsAnalysis result = AnalyzeAts(ipa);
+  ASSERT_EQ(result.pinned_domains.size(), 1u);
+  EXPECT_EQ(result.pinned_domains[0].domain, "api.ats.com");
+  EXPECT_TRUE(result.pinned_domains[0].include_subdomains);
+  ASSERT_EQ(result.pinned_domains[0].pins.size(), 1u);
+  EXPECT_TRUE(result.PinsViaAts());
+}
+
+TEST(AtsAnalyzerTest, ParsesAssociatedDomainsFromEntitlements) {
+  util::Rng rng(3);
+  const auto ipa = appmodel::IosPackageBuilder(Meta())
+                       .WithAssociatedDomains({"ats.com", "www.ats.com"})
+                       .Build(rng);
+  const AtsAnalysis result = AnalyzeAts(ipa);
+  EXPECT_EQ(result.associated_domains,
+            (std::vector<std::string>{"ats.com", "www.ats.com"}));
+}
+
+TEST(AtsAnalyzerTest, MalformedPinDigestIsSkipped) {
+  util::Rng rng(4);
+  appmodel::AtsPinnedDomain domain;
+  domain.domain = "bad.ats.com";
+  domain.spki_sha256_base64 = {"not-base64!!!"};
+  const auto ipa =
+      appmodel::IosPackageBuilder(Meta()).WithAtsPinnedDomains({domain}).Build(rng);
+  const AtsAnalysis result = AnalyzeAts(ipa);
+  EXPECT_FALSE(result.PinsViaAts());
+}
+
+TEST(AtsAnalyzerTest, CorruptPlistIsNotFatal) {
+  appmodel::PackageFiles ipa;
+  ipa.AddText("Payload/X.app/Info.plist", "<plist><dict><key>unclosed");
+  const AtsAnalysis result = AnalyzeAts(ipa);
+  EXPECT_FALSE(result.has_info_plist);
+}
+
+}  // namespace
+}  // namespace pinscope::staticanalysis

@@ -1,0 +1,115 @@
+#include "staticanalysis/attribution.h"
+
+#include <gtest/gtest.h>
+
+namespace pinscope::staticanalysis {
+namespace {
+
+using appmodel::Platform;
+
+TEST(AttributionTest, NormalizesSmaliPathsToCatalogPackages) {
+  EXPECT_EQ(NormalizeEvidencePath("smali/com/twitter/sdk/android/Pins.smali",
+                                  Platform::kAndroid),
+            "com/twitter/sdk");
+  EXPECT_EQ(NormalizeEvidencePath("smali/com/mparticle/Config.smali",
+                                  Platform::kAndroid),
+            "com/mparticle");
+}
+
+TEST(AttributionTest, UnknownSmaliFallsBackToTwoComponents) {
+  EXPECT_EQ(NormalizeEvidencePath("smali/com/randomapp/net/Pinner.smali",
+                                  Platform::kAndroid),
+            "com/randomapp");
+}
+
+TEST(AttributionTest, NativeLibsNormalizeToLibraryName) {
+  EXPECT_EQ(NormalizeEvidencePath("lib/arm64-v8a/libpinning.so", Platform::kAndroid),
+            "libpinning.so");
+}
+
+TEST(AttributionTest, GenericPathsAreDropped) {
+  EXPECT_EQ(NormalizeEvidencePath("assets/ca_bundle.pem", Platform::kAndroid), "");
+  EXPECT_EQ(NormalizeEvidencePath("res/raw/cert.der", Platform::kAndroid), "");
+  EXPECT_EQ(NormalizeEvidencePath("Payload/App.app/App", Platform::kIos), "");
+  EXPECT_EQ(NormalizeEvidencePath("Payload/App.app/server.cer", Platform::kIos), "");
+}
+
+TEST(AttributionTest, IosFrameworksNormalizeToFrameworkDir) {
+  EXPECT_EQ(NormalizeEvidencePath(
+                "Payload/App.app/Frameworks/Stripe.framework/Stripe", Platform::kIos),
+            "Frameworks/Stripe.framework");
+}
+
+std::vector<AppEvidence> MakeEvidence(int twitter_apps, int own_code_apps) {
+  std::vector<AppEvidence> evidence;
+  for (int i = 0; i < twitter_apps; ++i) {
+    AppEvidence e;
+    e.app_id = "com.app" + std::to_string(i);
+    e.platform = Platform::kAndroid;
+    e.evidence_paths = {"smali/com/twitter/sdk/android/Pins.smali"};
+    evidence.push_back(std::move(e));
+  }
+  for (int i = 0; i < own_code_apps; ++i) {
+    AppEvidence e;
+    e.app_id = "com.own" + std::to_string(i);
+    e.platform = Platform::kAndroid;
+    // Each app's own package: never shared, so never attributed.
+    e.evidence_paths = {"smali/com/own" + std::to_string(i) + "/Pins.smali"};
+    evidence.push_back(std::move(e));
+  }
+  return evidence;
+}
+
+TEST(AttributionTest, RequiresMoreThanMinApps) {
+  // §4.1.4: paths appearing in more than 5 apps are reviewed.
+  const auto few = AttributeFrameworks(MakeEvidence(5, 0), Platform::kAndroid, 5);
+  EXPECT_TRUE(few.empty());
+  const auto enough = AttributeFrameworks(MakeEvidence(6, 0), Platform::kAndroid, 5);
+  ASSERT_EQ(enough.size(), 1u);
+  EXPECT_EQ(enough[0].framework, "Twitter");
+  EXPECT_EQ(enough[0].app_count, 6u);
+  EXPECT_TRUE(enough[0].matched_catalog);
+}
+
+TEST(AttributionTest, AppSpecificPathsNeverAggregate) {
+  const auto result = AttributeFrameworks(MakeEvidence(0, 20), Platform::kAndroid, 5);
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(AttributionTest, CountsDistinctAppsNotOccurrences) {
+  std::vector<AppEvidence> evidence;
+  AppEvidence e;
+  e.app_id = "com.dup";
+  e.platform = Platform::kAndroid;
+  // Same app, many files in the same SDK dir.
+  for (int i = 0; i < 10; ++i) {
+    e.evidence_paths.push_back("smali/com/twitter/sdk/f" + std::to_string(i) + ".smali");
+  }
+  evidence.push_back(e);
+  const auto result = AttributeFrameworks(evidence, Platform::kAndroid, 0);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].app_count, 1u);
+}
+
+TEST(AttributionTest, OrdersByDescendingAppCount) {
+  std::vector<AppEvidence> evidence = MakeEvidence(8, 0);
+  for (int i = 0; i < 12; ++i) {
+    AppEvidence e;
+    e.app_id = "com.stripe" + std::to_string(i);
+    e.platform = Platform::kAndroid;
+    e.evidence_paths = {"smali/com/stripe/android/Pins.smali"};
+    evidence.push_back(std::move(e));
+  }
+  const auto result = AttributeFrameworks(evidence, Platform::kAndroid, 5);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].framework, "Stripe");
+  EXPECT_EQ(result[1].framework, "Twitter");
+}
+
+TEST(AttributionTest, FiltersByPlatform) {
+  const auto result = AttributeFrameworks(MakeEvidence(10, 0), Platform::kIos, 5);
+  EXPECT_TRUE(result.empty());
+}
+
+}  // namespace
+}  // namespace pinscope::staticanalysis

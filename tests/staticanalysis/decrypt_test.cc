@@ -1,0 +1,68 @@
+#include "staticanalysis/ios_decrypt.h"
+
+#include <gtest/gtest.h>
+
+#include "appmodel/ios_package.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace pinscope::staticanalysis {
+namespace {
+
+appmodel::AppMetadata Meta() {
+  appmodel::AppMetadata meta;
+  meta.app_id = "com.decrypt.app";
+  meta.display_name = "Decrypt Me";
+  meta.platform = appmodel::Platform::kIos;
+  return meta;
+}
+
+appmodel::PackageFiles BuildIpa() {
+  util::Rng rng(1);
+  appmodel::IosPackageBuilder builder(Meta());
+  builder.AddMainBinaryString("sha256/ENCRYPTEDPIN00000000000000000");
+  return builder.Build(rng);
+}
+
+TEST(DecryptTest, FlexdecryptRecoversMainBinary) {
+  const auto ipa = BuildIpa();
+  const DecryptResult result =
+      DecryptIpa(ipa, "com.decrypt.app", DecryptionDevice{}, DecryptTool::kFlexdecrypt);
+  ASSERT_TRUE(result.ok);
+  EXPECT_FALSE(result.launched_app);
+  const util::Bytes* bin = result.files.Find("Payload/DecryptMe.app/DecryptMe");
+  ASSERT_NE(bin, nullptr);
+  EXPECT_FALSE(appmodel::IsFairPlayEncrypted(*bin));
+  EXPECT_TRUE(util::Contains(util::ToString(*bin), "ENCRYPTEDPIN"));
+}
+
+TEST(DecryptTest, FridaIosDumpLaunchesAppAndCostsMore) {
+  const auto ipa = BuildIpa();
+  const auto flex =
+      DecryptIpa(ipa, "com.decrypt.app", DecryptionDevice{}, DecryptTool::kFlexdecrypt);
+  const auto frida =
+      DecryptIpa(ipa, "com.decrypt.app", DecryptionDevice{}, DecryptTool::kFridaIosDump);
+  ASSERT_TRUE(frida.ok);
+  EXPECT_TRUE(frida.launched_app);
+  // The paper chose Flexdecrypt for being faster; the cost model agrees.
+  EXPECT_GT(frida.cost_ms, flex.cost_ms);
+}
+
+TEST(DecryptTest, RequiresJailbrokenDevice) {
+  DecryptionDevice stock;
+  stock.jailbroken = false;
+  const auto result = DecryptIpa(BuildIpa(), "com.decrypt.app", stock);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(DecryptTest, PassesPlaintextFilesThrough) {
+  const auto ipa = BuildIpa();
+  const auto result = DecryptIpa(ipa, "com.decrypt.app", DecryptionDevice{});
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.files.size(), ipa.size());
+  EXPECT_NE(result.files.Find("Payload/DecryptMe.app/Info.plist"), nullptr);
+}
+
+}  // namespace
+}  // namespace pinscope::staticanalysis

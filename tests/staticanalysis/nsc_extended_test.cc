@@ -1,0 +1,132 @@
+// Extended Network-Security-Config semantics: base-config, debug-overrides,
+// cleartext flags, and the lint pass built on them.
+#include <gtest/gtest.h>
+
+#include "appmodel/android_package.h"
+#include "staticanalysis/nsc_analyzer.h"
+#include "util/base64.h"
+
+namespace pinscope::staticanalysis {
+namespace {
+
+appmodel::AppMetadata Meta() {
+  appmodel::AppMetadata meta;
+  meta.app_id = "com.nscx.app";
+  meta.display_name = "NSCX";
+  meta.platform = appmodel::Platform::kAndroid;
+  return meta;
+}
+
+std::string ValidPin() {
+  return "sha256/" + util::Base64Encode(util::Bytes(32, 0x55));
+}
+
+TEST(NscExtendedTest, ParsesBaseConfig) {
+  appmodel::NscDocument doc;
+  doc.base.present = true;
+  doc.base.cleartext_permitted = false;
+  doc.base.trust_user_anchors = true;
+  const auto apk =
+      appmodel::AndroidPackageBuilder(Meta()).WithNscDocument(doc).Build();
+  const NscAnalysis result = AnalyzeNsc(apk);
+  EXPECT_TRUE(result.has_base_config);
+  EXPECT_EQ(result.base_cleartext_permitted, false);
+  EXPECT_TRUE(result.base_trusts_user_anchors);
+}
+
+TEST(NscExtendedTest, ParsesDebugOverrides) {
+  appmodel::NscDocument doc;
+  doc.debug_overrides.present = true;
+  doc.debug_overrides.trust_user_anchors = true;
+  const auto apk =
+      appmodel::AndroidPackageBuilder(Meta()).WithNscDocument(doc).Build();
+  const NscAnalysis result = AnalyzeNsc(apk);
+  EXPECT_TRUE(result.has_debug_overrides);
+  EXPECT_TRUE(result.debug_trusts_user_anchors);
+}
+
+TEST(NscExtendedTest, ParsesPerDomainCleartext) {
+  appmodel::NscDomainConfig cfg;
+  cfg.domain = "legacy.nscx.com";
+  cfg.cleartext_permitted = true;
+  const auto apk = appmodel::AndroidPackageBuilder(Meta()).WithNsc({cfg}).Build();
+  const NscAnalysis result = AnalyzeNsc(apk);
+  ASSERT_EQ(result.domains.size(), 1u);
+  EXPECT_EQ(result.domains[0].cleartext_permitted, true);
+}
+
+TEST(NscExtendedTest, UnsetCleartextStaysUnset) {
+  appmodel::NscDomainConfig cfg;
+  cfg.domain = "strict.nscx.com";
+  const auto apk = appmodel::AndroidPackageBuilder(Meta()).WithNsc({cfg}).Build();
+  const NscAnalysis result = AnalyzeNsc(apk);
+  ASSERT_EQ(result.domains.size(), 1u);
+  EXPECT_FALSE(result.domains[0].cleartext_permitted.has_value());
+}
+
+TEST(NscExtendedTest, LintFlagsDebugUserTrust) {
+  appmodel::NscDocument doc;
+  doc.debug_overrides.present = true;
+  doc.debug_overrides.trust_user_anchors = true;
+  const auto apk =
+      appmodel::AndroidPackageBuilder(Meta()).WithNscDocument(doc).Build();
+  const auto findings = AnalyzeNsc(apk).LintFindings();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].find("debug-overrides"), std::string::npos);
+}
+
+TEST(NscExtendedTest, LintFlagsGlobalCleartext) {
+  appmodel::NscDocument doc;
+  doc.base.present = true;
+  doc.base.cleartext_permitted = true;
+  const auto apk =
+      appmodel::AndroidPackageBuilder(Meta()).WithNscDocument(doc).Build();
+  const auto findings = AnalyzeNsc(apk).LintFindings();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].find("cleartext"), std::string::npos);
+}
+
+TEST(NscExtendedTest, LintFlagsMissingBackupPin) {
+  appmodel::NscDomainConfig cfg;
+  cfg.domain = "api.nscx.com";
+  cfg.pin_strings = {ValidPin()};
+  const auto apk = appmodel::AndroidPackageBuilder(Meta()).WithNsc({cfg}).Build();
+  const auto findings = AnalyzeNsc(apk).LintFindings();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].find("backup pin"), std::string::npos);
+}
+
+TEST(NscExtendedTest, BackupPinSilencesThatFinding) {
+  appmodel::NscDomainConfig cfg;
+  cfg.domain = "api.nscx.com";
+  cfg.pin_strings = {ValidPin(),
+                     "sha256/" + util::Base64Encode(util::Bytes(32, 0x66))};
+  const auto apk = appmodel::AndroidPackageBuilder(Meta()).WithNsc({cfg}).Build();
+  EXPECT_TRUE(AnalyzeNsc(apk).LintFindings().empty());
+}
+
+TEST(NscExtendedTest, CleanDocumentHasNoFindings) {
+  appmodel::NscDocument doc;
+  doc.base.present = true;
+  doc.base.cleartext_permitted = false;
+  appmodel::NscDomainConfig cfg;
+  cfg.domain = "api.nscx.com";
+  doc.domain_configs = {cfg};
+  const auto apk =
+      appmodel::AndroidPackageBuilder(Meta()).WithNscDocument(doc).Build();
+  EXPECT_TRUE(AnalyzeNsc(apk).LintFindings().empty());
+}
+
+TEST(NscExtendedTest, OverridePinsStillReportedThroughLint) {
+  appmodel::NscDomainConfig cfg;
+  cfg.domain = "oops.nscx.com";
+  cfg.pin_strings = {ValidPin(), ValidPin()};
+  cfg.override_pins = true;
+  const auto apk = appmodel::AndroidPackageBuilder(Meta()).WithNsc({cfg}).Build();
+  const auto findings = AnalyzeNsc(apk).LintFindings();
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].find("overridePins"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pinscope::staticanalysis

@@ -1,0 +1,130 @@
+#include "staticanalysis/nsc_analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "appmodel/android_package.h"
+#include "tls/pinning.h"
+#include "util/base64.h"
+
+namespace pinscope::staticanalysis {
+namespace {
+
+appmodel::AppMetadata Meta() {
+  appmodel::AppMetadata meta;
+  meta.app_id = "com.nsc.app";
+  meta.display_name = "NSC App";
+  meta.platform = appmodel::Platform::kAndroid;
+  return meta;
+}
+
+std::string ValidPin256() {
+  return "sha256/" + util::Base64Encode(util::Bytes(32, 0x42));
+}
+
+TEST(NscAnalyzerTest, NoManifestNoNsc) {
+  appmodel::PackageFiles empty;
+  const NscAnalysis result = AnalyzeNsc(empty);
+  EXPECT_FALSE(result.has_manifest);
+  EXPECT_FALSE(result.uses_nsc);
+}
+
+TEST(NscAnalyzerTest, ManifestWithoutNscReference) {
+  const auto apk = appmodel::AndroidPackageBuilder(Meta()).Build();
+  const NscAnalysis result = AnalyzeNsc(apk);
+  EXPECT_TRUE(result.has_manifest);
+  EXPECT_FALSE(result.uses_nsc);
+  EXPECT_FALSE(result.PinsViaNsc());
+}
+
+TEST(NscAnalyzerTest, ParsesPinSets) {
+  appmodel::NscDomainConfig cfg;
+  cfg.domain = "api.nsc.com";
+  cfg.include_subdomains = true;
+  cfg.pin_strings = {ValidPin256()};
+  cfg.pin_expiration = "2022-06-01";
+  const auto apk = appmodel::AndroidPackageBuilder(Meta()).WithNsc({cfg}).Build();
+
+  const NscAnalysis result = AnalyzeNsc(apk);
+  EXPECT_TRUE(result.uses_nsc);
+  EXPECT_TRUE(result.nsc_file_found);
+  ASSERT_EQ(result.domains.size(), 1u);
+  EXPECT_EQ(result.domains[0].domain, "api.nsc.com");
+  EXPECT_TRUE(result.domains[0].include_subdomains);
+  EXPECT_EQ(result.domains[0].pin_expiration, "2022-06-01");
+  ASSERT_EQ(result.domains[0].parsed_pins.size(), 1u);
+  EXPECT_EQ(result.domains[0].parsed_pins[0].form, tls::PinForm::kSpkiSha256);
+  EXPECT_TRUE(result.PinsViaNsc());
+}
+
+TEST(NscAnalyzerTest, ParsesSha1Pins) {
+  appmodel::NscDomainConfig cfg;
+  cfg.domain = "legacy.nsc.com";
+  cfg.pin_strings = {"sha1/" + util::Base64Encode(util::Bytes(20, 0x41))};
+  const auto apk = appmodel::AndroidPackageBuilder(Meta()).WithNsc({cfg}).Build();
+  const NscAnalysis result = AnalyzeNsc(apk);
+  ASSERT_EQ(result.domains[0].parsed_pins.size(), 1u);
+  EXPECT_EQ(result.domains[0].parsed_pins[0].form, tls::PinForm::kSpkiSha1);
+}
+
+TEST(NscAnalyzerTest, NscWithoutPinsIsNotPinning) {
+  appmodel::NscDomainConfig cfg;
+  cfg.domain = "plain.nsc.com";
+  const auto apk = appmodel::AndroidPackageBuilder(Meta()).WithNsc({cfg}).Build();
+  const NscAnalysis result = AnalyzeNsc(apk);
+  EXPECT_TRUE(result.uses_nsc);
+  EXPECT_FALSE(result.PinsViaNsc());
+}
+
+TEST(NscAnalyzerTest, FlagsOverridePinsMisconfiguration) {
+  // The Possemato et al. case: pins present but neutralized.
+  appmodel::NscDomainConfig cfg;
+  cfg.domain = "oops.nsc.com";
+  cfg.pin_strings = {ValidPin256()};
+  cfg.override_pins = true;
+  const auto apk = appmodel::AndroidPackageBuilder(Meta()).WithNsc({cfg}).Build();
+  const NscAnalysis result = AnalyzeNsc(apk);
+  EXPECT_EQ(result.MisconfiguredDomains(),
+            std::vector<std::string>{"oops.nsc.com"});
+}
+
+TEST(NscAnalyzerTest, MalformedPinBodiesAreSkippedNotFatal) {
+  appmodel::PackageFiles apk = appmodel::AndroidPackageBuilder(Meta()).Build();
+  // Hand-write a manifest + NSC with a bogus pin body.
+  apk.AddText("AndroidManifest.xml",
+              "<manifest package=\"com.nsc.app\">"
+              "<application android:networkSecurityConfig=\"@xml/network_security_config\">"
+              "</application></manifest>");
+  apk.AddText("res/xml/network_security_config.xml",
+              "<network-security-config><domain-config>"
+              "<domain includeSubdomains=\"false\">x.com</domain>"
+              "<pin-set><pin digest=\"SHA-256\">!!!bad!!!</pin></pin-set>"
+              "</domain-config></network-security-config>");
+  const NscAnalysis result = AnalyzeNsc(apk);
+  EXPECT_TRUE(result.nsc_file_found);
+  ASSERT_EQ(result.domains.size(), 1u);
+  EXPECT_EQ(result.domains[0].pin_strings.size(), 1u);
+  EXPECT_TRUE(result.domains[0].parsed_pins.empty());
+  EXPECT_FALSE(result.PinsViaNsc());
+}
+
+TEST(NscAnalyzerTest, MissingNscFileReportedAsNotFound) {
+  appmodel::PackageFiles apk;
+  apk.AddText("AndroidManifest.xml",
+              "<manifest package=\"com.nsc.app\">"
+              "<application android:networkSecurityConfig=\"@xml/missing\">"
+              "</application></manifest>");
+  const NscAnalysis result = AnalyzeNsc(apk);
+  EXPECT_TRUE(result.uses_nsc);
+  EXPECT_FALSE(result.nsc_file_found);
+}
+
+TEST(NscAnalyzerTest, CorruptManifestIsNotFatal) {
+  appmodel::PackageFiles apk;
+  apk.AddText("AndroidManifest.xml", "<manifest><unclosed>");
+  const NscAnalysis result = AnalyzeNsc(apk);
+  EXPECT_TRUE(result.has_manifest);
+  EXPECT_FALSE(result.uses_nsc);
+}
+
+}  // namespace
+}  // namespace pinscope::staticanalysis

@@ -1,0 +1,115 @@
+// Cross-validation: the regex engine against a brute-force reference
+// implementation, over randomly generated patterns and subjects.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "staticanalysis/regex.h"
+#include "util/rng.h"
+
+namespace pinscope::staticanalysis {
+namespace {
+
+// Reference matcher for the tiny grammar used in random generation:
+// literals from {a,b,c}, '.', classes [ab]/[^a], quantifiers ? * +, and a
+// single-level group with alternation. Implemented by expansion into a list
+// of plain alternatives matched by recursive descent — slow but obviously
+// correct for bounded inputs.
+bool RefMatchSeq(const std::string& pattern, std::size_t pi, const std::string& text,
+                 std::size_t ti, const std::function<bool(std::size_t)>& cont);
+
+bool RefMatchAtomThen(char atom, const std::string& pattern, std::size_t pi,
+                      const std::string& text, std::size_t ti,
+                      const std::function<bool(std::size_t)>& cont) {
+  if (ti >= text.size()) return false;
+  const char c = text[ti];
+  const bool ok = atom == '.' ? true : c == atom;
+  if (!ok) return false;
+  return RefMatchSeq(pattern, pi, text, ti + 1, cont);
+}
+
+// Supports literals, '.', and the quantifiers ? * + on single characters.
+bool RefMatchSeq(const std::string& pattern, std::size_t pi, const std::string& text,
+                 std::size_t ti, const std::function<bool(std::size_t)>& cont) {
+  if (pi == pattern.size()) return cont(ti);
+  const char atom = pattern[pi];
+  const char quant = pi + 1 < pattern.size() ? pattern[pi + 1] : '\0';
+
+  auto single = [&](std::size_t t, const std::function<bool(std::size_t)>& k) {
+    if (t >= text.size()) return false;
+    if (atom != '.' && text[t] != atom) return false;
+    return k(t + 1);
+  };
+
+  if (quant == '?') {
+    // Greedy: one occurrence first.
+    if (single(ti, [&](std::size_t t) { return RefMatchSeq(pattern, pi + 2, text, t, cont); })) {
+      return true;
+    }
+    return RefMatchSeq(pattern, pi + 2, text, ti, cont);
+  }
+  if (quant == '*' || quant == '+') {
+    std::function<bool(std::size_t, int)> rep = [&](std::size_t t, int count) {
+      if (single(t, [&](std::size_t next) { return rep(next, count + 1); })) {
+        return true;
+      }
+      const int min = quant == '+' ? 1 : 0;
+      if (count >= min) return RefMatchSeq(pattern, pi + 2, text, t, cont);
+      return false;
+    };
+    return rep(ti, 0);
+  }
+  return RefMatchAtomThen(atom, pattern, pi + 1, text, ti, cont);
+}
+
+bool RefSearch(const std::string& pattern, const std::string& text) {
+  for (std::size_t start = 0; start <= text.size(); ++start) {
+    if (RefMatchSeq(pattern, 0, text, start, [](std::size_t) { return true; })) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string RandomPattern(util::Rng& rng) {
+  static const std::string atoms = "abc.";
+  static const std::string quants = "?*+";
+  std::string p;
+  const int len = rng.UniformInt(1, 5);
+  for (int i = 0; i < len; ++i) {
+    p.push_back(atoms[static_cast<std::size_t>(rng.UniformInt(0, 3))]);
+    if (rng.Bernoulli(0.35)) {
+      p.push_back(quants[static_cast<std::size_t>(rng.UniformInt(0, 2))]);
+    }
+  }
+  return p;
+}
+
+std::string RandomText(util::Rng& rng) {
+  static const std::string chars = "abcx";
+  std::string t;
+  const int len = rng.UniformInt(0, 8);
+  for (int i = 0; i < len; ++i) {
+    t.push_back(chars[static_cast<std::size_t>(rng.UniformInt(0, 3))]);
+  }
+  return t;
+}
+
+class RegexReference : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegexReference, AgreesWithBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int round = 0; round < 400; ++round) {
+    const std::string pattern = RandomPattern(rng);
+    const std::string text = RandomText(rng);
+    const Regex re(pattern);
+    EXPECT_EQ(re.Search(text), RefSearch(pattern, text))
+        << "pattern='" << pattern << "' text='" << text << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegexReference, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace pinscope::staticanalysis

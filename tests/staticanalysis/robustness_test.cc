@@ -1,0 +1,100 @@
+// Failure injection: the static pipeline must survive arbitrary corruption —
+// bit-flipped certificates, truncated configs, scrambled binaries — without
+// crashing or throwing. Real app stores serve plenty of malformed content.
+#include <gtest/gtest.h>
+
+#include "staticanalysis/static_report.h"
+#include "store/generator.h"
+#include "util/rng.h"
+
+namespace pinscope::staticanalysis {
+namespace {
+
+const store::Ecosystem& Eco() {
+  static const store::Ecosystem eco = [] {
+    store::EcosystemConfig config;
+    config.seed = 77;
+    config.scale = 0.02;
+    return store::Ecosystem::Generate(config);
+  }();
+  return eco;
+}
+
+appmodel::PackageFiles Mutate(const appmodel::PackageFiles& original,
+                              util::Rng& rng) {
+  appmodel::PackageFiles mutated;
+  for (const auto& [path, content] : original.files()) {
+    util::Bytes bytes = content;
+    const int mutations = rng.UniformInt(0, 4);
+    for (int i = 0; i < mutations && !bytes.empty(); ++i) {
+      switch (rng.UniformInt(0, 2)) {
+        case 0: {  // bit flip
+          const std::size_t pos =
+              static_cast<std::size_t>(rng.UniformU64(0, bytes.size() - 1));
+          bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.UniformInt(0, 7));
+          break;
+        }
+        case 1:  // truncation
+          bytes.resize(bytes.size() / 2);
+          break;
+        case 2: {  // garbage insertion
+          const std::size_t pos =
+              static_cast<std::size_t>(rng.UniformU64(0, bytes.size()));
+          bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                       {0xde, 0xad, 0xbe, 0xef});
+          break;
+        }
+      }
+    }
+    mutated.Add(path, std::move(bytes));
+  }
+  return mutated;
+}
+
+class StaticRobustness : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaticRobustness, SurvivesCorruptedPackages) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  StaticAnalysisOptions opts;
+  opts.ct_log = &Eco().ct_log();
+
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    for (const appmodel::App& original : Eco().apps(p)) {
+      appmodel::App corrupted = original;
+      corrupted.package = Mutate(original.package, rng);
+      // Must not crash or throw, whatever the bytes look like.
+      const StaticReport report = AnalyzeStatically(corrupted, opts);
+      (void)report.PotentialPinning();
+      (void)report.ConfigPinning();
+      (void)report.EvidencePaths();
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaticRobustness, ::testing::Values(1, 2, 3));
+
+TEST(StaticRobustnessTest, EmptyPackage) {
+  appmodel::App app;
+  app.meta.app_id = "com.empty.app";
+  app.meta.platform = appmodel::Platform::kAndroid;
+  const StaticReport report = AnalyzeStatically(app);
+  EXPECT_FALSE(report.PotentialPinning());
+  EXPECT_FALSE(report.ConfigPinning());
+}
+
+TEST(StaticRobustnessTest, HugeGarbageFile) {
+  appmodel::App app;
+  app.meta.app_id = "com.garbage.app";
+  app.meta.platform = appmodel::Platform::kAndroid;
+  util::Rng rng(9);
+  util::Bytes blob(200'000);
+  for (auto& b : blob) b = static_cast<std::uint8_t>(rng.UniformU64(0, 255));
+  app.package.Add("assets/blob.bin", std::move(blob));
+  const StaticReport report = AnalyzeStatically(app);
+  EXPECT_EQ(report.scan.files_scanned, 1u);
+}
+
+}  // namespace
+}  // namespace pinscope::staticanalysis

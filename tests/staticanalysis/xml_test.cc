@@ -1,0 +1,73 @@
+#include "staticanalysis/xml.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace pinscope::staticanalysis {
+namespace {
+
+TEST(XmlTest, ParsesElementsAttributesText) {
+  const auto root = ParseXml(
+      "<?xml version=\"1.0\"?>\n"
+      "<config name=\"main\">\n"
+      "  <item id=\"1\">first</item>\n"
+      "  <item id=\"2\">second</item>\n"
+      "</config>");
+  EXPECT_EQ(root->name, "config");
+  EXPECT_EQ(root->Attr("name"), "main");
+  const auto items = root->Children("item");
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0]->Attr("id"), "1");
+  EXPECT_EQ(items[0]->TrimmedText(), "first");
+  EXPECT_EQ(items[1]->TrimmedText(), "second");
+}
+
+TEST(XmlTest, SelfClosingTags) {
+  const auto root = ParseXml("<a><b x=\"1\"/><c/></a>");
+  EXPECT_NE(root->Child("b"), nullptr);
+  EXPECT_NE(root->Child("c"), nullptr);
+  EXPECT_EQ(root->Child("b")->Attr("x"), "1");
+}
+
+TEST(XmlTest, SkipsComments) {
+  const auto root = ParseXml("<!-- head --><a><!-- inner --><b/></a>");
+  EXPECT_NE(root->Child("b"), nullptr);
+}
+
+TEST(XmlTest, SingleQuotedAttributes) {
+  const auto root = ParseXml("<a k='v'/>");
+  EXPECT_EQ(root->Attr("k"), "v");
+}
+
+TEST(XmlTest, NamespacedAttributeNames) {
+  const auto root = ParseXml(
+      "<application android:networkSecurityConfig=\"@xml/nsc\"/>");
+  EXPECT_EQ(root->Attr("android:networkSecurityConfig"), "@xml/nsc");
+}
+
+TEST(XmlTest, NestedTextAndChildren) {
+  const auto root = ParseXml("<dict><key>K</key><true/></dict>");
+  ASSERT_EQ(root->children.size(), 2u);
+  EXPECT_EQ(root->children[0]->name, "key");
+  EXPECT_EQ(root->children[1]->name, "true");
+}
+
+TEST(XmlTest, RejectsMalformedDocuments) {
+  EXPECT_THROW(ParseXml("<a><b></a></b>"), util::ParseError);
+  EXPECT_THROW(ParseXml("<unclosed>"), util::ParseError);
+  EXPECT_THROW(ParseXml("<a attr=novalue/>"), util::ParseError);
+  EXPECT_THROW(ParseXml("no xml at all"), util::ParseError);
+  EXPECT_THROW(ParseXml("<a/><b/>"), util::ParseError);  // two roots
+  EXPECT_THROW(ParseXml("<a><!-- unterminated </a>"), util::ParseError);
+}
+
+TEST(XmlTest, MissingLookupsReturnEmpty) {
+  const auto root = ParseXml("<a/>");
+  EXPECT_EQ(root->Child("nope"), nullptr);
+  EXPECT_FALSE(root->Attr("nope").has_value());
+  EXPECT_TRUE(root->Children("nope").empty());
+}
+
+}  // namespace
+}  // namespace pinscope::staticanalysis

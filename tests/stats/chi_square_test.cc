@@ -1,0 +1,65 @@
+#include "stats/chi_square.h"
+
+#include <gtest/gtest.h>
+
+namespace pinscope::stats {
+namespace {
+
+TEST(ChiSquareTest, IndependentDataIsNotSignificant) {
+  // Identical proportions → statistic 0, p-value 1.
+  const auto result = ChiSquareTest({50, 50, 50, 50});
+  ASSERT_TRUE(result.valid);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+  EXPECT_FALSE(result.Significant());
+}
+
+TEST(ChiSquareTest, StrongAssociationIsSignificant) {
+  const auto result = ChiSquareTest({90, 10, 10, 90});
+  ASSERT_TRUE(result.valid);
+  EXPECT_GT(result.statistic, 100.0);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_TRUE(result.Significant());
+}
+
+TEST(ChiSquareTest, KnownValueAgainstScipy) {
+  // scipy.stats.chi2_contingency([[20,30],[40,10]], correction=False)
+  // → statistic 16.6667, p ≈ 4.46e-5.
+  const auto result = ChiSquareTest({20, 30, 40, 10});
+  ASSERT_TRUE(result.valid);
+  EXPECT_NEAR(result.statistic, 16.6667, 1e-3);
+  EXPECT_NEAR(result.p_value, 4.456e-5, 1e-7);
+}
+
+TEST(ChiSquareTest, PaperScenarioAdIdSignificance) {
+  // The Table 9 situation: ~26% vs ~18% Ad-ID prevalence. With iOS-scale
+  // destination counts the gap is significant; with the smaller Android
+  // pinned-destination count it is not.
+  const auto ios = ChiSquareTest({65, 188, 722, 3278});     // n=253 vs 4000
+  EXPECT_TRUE(ios.Significant());
+  const auto android = ChiSquareTest({26, 75, 600, 2400});  // n=101 vs 3000
+  EXPECT_FALSE(android.Significant());
+}
+
+TEST(ChiSquareTest, DegenerateMarginsAreInvalid) {
+  EXPECT_FALSE(ChiSquareTest({0, 0, 10, 20}).valid);   // empty row
+  EXPECT_FALSE(ChiSquareTest({0, 10, 0, 20}).valid);   // empty column
+  EXPECT_FALSE(ChiSquareTest({0, 0, 0, 0}).valid);
+  EXPECT_FALSE(ChiSquareTest({0, 0, 0, 0}).Significant());
+}
+
+TEST(ChiSquareSurvivalTest, KnownQuantiles) {
+  EXPECT_NEAR(ChiSquareSurvivalDf1(3.841), 0.05, 1e-3);   // 95th percentile
+  EXPECT_NEAR(ChiSquareSurvivalDf1(6.635), 0.01, 1e-3);   // 99th percentile
+  EXPECT_DOUBLE_EQ(ChiSquareSurvivalDf1(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ChiSquareSurvivalDf1(-5.0), 1.0);
+}
+
+TEST(ChiSquareTest, SymmetryInGroups) {
+  const auto a = ChiSquareTest({30, 70, 50, 50});
+  const auto b = ChiSquareTest({50, 50, 30, 70});
+  EXPECT_NEAR(a.statistic, b.statistic, 1e-12);
+}
+
+}  // namespace
+}  // namespace pinscope::stats

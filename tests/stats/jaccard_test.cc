@@ -1,0 +1,62 @@
+#include "stats/jaccard.h"
+
+#include <gtest/gtest.h>
+
+namespace pinscope::stats {
+namespace {
+
+TEST(JaccardTest, BasicValues) {
+  EXPECT_DOUBLE_EQ(JaccardIndex(std::set<std::string>{"a", "b"},
+                                std::set<std::string>{"a", "b"}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(JaccardIndex(std::set<std::string>{"a"},
+                                std::set<std::string>{"b"}),
+                   0.0);
+  EXPECT_DOUBLE_EQ(JaccardIndex(std::set<std::string>{"a", "b"},
+                                std::set<std::string>{"b", "c"}),
+                   1.0 / 3.0);
+}
+
+TEST(JaccardTest, EmptySetsConventions) {
+  EXPECT_DOUBLE_EQ(JaccardIndex(std::set<std::string>{}, std::set<std::string>{}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(JaccardIndex(std::set<std::string>{"a"}, std::set<std::string>{}),
+                   0.0);
+}
+
+TEST(JaccardTest, VectorOverloadDeduplicates) {
+  EXPECT_DOUBLE_EQ(JaccardIndex(std::vector<std::string>{"a", "a", "b"},
+                                std::vector<std::string>{"a", "b", "b"}),
+                   1.0);
+}
+
+TEST(JaccardTest, PaperFigure3Values) {
+  // Twitter row: overlap 0.5 — two pinned domains on one side, one shared.
+  EXPECT_DOUBLE_EQ(JaccardIndex(std::set<std::string>{"x.com", "y.com"},
+                                std::set<std::string>{"x.com"}),
+                   0.5);
+  // J.P. row: 0.25.
+  EXPECT_DOUBLE_EQ(
+      JaccardIndex(std::set<std::string>{"a", "b", "c", "d"},
+                   std::set<std::string>{"a"}),
+      0.25);
+}
+
+TEST(OverlapFractionTest, Basics) {
+  EXPECT_DOUBLE_EQ(OverlapFraction(std::set<std::string>{"a", "b"},
+                                   std::set<std::string>{"b", "c"}),
+                   0.5);
+  EXPECT_DOUBLE_EQ(OverlapFraction(std::set<std::string>{}, {"a"}), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapFraction(std::set<std::string>{"a"},
+                                   std::set<std::string>{"a"}),
+                   1.0);
+}
+
+TEST(IntersectTest, Basics) {
+  const auto inter = Intersect({"a", "b", "c"}, {"b", "c", "d"});
+  EXPECT_EQ(inter, (std::set<std::string>{"b", "c"}));
+  EXPECT_TRUE(Intersect({"a"}, {"b"}).empty());
+}
+
+}  // namespace
+}  // namespace pinscope::stats

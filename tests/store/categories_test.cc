@@ -1,0 +1,87 @@
+#include "store/categories.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace pinscope::store {
+namespace {
+
+using appmodel::Platform;
+
+TEST(CategoriesTest, PlatformListsAreNonTrivial) {
+  EXPECT_GT(Categories(Platform::kAndroid).size(), 30u);
+  EXPECT_GT(Categories(Platform::kIos).size(), 20u);
+}
+
+TEST(CategoriesTest, SamplesComeFromTheCatalog) {
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::string cat = SampleCategory(Platform::kAndroid, DatasetId::kPopular, rng);
+    const auto& all = Categories(Platform::kAndroid);
+    EXPECT_NE(std::find(all.begin(), all.end(), cat), all.end()) << cat;
+  }
+}
+
+TEST(CategoriesTest, PopularAndroidIsGamesHeavy) {
+  // Table 1: 36% of popular Android apps are Games.
+  util::Rng rng(2);
+  int games = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    if (SampleCategory(Platform::kAndroid, DatasetId::kPopular, rng) == "Games") {
+      ++games;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(games) / n, 0.36, 0.03);
+}
+
+TEST(CategoriesTest, RandomAndroidLeadsWithEducation) {
+  util::Rng rng(3);
+  int education = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    if (SampleCategory(Platform::kAndroid, DatasetId::kRandom, rng) == "Education") {
+      ++education;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(education) / n, 0.12, 0.02);
+}
+
+TEST(CategoriesTest, PinningSamplesAreFinanceHeavy) {
+  // Tables 4/5: Finance dominates pinning apps on both platforms.
+  for (Platform p : {Platform::kAndroid, Platform::kIos}) {
+    util::Rng rng(4);
+    std::map<std::string, int> counts;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) ++counts[SamplePinningCategory(p, rng)];
+    std::string top;
+    int best = 0;
+    for (const auto& [cat, c] : counts) {
+      if (c > best) {
+        best = c;
+        top = cat;
+      }
+    }
+    EXPECT_EQ(top, "Finance") << PlatformName(p);
+  }
+}
+
+TEST(CategoriesTest, IosMappingCoversAndroidCatalog) {
+  for (const std::string& cat : Categories(appmodel::Platform::kAndroid)) {
+    const std::string mapped = ToIosCategory(cat);
+    const auto& ios = Categories(appmodel::Platform::kIos);
+    EXPECT_NE(std::find(ios.begin(), ios.end(), mapped), ios.end())
+        << cat << " → " << mapped;
+  }
+}
+
+TEST(CategoriesTest, SharedNamesPassThrough) {
+  EXPECT_EQ(ToIosCategory("Games"), "Games");
+  EXPECT_EQ(ToIosCategory("Finance"), "Finance");
+  EXPECT_EQ(ToIosCategory("Social"), "Social Networking");
+  EXPECT_EQ(ToIosCategory("Photography"), "Photo & Video");
+}
+
+}  // namespace
+}  // namespace pinscope::store

@@ -1,0 +1,90 @@
+#include "store/crawler.h"
+
+#include <gtest/gtest.h>
+
+namespace pinscope::store {
+namespace {
+
+const Ecosystem& CrawlEco() {
+  static const Ecosystem eco = [] {
+    EcosystemConfig config;
+    config.seed = 11;
+    config.scale = 0.05;
+    return Ecosystem::Generate(config);
+  }();
+  return eco;
+}
+
+TEST(GPlayCliTest, DownloadsKnownApps) {
+  GPlayCli cli(CrawlEco());
+  const auto& first = CrawlEco().apps(appmodel::Platform::kAndroid).front();
+  const auto app = cli.Download(first.meta.app_id);
+  ASSERT_TRUE(app.has_value());
+  EXPECT_EQ((*app)->meta.app_id, first.meta.app_id);
+  EXPECT_EQ(cli.stats().requests, 1);
+  EXPECT_GT(cli.stats().elapsed_ms, 0);
+}
+
+TEST(GPlayCliTest, UnknownIdFails) {
+  GPlayCli cli(CrawlEco());
+  EXPECT_FALSE(cli.Download("com.does.not.exist").has_value());
+}
+
+TEST(ITunesCrawlerTest, AttendedModeHandlesInterventions) {
+  ITunesGuiCrawler crawler(CrawlEco(), /*attended=*/true);
+  const auto& apps = CrawlEco().apps(appmodel::Platform::kIos);
+  int ok = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(apps.size(), 45); ++i) {
+    if (crawler.Download(apps[i].meta.app_id).has_value()) ++ok;
+  }
+  EXPECT_EQ(ok, static_cast<int>(std::min<std::size_t>(apps.size(), 45)));
+  EXPECT_GE(crawler.stats().manual_interventions, 1);
+}
+
+TEST(ITunesCrawlerTest, UnattendedModeLosesWedgedDownloads) {
+  ITunesGuiCrawler crawler(CrawlEco(), /*attended=*/false);
+  const auto& apps = CrawlEco().apps(appmodel::Platform::kIos);
+  ASSERT_GE(apps.size(), 40u);
+  int failures = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    if (!crawler.Download(apps[i % apps.size()].meta.app_id).has_value()) {
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 1);  // the 40th request wedges
+}
+
+TEST(ScraperTest, TopFreeOrdersByRank) {
+  GooglePlayScraper scraper(CrawlEco());
+  const auto games = scraper.TopFree("Games");
+  for (std::size_t i = 1; i < games.size(); ++i) {
+    EXPECT_LE(games[i - 1]->meta.popularity_rank, games[i]->meta.popularity_rank);
+  }
+}
+
+TEST(ITunesSearchTest, CapsAtHundredResults) {
+  ITunesSearchApi api(CrawlEco());
+  EXPECT_LE(api.TopApps("Games").size(), 100u);
+}
+
+TEST(AlternativeToTest, ListingsLinkBothStores) {
+  AlternativeToCrawler crawler(CrawlEco());
+  const auto listings = crawler.PopularListings(3);
+  ASSERT_FALSE(listings.empty());
+  EXPECT_LE(listings.size(), 30u);
+  GPlayCli android_cli(CrawlEco());
+  ITunesGuiCrawler ios_cli(CrawlEco(), true);
+  EXPECT_TRUE(android_cli.Download(listings[0].android_app_id).has_value());
+  EXPECT_TRUE(ios_cli.Download(listings[0].ios_app_id).has_value());
+}
+
+TEST(AlternativeToTest, RespectsRateLimit) {
+  AlternativeToCrawler crawler(CrawlEco());
+  (void)crawler.PopularListings(5);
+  // §7: one page per second.
+  EXPECT_GE(crawler.stats().elapsed_ms, 5'000);
+  EXPECT_FALSE(crawler.stats().user_agent.empty());
+}
+
+}  // namespace
+}  // namespace pinscope::store

@@ -1,0 +1,230 @@
+#include "store/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "appmodel/ios_package.h"
+
+namespace pinscope::store {
+namespace {
+
+using appmodel::Platform;
+
+// One shared small ecosystem for all generator tests (generation is the
+// expensive part; analyses are cheap).
+const Ecosystem& SmallEco() {
+  static const Ecosystem eco = [] {
+    EcosystemConfig config;
+    config.seed = 7;
+    config.scale = 0.08;
+    return Ecosystem::Generate(config);
+  }();
+  return eco;
+}
+
+TEST(GeneratorTest, DatasetSizesScale) {
+  const auto& eco = SmallEco();
+  for (Platform p : {Platform::kAndroid, Platform::kIos}) {
+    EXPECT_NEAR(static_cast<double>(eco.dataset(DatasetId::kCommon, p).size()),
+                575 * 0.08, 6.0);
+    EXPECT_NEAR(static_cast<double>(eco.dataset(DatasetId::kPopular, p).size()),
+                1000 * 0.08, 6.0);
+    EXPECT_NEAR(static_cast<double>(eco.dataset(DatasetId::kRandom, p).size()),
+                1000 * 0.08, 6.0);
+  }
+}
+
+TEST(GeneratorTest, GenerationIsDeterministic) {
+  EcosystemConfig config;
+  config.seed = 21;
+  config.scale = 0.02;
+  const Ecosystem a = Ecosystem::Generate(config);
+  const Ecosystem b = Ecosystem::Generate(config);
+  ASSERT_EQ(a.apps(Platform::kAndroid).size(), b.apps(Platform::kAndroid).size());
+  for (std::size_t i = 0; i < a.apps(Platform::kAndroid).size(); ++i) {
+    const auto& x = a.apps(Platform::kAndroid)[i];
+    const auto& y = b.apps(Platform::kAndroid)[i];
+    EXPECT_EQ(x.meta.app_id, y.meta.app_id);
+    EXPECT_EQ(x.package.size(), y.package.size());
+    EXPECT_EQ(x.behavior.destinations.size(), y.behavior.destinations.size());
+  }
+}
+
+TEST(GeneratorTest, CommonPairsShareBrandAndCategoryMapping) {
+  const auto& eco = SmallEco();
+  ASSERT_FALSE(eco.common_pairs().empty());
+  for (const CommonPair& pair : eco.common_pairs()) {
+    const auto& a = eco.apps(Platform::kAndroid)[pair.android_index];
+    const auto& i = eco.apps(Platform::kIos)[pair.ios_index];
+    EXPECT_EQ(a.meta.display_name, i.meta.display_name);
+    EXPECT_EQ(a.meta.developer_org, i.meta.developer_org);
+    EXPECT_NE(a.meta.app_id, i.meta.app_id);
+  }
+}
+
+TEST(GeneratorTest, ConsistencyClassesMatchBehaviorGroundTruth) {
+  const auto& eco = SmallEco();
+  for (const CommonPair& pair : eco.common_pairs()) {
+    const bool a_pins =
+        eco.apps(Platform::kAndroid)[pair.android_index].behavior.PinsAtRuntime();
+    const bool i_pins =
+        eco.apps(Platform::kIos)[pair.ios_index].behavior.PinsAtRuntime();
+    switch (pair.cls) {
+      case ConsistencyClass::kNotPinning:
+        EXPECT_FALSE(a_pins);
+        EXPECT_FALSE(i_pins);
+        break;
+      case ConsistencyClass::kConsistentIdentical:
+      case ConsistencyClass::kConsistentPartial:
+      case ConsistencyClass::kInconsistentBoth:
+      case ConsistencyClass::kInconclusiveBoth:
+        EXPECT_TRUE(a_pins);
+        EXPECT_TRUE(i_pins);
+        break;
+      case ConsistencyClass::kAndroidOnlyInconsistent:
+      case ConsistencyClass::kAndroidOnlyInconclusive:
+        EXPECT_TRUE(a_pins);
+        EXPECT_FALSE(i_pins);
+        break;
+      case ConsistencyClass::kIosOnlyInconsistent:
+      case ConsistencyClass::kIosOnlyInconclusive:
+        EXPECT_FALSE(a_pins);
+        EXPECT_TRUE(i_pins);
+        break;
+    }
+  }
+}
+
+TEST(GeneratorTest, IdenticalPairsPinTheSameDomains) {
+  const auto& eco = SmallEco();
+  for (const CommonPair& pair : eco.common_pairs()) {
+    if (pair.cls != ConsistencyClass::kConsistentIdentical) continue;
+    const auto a = eco.apps(Platform::kAndroid)[pair.android_index]
+                       .behavior.PinnedHostnames();
+    const auto i =
+        eco.apps(Platform::kIos)[pair.ios_index].behavior.PinnedHostnames();
+    EXPECT_EQ(std::set<std::string>(a.begin(), a.end()),
+              std::set<std::string>(i.begin(), i.end()));
+  }
+}
+
+TEST(GeneratorTest, PinnedDestinationsHaveMatchingServersAndPins) {
+  const auto& eco = SmallEco();
+  for (Platform p : {Platform::kAndroid, Platform::kIos}) {
+    for (const auto& app : eco.apps(p)) {
+      for (const auto& dest : app.behavior.destinations) {
+        const appmodel::ServerInfo* srv = eco.world().Find(dest.hostname);
+        ASSERT_NE(srv, nullptr) << dest.hostname;
+        if (!dest.pinned) continue;
+        ASSERT_FALSE(dest.pins.empty());
+        bool matches = false;
+        for (const auto& cert : srv->endpoint.chain) {
+          if (dest.pins.front().Matches(cert)) matches = true;
+        }
+        EXPECT_TRUE(matches) << app.meta.app_id << " → " << dest.hostname;
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, TruthQuotasRoughlyHold) {
+  const auto& eco = SmallEco();
+  // Android popular: ~67·scale runtime pinners.
+  const Dataset& pop = eco.dataset(DatasetId::kPopular, Platform::kAndroid);
+  int pinning = 0, static_only = 0, nsc = 0;
+  for (std::size_t idx : pop.app_indices) {
+    const AppTruth& t = eco.truth(Platform::kAndroid, idx);
+    if (t.runtime_pinning) ++pinning;
+    if (t.static_only) ++static_only;
+    if (t.nsc_pins) ++nsc;
+  }
+  EXPECT_NEAR(pinning, 67 * 0.08, 3.0);
+  EXPECT_NEAR(static_only, 130 * 0.08, 4.0);
+  EXPECT_GE(nsc, 1);
+  EXPECT_LE(nsc, pinning);
+}
+
+TEST(GeneratorTest, IosPinsMoreThanAndroidInRandomSet) {
+  const auto& eco = SmallEco();
+  auto count = [&](Platform p) {
+    int n = 0;
+    for (std::size_t idx : eco.dataset(DatasetId::kRandom, p).app_indices) {
+      if (eco.truth(p, idx).runtime_pinning) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count(Platform::kIos), count(Platform::kAndroid));
+}
+
+TEST(GeneratorTest, StaticOnlyAppsShipMaterialButNeverPin) {
+  const auto& eco = SmallEco();
+  int checked = 0;
+  for (Platform p : {Platform::kAndroid, Platform::kIos}) {
+    const auto& apps = eco.apps(p);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      const AppTruth& t = eco.truth(p, i);
+      if (!t.static_only) continue;
+      EXPECT_FALSE(t.runtime_pinning);
+      EXPECT_FALSE(apps[i].behavior.PinsAtRuntime());
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(GeneratorTest, IosMainBinariesAreEncrypted) {
+  const auto& eco = SmallEco();
+  int encrypted = 0;
+  for (const auto& app : eco.apps(Platform::kIos)) {
+    for (const auto& [path, content] : app.package.files()) {
+      if (appmodel::IsFairPlayEncrypted(content)) ++encrypted;
+    }
+  }
+  EXPECT_EQ(encrypted, static_cast<int>(eco.apps(Platform::kIos).size()));
+}
+
+TEST(GeneratorTest, WorldInfrastructureIsExported) {
+  const auto& eco = SmallEco();
+  EXPECT_GT(eco.ct_log().size(), 0u);
+  EXPECT_GT(eco.organizations().size(), 0u);
+  // Apple hosts exist for the iOS background-noise model.
+  EXPECT_NE(eco.world().Find("gsp-ssl.icloud.com"), nullptr);
+}
+
+TEST(GeneratorTest, PopularContainsCollisionsFromCommon) {
+  const auto& eco = SmallEco();
+  const Dataset& common = eco.dataset(DatasetId::kCommon, Platform::kIos);
+  const Dataset& popular = eco.dataset(DatasetId::kPopular, Platform::kIos);
+  const std::set<std::size_t> common_set(common.app_indices.begin(),
+                                         common.app_indices.end());
+  int collisions = 0;
+  for (std::size_t idx : popular.app_indices) {
+    if (common_set.contains(idx)) ++collisions;
+  }
+  EXPECT_GT(collisions, 0);
+}
+
+TEST(GeneratorTest, SpecialCasesExist) {
+  const auto& eco = SmallEco();
+  int self_signed = 0, custom = 0, unavailable = 0;
+  std::set<std::string> seen;
+  for (Platform p : {Platform::kAndroid, Platform::kIos}) {
+    for (const auto& app : eco.apps(p)) {
+      for (const auto& dest : app.behavior.destinations) {
+        if (!dest.pinned || !seen.insert(dest.hostname).second) continue;
+        const auto* srv = eco.world().Find(dest.hostname);
+        if (srv->pki == appmodel::PkiType::kSelfSigned) ++self_signed;
+        if (srv->pki == appmodel::PkiType::kCustomPki) ++custom;
+        if (srv->chain_fetch_unavailable) ++unavailable;
+      }
+    }
+  }
+  EXPECT_GE(self_signed, 1);
+  EXPECT_GE(custom, 1);
+  EXPECT_GE(unavailable, 1);
+}
+
+}  // namespace
+}  // namespace pinscope::store

@@ -1,0 +1,81 @@
+// Shared hand-built fixtures for dynamic-analysis and integration tests:
+// a small server world plus apps with known pinning behaviour — independent
+// of the corpus generator, so unit tests do not depend on calibration.
+#pragma once
+
+#include <string>
+
+#include "appmodel/app.h"
+#include "appmodel/server_world.h"
+#include "tls/pinning.h"
+
+namespace pinscope::testing {
+
+/// A world with a handful of servers an app under test can contact.
+inline appmodel::ServerWorld MakeWorld(std::uint64_t seed = 99) {
+  appmodel::ServerWorld world(seed);
+  world.EnsureDefaultPki("api.fixture.com", "fixture");
+  world.EnsureDefaultPki("www.fixture.com", "fixture");
+  world.EnsureDefaultPki("tracker.ads.com", "adcorp");
+  world.EnsureDefaultPki("cdn.assets.net", "assetco");
+  return world;
+}
+
+/// A pin for the root of `host`'s served chain.
+inline tls::Pin RootPinFor(const appmodel::ServerWorld& world,
+                           const std::string& host) {
+  return tls::Pin::ForCertificate(world.Find(host)->endpoint.chain.back(),
+                                  tls::PinForm::kSpkiSha256);
+}
+
+/// Base metadata for a fixture app.
+inline appmodel::AppMetadata FixtureMeta(appmodel::Platform platform) {
+  appmodel::AppMetadata meta;
+  meta.platform = platform;
+  meta.app_id = platform == appmodel::Platform::kAndroid ? "com.fixture.app"
+                                                         : "com.fixture.ios";
+  meta.display_name = "Fixture";
+  meta.category = "Finance";
+  meta.developer_org = "fixture";
+  return meta;
+}
+
+/// An app that pins api.fixture.com (hookable stack) and talks, unpinned,
+/// to tracker.ads.com.
+inline appmodel::App MakePinningApp(const appmodel::ServerWorld& world,
+                                    appmodel::Platform platform) {
+  appmodel::App app;
+  app.meta = FixtureMeta(platform);
+
+  appmodel::DestinationBehavior pinned;
+  pinned.hostname = "api.fixture.com";
+  pinned.pinned = true;
+  pinned.pins = {RootPinFor(world, "api.fixture.com")};
+  pinned.stack = platform == appmodel::Platform::kAndroid
+                     ? tls::TlsStack::kOkHttp
+                     : tls::TlsStack::kNsUrlSession;
+  pinned.payload_template = "POST /login token={{ad_id}}";
+  app.behavior.destinations.push_back(pinned);
+
+  appmodel::DestinationBehavior tracker;
+  tracker.hostname = "tracker.ads.com";
+  tracker.payload_template = "GET /pixel?id={{ad_id}}";
+  app.behavior.destinations.push_back(tracker);
+
+  return app;
+}
+
+/// An app with no pinning at all.
+inline appmodel::App MakePlainApp(const appmodel::ServerWorld& world,
+                                  appmodel::Platform platform) {
+  (void)world;
+  appmodel::App app;
+  app.meta = FixtureMeta(platform);
+  appmodel::DestinationBehavior d;
+  d.hostname = "www.fixture.com";
+  d.payload_template = "GET / HTTP/1.1";
+  app.behavior.destinations.push_back(d);
+  return app;
+}
+
+}  // namespace pinscope::testing

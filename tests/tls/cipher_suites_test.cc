@@ -1,0 +1,59 @@
+#include "tls/cipher_suites.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pinscope::tls {
+namespace {
+
+TEST(CipherSuitesTest, RegistryHasUniqueIdsAndNames) {
+  std::set<CipherSuiteId> ids;
+  std::set<std::string_view> names;
+  for (const CipherSuiteInfo& info : CipherSuiteRegistry()) {
+    EXPECT_TRUE(ids.insert(info.id).second);
+    EXPECT_TRUE(names.insert(info.name).second);
+  }
+}
+
+TEST(CipherSuitesTest, WeakClassificationMatchesPaperList) {
+  // §5.4: DES, 3DES, RC4 and EXPORT suites are "bad".
+  EXPECT_TRUE(IsWeakCipher(CipherSuiteId::kRsaDesCbcSha));
+  EXPECT_TRUE(IsWeakCipher(CipherSuiteId::kRsa3DesEdeCbcSha));
+  EXPECT_TRUE(IsWeakCipher(CipherSuiteId::kEcdheRsa3DesEdeCbcSha));
+  EXPECT_TRUE(IsWeakCipher(CipherSuiteId::kRsaRc4128Sha));
+  EXPECT_TRUE(IsWeakCipher(CipherSuiteId::kRsaRc4128Md5));
+  EXPECT_TRUE(IsWeakCipher(CipherSuiteId::kRsaExportRc440Md5));
+  EXPECT_TRUE(IsWeakCipher(CipherSuiteId::kRsaExportDes40CbcSha));
+
+  EXPECT_FALSE(IsWeakCipher(CipherSuiteId::kTlsAes128GcmSha256));
+  EXPECT_FALSE(IsWeakCipher(CipherSuiteId::kEcdheRsaAes256GcmSha384));
+  EXPECT_FALSE(IsWeakCipher(CipherSuiteId::kRsaAes128CbcSha));
+}
+
+TEST(CipherSuitesTest, ModernOfferIsClean) {
+  EXPECT_FALSE(AdvertisesWeakCipher(ModernCipherOffer()));
+}
+
+TEST(CipherSuitesTest, LegacyOfferAdvertisesWeak) {
+  EXPECT_TRUE(AdvertisesWeakCipher(LegacyCipherOffer()));
+}
+
+TEST(CipherSuitesTest, Tls13SuitesScopedToTls13) {
+  const CipherSuiteInfo& info = CipherSuite(CipherSuiteId::kTlsAes128GcmSha256);
+  EXPECT_EQ(info.min_version, TlsVersion::kTls13);
+  EXPECT_EQ(info.max_version, TlsVersion::kTls13);
+}
+
+TEST(CipherSuitesTest, EmptyOfferIsNotWeak) {
+  EXPECT_FALSE(AdvertisesWeakCipher({}));
+}
+
+TEST(TlsVersionTest, NamesAndOrdering) {
+  EXPECT_EQ(TlsVersionName(TlsVersion::kTls13), "TLSv1.3");
+  EXPECT_EQ(TlsVersionName(TlsVersion::kTls10), "TLSv1.0");
+  EXPECT_LT(TlsVersion::kTls12, TlsVersion::kTls13);
+}
+
+}  // namespace
+}  // namespace pinscope::tls

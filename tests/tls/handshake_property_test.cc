@@ -1,0 +1,151 @@
+// Property suite: across the full configuration grid — TLS version × pin
+// target × payload × interception — the passive detector's wire-level
+// classification must agree with the simulator's ground truth. This is the
+// invariant the paper's whole dynamic methodology rests on.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dynamicanalysis/detector.h"
+#include "net/flow.h"
+#include "net/mitm_proxy.h"
+#include "tls/handshake.h"
+#include "util/rng.h"
+#include "x509/root_store.h"
+
+namespace pinscope::tls {
+namespace {
+
+enum class PinMode { kNone, kRoot, kIntermediate, kLeaf, kMismatched };
+
+const char* PinModeName(PinMode m) {
+  switch (m) {
+    case PinMode::kNone: return "none";
+    case PinMode::kRoot: return "root";
+    case PinMode::kIntermediate: return "intermediate";
+    case PinMode::kLeaf: return "leaf";
+    case PinMode::kMismatched: return "mismatched";
+  }
+  return "?";
+}
+
+using GridParam = std::tuple<TlsVersion, PinMode, bool /*payload*/,
+                             bool /*intercepted*/, int /*seed*/>;
+
+class HandshakeDetectorGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(HandshakeDetectorGrid, WireClassificationMatchesGroundTruth) {
+  const auto [version, pin_mode, with_payload, intercepted, seed] = GetParam();
+
+  // World: leaf ← intermediate ← catalog root.
+  const auto& root = x509::PublicCaCatalog::Instance().ByLabel("ca.trustanchor");
+  x509::IssueSpec inter_spec;
+  inter_spec.subject.common_name = "Grid Intermediate";
+  inter_spec.not_before = -util::kMillisPerYear;
+  inter_spec.not_after = 5 * util::kMillisPerYear;
+  inter_spec.is_ca = true;
+  const x509::CertificateIssuer inter =
+      root.CreateIntermediate(inter_spec, "grid-inter");
+  util::Rng rng(static_cast<std::uint64_t>(seed) + 1);
+  x509::IssueSpec leaf_spec;
+  leaf_spec.subject.common_name = "grid.example.com";
+  leaf_spec.san_dns = {"grid.example.com"};
+  leaf_spec.not_before = -util::kMillisPerDay;
+  leaf_spec.not_after = util::kMillisPerYear;
+
+  ServerEndpoint server;
+  server.hostname = "grid.example.com";
+  server.chain = {inter.Issue(leaf_spec, rng), inter.certificate(),
+                  root.certificate()};
+
+  net::MitmProxy proxy;
+  x509::RootStore store = x509::PublicCaCatalog::Instance().MozillaStore();
+  store.AddRoot(proxy.CaCertificate());
+
+  ClientTlsConfig client;
+  client.root_store = &store;
+  client.max_version = version;
+  switch (pin_mode) {
+    case PinMode::kNone:
+      break;
+    case PinMode::kRoot:
+      client.pins.AddRule({"grid.example.com", false,
+                           {Pin::ForCertificate(server.chain[2], PinForm::kSpkiSha256)}});
+      break;
+    case PinMode::kIntermediate:
+      client.pins.AddRule({"grid.example.com", false,
+                           {Pin::ForCertificate(server.chain[1], PinForm::kSpkiSha256)}});
+      break;
+    case PinMode::kLeaf:
+      client.pins.AddRule({"grid.example.com", false,
+                           {Pin::ForCertificate(server.chain[0], PinForm::kSpkiSha256)}});
+      break;
+    case PinMode::kMismatched: {
+      const auto& other = x509::PublicCaCatalog::Instance().ByLabel("ca.meridian");
+      client.pins.AddRule(
+          {"grid.example.com", false,
+           {Pin::ForCertificate(other.certificate(), PinForm::kSpkiSha256)}});
+      break;
+    }
+  }
+
+  AppPayload payload;
+  if (with_payload) payload.plaintext = "POST /grid data=0123456789";
+
+  ConnectionOutcome outcome;
+  if (intercepted) {
+    outcome = proxy.Intercept(client, server, payload, 0, rng).outcome;
+  } else {
+    outcome = SimulateDirectConnection(client, server, payload, 0, rng);
+  }
+
+  // Ground truth expectations.
+  const bool pins_defeat_mitm = pin_mode != PinMode::kNone;  // proxy chain never
+                                                             // satisfies any pin
+  const bool expect_complete =
+      pin_mode == PinMode::kMismatched ? false : (!intercepted || !pins_defeat_mitm);
+  EXPECT_EQ(outcome.handshake_complete, expect_complete)
+      << PinModeName(pin_mode) << " intercepted=" << intercepted;
+  EXPECT_EQ(outcome.application_data_sent, expect_complete && with_payload);
+
+  // The central property: passive wire classification == ground truth.
+  const net::Flow flow = net::FlowFromOutcome("grid.example.com", outcome, 0,
+                                              net::FlowOrigin::kApp, false);
+  EXPECT_EQ(dynamicanalysis::IsUsedConnection(flow), outcome.application_data_sent)
+      << TlsVersionName(version) << " pin=" << PinModeName(pin_mode)
+      << " payload=" << with_payload << " mitm=" << intercepted;
+
+  // A connection that failed on certificates/pins must classify as failed.
+  if (!outcome.handshake_complete &&
+      outcome.failure != FailureReason::kNoCommonCipher) {
+    EXPECT_TRUE(dynamicanalysis::IsFailedConnection(flow));
+  }
+  // A used connection must never classify as failed.
+  if (outcome.application_data_sent) {
+    EXPECT_FALSE(dynamicanalysis::IsFailedConnection(flow));
+  }
+}
+
+std::string GridName(const ::testing::TestParamInfo<GridParam>& info) {
+  const auto [version, pin, payload, mitm, seed] = info.param;
+  std::string name = version == TlsVersion::kTls13 ? "Tls13" : "Tls12";
+  name += std::string("_pin") + PinModeName(pin);
+  name += payload ? "_data" : "_idle";
+  name += mitm ? "_mitm" : "_direct";
+  name += "_s" + std::to_string(seed);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HandshakeDetectorGrid,
+    ::testing::Combine(
+        ::testing::Values(TlsVersion::kTls12, TlsVersion::kTls13),
+        ::testing::Values(PinMode::kNone, PinMode::kRoot, PinMode::kIntermediate,
+                          PinMode::kLeaf, PinMode::kMismatched),
+        ::testing::Bool(),        // payload
+        ::testing::Bool(),        // intercepted
+        ::testing::Values(1, 2, 3)),  // record-size jitter seeds
+    GridName);
+
+}  // namespace
+}  // namespace pinscope::tls

@@ -1,0 +1,178 @@
+#include "tls/handshake.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "x509/root_store.h"
+
+namespace pinscope::tls {
+namespace {
+
+// Server for api.hs.com chained under a catalog CA; client trusts that CA.
+struct HsWorld {
+  HsWorld() {
+    const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.globaltrust");
+    util::Rng rng(11);
+    x509::IssueSpec spec;
+    spec.subject.common_name = "api.hs.com";
+    spec.san_dns = {"api.hs.com"};
+    spec.not_before = -30 * util::kMillisPerDay;
+    spec.not_after = util::kMillisPerYear;
+    server.hostname = "api.hs.com";
+    server.chain = {ca.Issue(spec, rng), ca.certificate()};
+    store = x509::PublicCaCatalog::Instance().MozillaStore();
+    client.root_store = &store;
+  }
+  ServerEndpoint server;
+  x509::RootStore store;
+  ClientTlsConfig client;
+};
+
+AppPayload SomePayload() {
+  AppPayload p;
+  p.plaintext = "POST /data HTTP/1.1\r\nbody: hello";
+  return p;
+}
+
+TEST(HandshakeTest, SuccessfulTls13ConnectionCarriesData) {
+  HsWorld w;
+  util::Rng rng(1);
+  const auto out = SimulateDirectConnection(w.client, w.server, SomePayload(), 0, rng);
+  EXPECT_TRUE(out.handshake_complete);
+  EXPECT_TRUE(out.application_data_sent);
+  EXPECT_EQ(out.version, TlsVersion::kTls13);
+  EXPECT_EQ(out.failure, FailureReason::kNone);
+  EXPECT_EQ(out.closure, Closure::kCleanFin);
+  EXPECT_EQ(out.plaintext_sent, SomePayload().plaintext);
+}
+
+TEST(HandshakeTest, Tls13DisguisesEncryptedRecords) {
+  HsWorld w;
+  util::Rng rng(2);
+  const auto out = SimulateDirectConnection(w.client, w.server, SomePayload(), 0, rng);
+  // Every record after ServerHello is wire-typed application data even when
+  // its actual type is handshake or alert.
+  bool saw_disguised = false;
+  for (const Record& r : out.records) {
+    if (r.wire_type == ContentType::kApplicationData &&
+        r.actual_type != ContentType::kApplicationData) {
+      saw_disguised = true;
+    }
+  }
+  EXPECT_TRUE(saw_disguised);
+}
+
+TEST(HandshakeTest, Tls12ExposesTrueContentTypes) {
+  HsWorld w;
+  w.client.max_version = TlsVersion::kTls12;
+  util::Rng rng(3);
+  const auto out = SimulateDirectConnection(w.client, w.server, SomePayload(), 0, rng);
+  EXPECT_EQ(out.version, TlsVersion::kTls12);
+  for (const Record& r : out.records) {
+    EXPECT_EQ(r.wire_type, r.actual_type);
+  }
+}
+
+TEST(HandshakeTest, PinMismatchAbortsWithDisguisedAlert) {
+  HsWorld w;
+  // Pin a certificate that is not in the served chain.
+  const auto& other = x509::PublicCaCatalog::Instance().ByLabel("ca.digisign");
+  w.client.pins.AddRule({"api.hs.com", false,
+                         {Pin::ForCertificate(other.certificate(),
+                                              PinForm::kSpkiSha256)}});
+  util::Rng rng(4);
+  const auto out = SimulateDirectConnection(w.client, w.server, SomePayload(), 0, rng);
+  EXPECT_FALSE(out.handshake_complete);
+  EXPECT_FALSE(out.application_data_sent);
+  EXPECT_EQ(out.failure, FailureReason::kPinMismatch);
+  EXPECT_EQ(out.closure, Closure::kClientReset);
+  // TLS 1.3: the client's abort is a disguised alert of characteristic size.
+  const Record& last = out.records.back();
+  EXPECT_EQ(last.direction, Direction::kClientToServer);
+  EXPECT_EQ(last.wire_type, ContentType::kApplicationData);
+  EXPECT_EQ(last.actual_type, ContentType::kAlert);
+  EXPECT_EQ(last.wire_length, kEncryptedAlertWireLength);
+}
+
+TEST(HandshakeTest, MatchingPinSucceeds) {
+  HsWorld w;
+  w.client.pins.AddRule({"api.hs.com", false,
+                         {Pin::ForCertificate(w.server.chain.back(),
+                                              PinForm::kSpkiSha256)}});
+  util::Rng rng(5);
+  const auto out = SimulateDirectConnection(w.client, w.server, SomePayload(), 0, rng);
+  EXPECT_TRUE(out.handshake_complete);
+  EXPECT_TRUE(out.pin_pass);
+}
+
+TEST(HandshakeTest, UntrustedRootAborts) {
+  HsWorld w;
+  x509::RootStore empty("empty", {});
+  w.client.root_store = &empty;
+  util::Rng rng(6);
+  const auto out = SimulateDirectConnection(w.client, w.server, SomePayload(), 0, rng);
+  EXPECT_EQ(out.failure, FailureReason::kCertificateInvalid);
+  EXPECT_EQ(out.validation.status, x509::ValidationStatus::kUntrustedRoot);
+  EXPECT_EQ(out.closure, Closure::kClientReset);
+}
+
+TEST(HandshakeTest, NoCommonCipherFailsCleanly) {
+  HsWorld w;
+  w.client.offered_ciphers = {CipherSuiteId::kRsaRc4128Md5};
+  w.server.ciphers = {CipherSuiteId::kTlsAes128GcmSha256};
+  util::Rng rng(7);
+  const auto out = SimulateDirectConnection(w.client, w.server, SomePayload(), 0, rng);
+  EXPECT_EQ(out.failure, FailureReason::kNoCommonCipher);
+  EXPECT_FALSE(out.negotiated_cipher.has_value());
+  EXPECT_FALSE(out.handshake_complete);
+}
+
+TEST(HandshakeTest, VersionNegotiatesDownToServerMax) {
+  HsWorld w;
+  w.server.max_version = TlsVersion::kTls12;
+  util::Rng rng(8);
+  const auto out = SimulateDirectConnection(w.client, w.server, SomePayload(), 0, rng);
+  EXPECT_EQ(out.version, TlsVersion::kTls12);
+  EXPECT_TRUE(out.handshake_complete);
+}
+
+TEST(HandshakeTest, EmptyPayloadLeavesConnectionUnused) {
+  HsWorld w;
+  util::Rng rng(9);
+  const auto out = SimulateDirectConnection(w.client, w.server, AppPayload{}, 0, rng);
+  EXPECT_TRUE(out.handshake_complete);
+  EXPECT_FALSE(out.application_data_sent);
+  EXPECT_TRUE(out.plaintext_sent.empty());
+}
+
+TEST(HandshakeTest, OfferedCiphersAreRecorded) {
+  HsWorld w;
+  w.client.offered_ciphers = LegacyCipherOffer();
+  util::Rng rng(10);
+  const auto out = SimulateDirectConnection(w.client, w.server, SomePayload(), 0, rng);
+  EXPECT_EQ(out.offered_ciphers, LegacyCipherOffer());
+}
+
+TEST(HandshakeTest, ThrowsWithoutRootStore) {
+  HsWorld w;
+  ClientTlsConfig bare;
+  util::Rng rng(11);
+  EXPECT_THROW(
+      (void)SimulateDirectConnection(bare, w.server, SomePayload(), 0, rng),
+      util::Error);
+}
+
+TEST(HandshakeTest, ExpiredChainRejectedUnlessDisabled) {
+  HsWorld w;
+  util::Rng rng(12);
+  const util::SimTime later = 3 * util::kMillisPerYear;
+  auto out = SimulateDirectConnection(w.client, w.server, SomePayload(), later, rng);
+  EXPECT_EQ(out.failure, FailureReason::kCertificateInvalid);
+
+  w.client.validation.check_expiry = false;
+  out = SimulateDirectConnection(w.client, w.server, SomePayload(), later, rng);
+  EXPECT_TRUE(out.handshake_complete);
+}
+
+}  // namespace
+}  // namespace pinscope::tls

@@ -1,0 +1,85 @@
+#include "tls/hpkp.h"
+
+#include <gtest/gtest.h>
+
+#include "util/base64.h"
+
+namespace pinscope::tls {
+namespace {
+
+std::string B64Pin(std::uint8_t fill) {
+  return util::Base64Encode(util::Bytes(32, fill));
+}
+
+std::string TwoPinHeader() {
+  return "pin-sha256=\"" + B64Pin(0x11) + "\"; pin-sha256=\"" + B64Pin(0x22) +
+         "\"; max-age=5184000; includeSubDomains; "
+         "report-uri=\"https://example.net/pkp\"";
+}
+
+TEST(HpkpTest, ParsesFullHeader) {
+  const auto header = ParseHpkpHeader(TwoPinHeader());
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->pins.size(), 2u);
+  EXPECT_EQ(header->max_age_seconds, 5184000);
+  EXPECT_TRUE(header->include_subdomains);
+  EXPECT_EQ(header->report_uri, "https://example.net/pkp");
+  EXPECT_TRUE(header->Enforceable());
+}
+
+TEST(HpkpTest, SinglePinIsNotEnforceable) {
+  // RFC 7469 requires a backup pin.
+  const auto header =
+      ParseHpkpHeader("pin-sha256=\"" + B64Pin(0x33) + "\"; max-age=100");
+  ASSERT_TRUE(header.has_value());
+  EXPECT_FALSE(header->Enforceable());
+}
+
+TEST(HpkpTest, MissingMaxAgeIsNotEnforceableUnlessReportOnly) {
+  const std::string no_age = "pin-sha256=\"" + B64Pin(1) + "\"; pin-sha256=\"" +
+                             B64Pin(2) + "\"";
+  EXPECT_FALSE(ParseHpkpHeader(no_age)->Enforceable());
+  EXPECT_TRUE(ParseHpkpHeader(no_age, /*report_only=*/true)->Enforceable());
+}
+
+TEST(HpkpTest, NoPinsYieldsNullopt) {
+  EXPECT_FALSE(ParseHpkpHeader("max-age=100; includeSubDomains").has_value());
+  EXPECT_FALSE(ParseHpkpHeader("").has_value());
+}
+
+TEST(HpkpTest, MalformedPinBodiesAreSkipped) {
+  const auto header = ParseHpkpHeader(
+      "pin-sha256=\"!!!\"; pin-sha256=\"" + B64Pin(0x44) + "\"; max-age=1");
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->pins.size(), 1u);
+}
+
+TEST(HpkpTest, DirectiveNamesAreCaseInsensitive) {
+  const auto header = ParseHpkpHeader("PIN-SHA256=\"" + B64Pin(5) +
+                                      "\"; Pin-Sha256=\"" + B64Pin(6) +
+                                      "\"; MAX-AGE=9; INCLUDESUBDOMAINS");
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->pins.size(), 2u);
+  EXPECT_EQ(header->max_age_seconds, 9);
+  EXPECT_TRUE(header->include_subdomains);
+}
+
+TEST(HpkpTest, ToRuleBuildsUsablePolicy) {
+  const auto header = ParseHpkpHeader(TwoPinHeader());
+  PinPolicy policy;
+  policy.AddRule(header->ToRule("example.com"));
+  EXPECT_TRUE(policy.IsPinned("example.com"));
+  EXPECT_TRUE(policy.IsPinned("api.example.com"));  // includeSubDomains
+  EXPECT_FALSE(policy.IsPinned("other.com"));
+}
+
+TEST(HpkpTest, UnknownDirectivesIgnored) {
+  const auto header = ParseHpkpHeader("pin-sha256=\"" + B64Pin(7) +
+                                      "\"; pin-sha256=\"" + B64Pin(8) +
+                                      "\"; max-age=1; strict-thing=yes");
+  ASSERT_TRUE(header.has_value());
+  EXPECT_TRUE(header->Enforceable());
+}
+
+}  // namespace
+}  // namespace pinscope::tls

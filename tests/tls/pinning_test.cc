@@ -1,0 +1,182 @@
+#include "tls/pinning.h"
+
+#include <gtest/gtest.h>
+
+#include "util/base64.h"
+#include "util/rng.h"
+#include "x509/issuer.h"
+
+namespace pinscope::tls {
+namespace {
+
+struct PinWorld {
+  PinWorld()
+      : root(x509::CertificateIssuer::SelfSignedRoot(
+            "pin-root", x509::DistinguishedName{"Pin Root CA", "", "US"},
+            -util::kMillisPerYear, 10 * util::kMillisPerYear)) {
+    util::Rng rng(3);
+    x509::IssueSpec spec;
+    spec.subject.common_name = "pin.test.com";
+    spec.san_dns = {"pin.test.com"};
+    leaf = root.Issue(spec, rng);
+    chain = {leaf, root.certificate()};
+  }
+  x509::CertificateIssuer root;
+  x509::Certificate leaf;
+  x509::CertificateChain chain;
+};
+
+class PinFormTest : public ::testing::TestWithParam<PinForm> {};
+
+TEST_P(PinFormTest, PinMatchesItsOwnCertificate) {
+  PinWorld w;
+  const Pin pin = Pin::ForCertificate(w.leaf, GetParam());
+  EXPECT_TRUE(pin.Matches(w.leaf));
+  EXPECT_FALSE(pin.Matches(w.root.certificate()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllForms, PinFormTest,
+                         ::testing::Values(PinForm::kSpkiSha256,
+                                           PinForm::kSpkiSha1,
+                                           PinForm::kCertificate,
+                                           PinForm::kPublicKey));
+
+TEST(PinTest, SpkiPinSurvivesKeyReusingRenewal) {
+  // §5.3.3: renewal that keeps the key must keep SPKI pins valid; a full
+  // certificate pin must break.
+  PinWorld w;
+  const Pin spki = Pin::ForCertificate(w.leaf, PinForm::kSpkiSha256);
+  const Pin cert_pin = Pin::ForCertificate(w.leaf, PinForm::kCertificate);
+  const Pin key_pin = Pin::ForCertificate(w.leaf, PinForm::kPublicKey);
+
+  // Reissue for the same key with a fresh validity window.
+  const crypto::KeyPair key = crypto::KeyPair::FromLabel("renewal-key");
+  x509::IssueSpec spec;
+  spec.subject.common_name = "pin.test.com";
+  spec.san_dns = {"pin.test.com"};
+  const x509::Certificate old_leaf = w.root.IssueForKey(spec, key);
+  spec.not_after = 2 * util::kMillisPerYear;
+  const x509::Certificate new_leaf = w.root.IssueForKey(spec, key);
+
+  const Pin old_spki = Pin::ForCertificate(old_leaf, PinForm::kSpkiSha256);
+  const Pin old_cert = Pin::ForCertificate(old_leaf, PinForm::kCertificate);
+  const Pin old_key = Pin::ForCertificate(old_leaf, PinForm::kPublicKey);
+  EXPECT_TRUE(old_spki.Matches(new_leaf));
+  EXPECT_TRUE(old_key.Matches(new_leaf));
+  EXPECT_FALSE(old_cert.Matches(new_leaf));
+  (void)spki;
+  (void)cert_pin;
+  (void)key_pin;
+}
+
+TEST(PinTest, PinStringRoundTrips) {
+  PinWorld w;
+  for (PinForm form : {PinForm::kSpkiSha256, PinForm::kSpkiSha1}) {
+    const Pin pin = Pin::ForCertificate(w.leaf, form);
+    const auto parsed = Pin::FromPinString(pin.ToPinString());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, pin);
+  }
+}
+
+TEST(PinTest, FromPinStringRejectsMalformedInput) {
+  EXPECT_FALSE(Pin::FromPinString("md5/AAAA").has_value());
+  EXPECT_FALSE(Pin::FromPinString("sha256/!!!").has_value());
+  EXPECT_FALSE(Pin::FromPinString("sha256/Zm9v").has_value());  // wrong length
+  EXPECT_FALSE(Pin::FromPinString("").has_value());
+  // sha1 digest length under a sha256 prefix must be rejected.
+  const std::string sha1_b64 = util::Base64Encode(util::Bytes(20, 0xab));
+  EXPECT_FALSE(Pin::FromPinString("sha256/" + sha1_b64).has_value());
+  EXPECT_TRUE(Pin::FromPinString("sha1/" + sha1_b64).has_value());
+}
+
+TEST(DomainPinRuleTest, ExactAndWildcardApplication) {
+  DomainPinRule rule;
+  rule.pattern = "*.example.com";
+  EXPECT_TRUE(rule.AppliesTo("api.example.com"));
+  EXPECT_FALSE(rule.AppliesTo("deep.api.example.com"));
+  EXPECT_FALSE(rule.AppliesTo("example.com"));
+}
+
+TEST(DomainPinRuleTest, IncludeSubdomainsCoversSubtree) {
+  DomainPinRule rule;
+  rule.pattern = "example.com";
+  rule.include_subdomains = true;
+  EXPECT_TRUE(rule.AppliesTo("example.com"));
+  EXPECT_TRUE(rule.AppliesTo("api.example.com"));
+  EXPECT_TRUE(rule.AppliesTo("deep.api.example.com"));
+  EXPECT_FALSE(rule.AppliesTo("notexample.com"));
+}
+
+TEST(PinPolicyTest, UnpinnedHostAlwaysPasses) {
+  PinWorld w;
+  PinPolicy policy;
+  EXPECT_TRUE(policy.Evaluate("anything.com", w.chain));
+  EXPECT_FALSE(policy.IsPinned("anything.com"));
+}
+
+TEST(PinPolicyTest, MatchingChainPasses) {
+  PinWorld w;
+  PinPolicy policy;
+  policy.AddRule({"pin.test.com", false,
+                  {Pin::ForCertificate(w.root.certificate(), PinForm::kSpkiSha256)}});
+  EXPECT_TRUE(policy.IsPinned("pin.test.com"));
+  EXPECT_TRUE(policy.Evaluate("pin.test.com", w.chain));
+}
+
+TEST(PinPolicyTest, AnyChainElementSatisfiesPin) {
+  // §2.1: pinned certificates "could be any certificate in the chain".
+  PinWorld w;
+  for (const x509::Certificate& cert : w.chain) {
+    PinPolicy policy;
+    policy.AddRule(
+        {"pin.test.com", false, {Pin::ForCertificate(cert, PinForm::kSpkiSha256)}});
+    EXPECT_TRUE(policy.Evaluate("pin.test.com", w.chain));
+  }
+}
+
+TEST(PinPolicyTest, MismatchedChainFails) {
+  PinWorld w;
+  const x509::CertificateIssuer other = x509::CertificateIssuer::SelfSignedRoot(
+      "other-root", x509::DistinguishedName{"Other CA", "", "US"},
+      -util::kMillisPerYear, util::kMillisPerYear);
+  PinPolicy policy;
+  policy.AddRule({"pin.test.com", false,
+                  {Pin::ForCertificate(other.certificate(), PinForm::kSpkiSha256)}});
+  EXPECT_FALSE(policy.Evaluate("pin.test.com", w.chain));
+}
+
+TEST(PinPolicyTest, PinsForUnionsAcrossRules) {
+  PinWorld w;
+  PinPolicy policy;
+  policy.AddRule({"pin.test.com", false,
+                  {Pin::ForCertificate(w.leaf, PinForm::kSpkiSha256)}});
+  policy.AddRule({"pin.test.com", false,
+                  {Pin::ForCertificate(w.root.certificate(), PinForm::kSpkiSha256)}});
+  EXPECT_EQ(policy.PinsFor("pin.test.com").size(), 2u);
+  // Duplicates collapse.
+  policy.AddRule({"pin.test.com", false,
+                  {Pin::ForCertificate(w.leaf, PinForm::kSpkiSha256)}});
+  EXPECT_EQ(policy.PinsFor("pin.test.com").size(), 2u);
+}
+
+TEST(PinPolicyTest, EvaluateFailsWhenNoPinMatchesInterceptedChain) {
+  // The MITM scenario: policy pins the genuine root; the forged chain chains
+  // to a different CA.
+  PinWorld w;
+  PinPolicy policy;
+  policy.AddRule({"pin.test.com", false,
+                  {Pin::ForCertificate(w.root.certificate(), PinForm::kSpkiSha256)}});
+  const x509::CertificateIssuer proxy = x509::CertificateIssuer::SelfSignedRoot(
+      "proxy", x509::DistinguishedName{"mitmproxy", "", "US"},
+      -util::kMillisPerYear, util::kMillisPerYear);
+  util::Rng rng(5);
+  x509::IssueSpec spec;
+  spec.subject.common_name = "pin.test.com";
+  spec.san_dns = {"pin.test.com"};
+  const x509::CertificateChain forged = {proxy.Issue(spec, rng), proxy.certificate()};
+  EXPECT_FALSE(policy.Evaluate("pin.test.com", forged));
+}
+
+}  // namespace
+}  // namespace pinscope::tls

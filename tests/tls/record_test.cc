@@ -1,0 +1,51 @@
+#include "tls/record.h"
+
+#include <gtest/gtest.h>
+
+namespace pinscope::tls {
+namespace {
+
+TEST(RecordTest, ContentTypeNames) {
+  EXPECT_EQ(ContentTypeName(ContentType::kHandshake), "handshake");
+  EXPECT_EQ(ContentTypeName(ContentType::kAlert), "alert");
+  EXPECT_EQ(ContentTypeName(ContentType::kApplicationData), "application_data");
+  EXPECT_EQ(ContentTypeName(ContentType::kChangeCipherSpec), "change_cipher_spec");
+}
+
+TEST(RecordTest, WireValuesMatchRfc) {
+  EXPECT_EQ(static_cast<int>(ContentType::kChangeCipherSpec), 20);
+  EXPECT_EQ(static_cast<int>(ContentType::kAlert), 21);
+  EXPECT_EQ(static_cast<int>(ContentType::kHandshake), 22);
+  EXPECT_EQ(static_cast<int>(ContentType::kApplicationData), 23);
+}
+
+TEST(RecordTest, CountWireTypeFiltersDirectionAndType) {
+  std::vector<Record> records = {
+      {Direction::kClientToServer, ContentType::kApplicationData,
+       ContentType::kApplicationData, 100, {}, 0},
+      {Direction::kServerToClient, ContentType::kApplicationData,
+       ContentType::kApplicationData, 100, {}, 1},
+      {Direction::kClientToServer, ContentType::kHandshake,
+       ContentType::kHandshake, 100, {}, 2},
+  };
+  EXPECT_EQ(CountWireType(records, Direction::kClientToServer,
+                          ContentType::kApplicationData),
+            1u);
+  EXPECT_EQ(CountWireType(records, Direction::kServerToClient,
+                          ContentType::kApplicationData),
+            1u);
+  EXPECT_EQ(CountWireType(records, Direction::kClientToServer,
+                          ContentType::kAlert),
+            0u);
+  EXPECT_EQ(CountWireType({}, Direction::kClientToServer,
+                          ContentType::kAlert),
+            0u);
+}
+
+TEST(RecordTest, EncryptedAlertLengthConstant) {
+  // 2 alert bytes + 1 content-type byte + 16-byte tag + 5-byte header.
+  EXPECT_EQ(kEncryptedAlertWireLength, 24u);
+}
+
+}  // namespace
+}  // namespace pinscope::tls

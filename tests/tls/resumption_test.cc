@@ -1,0 +1,166 @@
+// Session resumption and version-floor negotiation.
+#include <gtest/gtest.h>
+
+#include "dynamicanalysis/detector.h"
+#include "net/flow.h"
+#include "tls/handshake.h"
+#include "util/rng.h"
+#include "x509/root_store.h"
+
+namespace pinscope::tls {
+namespace {
+
+struct ResumeWorld {
+  ResumeWorld() : store(x509::PublicCaCatalog::Instance().MozillaStore()) {
+    const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.securewire");
+    util::Rng rng(41);
+    x509::IssueSpec spec;
+    spec.subject.common_name = "resume.example.com";
+    spec.san_dns = {"resume.example.com"};
+    spec.not_before = -util::kMillisPerDay;
+    spec.not_after = util::kMillisPerYear;
+    server.hostname = "resume.example.com";
+    server.chain = {ca.Issue(spec, rng), ca.certificate()};
+    client.root_store = &store;
+    payload.plaintext = "POST /sync data=1";
+  }
+  ServerEndpoint server;
+  x509::RootStore store;
+  ClientTlsConfig client;
+  AppPayload payload;
+};
+
+SessionTicket GetTicket(ResumeWorld& w, util::Rng& rng) {
+  const auto outcome = SimulateDirectConnection(w.client, w.server, w.payload, 0, rng);
+  EXPECT_TRUE(outcome.ticket.has_value());
+  return *outcome.ticket;
+}
+
+TEST(ResumptionTest, FullHandshakeIssuesTicket) {
+  ResumeWorld w;
+  util::Rng rng(1);
+  const auto outcome = SimulateDirectConnection(w.client, w.server, w.payload, 0, rng);
+  ASSERT_TRUE(outcome.ticket.has_value());
+  EXPECT_EQ(outcome.ticket->hostname, "resume.example.com");
+  EXPECT_EQ(outcome.ticket->chain_at_issue.size(), w.server.chain.size());
+  EXPECT_FALSE(outcome.resumed);
+}
+
+TEST(ResumptionTest, NoTicketWhenServerDisablesThem) {
+  ResumeWorld w;
+  w.server.issues_session_tickets = false;
+  util::Rng rng(2);
+  const auto outcome = SimulateDirectConnection(w.client, w.server, w.payload, 0, rng);
+  EXPECT_FALSE(outcome.ticket.has_value());
+}
+
+TEST(ResumptionTest, ResumedHandshakeSkipsCertificateFlight) {
+  ResumeWorld w;
+  util::Rng rng(3);
+  const SessionTicket ticket = GetTicket(w, rng);
+  const auto resumed =
+      SimulateResumedConnection(w.client, w.server, ticket, w.payload, 0, rng);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_TRUE(resumed.handshake_complete);
+  EXPECT_TRUE(resumed.application_data_sent);
+  // The resumed flight is much shorter — no certificate chain on the wire.
+  const auto full = SimulateDirectConnection(w.client, w.server, w.payload, 0, rng);
+  std::uint32_t resumed_bytes = 0, full_bytes = 0;
+  for (const Record& r : resumed.records) resumed_bytes += r.wire_length;
+  for (const Record& r : full.records) full_bytes += r.wire_length;
+  EXPECT_LT(resumed_bytes, full_bytes / 2);
+}
+
+TEST(ResumptionTest, RevalidatingStackStillEnforcesPins) {
+  ResumeWorld w;
+  util::Rng rng(4);
+  const SessionTicket ticket = GetTicket(w, rng);
+  // The app updates its pins to something the cached chain does not satisfy.
+  const auto& other = x509::PublicCaCatalog::Instance().ByLabel("ca.orionsign");
+  w.client.pins.AddRule(
+      {"resume.example.com", false,
+       {Pin::ForCertificate(other.certificate(), PinForm::kSpkiSha256)}});
+  const auto resumed =
+      SimulateResumedConnection(w.client, w.server, ticket, w.payload, 0, rng);
+  EXPECT_EQ(resumed.failure, FailureReason::kPinMismatch);
+  EXPECT_FALSE(resumed.application_data_sent);
+}
+
+TEST(ResumptionTest, NonRevalidatingStackBypassesPins) {
+  // The resumption pin-bypass class: a stack that only pins on full
+  // handshakes silently trusts whatever session it resumes.
+  ResumeWorld w;
+  util::Rng rng(5);
+  const SessionTicket ticket = GetTicket(w, rng);
+  const auto& other = x509::PublicCaCatalog::Instance().ByLabel("ca.orionsign");
+  w.client.pins.AddRule(
+      {"resume.example.com", false,
+       {Pin::ForCertificate(other.certificate(), PinForm::kSpkiSha256)}});
+  w.client.revalidates_on_resumption = false;
+  const auto resumed =
+      SimulateResumedConnection(w.client, w.server, ticket, w.payload, 0, rng);
+  EXPECT_TRUE(resumed.handshake_complete);
+  EXPECT_TRUE(resumed.application_data_sent);
+}
+
+TEST(ResumptionTest, ExpiredCachedChainRejectedOnRevalidation) {
+  ResumeWorld w;
+  util::Rng rng(6);
+  const SessionTicket ticket = GetTicket(w, rng);
+  const auto resumed = SimulateResumedConnection(
+      w.client, w.server, ticket, w.payload, 3 * util::kMillisPerYear, rng);
+  EXPECT_EQ(resumed.failure, FailureReason::kCertificateInvalid);
+}
+
+TEST(ResumptionTest, ResumedUsedConnectionStillClassifiesAsUsed) {
+  ResumeWorld w;
+  util::Rng rng(7);
+  const SessionTicket ticket = GetTicket(w, rng);
+  const auto resumed =
+      SimulateResumedConnection(w.client, w.server, ticket, w.payload, 0, rng);
+  const net::Flow flow = net::FlowFromOutcome("resume.example.com", resumed, 0,
+                                              net::FlowOrigin::kApp, false);
+  EXPECT_TRUE(dynamicanalysis::IsUsedConnection(flow));
+}
+
+TEST(ResumptionTest, TicketHostnameMismatchThrows) {
+  ResumeWorld w;
+  util::Rng rng(8);
+  SessionTicket ticket = GetTicket(w, rng);
+  ticket.hostname = "other.example.com";
+  EXPECT_THROW((void)SimulateResumedConnection(w.client, w.server, ticket,
+                                               w.payload, 0, rng),
+               util::Error);
+}
+
+TEST(VersionFloorTest, IncompatibleRangesFailCleanly) {
+  ResumeWorld w;
+  w.client.min_version = TlsVersion::kTls13;
+  w.server.max_version = TlsVersion::kTls12;
+  util::Rng rng(9);
+  const auto outcome = SimulateDirectConnection(w.client, w.server, w.payload, 0, rng);
+  EXPECT_EQ(outcome.failure, FailureReason::kProtocolVersion);
+  EXPECT_FALSE(outcome.handshake_complete);
+}
+
+TEST(VersionFloorTest, ServerFloorRespected) {
+  ResumeWorld w;
+  w.server.min_version = TlsVersion::kTls12;
+  w.client.max_version = TlsVersion::kTls11;
+  util::Rng rng(10);
+  const auto outcome = SimulateDirectConnection(w.client, w.server, w.payload, 0, rng);
+  EXPECT_EQ(outcome.failure, FailureReason::kProtocolVersion);
+}
+
+TEST(VersionFloorTest, OverlapNegotiatesHighestCommon) {
+  ResumeWorld w;
+  w.client.min_version = TlsVersion::kTls11;
+  w.client.max_version = TlsVersion::kTls12;
+  util::Rng rng(11);
+  const auto outcome = SimulateDirectConnection(w.client, w.server, w.payload, 0, rng);
+  EXPECT_TRUE(outcome.handshake_complete);
+  EXPECT_EQ(outcome.version, TlsVersion::kTls12);
+}
+
+}  // namespace
+}  // namespace pinscope::tls

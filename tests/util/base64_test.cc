@@ -1,0 +1,70 @@
+#include "util/base64.h"
+
+#include <gtest/gtest.h>
+
+namespace pinscope::util {
+namespace {
+
+TEST(Base64Test, EncodesRfc4648Vectors) {
+  EXPECT_EQ(Base64Encode(ToBytes("")), "");
+  EXPECT_EQ(Base64Encode(ToBytes("f")), "Zg==");
+  EXPECT_EQ(Base64Encode(ToBytes("fo")), "Zm8=");
+  EXPECT_EQ(Base64Encode(ToBytes("foo")), "Zm9v");
+  EXPECT_EQ(Base64Encode(ToBytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode(ToBytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode(ToBytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodesRfc4648Vectors) {
+  EXPECT_EQ(ToString(*Base64Decode("Zm9vYmFy")), "foobar");
+  EXPECT_EQ(ToString(*Base64Decode("Zm9vYg==")), "foob");
+  EXPECT_EQ(ToString(*Base64Decode("Zg==")), "f");
+  EXPECT_EQ(ToString(*Base64Decode("")), "");
+}
+
+TEST(Base64Test, DecodesUnpaddedInput) {
+  EXPECT_EQ(ToString(*Base64Decode("Zm9vYg")), "foob");
+  EXPECT_EQ(ToString(*Base64Decode("Zg")), "f");
+}
+
+TEST(Base64Test, RejectsIllegalCharacters) {
+  EXPECT_FALSE(Base64Decode("Zm9v!mFy").has_value());
+  EXPECT_FALSE(Base64Decode("Zm9v YmFy").has_value());
+  EXPECT_FALSE(Base64Decode("Zm9v\nYmFy").has_value());
+}
+
+TEST(Base64Test, RejectsImpossibleLength) {
+  // A single leftover sextet cannot encode a byte.
+  EXPECT_FALSE(Base64Decode("A").has_value());
+  EXPECT_FALSE(Base64Decode("AAAAA").has_value());
+}
+
+TEST(Base64Test, IsBase64String) {
+  EXPECT_TRUE(IsBase64String("Zm9vYmFy"));
+  EXPECT_TRUE(IsBase64String("Zm9vYg=="));
+  EXPECT_TRUE(IsBase64String("ab+/09=="));
+  EXPECT_FALSE(IsBase64String(""));
+  EXPECT_FALSE(IsBase64String("sp ace"));
+  EXPECT_FALSE(IsBase64String("===="));  // too much padding
+}
+
+// Property: decode(encode(x)) == x for arbitrary binary buffers.
+class Base64RoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Base64RoundTrip, RoundTripsBinary) {
+  Bytes data;
+  data.reserve(GetParam());
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    data.push_back(static_cast<std::uint8_t>((i * 37 + 11) & 0xff));
+  }
+  const auto decoded = Base64Decode(Base64Encode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Base64RoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 31, 32, 33, 255,
+                                           256, 1000));
+
+}  // namespace
+}  // namespace pinscope::util

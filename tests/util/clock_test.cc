@@ -1,0 +1,29 @@
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace pinscope::util {
+namespace {
+
+TEST(SimClockTest, StartsAtEpochByDefault) {
+  EXPECT_EQ(SimClock().Now(), kStudyEpoch);
+  EXPECT_EQ(SimClock(42).Now(), 42);
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  clock.Advance(1'000);
+  EXPECT_EQ(clock.Now(), 1'000);
+  clock.Advance(-500);  // ignored: time never goes backwards
+  EXPECT_EQ(clock.Now(), 1'000);
+  clock.Advance(0);
+  EXPECT_EQ(clock.Now(), 1'000);
+}
+
+TEST(SimClockTest, UnitConstantsAreConsistent) {
+  EXPECT_EQ(kMillisPerDay, 86'400 * kMillisPerSecond);
+  EXPECT_EQ(kMillisPerYear, 365 * kMillisPerDay);
+}
+
+}  // namespace
+}  // namespace pinscope::util

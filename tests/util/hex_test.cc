@@ -1,0 +1,47 @@
+#include "util/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace pinscope::util {
+namespace {
+
+TEST(HexTest, EncodesLowercase) {
+  EXPECT_EQ(HexEncode({0x00, 0xff, 0x1a, 0xb2}), "00ff1ab2");
+  EXPECT_EQ(HexEncode({}), "");
+}
+
+TEST(HexTest, DecodesBothCases) {
+  EXPECT_EQ(*HexDecode("00ff1ab2"), (Bytes{0x00, 0xff, 0x1a, 0xb2}));
+  EXPECT_EQ(*HexDecode("00FF1AB2"), (Bytes{0x00, 0xff, 0x1a, 0xb2}));
+  EXPECT_EQ(*HexDecode(""), Bytes{});
+}
+
+TEST(HexTest, RejectsOddLength) { EXPECT_FALSE(HexDecode("abc").has_value()); }
+
+TEST(HexTest, RejectsNonHex) {
+  EXPECT_FALSE(HexDecode("zz").has_value());
+  EXPECT_FALSE(HexDecode("0g").has_value());
+}
+
+TEST(HexTest, IsHexString) {
+  EXPECT_TRUE(IsHexString("deadbeef"));
+  EXPECT_TRUE(IsHexString("DEADBEEF"));
+  EXPECT_FALSE(IsHexString(""));
+  EXPECT_FALSE(IsHexString("xyz"));
+}
+
+class HexRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HexRoundTrip, RoundTrips) {
+  Bytes data;
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    data.push_back(static_cast<std::uint8_t>(i * 101 + 7));
+  }
+  EXPECT_EQ(*HexDecode(HexEncode(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, HexRoundTrip,
+                         ::testing::Values(0, 1, 2, 16, 20, 32, 64, 257));
+
+}  // namespace
+}  // namespace pinscope::util

@@ -1,0 +1,138 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pinscope::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntThrowsOnInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.UniformInt(5, 4), Error);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(19);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[rng.WeightedIndex({1.0, 2.0, 7.0})];
+  }
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.7, 0.02);
+}
+
+TEST(RngTest, WeightedIndexRejectsDegenerateInput) {
+  Rng rng(1);
+  EXPECT_THROW(rng.WeightedIndex({}), Error);
+  EXPECT_THROW(rng.WeightedIndex({0.0, 0.0}), Error);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndBounded) {
+  Rng rng(23);
+  const auto sample = rng.SampleIndices(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(RngTest, SampleIndicesClampsToPopulation) {
+  Rng rng(29);
+  EXPECT_EQ(rng.SampleIndices(5, 50).size(), 5u);
+}
+
+TEST(RngTest, ForkIsIndependentAndStable) {
+  Rng base(31);
+  Rng f1 = base.Fork("alpha");
+  Rng f2 = base.Fork("alpha");
+  Rng f3 = base.Fork("beta");
+  EXPECT_EQ(f1.NextU64(), f2.NextU64());  // same label → same stream
+  Rng f4 = base.Fork("beta");
+  EXPECT_NE(f3.NextU64(), f1.NextU64());
+  (void)f4;
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(RngTest, IdentifierHasRequestedLength) {
+  Rng rng(41);
+  EXPECT_EQ(rng.Identifier(12).size(), 12u);
+  EXPECT_EQ(rng.Identifier(0).size(), 0u);
+}
+
+TEST(StableHashTest, StableAndDiscriminating) {
+  EXPECT_EQ(StableHash64("abc"), StableHash64("abc"));
+  EXPECT_NE(StableHash64("abc"), StableHash64("abd"));
+  EXPECT_NE(StableHash64(""), StableHash64("a"));
+}
+
+}  // namespace
+}  // namespace pinscope::util

@@ -1,0 +1,60 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace pinscope::util {
+namespace {
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringsTest, JoinInvertsSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, "--"), "x");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC123.PEM"), "abc123.pem");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("sha256/abc", "sha256/"));
+  EXPECT_FALSE(StartsWith("sha", "sha256/"));
+  EXPECT_TRUE(EndsWith("cert.pem", ".pem"));
+  EXPECT_FALSE(EndsWith("pem", ".pem"));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StringsTest, Contains) {
+  EXPECT_TRUE(Contains("hello world", "lo wo"));
+  EXPECT_FALSE(Contains("hello", "world"));
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a{{x}}b{{x}}", "{{x}}", "1"), "a1b1");
+  EXPECT_EQ(ReplaceAll("no placeholders", "{{x}}", "1"), "no placeholders");
+  EXPECT_EQ(ReplaceAll("aaaa", "aa", "b"), "bb");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(StringsTest, Percent) {
+  EXPECT_EQ(Percent(0.0817, 2), "8.17%");
+  EXPECT_EQ(Percent(1.0, 1), "100.0%");
+  EXPECT_EQ(Percent(0.0, 1), "0.0%");
+}
+
+}  // namespace
+}  // namespace pinscope::util

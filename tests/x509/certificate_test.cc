@@ -1,0 +1,121 @@
+#include "x509/certificate.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "x509/issuer.h"
+
+namespace pinscope::x509 {
+namespace {
+
+Certificate MakeLeaf(const std::string& host) {
+  IssueSpec spec;
+  spec.subject.common_name = host;
+  spec.san_dns = {host, "alt." + host};
+  spec.not_before = 0;
+  spec.not_after = util::kMillisPerYear;
+  return CertificateIssuer::SelfSignedLeaf("leaf:" + host, spec);
+}
+
+TEST(CertificateTest, DerRoundTrips) {
+  const Certificate cert = MakeLeaf("api.example.com");
+  const auto parsed = Certificate::ParseDer(cert.DerBytes());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, cert);
+  EXPECT_EQ(parsed->subject().common_name, "api.example.com");
+  EXPECT_EQ(parsed->san_dns().size(), 2u);
+  EXPECT_EQ(parsed->signature(), cert.signature());
+}
+
+TEST(CertificateTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Certificate::ParseDer(util::ToBytes("not a cert")).has_value());
+  EXPECT_FALSE(Certificate::ParseDer({}).has_value());
+}
+
+TEST(CertificateTest, ParseRejectsTruncatedFields) {
+  const Certificate cert = MakeLeaf("x.example.com");
+  util::Bytes der = cert.DerBytes();
+  der.resize(der.size() / 2);
+  // Either parse failure or a cert missing its signature — never a crash.
+  const auto parsed = Certificate::ParseDer(der);
+  if (parsed.has_value()) {
+    EXPECT_NE(*parsed, cert);
+  }
+}
+
+TEST(CertificateTest, FingerprintIdentifiesCertificate) {
+  const Certificate a = MakeLeaf("a.example.com");
+  const Certificate b = MakeLeaf("b.example.com");
+  EXPECT_EQ(a.FingerprintSha256(), a.FingerprintSha256());
+  EXPECT_NE(a.FingerprintSha256(), b.FingerprintSha256());
+}
+
+TEST(CertificateTest, SpkiDigestTracksKeyNotName) {
+  // Two certs over the same key share SPKI digests.
+  const crypto::KeyPair key = crypto::KeyPair::FromLabel("shared");
+  const CertificateIssuer ca = CertificateIssuer::SelfSignedRoot(
+      "ca", DistinguishedName{"Test CA", "T", "US"}, -util::kMillisPerYear,
+      util::kMillisPerYear * 10);
+  IssueSpec s1;
+  s1.subject.common_name = "one.example.com";
+  IssueSpec s2;
+  s2.subject.common_name = "two.example.com";
+  const Certificate c1 = ca.IssueForKey(s1, key);
+  const Certificate c2 = ca.IssueForKey(s2, key);
+  EXPECT_EQ(c1.SpkiSha256(), c2.SpkiSha256());
+  EXPECT_NE(c1.FingerprintSha256(), c2.FingerprintSha256());
+}
+
+TEST(CertificateTest, ValidityHelpers) {
+  const Certificate cert = MakeLeaf("v.example.com");
+  EXPECT_TRUE(cert.InValidityWindow(util::kMillisPerDay));
+  EXPECT_FALSE(cert.InValidityWindow(-1));
+  EXPECT_FALSE(cert.InValidityWindow(2 * util::kMillisPerYear));
+  EXPECT_EQ(cert.ValidityDays(), 365);
+}
+
+TEST(HostnameMatchTest, ExactMatch) {
+  EXPECT_TRUE(HostnameMatchesPattern("api.example.com", "api.example.com"));
+  EXPECT_FALSE(HostnameMatchesPattern("api.example.com", "www.example.com"));
+}
+
+TEST(HostnameMatchTest, WildcardMatchesSingleLabel) {
+  EXPECT_TRUE(HostnameMatchesPattern("api.example.com", "*.example.com"));
+  EXPECT_FALSE(HostnameMatchesPattern("a.b.example.com", "*.example.com"));
+  EXPECT_FALSE(HostnameMatchesPattern("example.com", "*.example.com"));
+}
+
+TEST(HostnameMatchTest, EmptyInputsNeverMatch) {
+  EXPECT_FALSE(HostnameMatchesPattern("", "*.example.com"));
+  EXPECT_FALSE(HostnameMatchesPattern("x.example.com", ""));
+}
+
+TEST(CertificateTest, MatchesHostnameViaSan) {
+  const Certificate cert = MakeLeaf("api.example.com");
+  EXPECT_TRUE(cert.MatchesHostname("api.example.com"));
+  EXPECT_TRUE(cert.MatchesHostname("alt.api.example.com"));
+  EXPECT_FALSE(cert.MatchesHostname("evil.com"));
+}
+
+TEST(CertificateTest, FallsBackToCommonNameWithoutSans) {
+  IssueSpec spec;
+  spec.subject.common_name = "cn-only.example.com";
+  const Certificate cert = CertificateIssuer::SelfSignedLeaf("cn-only", spec);
+  EXPECT_TRUE(cert.MatchesHostname("cn-only.example.com"));
+  EXPECT_FALSE(cert.MatchesHostname("other.example.com"));
+}
+
+TEST(DistinguishedNameTest, RoundTrips) {
+  DistinguishedName dn{"api.example.com", "Example Corp", "US"};
+  EXPECT_EQ(DistinguishedName::Parse(dn.ToString()), dn);
+  EXPECT_EQ(dn.ToString(), "CN=api.example.com,O=Example Corp,C=US");
+}
+
+TEST(DistinguishedNameTest, ParsesPartialNames) {
+  const DistinguishedName dn = DistinguishedName::Parse("CN=only-cn");
+  EXPECT_EQ(dn.common_name, "only-cn");
+  EXPECT_TRUE(dn.organization.empty());
+}
+
+}  // namespace
+}  // namespace pinscope::x509

@@ -1,0 +1,133 @@
+// Issuance properties across the algorithm × depth × validity grid.
+#include "x509/issuer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "util/rng.h"
+#include "x509/root_store.h"
+#include "x509/validation.h"
+
+namespace pinscope::x509 {
+namespace {
+
+TEST(IssuerTest, SignaturesBindContentToIssuer) {
+  const CertificateIssuer root = CertificateIssuer::SelfSignedRoot(
+      "sig-root", DistinguishedName{"Sig Root", "", "US"}, -util::kMillisPerYear,
+      util::kMillisPerYear * 10);
+  util::Rng rng(1);
+  IssueSpec spec;
+  spec.subject.common_name = "a.example.com";
+  const Certificate cert = root.Issue(spec, rng);
+  EXPECT_TRUE(VerifySignature(cert, root.certificate().spki()));
+  // Wrong issuer key material fails verification.
+  const CertificateIssuer other = CertificateIssuer::SelfSignedRoot(
+      "sig-other", DistinguishedName{"Other Root", "", "US"},
+      -util::kMillisPerYear, util::kMillisPerYear * 10);
+  EXPECT_FALSE(VerifySignature(cert, other.certificate().spki()));
+}
+
+TEST(IssuerTest, SerialsAreUniquePerIssuer) {
+  const CertificateIssuer root = CertificateIssuer::SelfSignedRoot(
+      "serial-root", DistinguishedName{"Serial Root", "", "US"},
+      -util::kMillisPerYear, util::kMillisPerYear * 10);
+  util::Rng rng(2);
+  std::set<std::string> serials;
+  for (int i = 0; i < 50; ++i) {
+    IssueSpec spec;
+    spec.subject.common_name = "host" + std::to_string(i % 7) + ".example.com";
+    EXPECT_TRUE(serials.insert(root.Issue(spec, rng).serial()).second);
+  }
+}
+
+TEST(IssuerTest, SelfSignedRootIsItsOwnIssuer) {
+  const CertificateIssuer root = CertificateIssuer::SelfSignedRoot(
+      "self-root", DistinguishedName{"Self Root", "", "US"},
+      -util::kMillisPerYear, util::kMillisPerYear);
+  const Certificate& cert = root.certificate();
+  EXPECT_TRUE(cert.IsSelfIssued());
+  EXPECT_TRUE(cert.is_ca());
+  EXPECT_TRUE(VerifySignature(cert, cert.spki()));
+}
+
+TEST(IssuerTest, DeterministicRootsFromLabels) {
+  const auto a = CertificateIssuer::SelfSignedRoot(
+      "det-root", DistinguishedName{"Det", "", "US"}, 0, util::kMillisPerYear);
+  const auto b = CertificateIssuer::SelfSignedRoot(
+      "det-root", DistinguishedName{"Det", "", "US"}, 0, util::kMillisPerYear);
+  EXPECT_EQ(a.certificate(), b.certificate());
+}
+
+// Chains of depth 2..5 must all validate when anchored.
+class ChainDepth : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainDepth, DeepChainsValidate) {
+  const int depth = GetParam();
+  const CertificateIssuer root = CertificateIssuer::SelfSignedRoot(
+      "depth-root", DistinguishedName{"Depth Root", "", "US"},
+      -util::kMillisPerYear, 10 * util::kMillisPerYear);
+  RootStore store("test", {root.certificate()});
+
+  std::vector<CertificateIssuer> intermediates;
+  const CertificateIssuer* current = &root;
+  for (int i = 0; i < depth - 2; ++i) {
+    IssueSpec spec;
+    spec.subject.common_name = "Intermediate " + std::to_string(i);
+    spec.not_before = -util::kMillisPerYear;
+    spec.not_after = 5 * util::kMillisPerYear;
+    spec.is_ca = true;
+    intermediates.push_back(
+        current->CreateIntermediate(spec, "depth-inter-" + std::to_string(i)));
+    current = &intermediates.back();
+  }
+
+  util::Rng rng(3);
+  IssueSpec leaf_spec;
+  leaf_spec.subject.common_name = "deep.example.com";
+  leaf_spec.san_dns = {"deep.example.com"};
+  leaf_spec.not_before = -util::kMillisPerDay;
+  leaf_spec.not_after = util::kMillisPerYear;
+  CertificateChain chain = {current->Issue(leaf_spec, rng)};
+  for (auto it = intermediates.rbegin(); it != intermediates.rend(); ++it) {
+    chain.insert(chain.begin() + 1, it->certificate());
+  }
+  // Rebuild in leaf-first order: leaf, deepest intermediate, ..., root.
+  chain.clear();
+  chain.push_back(current->Issue(leaf_spec, rng));
+  for (auto it = intermediates.rbegin(); it != intermediates.rend(); ++it) {
+    chain.push_back(it->certificate());
+  }
+  chain.push_back(root.certificate());
+  ASSERT_EQ(static_cast<int>(chain.size()), depth);
+
+  const auto result = ValidateChain(chain, "deep.example.com", 0, store);
+  EXPECT_TRUE(result.ok()) << "depth " << depth << ": "
+                           << ValidationStatusName(result.status);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ChainDepth, ::testing::Values(2, 3, 4, 5));
+
+// Every key algorithm issues verifiable certificates with distinct SPKIs.
+class KeyAlgorithms : public ::testing::TestWithParam<crypto::KeyAlgorithm> {};
+
+TEST_P(KeyAlgorithms, IssueForKeyEmbedsAlgorithm) {
+  const crypto::KeyPair key = crypto::KeyPair::FromLabel("algo-key", GetParam());
+  const CertificateIssuer root = CertificateIssuer::SelfSignedRoot(
+      "algo-root", DistinguishedName{"Algo Root", "", "US"},
+      -util::kMillisPerYear, util::kMillisPerYear * 10);
+  IssueSpec spec;
+  spec.subject.common_name = "algo.example.com";
+  const Certificate cert = root.IssueForKey(spec, key);
+  EXPECT_EQ(cert.spki(), key.SubjectPublicKeyInfo());
+  EXPECT_TRUE(VerifySignature(cert, root.certificate().spki()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, KeyAlgorithms,
+                         ::testing::Values(crypto::KeyAlgorithm::kRsa2048,
+                                           crypto::KeyAlgorithm::kRsa4096,
+                                           crypto::KeyAlgorithm::kEcdsaP256));
+
+}  // namespace
+}  // namespace pinscope::x509

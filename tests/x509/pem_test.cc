@@ -1,0 +1,66 @@
+#include "x509/pem.h"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+#include "x509/issuer.h"
+
+namespace pinscope::x509 {
+namespace {
+
+Certificate MakeCert(const std::string& cn) {
+  IssueSpec spec;
+  spec.subject.common_name = cn;
+  return CertificateIssuer::SelfSignedLeaf("pem:" + cn, spec);
+}
+
+TEST(PemTest, EncodeCarriesDelimitersAnd64ColumnBody) {
+  const std::string pem = PemEncode(MakeCert("pem.example.com"));
+  EXPECT_TRUE(util::StartsWith(pem, kPemBegin));
+  EXPECT_TRUE(util::Contains(pem, kPemEnd));
+  for (const std::string& line : util::Split(pem, '\n')) {
+    EXPECT_LE(line.size(), 64u);
+  }
+}
+
+TEST(PemTest, RoundTrips) {
+  const Certificate cert = MakeCert("roundtrip.example.com");
+  const auto decoded = PemDecode(PemEncode(cert));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, cert);
+}
+
+TEST(PemTest, DecodeFindsBlockInsideOtherText) {
+  const Certificate cert = MakeCert("embedded.example.com");
+  const std::string blob = "prefix junk\n" + PemEncode(cert) + "\nsuffix junk";
+  const auto decoded = PemDecode(blob);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, cert);
+}
+
+TEST(PemTest, DecodeAllFindsEveryBlock) {
+  const Certificate a = MakeCert("a.example.com");
+  const Certificate b = MakeCert("b.example.com");
+  const std::string blob = PemEncode(a) + "garbage in the middle\n" + PemEncode(b);
+  const auto all = PemDecodeAll(blob);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], a);
+  EXPECT_EQ(all[1], b);
+}
+
+TEST(PemTest, DecodeAllSkipsCorruptBlocks) {
+  const Certificate good = MakeCert("good.example.com");
+  const std::string corrupt = std::string(kPemBegin) + "\n!!!not base64!!!\n" +
+                              std::string(kPemEnd) + "\n" + PemEncode(good);
+  const auto all = PemDecodeAll(corrupt);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], good);
+}
+
+TEST(PemTest, DecodeRejectsMissingDelimiters) {
+  EXPECT_FALSE(PemDecode("no pem here").has_value());
+  EXPECT_FALSE(PemDecode(std::string(kPemBegin) + " truncated").has_value());
+}
+
+}  // namespace
+}  // namespace pinscope::x509

@@ -1,0 +1,68 @@
+#include "x509/root_store.h"
+
+#include <gtest/gtest.h>
+
+#include "util/clock.h"
+
+namespace pinscope::x509 {
+namespace {
+
+TEST(RootStoreTest, CatalogIsDeterministic) {
+  const auto& a = PublicCaCatalog::Instance();
+  const RootStore s1 = a.MozillaStore();
+  const RootStore s2 = a.MozillaStore();
+  ASSERT_EQ(s1.roots().size(), s2.roots().size());
+  for (std::size_t i = 0; i < s1.roots().size(); ++i) {
+    EXPECT_EQ(s1.roots()[i], s2.roots()[i]);
+  }
+}
+
+TEST(RootStoreTest, StoresDifferAsConfigured) {
+  const auto& catalog = PublicCaCatalog::Instance();
+  const RootStore mozilla = catalog.MozillaStore();
+  const RootStore aosp = catalog.AospStore();
+  const RootStore ios = catalog.IosStore();
+
+  // AOSP carries obscure anchors Mozilla does not ship.
+  const auto asiapac = aosp.FindBySubject("AsiaPac Commerce Root");
+  ASSERT_TRUE(asiapac.has_value());
+  EXPECT_FALSE(mozilla.IsTrustedRoot(*asiapac));
+  EXPECT_FALSE(ios.IsTrustedRoot(*asiapac));
+}
+
+TEST(RootStoreTest, AospShipsAnExpiredAnchor) {
+  const RootStore aosp = PublicCaCatalog::Instance().AospStore();
+  const auto expired = aosp.FindBySubject("RegionalGov National Root");
+  ASSERT_TRUE(expired.has_value());
+  EXPECT_LT(expired->not_after(), util::kStudyEpoch);
+}
+
+TEST(RootStoreTest, OemStoreExtendsAosp) {
+  const auto& catalog = PublicCaCatalog::Instance();
+  const RootStore aosp = catalog.AospStore();
+  const RootStore oem = catalog.OemAugmentedStore();
+  EXPECT_EQ(oem.roots().size(), aosp.roots().size() + 1);
+  EXPECT_TRUE(oem.FindBySubject("HandsetMaker Device Root CA").has_value());
+  EXPECT_FALSE(aosp.FindBySubject("HandsetMaker Device Root CA").has_value());
+}
+
+TEST(RootStoreTest, AddRootMakesAnchorTrusted) {
+  RootStore store("test", {});
+  const auto& ca = PublicCaCatalog::Instance().ByLabel("ca.globaltrust");
+  EXPECT_FALSE(store.IsTrustedRoot(ca.certificate()));
+  store.AddRoot(ca.certificate());
+  EXPECT_TRUE(store.IsTrustedRoot(ca.certificate()));
+}
+
+TEST(RootStoreTest, ByLabelThrowsOnUnknown) {
+  EXPECT_THROW((void)PublicCaCatalog::Instance().ByLabel("ca.nonexistent"),
+               util::Error);
+}
+
+TEST(RootStoreTest, FindBySubjectMissReturnsNullopt) {
+  const RootStore mozilla = PublicCaCatalog::Instance().MozillaStore();
+  EXPECT_FALSE(mozilla.FindBySubject("No Such CA").has_value());
+}
+
+}  // namespace
+}  // namespace pinscope::x509

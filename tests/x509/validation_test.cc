@@ -1,0 +1,247 @@
+#include "x509/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "x509/issuer.h"
+#include "x509/root_store.h"
+
+namespace pinscope::x509 {
+namespace {
+
+// A small world: root → intermediate → leaf for api.test.com.
+struct World {
+  World()
+      : root(CertificateIssuer::SelfSignedRoot(
+            "test-root", DistinguishedName{"Test Root CA", "TestOrg", "US"},
+            -5 * util::kMillisPerYear, 10 * util::kMillisPerYear)),
+        inter([this] {
+          IssueSpec spec;
+          spec.subject = DistinguishedName{"Test Intermediate", "TestOrg", "US"};
+          spec.not_before = -util::kMillisPerYear;
+          spec.not_after = 5 * util::kMillisPerYear;
+          spec.is_ca = true;
+          return root.CreateIntermediate(spec, "test-inter");
+        }()),
+        store("test", {root.certificate()}) {
+    util::Rng rng(7);
+    IssueSpec leaf_spec;
+    leaf_spec.subject.common_name = "api.test.com";
+    leaf_spec.san_dns = {"api.test.com"};
+    leaf_spec.not_before = -30 * util::kMillisPerDay;
+    leaf_spec.not_after = util::kMillisPerYear;
+    leaf = inter.Issue(leaf_spec, rng);
+    chain = {leaf, inter.certificate(), root.certificate()};
+  }
+
+  CertificateIssuer root;
+  CertificateIssuer inter;
+  Certificate leaf;
+  CertificateChain chain;
+  RootStore store;
+};
+
+TEST(ValidationTest, AcceptsValidChain) {
+  World w;
+  const auto result = ValidateChain(w.chain, "api.test.com", 0, w.store);
+  EXPECT_TRUE(result.ok()) << ValidationStatusName(result.status);
+}
+
+TEST(ValidationTest, RejectsEmptyChain) {
+  World w;
+  EXPECT_EQ(ValidateChain({}, "api.test.com", 0, w.store).status,
+            ValidationStatus::kEmptyChain);
+}
+
+TEST(ValidationTest, RejectsHostnameMismatch) {
+  World w;
+  const auto result = ValidateChain(w.chain, "evil.com", 0, w.store);
+  EXPECT_EQ(result.status, ValidationStatus::kHostnameMismatch);
+  EXPECT_EQ(result.failing_index, 0u);
+}
+
+TEST(ValidationTest, HostnameCheckCanBeDisabled) {
+  World w;
+  ValidationOptions opts;
+  opts.check_hostname = false;
+  EXPECT_TRUE(ValidateChain(w.chain, "evil.com", 0, w.store, opts).ok());
+}
+
+TEST(ValidationTest, RejectsExpiredLeaf) {
+  World w;
+  const auto result =
+      ValidateChain(w.chain, "api.test.com", 2 * util::kMillisPerYear, w.store);
+  EXPECT_EQ(result.status, ValidationStatus::kExpired);
+  EXPECT_EQ(result.failing_index, 0u);
+}
+
+TEST(ValidationTest, RejectsNotYetValidLeaf) {
+  World w;
+  const auto result =
+      ValidateChain(w.chain, "api.test.com", -util::kMillisPerYear, w.store);
+  EXPECT_EQ(result.status, ValidationStatus::kNotYetValid);
+}
+
+TEST(ValidationTest, ExpiryCheckCanBeDisabled) {
+  World w;
+  ValidationOptions opts;
+  opts.check_expiry = false;
+  EXPECT_TRUE(
+      ValidateChain(w.chain, "api.test.com", 2 * util::kMillisPerYear, w.store, opts)
+          .ok());
+}
+
+TEST(ValidationTest, RejectsUntrustedRoot) {
+  World w;
+  RootStore empty("empty", {});
+  const auto result = ValidateChain(w.chain, "api.test.com", 0, empty);
+  EXPECT_EQ(result.status, ValidationStatus::kUntrustedRoot);
+}
+
+TEST(ValidationTest, RejectsOutOfOrderChain) {
+  World w;
+  CertificateChain shuffled = {w.inter.certificate(), w.leaf, w.root.certificate()};
+  const auto result = ValidateChain(shuffled, "api.test.com", 0, w.store);
+  EXPECT_EQ(result.status, ValidationStatus::kBadChainOrder);
+}
+
+TEST(ValidationTest, RejectsTamperedSignature) {
+  World w;
+  CertificateData data = w.leaf.data();
+  data.signature[0] ^= 0xff;
+  CertificateChain chain = {Certificate(data), w.inter.certificate(),
+                            w.root.certificate()};
+  const auto result = ValidateChain(chain, "api.test.com", 0, w.store);
+  EXPECT_EQ(result.status, ValidationStatus::kBadSignature);
+}
+
+TEST(ValidationTest, RejectsForgedContentWithOldSignature) {
+  World w;
+  CertificateData data = w.leaf.data();
+  data.san_dns.push_back("attacker.com");  // forged SAN, stale signature
+  CertificateChain chain = {Certificate(data), w.inter.certificate(),
+                            w.root.certificate()};
+  EXPECT_EQ(ValidateChain(chain, "attacker.com", 0, w.store).status,
+            ValidationStatus::kBadSignature);
+}
+
+TEST(ValidationTest, RejectsRevokedSerial) {
+  World w;
+  ValidationOptions opts;
+  opts.revoked_serials = {w.leaf.serial()};
+  const auto result = ValidateChain(w.chain, "api.test.com", 0, w.store, opts);
+  EXPECT_EQ(result.status, ValidationStatus::kRevoked);
+}
+
+TEST(ValidationTest, AcceptsChainWithoutRootWhenAnchorInStore) {
+  // Servers often send leaf+intermediate only; the validator must find the
+  // root in the store.
+  World w;
+  CertificateChain partial = {w.leaf, w.inter.certificate()};
+  EXPECT_TRUE(ValidateChain(partial, "api.test.com", 0, w.store).ok());
+}
+
+TEST(ValidationTest, SelfSignedLeafUntrustedByDefault) {
+  IssueSpec spec;
+  spec.subject.common_name = "self.test.com";
+  spec.san_dns = {"self.test.com"};
+  spec.not_before = -util::kMillisPerDay;
+  spec.not_after = util::kMillisPerYear;
+  const Certificate self_signed = CertificateIssuer::SelfSignedLeaf("ss", spec);
+  RootStore store("sys", {});
+  EXPECT_EQ(ValidateChain({self_signed}, "self.test.com", 0, store).status,
+            ValidationStatus::kUntrustedRoot);
+}
+
+TEST(ValidationTest, SelfSignedLeafTrustedWhenAnchored) {
+  IssueSpec spec;
+  spec.subject.common_name = "self.test.com";
+  spec.san_dns = {"self.test.com"};
+  spec.not_before = -util::kMillisPerDay;
+  spec.not_after = util::kMillisPerYear;
+  const Certificate self_signed = CertificateIssuer::SelfSignedLeaf("ss", spec);
+  RootStore store("app-bundled", {self_signed});
+  EXPECT_TRUE(ValidateChain({self_signed}, "self.test.com", 0, store).ok());
+}
+
+TEST(ValidationTest, ChainsToPublicRootIgnoresHostnameAndExpiry) {
+  World w;
+  EXPECT_TRUE(ChainsToPublicRoot(w.chain, w.store));
+  RootStore empty("none", {});
+  EXPECT_FALSE(ChainsToPublicRoot(w.chain, empty));
+  EXPECT_FALSE(ChainsToPublicRoot({}, w.store));
+}
+
+TEST(ValidationTest, StatusNamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (auto s : {ValidationStatus::kOk, ValidationStatus::kEmptyChain,
+                 ValidationStatus::kBadSignature, ValidationStatus::kBadChainOrder,
+                 ValidationStatus::kNotCa, ValidationStatus::kExpired,
+                 ValidationStatus::kNotYetValid, ValidationStatus::kHostnameMismatch,
+                 ValidationStatus::kUntrustedRoot, ValidationStatus::kRevoked,
+                 ValidationStatus::kPathLenExceeded}) {
+    names.insert(ValidationStatusName(s));
+  }
+  EXPECT_EQ(names.size(), 11u);
+}
+
+TEST(ValidationTest, PathLenConstraintEnforced) {
+  // Root with pathLen=0 may only issue end-entity certs: a chain with an
+  // intermediate beneath it must be rejected.
+  const CertificateIssuer root = CertificateIssuer::SelfSignedRoot(
+      "plc-root", DistinguishedName{"PLC Root", "", "US"},
+      -util::kMillisPerYear, 10 * util::kMillisPerYear);
+  // Recreate the root with a pathLen by issuing an intermediate carrying one.
+  IssueSpec constrained;
+  constrained.subject = DistinguishedName{"PLC Constrained CA", "", "US"};
+  constrained.not_before = -util::kMillisPerYear;
+  constrained.not_after = 5 * util::kMillisPerYear;
+  constrained.is_ca = true;
+  constrained.path_len = 0;  // no further intermediates allowed
+  const CertificateIssuer mid = root.CreateIntermediate(constrained, "plc-mid");
+  EXPECT_EQ(mid.certificate().path_len(), 0);
+
+  IssueSpec sub_spec;
+  sub_spec.subject = DistinguishedName{"PLC Sub CA", "", "US"};
+  sub_spec.not_before = -util::kMillisPerYear;
+  sub_spec.not_after = 5 * util::kMillisPerYear;
+  sub_spec.is_ca = true;
+  const CertificateIssuer sub = mid.CreateIntermediate(sub_spec, "plc-sub");
+
+  util::Rng rng(8);
+  IssueSpec leaf_spec;
+  leaf_spec.subject.common_name = "plc.example.com";
+  leaf_spec.san_dns = {"plc.example.com"};
+  leaf_spec.not_before = -util::kMillisPerDay;
+  leaf_spec.not_after = util::kMillisPerYear;
+
+  RootStore store("plc", {root.certificate()});
+
+  // Direct issuance under the constrained CA: fine (0 intermediates below).
+  const CertificateChain ok_chain = {mid.Issue(leaf_spec, rng),
+                                     mid.certificate(), root.certificate()};
+  EXPECT_TRUE(ValidateChain(ok_chain, "plc.example.com", 0, store).ok());
+
+  // One more intermediate below the constrained CA: rejected.
+  const CertificateChain bad_chain = {sub.Issue(leaf_spec, rng),
+                                      sub.certificate(), mid.certificate(),
+                                      root.certificate()};
+  const auto result = ValidateChain(bad_chain, "plc.example.com", 0, store);
+  EXPECT_EQ(result.status, ValidationStatus::kPathLenExceeded);
+}
+
+TEST(ValidationTest, PathLenRoundTripsThroughDer) {
+  IssueSpec spec;
+  spec.subject = DistinguishedName{"RT CA", "", "US"};
+  spec.is_ca = true;
+  spec.path_len = 2;
+  const CertificateIssuer root = CertificateIssuer::SelfSignedRoot(
+      "rt-root", DistinguishedName{"RT Root", "", "US"}, 0, util::kMillisPerYear);
+  const CertificateIssuer mid = root.CreateIntermediate(spec, "rt-mid");
+  const auto parsed = Certificate::ParseDer(mid.certificate().DerBytes());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->path_len(), 2);
+}
+
+}  // namespace
+}  // namespace pinscope::x509

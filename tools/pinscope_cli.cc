@@ -1,0 +1,298 @@
+// pinscope — command-line front-end to the measurement toolkit.
+//
+//   pinscope generate [--scale S] [--seed N]
+//       Generate an ecosystem and print its corpus summary.
+//   pinscope study [--scale S] [--seed N] [--json FILE] [--csv FILE]
+//       Run the full measurement study; print Table-3-style prevalence and
+//       optionally export the per-app dataset.
+//   pinscope audit APP_ID [--scale S] [--seed N]
+//       Static + dynamic + circumvention audit of a single app.
+//   pinscope tables [--scale S] [--seed N]
+//       Print every paper table from a fresh study.
+//   pinscope help
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analyses.h"
+#include "core/study.h"
+#include "dynamicanalysis/pipeline.h"
+#include "report/csv_writer.h"
+#include "report/json_writer.h"
+#include "report/table.h"
+#include "staticanalysis/static_report.h"
+#include "store/generator.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace pinscope;
+
+struct CliOptions {
+  std::string command;
+  std::vector<std::string> positional;
+  double scale = 0.1;
+  std::uint64_t seed = 42;
+  std::string json_path;
+  std::string csv_path;
+};
+
+int Usage() {
+  std::printf(
+      "pinscope — certificate-pinning measurement toolkit\n\n"
+      "usage: pinscope <command> [options]\n\n"
+      "commands:\n"
+      "  generate            generate an ecosystem, print corpus summary\n"
+      "  study               run the full study, print prevalence\n"
+      "  audit APP_ID        audit one app (static + dynamic + circumvention)\n"
+      "  tables              print every paper table\n"
+      "  help                this text\n\n"
+      "options:\n"
+      "  --scale S           corpus scale, 0 < S <= 1 (default 0.1)\n"
+      "  --seed N            generation seed (default 42)\n"
+      "  --json FILE         (study) export per-app records as JSON Lines\n"
+      "  --csv FILE          (study) export per-destination rows as CSV\n");
+  return 2;
+}
+
+std::optional<CliOptions> ParseArgs(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  CliOptions opts;
+  opts.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--scale") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      opts.scale = std::atof(v->c_str());
+      if (opts.scale <= 0.0 || opts.scale > 1.0) return std::nullopt;
+    } else if (arg == "--seed") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      opts.seed = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (arg == "--json") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      opts.json_path = *v;
+    } else if (arg == "--csv") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      opts.csv_path = *v;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return std::nullopt;
+    } else {
+      opts.positional.push_back(arg);
+    }
+  }
+  return opts;
+}
+
+store::Ecosystem Generate(const CliOptions& opts) {
+  store::EcosystemConfig config;
+  config.seed = opts.seed;
+  config.scale = opts.scale;
+  std::fprintf(stderr, "[pinscope] generating ecosystem (scale %.2f, seed %llu)\n",
+               config.scale, static_cast<unsigned long long>(config.seed));
+  return store::Ecosystem::Generate(config);
+}
+
+int CmdGenerate(const CliOptions& opts) {
+  const store::Ecosystem eco = Generate(opts);
+  report::TextTable table;
+  table.SetHeader({"Dataset", "Android", "iOS"});
+  for (const store::DatasetId id : store::AllDatasets()) {
+    table.AddRow({std::string(store::DatasetName(id)),
+                  std::to_string(eco.dataset(id, appmodel::Platform::kAndroid).size()),
+                  std::to_string(eco.dataset(id, appmodel::Platform::kIos).size())});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nservers: %zu   CT-logged certificates: %zu   common pairs: %zu\n",
+              eco.world().size(), eco.ct_log().size(), eco.common_pairs().size());
+  return 0;
+}
+
+void ExportJson(const core::Study& study, const std::string& path) {
+  std::ofstream out(path);
+  int records = 0;
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    for (const core::AppResult* r : study.AllResults(p)) {
+      report::JsonWriter w;
+      w.BeginObject();
+      w.Key("app_id");
+      w.String(r->app->meta.app_id);
+      w.Key("platform");
+      w.String(PlatformName(p));
+      w.Key("pins_at_runtime");
+      w.Bool(r->dynamic_report.AppPins());
+      w.Key("potential_pinning");
+      w.Bool(r->static_report.PotentialPinning());
+      w.Key("pinned_destinations");
+      w.BeginArray();
+      for (const auto& host : r->dynamic_report.PinnedDestinations()) w.String(host);
+      w.EndArray();
+      w.EndObject();
+      out << w.TakeString() << "\n";
+      ++records;
+    }
+  }
+  std::printf("wrote %d JSON records to %s\n", records, path.c_str());
+}
+
+void ExportCsv(const core::Study& study, const std::string& path) {
+  report::CsvWriter csv;
+  csv.SetHeader({"app_id", "platform", "hostname", "pinned", "circumvented"});
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    for (const core::AppResult* r : study.AllResults(p)) {
+      for (const auto& dest : r->dynamic_report.destinations) {
+        csv.AddRow({r->app->meta.app_id, std::string(PlatformName(p)),
+                    dest.hostname, dest.pinned ? "1" : "0",
+                    dest.circumvented ? "1" : "0"});
+      }
+    }
+  }
+  std::ofstream out(path);
+  const std::size_t rows = csv.rows();
+  out << csv.TakeString();
+  std::printf("wrote %zu CSV rows to %s\n", rows, path.c_str());
+}
+
+int CmdStudy(const CliOptions& opts) {
+  const store::Ecosystem eco = Generate(opts);
+  core::Study study(eco);
+  std::fprintf(stderr, "[pinscope] running measurement pipeline\n");
+  study.Run();
+
+  report::TextTable table;
+  table.SetHeader({"Dataset", "Platform", "Apps", "Dynamic pinning",
+                   "Static potential", "NSC pinning"});
+  for (const store::DatasetId id : store::AllDatasets()) {
+    for (const appmodel::Platform p :
+         {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+      const core::PrevalenceRow row = core::ComputePrevalence(study, id, p);
+      table.AddRow(
+          {std::string(store::DatasetName(id)), std::string(PlatformName(p)),
+           std::to_string(row.total),
+           std::to_string(row.dynamic_pinning) + " (" +
+               util::Percent(static_cast<double>(row.dynamic_pinning) /
+                                 std::max(row.total, 1),
+                             1) +
+               ")",
+           std::to_string(row.embedded_static),
+           p == appmodel::Platform::kAndroid ? std::to_string(row.config_pinning)
+                                             : std::string("-")});
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+
+  if (!opts.json_path.empty()) ExportJson(study, opts.json_path);
+  if (!opts.csv_path.empty()) ExportCsv(study, opts.csv_path);
+  return 0;
+}
+
+int CmdAudit(const CliOptions& opts) {
+  if (opts.positional.empty()) {
+    std::fprintf(stderr, "audit requires an APP_ID\n");
+    return 2;
+  }
+  const std::string& app_id = opts.positional.front();
+  const store::Ecosystem eco = Generate(opts);
+
+  const appmodel::App* target = nullptr;
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    for (const appmodel::App& app : eco.apps(p)) {
+      if (app.meta.app_id == app_id) target = &app;
+    }
+  }
+  if (target == nullptr) {
+    std::fprintf(stderr, "unknown app id '%s' (try `pinscope generate` to list "
+                         "dataset sizes, or a different seed/scale)\n",
+                 app_id.c_str());
+    return 1;
+  }
+
+  staticanalysis::StaticAnalysisOptions sopts;
+  sopts.ct_log = &eco.ct_log();
+  const auto sreport = staticanalysis::AnalyzeStatically(*target, sopts);
+  std::printf("%s (%s, %s)\n", target->meta.display_name.c_str(),
+              target->meta.app_id.c_str(), PlatformName(target->meta.platform).data());
+  std::printf("  static: %zu certs, %zu pins (%zu CT-resolved), NSC pins: %s\n",
+              sreport.scan.certificates.size(), sreport.pins_total,
+              sreport.pins_resolved, sreport.ConfigPinning() ? "yes" : "no");
+
+  const auto dreport = dynamicanalysis::RunDynamicAnalysis(*target, eco.world());
+  std::printf("  dynamic: %s\n", dreport.AppPins() ? "PINS at run time"
+                                                   : "no pinning observed");
+  for (const auto& dest : dreport.destinations) {
+    std::printf("    %-34s %s%s\n", dest.hostname.c_str(),
+                dest.pinned ? "PINNED" : "not pinned",
+                dest.pinned ? (dest.circumvented ? " (circumventable)"
+                                                 : " (opaque: custom stack)")
+                            : "");
+  }
+  return 0;
+}
+
+int CmdTables(const CliOptions& opts) {
+  const store::Ecosystem eco = Generate(opts);
+  core::Study study(eco);
+  study.Run();
+
+  std::printf("%s", report::SectionHeader("Prevalence (Table 3)").c_str());
+  for (const store::DatasetId id : store::AllDatasets()) {
+    for (const appmodel::Platform p :
+         {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+      const auto row = core::ComputePrevalence(study, id, p);
+      std::printf("  %-7s %-7s dyn %3d  static %3d  nsc %3d  (n=%d)\n",
+                  store::DatasetName(id).data(), PlatformName(p).data(),
+                  row.dynamic_pinning, row.embedded_static, row.config_pinning,
+                  row.total);
+    }
+  }
+
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    std::printf("%s", report::SectionHeader(
+                          std::string("Pinning categories (Tables 4/5) — ") +
+                          std::string(PlatformName(p))).c_str());
+    for (const auto& row : core::ComputePinningByCategory(study, p, 5, 3)) {
+      std::printf("  %-20s %5.1f%%  (%d apps)\n", row.category.c_str(),
+                  row.pinning_pct, row.pinning_apps);
+    }
+    const auto pki = core::ComputePkiCounts(study, p);
+    std::printf("%s", report::SectionHeader(
+                          std::string("PKI (Table 6) — ") +
+                          std::string(PlatformName(p))).c_str());
+    std::printf("  default %d / custom %d / unavailable %d (self-signed %d)\n",
+                pki.default_pki, pki.custom_pki, pki.unavailable, pki.self_signed);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = ParseArgs(argc, argv);
+  if (!opts.has_value() || opts->command == "help") return Usage();
+  try {
+    if (opts->command == "generate") return CmdGenerate(*opts);
+    if (opts->command == "study") return CmdStudy(*opts);
+    if (opts->command == "audit") return CmdAudit(*opts);
+    if (opts->command == "tables") return CmdTables(*opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", opts->command.c_str());
+  return Usage();
+}
