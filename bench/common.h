@@ -27,6 +27,17 @@ inline double CorpusScale() {
   return 1.0;
 }
 
+/// Worker threads for the shared study. Defaults to every hardware thread;
+/// set PINSCOPE_THREADS=1 for a serial run. Any value produces the same
+/// tables — the study is thread-count invariant.
+inline int StudyThreads() {
+  if (const char* env = std::getenv("PINSCOPE_THREADS")) {
+    const int threads = std::atoi(env);
+    if (threads >= 0) return threads;
+  }
+  return 0;
+}
+
 /// The shared (per-process) study: generated once, analyzed once.
 inline const core::Study& GetStudy() {
   static const std::unique_ptr<core::Study> study = [] {
@@ -36,8 +47,12 @@ inline const core::Study& GetStudy() {
     std::fprintf(stderr, "[pinscope] generating ecosystem (scale %.2f)...\n",
                  config.scale);
     static store::Ecosystem eco = store::Ecosystem::Generate(config);
-    std::fprintf(stderr, "[pinscope] running measurement pipeline...\n");
-    auto s = std::make_unique<core::Study>(eco);
+    core::StudyOptions opts;
+    opts.threads = StudyThreads();
+    opts.dynamic.parallel_phases = opts.threads != 1;
+    std::fprintf(stderr, "[pinscope] running measurement pipeline (threads %d)...\n",
+                 opts.threads);
+    auto s = std::make_unique<core::Study>(eco, opts);
     s->Run();
     std::fprintf(stderr, "[pinscope] analysis ready.\n");
     return s;

@@ -2,6 +2,7 @@
 #include <benchmark/benchmark.h>
 
 #include "appmodel/android_package.h"
+#include "core/study.h"
 #include "crypto/sha256.h"
 #include "dynamicanalysis/detector.h"
 #include "net/mitm_proxy.h"
@@ -9,6 +10,7 @@
 #include "staticanalysis/ios_decrypt.h"
 #include "staticanalysis/nsc_analyzer.h"
 #include "staticanalysis/scanner.h"
+#include "store/generator.h"
 #include "tls/handshake.h"
 #include "util/rng.h"
 #include "x509/validation.h"
@@ -214,6 +216,42 @@ void BM_IpaDecryption(benchmark::State& state) {
                           static_cast<int64_t>(ipa.TotalBytes()));
 }
 BENCHMARK(BM_IpaDecryption);
+
+// Serial-vs-parallel full-study throughput: the same ecosystem analyzed end
+// to end (static scan + two dynamic runs + circumvention + PII per app) at
+// thread counts 1, 4, and hardware concurrency. Results are byte-identical
+// across arguments (tests/core/parallel_study_test.cc); only wall time
+// changes, and only as far as the machine has cores to offer.
+void BM_FullStudy(benchmark::State& state) {
+  static const store::Ecosystem eco = [] {
+    store::EcosystemConfig config;
+    config.seed = 42;
+    config.scale = 0.05;
+    return store::Ecosystem::Generate(config);
+  }();
+
+  const int threads = static_cast<int>(state.range(0));
+  std::size_t apps = 0;
+  for (auto _ : state) {
+    core::StudyOptions opts;
+    opts.threads = threads;
+    opts.dynamic.parallel_phases = threads != 1;
+    core::Study study(eco, opts);
+    study.Run();
+    apps = study.AllResults(appmodel::Platform::kAndroid).size() +
+           study.AllResults(appmodel::Platform::kIos).size();
+    benchmark::DoNotOptimize(apps);
+  }
+  state.counters["apps"] = static_cast<double>(apps);
+  state.counters["apps/s"] = benchmark::Counter(
+      static_cast<double>(apps * state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullStudy)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(0)  // 0 = hardware concurrency
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_PinPolicyEvaluate(benchmark::State& state) {
   const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.meridian");

@@ -31,6 +31,9 @@ ServerWorld::ServerWorld(std::uint64_t seed) : rng_(seed) {}
 
 const x509::CertificateIssuer& ServerWorld::IntermediateFor(
     const std::string& ca_label) const {
+  // Map nodes are stable, so returned references outlive later insertions;
+  // the lock only covers the lookup-or-create of the lazy cache.
+  std::lock_guard<std::mutex> lock(*intermediates_mu_);
   auto it = intermediates_.find(ca_label);
   if (it != intermediates_.end()) return it->second;
 

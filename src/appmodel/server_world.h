@@ -9,6 +9,8 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -108,7 +110,12 @@ class ServerWorld {
 
   util::Rng rng_;
   std::map<std::string, ServerInfo> servers_;
-  /// Per-CA-label intermediates, created lazily (also from const probes).
+  /// Per-CA-label intermediates, created lazily (also from const probes, so
+  /// concurrent per-app readers of a const world may race to build one —
+  /// the mutex makes that safe, and stateless issuance makes it identical).
+  /// Heap-held so the world stays movable.
+  mutable std::unique_ptr<std::mutex> intermediates_mu_ =
+      std::make_unique<std::mutex>();
   mutable std::map<std::string, x509::CertificateIssuer> intermediates_;
   std::map<std::string, x509::CertificateIssuer> custom_roots_;   // per org
   std::map<std::string, crypto::KeyPair> leaf_keys_;              // per hostname

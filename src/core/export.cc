@@ -1,0 +1,51 @@
+#include "core/export.h"
+
+#include "report/csv_writer.h"
+#include "report/json_writer.h"
+
+namespace pinscope::core {
+
+std::string ExportStudyJson(const Study& study) {
+  std::string out;
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    for (const AppResult* r : study.AllResults(p)) {
+      report::JsonWriter w;
+      w.BeginObject();
+      w.Key("app_id");
+      w.String(r->app->meta.app_id);
+      w.Key("platform");
+      w.String(PlatformName(p));
+      w.Key("pins_at_runtime");
+      w.Bool(r->dynamic_report.AppPins());
+      w.Key("potential_pinning");
+      w.Bool(r->static_report.PotentialPinning());
+      w.Key("pinned_destinations");
+      w.BeginArray();
+      for (const auto& host : r->dynamic_report.PinnedDestinations()) w.String(host);
+      w.EndArray();
+      w.EndObject();
+      out += w.TakeString();
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string ExportStudyCsv(const Study& study) {
+  report::CsvWriter csv;
+  csv.SetHeader({"app_id", "platform", "hostname", "pinned", "circumvented"});
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    for (const AppResult* r : study.AllResults(p)) {
+      for (const auto& dest : r->dynamic_report.destinations) {
+        csv.AddRow({r->app->meta.app_id, std::string(PlatformName(p)),
+                    dest.hostname, dest.pinned ? "1" : "0",
+                    dest.circumvented ? "1" : "0"});
+      }
+    }
+  }
+  return csv.TakeString();
+}
+
+}  // namespace pinscope::core

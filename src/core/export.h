@@ -1,0 +1,24 @@
+// Canonical study exports: the per-app JSON Lines dataset and the
+// per-destination CSV the paper's artifact releases.
+//
+// Both serializations iterate platforms in a fixed order and apps in
+// universe-index order, so the bytes depend only on the study's results —
+// never on thread count or completion order. The determinism-equivalence
+// suite (tests/core/parallel_study_test.cc) pins that property.
+#pragma once
+
+#include <string>
+
+#include "core/study.h"
+
+namespace pinscope::core {
+
+/// One JSON object per analyzed app (JSON Lines), Android first, ascending
+/// universe index within a platform.
+[[nodiscard]] std::string ExportStudyJson(const Study& study);
+
+/// One CSV row per (app, destination) pair, with a header row; same ordering
+/// as the JSON export.
+[[nodiscard]] std::string ExportStudyCsv(const Study& study);
+
+}  // namespace pinscope::core

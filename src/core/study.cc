@@ -1,16 +1,28 @@
 #include "core/study.h"
 
+#include <algorithm>
+
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace pinscope::core {
 
 Study::Study(const store::Ecosystem& eco, StudyOptions options)
     : eco_(&eco), options_(options) {}
 
-void Study::RunApp(appmodel::Platform p, std::size_t index) {
-  auto& results = p == appmodel::Platform::kAndroid ? android_results_ : ios_results_;
-  if (results.contains(index)) return;
+std::map<std::size_t, AppResult> MergeByIndex(std::vector<AppResult> results) {
+  std::map<std::size_t, AppResult> out;
+  for (AppResult& r : results) {
+    const std::size_t index = r.universe_index;
+    if (!out.emplace(index, std::move(r)).second) {
+      throw util::Error("MergeByIndex: duplicate universe index " +
+                        std::to_string(index));
+    }
+  }
+  return out;
+}
 
+AppResult Study::AnalyzeApp(appmodel::Platform p, std::size_t index) const {
   AppResult r;
   r.universe_index = index;
   r.app = &eco_->apps(p)[index];
@@ -31,19 +43,39 @@ void Study::RunApp(appmodel::Platform p, std::size_t index) {
       }
     }
   }
+  // The pipeline derives its RNG from dyn.seed + the app id, so this call is
+  // self-contained: no draw here can perturb (or race with) any other app.
   r.dynamic_report = dynamicanalysis::RunDynamicAnalysis(*r.app, eco_->world(), dyn);
+  return r;
+}
 
-  results.emplace(index, std::move(r));
+std::vector<std::size_t> Study::PendingIndices(appmodel::Platform p) const {
+  const auto& results =
+      p == appmodel::Platform::kAndroid ? android_results_ : ios_results_;
+  std::vector<std::size_t> indices;
+  for (const store::DatasetId id : store::AllDatasets()) {
+    for (std::size_t idx : eco_->dataset(id, p).app_indices) {
+      if (!results.contains(idx)) indices.push_back(idx);
+    }
+  }
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  return indices;
 }
 
 void Study::Run() {
+  util::ParallelOptions par;
+  par.threads = options_.threads;
   for (const appmodel::Platform p :
        {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
-    for (const store::DatasetId id : store::AllDatasets()) {
-      for (std::size_t idx : eco_->dataset(id, p).app_indices) {
-        RunApp(p, idx);
-      }
-    }
+    const std::vector<std::size_t> indices = PendingIndices(p);
+    std::vector<AppResult> computed = util::ParallelMap(
+        indices.size(),
+        [&](std::size_t i) { return AnalyzeApp(p, indices[i]); }, par);
+
+    auto& results = p == appmodel::Platform::kAndroid ? android_results_ : ios_results_;
+    auto merged = MergeByIndex(std::move(computed));
+    results.merge(merged);
   }
 }
 

@@ -29,7 +29,17 @@ struct StudyOptions {
   /// §4.5: the Common-iOS dataset is re-run with a 2-minute settle so
   /// associated-domain verification finishes before capture.
   int common_ios_settle_seconds = 120;
+  /// Worker threads for Run(): per-app work fans out across them and merges
+  /// back in universe-index order, so any value produces byte-identical
+  /// results (0 = hardware concurrency, 1 = serial).
+  int threads = 1;
 };
+
+/// Keys per-app results by universe index. Completion order is irrelevant:
+/// any permutation of `results` yields the same map (the merge invariant the
+/// parallel Run() relies on). Indices must be unique.
+[[nodiscard]] std::map<std::size_t, AppResult> MergeByIndex(
+    std::vector<AppResult> results);
 
 /// Runs and caches the full measurement over one generated ecosystem.
 class Study {
@@ -37,8 +47,16 @@ class Study {
   explicit Study(const store::Ecosystem& eco, StudyOptions options = {});
 
   /// Executes static + dynamic analysis for every app appearing in any
-  /// dataset (each app analyzed once; dataset views share results).
+  /// dataset (each app analyzed once; dataset views share results). With
+  /// options.threads != 1 the per-app work units run on a thread pool; the
+  /// output is byte-identical to the serial run because every app derives
+  /// its RNG streams from the study seed + app identity (DESIGN.md §8).
   void Run();
+
+  /// Analyzes one universe app, independent of any other app's state. This
+  /// is the parallel work unit; it never touches the result caches.
+  [[nodiscard]] AppResult AnalyzeApp(appmodel::Platform p,
+                                     std::size_t index) const;
 
   [[nodiscard]] const store::Ecosystem& ecosystem() const { return *eco_; }
 
@@ -54,7 +72,9 @@ class Study {
   [[nodiscard]] std::vector<const AppResult*> AllResults(appmodel::Platform p) const;
 
  private:
-  void RunApp(appmodel::Platform p, std::size_t index);
+  /// Universe indices of every dataset member of `p` not yet analyzed, each
+  /// once, in ascending order (the deterministic work list).
+  [[nodiscard]] std::vector<std::size_t> PendingIndices(appmodel::Platform p) const;
 
   const store::Ecosystem* eco_;
   StudyOptions options_;

@@ -7,6 +7,7 @@
 #include "dynamicanalysis/frida.h"
 #include "dynamicanalysis/pii_detector.h"
 #include "net/mitm_proxy.h"
+#include "util/parallel.h"
 
 namespace pinscope::dynamicanalysis {
 
@@ -44,19 +45,39 @@ DynamicReport RunDynamicAnalysis(const appmodel::App& app,
           ? DeviceEmulator::Pixel3(&proxy.CaCertificate())
           : DeviceEmulator::IPhoneX(&proxy.CaCertificate());
 
+  // Per-app seed derivation (DESIGN.md §8): the stream depends only on the
+  // study seed and the app's identity, never on how many apps ran before it.
   util::Rng rng(options.seed ^ util::StableHash64(app.meta.app_id));
 
   RunOptions baseline_opts;
   baseline_opts.capture_seconds = options.capture_seconds;
   baseline_opts.settle_seconds = options.settle_seconds;
-  util::Rng baseline_rng = rng.Fork("baseline");
-  const net::Capture baseline =
-      device.RunApp(app, world, baseline_opts, baseline_rng);
-
   RunOptions mitm_opts = baseline_opts;
   mitm_opts.proxy = &proxy;
+
+  // Both phase streams fork before either capture runs, so the two runs are
+  // order-independent — and therefore safe to execute concurrently.
+  util::Rng baseline_rng = rng.Fork("baseline");
   util::Rng mitm_rng = rng.Fork("mitm");
-  const net::Capture mitm = device.RunApp(app, world, mitm_opts, mitm_rng);
+
+  net::Capture baseline;
+  net::Capture mitm;
+  auto run_phase = [&](std::size_t phase) {
+    if (phase == 0) {
+      baseline = device.RunApp(app, world, baseline_opts, baseline_rng);
+    } else {
+      // Only this phase touches the proxy (forged-leaf cache and CA state).
+      mitm = device.RunApp(app, world, mitm_opts, mitm_rng);
+    }
+  };
+  if (options.parallel_phases) {
+    util::ParallelOptions par;
+    par.threads = 2;
+    util::ParallelFor(2, run_phase, par);
+  } else {
+    run_phase(0);
+    run_phase(1);
+  }
 
   const ExclusionRules exclusions =
       app.meta.platform == appmodel::Platform::kIos

@@ -25,8 +25,14 @@ struct DynamicOptions {
   int settle_seconds = 0;
   /// Run the instrumented circumvention pass when pinning is detected.
   bool circumvent = true;
-  /// Seed for all stochastic pipeline behavior.
+  /// Seed for all stochastic pipeline behavior. Each app derives its own
+  /// stream as seed ^ StableHash64(app_id), with labeled forks per phase
+  /// (DESIGN.md §8), so runs are independent across apps and phases.
   std::uint64_t seed = 0x9e3779b9;
+  /// Run the baseline and MITM captures on two worker threads. Results are
+  /// identical either way: both phases draw from RNGs forked before the
+  /// captures start, so neither observes the other's stream position.
+  bool parallel_phases = false;
 };
 
 /// Everything the pipeline concluded about one destination of one app.

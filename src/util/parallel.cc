@@ -1,0 +1,94 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace pinscope::util {
+
+namespace {
+
+std::string FormatFailures(const std::vector<IndexFailure>& failures) {
+  std::string msg = "ParallelFor: " + std::to_string(failures.size()) +
+                    " index(es) threw:";
+  const std::size_t shown = std::min<std::size_t>(failures.size(), 3);
+  for (std::size_t i = 0; i < shown; ++i) {
+    msg += " [" + std::to_string(failures[i].index) + "] " +
+           failures[i].message + ";";
+  }
+  if (failures.size() > shown) msg += " ...";
+  return msg;
+}
+
+}  // namespace
+
+ParallelError::ParallelError(std::vector<IndexFailure> failures)
+    : Error(FormatFailures(failures)), failures_(std::move(failures)) {}
+
+int ResolveThreads(int requested, std::size_t n) {
+  if (n == 0) return 0;
+  std::size_t t;
+  if (requested <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    t = hw == 0 ? 1 : hw;
+  } else {
+    t = static_cast<std::size_t>(requested);
+  }
+  return static_cast<int>(std::min(t, n));
+}
+
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                 const ParallelOptions& options) {
+  if (n == 0) return;
+  const std::size_t grain = std::max<std::size_t>(options.grain, 1);
+  const int workers = ResolveThreads(options.threads, n);
+
+  // Every index runs exactly once even when siblings throw, so the failure
+  // set (and all per-index output) is independent of scheduling.
+  auto guarded = [&](std::size_t i, std::vector<IndexFailure>& sink) {
+    try {
+      body(i);
+    } catch (const std::exception& e) {
+      sink.push_back({i, e.what()});
+    } catch (...) {
+      sink.push_back({i, "unknown exception"});
+    }
+  };
+
+  std::vector<IndexFailure> failures;
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) guarded(i, failures);
+  } else {
+    std::atomic<std::size_t> cursor{0};
+    std::vector<std::vector<IndexFailure>> per_worker(
+        static_cast<std::size_t>(workers));
+    auto drain = [&](int w) {
+      auto& sink = per_worker[static_cast<std::size_t>(w)];
+      for (;;) {
+        const std::size_t begin =
+            cursor.fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= n) return;
+        const std::size_t end = std::min(begin + grain, n);
+        for (std::size_t i = begin; i < end; ++i) guarded(i, sink);
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers) - 1);
+    for (int w = 1; w < workers; ++w) pool.emplace_back(drain, w);
+    drain(0);  // the caller participates instead of idling
+    for (std::thread& t : pool) t.join();
+
+    for (const auto& sink : per_worker) {
+      failures.insert(failures.end(), sink.begin(), sink.end());
+    }
+    std::sort(failures.begin(), failures.end(),
+              [](const IndexFailure& a, const IndexFailure& b) {
+                return a.index < b.index;
+              });
+  }
+
+  if (!failures.empty()) throw ParallelError(std::move(failures));
+}
+
+}  // namespace pinscope::util

@@ -1,0 +1,76 @@
+// Deterministic fork-join parallelism for per-app work units.
+//
+// `ParallelFor(n, body)` runs body(0) … body(n-1) across a small pool of
+// worker threads that claim index chunks from a shared atomic cursor.
+// Determinism contract: the body must write only per-index state and must
+// seed any RNG from the study seed plus the index (never from shared stream
+// position). Under that contract results are invariant to scheduling, so the
+// thread count is a pure throughput knob — `threads=1` and `threads=N`
+// produce byte-identical studies (tests/core/parallel_study_test.cc).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.h"
+
+namespace pinscope::util {
+
+/// Knobs for one parallel loop.
+struct ParallelOptions {
+  /// Worker threads: 0 = std::thread::hardware_concurrency(), 1 = run inline
+  /// on the caller (no threads spawned), N = at most N workers.
+  int threads = 0;
+  /// Indices claimed per cursor fetch; raise for very small bodies so the
+  /// atomic does not dominate.
+  std::size_t grain = 1;
+};
+
+/// One failed index of a parallel loop.
+struct IndexFailure {
+  std::size_t index = 0;
+  std::string message;
+};
+
+/// Aggregate failure of a parallel loop. Every index runs to completion even
+/// when siblings throw; the failures are collected and reported here sorted
+/// by index, so the error is as deterministic as the results.
+class ParallelError : public Error {
+ public:
+  explicit ParallelError(std::vector<IndexFailure> failures);
+
+  [[nodiscard]] const std::vector<IndexFailure>& failures() const {
+    return failures_;
+  }
+
+ private:
+  std::vector<IndexFailure> failures_;
+};
+
+/// Number of workers a loop over `n` items will actually use (never more
+/// than `n`; never 0 for non-empty ranges, even if hardware_concurrency is
+/// unknown).
+[[nodiscard]] int ResolveThreads(int requested, std::size_t n);
+
+/// Runs body(i) for every i in [0, n). Exceptions escaping the body are
+/// aggregated into one ParallelError (sorted by index) thrown after the loop
+/// drains. Nested calls are safe: each invocation owns its worker threads.
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                 const ParallelOptions& options = {});
+
+/// Maps i → fn(i) into an index-ordered vector — the merge point that makes
+/// parallel results identical to serial ones regardless of completion order.
+/// The result type must be default-constructible.
+template <typename Fn>
+[[nodiscard]] auto ParallelMap(std::size_t n, Fn&& fn,
+                               const ParallelOptions& options = {})
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{}))>> {
+  std::vector<std::decay_t<decltype(fn(std::size_t{}))>> out(n);
+  ParallelFor(n, [&](std::size_t i) { out[i] = fn(i); }, options);
+  return out;
+}
+
+}  // namespace pinscope::util

@@ -14,10 +14,17 @@ util::Bytes SigPreimage(const util::Bytes& issuer_spki, const util::Bytes& tbs) 
   return pre;
 }
 
-std::string DeriveSerial(const util::Bytes& issuer_spki, std::uint64_t counter,
-                         std::string_view subject) {
+// Serials derive from certificate content alone (issuer, subject, subject
+// key, validity) — no issuance counter. Stateless derivation keeps serials
+// independent of issuance *order*, which is what lets certificate material
+// stay byte-identical when per-app work runs on many threads.
+std::string DeriveSerial(const util::Bytes& issuer_spki, const IssueSpec& spec,
+                         const util::Bytes& subject_spki) {
   std::string pre = "serial|" + util::ToString(issuer_spki) + "|" +
-                    std::to_string(counter) + "|" + std::string(subject);
+                    spec.subject.ToString() + "|" +
+                    util::ToString(subject_spki) + "|" +
+                    std::to_string(spec.not_before) + "|" +
+                    std::to_string(spec.not_after);
   const crypto::Sha256Digest d = crypto::Sha256(pre);
   return util::HexEncode(util::Bytes(d.begin(), d.begin() + 8));
 }
@@ -62,8 +69,8 @@ CertificateIssuer CertificateIssuer::SelfSignedRoot(std::string_view label,
   spec.not_after = not_after;
   spec.is_ca = true;
   CertificateData data = MakeData(spec, subject, key.SubjectPublicKeyInfo(),
-                                  DeriveSerial(key.SubjectPublicKeyInfo(), 0,
-                                               subject.ToString()));
+                                  DeriveSerial(key.SubjectPublicKeyInfo(), spec,
+                                               key.SubjectPublicKeyInfo()));
   Certificate unsigned_cert{data};
   data.signature = SignTbs(key.SubjectPublicKeyInfo(), unsigned_cert.TbsBytes());
   return CertificateIssuer(Certificate(std::move(data)), key);
@@ -73,8 +80,8 @@ Certificate CertificateIssuer::SelfSignedLeaf(std::string_view label,
                                               const IssueSpec& spec) {
   const crypto::KeyPair key = crypto::KeyPair::FromLabel(label);
   CertificateData data = MakeData(spec, spec.subject, key.SubjectPublicKeyInfo(),
-                                  DeriveSerial(key.SubjectPublicKeyInfo(), 0,
-                                               spec.subject.ToString()));
+                                  DeriveSerial(key.SubjectPublicKeyInfo(), spec,
+                                               key.SubjectPublicKeyInfo()));
   data.is_ca = false;
   Certificate unsigned_cert{data};
   data.signature = SignTbs(key.SubjectPublicKeyInfo(), unsigned_cert.TbsBytes());
@@ -87,10 +94,9 @@ Certificate CertificateIssuer::Issue(const IssueSpec& spec, util::Rng& rng) cons
 
 Certificate CertificateIssuer::IssueForKey(const IssueSpec& spec,
                                            const crypto::KeyPair& subject_key) const {
-  ++serial_counter_;
   CertificateData data =
       MakeData(spec, cert_.subject(), subject_key.SubjectPublicKeyInfo(),
-               DeriveSerial(cert_.spki(), serial_counter_, spec.subject.ToString()));
+               DeriveSerial(cert_.spki(), spec, subject_key.SubjectPublicKeyInfo()));
   Certificate unsigned_cert{data};
   data.signature = SignTbs(cert_.spki(), unsigned_cert.TbsBytes());
   return Certificate(std::move(data));

@@ -60,7 +60,11 @@ class CertificateIssuer {
   /// The CA certificate of this issuer.
   [[nodiscard]] const Certificate& certificate() const { return cert_; }
 
-  /// Issues a child certificate for a fresh key drawn from `rng`.
+  /// Issues a child certificate for a fresh key drawn from `rng`. Issuance
+  /// is stateless — the serial derives from certificate content, not an
+  /// issuance counter — so identical (spec, key) inputs yield identical
+  /// certificates regardless of how many or in what order certificates were
+  /// issued before (the property parallel per-app analysis relies on).
   [[nodiscard]] Certificate Issue(const IssueSpec& spec, util::Rng& rng) const;
 
   /// Issues a child certificate over an existing key (certificate renewal
@@ -78,7 +82,6 @@ class CertificateIssuer {
 
   Certificate cert_;
   crypto::KeyPair key_;
-  mutable std::uint64_t serial_counter_ = 0;
 };
 
 }  // namespace pinscope::x509

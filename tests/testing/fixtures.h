@@ -3,13 +3,36 @@
 // of the corpus generator, so unit tests do not depend on calibration.
 #pragma once
 
+#include <map>
 #include <string>
 
 #include "appmodel/app.h"
 #include "appmodel/server_world.h"
+#include "store/generator.h"
 #include "tls/pinning.h"
 
 namespace pinscope::testing {
+
+/// Shared "mini-corpus": a generated ecosystem small enough for integration
+/// tests (≈16 apps spanning both platforms and all six datasets) yet built
+/// by the real calibrated generator. Cached per seed for the process
+/// lifetime so a suite of integration tests shares one generation instead
+/// of each regenerating an ecosystem. Not thread-safe to *populate*: call
+/// first from a single-threaded context (gtest runs tests serially).
+inline const store::Ecosystem& MiniCorpus(std::uint64_t seed = 7) {
+  static std::map<std::uint64_t, store::Ecosystem> cache;
+  auto it = cache.find(seed);
+  if (it == cache.end()) {
+    store::EcosystemConfig config;
+    config.seed = seed;
+    // ≈0.3% of the paper's corpus: 1-2 common pairs plus a few popular and
+    // random apps per platform — the smallest scale at which every dataset
+    // is still populated.
+    config.scale = 0.003;
+    it = cache.emplace(seed, store::Ecosystem::Generate(config)).first;
+  }
+  return it->second;
+}
 
 /// A world with a handful of servers an app under test can contact.
 inline appmodel::ServerWorld MakeWorld(std::uint64_t seed = 99) {

@@ -1,0 +1,131 @@
+// The ParallelFor primitive: exact-once execution, exception aggregation,
+// nesting, and stress, across the whole range of interesting thread counts.
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace pinscope::util {
+namespace {
+
+class ParallelForTest : public ::testing::TestWithParam<int> {
+ protected:
+  ParallelOptions Opts(std::size_t grain = 1) const {
+    ParallelOptions opts;
+    opts.threads = GetParam();
+    opts.grain = grain;
+    return opts;
+  }
+};
+
+TEST_P(ParallelForTest, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, [&](std::size_t) { calls.fetch_add(1); }, Opts());
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_P(ParallelForTest, FewerItemsThanThreadsRunsEachIndexOnce) {
+  // n=3 with up to 16 requested threads: the pool must clamp to n and still
+  // hit every index exactly once.
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(3, [&](std::size_t i) { hits[i].fetch_add(1); }, Opts());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(ParallelForTest, EveryIndexRunsExactlyOnce) {
+  constexpr std::size_t kN = 997;  // prime, so no grain divides it evenly
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(kN, [&](std::size_t i) { hits[i].fetch_add(1); }, Opts(8));
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(ParallelForTest, ThrowingBodyAggregatesFailuresInIndexOrder) {
+  constexpr std::size_t kN = 100;
+  std::vector<std::atomic<int>> hits(kN);
+  try {
+    ParallelFor(
+        kN,
+        [&](std::size_t i) {
+          hits[i].fetch_add(1);
+          if (i % 7 == 0) throw Error("index " + std::to_string(i) + " failed");
+        },
+        Opts());
+    FAIL() << "expected ParallelError";
+  } catch (const ParallelError& e) {
+    const auto& failures = e.failures();
+    ASSERT_EQ(failures.size(), 15u);  // 0, 7, ..., 98
+    for (std::size_t k = 0; k < failures.size(); ++k) {
+      EXPECT_EQ(failures[k].index, k * 7);
+      EXPECT_EQ(failures[k].message,
+                "index " + std::to_string(k * 7) + " failed");
+    }
+    EXPECT_NE(std::string(e.what()).find("15 index(es) threw"),
+              std::string::npos);
+  }
+  // A failing sibling must not stop the other indices.
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(ParallelForTest, NonStdExceptionIsCaptured) {
+  try {
+    ParallelFor(2, [](std::size_t i) { if (i == 1) throw 42; }, Opts());
+    FAIL() << "expected ParallelError";
+  } catch (const ParallelError& e) {
+    ASSERT_EQ(e.failures().size(), 1u);
+    EXPECT_EQ(e.failures()[0].index, 1u);
+    EXPECT_EQ(e.failures()[0].message, "unknown exception");
+  }
+}
+
+TEST_P(ParallelForTest, NestedParallelForIsSafe) {
+  // Each call owns its worker threads, so nesting (the study's per-app loop
+  // over the pipeline's two-phase loop) cannot deadlock on a shared pool.
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 32;
+  std::vector<std::atomic<std::size_t>> sums(kOuter);
+  ParallelFor(
+      kOuter,
+      [&](std::size_t o) {
+        ParallelFor(
+            kInner, [&](std::size_t i) { sums[o].fetch_add(i + 1); }, Opts());
+      },
+      Opts());
+  for (const auto& s : sums) EXPECT_EQ(s.load(), kInner * (kInner + 1) / 2);
+}
+
+TEST_P(ParallelForTest, StressTenThousandTinyTasks) {
+  constexpr std::size_t kN = 10'000;
+  std::atomic<std::size_t> sum{0};
+  ParallelFor(kN, [&](std::size_t i) { sum.fetch_add(i); }, Opts(16));
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+TEST_P(ParallelForTest, ParallelMapPreservesIndexOrder) {
+  const std::vector<std::size_t> squares =
+      ParallelMap(257, [](std::size_t i) { return i * i; }, Opts(4));
+  ASSERT_EQ(squares.size(), 257u);
+  for (std::size_t i = 0; i < squares.size(); ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelForTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return info.param == 0
+                                      ? std::string("hw")
+                                      : "t" + std::to_string(info.param);
+                         });
+
+TEST(ResolveThreadsTest, ClampsAndDefaults) {
+  EXPECT_EQ(ResolveThreads(4, 0), 0);    // empty range needs no workers
+  EXPECT_EQ(ResolveThreads(4, 2), 2);    // never more workers than items
+  EXPECT_EQ(ResolveThreads(4, 100), 4);  // explicit request honored
+  EXPECT_EQ(ResolveThreads(1, 100), 1);
+  EXPECT_GE(ResolveThreads(0, 100), 1);  // 0 = hardware concurrency, >= 1
+}
+
+}  // namespace
+}  // namespace pinscope::util

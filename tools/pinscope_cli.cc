@@ -2,7 +2,7 @@
 //
 //   pinscope generate [--scale S] [--seed N]
 //       Generate an ecosystem and print its corpus summary.
-//   pinscope study [--scale S] [--seed N] [--json FILE] [--csv FILE]
+//   pinscope study [--scale S] [--seed N] [--threads T] [--json FILE] [--csv FILE]
 //       Run the full measurement study; print Table-3-style prevalence and
 //       optionally export the per-app dataset.
 //   pinscope audit APP_ID [--scale S] [--seed N]
@@ -18,10 +18,9 @@
 #include <vector>
 
 #include "core/analyses.h"
+#include "core/export.h"
 #include "core/study.h"
 #include "dynamicanalysis/pipeline.h"
-#include "report/csv_writer.h"
-#include "report/json_writer.h"
 #include "report/table.h"
 #include "staticanalysis/static_report.h"
 #include "store/generator.h"
@@ -36,9 +35,19 @@ struct CliOptions {
   std::vector<std::string> positional;
   double scale = 0.1;
   std::uint64_t seed = 42;
+  int threads = 0;  // 0 = hardware concurrency
   std::string json_path;
   std::string csv_path;
 };
+
+core::StudyOptions StudyOptionsFor(const CliOptions& opts) {
+  core::StudyOptions sopts;
+  sopts.threads = opts.threads;
+  // Results are thread-count invariant, so parallel phases are safe to turn
+  // on whenever the user did not pin the study to one thread.
+  sopts.dynamic.parallel_phases = opts.threads != 1;
+  return sopts;
+}
 
 int Usage() {
   std::printf(
@@ -53,6 +62,8 @@ int Usage() {
       "options:\n"
       "  --scale S           corpus scale, 0 < S <= 1 (default 0.1)\n"
       "  --seed N            generation seed (default 42)\n"
+      "  --threads T         study worker threads; 0 = all hardware threads\n"
+      "                      (default 0; results are identical for every T)\n"
       "  --json FILE         (study) export per-app records as JSON Lines\n"
       "  --csv FILE          (study) export per-destination rows as CSV\n");
   return 2;
@@ -77,6 +88,11 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
       const auto v = next();
       if (!v) return std::nullopt;
       opts.seed = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (arg == "--threads") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      opts.threads = std::atoi(v->c_str());
+      if (opts.threads < 0) return std::nullopt;
     } else if (arg == "--json") {
       const auto v = next();
       if (!v) return std::nullopt;
@@ -120,55 +136,31 @@ int CmdGenerate(const CliOptions& opts) {
 }
 
 void ExportJson(const core::Study& study, const std::string& path) {
-  std::ofstream out(path);
-  int records = 0;
-  for (const appmodel::Platform p :
-       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
-    for (const core::AppResult* r : study.AllResults(p)) {
-      report::JsonWriter w;
-      w.BeginObject();
-      w.Key("app_id");
-      w.String(r->app->meta.app_id);
-      w.Key("platform");
-      w.String(PlatformName(p));
-      w.Key("pins_at_runtime");
-      w.Bool(r->dynamic_report.AppPins());
-      w.Key("potential_pinning");
-      w.Bool(r->static_report.PotentialPinning());
-      w.Key("pinned_destinations");
-      w.BeginArray();
-      for (const auto& host : r->dynamic_report.PinnedDestinations()) w.String(host);
-      w.EndArray();
-      w.EndObject();
-      out << w.TakeString() << "\n";
-      ++records;
-    }
+  const std::string lines = core::ExportStudyJson(study);
+  std::size_t records = 0;
+  for (const char c : lines) {
+    if (c == '\n') ++records;
   }
-  std::printf("wrote %d JSON records to %s\n", records, path.c_str());
+  std::ofstream out(path);
+  out << lines;
+  std::printf("wrote %zu JSON records to %s\n", records, path.c_str());
 }
 
 void ExportCsv(const core::Study& study, const std::string& path) {
-  report::CsvWriter csv;
-  csv.SetHeader({"app_id", "platform", "hostname", "pinned", "circumvented"});
-  for (const appmodel::Platform p :
-       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
-    for (const core::AppResult* r : study.AllResults(p)) {
-      for (const auto& dest : r->dynamic_report.destinations) {
-        csv.AddRow({r->app->meta.app_id, std::string(PlatformName(p)),
-                    dest.hostname, dest.pinned ? "1" : "0",
-                    dest.circumvented ? "1" : "0"});
-      }
-    }
+  const std::string csv = core::ExportStudyCsv(study);
+  std::size_t rows = 0;
+  for (const char c : csv) {
+    if (c == '\n') ++rows;
   }
+  if (rows > 0) --rows;  // the header row
   std::ofstream out(path);
-  const std::size_t rows = csv.rows();
-  out << csv.TakeString();
+  out << csv;
   std::printf("wrote %zu CSV rows to %s\n", rows, path.c_str());
 }
 
 int CmdStudy(const CliOptions& opts) {
   const store::Ecosystem eco = Generate(opts);
-  core::Study study(eco);
+  core::Study study(eco, StudyOptionsFor(opts));
   std::fprintf(stderr, "[pinscope] running measurement pipeline\n");
   study.Run();
 
@@ -245,7 +237,7 @@ int CmdAudit(const CliOptions& opts) {
 
 int CmdTables(const CliOptions& opts) {
   const store::Ecosystem eco = Generate(opts);
-  core::Study study(eco);
+  core::Study study(eco, StudyOptionsFor(opts));
   study.Run();
 
   std::printf("%s", report::SectionHeader("Prevalence (Table 3)").c_str());
