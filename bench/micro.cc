@@ -9,10 +9,13 @@
 #include "appmodel/ios_package.h"
 #include "staticanalysis/ios_decrypt.h"
 #include "staticanalysis/nsc_analyzer.h"
+#include "staticanalysis/scan_cache.h"
 #include "staticanalysis/scanner.h"
 #include "store/generator.h"
 #include "tls/handshake.h"
 #include "util/rng.h"
+#include "x509/issuer.h"
+#include "x509/pem.h"
 #include "x509/validation.h"
 
 namespace {
@@ -121,6 +124,85 @@ void BM_ScannerPackage(benchmark::State& state) {
 }
 BENCHMARK(BM_ScannerPackage)->Arg(8)->Arg(64)->Arg(256);
 
+// A duplicated-SDK corpus: every app carries the same SDK payload (smali
+// pin config, API client, bundled PEM chain) plus a handful of app-unique
+// files — the sharing profile the content-hash scan cache is built for.
+std::vector<appmodel::PackageFiles> DuplicatedSdkCorpus(int apps) {
+  const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.globaltrust");
+  const std::string sdk_pin = "sha256/" + std::string(43, 'S') + "=";
+  // The SDK's native half: one prebuilt .so, byte-identical in every app,
+  // with the dense symbol/string table a real stripped library still has.
+  std::vector<std::string> sdk_symbols = {sdk_pin, "https://telemetry.vendor.com"};
+  for (int sym = 0; sym < 4000; ++sym) {
+    sdk_symbols.push_back("_ZN6vendor9analytics" + std::to_string(sym) + "Ev");
+  }
+  util::Rng blob_rng(1);
+  const util::Bytes sdk_blob =
+      appmodel::RenderBinaryWithStrings(sdk_symbols, blob_rng, 48 * 1024);
+  // And its vendored CA bundle: ~130 anchors like a real cacert.pem,
+  // shipped (as SDKs tend to) under a non-certificate extension, so every
+  // uncached pass PEM-decodes and parses each certificate from content.
+  std::string ca_bundle;
+  for (int c = 0; c < 130; ++c) {
+    x509::IssueSpec spec;
+    spec.subject.common_name = "Bundle Root CA " + std::to_string(c);
+    ca_bundle += x509::PemEncode(
+        x509::CertificateIssuer::SelfSignedLeaf("bundle:" + std::to_string(c), spec));
+  }
+  std::vector<appmodel::PackageFiles> corpus;
+  corpus.reserve(static_cast<std::size_t>(apps));
+  for (int a = 0; a < apps; ++a) {
+    appmodel::AppMetadata meta;
+    meta.app_id = "com.bench.dup" + std::to_string(a);
+    meta.display_name = "Dup" + std::to_string(a);
+    meta.platform = appmodel::Platform::kAndroid;
+    appmodel::AndroidPackageBuilder builder(meta);
+    // Shared across every app: identical bytes, identical paths.
+    builder.AddSmaliString("com/vendor/analytics", "PinningConfig.smali", sdk_pin);
+    for (int f = 0; f < 24; ++f) {
+      builder.AddSmaliString("com/vendor/analytics/impl" + std::to_string(f),
+                             "Api.smali",
+                             "https://telemetry.vendor.com/v2/e" + std::to_string(f));
+    }
+    builder.AddCertificateFile("assets/sdk", "vendor_root", ca.certificate(),
+                               appmodel::CertFileFormat::kPem);
+    // App-unique tail: always a cache miss.
+    builder.AddSmaliString("com/bench/dup" + std::to_string(a), "Main.smali",
+                           "https://api.dup" + std::to_string(a) + ".com/v1");
+    builder.AddAsset("assets/config.json",
+                     "{\"app\":\"dup" + std::to_string(a) + "\"}");
+    appmodel::PackageFiles files = builder.Build();
+    files.Add("lib/arm64-v8a/libvendorsdk.so", sdk_blob);
+    files.AddText("assets/sdk/ca_bundle.dat", ca_bundle);
+    corpus.push_back(std::move(files));
+  }
+  return corpus;
+}
+
+// The cache headline: one corpus scanned end to end, without (arg 0) and
+// with (arg 1) a shared ScanCache. The cache is recreated every iteration,
+// so warm-up hits inside one pass are the only hits — exactly the shape of
+// a real study run.
+void BM_StaticScan(benchmark::State& state) {
+  static const std::vector<appmodel::PackageFiles> corpus = DuplicatedSdkCorpus(64);
+  const bool use_cache = state.range(0) != 0;
+  const staticanalysis::Scanner scanner;
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    staticanalysis::ScanCache cache;
+    bytes = 0;
+    for (const auto& package : corpus) {
+      const staticanalysis::ScanResult result =
+          scanner.Scan(package, use_cache ? &cache : nullptr);
+      bytes += static_cast<std::int64_t>(result.bytes_scanned);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+  state.SetLabel(use_cache ? "cache" : "no-cache");
+}
+BENCHMARK(BM_StaticScan)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_PinRegexFindAll(benchmark::State& state) {
   const staticanalysis::Regex re("sha(1|256)/[a-zA-Z0-9+/=]{28,64}");
   std::string haystack;
@@ -135,6 +217,37 @@ void BM_PinRegexFindAll(benchmark::State& state) {
                           static_cast<int64_t>(haystack.size()));
 }
 BENCHMARK(BM_PinRegexFindAll);
+
+// The literal-anchor prefilter on a pin-free megabyte — the common case for
+// scanned app content. Arg selects the anchor shape: 0 = prefix literal
+// ("sha..."), 1 = interior literal behind a group (invisible to the old
+// prefix-only prefilter), 2 = no extractable literal (pure backtracking
+// floor, unchanged by this work).
+void BM_RegexScan1MiB(benchmark::State& state) {
+  static const std::string haystack = [] {
+    std::string s;
+    s.reserve(1 << 20);
+    util::Rng rng(8);
+    while (s.size() < (1 << 20)) {
+      s += "const-string v" + std::to_string(rng.UniformInt(0, 9)) +
+           ", \"https://host" + std::to_string(rng.UniformInt(0, 9999)) +
+           ".example.com/path\"\n";
+    }
+    return s;
+  }();
+  static const staticanalysis::Regex patterns[] = {
+      staticanalysis::Regex("sha(1|256)/[a-zA-Z0-9+/=]{28,64}"),
+      staticanalysis::Regex("(-----BEGIN |-----END )CERTIFICATE-----"),
+      staticanalysis::Regex("[a-z]+[0-9]{4}[a-z]+"),
+  };
+  const staticanalysis::Regex& re = patterns[state.range(0)];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re.FindAll(haystack));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(haystack.size()));
+}
+BENCHMARK(BM_RegexScan1MiB)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 void BM_UsedConnectionClassification(benchmark::State& state) {
   net::Flow flow;

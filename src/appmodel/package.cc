@@ -22,10 +22,9 @@ bool PackageFiles::Contains(std::string_view path) const {
 }
 
 std::vector<std::string> PackageFiles::PathsWithSuffix(std::string_view suffix) const {
-  const std::string want = util::ToLower(suffix);
   std::vector<std::string> out;
   for (const auto& [path, _] : files_) {
-    if (util::EndsWith(util::ToLower(path), want)) out.push_back(path);
+    if (util::EndsWithIgnoreCase(path, suffix)) out.push_back(path);
   }
   return out;
 }

@@ -8,7 +8,11 @@
 namespace pinscope::core {
 
 Study::Study(const store::Ecosystem& eco, StudyOptions options)
-    : eco_(&eco), options_(options) {}
+    : eco_(&eco), options_(options) {
+  if (options_.scan_cache) {
+    scan_cache_ = std::make_unique<staticanalysis::ScanCache>();
+  }
+}
 
 std::map<std::size_t, AppResult> MergeByIndex(std::vector<AppResult> results) {
   std::map<std::size_t, AppResult> out;
@@ -29,6 +33,7 @@ AppResult Study::AnalyzeApp(appmodel::Platform p, std::size_t index) const {
 
   staticanalysis::StaticAnalysisOptions static_opts;
   static_opts.ct_log = &eco_->ct_log();
+  static_opts.scan_cache = scan_cache_.get();
   r.static_report = staticanalysis::AnalyzeStatically(*r.app, static_opts);
 
   dynamicanalysis::DynamicOptions dyn = options_.dynamic;

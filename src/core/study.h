@@ -7,9 +7,11 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "dynamicanalysis/pipeline.h"
+#include "staticanalysis/scan_cache.h"
 #include "staticanalysis/static_report.h"
 #include "store/generator.h"
 
@@ -33,6 +35,12 @@ struct StudyOptions {
   /// back in universe-index order, so any value produces byte-identical
   /// results (0 = hardware concurrency, 1 = serial).
   int threads = 1;
+  /// Share one corpus-wide static-scan cache across every app of the study,
+  /// so files shipped identically by many apps (third-party SDKs, §5
+  /// Table 7) are scanned once instead of once per app. Exports are
+  /// byte-identical with the cache on or off (`ctest -L static`); off is a
+  /// debugging/measurement knob, not a correctness one.
+  bool scan_cache = true;
 };
 
 /// Keys per-app results by universe index. Completion order is irrelevant:
@@ -71,6 +79,12 @@ class Study {
   /// All analyzed results for a platform.
   [[nodiscard]] std::vector<const AppResult*> AllResults(appmodel::Platform p) const;
 
+  /// The study's scan cache (nullptr when options.scan_cache is off). Read
+  /// its Stats() after Run() for hit/dedup observability.
+  [[nodiscard]] const staticanalysis::ScanCache* scan_cache() const {
+    return scan_cache_.get();
+  }
+
  private:
   /// Universe indices of every dataset member of `p` not yet analyzed, each
   /// once, in ascending order (the deterministic work list).
@@ -78,6 +92,8 @@ class Study {
 
   const store::Ecosystem* eco_;
   StudyOptions options_;
+  /// Shared by every AnalyzeApp worker; internally synchronized.
+  std::unique_ptr<staticanalysis::ScanCache> scan_cache_;
   std::map<std::size_t, AppResult> android_results_;
   std::map<std::size_t, AppResult> ios_results_;
 };

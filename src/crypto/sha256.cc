@@ -2,6 +2,18 @@
 
 #include <cstring>
 
+// The x86 SHA extensions path: compiled per-function via target attributes
+// (no global -march requirement) and selected at runtime, so one binary
+// serves both old and new machines. Content-hash scan caching (see
+// staticanalysis/scan_cache.h) hashes every corpus byte, which promoted
+// SHA-256 from a per-pin nicety to a scan-throughput bottleneck.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PINSCOPE_SHA256_X86_SHANI 1
+#include <immintrin.h>
+#else
+#define PINSCOPE_SHA256_X86_SHANI 0
+#endif
+
 namespace pinscope::crypto {
 namespace {
 
@@ -20,11 +32,9 @@ constexpr std::uint32_t kK[64] = {
 
 std::uint32_t Rotr32(std::uint32_t x, int k) { return (x >> k) | (x << (32 - k)); }
 
-struct Sha256State {
-  std::uint32_t h[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-                        0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
-
-  void ProcessBlock(const std::uint8_t* p) {
+void ProcessBlocksScalar(std::uint32_t h[8], const std::uint8_t* p,
+                         std::size_t blocks) {
+  for (; blocks > 0; --blocks, p += 64) {
     std::uint32_t w[64];
     for (int i = 0; i < 16; ++i) {
       w[i] = static_cast<std::uint32_t>(p[i * 4]) << 24 |
@@ -66,12 +76,110 @@ struct Sha256State {
     h[6] += g;
     h[7] += hh;
   }
-};
+}
 
-Sha256Digest Compute(const std::uint8_t* data, std::size_t len) {
-  Sha256State st;
-  std::size_t i = 0;
-  for (; i + 64 <= len; i += 64) st.ProcessBlock(data + i);
+#if PINSCOPE_SHA256_X86_SHANI
+
+// Two rounds per _mm_sha256rnds2_epu32; the working variables live in the
+// (ABEF, CDGH) register split the instruction expects. Follows the layout
+// of Intel's reference sequence for the SHA extensions.
+__attribute__((target("sha,sse4.1,ssse3"))) void ProcessBlocksShaNi(
+    std::uint32_t h[8], const std::uint8_t* p, std::size_t blocks) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&h[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&h[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xb1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1b);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);  // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xf0);       // CDGH
+
+  while (blocks-- > 0) {
+    const __m128i save0 = state0;
+    const __m128i save1 = state1;
+
+    auto k4 = [](int i) {
+      return _mm_set_epi64x(
+          static_cast<long long>((static_cast<std::uint64_t>(kK[i + 3]) << 32) |
+                                 kK[i + 2]),
+          static_cast<long long>((static_cast<std::uint64_t>(kK[i + 1]) << 32) |
+                                 kK[i]));
+    };
+
+    // m[s & 3] holds schedule words W[4s..4s+3]; each 4-round step s
+    // consumes its segment, pre-expands the next one (alignr supplies the
+    // W[t-7] lane, msg2 finishes it), and feeds msg1 the segment whose raw
+    // value is no longer needed. msg2 must precede msg1 within a step: the
+    // alignr reads m[(s-1) & 3] before msg1 overwrites it.
+    __m128i m[4];
+    for (int j = 0; j < 4; ++j) {
+      m[j] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16 * j)),
+          kShuffle);
+    }
+#if defined(__clang__)
+#pragma unroll
+#else
+#pragma GCC unroll 16
+#endif
+    for (int s = 0; s < 16; ++s) {
+      const __m128i msg = _mm_add_epi32(m[s & 3], k4(s * 4));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      state0 =
+          _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0e));
+      if (s >= 3 && s <= 14) {
+        m[(s + 1) & 3] = _mm_sha256msg2_epu32(
+            _mm_add_epi32(m[(s + 1) & 3],
+                          _mm_alignr_epi8(m[s & 3], m[(s + 3) & 3], 4)),
+            m[s & 3]);
+      }
+      if (s >= 1 && s <= 12) {
+        m[(s + 3) & 3] = _mm_sha256msg1_epu32(m[(s + 3) & 3], m[s & 3]);
+      }
+    }
+
+    state0 = _mm_add_epi32(state0, save0);
+    state1 = _mm_add_epi32(state1, save1);
+    p += 64;
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1b);       // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xb1);    // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xf0);       // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);          // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&h[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&h[4]), state1);
+}
+
+bool HasShaNi() {
+  static const bool supported = __builtin_cpu_supports("sha") &&
+                                __builtin_cpu_supports("sse4.1") &&
+                                __builtin_cpu_supports("ssse3");
+  return supported;
+}
+
+#endif  // PINSCOPE_SHA256_X86_SHANI
+
+void ProcessBlocks(std::uint32_t h[8], const std::uint8_t* p,
+                   std::size_t blocks) {
+#if PINSCOPE_SHA256_X86_SHANI
+  if (HasShaNi()) {
+    ProcessBlocksShaNi(h, p, blocks);
+    return;
+  }
+#endif
+  ProcessBlocksScalar(h, p, blocks);
+}
+
+using BlockFn = void (*)(std::uint32_t[8], const std::uint8_t*, std::size_t);
+
+Sha256Digest Compute(const std::uint8_t* data, std::size_t len, BlockFn blocks) {
+  std::uint32_t h[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                        0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  const std::size_t full = len / 64;
+  blocks(h, data, full);
+  const std::size_t i = full * 64;
 
   std::uint8_t block[128] = {};
   const std::size_t rest = len - i;
@@ -83,15 +191,14 @@ Sha256Digest Compute(const std::uint8_t* data, std::size_t len) {
     block[padded - 8 + static_cast<std::size_t>(j)] =
         static_cast<std::uint8_t>(bits >> (56 - 8 * j));
   }
-  st.ProcessBlock(block);
-  if (padded == 128) st.ProcessBlock(block + 64);
+  blocks(h, block, padded / 64);
 
   Sha256Digest out{};
   for (int j = 0; j < 8; ++j) {
-    out[static_cast<std::size_t>(j * 4)] = static_cast<std::uint8_t>(st.h[j] >> 24);
-    out[static_cast<std::size_t>(j * 4 + 1)] = static_cast<std::uint8_t>(st.h[j] >> 16);
-    out[static_cast<std::size_t>(j * 4 + 2)] = static_cast<std::uint8_t>(st.h[j] >> 8);
-    out[static_cast<std::size_t>(j * 4 + 3)] = static_cast<std::uint8_t>(st.h[j]);
+    out[static_cast<std::size_t>(j * 4)] = static_cast<std::uint8_t>(h[j] >> 24);
+    out[static_cast<std::size_t>(j * 4 + 1)] = static_cast<std::uint8_t>(h[j] >> 16);
+    out[static_cast<std::size_t>(j * 4 + 2)] = static_cast<std::uint8_t>(h[j] >> 8);
+    out[static_cast<std::size_t>(j * 4 + 3)] = static_cast<std::uint8_t>(h[j]);
   }
   return out;
 }
@@ -99,13 +206,31 @@ Sha256Digest Compute(const std::uint8_t* data, std::size_t len) {
 }  // namespace
 
 Sha256Digest Sha256(const util::Bytes& data) {
-  return Compute(data.data(), data.size());
+  return Compute(data.data(), data.size(), ProcessBlocks);
 }
 
 Sha256Digest Sha256(std::string_view data) {
-  return Compute(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  return Compute(reinterpret_cast<const std::uint8_t*>(data.data()), data.size(),
+                 ProcessBlocks);
 }
 
 util::Bytes ToBytes(const Sha256Digest& d) { return util::Bytes(d.begin(), d.end()); }
+
+namespace internal {
+
+Sha256Digest Sha256Portable(std::string_view data) {
+  return Compute(reinterpret_cast<const std::uint8_t*>(data.data()), data.size(),
+                 ProcessBlocksScalar);
+}
+
+bool Sha256UsesHardware() {
+#if PINSCOPE_SHA256_X86_SHANI
+  return HasShaNi();
+#else
+  return false;
+#endif
+}
+
+}  // namespace internal
 
 }  // namespace pinscope::crypto

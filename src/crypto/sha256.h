@@ -26,4 +26,16 @@ using Sha256Digest = std::array<std::uint8_t, 32>;
 /// Digest as a byte buffer (for codecs).
 [[nodiscard]] util::Bytes ToBytes(const Sha256Digest& d);
 
+namespace internal {
+
+/// The portable (pure C++) implementation, bypassing any hardware fast
+/// path. Exposed so tests can assert the accelerated and portable paths
+/// agree byte for byte on the machine they actually run on.
+[[nodiscard]] Sha256Digest Sha256Portable(std::string_view data);
+
+/// True when Sha256() dispatches to the SHA-NI accelerated block function.
+[[nodiscard]] bool Sha256UsesHardware();
+
+}  // namespace internal
+
 }  // namespace pinscope::crypto

@@ -1,5 +1,6 @@
 #include "staticanalysis/regex.h"
 
+#include <algorithm>
 #include <functional>
 #include <limits>
 
@@ -282,12 +283,184 @@ std::string ComputePrefix(const Regex::Node& root) {
   return prefix;
 }
 
+// --- Required-literal anchor extraction --------------------------------
+//
+// Walks the AST collecting every literal substring a match is guaranteed to
+// contain, with the (possibly unbounded) window of offsets it can occupy
+// relative to the match start. The best candidate is memoized per pattern
+// and drives the Search()/FindAll() prefilter. The analysis is
+// conservative: returning no anchor is always sound, and every reported
+// (literal, window) pair must hold for every possible match.
+
+std::size_t SatAdd(std::size_t a, std::size_t b) {
+  if (a == kUnbounded || b == kUnbounded) return kUnbounded;
+  return a > kUnbounded - b ? kUnbounded : a + b;
+}
+
+std::size_t SatMul(std::size_t a, std::size_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == kUnbounded || b == kUnbounded) return kUnbounded;
+  return a > kUnbounded / b ? kUnbounded : a * b;
+}
+
+struct LenRange {
+  std::size_t min = 0;
+  std::size_t max = 0;  // kUnbounded when a quantifier is open-ended
+};
+
+LenRange NodeLen(const Regex::Node& node);
+
+LenRange AtomLen(const Regex::Node::Atom& atom) {
+  LenRange base{1, 1};
+  if (atom.kind == AtomKind::kGroup) base = NodeLen(*atom.group);
+  return {SatMul(atom.min, base.min), SatMul(atom.max, base.max)};
+}
+
+LenRange NodeLen(const Regex::Node& node) {
+  LenRange out{kUnbounded, 0};
+  for (const auto& alt : node.alternatives) {
+    LenRange seq{0, 0};
+    for (const auto& atom : alt) {
+      const LenRange len = AtomLen(atom);
+      seq.min = SatAdd(seq.min, len.min);
+      seq.max = SatAdd(seq.max, len.max);
+    }
+    out.min = std::min(out.min, seq.min);
+    out.max = std::max(out.max, seq.max);
+  }
+  return out;
+}
+
+struct Candidate {
+  std::string literal;
+  std::size_t min_offset = 0;
+  std::size_t max_offset = 0;
+};
+
+std::vector<Candidate> CollectNode(const Regex::Node& node);
+
+// Mandatory literals of one alternative. Runs accumulate over consecutive
+// mandatory literal atoms; an exact quantifier {n} contributes n adjacent
+// copies (capped), a variable one contributes its guaranteed minimum and
+// then breaks the run (the following atom is no longer at a fixed distance).
+void CollectSeq(const Regex::Node::Sequence& seq, std::vector<Candidate>& out) {
+  constexpr std::size_t kMaxLiteralRepeat = 64;
+  std::size_t min_off = 0;
+  std::size_t max_off = 0;
+  Candidate run;
+  bool in_run = false;
+  const auto flush = [&] {
+    if (in_run) out.push_back(run);
+    in_run = false;
+  };
+  for (const auto& atom : seq) {
+    if (atom.kind == AtomKind::kLiteral && atom.min >= 1) {
+      if (!in_run) {
+        run = {"", min_off, max_off};
+        in_run = true;
+      }
+      const std::size_t copies = std::min(atom.min, kMaxLiteralRepeat);
+      run.literal.append(copies, atom.literal);
+      if (atom.max != atom.min || atom.min > kMaxLiteralRepeat) flush();
+    } else {
+      flush();
+      if (atom.kind == AtomKind::kGroup && atom.min >= 1) {
+        // A mandatory group's first repetition must contain each of the
+        // group's own anchors, shifted by what precedes the group.
+        for (Candidate& c : CollectNode(*atom.group)) {
+          out.push_back({std::move(c.literal), SatAdd(min_off, c.min_offset),
+                         SatAdd(max_off, c.max_offset)});
+        }
+      }
+    }
+    const LenRange len = AtomLen(atom);
+    min_off = SatAdd(min_off, len.min);
+    max_off = SatAdd(max_off, len.max);
+  }
+  flush();
+}
+
+// Mandatory literals of a node. For alternations, a literal qualifies only
+// if *every* alternative guarantees it (as a substring of one of its own
+// mandatory literals); the window is the union over alternatives. Exact
+// equality is not required — "foo|food" anchors on "foo" — but maximal
+// common substrings are not synthesized ("food|foot" yields no anchor).
+std::vector<Candidate> CollectNode(const Regex::Node& node) {
+  std::vector<std::vector<Candidate>> lists;
+  lists.reserve(node.alternatives.size());
+  for (const auto& alt : node.alternatives) {
+    std::vector<Candidate> list;
+    CollectSeq(alt, list);
+    if (list.empty()) return {};  // this alternative guarantees no literal
+    lists.push_back(std::move(list));
+  }
+  if (lists.size() == 1) return std::move(lists.front());
+
+  std::vector<Candidate> out;
+  for (const auto& list : lists) {
+    for (const Candidate& seed : list) {
+      bool already = false;
+      for (const Candidate& o : out) already = already || o.literal == seed.literal;
+      if (already) continue;
+      Candidate merged{seed.literal, kUnbounded, 0};
+      bool common = true;
+      for (const auto& other : lists) {
+        bool found = false;
+        for (const Candidate& c : other) {
+          const std::size_t pos = c.literal.find(seed.literal);
+          if (pos == std::string::npos) continue;
+          merged.min_offset = std::min(merged.min_offset, SatAdd(c.min_offset, pos));
+          merged.max_offset = std::max(merged.max_offset, SatAdd(c.max_offset, pos));
+          found = true;
+          break;
+        }
+        if (!found) {
+          common = false;
+          break;
+        }
+      }
+      if (common) out.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+// Best anchor: longest literal; ties prefer a bounded window, then a
+// tighter one, then lexicographic order (a deterministic compile).
+LiteralAnchor ComputeAnchor(const Regex::Node& root) {
+  LiteralAnchor best;
+  for (const Candidate& c : CollectNode(root)) {
+    const LiteralAnchor cand{c.literal, c.min_offset, c.max_offset};
+    if (best.literal.empty()) {
+      best = cand;
+      continue;
+    }
+    if (cand.literal.size() != best.literal.size()) {
+      if (cand.literal.size() > best.literal.size()) best = cand;
+      continue;
+    }
+    if (cand.bounded() != best.bounded()) {
+      if (cand.bounded()) best = cand;
+      continue;
+    }
+    if (cand.max_offset != best.max_offset) {
+      if (cand.max_offset < best.max_offset) best = cand;
+      continue;
+    }
+    if (cand.literal < best.literal) best = cand;
+  }
+  return best;
+}
+
 }  // namespace
 
 // --- Public API ---------------------------------------------------------
 
 Regex::Regex(std::string_view pattern)
-    : pattern_(pattern), root_(Parser(pattern).Parse()), prefix_(ComputePrefix(*root_)) {}
+    : pattern_(pattern),
+      root_(Parser(pattern).Parse()),
+      prefix_(ComputePrefix(*root_)),
+      anchor_(ComputeAnchor(*root_)) {}
 
 Regex::Regex(Regex&&) noexcept = default;
 Regex& Regex::operator=(Regex&&) noexcept = default;
@@ -302,25 +475,65 @@ bool Regex::MatchAt(std::string_view text, std::size_t pos,
   return true;
 }
 
-bool Regex::Search(std::string_view text) const {
-  for (std::size_t pos = 0; pos <= text.size(); ++pos) {
-    if (!prefix_.empty()) {
-      pos = text.find(prefix_, pos);
-      if (pos == std::string_view::npos) return false;
+namespace {
+
+// Prefilter state shared by Search()/FindAll(): tracks the next occurrence
+// of the anchor literal so each subject byte is searched at most once.
+// Advance(pos) either confirms `pos` could start a match, fast-forwards
+// `pos` past positions the anchor rules out, or reports that no further
+// match is possible anywhere in the subject.
+class AnchorSweep {
+ public:
+  AnchorSweep(const LiteralAnchor& anchor, std::string_view text)
+      : anchor_(anchor), text_(text) {}
+
+  // Returns false when the anchor proves no match can start at or after
+  // `pos`; otherwise leaves `pos` at the earliest still-possible start.
+  bool Advance(std::size_t& pos) {
+    if (anchor_.literal.empty()) return true;
+    // A match at `pos` needs the literal at some q >= pos + min_offset.
+    const std::size_t need = SatAdd(pos, anchor_.min_offset);
+    if (!valid_ || lit_at_ < need) {
+      lit_at_ = text_.find(anchor_.literal, need);
+      valid_ = true;
+      if (lit_at_ == std::string_view::npos) return false;
     }
+    // ...and at most max_offset past the start: starts before
+    // lit_at_ - max_offset cannot reach the earliest occurrence.
+    if (anchor_.bounded()) {
+      const std::size_t earliest =
+          lit_at_ > anchor_.max_offset ? lit_at_ - anchor_.max_offset : 0;
+      if (pos < earliest) pos = earliest;
+    }
+    return true;
+  }
+
+ private:
+  const LiteralAnchor& anchor_;
+  std::string_view text_;
+  std::size_t lit_at_ = 0;
+  bool valid_ = false;
+};
+
+}  // namespace
+
+bool Regex::Search(std::string_view text) const {
+  AnchorSweep sweep(anchor_, text);
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    if (!sweep.Advance(pos)) return false;
     if (MatchAt(text, pos)) return true;
+    ++pos;
   }
   return false;
 }
 
 std::vector<RegexMatch> Regex::FindAll(std::string_view text) const {
   std::vector<RegexMatch> out;
+  AnchorSweep sweep(anchor_, text);
   std::size_t pos = 0;
   while (pos <= text.size()) {
-    if (!prefix_.empty()) {
-      pos = text.find(prefix_, pos);
-      if (pos == std::string_view::npos) return out;
-    }
+    if (!sweep.Advance(pos)) return out;
     std::size_t len = 0;
     if (MatchAt(text, pos, &len)) {
       out.push_back({pos, std::string(text.substr(pos, len))});

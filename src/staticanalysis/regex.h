@@ -8,6 +8,7 @@
 #pragma once
 
 #include <bitset>
+#include <limits>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -19,6 +20,27 @@ namespace pinscope::staticanalysis {
 struct RegexMatch {
   std::size_t position = 0;  ///< Byte offset of the match start.
   std::string text;          ///< Matched text.
+};
+
+/// Sentinel for "the anchor's offset within a match is unbounded" (a
+/// preceding unbounded quantifier makes it unknowable).
+inline constexpr std::size_t kUnboundedOffset =
+    std::numeric_limits<std::size_t>::max();
+
+/// A literal substring every match of a pattern must contain, plus the
+/// window — relative to the match start — where it must begin. Search() and
+/// FindAll() use it as a prefilter: the subject is swept for the literal
+/// with std::string_view::find (memchr-backed) and the backtracking matcher
+/// only runs at positions the window says could start a match. Generalizes
+/// the literal-prefix case: the prefix is the anchor with window [0, 0].
+struct LiteralAnchor {
+  std::string literal;  ///< Empty when no mandatory literal is extractable.
+  std::size_t min_offset = 0;  ///< Earliest offset of `literal` in a match.
+  std::size_t max_offset = 0;  ///< Latest offset, or kUnboundedOffset.
+
+  /// True when the window is finite, i.e. finding the literal at subject
+  /// position q bounds candidate match starts to [q - max_offset, q].
+  [[nodiscard]] bool bounded() const { return max_offset != kUnboundedOffset; }
 };
 
 /// A compiled pattern. Compile once, match many times.
@@ -50,14 +72,21 @@ class Regex {
   struct Node;
 
   /// The literal prefix every match must start with ("" when the pattern has
-  /// no mandatory literal head). Search() and FindAll() use it to skip
-  /// non-candidate positions — essential for corpus-scale scanning.
+  /// no mandatory literal head). Subsumed by required_literal() — kept for
+  /// callers that specifically want a match *head*.
   [[nodiscard]] const std::string& literal_prefix() const { return prefix_; }
+
+  /// The best mandatory-literal anchor of this pattern, memoized at compile
+  /// time (longest literal; ties prefer a bounded, then tighter, window).
+  /// `required_literal().literal` is empty for patterns with no extractable
+  /// literal, e.g. pure character classes or disjoint alternations.
+  [[nodiscard]] const LiteralAnchor& required_literal() const { return anchor_; }
 
  private:
   std::string pattern_;
   std::unique_ptr<Node> root_;
   std::string prefix_;
+  LiteralAnchor anchor_;
 };
 
 }  // namespace pinscope::staticanalysis

@@ -1,0 +1,52 @@
+#include "staticanalysis/scan_cache.h"
+
+#include <utility>
+
+namespace pinscope::staticanalysis {
+
+ScanCache::ScanCache(std::size_t shard_count)
+    : shard_count_(shard_count == 0 ? 1 : shard_count),
+      shards_(std::make_unique<Shard[]>(shard_count_)) {}
+
+ScanCache::Key ScanCache::MakeKey(const util::Bytes& content, bool cert_file) {
+  return Key{crypto::Sha256(content), cert_file};
+}
+
+std::shared_ptr<const CachedFileScan> ScanCache::Find(const Key& key,
+                                                      std::size_t content_size) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<const CachedFileScan> found;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) found = it->second;
+  }
+  if (found != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    bytes_deduped_.fetch_add(content_size, std::memory_order_relaxed);
+  }
+  return found;
+}
+
+std::shared_ptr<const CachedFileScan> ScanCache::Insert(const Key& key,
+                                                        CachedFileScan scan) {
+  auto entry = std::make_shared<const CachedFileScan>(std::move(scan));
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto [it, inserted] = shard.map.try_emplace(key, std::move(entry));
+  if (inserted) entries_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+ScanCacheStats ScanCache::Stats() const {
+  ScanCacheStats stats;
+  stats.lookups = lookups_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = stats.lookups - stats.hits;
+  stats.entries = entries_.load(std::memory_order_relaxed);
+  stats.bytes_deduped = bytes_deduped_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace pinscope::staticanalysis

@@ -1,0 +1,119 @@
+// Corpus-wide static-scan cache (the "scan once per study" layer).
+//
+// The paper attributes most pinning to a small set of third-party SDKs
+// shipped identically across thousands of apps (IMC '22 §5, Table 7), which
+// makes per-file scan work massively redundant at corpus scale: the same
+// OkHttp smali, the same bundled PEM roots, the same native lib appear in
+// app after app. This cache memoizes the scanner's per-content outcome,
+// keyed by SHA-256 of the file bytes (src/crypto/sha256) plus the cert-file
+// flag, so any given content is scanned once per study no matter how many
+// apps ship it.
+//
+// Thread safety & determinism: the map is sharded (per-shard mutex, shard
+// chosen by digest byte) so parallel per-app workers rarely contend.
+// Inserts are first-wins; a racing worker that scanned the same content
+// deposits an *identical* outcome (the scan is a pure function of the key),
+// so which insert lands is unobservable. Cached entries store no paths —
+// the scanner rebinds paths on every hit — which is why cached and uncached
+// studies export byte-identical results (see DESIGN.md §9 and the
+// `ctest -L static` equivalence suite).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "crypto/sha256.h"
+#include "staticanalysis/scanner.h"
+#include "util/bytes.h"
+
+namespace pinscope::staticanalysis {
+
+/// Monotonic counters describing a cache's lifetime (snapshot; the cache
+/// keeps them in atomics). Schedule-dependent in the per-app breakdown but
+/// stable in aggregate: for every distinct content exactly one scan misses.
+struct ScanCacheStats {
+  std::size_t lookups = 0;       ///< Files that consulted the cache.
+  std::size_t hits = 0;          ///< Files served from a cached outcome.
+  std::size_t misses = 0;        ///< Files that had to be scanned.
+  std::size_t entries = 0;       ///< Distinct (content, flag) outcomes stored.
+  std::size_t bytes_deduped = 0; ///< Content bytes never rescanned.
+
+  [[nodiscard]] double HitRate() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+/// Thread-safe, deterministic content-hash → scan-outcome map. One instance
+/// lives for the duration of a Study and is shared by every worker.
+class ScanCache {
+ public:
+  /// Cache key: content digest + the suffix-dependent scan branch.
+  struct Key {
+    crypto::Sha256Digest digest{};
+    bool cert_file = false;
+
+    bool operator==(const Key& o) const {
+      return cert_file == o.cert_file && digest == o.digest;
+    }
+  };
+
+  explicit ScanCache(std::size_t shard_count = kDefaultShards);
+
+  ScanCache(const ScanCache&) = delete;
+  ScanCache& operator=(const ScanCache&) = delete;
+
+  /// Builds the key for one file.
+  [[nodiscard]] static Key MakeKey(const util::Bytes& content, bool cert_file);
+
+  /// Looks up a cached outcome. Counts one lookup; on a hit also counts
+  /// `content_size` toward bytes_deduped. Returns nullptr on miss.
+  [[nodiscard]] std::shared_ptr<const CachedFileScan> Find(
+      const Key& key, std::size_t content_size);
+
+  /// Deposits an outcome (first insert wins) and returns the resident
+  /// entry — the caller must append *that*, not its local copy, so racing
+  /// workers all observe one canonical outcome.
+  std::shared_ptr<const CachedFileScan> Insert(const Key& key,
+                                               CachedFileScan scan);
+
+  /// Counter snapshot (approximate while scans are in flight; exact once
+  /// the parallel loop has joined).
+  [[nodiscard]] ScanCacheStats Stats() const;
+
+  static constexpr std::size_t kDefaultShards = 16;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // The digest is already uniform; fold in the flag.
+      std::size_t h = 0;
+      std::memcpy(&h, k.digest.data(), sizeof(h));
+      return k.cert_file ? h ^ 0x9e3779b97f4a7c15ULL : h;
+    }
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Key, std::shared_ptr<const CachedFileScan>, KeyHash> map;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    // Use a digest byte the hash does not (bytes 0-7 feed KeyHash) so shard
+    // choice and within-shard bucketing stay independent.
+    return shards_[key.digest[8] % shard_count_];
+  }
+
+  const std::size_t shard_count_;
+  std::unique_ptr<Shard[]> shards_;
+
+  std::atomic<std::size_t> lookups_{0};
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> bytes_deduped_{0};
+  std::atomic<std::size_t> entries_{0};
+};
+
+}  // namespace pinscope::staticanalysis

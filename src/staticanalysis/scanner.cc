@@ -1,9 +1,18 @@
 #include "staticanalysis/scanner.h"
 
+#include "staticanalysis/scan_cache.h"
 #include "util/strings.h"
 #include "x509/pem.h"
 
 namespace pinscope::staticanalysis {
+
+namespace {
+
+// Minimum printable-run length treated as a "string" in binary files (the
+// default ExtractStrings threshold; the zero-copy path must agree with it).
+constexpr std::size_t kMinStringLen = 6;
+
+}  // namespace
 
 bool ScanResult::HasPinningEvidence() const {
   if (!certificates.empty()) return true;
@@ -13,19 +22,18 @@ bool ScanResult::HasPinningEvidence() const {
   return false;
 }
 
+void ExtractStrings(const util::Bytes& data, std::size_t min_len,
+                    std::vector<std::string>& out) {
+  out.clear();
+  out.reserve(std::max<std::size_t>(out.capacity(), data.size() / 128 + 1));
+  ForEachPrintableRun(data, min_len,
+                      [&](std::string_view run) { out.emplace_back(run); });
+}
+
 std::vector<std::string> ExtractStrings(const util::Bytes& data,
                                         std::size_t min_len) {
   std::vector<std::string> out;
-  std::string current;
-  for (std::uint8_t b : data) {
-    if (b >= 0x20 && b <= 0x7e) {
-      current.push_back(static_cast<char>(b));
-    } else {
-      if (current.size() >= min_len) out.push_back(current);
-      current.clear();
-    }
-  }
-  if (current.size() >= min_len) out.push_back(current);
+  ExtractStrings(data, min_len, out);
   return out;
 }
 
@@ -33,6 +41,13 @@ const std::vector<std::string>& CertFileSuffixes() {
   static const std::vector<std::string> suffixes = {".der", ".pem", ".crt",
                                                     ".cert", ".cer"};
   return suffixes;
+}
+
+bool HasCertFileSuffix(std::string_view path) {
+  for (const std::string& suffix : CertFileSuffixes()) {
+    if (util::EndsWithIgnoreCase(path, suffix)) return true;
+  }
+  return false;
 }
 
 namespace {
@@ -51,62 +66,107 @@ bool LooksBinary(const util::Bytes& data) {
   return probe > 0 && nonprint * 10 > probe;  // >10% non-printable
 }
 
+// Appends a cached (path-less) outcome to `out`, rebinding every `path`
+// field to the observing file. Copying: the entry stays cache-resident.
+void AppendRebound(const CachedFileScan& scan, const std::string& path,
+                   ScanResult& out) {
+  for (const FoundCertificate& c : scan.certificates) {
+    out.certificates.push_back(c);
+    out.certificates.back().path = path;
+  }
+  for (const FoundPin& p : scan.pins) {
+    out.pins.push_back(p);
+    out.pins.back().path = path;
+  }
+}
+
+// Move flavor for outcomes that are not kept anywhere else (cache off).
+void AppendOwned(CachedFileScan&& scan, const std::string& path, ScanResult& out) {
+  for (FoundCertificate& c : scan.certificates) {
+    c.path = path;
+    out.certificates.push_back(std::move(c));
+  }
+  for (FoundPin& p : scan.pins) {
+    p.path = path;
+    out.pins.push_back(std::move(p));
+  }
+}
+
 }  // namespace
 
 Scanner::Scanner() : pin_pattern_("sha(1|256)/[a-zA-Z0-9+/=]{28,64}") {}
 
-void Scanner::ScanContent(const std::string& path, const std::string& text,
-                          ScanResult& out) const {
+void Scanner::ScanContent(std::string_view text, CachedFileScan& out) const {
   // PEM blobs anywhere in the content.
   for (x509::Certificate& cert : x509::PemDecodeAll(text)) {
-    out.certificates.push_back({path, std::move(cert), true});
+    out.certificates.push_back({std::string(), std::move(cert), true});
   }
   // Pin hashes by regex.
-  for (const RegexMatch& m : pin_pattern_.FindAll(text)) {
+  for (RegexMatch& m : pin_pattern_.FindAll(text)) {
     FoundPin pin;
-    pin.path = path;
-    pin.pin_string = m.text;
-    pin.parsed = tls::Pin::FromPinString(m.text);
+    pin.pin_string = std::move(m.text);
+    pin.parsed = tls::Pin::FromPinString(pin.pin_string);
     out.pins.push_back(std::move(pin));
   }
 }
 
-ScanResult Scanner::Scan(const appmodel::PackageFiles& files) const {
+void Scanner::ScanFile(const util::Bytes& content, bool is_cert_file,
+                       CachedFileScan& out) const {
+  const std::string_view text(reinterpret_cast<const char*>(content.data()),
+                              content.size());
+  // (a) Certificate files by extension.
+  if (is_cert_file) {
+    if (auto cert = x509::PemDecode(text)) {
+      out.certificates.push_back({std::string(), std::move(*cert), true});
+      return;
+    }
+    if (auto cert = x509::Certificate::ParseDer(content)) {
+      out.certificates.push_back({std::string(), std::move(*cert), false});
+      return;
+    }
+    // Unparseable cert file: fall through to content scanning.
+  }
+
+  // (b)+(c) Content scanning; binaries reduce to printable runs first.
+  if (LooksBinary(content)) {
+    ForEachPrintableRun(content, kMinStringLen,
+                        [&](std::string_view run) { ScanContent(run, out); });
+  } else {
+    ScanContent(text, out);
+  }
+}
+
+ScanResult Scanner::Scan(const appmodel::PackageFiles& files,
+                         ScanCache* cache) const {
   ScanResult out;
   for (const auto& [path, content] : files.files()) {
     ++out.files_scanned;
     out.bytes_scanned += content.size();
+    const bool is_cert_file = HasCertFileSuffix(path);
 
-    // (a) Certificate files by extension.
-    const std::string lower = util::ToLower(path);
-    bool is_cert_file = false;
-    for (const std::string& suffix : CertFileSuffixes()) {
-      if (util::EndsWith(lower, suffix)) {
-        is_cert_file = true;
-        break;
-      }
-    }
-    if (is_cert_file) {
-      const std::string text = util::ToString(content);
-      if (auto cert = x509::PemDecode(text)) {
-        out.certificates.push_back({path, std::move(*cert), true});
-        continue;
-      }
-      if (auto cert = x509::Certificate::ParseDer(content)) {
-        out.certificates.push_back({path, std::move(*cert), false});
-        continue;
-      }
-      // Unparseable cert file: fall through to content scanning.
+    if (cache == nullptr) {
+      CachedFileScan scan;
+      ScanFile(content, is_cert_file, scan);
+      AppendOwned(std::move(scan), path, out);
+      continue;
     }
 
-    // (b)+(c) Content scanning; binaries reduce to printable strings first.
-    if (LooksBinary(content)) {
-      for (const std::string& s : ExtractStrings(content)) {
-        ScanContent(path, s, out);
-      }
-    } else {
-      ScanContent(path, util::ToString(content), out);
+    // The scan branch taken depends on the cert-file flag as well as the
+    // bytes, so both are part of the cache key.
+    const ScanCache::Key key = ScanCache::MakeKey(content, is_cert_file);
+    if (const auto hit = cache->Find(key, content.size())) {
+      ++out.cache_hits;
+      out.cache_bytes_deduped += content.size();
+      AppendRebound(*hit, path, out);
+      continue;
     }
+    CachedFileScan scan;
+    ScanFile(content, is_cert_file, scan);
+    // First insert wins on a race; either way the resident entry is
+    // appended, and racing entries are identical because ScanFile is a pure
+    // function of (content, flag).
+    const auto resident = cache->Insert(key, std::move(scan));
+    AppendRebound(*resident, path, out);
   }
   return out;
 }

@@ -5,10 +5,20 @@
 // paper's regex sha(1|256)/[a-zA-Z0-9+/=]{28,64}. Binary files (native libs,
 // executables) are first reduced to their printable string runs, like
 // radare2's string extraction.
+//
+// The scan inner loop is zero-copy and single-pass: file contents are viewed
+// as std::string_view over the package's own bytes (no per-file string
+// copies), and binary files yield printable runs through ForEachPrintableRun
+// instead of materializing a vector of strings. With a ScanCache (see
+// scan_cache.h) attached, files whose content was already scanned anywhere
+// in the corpus replay their cached outcome instead of being rescanned —
+// shared SDK artifacts are scanned once per study, not once per app.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "appmodel/package.h"
@@ -17,6 +27,8 @@
 #include "x509/certificate.h"
 
 namespace pinscope::staticanalysis {
+
+class ScanCache;  // scan_cache.h
 
 /// A certificate discovered in a package.
 struct FoundCertificate {
@@ -32,6 +44,15 @@ struct FoundPin {
   std::optional<tls::Pin> parsed;  ///< Decoded pin (nullopt if malformed).
 };
 
+/// Path-independent scan outcome of one file's *content* — the unit the
+/// corpus-wide ScanCache stores. The `path` fields inside are empty; they
+/// are rebound to the observing file's path when the entry is appended to a
+/// ScanResult, so cached and uncached scans are byte-identical.
+struct CachedFileScan {
+  std::vector<FoundCertificate> certificates;
+  std::vector<FoundPin> pins;
+};
+
 /// Everything the scanner extracted from one package.
 struct ScanResult {
   std::vector<FoundCertificate> certificates;
@@ -39,18 +60,63 @@ struct ScanResult {
   std::size_t files_scanned = 0;
   std::size_t bytes_scanned = 0;
 
+  /// Diagnostic scan-cache counters for this package (zero when scanning
+  /// without a cache). Deliberately excluded from exports: which app takes
+  /// the miss for a shared SDK file depends on scheduling, so these are
+  /// observability counters, not results.
+  std::size_t cache_hits = 0;
+  std::size_t cache_bytes_deduped = 0;
+
   /// True if any certificate or well-formed pin was found — the paper's
   /// "embedded certificates" static-detection signal.
   [[nodiscard]] bool HasPinningEvidence() const;
 };
+
+/// Calls `fn(std::string_view)` for every printable-ASCII run of at least
+/// `min_len` bytes in `data`. The views alias `data` — no copies are made —
+/// so they are valid only for the duration of the callback. This is the
+/// scanner's fast path for binary files; ExtractStrings is the materializing
+/// wrapper kept for callers that want owned strings.
+template <typename Fn>
+void ForEachPrintableRun(const util::Bytes& data, std::size_t min_len, Fn&& fn) {
+  const char* base = reinterpret_cast<const char*>(data.data());
+  const std::size_t n = data.size();
+  std::size_t run_start = 0;
+  bool in_run = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool printable = data[i] >= 0x20 && data[i] <= 0x7e;
+    if (printable) {
+      if (!in_run) {
+        run_start = i;
+        in_run = true;
+      }
+    } else if (in_run) {
+      if (i - run_start >= min_len) fn(std::string_view(base + run_start, i - run_start));
+      in_run = false;
+    }
+  }
+  if (in_run && n - run_start >= min_len) {
+    fn(std::string_view(base + run_start, n - run_start));
+  }
+}
 
 /// Extracts printable ASCII runs of at least `min_len` characters from a
 /// binary blob (radare2-equivalent string extraction).
 [[nodiscard]] std::vector<std::string> ExtractStrings(const util::Bytes& data,
                                                       std::size_t min_len = 6);
 
+/// As above, but refills `out` (clearing it first) so a caller looping over
+/// many files reuses one scratch vector's capacity instead of reallocating
+/// per file.
+void ExtractStrings(const util::Bytes& data, std::size_t min_len,
+                    std::vector<std::string>& out);
+
 /// The certificate-file extensions §4.1.2 searches for.
 [[nodiscard]] const std::vector<std::string>& CertFileSuffixes();
+
+/// True if `path` ends with one of CertFileSuffixes(), compared
+/// case-insensitively without copying or lowercasing the path.
+[[nodiscard]] bool HasCertFileSuffix(std::string_view path);
 
 /// Package scanner. Construct once; the pin regex is compiled at
 /// construction.
@@ -58,15 +124,20 @@ class Scanner {
  public:
   Scanner();
 
-  /// Scans a (decoded, decrypted) package tree.
-  [[nodiscard]] ScanResult Scan(const appmodel::PackageFiles& files) const;
+  /// Scans a (decoded, decrypted) package tree. With `cache` non-null,
+  /// per-content outcomes are looked up / deposited there, keyed by
+  /// SHA-256(content) + cert-file flag; results are byte-identical with the
+  /// cache on or off. The cache may be shared across threads.
+  [[nodiscard]] ScanResult Scan(const appmodel::PackageFiles& files,
+                                ScanCache* cache = nullptr) const;
 
   /// The compiled pin-hash pattern (exposed for tests and benchmarks).
   [[nodiscard]] const Regex& pin_pattern() const { return pin_pattern_; }
 
  private:
-  void ScanContent(const std::string& path, const std::string& text,
-                   ScanResult& out) const;
+  void ScanContent(std::string_view text, CachedFileScan& out) const;
+  void ScanFile(const util::Bytes& content, bool is_cert_file,
+                CachedFileScan& out) const;
 
   Regex pin_pattern_;
 };

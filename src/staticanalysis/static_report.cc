@@ -30,7 +30,7 @@ StaticReport AnalyzeStatically(const appmodel::App& app,
 
   if (app.meta.platform == appmodel::Platform::kAndroid) {
     // Apktool step: our APK trees are stored decoded; scanning is direct.
-    report.scan = scanner.Scan(app.package);
+    report.scan = scanner.Scan(app.package, options.scan_cache);
     report.nsc = AnalyzeNsc(app.package);
   } else {
     const DecryptResult dec = DecryptIpa(app.package, app.meta.app_id,
@@ -38,7 +38,7 @@ StaticReport AnalyzeStatically(const appmodel::App& app,
     report.decryption_ok = dec.ok;
     // On failure, scan what is readable (plaintext resources) anyway.
     const appmodel::PackageFiles& tree = dec.ok ? dec.files : app.package;
-    report.scan = scanner.Scan(tree);
+    report.scan = scanner.Scan(tree, options.scan_cache);
     report.ats = AnalyzeAts(tree);
   }
 

@@ -54,6 +54,9 @@ struct StaticAnalysisOptions {
   DecryptTool decrypt_tool = DecryptTool::kFlexdecrypt;
   /// CT log for hash→certificate resolution; nullptr skips resolution.
   const x509::CtLog* ct_log = nullptr;
+  /// Corpus-wide scan cache shared across apps (scan_cache.h); nullptr
+  /// scans every file uncached. Results are identical either way.
+  ScanCache* scan_cache = nullptr;
 };
 
 /// Runs the full static pipeline over one app.

@@ -42,6 +42,18 @@ bool EndsWith(std::string_view s, std::string_view suffix) {
   return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
 }
 
+bool EndsWithIgnoreCase(std::string_view s, std::string_view suffix) {
+  if (s.size() < suffix.size()) return false;
+  const std::size_t off = s.size() - suffix.size();
+  for (std::size_t i = 0; i < suffix.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(s[off + i])) !=
+        std::tolower(static_cast<unsigned char>(suffix[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::string_view Trim(std::string_view s) {
   std::size_t b = 0;
   std::size_t e = s.size();

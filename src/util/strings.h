@@ -23,6 +23,11 @@ namespace pinscope::util {
 /// True if `s` ends with `suffix`.
 [[nodiscard]] bool EndsWith(std::string_view s, std::string_view suffix);
 
+/// True if `s` ends with `suffix`, comparing ASCII case-insensitively.
+/// Allocation-free — the scanner's per-file suffix check runs on the static
+/// hot path, where a lowercase copy of every path is measurable churn.
+[[nodiscard]] bool EndsWithIgnoreCase(std::string_view s, std::string_view suffix);
+
 /// Strips ASCII whitespace from both ends.
 [[nodiscard]] std::string_view Trim(std::string_view s);
 

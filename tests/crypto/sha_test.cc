@@ -28,6 +28,20 @@ TEST(Sha256Test, MillionAs) {
             "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
 }
 
+TEST(Sha256Test, HardwareAndPortablePathsAgree) {
+  // On SHA-NI machines Sha256() takes the accelerated path; the portable
+  // fallback must produce the same digest for every padding shape. On other
+  // machines the two calls take the same path and this degenerates to a
+  // self-check.
+  for (std::size_t len :
+       {0u, 1u, 3u, 31u, 55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u, 1000u, 4096u}) {
+    const std::string input(len, static_cast<char>('a' + len % 26));
+    EXPECT_EQ(HexOf(ToBytes(Sha256(input))),
+              HexOf(ToBytes(internal::Sha256Portable(input))))
+        << "len=" << len << " hw=" << internal::Sha256UsesHardware();
+  }
+}
+
 TEST(Sha256Test, PaddingBoundaries) {
   // Lengths around the 55/56/64-byte padding edges must all differ.
   std::set<std::string> digests;

@@ -1,0 +1,188 @@
+// Correctness of the literal-anchor prefilter: the anchors the compiler
+// extracts (with and without extractable literals), and FindAll/Search
+// equivalence against a reference matcher that runs MatchAt at every
+// position with no prefiltering at all.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "staticanalysis/regex.h"
+
+namespace pinscope::staticanalysis {
+namespace {
+
+// The pre-prefilter FindAll semantics, verbatim: try every position,
+// leftmost-greedy, non-overlapping. Any divergence from this is a bug in
+// the anchor computation or the sweep.
+std::vector<RegexMatch> ReferenceFindAll(const Regex& re, std::string_view text) {
+  std::vector<RegexMatch> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t len = 0;
+    if (re.MatchAt(text, pos, &len)) {
+      out.push_back({pos, std::string(text.substr(pos, len))});
+      pos += len == 0 ? 1 : len;
+    } else {
+      ++pos;
+    }
+  }
+  return out;
+}
+
+void ExpectSameMatches(const Regex& re, std::string_view text) {
+  const std::vector<RegexMatch> expected = ReferenceFindAll(re, text);
+  const std::vector<RegexMatch> actual = re.FindAll(text);
+  ASSERT_EQ(expected.size(), actual.size())
+      << "pattern '" << re.pattern() << "' on '" << std::string(text) << "'";
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].position, actual[i].position) << i;
+    EXPECT_EQ(expected[i].text, actual[i].text) << i;
+  }
+  EXPECT_EQ(re.Search(text), !expected.empty());
+}
+
+TEST(RegexAnchorTest, PinPatternAnchorsOnItsPrefix) {
+  const Regex re("sha(1|256)/[a-zA-Z0-9+/=]{28,64}");
+  const LiteralAnchor& a = re.required_literal();
+  EXPECT_EQ(a.literal, "sha");
+  EXPECT_EQ(a.min_offset, 0u);
+  EXPECT_EQ(a.max_offset, 0u);
+  EXPECT_TRUE(a.bounded());
+  EXPECT_EQ(re.literal_prefix(), "sha");
+}
+
+TEST(RegexAnchorTest, LiteralAfterGroupIsFound) {
+  // The old prefix computation saw nothing here; the anchor sees the
+  // mandatory "cert/" at a fixed offset of 1.
+  const Regex re("(a|b)cert/x");
+  const LiteralAnchor& a = re.required_literal();
+  EXPECT_EQ(a.literal, "cert/x");
+  EXPECT_EQ(a.min_offset, 1u);
+  EXPECT_EQ(a.max_offset, 1u);
+  EXPECT_TRUE(re.literal_prefix().empty());
+}
+
+TEST(RegexAnchorTest, UnboundedQuantifierMakesOffsetUnbounded) {
+  const Regex re("[0-9]+-pin-[0-9]+");
+  const LiteralAnchor& a = re.required_literal();
+  EXPECT_EQ(a.literal, "-pin-");
+  EXPECT_EQ(a.min_offset, 1u);
+  EXPECT_FALSE(a.bounded());
+}
+
+TEST(RegexAnchorTest, CommonSubstringAcrossAlternativesQualifies) {
+  const Regex re("(foo|food)!");
+  EXPECT_EQ(re.required_literal().literal, "foo");
+  EXPECT_EQ(re.required_literal().min_offset, 0u);
+  EXPECT_EQ(re.required_literal().max_offset, 0u);
+}
+
+TEST(RegexAnchorTest, ExactQuantifierExtendsTheRun) {
+  const Regex re("ab{3}c");
+  const LiteralAnchor& a = re.required_literal();
+  EXPECT_EQ(a.literal, "abbbc");
+  EXPECT_EQ(a.min_offset, 0u);
+  EXPECT_EQ(a.max_offset, 0u);
+}
+
+TEST(RegexAnchorTest, VariableQuantifierKeepsGuaranteedMinimum) {
+  const Regex re("ab{2,4}c");
+  // "abb" is guaranteed adjacent; "c" floats at offset 3..5. Longest wins.
+  const LiteralAnchor& a = re.required_literal();
+  EXPECT_EQ(a.literal, "abb");
+  EXPECT_EQ(a.min_offset, 0u);
+  EXPECT_EQ(a.max_offset, 0u);
+}
+
+TEST(RegexAnchorTest, GroupBeforeLiteralGivesBoundedWindow) {
+  const Regex re("(1|256)sha");
+  const LiteralAnchor& a = re.required_literal();
+  EXPECT_EQ(a.literal, "sha");
+  EXPECT_EQ(a.min_offset, 1u);
+  EXPECT_EQ(a.max_offset, 3u);
+  EXPECT_TRUE(a.bounded());
+}
+
+TEST(RegexAnchorTest, PatternsWithoutExtractableLiterals) {
+  EXPECT_TRUE(Regex("a|b").required_literal().literal.empty());
+  EXPECT_TRUE(Regex("[ab]+").required_literal().literal.empty());
+  EXPECT_TRUE(Regex("[0-9]{2,3}").required_literal().literal.empty());
+  EXPECT_TRUE(Regex(".*").required_literal().literal.empty());
+  EXPECT_TRUE(Regex("x?").required_literal().literal.empty());
+  // Disjoint alternatives with no common substring: conservatively none.
+  EXPECT_TRUE(Regex("(food|feet)").required_literal().literal.empty());
+}
+
+TEST(RegexAnchorTest, OptionalLiteralIsNotMandatory) {
+  const Regex re("x?yz");
+  EXPECT_EQ(re.required_literal().literal, "yz");
+  EXPECT_EQ(re.required_literal().min_offset, 0u);
+  EXPECT_EQ(re.required_literal().max_offset, 1u);
+}
+
+TEST(RegexPrefilterTest, FindAllMatchesReferenceOnPinLikeSubjects) {
+  const Regex re("sha(1|256)/[a-zA-Z0-9+/=]{28,64}");
+  const std::string pin44 = "sha256/" + std::string(43, 'A') + "=";
+  const std::vector<std::string> subjects = {
+      "",
+      "no pins here at all",
+      pin44,
+      "prefix " + pin44 + " suffix",
+      pin44 + pin44,                       // adjacent matches
+      "sha sha2 sha25 sha256/short",       // many near-miss literals
+      "sha256/" + std::string(27, 'B'),    // one char below the minimum
+      "sha1/" + std::string(28, 'C'),
+      std::string(500, 'x') + pin44,       // literal deep in the subject
+      pin44.substr(0, pin44.size() - 1),   // truncated at end of subject
+  };
+  for (const std::string& s : subjects) {
+    SCOPED_TRACE(s.substr(0, 40));
+    ExpectSameMatches(re, s);
+  }
+}
+
+TEST(RegexPrefilterTest, FindAllMatchesReferenceAcrossAnchorShapes) {
+  const std::vector<std::string> patterns = {
+      "(a|b)cert/x",        // bounded non-zero offset
+      "[0-9]+-pin-[0-9]+",  // unbounded offset, existence filter only
+      "(1|256)sha",         // bounded window [1,3]
+      "(foo|food)!",        // substring-common alternation
+      "ab{2,4}c",           // variable quantifier run
+      "x?yz",               // optional head
+      "a|b",                // no anchor at all
+      "[0-9]{2,3}",         // no anchor, pure classes
+  };
+  const std::vector<std::string> subjects = {
+      "",
+      "acert/x bcert/x ccert/x",
+      "42-pin-7 x-pin-y 123-pin-456-pin-789",
+      "256sha 1sha sha 99sha",
+      "foo! food! foot! fool!",
+      "abc abbc abbbc abbbbc abbbbbc",
+      "yz xyz xxyz zy",
+      "ab ba",
+      "1 22 333 4444",
+      "edge at end: acert/",  // literal candidate truncated at subject end
+  };
+  for (const std::string& p : patterns) {
+    const Regex re(p);
+    for (const std::string& s : subjects) {
+      SCOPED_TRACE("pattern=" + p + " subject=" + s);
+      ExpectSameMatches(re, s);
+    }
+  }
+}
+
+TEST(RegexPrefilterTest, SearchBailsOutWithoutTheLiteral) {
+  // Not directly observable as a result difference, but the sweep must
+  // return false (not crash or loop) when the anchor never occurs.
+  const Regex re("(a|b)needle[0-9]{2}");
+  EXPECT_EQ(re.required_literal().literal, "needle");
+  EXPECT_FALSE(re.Search(std::string(10000, 'n')));
+  EXPECT_TRUE(re.FindAll(std::string(10000, 'n')).empty());
+  EXPECT_TRUE(re.Search("xx aneedle42 yy"));
+}
+
+}  // namespace
+}  // namespace pinscope::staticanalysis

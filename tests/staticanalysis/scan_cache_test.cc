@@ -1,0 +1,212 @@
+// Unit tests for the corpus-wide scan cache: hit/miss accounting, path
+// rebinding on hit, cert-file-flag keying, first-insert-wins semantics, and
+// a concurrent smoke test (TSan-covered via the `static` ctest label).
+#include "staticanalysis/scan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "appmodel/android_package.h"
+#include "staticanalysis/scanner.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "x509/issuer.h"
+#include "x509/pem.h"
+
+namespace pinscope::staticanalysis {
+namespace {
+
+x509::Certificate TestCert(const std::string& cn) {
+  x509::IssueSpec spec;
+  spec.subject.common_name = cn;
+  return x509::CertificateIssuer::SelfSignedLeaf("cache:" + cn, spec);
+}
+
+std::string TestPinString(const x509::Certificate& cert) {
+  return tls::Pin::ForCertificate(cert, tls::PinForm::kSpkiSha256).ToPinString();
+}
+
+// Field-by-field equality of two scan results (paths, pins, certificates,
+// counters — everything except the cache diagnostics).
+void ExpectSameScan(const ScanResult& a, const ScanResult& b) {
+  EXPECT_EQ(a.files_scanned, b.files_scanned);
+  EXPECT_EQ(a.bytes_scanned, b.bytes_scanned);
+  ASSERT_EQ(a.certificates.size(), b.certificates.size());
+  for (std::size_t i = 0; i < a.certificates.size(); ++i) {
+    EXPECT_EQ(a.certificates[i].path, b.certificates[i].path) << i;
+    EXPECT_EQ(a.certificates[i].cert, b.certificates[i].cert) << i;
+    EXPECT_EQ(a.certificates[i].from_pem, b.certificates[i].from_pem) << i;
+  }
+  ASSERT_EQ(a.pins.size(), b.pins.size());
+  for (std::size_t i = 0; i < a.pins.size(); ++i) {
+    EXPECT_EQ(a.pins[i].path, b.pins[i].path) << i;
+    EXPECT_EQ(a.pins[i].pin_string, b.pins[i].pin_string) << i;
+    EXPECT_EQ(a.pins[i].parsed.has_value(), b.pins[i].parsed.has_value()) << i;
+  }
+}
+
+// A package exercising every scan branch: PEM asset, DER cert file, pin in
+// smali text, pin in a binary lib, unparseable cert file, clean files.
+appmodel::PackageFiles MixedPackage(const std::string& salt) {
+  const x509::Certificate pem_cert = TestCert("pem." + salt + ".com");
+  const x509::Certificate der_cert = TestCert("der." + salt + ".com");
+  const std::string pin = TestPinString(TestCert("pin." + salt + ".com"));
+  util::Rng rng(7);
+  appmodel::PackageFiles files;
+  files.AddText("assets/certs/server.pem", x509::PemEncode(pem_cert));
+  files.Add("res/raw/ca.der", der_cert.DerBytes());
+  files.AddText("smali/com/vendor/Pins.smali",
+                "const-string v0, \"" + pin + "\"");
+  files.Add("lib/arm64-v8a/libnet.so",
+            appmodel::RenderBinaryWithStrings({pin, "https://" + salt + ".com"}, rng));
+  files.AddText("broken.pem", "-----BEGIN CERTIFICATE-----\nnot base64\n"
+                              "-----END CERTIFICATE-----");
+  files.AddText("assets/config.json", "{\"api\": \"https://api." + salt + ".com\"}");
+  return files;
+}
+
+TEST(ScanCacheTest, CachedScanIsIdenticalToUncached) {
+  const appmodel::PackageFiles files = MixedPackage("equiv");
+  const Scanner scanner;
+  const ScanResult uncached = scanner.Scan(files);
+  ScanCache cache;
+  const ScanResult cold = scanner.Scan(files, &cache);
+  const ScanResult warm = scanner.Scan(files, &cache);
+  ExpectSameScan(uncached, cold);
+  ExpectSameScan(uncached, warm);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(warm.cache_hits, files.size());
+  EXPECT_EQ(warm.cache_bytes_deduped, files.TotalBytes());
+}
+
+TEST(ScanCacheTest, HitMissAccounting) {
+  const Scanner scanner;
+  const std::string pin = TestPinString(TestCert("acct.com"));
+  appmodel::PackageFiles app1;
+  app1.AddText("smali/shared/Sdk.smali", "const-string v0, \"" + pin + "\"");
+  app1.AddText("assets/unique1.txt", "only in app one");
+  appmodel::PackageFiles app2;
+  app2.AddText("smali/other/path/Sdk.smali", "const-string v0, \"" + pin + "\"");
+  app2.AddText("assets/unique2.txt", "only in app two");
+
+  ScanCache cache;
+  const ScanResult r1 = scanner.Scan(app1, &cache);
+  EXPECT_EQ(r1.cache_hits, 0u);
+  const ScanResult r2 = scanner.Scan(app2, &cache);
+  EXPECT_EQ(r2.cache_hits, 1u);  // the shared SDK smali
+
+  const ScanCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.lookups, 4u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.bytes_deduped, app2.Find("smali/other/path/Sdk.smali")->size());
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+}
+
+TEST(ScanCacheTest, HitRebindsPathsToTheObservingFile) {
+  const Scanner scanner;
+  const std::string pin = TestPinString(TestCert("rebind.com"));
+  const std::string content = "const-string v0, \"" + pin + "\"";
+  appmodel::PackageFiles app1;
+  app1.AddText("a/App1Sdk.smali", content);
+  appmodel::PackageFiles app2;
+  app2.AddText("b/App2Sdk.smali", content);
+
+  ScanCache cache;
+  const ScanResult r1 = scanner.Scan(app1, &cache);
+  const ScanResult r2 = scanner.Scan(app2, &cache);
+  ASSERT_EQ(r1.pins.size(), 1u);
+  ASSERT_EQ(r2.pins.size(), 1u);
+  EXPECT_EQ(r1.pins[0].path, "a/App1Sdk.smali");
+  EXPECT_EQ(r2.pins[0].path, "b/App2Sdk.smali");  // hit, path rebound
+  EXPECT_EQ(r2.cache_hits, 1u);
+}
+
+TEST(ScanCacheTest, CertFileFlagIsPartOfTheKey) {
+  // The same DER bytes scan differently depending on the path suffix: as
+  // "ca.der" the cert-file branch parses a certificate; as "ca.bin" the
+  // content is binary noise with no printable pin. One content hash must
+  // not alias the two outcomes.
+  const x509::Certificate cert = TestCert("flag.com");
+  appmodel::PackageFiles files;
+  files.Add("res/raw/ca.der", cert.DerBytes());
+  files.Add("res/raw/ca.bin", cert.DerBytes());
+
+  const Scanner scanner;
+  const ScanResult uncached = scanner.Scan(files);
+  ScanCache cache;
+  const ScanResult cached = scanner.Scan(files, &cache);
+  ExpectSameScan(uncached, cached);
+  ASSERT_EQ(cached.certificates.size(), 1u);
+  EXPECT_EQ(cached.certificates[0].path, "res/raw/ca.der");
+  EXPECT_EQ(cached.cache_hits, 0u);  // distinct keys, no aliasing
+  EXPECT_EQ(cache.Stats().entries, 2u);
+}
+
+TEST(ScanCacheTest, SuffixMatchIsCaseInsensitive) {
+  const x509::Certificate cert = TestCert("case.com");
+  appmodel::PackageFiles files;
+  files.Add("res/raw/CA.DER", cert.DerBytes());
+  const ScanResult result = Scanner().Scan(files);
+  ASSERT_EQ(result.certificates.size(), 1u);
+  EXPECT_FALSE(result.certificates[0].from_pem);
+  EXPECT_TRUE(HasCertFileSuffix("UPPER.PEM"));
+  EXPECT_TRUE(HasCertFileSuffix("mixed.CrT"));
+  EXPECT_FALSE(HasCertFileSuffix("not-a-cert.txt"));
+}
+
+TEST(ScanCacheTest, InsertIsFirstWins) {
+  ScanCache cache;
+  const util::Bytes content = util::ToBytes("some scanned content");
+  const ScanCache::Key key = ScanCache::MakeKey(content, false);
+  EXPECT_EQ(cache.Find(key, content.size()), nullptr);
+
+  CachedFileScan scan;
+  scan.pins.push_back({"", "sha256/first", std::nullopt});
+  const auto first = cache.Insert(key, std::move(scan));
+  CachedFileScan again;
+  again.pins.push_back({"", "sha256/first", std::nullopt});
+  const auto second = cache.Insert(key, std::move(again));
+  EXPECT_EQ(first.get(), second.get());  // resident entry returned both times
+  EXPECT_EQ(cache.Stats().entries, 1u);
+
+  const auto found = cache.Find(key, content.size());
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found.get(), first.get());
+}
+
+TEST(ScanCacheTest, ConcurrentSharedCacheScansAreIdentical) {
+  // Many workers scanning overlapping packages through one cache: every
+  // result must equal the uncached reference. Runs under TSan via the
+  // `static`-labeled suite to prove the sharded map race-free.
+  const Scanner scanner;
+  std::vector<appmodel::PackageFiles> apps;
+  for (int i = 0; i < 8; ++i) {
+    // Pairs of apps share content ("dup0", "dup1", ...) to force cross-app
+    // hits while unique files force misses.
+    apps.push_back(MixedPackage("dup" + std::to_string(i / 2)));
+  }
+  std::vector<ScanResult> reference;
+  reference.reserve(apps.size());
+  for (const auto& app : apps) reference.push_back(scanner.Scan(app));
+
+  ScanCache cache;
+  std::vector<ScanResult> concurrent(apps.size());
+  util::ParallelOptions par;
+  par.threads = 8;
+  util::ParallelFor(
+      apps.size(),
+      [&](std::size_t i) { concurrent[i] = scanner.Scan(apps[i], &cache); }, par);
+
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    SCOPED_TRACE("app " + std::to_string(i));
+    ExpectSameScan(reference[i], concurrent[i]);
+  }
+  const ScanCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_LE(stats.entries, stats.lookups);
+}
+
+}  // namespace
+}  // namespace pinscope::staticanalysis

@@ -36,6 +36,7 @@ struct CliOptions {
   double scale = 0.1;
   std::uint64_t seed = 42;
   int threads = 0;  // 0 = hardware concurrency
+  bool scan_cache = true;
   std::string json_path;
   std::string csv_path;
 };
@@ -46,6 +47,7 @@ core::StudyOptions StudyOptionsFor(const CliOptions& opts) {
   // Results are thread-count invariant, so parallel phases are safe to turn
   // on whenever the user did not pin the study to one thread.
   sopts.dynamic.parallel_phases = opts.threads != 1;
+  sopts.scan_cache = opts.scan_cache;
   return sopts;
 }
 
@@ -64,6 +66,9 @@ int Usage() {
       "  --seed N            generation seed (default 42)\n"
       "  --threads T         study worker threads; 0 = all hardware threads\n"
       "                      (default 0; results are identical for every T)\n"
+      "  --scan-cache=on|off corpus-wide static-scan cache: shared SDK files\n"
+      "                      are scanned once per study (default on; results\n"
+      "                      are byte-identical either way)\n"
       "  --json FILE         (study) export per-app records as JSON Lines\n"
       "  --csv FILE          (study) export per-destination rows as CSV\n");
   return 2;
@@ -93,6 +98,23 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
       if (!v) return std::nullopt;
       opts.threads = std::atoi(v->c_str());
       if (opts.threads < 0) return std::nullopt;
+    } else if (arg == "--scan-cache" || util::StartsWith(arg, "--scan-cache=")) {
+      std::string v;
+      if (arg == "--scan-cache") {
+        const auto n = next();
+        if (!n) return std::nullopt;
+        v = *n;
+      } else {
+        v = arg.substr(std::string("--scan-cache=").size());
+      }
+      if (v == "on") {
+        opts.scan_cache = true;
+      } else if (v == "off") {
+        opts.scan_cache = false;
+      } else {
+        std::fprintf(stderr, "--scan-cache expects on|off, got '%s'\n", v.c_str());
+        return std::nullopt;
+      }
     } else if (arg == "--json") {
       const auto v = next();
       if (!v) return std::nullopt;
@@ -185,6 +207,15 @@ int CmdStudy(const CliOptions& opts) {
     }
   }
   std::printf("%s", table.Render().c_str());
+
+  if (const staticanalysis::ScanCache* cache = study.scan_cache()) {
+    const staticanalysis::ScanCacheStats s = cache->Stats();
+    std::printf(
+        "scan cache: %zu files hashed, %zu hits (%s), %zu unique contents, "
+        "%.1f MiB deduped\n",
+        s.lookups, s.hits, util::Percent(s.HitRate(), 1).c_str(), s.entries,
+        static_cast<double>(s.bytes_deduped) / (1024.0 * 1024.0));
+  }
 
   if (!opts.json_path.empty()) ExportJson(study, opts.json_path);
   if (!opts.csv_path.empty()) ExportCsv(study, opts.csv_path);
