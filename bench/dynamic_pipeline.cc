@@ -1,0 +1,155 @@
+// Connection-simulation fixture throughput harness.
+//
+// Runs the full per-app dynamic pipeline (baseline + MITM captures,
+// differential detection, circumvention, PII) over every app of a generated
+// ecosystem, once without and once with the study-scoped SimFixtures
+// (shared proxy CA, forged-leaf cache, immutable root stores, and the
+// chain-validation memo), and writes the results as machine-readable JSON
+// to BENCH_dynamic.json so CI can track the speedup over time.
+//
+// Knobs: PINSCOPE_BENCH_SCALE_PCT (ecosystem scale in percent, default 5),
+//        PINSCOPE_BENCH_REPS (timed repetitions, default 5; best rep wins).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "dynamicanalysis/pipeline.h"
+#include "dynamicanalysis/sim_fixtures.h"
+#include "store/generator.h"
+
+namespace {
+
+using namespace pinscope;
+
+int EnvInt(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Checksum over everything a pass concludes, so a fixture bug that changes
+/// any verdict (not just the pinned count) trips the FATAL below.
+struct PassResult {
+  std::size_t apps = 0;
+  std::size_t destinations = 0;
+  std::size_t pinned = 0;
+  std::size_t circumvented = 0;
+  std::size_t pii_hits = 0;
+
+  bool operator==(const PassResult&) const = default;
+};
+
+/// One full corpus pass; returns wall milliseconds. Fixtures (when used)
+/// start cold, as at the beginning of a study.
+double TimedPass(const store::Ecosystem& eco, bool use_fixtures,
+                 PassResult* out,
+                 std::unique_ptr<dynamicanalysis::SimFixtures>* fixtures_out) {
+  dynamicanalysis::DynamicOptions opts;
+  auto fixtures =
+      use_fixtures
+          ? std::make_unique<dynamicanalysis::SimFixtures>(opts.seed)
+          : nullptr;
+  opts.fixtures = fixtures.get();
+
+  const auto start = std::chrono::steady_clock::now();
+  PassResult result;
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    for (const appmodel::App& app : eco.apps(p)) {
+      const dynamicanalysis::DynamicReport report =
+          dynamicanalysis::RunDynamicAnalysis(app, eco.world(), opts);
+      ++result.apps;
+      result.destinations += report.destinations.size();
+      for (const dynamicanalysis::DestinationReport& d : report.destinations) {
+        result.pinned += d.pinned ? 1 : 0;
+        result.circumvented += d.circumvented ? 1 : 0;
+        result.pii_hits += d.pii.size();
+      }
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  *out = result;
+  if (fixtures_out != nullptr) *fixtures_out = std::move(fixtures);
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+int main() {
+  const int scale_pct = EnvInt("PINSCOPE_BENCH_SCALE_PCT", 5);
+  const int reps = EnvInt("PINSCOPE_BENCH_REPS", 5);
+
+  std::fprintf(stderr, "[pinscope] generating ecosystem at scale %d%%...\n",
+               scale_pct);
+  store::EcosystemConfig config;
+  config.seed = 42;
+  config.scale = static_cast<double>(scale_pct) / 100.0;
+  const store::Ecosystem eco = store::Ecosystem::Generate(config);
+
+  PassResult off_result, on_result;
+  double best_off = 0.0, best_on = 0.0;
+  net::ForgedLeafCacheStats forged;
+  x509::ValidationCacheStats validation;
+  for (int r = 0; r < reps; ++r) {
+    const double off = TimedPass(eco, /*use_fixtures=*/false, &off_result,
+                                 nullptr);
+    std::unique_ptr<dynamicanalysis::SimFixtures> fixtures;
+    const double on = TimedPass(eco, /*use_fixtures=*/true, &on_result,
+                                &fixtures);
+    if (r == 0 || off < best_off) best_off = off;
+    if (r == 0 || on < best_on) {
+      best_on = on;
+      forged = fixtures->forged_cache_stats();
+      validation = fixtures->validation_cache_stats();
+    }
+    std::fprintf(stderr, "[pinscope] rep %d: fixtures off %.2f ms, on %.2f ms\n",
+                 r + 1, off, on);
+    if (!(off_result == on_result)) {
+      std::fprintf(stderr,
+                   "FATAL: fixtures changed results "
+                   "(pinned %zu vs %zu, circumvented %zu vs %zu, pii %zu vs %zu)\n",
+                   off_result.pinned, on_result.pinned, off_result.circumvented,
+                   on_result.circumvented, off_result.pii_hits,
+                   on_result.pii_hits);
+      return 1;
+    }
+  }
+
+  const double speedup = best_on > 0.0 ? best_off / best_on : 0.0;
+  char json[1280];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"benchmark\": \"dynamic_pipeline\",\n"
+      "  \"corpus\": {\"apps\": %zu, \"destinations\": %zu, \"scale_pct\": %d},\n"
+      "  \"reps\": %d,\n"
+      "  \"cache_off_ms\": %.3f,\n"
+      "  \"cache_on_ms\": %.3f,\n"
+      "  \"speedup\": %.2f,\n"
+      "  \"pinned_destinations\": %zu,\n"
+      "  \"forged_leaf_cache\": {\"lookups\": %zu, \"hits\": %zu, \"misses\": %zu,\n"
+      "                        \"entries\": %zu, \"hit_rate\": %.4f},\n"
+      "  \"validation_cache\": {\"lookups\": %zu, \"hits\": %zu, \"misses\": %zu,\n"
+      "                       \"entries\": %zu, \"hit_rate\": %.4f}\n"
+      "}\n",
+      on_result.apps, on_result.destinations, scale_pct, reps, best_off,
+      best_on, speedup, on_result.pinned, forged.lookups, forged.hits,
+      forged.misses, forged.entries, forged.HitRate(), validation.lookups,
+      validation.hits, validation.misses, validation.entries,
+      validation.HitRate());
+
+  std::fputs(json, stdout);
+  if (std::FILE* f = std::fopen("BENCH_dynamic.json", "w")) {
+    std::fputs(json, f);
+    std::fclose(f);
+    std::fprintf(stderr, "[pinscope] wrote BENCH_dynamic.json\n");
+  } else {
+    std::fprintf(stderr, "[pinscope] could not write BENCH_dynamic.json\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,10 +1,14 @@
 // Microbenchmarks of the pipeline's hot paths (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "appmodel/android_package.h"
 #include "core/study.h"
 #include "crypto/sha256.h"
 #include "dynamicanalysis/detector.h"
+#include "dynamicanalysis/pipeline.h"
+#include "dynamicanalysis/sim_fixtures.h"
 #include "net/mitm_proxy.h"
 #include "appmodel/ios_package.h"
 #include "staticanalysis/ios_decrypt.h"
@@ -365,6 +369,45 @@ BENCHMARK(BM_FullStudy)
     ->Arg(0)  // 0 = hardware concurrency
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// The sim-cache headline: the full dynamic pipeline over every app of a
+// shared-destination ecosystem, without (arg 0) and with (arg 1) study
+// fixtures. Fixtures are recreated every iteration, so the forged-leaf and
+// validation caches start cold each pass — exactly a study's shape. Reports
+// are identical across arguments (tests/core/sim_cache_equivalence_test.cc);
+// only wall time changes.
+void BM_DynamicPipeline(benchmark::State& state) {
+  static const store::Ecosystem eco = [] {
+    store::EcosystemConfig config;
+    config.seed = 42;
+    config.scale = 0.05;
+    return store::Ecosystem::Generate(config);
+  }();
+
+  const bool use_fixtures = state.range(0) != 0;
+  std::size_t pinned = 0;
+  for (auto _ : state) {
+    dynamicanalysis::DynamicOptions opts;
+    std::unique_ptr<dynamicanalysis::SimFixtures> fixtures;
+    if (use_fixtures) {
+      fixtures = std::make_unique<dynamicanalysis::SimFixtures>(opts.seed);
+      opts.fixtures = fixtures.get();
+    }
+    pinned = 0;
+    for (const appmodel::Platform p :
+         {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+      for (const appmodel::App& app : eco.apps(p)) {
+        const dynamicanalysis::DynamicReport report =
+            dynamicanalysis::RunDynamicAnalysis(app, eco.world(), opts);
+        pinned += report.PinnedDestinations().size();
+        benchmark::DoNotOptimize(report);
+      }
+    }
+  }
+  state.counters["pinned"] = static_cast<double>(pinned);
+  state.SetLabel(use_fixtures ? "sim-cache" : "no-sim-cache");
+}
+BENCHMARK(BM_DynamicPipeline)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_PinPolicyEvaluate(benchmark::State& state) {
   const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.meridian");

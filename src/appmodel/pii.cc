@@ -55,8 +55,14 @@ const std::string& DeviceIdentity::Value(PiiType t) const {
 std::string ExpandPiiTemplate(std::string_view payload_template,
                               const DeviceIdentity& device) {
   std::string out(payload_template);
+  // Every placeholder starts with "{{": one scan skips the rebuild loop for
+  // payloads that carry no PII at all, and per-type scans skip the types a
+  // template does not mention.
   for (PiiType t : AllPiiTypes()) {
-    out = util::ReplaceAll(out, PiiPlaceholder(t), device.Value(t));
+    if (out.find("{{") == std::string::npos) break;
+    const std::string_view placeholder = PiiPlaceholder(t);
+    if (out.find(placeholder) == std::string::npos) continue;
+    out = util::ReplaceAll(out, placeholder, device.Value(t));
   }
   return out;
 }

@@ -12,6 +12,12 @@ Study::Study(const store::Ecosystem& eco, StudyOptions options)
   if (options_.scan_cache) {
     scan_cache_ = std::make_unique<staticanalysis::ScanCache>();
   }
+  if (options_.sim_cache) {
+    // Fixtures must share the pipeline's seed so shared forged leaves match
+    // what an unshared pipeline would forge.
+    sim_fixtures_ = std::make_unique<dynamicanalysis::SimFixtures>(
+        options_.dynamic.seed);
+  }
 }
 
 std::map<std::size_t, AppResult> MergeByIndex(std::vector<AppResult> results) {
@@ -37,6 +43,7 @@ AppResult Study::AnalyzeApp(appmodel::Platform p, std::size_t index) const {
   r.static_report = staticanalysis::AnalyzeStatically(*r.app, static_opts);
 
   dynamicanalysis::DynamicOptions dyn = options_.dynamic;
+  dyn.fixtures = sim_fixtures_.get();
   // §4.5: the Common-iOS re-run settles 2 minutes before capture.
   if (p == appmodel::Platform::kIos) {
     const store::Dataset& common =

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dynamicanalysis/pipeline.h"
+#include "dynamicanalysis/sim_fixtures.h"
 #include "staticanalysis/scan_cache.h"
 #include "staticanalysis/static_report.h"
 #include "store/generator.h"
@@ -41,6 +42,12 @@ struct StudyOptions {
   /// byte-identical with the cache on or off (`ctest -L static`); off is a
   /// debugging/measurement knob, not a correctness one.
   bool scan_cache = true;
+  /// Share the connection-simulation fixtures study-wide: one proxy CA +
+  /// forged-leaf cache, immutable per-platform root stores, and a chain-
+  /// validation memo (dynamicanalysis/sim_fixtures.h). Like scan_cache,
+  /// exports are byte-identical either way (`ctest -L dynamic`); off is a
+  /// debugging/measurement knob.
+  bool sim_cache = true;
 };
 
 /// Keys per-app results by universe index. Completion order is irrelevant:
@@ -85,6 +92,13 @@ class Study {
     return scan_cache_.get();
   }
 
+  /// The study's shared simulation fixtures (nullptr when options.sim_cache
+  /// is off). Read forged_cache_stats()/validation_cache_stats() after Run()
+  /// for hit-rate observability.
+  [[nodiscard]] const dynamicanalysis::SimFixtures* sim_fixtures() const {
+    return sim_fixtures_.get();
+  }
+
  private:
   /// Universe indices of every dataset member of `p` not yet analyzed, each
   /// once, in ascending order (the deterministic work list).
@@ -94,6 +108,8 @@ class Study {
   StudyOptions options_;
   /// Shared by every AnalyzeApp worker; internally synchronized.
   std::unique_ptr<staticanalysis::ScanCache> scan_cache_;
+  /// Shared by every AnalyzeApp worker; immutable or internally synchronized.
+  std::unique_ptr<dynamicanalysis::SimFixtures> sim_fixtures_;
   std::map<std::size_t, AppResult> android_results_;
   std::map<std::size_t, AppResult> ios_results_;
 };

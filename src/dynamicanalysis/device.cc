@@ -13,17 +13,9 @@ const std::vector<std::string>& AppleBackgroundDomains() {
   return domains;
 }
 
-DeviceEmulator::DeviceEmulator(appmodel::Platform platform, std::string model,
-                               std::string os_version, x509::RootStore store,
-                               appmodel::DeviceIdentity identity)
-    : platform_(platform),
-      model_(std::move(model)),
-      os_version_(std::move(os_version)),
-      system_store_(store),
-      os_service_store_(std::move(store)),
-      identity_(std::move(identity)) {}
+namespace {
 
-DeviceEmulator DeviceEmulator::Pixel3(const x509::Certificate* proxy_ca) {
+appmodel::DeviceIdentity Pixel3Identity() {
   appmodel::DeviceIdentity id;
   id.imei = "358240051111110";
   id.advertising_id = "cdda802e-fb9c-47ad-9866-0794d394c912";
@@ -32,14 +24,10 @@ DeviceEmulator DeviceEmulator::Pixel3(const x509::Certificate* proxy_ca) {
   id.state = "Massachusetts";
   id.city = "Boston";
   id.lat_long = "42.3601,-71.0589";
-
-  DeviceEmulator dev(appmodel::Platform::kAndroid, "Pixel 3", "Android 11",
-                     x509::PublicCaCatalog::Instance().AospStore(), std::move(id));
-  if (proxy_ca != nullptr) dev.system_store_.AddRoot(*proxy_ca);
-  return dev;
+  return id;
 }
 
-DeviceEmulator DeviceEmulator::IPhoneX(const x509::Certificate* proxy_ca) {
+appmodel::DeviceIdentity IPhoneXIdentity() {
   appmodel::DeviceIdentity id;
   id.imei = "356556080000000";
   id.advertising_id = "EA7583CD-A667-48BC-B806-42ECB2B48606";
@@ -48,11 +36,58 @@ DeviceEmulator DeviceEmulator::IPhoneX(const x509::Certificate* proxy_ca) {
   id.state = "Massachusetts";
   id.city = "Boston";
   id.lat_long = "42.3601,-71.0589";
+  return id;
+}
 
-  DeviceEmulator dev(appmodel::Platform::kIos, "iPhone X", "iOS 13.6",
-                     x509::PublicCaCatalog::Instance().IosStore(), std::move(id));
-  if (proxy_ca != nullptr) dev.system_store_.AddRoot(*proxy_ca);
-  return dev;
+// System store for the pointer-CA factories: the platform catalog store,
+// plus the proxy CA when interception is on. The OS-service store never
+// gains the proxy CA.
+std::shared_ptr<const x509::RootStore> WithOptionalProxyCa(
+    x509::RootStore base, const x509::Certificate* proxy_ca) {
+  if (proxy_ca != nullptr) base.AddRoot(*proxy_ca);
+  return std::make_shared<const x509::RootStore>(std::move(base));
+}
+
+}  // namespace
+
+DeviceEmulator::DeviceEmulator(
+    appmodel::Platform platform, std::string model, std::string os_version,
+    std::shared_ptr<const x509::RootStore> system_store,
+    std::shared_ptr<const x509::RootStore> os_service_store,
+    appmodel::DeviceIdentity identity)
+    : platform_(platform),
+      model_(std::move(model)),
+      os_version_(std::move(os_version)),
+      system_store_(std::move(system_store)),
+      os_service_store_(std::move(os_service_store)),
+      identity_(std::move(identity)) {}
+
+DeviceEmulator DeviceEmulator::Pixel3(const x509::Certificate* proxy_ca) {
+  const x509::RootStore& aosp = x509::PublicCaCatalog::Instance().AospStore();
+  return Pixel3(WithOptionalProxyCa(aosp, proxy_ca),
+                std::make_shared<const x509::RootStore>(aosp));
+}
+
+DeviceEmulator DeviceEmulator::IPhoneX(const x509::Certificate* proxy_ca) {
+  const x509::RootStore& ios = x509::PublicCaCatalog::Instance().IosStore();
+  return IPhoneX(WithOptionalProxyCa(ios, proxy_ca),
+                 std::make_shared<const x509::RootStore>(ios));
+}
+
+DeviceEmulator DeviceEmulator::Pixel3(
+    std::shared_ptr<const x509::RootStore> system_store,
+    std::shared_ptr<const x509::RootStore> os_service_store) {
+  return DeviceEmulator(appmodel::Platform::kAndroid, "Pixel 3", "Android 11",
+                        std::move(system_store), std::move(os_service_store),
+                        Pixel3Identity());
+}
+
+DeviceEmulator DeviceEmulator::IPhoneX(
+    std::shared_ptr<const x509::RootStore> system_store,
+    std::shared_ptr<const x509::RootStore> os_service_store) {
+  return DeviceEmulator(appmodel::Platform::kIos, "iPhone X", "iOS 13.6",
+                        std::move(system_store), std::move(os_service_store),
+                        IPhoneXIdentity());
 }
 
 namespace {
@@ -79,7 +114,7 @@ net::Capture DeviceEmulator::RunApp(const appmodel::App& app,
       static_cast<std::int64_t>(options.capture_seconds) * 1000;
   const std::int64_t settle_ms =
       static_cast<std::int64_t>(options.settle_seconds) * 1000;
-  net::MitmProxy* proxy = options.proxy;
+  const net::MitmProxy* proxy = options.proxy;
 
   // App activity happens on its own timeline (§4.2.1: the paper swept 15/30/
   // 60-second captures and found diminishing returns past 30 s). Connections
@@ -133,7 +168,10 @@ net::Capture DeviceEmulator::RunApp(const appmodel::App& app,
     }
 
     tls::ClientTlsConfig cfg;
-    cfg.root_store = custom_store.has_value() ? &*custom_store : &system_store_;
+    cfg.root_store =
+        custom_store.has_value() ? &*custom_store : system_store_.get();
+    cfg.validation_cache = options.validation_cache;
+    cfg.store_session_tickets = false;  // captures never resume sessions
     cfg.offered_ciphers = d.cipher_offer;
     cfg.stack = d.stack;
     cfg.validation.check_hostname = app.behavior.validates_hostname;
@@ -181,7 +219,9 @@ net::Capture DeviceEmulator::RunApp(const appmodel::App& app,
     const appmodel::ServerInfo* srv = world.Find(host);
     if (srv == nullptr) continue;
     tls::ClientTlsConfig cfg;
-    cfg.root_store = &os_service_store_;  // ignores user-installed CAs
+    cfg.root_store = os_service_store_.get();  // ignores user-installed CAs
+    cfg.validation_cache = options.validation_cache;
+    cfg.store_session_tickets = false;
     cfg.stack = tls::TlsStack::kNsUrlSession;
     tls::AppPayload payload;
     payload.plaintext = "POST /telemetry HTTP/1.1\r\nhost: " + host;
@@ -202,7 +242,9 @@ net::Capture DeviceEmulator::RunApp(const appmodel::App& app,
       const appmodel::ServerInfo* srv = world.Find(host);
       if (srv == nullptr) continue;
       tls::ClientTlsConfig cfg;
-      cfg.root_store = &os_service_store_;
+      cfg.root_store = os_service_store_.get();
+      cfg.validation_cache = options.validation_cache;
+      cfg.store_session_tickets = false;
       cfg.stack = tls::TlsStack::kNsUrlSession;
       tls::AppPayload payload;
       payload.plaintext =

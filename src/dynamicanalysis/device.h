@@ -7,8 +7,14 @@
 // connections, iOS OS-background traffic to Apple domains, and
 // associated-domain verification traffic that OS services perform with a
 // validator that ignores user-installed CAs.
+//
+// Root stores are immutable after device construction and held by
+// shared_ptr, so a study can build each platform's stores once and share
+// them across every per-app device instead of copying two full stores per
+// app (see dynamicanalysis/sim_fixtures.h).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -20,6 +26,7 @@
 #include "net/mitm_proxy.h"
 #include "util/rng.h"
 #include "x509/root_store.h"
+#include "x509/validation_cache.h"
 
 namespace pinscope::dynamicanalysis {
 
@@ -30,7 +37,10 @@ namespace pinscope::dynamicanalysis {
 /// Options for one app test run.
 struct RunOptions {
   /// Interception proxy; nullptr = the baseline (non-MITM) experiment.
-  net::MitmProxy* proxy = nullptr;
+  const net::MitmProxy* proxy = nullptr;
+  /// Optional shared chain-validation memo threaded into every connection's
+  /// ClientTlsConfig. Null ⇒ each connection validates from scratch.
+  x509::ValidationCache* validation_cache = nullptr;
   /// Capture duration after launch (the paper settled on 30 s).
   int capture_seconds = 30;
   /// Delay between install and launch; the Common-iOS re-run uses 120 s so
@@ -52,11 +62,22 @@ class DeviceEmulator {
   /// but OS services still ignore user-installed CAs.
   static DeviceEmulator IPhoneX(const x509::Certificate* proxy_ca);
 
+  /// Fixture-sharing variants: adopt prebuilt immutable stores instead of
+  /// constructing (and copying) them per device. `system_store` is the
+  /// app-visible store (proxy CA included when intercepting);
+  /// `os_service_store` is what OS services use (never has user CAs).
+  static DeviceEmulator Pixel3(
+      std::shared_ptr<const x509::RootStore> system_store,
+      std::shared_ptr<const x509::RootStore> os_service_store);
+  static DeviceEmulator IPhoneX(
+      std::shared_ptr<const x509::RootStore> system_store,
+      std::shared_ptr<const x509::RootStore> os_service_store);
+
   [[nodiscard]] appmodel::Platform platform() const { return platform_; }
   [[nodiscard]] const std::string& model() const { return model_; }
   [[nodiscard]] const std::string& os_version() const { return os_version_; }
   [[nodiscard]] const appmodel::DeviceIdentity& identity() const { return identity_; }
-  [[nodiscard]] const x509::RootStore& system_store() const { return system_store_; }
+  [[nodiscard]] const x509::RootStore& system_store() const { return *system_store_; }
 
   /// Installs `app`, waits, captures `capture_seconds` of traffic, uninstalls.
   /// Servers come from `world`; destinations without a provisioned server
@@ -67,14 +88,18 @@ class DeviceEmulator {
 
  private:
   DeviceEmulator(appmodel::Platform platform, std::string model,
-                 std::string os_version, x509::RootStore store,
+                 std::string os_version,
+                 std::shared_ptr<const x509::RootStore> system_store,
+                 std::shared_ptr<const x509::RootStore> os_service_store,
                  appmodel::DeviceIdentity identity);
 
   appmodel::Platform platform_;
   std::string model_;
   std::string os_version_;
-  x509::RootStore system_store_;       ///< App-visible trust store.
-  x509::RootStore os_service_store_;   ///< Store OS services use (no user CAs).
+  /// App-visible trust store (immutable; possibly shared across devices).
+  std::shared_ptr<const x509::RootStore> system_store_;
+  /// Store OS services use (no user CAs; immutable, possibly shared).
+  std::shared_ptr<const x509::RootStore> os_service_store_;
   appmodel::DeviceIdentity identity_;
 };
 

@@ -23,7 +23,7 @@ bool IsHookable(tls::TlsStack stack, appmodel::Platform platform) {
 CircumventionRun RunWithPinningDisabled(const appmodel::App& app,
                                         const appmodel::ServerWorld& world,
                                         const DeviceEmulator& device,
-                                        net::MitmProxy& proxy,
+                                        const net::MitmProxy& proxy,
                                         const RunOptions& options,
                                         util::Rng& rng) {
   CircumventionRun run;
@@ -43,6 +43,8 @@ CircumventionRun RunWithPinningDisabled(const appmodel::App& app,
 
     tls::ClientTlsConfig cfg;
     cfg.root_store = &device.system_store();
+    cfg.validation_cache = options.validation_cache;
+    cfg.store_session_tickets = false;  // instrumented pass never resumes
     cfg.offered_ciphers = d.cipher_offer;
     cfg.stack = d.stack;
     if (hooked) {

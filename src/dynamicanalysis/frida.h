@@ -38,7 +38,7 @@ struct CircumventionRun {
 /// destinations still fail.
 [[nodiscard]] CircumventionRun RunWithPinningDisabled(
     const appmodel::App& app, const appmodel::ServerWorld& world,
-    const DeviceEmulator& device, net::MitmProxy& proxy,
+    const DeviceEmulator& device, const net::MitmProxy& proxy,
     const RunOptions& options, util::Rng& rng);
 
 }  // namespace pinscope::dynamicanalysis

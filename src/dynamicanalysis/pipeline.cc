@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 
 #include "dynamicanalysis/device.h"
 #include "dynamicanalysis/frida.h"
 #include "dynamicanalysis/pii_detector.h"
+#include "dynamicanalysis/sim_fixtures.h"
 #include "net/mitm_proxy.h"
 #include "util/parallel.h"
 
@@ -39,11 +41,21 @@ DynamicReport RunDynamicAnalysis(const appmodel::App& app,
   report.app_id = app.meta.app_id;
   report.platform = app.meta.platform;
 
-  net::MitmProxy proxy;
+  // Shared study fixtures when provided; otherwise private equivalents.
+  // Both paths forge identical leaves: the private proxy derives its leaf
+  // streams from the same (seed, CA label, hostname) tuple the fixture
+  // proxy uses — only the sharing differs.
+  const SimFixtures* fixtures = options.fixtures;
+  std::optional<net::MitmProxy> local_proxy;
+  if (fixtures == nullptr) local_proxy.emplace("mitmproxy", options.seed);
+  const net::MitmProxy& proxy =
+      fixtures != nullptr ? fixtures->proxy() : *local_proxy;
   const DeviceEmulator device =
-      app.meta.platform == appmodel::Platform::kAndroid
-          ? DeviceEmulator::Pixel3(&proxy.CaCertificate())
-          : DeviceEmulator::IPhoneX(&proxy.CaCertificate());
+      fixtures != nullptr
+          ? fixtures->MakeDevice(app.meta.platform)
+          : (app.meta.platform == appmodel::Platform::kAndroid
+                 ? DeviceEmulator::Pixel3(&proxy.CaCertificate())
+                 : DeviceEmulator::IPhoneX(&proxy.CaCertificate()));
 
   // Per-app seed derivation (DESIGN.md §8): the stream depends only on the
   // study seed and the app's identity, never on how many apps ran before it.
@@ -52,6 +64,8 @@ DynamicReport RunDynamicAnalysis(const appmodel::App& app,
   RunOptions baseline_opts;
   baseline_opts.capture_seconds = options.capture_seconds;
   baseline_opts.settle_seconds = options.settle_seconds;
+  baseline_opts.validation_cache =
+      fixtures != nullptr ? fixtures->validation_cache() : nullptr;
   RunOptions mitm_opts = baseline_opts;
   mitm_opts.proxy = &proxy;
 
@@ -66,7 +80,8 @@ DynamicReport RunDynamicAnalysis(const appmodel::App& app,
     if (phase == 0) {
       baseline = device.RunApp(app, world, baseline_opts, baseline_rng);
     } else {
-      // Only this phase touches the proxy (forged-leaf cache and CA state).
+      // Only this phase touches the proxy; its forged-leaf cache is
+      // internally synchronized (and possibly shared study-wide).
       mitm = device.RunApp(app, world, mitm_opts, mitm_rng);
     }
   };

@@ -18,6 +18,8 @@
 
 namespace pinscope::dynamicanalysis {
 
+class SimFixtures;
+
 /// Options for the per-app pipeline.
 struct DynamicOptions {
   int capture_seconds = 30;
@@ -33,6 +35,11 @@ struct DynamicOptions {
   /// identical either way: both phases draw from RNGs forked before the
   /// captures start, so neither observes the other's stream position.
   bool parallel_phases = false;
+  /// Study-scoped shared fixtures (proxy + root stores + caches; see
+  /// dynamicanalysis/sim_fixtures.h). Null ⇒ the pipeline builds private
+  /// per-app equivalents. Reports are byte-identical either way, provided
+  /// the fixtures were constructed with this options struct's `seed`.
+  const SimFixtures* fixtures = nullptr;
 };
 
 /// Everything the pipeline concluded about one destination of one app.

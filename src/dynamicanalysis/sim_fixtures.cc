@@ -1,0 +1,45 @@
+#include "dynamicanalysis/sim_fixtures.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace pinscope::dynamicanalysis {
+namespace {
+
+std::shared_ptr<const x509::RootStore> Frozen(x509::RootStore store) {
+  return std::make_shared<const x509::RootStore>(std::move(store));
+}
+
+std::shared_ptr<const x509::RootStore> WithProxyCa(
+    x509::RootStore store, const x509::Certificate& proxy_ca) {
+  store.AddRoot(proxy_ca);
+  return Frozen(std::move(store));
+}
+
+}  // namespace
+
+SimFixtures::SimFixtures(std::uint64_t seed)
+    : seed_(seed),
+      proxy_(std::make_unique<net::MitmProxy>(
+          "mitmproxy", seed, std::make_shared<net::ForgedLeafCache>())),
+      validation_cache_(std::make_unique<x509::ValidationCache>()) {
+  const x509::PublicCaCatalog& catalog = x509::PublicCaCatalog::Instance();
+  const x509::Certificate& ca = proxy_->CaCertificate();
+  android_system_ = WithProxyCa(catalog.AospStore(), ca);
+  ios_system_ = WithProxyCa(catalog.IosStore(), ca);
+  android_os_service_ = Frozen(catalog.AospStore());
+  ios_os_service_ = Frozen(catalog.IosStore());
+}
+
+DeviceEmulator SimFixtures::MakeDevice(appmodel::Platform platform) const {
+  switch (platform) {
+    case appmodel::Platform::kAndroid:
+      return DeviceEmulator::Pixel3(android_system_, android_os_service_);
+    case appmodel::Platform::kIos:
+      return DeviceEmulator::IPhoneX(ios_system_, ios_os_service_);
+  }
+  throw util::Error("unknown platform");
+}
+
+}  // namespace pinscope::dynamicanalysis

@@ -1,0 +1,46 @@
+#include "net/forged_leaf_cache.h"
+
+#include <utility>
+
+namespace pinscope::net {
+
+ForgedLeafCache::ForgedLeafCache(std::size_t shard_count)
+    : shard_count_(shard_count == 0 ? 1 : shard_count),
+      shards_(std::make_unique<Shard[]>(shard_count_)) {}
+
+std::shared_ptr<const x509::CertificateChain> ForgedLeafCache::Find(
+    std::string_view hostname) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(hostname);
+  std::shared_ptr<const x509::CertificateChain> found;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(hostname);
+    if (it != shard.map.end()) found = it->second;
+  }
+  if (found != nullptr) hits_.fetch_add(1, std::memory_order_relaxed);
+  return found;
+}
+
+std::shared_ptr<const x509::CertificateChain> ForgedLeafCache::Insert(
+    std::string_view hostname, x509::CertificateChain chain) {
+  auto entry =
+      std::make_shared<const x509::CertificateChain>(std::move(chain));
+  Shard& shard = ShardFor(hostname);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto [it, inserted] =
+      shard.map.try_emplace(std::string(hostname), std::move(entry));
+  if (inserted) entries_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+ForgedLeafCacheStats ForgedLeafCache::Stats() const {
+  ForgedLeafCacheStats stats;
+  stats.lookups = lookups_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = stats.lookups - stats.hits;
+  stats.entries = entries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace pinscope::net

@@ -11,36 +11,55 @@ x509::DistinguishedName ProxyCaName() {
   return dn;
 }
 
+util::Rng LeafBaseRng(std::uint64_t seed, const std::string& ca_label) {
+  return util::Rng(seed).Fork("mitm.forged-leaf|" + ca_label);
+}
+
 }  // namespace
 
-MitmProxy::MitmProxy(std::string ca_label)
+MitmProxy::MitmProxy(std::string ca_label, std::uint64_t seed,
+                     std::shared_ptr<ForgedLeafCache> forged)
     : ca_(x509::CertificateIssuer::SelfSignedRoot(
           ca_label, ProxyCaName(), util::kStudyEpoch - util::kMillisPerYear,
-          util::kStudyEpoch + 10 * util::kMillisPerYear)) {}
+          util::kStudyEpoch + 10 * util::kMillisPerYear)),
+      leaf_rng_(LeafBaseRng(seed, ca_label)),
+      forged_(forged != nullptr ? std::move(forged)
+                                : std::make_shared<ForgedLeafCache>()) {}
 
 const x509::Certificate& MitmProxy::CaCertificate() const {
   return ca_.certificate();
 }
 
+std::shared_ptr<const x509::CertificateChain> MitmProxy::ForgedChainFor(
+    const std::string& hostname) const {
+  if (auto cached = forged_->Find(hostname)) return cached;
+
+  x509::IssueSpec spec;
+  spec.subject.common_name = hostname;
+  spec.subject.organization = "mitmproxy";
+  spec.san_dns = {hostname};
+  spec.not_before = util::kStudyEpoch - util::kMillisPerDay;
+  spec.not_after = util::kStudyEpoch + util::kMillisPerYear;
+  // The leaf key comes from a per-hostname fork of the proxy's base stream,
+  // so the forged bytes are identical no matter which app, thread, or
+  // interception ordering triggers this miss — racing inserts below deposit
+  // the same chain and first-wins resolves them invisibly.
+  util::Rng leaf_rng = leaf_rng_.Fork(hostname);
+  x509::CertificateChain forged = {ca_.Issue(spec, leaf_rng),
+                                   ca_.certificate()};
+  return forged_->Insert(hostname, std::move(forged));
+}
+
 InterceptResult MitmProxy::Intercept(const tls::ClientTlsConfig& client,
                                      const tls::ServerEndpoint& server,
                                      const tls::AppPayload& payload,
-                                     util::SimTime now, util::Rng& rng) {
-  auto it = forged_cache_.find(server.hostname);
-  if (it == forged_cache_.end()) {
-    x509::IssueSpec spec;
-    spec.subject.common_name = server.hostname;
-    spec.subject.organization = "mitmproxy";
-    spec.san_dns = {server.hostname};
-    spec.not_before = util::kStudyEpoch - util::kMillisPerDay;
-    spec.not_after = util::kStudyEpoch + util::kMillisPerYear;
-    x509::CertificateChain forged = {ca_.Issue(spec, rng), ca_.certificate()};
-    it = forged_cache_.emplace(server.hostname, std::move(forged)).first;
-  }
+                                     util::SimTime now, util::Rng& rng) const {
+  const std::shared_ptr<const x509::CertificateChain> forged =
+      ForgedChainFor(server.hostname);
 
   InterceptResult result;
   result.outcome =
-      tls::SimulateConnection(client, server, it->second, payload, now, rng);
+      tls::SimulateConnection(client, server, *forged, payload, now, rng);
   result.decrypted = result.outcome.application_data_sent;
   return result;
 }

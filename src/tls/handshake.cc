@@ -89,7 +89,7 @@ std::uint32_t ChainFlightLength(const x509::CertificateChain& chain,
                                 util::Rng& rng) {
   std::uint32_t len = 400;
   for (const auto& cert : chain) {
-    len += static_cast<std::uint32_t>(cert.DerBytes().size()) + 96;
+    len += static_cast<std::uint32_t>(cert.DerSize()) + 96;
   }
   return len + static_cast<std::uint32_t>(rng.UniformU64(0, 64));
 }
@@ -172,8 +172,10 @@ ConnectionOutcome SimulateConnection(const ClientTlsConfig& client,
   }
 
   // --- Client certificate processing ---
-  out.validation = x509::ValidateChain(presented_chain, server.hostname, now,
-                                       *client.root_store, client.validation);
+  out.validation = x509::CachedValidateChain(client.validation_cache,
+                                             presented_chain, server.hostname,
+                                             now, *client.root_store,
+                                             client.validation);
   if (!out.validation.ok()) {
     out.failure = FailureReason::kCertificateInvalid;
     EmitClientAbort(tb, *version,
@@ -227,11 +229,13 @@ ConnectionOutcome SimulateConnection(const ClientTlsConfig& client,
 
   // --- Session ticket ---
   if (server.issues_session_tickets) {
-    SessionTicket ticket;
-    ticket.hostname = server.hostname;
-    ticket.version = *version;
-    ticket.chain_at_issue = presented_chain;
-    out.ticket = std::move(ticket);
+    if (client.store_session_tickets) {
+      SessionTicket ticket;
+      ticket.hostname = server.hostname;
+      ticket.version = *version;
+      ticket.chain_at_issue = presented_chain;
+      out.ticket = std::move(ticket);
+    }
     if (*version == TlsVersion::kTls13) {
       // NewSessionTicket rides in the encrypted stream.
       tb.Emit(Direction::kServerToClient, ContentType::kApplicationData,
@@ -302,9 +306,9 @@ ConnectionOutcome SimulateResumedConnection(const ClientTlsConfig& client,
   if (client.revalidates_on_resumption) {
     // Careful stacks re-check the cached chain and pins (OkHttp re-runs its
     // CertificatePinner against the session's peer certificates).
-    out.validation = x509::ValidateChain(ticket.chain_at_issue, server.hostname,
-                                         now, *client.root_store,
-                                         client.validation);
+    out.validation = x509::CachedValidateChain(
+        client.validation_cache, ticket.chain_at_issue, server.hostname, now,
+        *client.root_store, client.validation);
     if (!out.validation.ok()) {
       out.failure = FailureReason::kCertificateInvalid;
       EmitClientAbort(tb, *version, AlertDescription::kBadCertificate);

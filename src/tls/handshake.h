@@ -19,6 +19,7 @@
 #include "util/rng.h"
 #include "x509/root_store.h"
 #include "x509/validation.h"
+#include "x509/validation_cache.h"
 
 namespace pinscope::tls {
 
@@ -54,8 +55,17 @@ struct ClientTlsConfig {
   /// session resumption. Stacks that skip it expose the resumption pin-bypass
   /// class (pins checked only on full handshakes).
   bool revalidates_on_resumption = true;
+  /// Whether the stack keeps a session cache. When false, NewSessionTicket
+  /// still appears on the wire (the server sends it regardless), but the
+  /// outcome carries no ticket — sparing the per-connection copy of the
+  /// presented chain for callers that never resume.
+  bool store_session_tickets = true;
   /// Certificate-validation behavior (broken validators set flags to false).
   x509::ValidationOptions validation;
+  /// Optional chain-validation memo shared across connections (study-scoped
+  /// fixture; see x509/validation_cache.h). Null ⇒ validate directly. The
+  /// cache is unobservable: outcomes are byte-identical with or without it.
+  x509::ValidationCache* validation_cache = nullptr;
   /// Which implementation performs validation/pinning.
   TlsStack stack = TlsStack::kAndroidPlatform;
 };

@@ -112,9 +112,36 @@ bool DomainPinRule::AppliesTo(std::string_view hostname) const {
   return false;
 }
 
-void PinPolicy::AddRule(DomainPinRule rule) { rules_.push_back(std::move(rule)); }
+void PinPolicy::AddRule(DomainPinRule rule) {
+  // Dedupe within the rule once at insertion (first occurrence kept), so
+  // per-connection evaluation never re-runs the quadratic scan.
+  std::vector<Pin> unique;
+  unique.reserve(rule.pins.size());
+  for (Pin& pin : rule.pins) {
+    if (std::find(unique.begin(), unique.end(), pin) == unique.end()) {
+      unique.push_back(std::move(pin));
+    }
+  }
+  rule.pins = std::move(unique);
+  rules_.push_back(std::move(rule));
+}
 
 std::vector<Pin> PinPolicy::PinsFor(std::string_view hostname) const {
+  // Fast path: a single applicable rule needs no cross-rule union — its pin
+  // list is already deduplicated (AddRule). This is the overwhelmingly
+  // common shape: one DomainPinRule per pinned destination.
+  const DomainPinRule* only = nullptr;
+  bool multiple = false;
+  for (const DomainPinRule& rule : rules_) {
+    if (!rule.AppliesTo(hostname)) continue;
+    if (only != nullptr) {
+      multiple = true;
+      break;
+    }
+    only = &rule;
+  }
+  if (!multiple) return only != nullptr ? only->pins : std::vector<Pin>{};
+
   std::vector<Pin> out;
   for (const DomainPinRule& rule : rules_) {
     if (!rule.AppliesTo(hostname)) continue;
@@ -126,19 +153,29 @@ std::vector<Pin> PinPolicy::PinsFor(std::string_view hostname) const {
 }
 
 bool PinPolicy::IsPinned(std::string_view hostname) const {
-  return !PinsFor(hostname).empty();
+  // No pin-set materialization: pinned iff some applicable rule carries pins.
+  for (const DomainPinRule& rule : rules_) {
+    if (!rule.pins.empty() && rule.AppliesTo(hostname)) return true;
+  }
+  return false;
 }
 
 bool PinPolicy::Evaluate(std::string_view hostname,
                          const x509::CertificateChain& chain) const {
-  const std::vector<Pin> pins = PinsFor(hostname);
-  if (pins.empty()) return true;
-  for (const Pin& pin : pins) {
-    for (const x509::Certificate& cert : chain) {
-      if (pin.Matches(cert)) return true;
+  // Match straight off the rules — no union vector per connection. A pin
+  // duplicated across rules is matched at most twice, which is cheaper than
+  // deduplicating on every evaluation.
+  bool pinned = false;
+  for (const DomainPinRule& rule : rules_) {
+    if (rule.pins.empty() || !rule.AppliesTo(hostname)) continue;
+    pinned = true;
+    for (const Pin& pin : rule.pins) {
+      for (const x509::Certificate& cert : chain) {
+        if (pin.Matches(cert)) return true;
+      }
     }
   }
-  return false;
+  return !pinned;
 }
 
 }  // namespace pinscope::tls

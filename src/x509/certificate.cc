@@ -22,28 +22,37 @@ Certificate::Certificate(CertificateData data) : data_(std::move(data)) {
   if (data_.serial_hex.empty()) throw util::Error("certificate requires a serial");
 }
 
-util::Bytes Certificate::TbsBytes() const {
-  std::string out;
-  out.append(kMagic);
-  out.push_back('\n');
-  AppendField(out, "serial", data_.serial_hex);
-  AppendField(out, "subject", data_.subject.ToString());
-  AppendField(out, "issuer", data_.issuer.ToString());
-  AppendField(out, "not_before", std::to_string(data_.not_before));
-  AppendField(out, "not_after", std::to_string(data_.not_after));
-  AppendField(out, "san", util::Join(data_.san_dns, "|"));
-  AppendField(out, "ca", data_.is_ca ? "1" : "0");
-  if (data_.path_len.has_value()) {
-    AppendField(out, "pathlen", std::to_string(*data_.path_len));
-  }
-  AppendField(out, "spki", util::ToString(data_.spki));
-  return util::ToBytes(out);
+const util::Bytes& Certificate::TbsBytes() const {
+  std::call_once(digests_->tbs_once, [this] {
+    std::string out;
+    out.append(kMagic);
+    out.push_back('\n');
+    AppendField(out, "serial", data_.serial_hex);
+    AppendField(out, "subject", data_.subject.ToString());
+    AppendField(out, "issuer", data_.issuer.ToString());
+    AppendField(out, "not_before", std::to_string(data_.not_before));
+    AppendField(out, "not_after", std::to_string(data_.not_after));
+    AppendField(out, "san", util::Join(data_.san_dns, "|"));
+    AppendField(out, "ca", data_.is_ca ? "1" : "0");
+    if (data_.path_len.has_value()) {
+      AppendField(out, "pathlen", std::to_string(*data_.path_len));
+    }
+    AppendField(out, "spki", util::ToString(data_.spki));
+    digests_->tbs = util::ToBytes(out);
+  });
+  return digests_->tbs;
 }
 
 util::Bytes Certificate::DerBytes() const {
   util::Bytes out = TbsBytes();
   util::Append(out, "sig=" + util::HexEncode(data_.signature) + "\n");
   return out;
+}
+
+std::size_t Certificate::DerSize() const {
+  // DerBytes() is the TBS plus "sig=<hex>\n": 5 framing bytes and two hex
+  // characters per signature byte.
+  return TbsBytes().size() + 5 + 2 * data_.signature.size();
 }
 
 std::optional<Certificate> Certificate::ParseDer(const util::Bytes& der) {
@@ -91,16 +100,25 @@ std::optional<Certificate> Certificate::ParseDer(const util::Bytes& der) {
   return Certificate(std::move(data));
 }
 
-crypto::Sha256Digest Certificate::FingerprintSha256() const {
-  return crypto::Sha256(DerBytes());
+const Certificate::DigestCache& Certificate::Digests() const {
+  std::call_once(digests_->once, [this] {
+    digests_->fingerprint = crypto::Sha256(DerBytes());
+    digests_->spki_sha256 = crypto::Sha256(data_.spki);
+    digests_->spki_sha1 = crypto::Sha1(data_.spki);
+  });
+  return *digests_;
 }
 
-crypto::Sha256Digest Certificate::SpkiSha256() const {
-  return crypto::Sha256(data_.spki);
+const crypto::Sha256Digest& Certificate::FingerprintSha256() const {
+  return Digests().fingerprint;
 }
 
-crypto::Sha1Digest Certificate::SpkiSha1() const {
-  return crypto::Sha1(data_.spki);
+const crypto::Sha256Digest& Certificate::SpkiSha256() const {
+  return Digests().spki_sha256;
+}
+
+const crypto::Sha1Digest& Certificate::SpkiSha1() const {
+  return Digests().spki_sha1;
 }
 
 bool HostnameMatchesPattern(std::string_view hostname, std::string_view pattern) {

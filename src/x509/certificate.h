@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -73,36 +75,65 @@ class Certificate {
   }
 
   /// The canonical to-be-signed serialization: every field except the
-  /// signature. This is what issuers sign.
-  [[nodiscard]] util::Bytes TbsBytes() const;
+  /// signature. This is what issuers sign. Serialized once per certificate
+  /// and cached; copies share the cached bytes (the data is immutable).
+  [[nodiscard]] const util::Bytes& TbsBytes() const;
 
   /// DER-like serialization of the whole certificate (TBS + signature).
   /// Round-trips through ParseDer().
   [[nodiscard]] util::Bytes DerBytes() const;
+
+  /// Exact byte length of DerBytes(), without materializing it. The record
+  /// simulator sizes certificate messages per connection; this keeps that
+  /// a constant-time read off the cached TBS serialization.
+  [[nodiscard]] std::size_t DerSize() const;
 
   /// Parses the serialization produced by DerBytes(). Returns std::nullopt on
   /// malformed input.
   [[nodiscard]] static std::optional<Certificate> ParseDer(const util::Bytes& der);
 
   /// SHA-256 fingerprint of the DER encoding (identifies the certificate).
-  [[nodiscard]] crypto::Sha256Digest FingerprintSha256() const;
+  /// Computed once per certificate and reused; copies share the cached value
+  /// (the underlying data is immutable after construction).
+  [[nodiscard]] const crypto::Sha256Digest& FingerprintSha256() const;
 
-  /// SHA-256 of the SubjectPublicKeyInfo — the modern pin digest.
-  [[nodiscard]] crypto::Sha256Digest SpkiSha256() const;
+  /// SHA-256 of the SubjectPublicKeyInfo — the modern pin digest. Cached like
+  /// FingerprintSha256().
+  [[nodiscard]] const crypto::Sha256Digest& SpkiSha256() const;
 
-  /// SHA-1 of the SubjectPublicKeyInfo — the legacy pin digest.
-  [[nodiscard]] crypto::Sha1Digest SpkiSha1() const;
+  /// SHA-1 of the SubjectPublicKeyInfo — the legacy pin digest. Cached like
+  /// FingerprintSha256().
+  [[nodiscard]] const crypto::Sha1Digest& SpkiSha1() const;
 
   /// True if `hostname` matches any SAN entry (or the subject CN when no SANs
   /// are present), honoring single-label `*.` wildcards.
   [[nodiscard]] bool MatchesHostname(std::string_view hostname) const;
 
   friend bool operator==(const Certificate& a, const Certificate& b) {
-    return a.DerBytes() == b.DerBytes();
+    // Fingerprints identify certificates; comparing them reuses the cached
+    // digests instead of re-serializing both DER encodings per comparison.
+    return a.FingerprintSha256() == b.FingerprintSha256();
   }
 
  private:
+  /// Lazily-computed digests and serializations, shared by copies (all
+  /// copies carry identical immutable data, so the first computation serves
+  /// every copy). call_once makes concurrent first use from parallel study
+  /// workers safe. The TBS bytes have their own flag: issuance needs them
+  /// on not-yet-signed certificates whose digests would be meaningless.
+  struct DigestCache {
+    std::once_flag tbs_once;
+    util::Bytes tbs;
+    std::once_flag once;
+    crypto::Sha256Digest fingerprint{};
+    crypto::Sha256Digest spki_sha256{};
+    crypto::Sha1Digest spki_sha1{};
+  };
+
+  const DigestCache& Digests() const;
+
   CertificateData data_;
+  std::shared_ptr<DigestCache> digests_ = std::make_shared<DigestCache>();
 };
 
 /// An ordered certificate chain, leaf first (as servers send it).

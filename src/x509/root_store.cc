@@ -1,26 +1,44 @@
 #include "x509/root_store.h"
 
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace pinscope::x509 {
 
 RootStore::RootStore(std::string name, std::vector<Certificate> roots)
-    : name_(std::move(name)), roots_(std::move(roots)) {}
+    : name_(std::move(name)), roots_(std::move(roots)) {
+  for (std::size_t i = 0; i < roots_.size(); ++i) IndexRoot(i);
+}
 
-void RootStore::AddRoot(Certificate root) { roots_.push_back(std::move(root)); }
+void RootStore::AddRoot(Certificate root) {
+  roots_.push_back(std::move(root));
+  IndexRoot(roots_.size() - 1);
+}
+
+void RootStore::IndexRoot(std::size_t index) {
+  const Certificate& root = roots_[index];
+  by_subject_cn_[root.subject().common_name].push_back(index);
+  const crypto::Sha256Digest& fp = root.FingerprintSha256();
+  // XOR of per-anchor hashes: order-independent, so equal anchor sets built
+  // in any order produce the same token.
+  content_token_ ^= util::StableHash64(
+      std::string_view(reinterpret_cast<const char*>(fp.data()), fp.size()));
+}
 
 bool RootStore::IsTrustedRoot(const Certificate& cert) const {
-  for (const Certificate& r : roots_) {
+  const auto it = by_subject_cn_.find(cert.subject().common_name);
+  if (it == by_subject_cn_.end()) return false;
+  for (const std::size_t index : it->second) {
+    const Certificate& r = roots_[index];
     if (r.spki() == cert.spki() && r.subject() == cert.subject()) return true;
   }
   return false;
 }
 
-std::optional<Certificate> RootStore::FindBySubject(std::string_view cn) const {
-  for (const Certificate& r : roots_) {
-    if (r.subject().common_name == cn) return r;
-  }
-  return std::nullopt;
+const Certificate* RootStore::FindBySubject(std::string_view cn) const {
+  const auto it = by_subject_cn_.find(cn);
+  if (it == by_subject_cn_.end()) return nullptr;
+  return &roots_[it->second.front()];
 }
 
 namespace {

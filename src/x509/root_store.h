@@ -7,9 +7,10 @@
 // OEM-augmented stores.
 #pragma once
 
-#include <optional>
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "x509/certificate.h"
@@ -17,7 +18,9 @@
 
 namespace pinscope::x509 {
 
-/// A named collection of trusted root certificates.
+/// A named collection of trusted root certificates. Lookups go through a
+/// subject-CN index instead of scanning the anchor list — terminal-cert
+/// anchor resolution is on every connection's validation path.
 class RootStore {
  public:
   RootStore() = default;
@@ -34,12 +37,34 @@ class RootStore {
   /// anchor, as real validators do).
   [[nodiscard]] bool IsTrustedRoot(const Certificate& cert) const;
 
-  /// Finds an anchor by subject common name.
-  [[nodiscard]] std::optional<Certificate> FindBySubject(std::string_view cn) const;
+  /// Finds an anchor by subject common name. The pointer stays valid until
+  /// the store is mutated (AddRoot) or destroyed; nullptr on miss.
+  [[nodiscard]] const Certificate* FindBySubject(std::string_view cn) const;
+
+  /// Order-independent digest of the anchor *content* (root fingerprints).
+  /// Two stores trusting the same anchors share a token; any added or
+  /// changed anchor changes it. Used as the store component of
+  /// chain-validation cache keys (x509/validation_cache.h).
+  [[nodiscard]] std::uint64_t ContentToken() const { return content_token_; }
 
  private:
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  void IndexRoot(std::size_t index);
+
   std::string name_;
   std::vector<Certificate> roots_;
+  /// Subject CN → indices into roots_ (duplicate CNs keep list order, so
+  /// FindBySubject still returns the first match the linear scan would).
+  std::unordered_map<std::string, std::vector<std::size_t>, StringHash,
+                     std::equal_to<>>
+      by_subject_cn_;
+  std::uint64_t content_token_ = 0;
 };
 
 /// Descriptor of one well-known public CA in the simulated WebPKI.

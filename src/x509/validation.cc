@@ -3,9 +3,41 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/rng.h"
 #include "x509/issuer.h"
 
 namespace pinscope::x509 {
+
+RevocationList::RevocationList(std::initializer_list<std::string> serials)
+    : RevocationList(std::vector<std::string>(serials)) {}
+
+RevocationList::RevocationList(std::vector<std::string> serials)
+    : serials_(std::move(serials)) {
+  std::sort(serials_.begin(), serials_.end());
+  serials_.erase(std::unique(serials_.begin(), serials_.end()), serials_.end());
+}
+
+void RevocationList::Add(std::string serial) {
+  const auto it = std::lower_bound(serials_.begin(), serials_.end(), serial);
+  if (it != serials_.end() && *it == serial) return;
+  serials_.insert(it, std::move(serial));
+}
+
+bool RevocationList::Contains(std::string_view serial) const {
+  return std::binary_search(serials_.begin(), serials_.end(), serial,
+                            [](std::string_view a, std::string_view b) {
+                              return a < b;
+                            });
+}
+
+std::uint64_t RevocationList::Token() const {
+  std::uint64_t token = serials_.size();
+  // The list is sorted, so an order-dependent fold is still content-stable.
+  for (const std::string& s : serials_) {
+    token = token * 0x100000001b3ULL ^ util::StableHash64(s);
+  }
+  return token;
+}
 
 std::string_view ValidationStatusName(ValidationStatus s) {
   switch (s) {
@@ -52,8 +84,8 @@ ValidationResult ValidateChain(const CertificateChain& chain,
       // Terminal certificate: either a self-signed anchor/leaf, or an
       // intermediate whose issuer must be found in the root store.
       if (!cert.IsSelfIssued()) {
-        const auto anchor = store.FindBySubject(cert.issuer().common_name);
-        if (anchor.has_value()) {
+        const Certificate* anchor = store.FindBySubject(cert.issuer().common_name);
+        if (anchor != nullptr) {
           if (options.check_signatures && !VerifySignature(cert, anchor->spki())) {
             return {ValidationStatus::kBadSignature, i};
           }
@@ -82,10 +114,11 @@ ValidationResult ValidateChain(const CertificateChain& chain,
     return {ValidationStatus::kHostnameMismatch, 0};
   }
 
-  for (std::size_t i = 0; i < chain.size(); ++i) {
-    if (std::find(options.revoked_serials.begin(), options.revoked_serials.end(),
-                  chain[i].serial()) != options.revoked_serials.end()) {
-      return {ValidationStatus::kRevoked, i};
+  if (!options.revoked_serials.empty()) {
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (options.revoked_serials.Contains(chain[i].serial())) {
+        return {ValidationStatus::kRevoked, i};
+      }
     }
   }
 
@@ -94,7 +127,7 @@ ValidationResult ValidateChain(const CertificateChain& chain,
     // store. Self-signed leaves are trusted only if explicitly anchored.
     const Certificate& last = chain.back();
     if (!store.IsTrustedRoot(last) &&
-        !store.FindBySubject(last.issuer().common_name).has_value()) {
+        store.FindBySubject(last.issuer().common_name) == nullptr) {
       return {ValidationStatus::kUntrustedRoot, chain.size() - 1};
     }
   }

@@ -8,6 +8,8 @@
 // supports so §5.3.4's detection logic has something to detect.
 #pragma once
 
+#include <cstdint>
+#include <initializer_list>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -45,6 +47,33 @@ struct ValidationResult {
   [[nodiscard]] bool ok() const { return status == ValidationStatus::kOk; }
 };
 
+/// A set of revoked serials held sorted for binary-search membership tests —
+/// ValidateChain consults it once per chain element per connection, so the
+/// lookup must not scan. Constructible from a brace list for ergonomic test
+/// setup (`opts.revoked_serials = {leaf.serial()}`).
+class RevocationList {
+ public:
+  RevocationList() = default;
+  RevocationList(std::initializer_list<std::string> serials);
+  RevocationList(std::vector<std::string> serials);  // NOLINT(google-explicit-constructor)
+
+  /// Adds one revoked serial (keeps the list sorted and duplicate-free).
+  void Add(std::string serial);
+
+  /// Binary-search membership test.
+  [[nodiscard]] bool Contains(std::string_view serial) const;
+
+  [[nodiscard]] bool empty() const { return serials_.empty(); }
+  [[nodiscard]] std::size_t size() const { return serials_.size(); }
+  [[nodiscard]] const std::vector<std::string>& serials() const { return serials_; }
+
+  /// Stable content digest, folded into chain-validation cache keys.
+  [[nodiscard]] std::uint64_t Token() const;
+
+ private:
+  std::vector<std::string> serials_;  ///< Sorted, unique.
+};
+
 /// Knobs for validation. Defaults model a correct TLS client; flags allow the
 /// simulation to express the *broken* validators prior work found in the wild.
 struct ValidationOptions {
@@ -54,7 +83,7 @@ struct ValidationOptions {
   bool require_trusted_root = true;
   /// Serials considered revoked (leaf-level CRL, per §5.3.1's note that
   /// revocation applies to leaf certificates).
-  std::vector<std::string> revoked_serials;
+  RevocationList revoked_serials;
 };
 
 /// Validates `chain` (leaf first) for `hostname` at time `now` against

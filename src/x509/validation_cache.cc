@@ -1,0 +1,84 @@
+#include "x509/validation_cache.h"
+
+#include <utility>
+
+namespace pinscope::x509 {
+
+ValidationCache::ValidationCache(std::size_t shard_count)
+    : shard_count_(shard_count == 0 ? 1 : shard_count),
+      shards_(std::make_unique<Shard[]>(shard_count_)) {}
+
+ValidationCache::Key ValidationCache::MakeKey(const CertificateChain& chain,
+                                              std::string_view hostname,
+                                              util::SimTime now,
+                                              const RootStore& store,
+                                              const ValidationOptions& options) {
+  Key key;
+  // Chain identity: the concatenated per-certificate DER fingerprints. The
+  // per-cert digests are cached on the certificates themselves, so building
+  // a key costs n 32-byte copies — no serialization, no extra hashing.
+  key.chain_fp.reserve(chain.size() * sizeof(crypto::Sha256Digest));
+  for (const Certificate& cert : chain) {
+    const crypto::Sha256Digest& fp = cert.FingerprintSha256();
+    key.chain_fp.insert(key.chain_fp.end(), fp.begin(), fp.end());
+  }
+  key.store_token = store.ContentToken();
+  key.options_token = (options.check_hostname ? 1ULL : 0ULL) |
+                      (options.check_expiry ? 2ULL : 0ULL) |
+                      (options.check_signatures ? 4ULL : 0ULL) |
+                      (options.require_trusted_root ? 8ULL : 0ULL) |
+                      (options.revoked_serials.Token() << 4);
+  key.now = now;
+  key.hostname.assign(hostname);
+  return key;
+}
+
+std::optional<ValidationResult> ValidationCache::Find(const Key& key) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(key);
+  std::optional<ValidationResult> found;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) found = it->second;
+  }
+  if (found.has_value()) hits_.fetch_add(1, std::memory_order_relaxed);
+  return found;
+}
+
+ValidationResult ValidationCache::Insert(Key key, ValidationResult result) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto [it, inserted] = shard.map.try_emplace(std::move(key), result);
+  if (inserted) entries_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+ValidationCacheStats ValidationCache::Stats() const {
+  ValidationCacheStats stats;
+  stats.lookups = lookups_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = stats.lookups - stats.hits;
+  stats.entries = entries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+ValidationResult CachedValidateChain(ValidationCache* cache,
+                                     const CertificateChain& chain,
+                                     std::string_view hostname,
+                                     util::SimTime now, const RootStore& store,
+                                     const ValidationOptions& options) {
+  if (cache == nullptr) {
+    return ValidateChain(chain, hostname, now, store, options);
+  }
+  ValidationCache::Key key =
+      ValidationCache::MakeKey(chain, hostname, now, store, options);
+  if (const std::optional<ValidationResult> hit = cache->Find(key)) {
+    return *hit;
+  }
+  const ValidationResult result =
+      ValidateChain(chain, hostname, now, store, options);
+  return cache->Insert(std::move(key), result);
+}
+
+}  // namespace pinscope::x509

@@ -24,16 +24,16 @@ TEST(RootStoreTest, StoresDifferAsConfigured) {
   const RootStore ios = catalog.IosStore();
 
   // AOSP carries obscure anchors Mozilla does not ship.
-  const auto asiapac = aosp.FindBySubject("AsiaPac Commerce Root");
-  ASSERT_TRUE(asiapac.has_value());
+  const Certificate* asiapac = aosp.FindBySubject("AsiaPac Commerce Root");
+  ASSERT_NE(asiapac, nullptr);
   EXPECT_FALSE(mozilla.IsTrustedRoot(*asiapac));
   EXPECT_FALSE(ios.IsTrustedRoot(*asiapac));
 }
 
 TEST(RootStoreTest, AospShipsAnExpiredAnchor) {
   const RootStore aosp = PublicCaCatalog::Instance().AospStore();
-  const auto expired = aosp.FindBySubject("RegionalGov National Root");
-  ASSERT_TRUE(expired.has_value());
+  const Certificate* expired = aosp.FindBySubject("RegionalGov National Root");
+  ASSERT_NE(expired, nullptr);
   EXPECT_LT(expired->not_after(), util::kStudyEpoch);
 }
 
@@ -42,8 +42,8 @@ TEST(RootStoreTest, OemStoreExtendsAosp) {
   const RootStore aosp = catalog.AospStore();
   const RootStore oem = catalog.OemAugmentedStore();
   EXPECT_EQ(oem.roots().size(), aosp.roots().size() + 1);
-  EXPECT_TRUE(oem.FindBySubject("HandsetMaker Device Root CA").has_value());
-  EXPECT_FALSE(aosp.FindBySubject("HandsetMaker Device Root CA").has_value());
+  EXPECT_NE(oem.FindBySubject("HandsetMaker Device Root CA"), nullptr);
+  EXPECT_EQ(aosp.FindBySubject("HandsetMaker Device Root CA"), nullptr);
 }
 
 TEST(RootStoreTest, AddRootMakesAnchorTrusted) {
@@ -59,9 +59,9 @@ TEST(RootStoreTest, ByLabelThrowsOnUnknown) {
                util::Error);
 }
 
-TEST(RootStoreTest, FindBySubjectMissReturnsNullopt) {
+TEST(RootStoreTest, FindBySubjectMissReturnsNull) {
   const RootStore mozilla = PublicCaCatalog::Instance().MozillaStore();
-  EXPECT_FALSE(mozilla.FindBySubject("No Such CA").has_value());
+  EXPECT_EQ(mozilla.FindBySubject("No Such CA"), nullptr);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/rng.h"
 #include "x509/issuer.h"
 #include "x509/root_store.h"
@@ -131,6 +133,49 @@ TEST(ValidationTest, RejectsRevokedSerial) {
   opts.revoked_serials = {w.leaf.serial()};
   const auto result = ValidateChain(w.chain, "api.test.com", 0, w.store, opts);
   EXPECT_EQ(result.status, ValidationStatus::kRevoked);
+}
+
+TEST(ValidationTest, NonRevokedSerialPassesAgainstPopulatedList) {
+  World w;
+  ValidationOptions opts;
+  opts.revoked_serials = {"serial:not-the-leaf", "serial:also-not-the-leaf"};
+  EXPECT_TRUE(ValidateChain(w.chain, "api.test.com", 0, w.store, opts).ok());
+}
+
+TEST(RevocationListTest, SortsAndDeduplicatesOnConstruction) {
+  const RevocationList list({"serial-c", "serial-a", "serial-b", "serial-a"});
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(list.serials().begin(), list.serials().end()));
+}
+
+TEST(RevocationListTest, BinarySearchHitsAndMisses) {
+  const RevocationList list({"bbb", "ddd", "fff"});
+  // Hits.
+  EXPECT_TRUE(list.Contains("bbb"));
+  EXPECT_TRUE(list.Contains("ddd"));
+  EXPECT_TRUE(list.Contains("fff"));
+  // Misses on every side of the sorted members.
+  EXPECT_FALSE(list.Contains("aaa"));
+  EXPECT_FALSE(list.Contains("ccc"));
+  EXPECT_FALSE(list.Contains("eee"));
+  EXPECT_FALSE(list.Contains("zzz"));
+  EXPECT_FALSE(list.Contains(""));
+  EXPECT_FALSE(RevocationList{}.Contains("bbb"));
+}
+
+TEST(RevocationListTest, AddKeepsSortedUniqueAndChangesToken) {
+  RevocationList list({"m"});
+  const std::uint64_t before = list.Token();
+  list.Add("a");
+  list.Add("z");
+  list.Add("a");  // duplicate, ignored
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(list.serials().begin(), list.serials().end()));
+  EXPECT_TRUE(list.Contains("a"));
+  EXPECT_TRUE(list.Contains("z"));
+  EXPECT_NE(list.Token(), before);
+  // The token is content-derived: an identical list built differently agrees.
+  EXPECT_EQ(list.Token(), RevocationList({"z", "a", "m"}).Token());
 }
 
 TEST(ValidationTest, AcceptsChainWithoutRootWhenAnchorInStore) {

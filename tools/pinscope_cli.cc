@@ -37,6 +37,7 @@ struct CliOptions {
   std::uint64_t seed = 42;
   int threads = 0;  // 0 = hardware concurrency
   bool scan_cache = true;
+  bool sim_cache = true;
   std::string json_path;
   std::string csv_path;
 };
@@ -48,6 +49,7 @@ core::StudyOptions StudyOptionsFor(const CliOptions& opts) {
   // on whenever the user did not pin the study to one thread.
   sopts.dynamic.parallel_phases = opts.threads != 1;
   sopts.scan_cache = opts.scan_cache;
+  sopts.sim_cache = opts.sim_cache;
   return sopts;
 }
 
@@ -69,6 +71,10 @@ int Usage() {
       "  --scan-cache=on|off corpus-wide static-scan cache: shared SDK files\n"
       "                      are scanned once per study (default on; results\n"
       "                      are byte-identical either way)\n"
+      "  --sim-cache=on|off  study-wide connection-simulation fixtures: shared\n"
+      "                      proxy CA, forged-leaf cache, root stores, and a\n"
+      "                      chain-validation memo (default on; results are\n"
+      "                      byte-identical either way)\n"
       "  --json FILE         (study) export per-app records as JSON Lines\n"
       "  --csv FILE          (study) export per-destination rows as CSV\n");
   return 2;
@@ -113,6 +119,23 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
         opts.scan_cache = false;
       } else {
         std::fprintf(stderr, "--scan-cache expects on|off, got '%s'\n", v.c_str());
+        return std::nullopt;
+      }
+    } else if (arg == "--sim-cache" || util::StartsWith(arg, "--sim-cache=")) {
+      std::string v;
+      if (arg == "--sim-cache") {
+        const auto n = next();
+        if (!n) return std::nullopt;
+        v = *n;
+      } else {
+        v = arg.substr(std::string("--sim-cache=").size());
+      }
+      if (v == "on") {
+        opts.sim_cache = true;
+      } else if (v == "off") {
+        opts.sim_cache = false;
+      } else {
+        std::fprintf(stderr, "--sim-cache expects on|off, got '%s'\n", v.c_str());
         return std::nullopt;
       }
     } else if (arg == "--json") {
@@ -215,6 +238,16 @@ int CmdStudy(const CliOptions& opts) {
         "%.1f MiB deduped\n",
         s.lookups, s.hits, util::Percent(s.HitRate(), 1).c_str(), s.entries,
         static_cast<double>(s.bytes_deduped) / (1024.0 * 1024.0));
+  }
+
+  if (const dynamicanalysis::SimFixtures* fx = study.sim_fixtures()) {
+    const net::ForgedLeafCacheStats f = fx->forged_cache_stats();
+    const x509::ValidationCacheStats v = fx->validation_cache_stats();
+    std::printf(
+        "sim cache: %zu forged-leaf lookups, %zu hits (%s), %zu hostnames; "
+        "%zu validation lookups, %zu hits (%s), %zu entries\n",
+        f.lookups, f.hits, util::Percent(f.HitRate(), 1).c_str(), f.entries,
+        v.lookups, v.hits, util::Percent(v.HitRate(), 1).c_str(), v.entries);
   }
 
   if (!opts.json_path.empty()) ExportJson(study, opts.json_path);
