@@ -17,6 +17,7 @@
 
 #include "dynamicanalysis/pipeline.h"
 #include "dynamicanalysis/sim_fixtures.h"
+#include "obs/obs.h"
 #include "store/generator.h"
 
 namespace {
@@ -47,13 +48,17 @@ struct PassResult {
 /// start cold, as at the beginning of a study.
 double TimedPass(const store::Ecosystem& eco, bool use_fixtures,
                  PassResult* out,
-                 std::unique_ptr<dynamicanalysis::SimFixtures>* fixtures_out) {
+                 std::unique_ptr<dynamicanalysis::SimFixtures>* fixtures_out,
+                 obs::Observer* observer) {
   dynamicanalysis::DynamicOptions opts;
   auto fixtures =
       use_fixtures
           ? std::make_unique<dynamicanalysis::SimFixtures>(opts.seed)
           : nullptr;
   opts.fixtures = fixtures.get();
+  // The pipeline's own phase instrumentation (baseline/mitm/frida) lands in
+  // the observer's registry; results are byte-identical with or without it.
+  opts.observer = observer;
 
   const auto start = std::chrono::steady_clock::now();
   PassResult result;
@@ -94,12 +99,15 @@ int main() {
   double best_off = 0.0, best_on = 0.0;
   net::ForgedLeafCacheStats forged;
   x509::ValidationCacheStats validation;
+  // Collects the pipeline's per-phase histograms across the fixtures-on
+  // passes; embedded into the JSON below as the "phases" breakdown.
+  obs::Observer observer;
   for (int r = 0; r < reps; ++r) {
     const double off = TimedPass(eco, /*use_fixtures=*/false, &off_result,
-                                 nullptr);
+                                 nullptr, nullptr);
     std::unique_ptr<dynamicanalysis::SimFixtures> fixtures;
     const double on = TimedPass(eco, /*use_fixtures=*/true, &on_result,
-                                &fixtures);
+                                &fixtures, &observer);
     if (r == 0 || off < best_off) best_off = off;
     if (r == 0 || on < best_on) {
       best_on = on;
@@ -134,17 +142,19 @@ int main() {
       "  \"forged_leaf_cache\": {\"lookups\": %zu, \"hits\": %zu, \"misses\": %zu,\n"
       "                        \"entries\": %zu, \"hit_rate\": %.4f},\n"
       "  \"validation_cache\": {\"lookups\": %zu, \"hits\": %zu, \"misses\": %zu,\n"
-      "                       \"entries\": %zu, \"hit_rate\": %.4f}\n"
-      "}\n",
+      "                       \"entries\": %zu, \"hit_rate\": %.4f},\n",
       on_result.apps, on_result.destinations, scale_pct, reps, best_off,
       best_on, speedup, on_result.pinned, forged.lookups, forged.hits,
       forged.misses, forged.entries, forged.HitRate(), validation.lookups,
       validation.hits, validation.misses, validation.entries,
       validation.HitRate());
 
-  std::fputs(json, stdout);
+  const std::string full =
+      std::string(json) + "  \"phases\": " +
+      obs::WritePhaseBreakdownJson(observer.metrics().Snapshot()) + "\n}\n";
+  std::fputs(full.c_str(), stdout);
   if (std::FILE* f = std::fopen("BENCH_dynamic.json", "w")) {
-    std::fputs(json, f);
+    std::fputs(full.c_str(), f);
     std::fclose(f);
     std::fprintf(stderr, "[pinscope] wrote BENCH_dynamic.json\n");
   } else {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "appmodel/android_package.h"
+#include "obs/metrics.h"
 #include "staticanalysis/scan_cache.h"
 #include "staticanalysis/scanner.h"
 #include "util/rng.h"
@@ -118,10 +119,20 @@ int main() {
   std::size_t pins_off = 0, pins_on = 0;
   double best_off = 0.0, best_on = 0.0;
   staticanalysis::ScanCacheStats stats;
+  // Per-phase wall-time histograms (one sample per rep), embedded into the
+  // JSON below as the "phases" breakdown.
+  obs::MetricsRegistry registry;
   for (int r = 0; r < reps; ++r) {
-    const double off = TimedPass(scanner, corpus, nullptr, &pins_off);
+    double off = 0.0, on = 0.0;
+    {
+      obs::ScopedTimer timer(registry.histogram("phase.scan_uncached"));
+      off = TimedPass(scanner, corpus, nullptr, &pins_off);
+    }
     staticanalysis::ScanCache cache;
-    const double on = TimedPass(scanner, corpus, &cache, &pins_on);
+    {
+      obs::ScopedTimer timer(registry.histogram("phase.scan_cached"));
+      on = TimedPass(scanner, corpus, &cache, &pins_on);
+    }
     if (r == 0 || off < best_off) best_off = off;
     if (r == 0 || on < best_on) {
       best_on = on;
@@ -149,15 +160,17 @@ int main() {
       "  \"speedup\": %.2f,\n"
       "  \"pins_found\": %zu,\n"
       "  \"cache\": {\"lookups\": %zu, \"hits\": %zu, \"misses\": %zu,\n"
-      "            \"entries\": %zu, \"bytes_deduped\": %zu, \"hit_rate\": %.4f}\n"
-      "}\n",
+      "            \"entries\": %zu, \"bytes_deduped\": %zu, \"hit_rate\": %.4f},\n",
       apps, total_files, total_bytes, reps, best_off, best_on, speedup, pins_on,
       stats.lookups, stats.hits, stats.misses, stats.entries,
       stats.bytes_deduped, stats.HitRate());
 
-  std::fputs(json, stdout);
+  const std::string full = std::string(json) + "  \"phases\": " +
+                           obs::WritePhaseBreakdownJson(registry.Snapshot()) +
+                           "\n}\n";
+  std::fputs(full.c_str(), stdout);
   if (std::FILE* f = std::fopen("BENCH_static_scan.json", "w")) {
-    std::fputs(json, f);
+    std::fputs(full.c_str(), f);
     std::fclose(f);
     std::fprintf(stderr, "[pinscope] wrote BENCH_static_scan.json\n");
   } else {

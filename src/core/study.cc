@@ -37,13 +37,24 @@ AppResult Study::AnalyzeApp(appmodel::Platform p, std::size_t index) const {
   r.universe_index = index;
   r.app = &eco_->apps(p)[index];
 
+  obs::Observer* observer = options_.observer;
+  obs::MetricsRegistry* metrics = obs::MetricsOf(observer);
+  const obs::Span app_span =
+      obs::SpanFor(observer, r.app->meta.app_id, "app",
+                   {{"platform", std::string(appmodel::PlatformName(p))}});
+
   staticanalysis::StaticAnalysisOptions static_opts;
   static_opts.ct_log = &eco_->ct_log();
   static_opts.scan_cache = scan_cache_.get();
-  r.static_report = staticanalysis::AnalyzeStatically(*r.app, static_opts);
+  static_opts.observer = observer;
+  {
+    obs::ScopedTimer timer(obs::HistogramOrNull(metrics, "phase.static"));
+    r.static_report = staticanalysis::AnalyzeStatically(*r.app, static_opts);
+  }
 
   dynamicanalysis::DynamicOptions dyn = options_.dynamic;
   dyn.fixtures = sim_fixtures_.get();
+  dyn.observer = observer;
   // §4.5: the Common-iOS re-run settles 2 minutes before capture.
   if (p == appmodel::Platform::kIos) {
     const store::Dataset& common =
@@ -57,7 +68,12 @@ AppResult Study::AnalyzeApp(appmodel::Platform p, std::size_t index) const {
   }
   // The pipeline derives its RNG from dyn.seed + the app id, so this call is
   // self-contained: no draw here can perturb (or race with) any other app.
-  r.dynamic_report = dynamicanalysis::RunDynamicAnalysis(*r.app, eco_->world(), dyn);
+  {
+    obs::ScopedTimer timer(obs::HistogramOrNull(metrics, "phase.dynamic"));
+    r.dynamic_report =
+        dynamicanalysis::RunDynamicAnalysis(*r.app, eco_->world(), dyn);
+  }
+  obs::CounterOrNull(metrics, "study.apps_analyzed").Increment();
   return r;
 }
 
@@ -76,18 +92,54 @@ std::vector<std::size_t> Study::PendingIndices(appmodel::Platform p) const {
 }
 
 void Study::Run() {
+  const obs::Span run_span = obs::SpanFor(options_.observer, "study.run", "study");
+  obs::ScopedTimer run_timer(
+      obs::HistogramOrNull(obs::MetricsOf(options_.observer), "phase.study"));
+
   util::ParallelOptions par;
   par.threads = options_.threads;
+  par.trace = obs::TraceOf(options_.observer);
   for (const appmodel::Platform p :
        {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    const bool android = p == appmodel::Platform::kAndroid;
+    const obs::Span platform_span = obs::SpanFor(
+        options_.observer, android ? "study.android" : "study.ios", "study");
+    par.trace_label = android ? "study.android" : "study.ios";
     const std::vector<std::size_t> indices = PendingIndices(p);
     std::vector<AppResult> computed = util::ParallelMap(
         indices.size(),
         [&](std::size_t i) { return AnalyzeApp(p, indices[i]); }, par);
 
-    auto& results = p == appmodel::Platform::kAndroid ? android_results_ : ios_results_;
+    auto& results = android ? android_results_ : ios_results_;
     auto merged = MergeByIndex(std::move(computed));
     results.merge(merged);
+  }
+  PublishCacheStats();
+}
+
+void Study::PublishCacheStats() const {
+  obs::MetricsRegistry* metrics = obs::MetricsOf(options_.observer);
+  if (metrics == nullptr) return;
+  if (scan_cache_ != nullptr) {
+    const staticanalysis::ScanCacheStats s = scan_cache_->Stats();
+    metrics->gauge("cache.scan.lookups").Set(s.lookups);
+    metrics->gauge("cache.scan.hits").Set(s.hits);
+    metrics->gauge("cache.scan.misses").Set(s.misses);
+    metrics->gauge("cache.scan.entries").Set(s.entries);
+    metrics->gauge("cache.scan.bytes_deduped").Set(s.bytes_deduped);
+  }
+  if (sim_fixtures_ != nullptr) {
+    const net::ForgedLeafCacheStats f = sim_fixtures_->forged_cache_stats();
+    metrics->gauge("cache.forged_leaf.lookups").Set(f.lookups);
+    metrics->gauge("cache.forged_leaf.hits").Set(f.hits);
+    metrics->gauge("cache.forged_leaf.misses").Set(f.misses);
+    metrics->gauge("cache.forged_leaf.entries").Set(f.entries);
+    const x509::ValidationCacheStats v = sim_fixtures_->validation_cache_stats();
+    metrics->gauge("cache.validation.lookups").Set(v.lookups);
+    metrics->gauge("cache.validation.hits").Set(v.hits);
+    metrics->gauge("cache.validation.misses").Set(v.misses);
+    metrics->gauge("cache.validation.inserts").Set(v.inserts);
+    metrics->gauge("cache.validation.entries").Set(v.entries);
   }
 }
 

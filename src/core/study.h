@@ -12,6 +12,7 @@
 
 #include "dynamicanalysis/pipeline.h"
 #include "dynamicanalysis/sim_fixtures.h"
+#include "obs/obs.h"
 #include "staticanalysis/scan_cache.h"
 #include "staticanalysis/static_report.h"
 #include "store/generator.h"
@@ -48,6 +49,13 @@ struct StudyOptions {
   /// exports are byte-identical either way (`ctest -L dynamic`); off is a
   /// debugging/measurement knob.
   bool sim_cache = true;
+  /// Optional observability sink for the whole study: Run() opens study- and
+  /// platform-level spans, AnalyzeApp records per-app spans + phase-duration
+  /// histograms, every layer below contributes counters, and the shared
+  /// caches publish their hit-rates as gauges when Run() finishes. Purely
+  /// observational: exports are byte-identical with or without an observer,
+  /// at any thread count (DESIGN.md §11; `ctest -L obs`).
+  obs::Observer* observer = nullptr;
 };
 
 /// Keys per-app results by universe index. Completion order is irrelevant:
@@ -103,6 +111,11 @@ class Study {
   /// Universe indices of every dataset member of `p` not yet analyzed, each
   /// once, in ascending order (the deterministic work list).
   [[nodiscard]] std::vector<std::size_t> PendingIndices(appmodel::Platform p) const;
+
+  /// Publishes the shared caches' counters as `cache.<family>.<field>`
+  /// gauges on the observer's registry (no-op without one). Gauges, not
+  /// counters, so calling Run() twice republishes instead of double-counts.
+  void PublishCacheStats() const;
 
   const store::Ecosystem* eco_;
   StudyOptions options_;

@@ -146,6 +146,7 @@ net::Capture DeviceEmulator::RunApp(const appmodel::App& app,
     }
     cap.flows.push_back(
         net::FlowFromOutcome(server.hostname, out, start_ms, origin, decrypted));
+    obs::CounterOrNull(options.metrics, "net.flows_simulated").Increment();
   };
 
   // Long-tailed activity schedule: u² over ~55 s keeps most traffic early.
@@ -171,6 +172,8 @@ net::Capture DeviceEmulator::RunApp(const appmodel::App& app,
     cfg.root_store =
         custom_store.has_value() ? &*custom_store : system_store_.get();
     cfg.validation_cache = options.validation_cache;
+    cfg.metrics = options.metrics;
+    cfg.validation.metrics = options.metrics;
     cfg.store_session_tickets = false;  // captures never resume sessions
     cfg.offered_ciphers = d.cipher_offer;
     cfg.stack = d.stack;
@@ -221,6 +224,8 @@ net::Capture DeviceEmulator::RunApp(const appmodel::App& app,
     tls::ClientTlsConfig cfg;
     cfg.root_store = os_service_store_.get();  // ignores user-installed CAs
     cfg.validation_cache = options.validation_cache;
+    cfg.metrics = options.metrics;
+    cfg.validation.metrics = options.metrics;
     cfg.store_session_tickets = false;
     cfg.stack = tls::TlsStack::kNsUrlSession;
     tls::AppPayload payload;
@@ -244,6 +249,8 @@ net::Capture DeviceEmulator::RunApp(const appmodel::App& app,
       tls::ClientTlsConfig cfg;
       cfg.root_store = os_service_store_.get();
       cfg.validation_cache = options.validation_cache;
+      cfg.metrics = options.metrics;
+      cfg.validation.metrics = options.metrics;
       cfg.store_session_tickets = false;
       cfg.stack = tls::TlsStack::kNsUrlSession;
       tls::AppPayload payload;

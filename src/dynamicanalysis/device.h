@@ -24,6 +24,7 @@
 #include "appmodel/server_world.h"
 #include "net/flow.h"
 #include "net/mitm_proxy.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "x509/root_store.h"
 #include "x509/validation_cache.h"
@@ -49,6 +50,10 @@ struct RunOptions {
   /// Exercise the app with (random monkey-style) UI interactions, reaching
   /// destinations behind deeper code paths. The paper ran without them.
   bool interact = false;
+  /// Optional metrics registry: RunApp counts simulated flows and threads
+  /// the registry into every connection's TLS config. Observational only —
+  /// never consulted by the simulation itself (DESIGN.md §11).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// A simulated test device.

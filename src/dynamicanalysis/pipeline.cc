@@ -61,11 +61,14 @@ DynamicReport RunDynamicAnalysis(const appmodel::App& app,
   // study seed and the app's identity, never on how many apps ran before it.
   util::Rng rng(options.seed ^ util::StableHash64(app.meta.app_id));
 
+  obs::MetricsRegistry* metrics = obs::MetricsOf(options.observer);
+
   RunOptions baseline_opts;
   baseline_opts.capture_seconds = options.capture_seconds;
   baseline_opts.settle_seconds = options.settle_seconds;
   baseline_opts.validation_cache =
       fixtures != nullptr ? fixtures->validation_cache() : nullptr;
+  baseline_opts.metrics = metrics;
   RunOptions mitm_opts = baseline_opts;
   mitm_opts.proxy = &proxy;
 
@@ -78,16 +81,25 @@ DynamicReport RunDynamicAnalysis(const appmodel::App& app,
   net::Capture mitm;
   auto run_phase = [&](std::size_t phase) {
     if (phase == 0) {
+      const obs::Span span = obs::SpanFor(options.observer, "dynamic.baseline",
+                                          "phase", {{"app", app.meta.app_id}});
+      obs::ScopedTimer timer(
+          obs::HistogramOrNull(metrics, "phase.dynamic.baseline"));
       baseline = device.RunApp(app, world, baseline_opts, baseline_rng);
     } else {
       // Only this phase touches the proxy; its forged-leaf cache is
       // internally synchronized (and possibly shared study-wide).
+      const obs::Span span = obs::SpanFor(options.observer, "dynamic.mitm",
+                                          "phase", {{"app", app.meta.app_id}});
+      obs::ScopedTimer timer(obs::HistogramOrNull(metrics, "phase.dynamic.mitm"));
       mitm = device.RunApp(app, world, mitm_opts, mitm_rng);
     }
   };
   if (options.parallel_phases) {
     util::ParallelOptions par;
     par.threads = 2;
+    par.trace = obs::TraceOf(options.observer);
+    par.trace_label = "dynamic.phases";
     util::ParallelFor(2, run_phase, par);
   } else {
     run_phase(0);
@@ -103,6 +115,9 @@ DynamicReport RunDynamicAnalysis(const appmodel::App& app,
   // Instrumented pass, only when pinning was observed.
   CircumventionRun frida;
   if (options.circumvent && detection.AppPins()) {
+    const obs::Span span = obs::SpanFor(options.observer, "dynamic.frida",
+                                        "phase", {{"app", app.meta.app_id}});
+    obs::ScopedTimer timer(obs::HistogramOrNull(metrics, "phase.dynamic.frida"));
     util::Rng frida_rng = rng.Fork("frida");
     frida = RunWithPinningDisabled(app, world, device, proxy, mitm_opts,
                                    frida_rng);
@@ -150,6 +165,17 @@ DynamicReport RunDynamicAnalysis(const appmodel::App& app,
 
     report.destinations.push_back(std::move(dest));
   }
+
+  obs::CounterOrNull(metrics, "dynamic.destinations")
+      .Add(report.destinations.size());
+  obs::CounterOrNull(metrics, "dynamic.pinned")
+      .Add(report.PinnedDestinations().size());
+  obs::CounterOrNull(metrics, "dynamic.circumvented")
+      .Add(static_cast<std::uint64_t>(
+          std::count_if(report.destinations.begin(), report.destinations.end(),
+                        [](const DestinationReport& d) {
+                          return d.circumvented;
+                        })));
   return report;
 }
 

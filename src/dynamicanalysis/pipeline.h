@@ -14,6 +14,7 @@
 #include "appmodel/pii.h"
 #include "appmodel/server_world.h"
 #include "dynamicanalysis/detector.h"
+#include "obs/obs.h"
 #include "x509/certificate.h"
 
 namespace pinscope::dynamicanalysis {
@@ -40,6 +41,11 @@ struct DynamicOptions {
   /// per-app equivalents. Reports are byte-identical either way, provided
   /// the fixtures were constructed with this options struct's `seed`.
   const SimFixtures* fixtures = nullptr;
+  /// Optional observability sink: phase spans (dynamic.baseline / .mitm /
+  /// .frida), phase-duration histograms, and pipeline counters. Purely
+  /// observational — reports are byte-identical with or without it
+  /// (DESIGN.md §11).
+  obs::Observer* observer = nullptr;
 };
 
 /// Everything the pipeline concluded about one destination of one app.

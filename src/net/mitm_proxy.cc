@@ -1,5 +1,7 @@
 #include "net/mitm_proxy.h"
 
+#include "obs/metrics.h"
+
 namespace pinscope::net {
 namespace {
 
@@ -61,6 +63,10 @@ InterceptResult MitmProxy::Intercept(const tls::ClientTlsConfig& client,
   result.outcome =
       tls::SimulateConnection(client, server, *forged, payload, now, rng);
   result.decrypted = result.outcome.application_data_sent;
+  obs::CounterOrNull(client.metrics, "net.intercepts").Increment();
+  if (result.decrypted) {
+    obs::CounterOrNull(client.metrics, "net.intercepts_decrypted").Increment();
+  }
   return result;
 }
 

@@ -56,7 +56,10 @@ class MitmProxy {
   /// plaintext was recovered. Forged leaves are cached per hostname, like
   /// mitmproxy's certificate cache; the cache is internally synchronized, so
   /// a shared proxy may intercept from many threads at once. `rng` only
-  /// jitters the simulated wire trace — it never feeds issuance.
+  /// jitters the simulated wire trace — it never feeds issuance. Interception
+  /// counters are recorded against `client.metrics` (when set) rather than
+  /// proxy state, so one shared proxy can serve studies with different
+  /// observers.
   [[nodiscard]] InterceptResult Intercept(const tls::ClientTlsConfig& client,
                                           const tls::ServerEndpoint& server,
                                           const tls::AppPayload& payload,

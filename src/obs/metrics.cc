@@ -1,0 +1,321 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <thread>
+
+namespace pinscope::obs {
+
+namespace internal {
+
+std::size_t ThisThreadShard() {
+  static thread_local const std::size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return shard;
+}
+
+void AtomicAddDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramCell::HistogramCell(std::vector<double> bucket_bounds)
+    : bounds(std::move(bucket_bounds)),
+      buckets(std::make_unique<std::atomic<std::uint64_t>[]>(bounds.size() + 1)),
+      min(std::numeric_limits<double>::infinity()),
+      max(-std::numeric_limits<double>::infinity()) {
+  for (std::size_t i = 0; i <= bounds.size(); ++i) buckets[i] = 0;
+}
+
+void HistogramCell::Record(double value) {
+  // First bucket whose upper bound covers the value; past-the-end = overflow.
+  const std::size_t index = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  buckets[index].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum, value);
+  AtomicMinDouble(min, value);
+  AtomicMaxDouble(max, value);
+}
+
+}  // namespace internal
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<internal::CounterCell>())
+             .first;
+  }
+  return Counter(it->second.get());
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name), std::make_unique<internal::GaugeCell>())
+             .first;
+  }
+  return Gauge(it->second.get());
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name,
+                                     std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = DefaultDurationBoundsUs();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<internal::HistogramCell>(std::move(bounds)))
+             .first;
+  }
+  return Histogram(it->second.get());
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, cell] : counters_) {
+    snap.counters.emplace(name, cell->Sum());
+  }
+  for (const auto& [name, cell] : gauges_) {
+    snap.gauges.emplace(name, cell->value.load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, cell] : histograms_) {
+    HistogramSnapshot h;
+    h.bounds = cell->bounds;
+    h.buckets.resize(cell->bounds.size() + 1);
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      h.buckets[i] = cell->buckets[i].load(std::memory_order_relaxed);
+      h.count += h.buckets[i];
+    }
+    h.sum = cell->sum.load(std::memory_order_relaxed);
+    if (h.count > 0) {
+      h.min = cell->min.load(std::memory_order_relaxed);
+      h.max = cell->max.load(std::memory_order_relaxed);
+    }
+    snap.histograms.emplace(name, std::move(h));
+  }
+  return snap;
+}
+
+const std::vector<double>& MetricsRegistry::DefaultDurationBoundsUs() {
+  static const std::vector<double> bounds = {
+      50,      100,     250,       500,       1'000,     2'500,
+      5'000,   10'000,  25'000,    50'000,    100'000,   250'000,
+      500'000, 1'000'000, 2'500'000, 5'000'000};
+  return bounds;
+}
+
+namespace {
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string WriteMetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    out += JsonEscape(name);
+    out += "\": ";
+    out += std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    out += JsonEscape(name);
+    out += "\": ";
+    out += std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    out += JsonEscape(name);
+    out += "\": {\"count\": ";
+    out += std::to_string(h.count);
+    out += ", \"sum\": ";
+    out += JsonNumber(h.sum);
+    out += ", \"min\": ";
+    out += JsonNumber(h.count > 0 ? h.min : 0.0);
+    out += ", \"max\": ";
+    out += JsonNumber(h.count > 0 ? h.max : 0.0);
+    out += ", \"mean\": ";
+    out += JsonNumber(h.Mean());
+    out += ",\n      \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"le\": ";
+      out += i < h.bounds.size() ? JsonNumber(h.bounds[i]) : "\"inf\"";
+      out += ", \"count\": ";
+      out += std::to_string(h.buckets[i]);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string WritePhaseBreakdownJson(const MetricsSnapshot& snapshot,
+                                    std::string_view prefix) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    out += JsonEscape(name);
+    out += "\": {\"count\": ";
+    out += std::to_string(h.count);
+    out += ", \"total_ms\": ";
+    out += JsonNumber(h.sum / 1000.0);
+    out += ", \"mean_ms\": ";
+    out += JsonNumber(h.Mean() / 1000.0);
+    out += ", \"max_ms\": ";
+    out += JsonNumber((h.count > 0 ? h.max : 0.0) / 1000.0);
+    out += "}";
+  }
+  out += first ? "}" : "\n  }";
+  return out;
+}
+
+namespace {
+
+std::string PercentOf(std::uint64_t part, std::uint64_t whole) {
+  if (whole == 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%",
+                100.0 * static_cast<double>(part) / static_cast<double>(whole));
+  return buf;
+}
+
+std::string Millis(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f ms", us / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderSummary(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[256];
+
+  // Cache families (published as gauges "cache.<family>.<field>") render as
+  // one unified table — the replacement for the per-cache bespoke printfs.
+  std::map<std::string, std::map<std::string, std::uint64_t>> caches;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name.rfind("cache.", 0) != 0) continue;
+    const std::size_t dot = name.find('.', 6);
+    if (dot == std::string::npos) continue;
+    caches[name.substr(6, dot - 6)][name.substr(dot + 1)] = value;
+  }
+  if (!caches.empty()) {
+    out += "caches:\n";
+    for (const auto& [family, fields] : caches) {
+      auto field = [&](const char* key) -> std::uint64_t {
+        const auto it = fields.find(key);
+        return it == fields.end() ? 0 : it->second;
+      };
+      const std::uint64_t lookups = field("lookups");
+      const std::uint64_t hits = field("hits");
+      std::snprintf(line, sizeof(line),
+                    "  %-12s %8llu lookups  %8llu hits (%s)  %7llu entries\n",
+                    family.c_str(), static_cast<unsigned long long>(lookups),
+                    static_cast<unsigned long long>(hits),
+                    PercentOf(hits, lookups).c_str(),
+                    static_cast<unsigned long long>(field("entries")));
+      out += line;
+    }
+  }
+
+  bool header = false;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (name.rfind("phase.", 0) != 0 || h.count == 0) continue;
+    if (!header) {
+      out += "phases (wall time):\n";
+      header = true;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  %-24s %8llu x  total %12s  mean %10s  max %10s\n",
+                  name.c_str() + 6, static_cast<unsigned long long>(h.count),
+                  Millis(h.sum).c_str(), Millis(h.Mean()).c_str(),
+                  Millis(h.max).c_str());
+    out += line;
+  }
+
+  header = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!header) {
+      out += "counters:\n";
+      header = true;
+    }
+    std::snprintf(line, sizeof(line), "  %-36s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace pinscope::obs

@@ -1,0 +1,65 @@
+// The study observer: one MetricsRegistry + one TraceSink, threaded through
+// the pipeline as a single nullable pointer (DESIGN.md §11).
+//
+// Every layer that records observability takes an `Observer*` (or, at the
+// leaves, a bare `MetricsRegistry*`) defaulting to nullptr; the null-safe
+// helpers below collapse the "is observability on?" branch into handle
+// construction, so instrumented code reads the same either way.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pinscope::obs {
+
+/// Owns the metrics registry and trace sink for one run. Internally
+/// synchronized throughout; share one instance across all study workers.
+class Observer {
+ public:
+  Observer() = default;
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] TraceSink& trace() { return trace_; }
+  [[nodiscard]] const TraceSink& trace() const { return trace_; }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceSink trace_;
+};
+
+/// Null-safe accessors: leaf layers (tls, x509, net, device) take a bare
+/// MetricsRegistry* — these bridge from the optional observer.
+[[nodiscard]] inline MetricsRegistry* MetricsOf(Observer* observer) {
+  return observer == nullptr ? nullptr : &observer->metrics();
+}
+[[nodiscard]] inline TraceSink* TraceOf(Observer* observer) {
+  return observer == nullptr ? nullptr : &observer->trace();
+}
+
+/// Null-safe handle/RAII factories.
+[[nodiscard]] inline Counter CounterFor(Observer* observer,
+                                        std::string_view name) {
+  return CounterOrNull(MetricsOf(observer), name);
+}
+[[nodiscard]] inline Histogram HistogramFor(Observer* observer,
+                                            std::string_view name) {
+  return HistogramOrNull(MetricsOf(observer), name);
+}
+[[nodiscard]] inline Span SpanFor(
+    Observer* observer, std::string name, std::string category,
+    std::vector<std::pair<std::string, std::string>> args = {}) {
+  return observer == nullptr
+             ? Span()
+             : Span(&observer->trace(), std::move(name), std::move(category),
+                    std::move(args));
+}
+
+}  // namespace pinscope::obs

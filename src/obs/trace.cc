@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <tuple>
+
+namespace pinscope::obs {
+
+namespace {
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceSink::TraceSink()
+    : origin_(std::chrono::steady_clock::now()),
+      shards_(std::make_unique<Shard[]>(kShards)) {}
+
+std::int64_t TraceSink::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+std::uint32_t TraceSink::CurrentTid() {
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(tid_mu_);
+  const auto it = tids_.find(self);
+  if (it != tids_.end()) return it->second;
+  const auto next = static_cast<std::uint32_t>(tids_.size());
+  tids_.emplace(self, next);
+  return next;
+}
+
+void TraceSink::Add(TraceEvent event) {
+  Shard& shard =
+      shards_[std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.events.push_back(std::move(event));
+}
+
+std::size_t TraceSink::EventCount() const {
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    n += shards_[s].events.size();
+  }
+  return n;
+}
+
+std::string TraceSink::ToJson() const {
+  std::vector<TraceEvent> events;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    events.insert(events.end(), shards_[s].events.begin(),
+                  shards_[s].events.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return std::tie(a.ts_us, a.tid, a.name) <
+                     std::tie(b.ts_us, b.tid, b.name);
+            });
+
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"name\": \"";
+    out += Escape(e.name);
+    out += "\", \"cat\": \"";
+    out += Escape(e.category);
+    out += "\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(e.tid);
+    out += ", \"ts\": ";
+    out += std::to_string(e.ts_us);
+    out += ", \"dur\": ";
+    out += std::to_string(e.dur_us);
+    if (!e.args.empty()) {
+      out += ", \"args\": {";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += '"';
+        out += Escape(e.args[i].first);
+        out += "\": \"";
+        out += Escape(e.args[i].second);
+        out += '"';
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += first ? "],\n" : "\n],\n";
+  out += "\"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+Span::Span(TraceSink* sink, std::string name, std::string category,
+           std::vector<std::pair<std::string, std::string>> args)
+    : sink_(sink),
+      name_(std::move(name)),
+      category_(std::move(category)),
+      args_(std::move(args)),
+      start_us_(sink != nullptr ? sink->NowUs() : 0) {}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    sink_ = other.sink_;
+    name_ = std::move(other.name_);
+    category_ = std::move(other.category_);
+    args_ = std::move(other.args_);
+    start_us_ = other.start_us_;
+    other.sink_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::End() {
+  if (sink_ == nullptr) return;
+  TraceSink* sink = sink_;
+  sink_ = nullptr;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.tid = sink->CurrentTid();
+  event.ts_us = start_us_;
+  event.dur_us = sink->NowUs() - start_us_;
+  event.args = std::move(args_);
+  sink->Add(std::move(event));
+}
+
+}  // namespace pinscope::obs

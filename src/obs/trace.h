@@ -1,0 +1,106 @@
+// Chrome trace_event tracing for the study pipeline (DESIGN.md §11).
+//
+// A TraceSink collects complete-duration events ("ph":"X") that render
+// directly in chrome://tracing / Perfetto: one study-level span, one span
+// per ParallelFor worker, one per app, and one per pipeline phase
+// (baseline, mitm, frida). Span is the RAII recorder; a default-constructed
+// Span is a no-op, so call sites stay unconditional when tracing is off.
+//
+// Thread safety mirrors the study caches: events land in 16-way sharded
+// vectors (shard chosen per thread, per-shard mutex) and are merged, sorted
+// by timestamp, only at serialization time. Timestamps are wall-clock
+// microseconds since sink construction — schedule-dependent by nature, which
+// is why trace output lives outside every exported study byte (the
+// determinism contract in obs/metrics.h covers this sink too).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pinscope::obs {
+
+/// One complete-duration trace event.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint32_t tid = 0;      ///< Sink-assigned stable per-thread id.
+  std::int64_t ts_us = 0;     ///< Start, µs since sink construction.
+  std::int64_t dur_us = 0;
+  /// Rendered into the event's "args" object (string values only).
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Thread-safe collector of trace events for one run.
+class TraceSink {
+ public:
+  TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Microseconds elapsed since construction.
+  [[nodiscard]] std::int64_t NowUs() const;
+
+  /// Stable small id for the calling thread (assigned first-seen).
+  [[nodiscard]] std::uint32_t CurrentTid();
+
+  /// Deposits one event (tid already set by the caller, normally via Span).
+  void Add(TraceEvent event);
+
+  /// Events recorded so far (approximate while spans are open).
+  [[nodiscard]] std::size_t EventCount() const;
+
+  /// Serializes everything as Chrome trace JSON ({"traceEvents": [...]}),
+  /// events sorted by (ts, tid, name). Load the file in chrome://tracing or
+  /// https://ui.perfetto.dev.
+  [[nodiscard]] std::string ToJson() const;
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
+  std::chrono::steady_clock::time_point origin_;
+  std::unique_ptr<Shard[]> shards_;
+
+  mutable std::mutex tid_mu_;
+  std::unordered_map<std::thread::id, std::uint32_t> tids_;
+};
+
+/// RAII span: records one complete event covering its lifetime. Movable
+/// (the moved-from span records nothing); End() closes early.
+class Span {
+ public:
+  Span() = default;
+  Span(TraceSink* sink, std::string name, std::string category,
+       std::vector<std::pair<std::string, std::string>> args = {});
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+
+  ~Span() { End(); }
+
+  /// Records the event now instead of at destruction (idempotent).
+  void End();
+
+ private:
+  TraceSink* sink_ = nullptr;
+  std::string name_;
+  std::string category_;
+  std::vector<std::pair<std::string, std::string>> args_;
+  std::int64_t start_us_ = 0;
+};
+
+}  // namespace pinscope::obs

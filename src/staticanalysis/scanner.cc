@@ -136,8 +136,8 @@ void Scanner::ScanFile(const util::Bytes& content, bool is_cert_file,
   }
 }
 
-ScanResult Scanner::Scan(const appmodel::PackageFiles& files,
-                         ScanCache* cache) const {
+ScanResult Scanner::Scan(const appmodel::PackageFiles& files, ScanCache* cache,
+                         obs::MetricsRegistry* metrics) const {
   ScanResult out;
   for (const auto& [path, content] : files.files()) {
     ++out.files_scanned;
@@ -167,6 +167,14 @@ ScanResult Scanner::Scan(const appmodel::PackageFiles& files,
     // function of (content, flag).
     const auto resident = cache->Insert(key, std::move(scan));
     AppendRebound(*resident, path, out);
+  }
+  if (metrics != nullptr) {
+    metrics->counter("static.files_scanned").Add(out.files_scanned);
+    metrics->counter("static.bytes_scanned").Add(out.bytes_scanned);
+    metrics->counter("static.cache_hits").Add(out.cache_hits);
+    metrics->counter("static.bytes_deduped").Add(out.cache_bytes_deduped);
+    metrics->counter("static.certificates_found").Add(out.certificates.size());
+    metrics->counter("static.pins_found").Add(out.pins.size());
   }
   return out;
 }

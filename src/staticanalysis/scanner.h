@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "appmodel/package.h"
+#include "obs/metrics.h"
 #include "staticanalysis/regex.h"
 #include "tls/pinning.h"
 #include "x509/certificate.h"
@@ -127,9 +128,13 @@ class Scanner {
   /// Scans a (decoded, decrypted) package tree. With `cache` non-null,
   /// per-content outcomes are looked up / deposited there, keyed by
   /// SHA-256(content) + cert-file flag; results are byte-identical with the
-  /// cache on or off. The cache may be shared across threads.
+  /// cache on or off. The cache may be shared across threads. With `metrics`
+  /// non-null the per-package tallies are also added to the study-wide
+  /// `static.*` counters (observational only — the returned ScanResult is
+  /// identical either way).
   [[nodiscard]] ScanResult Scan(const appmodel::PackageFiles& files,
-                                ScanCache* cache = nullptr) const;
+                                ScanCache* cache = nullptr,
+                                obs::MetricsRegistry* metrics = nullptr) const;
 
   /// The compiled pin-hash pattern (exposed for tests and benchmarks).
   [[nodiscard]] const Regex& pin_pattern() const { return pin_pattern_; }

@@ -28,9 +28,13 @@ StaticReport AnalyzeStatically(const appmodel::App& app,
 
   static const Scanner scanner;  // stateless; the pin regex compiles once
 
+  const obs::Span span = obs::SpanFor(options.observer, "static.scan", "phase",
+                                      {{"app", app.meta.app_id}});
+  obs::MetricsRegistry* metrics = obs::MetricsOf(options.observer);
+
   if (app.meta.platform == appmodel::Platform::kAndroid) {
     // Apktool step: our APK trees are stored decoded; scanning is direct.
-    report.scan = scanner.Scan(app.package, options.scan_cache);
+    report.scan = scanner.Scan(app.package, options.scan_cache, metrics);
     report.nsc = AnalyzeNsc(app.package);
   } else {
     const DecryptResult dec = DecryptIpa(app.package, app.meta.app_id,
@@ -38,7 +42,7 @@ StaticReport AnalyzeStatically(const appmodel::App& app,
     report.decryption_ok = dec.ok;
     // On failure, scan what is readable (plaintext resources) anyway.
     const appmodel::PackageFiles& tree = dec.ok ? dec.files : app.package;
-    report.scan = scanner.Scan(tree, options.scan_cache);
+    report.scan = scanner.Scan(tree, options.scan_cache, metrics);
     report.ats = AnalyzeAts(tree);
   }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "appmodel/app.h"
+#include "obs/obs.h"
 #include "staticanalysis/ats_analyzer.h"
 #include "staticanalysis/ios_decrypt.h"
 #include "staticanalysis/nsc_analyzer.h"
@@ -57,6 +58,10 @@ struct StaticAnalysisOptions {
   /// Corpus-wide scan cache shared across apps (scan_cache.h); nullptr
   /// scans every file uncached. Results are identical either way.
   ScanCache* scan_cache = nullptr;
+  /// Optional observability sink: the per-app scan span plus the study-wide
+  /// `static.*` counters. Reports are byte-identical with or without it
+  /// (DESIGN.md §11).
+  obs::Observer* observer = nullptr;
 };
 
 /// Runs the full static pipeline over one app.

@@ -114,13 +114,24 @@ void EmitClientAbort(TraceBuilder& tb, TlsVersion version, AlertDescription aler
   }
 }
 
-}  // namespace
+// Counts one handshake and its disposition. Observational only: the counter
+// values never feed the simulation or its RNG streams.
+void RecordHandshake(obs::MetricsRegistry* metrics,
+                     const ConnectionOutcome& out) {
+  if (metrics == nullptr) return;
+  metrics->counter("tls.handshakes").Increment();
+  if (out.resumed) metrics->counter("tls.resumptions").Increment();
+  if (out.handshake_complete) {
+    metrics->counter("tls.handshakes_completed").Increment();
+  } else {
+    metrics->counter("tls.handshakes_failed").Increment();
+  }
+}
 
-ConnectionOutcome SimulateConnection(const ClientTlsConfig& client,
-                                     const ServerEndpoint& server,
-                                     const x509::CertificateChain& presented_chain,
-                                     const AppPayload& payload, util::SimTime now,
-                                     util::Rng& rng) {
+ConnectionOutcome SimulateConnectionImpl(
+    const ClientTlsConfig& client, const ServerEndpoint& server,
+    const x509::CertificateChain& presented_chain, const AppPayload& payload,
+    util::SimTime now, util::Rng& rng) {
   if (client.root_store == nullptr) {
     throw util::Error("ClientTlsConfig.root_store must be set");
   }
@@ -257,11 +268,12 @@ ConnectionOutcome SimulateConnection(const ClientTlsConfig& client,
   return out;
 }
 
-ConnectionOutcome SimulateResumedConnection(const ClientTlsConfig& client,
-                                            const ServerEndpoint& server,
-                                            const SessionTicket& ticket,
-                                            const AppPayload& payload,
-                                            util::SimTime now, util::Rng& rng) {
+ConnectionOutcome SimulateResumedConnectionImpl(const ClientTlsConfig& client,
+                                                const ServerEndpoint& server,
+                                                const SessionTicket& ticket,
+                                                const AppPayload& payload,
+                                                util::SimTime now,
+                                                util::Rng& rng) {
   if (client.root_store == nullptr) {
     throw util::Error("ClientTlsConfig.root_store must be set");
   }
@@ -361,6 +373,30 @@ ConnectionOutcome SimulateResumedConnection(const ClientTlsConfig& client,
   }
   out.records = tb.Take();
   out.closure = Closure::kCleanFin;
+  return out;
+}
+
+}  // namespace
+
+ConnectionOutcome SimulateConnection(const ClientTlsConfig& client,
+                                     const ServerEndpoint& server,
+                                     const x509::CertificateChain& presented_chain,
+                                     const AppPayload& payload, util::SimTime now,
+                                     util::Rng& rng) {
+  ConnectionOutcome out =
+      SimulateConnectionImpl(client, server, presented_chain, payload, now, rng);
+  RecordHandshake(client.metrics, out);
+  return out;
+}
+
+ConnectionOutcome SimulateResumedConnection(const ClientTlsConfig& client,
+                                            const ServerEndpoint& server,
+                                            const SessionTicket& ticket,
+                                            const AppPayload& payload,
+                                            util::SimTime now, util::Rng& rng) {
+  ConnectionOutcome out =
+      SimulateResumedConnectionImpl(client, server, ticket, payload, now, rng);
+  RecordHandshake(client.metrics, out);
   return out;
 }
 

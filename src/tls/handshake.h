@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "tls/cipher_suites.h"
 #include "tls/pinning.h"
 #include "tls/record.h"
@@ -66,6 +67,10 @@ struct ClientTlsConfig {
   /// fixture; see x509/validation_cache.h). Null ⇒ validate directly. The
   /// cache is unobservable: outcomes are byte-identical with or without it.
   x509::ValidationCache* validation_cache = nullptr;
+  /// Optional metrics registry: each simulated connection counts one
+  /// handshake plus its completed/failed/resumed disposition. Purely
+  /// observational — never read by the simulation (DESIGN.md §11).
+  obs::MetricsRegistry* metrics = nullptr;
   /// Which implementation performs validation/pinning.
   TlsStack stack = TlsStack::kAndroidPlatform;
 };

@@ -64,6 +64,12 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
         static_cast<std::size_t>(workers));
     auto drain = [&](int w) {
       auto& sink = per_worker[static_cast<std::size_t>(w)];
+      const obs::Span span =
+          options.trace == nullptr
+              ? obs::Span()
+              : obs::Span(options.trace,
+                          std::string(options.trace_label) + ".worker",
+                          "parallel", {{"worker", std::to_string(w)}});
       for (;;) {
         const std::size_t begin =
             cursor.fetch_add(grain, std::memory_order_relaxed);

@@ -15,6 +15,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace pinscope::util {
@@ -27,6 +28,12 @@ struct ParallelOptions {
   /// Indices claimed per cursor fetch; raise for very small bodies so the
   /// atomic does not dominate.
   std::size_t grain = 1;
+  /// Optional trace sink: each worker records one span ("<trace_label>.
+  /// worker", arg "worker" = index) covering its drain of the loop. Purely
+  /// observational — never consulted by the loop logic (DESIGN.md §11).
+  obs::TraceSink* trace = nullptr;
+  /// Span-name prefix for the worker spans above.
+  const char* trace_label = "parallel";
 };
 
 /// One failed index of a parallel loop.

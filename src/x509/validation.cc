@@ -60,6 +60,7 @@ ValidationResult ValidateChain(const CertificateChain& chain,
                                std::string_view hostname, util::SimTime now,
                                const RootStore& store,
                                const ValidationOptions& options) {
+  obs::CounterOrNull(options.metrics, "x509.chain_validations").Increment();
   if (chain.empty()) return {ValidationStatus::kEmptyChain, 0};
 
   // Structural pass: issuer/subject linkage, CA bits, signatures.

@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "x509/certificate.h"
 #include "x509/root_store.h"
@@ -84,6 +85,11 @@ struct ValidationOptions {
   /// Serials considered revoked (leaf-level CRL, per §5.3.1's note that
   /// revocation applies to leaf certificates).
   RevocationList revoked_serials;
+  /// Optional metrics registry: ValidateChain counts each validation it
+  /// actually executes (memoized hits never reach it). Observational only —
+  /// deliberately excluded from ValidationCache::MakeKey's options token, so
+  /// attaching a registry can never split cache entries (DESIGN.md §11).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Validates `chain` (leaf first) for `hostname` at time `now` against

@@ -47,6 +47,7 @@ std::optional<ValidationResult> ValidationCache::Find(const Key& key) {
 }
 
 ValidationResult ValidationCache::Insert(Key key, ValidationResult result) {
+  inserts_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto [it, inserted] = shard.map.try_emplace(std::move(key), result);
@@ -59,8 +60,18 @@ ValidationCacheStats ValidationCache::Stats() const {
   stats.lookups = lookups_.load(std::memory_order_relaxed);
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = stats.lookups - stats.hits;
+  stats.inserts = inserts_.load(std::memory_order_relaxed);
   stats.entries = entries_.load(std::memory_order_relaxed);
   return stats;
+}
+
+std::size_t ValidationCache::EntryCount() const {
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    n += shards_[s].map.size();
+  }
+  return n;
 }
 
 ValidationResult CachedValidateChain(ValidationCache* cache,

@@ -43,6 +43,8 @@ struct ValidationCacheStats {
   std::size_t lookups = 0;  ///< Validations that consulted the cache.
   std::size_t hits = 0;     ///< Validations served from a memoized result.
   std::size_t misses = 0;   ///< Validations that had to run.
+  std::size_t inserts = 0;  ///< Deposit attempts (≥ entries; losers of a
+                            ///< first-insert-wins race still count one).
   std::size_t entries = 0;  ///< Distinct tuples stored.
 
   [[nodiscard]] double HitRate() const {
@@ -91,6 +93,11 @@ class ValidationCache {
   /// once the parallel loop has joined).
   [[nodiscard]] ValidationCacheStats Stats() const;
 
+  /// Resident entry count, measured by walking the shards (vs the
+  /// Stats().entries counter, which tracks winning inserts — equal once the
+  /// parallel loop has joined, which the `ctest -L obs` suite asserts).
+  [[nodiscard]] std::size_t EntryCount() const;
+
   static constexpr std::size_t kDefaultShards = 16;
 
  private:
@@ -110,7 +117,8 @@ class ValidationCache {
   };
 
   struct Shard {
-    std::mutex mu;
+    /// mutable so the read-only EntryCount() walk can lock on a const cache.
+    mutable std::mutex mu;
     std::unordered_map<Key, ValidationResult, KeyHash> map;
   };
 
@@ -126,6 +134,7 @@ class ValidationCache {
 
   std::atomic<std::size_t> lookups_{0};
   std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> inserts_{0};
   std::atomic<std::size_t> entries_{0};
 };
 

@@ -1,0 +1,145 @@
+// TraceSink/Span contract tests: complete-event JSON shape, RAII span
+// lifetime, move semantics, and stable per-thread ids.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace pinscope::obs {
+namespace {
+
+TEST(SpanTest, RecordsOneCompleteEventWithNameCategoryAndArgs) {
+  TraceSink sink;
+  {
+    const Span span(&sink, "study.run", "study", {{"apps", "12"}});
+  }
+  EXPECT_EQ(sink.EventCount(), 1u);
+  const std::string json = sink.ToJson();
+  EXPECT_NE(json.find("\"name\": \"study.run\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"study\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"apps\": \"12\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+}
+
+TEST(SpanTest, DefaultConstructedSpanRecordsNothing) {
+  {
+    Span span;
+    span.End();
+  }
+  // SpanFor on a null observer is the same no-op.
+  { const Span span = SpanFor(nullptr, "x", "y"); }
+  SUCCEED();
+}
+
+TEST(SpanTest, EndIsIdempotentAndDestructorDoesNotDoubleRecord) {
+  TraceSink sink;
+  {
+    Span span(&sink, "phase", "test");
+    span.End();
+    span.End();
+  }
+  EXPECT_EQ(sink.EventCount(), 1u);
+}
+
+TEST(SpanTest, MovedFromSpanRecordsNothing) {
+  TraceSink sink;
+  {
+    Span a(&sink, "moved", "test");
+    const Span b = std::move(a);
+    // `a` is detached; only `b`'s destruction records.
+  }
+  EXPECT_EQ(sink.EventCount(), 1u);
+}
+
+TEST(SpanTest, MoveAssignEndsTheCurrentSpanFirst) {
+  TraceSink sink;
+  {
+    Span a(&sink, "first", "test");
+    Span b(&sink, "second", "test");
+    a = std::move(b);  // "first" must be recorded here, "second" at scope end
+    EXPECT_EQ(sink.EventCount(), 1u);
+  }
+  EXPECT_EQ(sink.EventCount(), 2u);
+  const std::string json = sink.ToJson();
+  EXPECT_NE(json.find("\"first\""), std::string::npos);
+  EXPECT_NE(json.find("\"second\""), std::string::npos);
+}
+
+// Pulls one integer field ("ts" or "dur") out of the event whose name
+// matches; enough JSON parsing for containment checks.
+std::int64_t EventField(const std::string& json, const std::string& name,
+                        const std::string& field) {
+  const std::size_t event = json.find("\"name\": \"" + name + "\"");
+  EXPECT_NE(event, std::string::npos) << name;
+  const std::size_t pos = json.find("\"" + field + "\": ", event);
+  EXPECT_NE(pos, std::string::npos) << field;
+  return std::stoll(json.substr(pos + field.size() + 4));
+}
+
+TEST(SpanTest, NestedSpansHaveContainedTimestamps) {
+  TraceSink sink;
+  {
+    const Span outer(&sink, "outer", "test");
+    { const Span inner(&sink, "inner", "test"); }
+  }
+  ASSERT_EQ(sink.EventCount(), 2u);
+  const std::string json = sink.ToJson();
+  const std::int64_t outer_ts = EventField(json, "outer", "ts");
+  const std::int64_t outer_dur = EventField(json, "outer", "dur");
+  const std::int64_t inner_ts = EventField(json, "inner", "ts");
+  const std::int64_t inner_dur = EventField(json, "inner", "dur");
+  EXPECT_LE(outer_ts, inner_ts);
+  EXPECT_GE(outer_ts + outer_dur, inner_ts + inner_dur);
+}
+
+TEST(TraceSinkTest, AssignsStableSmallThreadIds) {
+  TraceSink sink;
+  const std::uint32_t main_tid = sink.CurrentTid();
+  EXPECT_EQ(sink.CurrentTid(), main_tid);  // stable on re-query
+
+  std::set<std::uint32_t> tids{main_tid};
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      const Span span(&sink, "worker", "test");
+      const std::uint32_t tid = sink.CurrentTid();
+      std::lock_guard<std::mutex> lock(mu);
+      tids.insert(tid);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(tids.size(), 5u);  // main + 4 workers, all distinct
+  for (const std::uint32_t tid : tids) EXPECT_LT(tid, 5u);  // small & dense
+  EXPECT_EQ(sink.EventCount(), 4u);
+}
+
+TEST(TraceSinkTest, EmptySinkSerializesToValidSkeleton) {
+  TraceSink sink;
+  EXPECT_EQ(sink.EventCount(), 0u);
+  const std::string json = sink.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\": []"), std::string::npos);
+}
+
+TEST(TraceSinkTest, JsonEscapesQuotesInNamesAndArgs) {
+  TraceSink sink;
+  { const Span span(&sink, "na\"me", "cat", {{"k", "v\"q"}}); }
+  const std::string json = sink.ToJson();
+  EXPECT_NE(json.find("na\\\"me"), std::string::npos);
+  EXPECT_NE(json.find("v\\\"q"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pinscope::obs

@@ -21,6 +21,7 @@
 #include "core/export.h"
 #include "core/study.h"
 #include "dynamicanalysis/pipeline.h"
+#include "obs/obs.h"
 #include "report/table.h"
 #include "staticanalysis/static_report.h"
 #include "store/generator.h"
@@ -38,11 +39,15 @@ struct CliOptions {
   int threads = 0;  // 0 = hardware concurrency
   bool scan_cache = true;
   bool sim_cache = true;
+  bool summary = true;
   std::string json_path;
   std::string csv_path;
+  std::string metrics_path;
+  std::string trace_path;
 };
 
-core::StudyOptions StudyOptionsFor(const CliOptions& opts) {
+core::StudyOptions StudyOptionsFor(const CliOptions& opts,
+                                   obs::Observer* observer) {
   core::StudyOptions sopts;
   sopts.threads = opts.threads;
   // Results are thread-count invariant, so parallel phases are safe to turn
@@ -50,7 +55,25 @@ core::StudyOptions StudyOptionsFor(const CliOptions& opts) {
   sopts.dynamic.parallel_phases = opts.threads != 1;
   sopts.scan_cache = opts.scan_cache;
   sopts.sim_cache = opts.sim_cache;
+  sopts.observer = observer;
   return sopts;
+}
+
+/// Prints the --summary table and writes --metrics-out / --trace-out files.
+void EmitObservability(const obs::Observer& observer, const CliOptions& opts) {
+  const obs::MetricsSnapshot snapshot = observer.metrics().Snapshot();
+  if (opts.summary) std::printf("%s", obs::RenderSummary(snapshot).c_str());
+  if (!opts.metrics_path.empty()) {
+    std::ofstream out(opts.metrics_path);
+    out << obs::WriteMetricsJson(snapshot);
+    std::printf("wrote metrics JSON to %s\n", opts.metrics_path.c_str());
+  }
+  if (!opts.trace_path.empty()) {
+    std::ofstream out(opts.trace_path);
+    out << observer.trace().ToJson();
+    std::printf("wrote Chrome trace (%zu events) to %s\n",
+                observer.trace().EventCount(), opts.trace_path.c_str());
+  }
 }
 
 int Usage() {
@@ -76,7 +99,15 @@ int Usage() {
       "                      chain-validation memo (default on; results are\n"
       "                      byte-identical either way)\n"
       "  --json FILE         (study) export per-app records as JSON Lines\n"
-      "  --csv FILE          (study) export per-destination rows as CSV\n");
+      "  --csv FILE          (study) export per-destination rows as CSV\n"
+      "  --metrics-out FILE  (study/tables) write pipeline metrics — counters,\n"
+      "                      cache hit-rate gauges, per-phase histograms — as\n"
+      "                      JSON (see DESIGN.md §11)\n"
+      "  --trace-out FILE    (study/tables) write a Chrome trace_event JSON of\n"
+      "                      study/app/phase spans; open in chrome://tracing\n"
+      "                      or https://ui.perfetto.dev\n"
+      "  --summary=on|off    end-of-run cache/phase/counter summary table\n"
+      "                      (default on)\n");
   return 2;
 }
 
@@ -138,6 +169,23 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
         std::fprintf(stderr, "--sim-cache expects on|off, got '%s'\n", v.c_str());
         return std::nullopt;
       }
+    } else if (arg == "--summary" || util::StartsWith(arg, "--summary=")) {
+      std::string v;
+      if (arg == "--summary") {
+        const auto n = next();
+        if (!n) return std::nullopt;
+        v = *n;
+      } else {
+        v = arg.substr(std::string("--summary=").size());
+      }
+      if (v == "on") {
+        opts.summary = true;
+      } else if (v == "off") {
+        opts.summary = false;
+      } else {
+        std::fprintf(stderr, "--summary expects on|off, got '%s'\n", v.c_str());
+        return std::nullopt;
+      }
     } else if (arg == "--json") {
       const auto v = next();
       if (!v) return std::nullopt;
@@ -146,6 +194,24 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
       const auto v = next();
       if (!v) return std::nullopt;
       opts.csv_path = *v;
+    } else if (arg == "--metrics-out" || util::StartsWith(arg, "--metrics-out=")) {
+      if (arg == "--metrics-out") {
+        const auto v = next();
+        if (!v) return std::nullopt;
+        opts.metrics_path = *v;
+      } else {
+        opts.metrics_path = arg.substr(std::string("--metrics-out=").size());
+      }
+      if (opts.metrics_path.empty()) return std::nullopt;
+    } else if (arg == "--trace-out" || util::StartsWith(arg, "--trace-out=")) {
+      if (arg == "--trace-out") {
+        const auto v = next();
+        if (!v) return std::nullopt;
+        opts.trace_path = *v;
+      } else {
+        opts.trace_path = arg.substr(std::string("--trace-out=").size());
+      }
+      if (opts.trace_path.empty()) return std::nullopt;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return std::nullopt;
@@ -205,7 +271,8 @@ void ExportCsv(const core::Study& study, const std::string& path) {
 
 int CmdStudy(const CliOptions& opts) {
   const store::Ecosystem eco = Generate(opts);
-  core::Study study(eco, StudyOptionsFor(opts));
+  obs::Observer observer;
+  core::Study study(eco, StudyOptionsFor(opts, &observer));
   std::fprintf(stderr, "[pinscope] running measurement pipeline\n");
   study.Run();
 
@@ -231,24 +298,9 @@ int CmdStudy(const CliOptions& opts) {
   }
   std::printf("%s", table.Render().c_str());
 
-  if (const staticanalysis::ScanCache* cache = study.scan_cache()) {
-    const staticanalysis::ScanCacheStats s = cache->Stats();
-    std::printf(
-        "scan cache: %zu files hashed, %zu hits (%s), %zu unique contents, "
-        "%.1f MiB deduped\n",
-        s.lookups, s.hits, util::Percent(s.HitRate(), 1).c_str(), s.entries,
-        static_cast<double>(s.bytes_deduped) / (1024.0 * 1024.0));
-  }
-
-  if (const dynamicanalysis::SimFixtures* fx = study.sim_fixtures()) {
-    const net::ForgedLeafCacheStats f = fx->forged_cache_stats();
-    const x509::ValidationCacheStats v = fx->validation_cache_stats();
-    std::printf(
-        "sim cache: %zu forged-leaf lookups, %zu hits (%s), %zu hostnames; "
-        "%zu validation lookups, %zu hits (%s), %zu entries\n",
-        f.lookups, f.hits, util::Percent(f.HitRate(), 1).c_str(), f.entries,
-        v.lookups, v.hits, util::Percent(v.HitRate(), 1).c_str(), v.entries);
-  }
+  // Cache hit-rates, phase timings, and pipeline counters all come from the
+  // unified registry now (the caches publish gauges when Run() finishes).
+  EmitObservability(observer, opts);
 
   if (!opts.json_path.empty()) ExportJson(study, opts.json_path);
   if (!opts.csv_path.empty()) ExportCsv(study, opts.csv_path);
@@ -301,7 +353,8 @@ int CmdAudit(const CliOptions& opts) {
 
 int CmdTables(const CliOptions& opts) {
   const store::Ecosystem eco = Generate(opts);
-  core::Study study(eco, StudyOptionsFor(opts));
+  obs::Observer observer;
+  core::Study study(eco, StudyOptionsFor(opts, &observer));
   study.Run();
 
   std::printf("%s", report::SectionHeader("Prevalence (Table 3)").c_str());
@@ -332,6 +385,7 @@ int CmdTables(const CliOptions& opts) {
     std::printf("  default %d / custom %d / unavailable %d (self-signed %d)\n",
                 pki.default_pki, pki.custom_pki, pki.unavailable, pki.self_signed);
   }
+  EmitObservability(observer, opts);
   return 0;
 }
 
