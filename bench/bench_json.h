@@ -1,0 +1,36 @@
+// Shared output plumbing for the bench harnesses.
+//
+// Every benchmark emits the same JSON shape: a snprintf'd head of
+// benchmark-specific fields, then a trailing "phases" object rendered from
+// a metrics snapshot. This helper owns that embedding (and the
+// stdout + file + stderr-confirmation dance) so the harnesses cannot
+// drift apart again.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace pinscope::bench {
+
+/// Appends the per-phase wall-time breakdown to `head` (which must end just
+/// after the last benchmark-specific field's trailing ",\n"), closes the
+/// JSON object, prints it to stdout, and writes it to `path`. Returns the
+/// process exit code: 0 on success, 1 when the file cannot be written.
+inline int WriteBenchJsonWithPhases(const char* path, const std::string& head,
+                                    const obs::MetricsSnapshot& snapshot) {
+  const std::string full =
+      head + "  \"phases\": " + obs::WritePhaseBreakdownJson(snapshot) + "\n}\n";
+  std::fputs(full.c_str(), stdout);
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fputs(full.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "[pinscope] wrote %s\n", path);
+    return 0;
+  }
+  std::fprintf(stderr, "[pinscope] could not write %s\n", path);
+  return 1;
+}
+
+}  // namespace pinscope::bench

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "bench_json.h"
 #include "dynamicanalysis/pipeline.h"
 #include "dynamicanalysis/sim_fixtures.h"
 #include "obs/obs.h"
@@ -149,17 +150,6 @@ int main() {
       validation.hits, validation.misses, validation.entries,
       validation.HitRate());
 
-  const std::string full =
-      std::string(json) + "  \"phases\": " +
-      obs::WritePhaseBreakdownJson(observer.metrics().Snapshot()) + "\n}\n";
-  std::fputs(full.c_str(), stdout);
-  if (std::FILE* f = std::fopen("BENCH_dynamic.json", "w")) {
-    std::fputs(full.c_str(), f);
-    std::fclose(f);
-    std::fprintf(stderr, "[pinscope] wrote BENCH_dynamic.json\n");
-  } else {
-    std::fprintf(stderr, "[pinscope] could not write BENCH_dynamic.json\n");
-    return 1;
-  }
-  return 0;
+  return bench::WriteBenchJsonWithPhases("BENCH_dynamic.json", json,
+                                         observer.metrics().Snapshot());
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "appmodel/android_package.h"
+#include "bench_json.h"
 #include "obs/metrics.h"
 #include "staticanalysis/scan_cache.h"
 #include "staticanalysis/scanner.h"
@@ -165,17 +166,6 @@ int main() {
       stats.lookups, stats.hits, stats.misses, stats.entries,
       stats.bytes_deduped, stats.HitRate());
 
-  const std::string full = std::string(json) + "  \"phases\": " +
-                           obs::WritePhaseBreakdownJson(registry.Snapshot()) +
-                           "\n}\n";
-  std::fputs(full.c_str(), stdout);
-  if (std::FILE* f = std::fopen("BENCH_static_scan.json", "w")) {
-    std::fputs(full.c_str(), f);
-    std::fclose(f);
-    std::fprintf(stderr, "[pinscope] wrote BENCH_static_scan.json\n");
-  } else {
-    std::fprintf(stderr, "[pinscope] could not write BENCH_static_scan.json\n");
-    return 1;
-  }
-  return 0;
+  return bench::WriteBenchJsonWithPhases("BENCH_static_scan.json", json,
+                                         registry.Snapshot());
 }

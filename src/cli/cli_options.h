@@ -1,0 +1,43 @@
+// Command-line option parsing for the pinscope front-end.
+//
+// Lives in src/cli (not tools/) so the flag grammar is unit-testable: the
+// binary in tools/pinscope_cli.cc is a thin command dispatcher over this
+// parser. Every flag accepts both `--flag value` and `--flag=value` forms
+// where noted; bad values are rejected with a message on stderr and a
+// nullopt return (the caller prints usage).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+
+namespace pinscope::cli {
+
+/// Parsed command line. Defaults mirror the documented `pinscope help` text.
+struct CliOptions {
+  std::string command;
+  std::vector<std::string> positional;
+  double scale = 0.1;
+  std::uint64_t seed = 42;
+  int threads = 0;  // 0 = hardware concurrency
+  bool scan_cache = true;
+  bool sim_cache = true;
+  bool summary = true;
+  std::string json_path;
+  std::string csv_path;
+  std::string metrics_path;  ///< `.prom` suffix selects OpenMetrics format.
+  std::string trace_path;
+  std::string log_path;      ///< --log-out: decision-journal JSONL.
+  obs::Severity log_level = obs::Severity::kInfo;  ///< --log-level.
+  std::string report_path;   ///< --report-out: Markdown (+ JSON companion).
+};
+
+/// Parses `argv` (argv[0] is the program name, argv[1] the command).
+/// Returns nullopt on any malformed flag, after describing it on stderr.
+[[nodiscard]] std::optional<CliOptions> ParseArgs(int argc,
+                                                  const char* const* argv);
+
+}  // namespace pinscope::cli

@@ -48,4 +48,22 @@ std::string ExportStudyCsv(const Study& study) {
   return csv.TakeString();
 }
 
+std::vector<report::AppVerdict> CollectAppVerdicts(const Study& study) {
+  std::vector<report::AppVerdict> out;
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    for (const AppResult* r : study.AllResults(p)) {
+      report::AppVerdict v;
+      v.platform = std::string(PlatformName(p));
+      v.app_id = r->app->meta.app_id;
+      v.pins_at_runtime = r->dynamic_report.AppPins();
+      v.potential_pinning = r->static_report.PotentialPinning();
+      v.config_pinning = r->static_report.ConfigPinning();
+      v.pinned_hosts = r->dynamic_report.PinnedDestinations();
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
 }  // namespace pinscope::core

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/study.h"
+#include "report/run_report.h"
 
 namespace pinscope::core {
 
@@ -20,5 +22,10 @@ namespace pinscope::core {
 /// One CSV row per (app, destination) pair, with a header row; same ordering
 /// as the JSON export.
 [[nodiscard]] std::string ExportStudyCsv(const Study& study);
+
+/// Per-app verdict rows in export order — the input to the run-report
+/// generator (report/run_report.h). Mirrors ExportStudyJson field for field.
+[[nodiscard]] std::vector<report::AppVerdict> CollectAppVerdicts(
+    const Study& study);
 
 }  // namespace pinscope::core

@@ -96,6 +96,10 @@ void Study::Run() {
   obs::ScopedTimer run_timer(
       obs::HistogramOrNull(obs::MetricsOf(options_.observer), "phase.study"));
 
+  // Study-level journal scope: empty platform/app sort it ahead of every
+  // per-app event. Used only from this (single) thread.
+  obs::EventScope study_log = obs::ScopeFor(options_.observer, "", "", "study");
+
   util::ParallelOptions par;
   par.threads = options_.threads;
   par.trace = obs::TraceOf(options_.observer);
@@ -106,6 +110,9 @@ void Study::Run() {
         options_.observer, android ? "study.android" : "study.ios", "study");
     par.trace_label = android ? "study.android" : "study.ios";
     const std::vector<std::size_t> indices = PendingIndices(p);
+    study_log.Emit(obs::Severity::kInfo, "study.platform_start",
+                   {{"platform", appmodel::PlatformName(p)},
+                    {"apps", static_cast<std::uint64_t>(indices.size())}});
     std::vector<AppResult> computed = util::ParallelMap(
         indices.size(),
         [&](std::size_t i) { return AnalyzeApp(p, indices[i]); }, par);

@@ -174,6 +174,7 @@ net::Capture DeviceEmulator::RunApp(const appmodel::App& app,
     cfg.validation_cache = options.validation_cache;
     cfg.metrics = options.metrics;
     cfg.validation.metrics = options.metrics;
+    cfg.log = options.log;
     cfg.store_session_tickets = false;  // captures never resume sessions
     cfg.offered_ciphers = d.cipher_offer;
     cfg.stack = d.stack;
@@ -226,6 +227,7 @@ net::Capture DeviceEmulator::RunApp(const appmodel::App& app,
     cfg.validation_cache = options.validation_cache;
     cfg.metrics = options.metrics;
     cfg.validation.metrics = options.metrics;
+    cfg.log = options.log;
     cfg.store_session_tickets = false;
     cfg.stack = tls::TlsStack::kNsUrlSession;
     tls::AppPayload payload;
@@ -251,6 +253,7 @@ net::Capture DeviceEmulator::RunApp(const appmodel::App& app,
       cfg.validation_cache = options.validation_cache;
       cfg.metrics = options.metrics;
       cfg.validation.metrics = options.metrics;
+      cfg.log = options.log;
       cfg.store_session_tickets = false;
       cfg.stack = tls::TlsStack::kNsUrlSession;
       tls::AppPayload payload;

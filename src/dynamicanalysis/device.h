@@ -24,6 +24,7 @@
 #include "appmodel/server_world.h"
 #include "net/flow.h"
 #include "net/mitm_proxy.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
 #include "x509/root_store.h"
@@ -54,6 +55,11 @@ struct RunOptions {
   /// the registry into every connection's TLS config. Observational only —
   /// never consulted by the simulation itself (DESIGN.md §11).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional decision-journal scope for this run's phase (baseline, mitm,
+  /// or frida). Threaded into every connection's TLS config so validation
+  /// failures, pin mismatches, and intercept outcomes land under the right
+  /// (platform, app, phase) keys. Observational only (DESIGN.md §12).
+  obs::EventScope* log = nullptr;
 };
 
 /// A simulated test device.

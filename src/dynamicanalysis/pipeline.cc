@@ -62,6 +62,17 @@ DynamicReport RunDynamicAnalysis(const appmodel::App& app,
   util::Rng rng(options.seed ^ util::StableHash64(app.meta.app_id));
 
   obs::MetricsRegistry* metrics = obs::MetricsOf(options.observer);
+  const std::string platform(PlatformName(app.meta.platform));
+
+  // One journal scope per phase: the scopes for the two capture phases are
+  // distinct objects, so each is touched by exactly one thread even when the
+  // phases run concurrently (their events sort by logical keys, not by which
+  // thread got there first).
+  obs::EventScope baseline_log = obs::ScopeFor(options.observer, platform,
+                                               app.meta.app_id,
+                                               "dynamic.baseline");
+  obs::EventScope mitm_log =
+      obs::ScopeFor(options.observer, platform, app.meta.app_id, "dynamic.mitm");
 
   RunOptions baseline_opts;
   baseline_opts.capture_seconds = options.capture_seconds;
@@ -71,6 +82,8 @@ DynamicReport RunDynamicAnalysis(const appmodel::App& app,
   baseline_opts.metrics = metrics;
   RunOptions mitm_opts = baseline_opts;
   mitm_opts.proxy = &proxy;
+  baseline_opts.log = &baseline_log;
+  mitm_opts.log = &mitm_log;
 
   // Both phase streams fork before either capture runs, so the two runs are
   // order-independent — and therefore safe to execute concurrently.
@@ -113,15 +126,38 @@ DynamicReport RunDynamicAnalysis(const appmodel::App& app,
   const DetectionResult detection = DetectPinning(baseline, mitm, exclusions);
 
   // Instrumented pass, only when pinning was observed.
+  obs::EventScope frida_log = obs::ScopeFor(options.observer, platform,
+                                            app.meta.app_id, "dynamic.frida");
   CircumventionRun frida;
   if (options.circumvent && detection.AppPins()) {
     const obs::Span span = obs::SpanFor(options.observer, "dynamic.frida",
                                         "phase", {{"app", app.meta.app_id}});
     obs::ScopedTimer timer(obs::HistogramOrNull(metrics, "phase.dynamic.frida"));
     util::Rng frida_rng = rng.Fork("frida");
-    frida = RunWithPinningDisabled(app, world, device, proxy, mitm_opts,
+    RunOptions frida_opts = mitm_opts;
+    frida_opts.log = &frida_log;
+    frida = RunWithPinningDisabled(app, world, device, proxy, frida_opts,
                                    frida_rng);
+    frida_log.Emit(
+        obs::Severity::kInfo, "frida.run",
+        {{"hooked", static_cast<std::uint64_t>(frida.hooked_destinations.size())},
+         {"unhookable",
+          static_cast<std::uint64_t>(frida.unhookable_destinations.size())}});
   }
+
+  // Differential verdicts: one divergence event per destination naming the
+  // run pair's observations and the resulting rationale.
+  obs::EventScope detect_log = obs::ScopeFor(options.observer, platform,
+                                             app.meta.app_id, "dynamic.detect");
+  const auto rationale = [](const DestinationVerdict& v) -> std::string_view {
+    if (v.pinned) {
+      return "used in baseline; every intercepted connection failed";
+    }
+    if (!v.used_baseline) return "not used in baseline run";
+    if (v.used_mitm) return "application data flowed under interception";
+    if (!v.seen_mitm) return "destination not contacted under interception";
+    return "intercepted connections did not uniformly fail";
+  };
 
   for (const DestinationVerdict& v : detection.verdicts) {
     DestinationReport dest;
@@ -163,7 +199,33 @@ DynamicReport RunDynamicAnalysis(const appmodel::App& app,
       if (!srv->chain_fetch_unavailable) dest.served_chain = srv->endpoint.chain;
     }
 
+    detect_log.Emit(obs::Severity::kDecision, "dynamic.divergence",
+                    {{"host", v.hostname},
+                     {"used_baseline", v.used_baseline},
+                     {"seen_mitm", v.seen_mitm},
+                     {"used_mitm", v.used_mitm},
+                     {"all_failed_mitm", v.all_failed_mitm},
+                     {"pinned", v.pinned},
+                     {"rationale", rationale(v)}});
+    if (dest.circumvented) {
+      detect_log.Emit(obs::Severity::kDecision, "frida.circumvented",
+                      {{"host", v.hostname}});
+    }
+
     report.destinations.push_back(std::move(dest));
+  }
+
+  {
+    std::string pinned_hosts;
+    for (const std::string& host : report.PinnedDestinations()) {
+      if (!pinned_hosts.empty()) pinned_hosts += ',';
+      pinned_hosts += host;
+    }
+    detect_log.Emit(
+        obs::Severity::kDecision, "dynamic.verdict",
+        {{"pins", report.AppPins()},
+         {"destinations", static_cast<std::uint64_t>(report.destinations.size())},
+         {"pinned_hosts", pinned_hosts}});
   }
 
   obs::CounterOrNull(metrics, "dynamic.destinations")

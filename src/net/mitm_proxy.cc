@@ -1,5 +1,6 @@
 #include "net/mitm_proxy.h"
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace pinscope::net {
@@ -67,6 +68,13 @@ InterceptResult MitmProxy::Intercept(const tls::ClientTlsConfig& client,
   if (result.decrypted) {
     obs::CounterOrNull(client.metrics, "net.intercepts_decrypted").Increment();
   }
+  // Per-flow intercept outcome for the decision journal — the MITM half of
+  // the differential evidence. Attributed to the intercepted client's scope
+  // (the proxy itself is a study-wide shared fixture).
+  obs::EmitTo(client.log, obs::Severity::kDecision, "mitm.intercept",
+              {{"host", server.hostname},
+               {"decrypted", result.decrypted},
+               {"failure", tls::FailureReasonName(result.outcome.failure)}});
   return result;
 }
 

@@ -1,0 +1,180 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <tuple>
+
+namespace pinscope::obs {
+
+namespace {
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kDebug: return "debug";
+    case Severity::kInfo: return "info";
+    case Severity::kDecision: return "decision";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "info";
+}
+
+std::optional<Severity> ParseSeverity(std::string_view name) {
+  if (name == "debug") return Severity::kDebug;
+  if (name == "info") return Severity::kInfo;
+  if (name == "decision") return Severity::kDecision;
+  if (name == "warn") return Severity::kWarn;
+  if (name == "error") return Severity::kError;
+  return std::nullopt;
+}
+
+std::string LogValue::RenderJson() const {
+  switch (type_) {
+    case Type::kString: return '"' + Escape(str_) + '"';
+    case Type::kInt: return std::to_string(int_);
+    case Type::kUint: return std::to_string(uint_);
+    case Type::kBool: return bool_ ? "true" : "false";
+    case Type::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", double_);
+      return buf;
+    }
+  }
+  return "null";
+}
+
+const LogValue* FindField(const LogEvent& event, std::string_view key) {
+  for (const LogField& f : event.fields) {
+    if (f.key == key) return &f.value;
+  }
+  return nullptr;
+}
+
+EventLog::EventLog(Severity min_severity)
+    : min_severity_(min_severity), shards_(std::make_unique<Shard[]>(kShards)) {}
+
+void EventLog::Add(LogEvent event) {
+  Shard& shard =
+      shards_[std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.events.push_back(std::move(event));
+}
+
+std::size_t EventLog::EventCount() const {
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    n += shards_[s].events.size();
+  }
+  return n;
+}
+
+std::string EventLog::RenderJsonLine(const LogEvent& event) {
+  std::string out = "{\"platform\": \"";
+  out += Escape(event.platform);
+  out += "\", \"app\": \"";
+  out += Escape(event.app_id);
+  out += "\", \"phase\": \"";
+  out += Escape(event.phase);
+  out += "\", \"seq\": ";
+  out += std::to_string(event.seq);
+  out += ", \"severity\": \"";
+  out += SeverityName(event.severity);
+  out += "\", \"event\": \"";
+  out += Escape(event.name);
+  out += '"';
+  if (!event.fields.empty()) {
+    out += ", \"fields\": {";
+    for (std::size_t i = 0; i < event.fields.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += '"';
+      out += Escape(event.fields[i].key);
+      out += "\": ";
+      out += event.fields[i].value.RenderJson();
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<LogEvent> EventLog::SortedEvents() const {
+  std::vector<LogEvent> events;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    events.insert(events.end(), shards_[s].events.begin(),
+                  shards_[s].events.end());
+  }
+  // Sort by logical keys only. The rendered line breaks the (rare) tie of
+  // two same-identity scopes reusing a sequence number, keeping the order
+  // total and schedule-independent.
+  struct Keyed {
+    LogEvent event;
+    std::string line;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(events.size());
+  for (LogEvent& e : events) {
+    std::string line = RenderJsonLine(e);
+    keyed.push_back(Keyed{std::move(e), std::move(line)});
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    return std::tie(a.event.platform, a.event.app_id, a.event.phase,
+                    a.event.seq, a.line) <
+           std::tie(b.event.platform, b.event.app_id, b.event.phase,
+                    b.event.seq, b.line);
+  });
+  events.clear();
+  for (Keyed& k : keyed) events.push_back(std::move(k.event));
+  return events;
+}
+
+std::string EventLog::ToJsonl() const {
+  std::string out;
+  for (const LogEvent& e : SortedEvents()) {
+    out += RenderJsonLine(e);
+    out += '\n';
+  }
+  return out;
+}
+
+void EventScope::Emit(Severity severity, std::string_view name,
+                      std::vector<LogField> fields) {
+  // Allocate the sequence number before filtering: a journal captured at a
+  // higher min severity must be a byte-exact subsequence of the full one.
+  const std::uint32_t seq = next_seq_++;
+  if (log_ == nullptr || !log_->Enabled(severity)) return;
+  LogEvent event;
+  event.platform = platform_;
+  event.app_id = app_id_;
+  event.phase = phase_;
+  event.seq = seq;
+  event.severity = severity;
+  event.name = std::string(name);
+  event.fields = std::move(fields);
+  log_->Add(event);
+}
+
+}  // namespace pinscope::obs

@@ -216,6 +216,66 @@ std::string WriteMetricsJson(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+namespace {
+
+/// OpenMetrics metric name: `pinscope_` + name with every non-alphanumeric
+/// character folded to '_'.
+std::string OpenMetricsName(std::string_view name) {
+  std::string out = "pinscope_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// OpenMetrics float rendering: integral values print without a fraction,
+/// everything else with the shortest %g form. Deterministic either way.
+std::string OpenMetricsNumber(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string WriteMetricsOpenMetrics(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = OpenMetricsName(name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + "_total " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = OpenMetricsName(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string metric = OpenMetricsName(name);
+    out += "# TYPE " + metric + " histogram\n";
+    // Prometheus buckets are cumulative; ours are per-interval.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      const std::string le =
+          i < h.bounds.size() ? OpenMetricsNumber(h.bounds[i]) : "+Inf";
+      out += metric + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += metric + "_sum " + OpenMetricsNumber(h.sum) + "\n";
+    out += metric + "_count " + std::to_string(h.count) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
 std::string WritePhaseBreakdownJson(const MetricsSnapshot& snapshot,
                                     std::string_view prefix) {
   std::string out = "{";

@@ -236,6 +236,14 @@ class ScopedTimer {
 /// sum/min/max/mean. Deterministic given the same snapshot.
 [[nodiscard]] std::string WriteMetricsJson(const MetricsSnapshot& snapshot);
 
+/// Serializes a snapshot in the OpenMetrics / Prometheus text exposition
+/// format (the `--metrics-out=<path>.prom` format): dotted metric names are
+/// sanitized to underscores and prefixed `pinscope_`, counters gain the
+/// `_total` suffix, histograms render cumulative `_bucket{le="..."}` series
+/// plus `_sum`/`_count`, and the document ends with `# EOF`. Deterministic
+/// given the same snapshot.
+[[nodiscard]] std::string WriteMetricsOpenMetrics(const MetricsSnapshot& snapshot);
+
 /// Serializes the histograms whose names start with `prefix` as a compact
 /// JSON object of per-phase totals (ms) — the breakdown the bench harnesses
 /// embed into their BENCH_*.json.

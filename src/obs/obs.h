@@ -12,13 +12,16 @@
 #include <utility>
 #include <vector>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace pinscope::obs {
 
-/// Owns the metrics registry and trace sink for one run. Internally
-/// synchronized throughout; share one instance across all study workers.
+/// Owns the metrics registry and trace sink for one run, and optionally
+/// carries the decision journal (owned by the caller — its min severity is
+/// chosen at construction, e.g. from --log-level). Internally synchronized
+/// throughout; share one instance across all study workers.
 class Observer {
  public:
   Observer() = default;
@@ -30,9 +33,15 @@ class Observer {
   [[nodiscard]] TraceSink& trace() { return trace_; }
   [[nodiscard]] const TraceSink& trace() const { return trace_; }
 
+  /// Attaches (or detaches, with nullptr) the decision journal. Attaching a
+  /// journal never changes exported study bytes (DESIGN.md §12).
+  void set_log(EventLog* log) { log_ = log; }
+  [[nodiscard]] EventLog* log() const { return log_; }
+
  private:
   MetricsRegistry metrics_;
   TraceSink trace_;
+  EventLog* log_ = nullptr;
 };
 
 /// Null-safe accessors: leaf layers (tls, x509, net, device) take a bare
@@ -43,6 +52,9 @@ class Observer {
 [[nodiscard]] inline TraceSink* TraceOf(Observer* observer) {
   return observer == nullptr ? nullptr : &observer->trace();
 }
+[[nodiscard]] inline EventLog* LogOf(Observer* observer) {
+  return observer == nullptr ? nullptr : observer->log();
+}
 
 /// Null-safe handle/RAII factories.
 [[nodiscard]] inline Counter CounterFor(Observer* observer,
@@ -52,6 +64,15 @@ class Observer {
 [[nodiscard]] inline Histogram HistogramFor(Observer* observer,
                                             std::string_view name) {
   return HistogramOrNull(MetricsOf(observer), name);
+}
+/// Journal scope for one (platform, app, phase) — the no-op scope when the
+/// observer (or its journal) is absent. Use one scope per phase per thread.
+[[nodiscard]] inline EventScope ScopeFor(Observer* observer,
+                                         std::string platform,
+                                         std::string app_id,
+                                         std::string phase) {
+  return EventScope(LogOf(observer), std::move(platform), std::move(app_id),
+                    std::move(phase));
 }
 [[nodiscard]] inline Span SpanFor(
     Observer* observer, std::string name, std::string category,

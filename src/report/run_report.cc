@@ -1,0 +1,268 @@
+#include "report/run_report.h"
+
+#include <cstdio>
+#include <map>
+
+#include "report/json_writer.h"
+
+namespace pinscope::report {
+
+namespace {
+
+/// Renders a value for prose (unquoted strings, bare numbers/booleans).
+std::string Prose(const obs::LogValue& v) {
+  switch (v.type()) {
+    case obs::LogValue::Type::kString: return v.AsString();
+    case obs::LogValue::Type::kInt: return std::to_string(v.AsInt());
+    case obs::LogValue::Type::kUint: return std::to_string(v.AsUint());
+    case obs::LogValue::Type::kBool: return v.AsBool() ? "true" : "false";
+    case obs::LogValue::Type::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", v.AsDouble());
+      return buf;
+    }
+  }
+  return std::string();
+}
+
+std::string ProseField(const obs::LogEvent& e, std::string_view key) {
+  const obs::LogValue* v = obs::FindField(e, key);
+  return v == nullptr ? std::string() : Prose(*v);
+}
+
+bool BoolField(const obs::LogEvent& e, std::string_view key) {
+  const obs::LogValue* v = obs::FindField(e, key);
+  return v != nullptr && v->type() == obs::LogValue::Type::kBool && v->AsBool();
+}
+
+std::string Ms(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", us / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::string> AttributionFor(
+    const AppVerdict& verdict, const std::vector<obs::LogEvent>& events) {
+  std::vector<std::string> reasons;
+  std::size_t pins_embedded = 0;
+  std::size_t certs_embedded = 0;
+  for (const obs::LogEvent& e : events) {
+    if (e.platform != verdict.platform || e.app_id != verdict.app_id) continue;
+    if (e.name == "static.pin_found") {
+      ++pins_embedded;
+    } else if (e.name == "static.cert_found") {
+      ++certs_embedded;
+    } else if (e.name == "nsc.pin_set") {
+      reasons.push_back("NSC pin-set for " + ProseField(e, "domain") + " (" +
+                        ProseField(e, "source") + ")");
+    } else if (e.name == "ats.pinned_domain") {
+      reasons.push_back("ATS pinned domain " + ProseField(e, "domain") + " (" +
+                        ProseField(e, "source") + ")");
+    } else if (e.name == "dynamic.divergence" && BoolField(e, "pinned")) {
+      reasons.push_back("dynamic divergence at " + ProseField(e, "host") +
+                        ": " + ProseField(e, "rationale"));
+    } else if (e.name == "frida.circumvented") {
+      reasons.push_back("circumvented via instrumentation at " +
+                        ProseField(e, "host"));
+    }
+  }
+  // Aggregate the (possibly many) scanner hits into one line each.
+  if (pins_embedded > 0) {
+    reasons.insert(reasons.begin(),
+                   std::to_string(pins_embedded) + " embedded pin string" +
+                       (pins_embedded == 1 ? "" : "s"));
+  }
+  if (certs_embedded > 0) {
+    reasons.insert(reasons.begin(),
+                   std::to_string(certs_embedded) + " embedded certificate" +
+                       (certs_embedded == 1 ? "" : "s"));
+  }
+  return reasons;
+}
+
+std::string WriteRunReportMarkdown(const RunReportInput& input) {
+  std::string out = "# " + input.title + "\n\n";
+
+  // --- Corpus overview ---
+  std::size_t android = 0;
+  std::size_t ios = 0;
+  std::size_t pins = 0;
+  std::size_t potential = 0;
+  std::size_t config = 0;
+  for (const AppVerdict& v : input.verdicts) {
+    (v.platform == "android" ? android : ios) += 1;
+    if (v.pins_at_runtime) ++pins;
+    if (v.potential_pinning) ++potential;
+    if (v.config_pinning) ++config;
+  }
+  out += "## Corpus\n\n";
+  out += "- apps analyzed: " + std::to_string(input.verdicts.size()) +
+         " (android " + std::to_string(android) + ", ios " +
+         std::to_string(ios) + ")\n";
+  out += "- pins at runtime: " + std::to_string(pins) + "\n";
+  out += "- potential pinning (static): " + std::to_string(potential) + "\n";
+  out += "- config pinning (NSC/ATS): " + std::to_string(config) + "\n\n";
+
+  // --- Verdict attribution ---
+  out += "## Verdict attribution\n\n";
+  out += "| app | platform | verdict | attributing evidence |\n";
+  out += "|---|---|---|---|\n";
+  static const std::vector<obs::LogEvent> kNoEvents;
+  const std::vector<obs::LogEvent>& events =
+      input.events != nullptr ? *input.events : kNoEvents;
+  for (const AppVerdict& v : input.verdicts) {
+    std::string verdict = v.pins_at_runtime ? "PINS" : "no pinning";
+    if (v.potential_pinning) verdict += " +static";
+    if (v.config_pinning) verdict += " +config";
+    std::string evidence;
+    for (const std::string& reason : AttributionFor(v, events)) {
+      if (!evidence.empty()) evidence += "; ";
+      evidence += reason;
+    }
+    if (evidence.empty()) evidence = "-";
+    out += "| " + v.app_id + " | " + v.platform + " | " + verdict + " | " +
+           evidence + " |\n";
+  }
+  out += "\n";
+
+  // --- Pipeline metrics (wall-clock; describes the run, not the results) ---
+  if (input.metrics != nullptr) {
+    std::map<std::string, std::map<std::string, std::uint64_t>> caches;
+    for (const auto& [name, value] : input.metrics->gauges) {
+      if (name.rfind("cache.", 0) != 0) continue;
+      const std::size_t dot = name.find('.', 6);
+      if (dot == std::string::npos) continue;
+      caches[name.substr(6, dot - 6)][name.substr(dot + 1)] = value;
+    }
+    if (!caches.empty()) {
+      out += "## Caches\n\n";
+      out += "| family | lookups | hits | entries |\n|---|---|---|---|\n";
+      for (const auto& [family, fields] : caches) {
+        auto field = [&](const char* key) -> std::uint64_t {
+          const auto it = fields.find(key);
+          return it == fields.end() ? 0 : it->second;
+        };
+        out += "| " + family + " | " + std::to_string(field("lookups")) +
+               " | " + std::to_string(field("hits")) + " | " +
+               std::to_string(field("entries")) + " |\n";
+      }
+      out += "\n";
+    }
+    bool header = false;
+    for (const auto& [name, h] : input.metrics->histograms) {
+      if (name.rfind("phase.", 0) != 0 || h.count == 0) continue;
+      if (!header) {
+        out += "## Phases (wall time)\n\n";
+        out += "| phase | count | total ms | mean ms |\n|---|---|---|---|\n";
+        header = true;
+      }
+      out += "| " + name.substr(6) + " | " + std::to_string(h.count) + " | " +
+             Ms(h.sum) + " | " + Ms(h.Mean()) + " |\n";
+    }
+    if (header) out += "\n";
+  }
+
+  // --- Journal overview ---
+  if (input.events != nullptr) {
+    std::map<std::string, std::size_t> by_name;
+    for (const obs::LogEvent& e : *input.events) ++by_name[e.name];
+    out += "## Journal\n\n";
+    out += "- events recorded: " + std::to_string(input.events->size()) + "\n";
+    for (const auto& [name, count] : by_name) {
+      out += "  - " + name + ": " + std::to_string(count) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string WriteRunReportJson(const RunReportInput& input) {
+  static const std::vector<obs::LogEvent> kNoEvents;
+  const std::vector<obs::LogEvent>& events =
+      input.events != nullptr ? *input.events : kNoEvents;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("title");
+  w.String(input.title);
+
+  w.Key("verdicts");
+  w.BeginArray();
+  for (const AppVerdict& v : input.verdicts) {
+    w.BeginObject();
+    w.Key("app_id");
+    w.String(v.app_id);
+    w.Key("platform");
+    w.String(v.platform);
+    w.Key("pins_at_runtime");
+    w.Bool(v.pins_at_runtime);
+    w.Key("potential_pinning");
+    w.Bool(v.potential_pinning);
+    w.Key("config_pinning");
+    w.Bool(v.config_pinning);
+    w.Key("pinned_hosts");
+    w.BeginArray();
+    for (const std::string& host : v.pinned_hosts) w.String(host);
+    w.EndArray();
+    w.Key("attribution");
+    w.BeginArray();
+    for (const std::string& reason : AttributionFor(v, events)) {
+      w.String(reason);
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  if (input.metrics != nullptr) {
+    w.Key("counters");
+    w.BeginObject();
+    for (const auto& [name, value] : input.metrics->counters) {
+      w.Key(name);
+      w.Int(static_cast<std::int64_t>(value));
+    }
+    w.EndObject();
+    w.Key("gauges");
+    w.BeginObject();
+    for (const auto& [name, value] : input.metrics->gauges) {
+      w.Key(name);
+      w.Int(static_cast<std::int64_t>(value));
+    }
+    w.EndObject();
+  }
+
+  if (input.events != nullptr) {
+    std::map<std::string, std::size_t> by_name;
+    for (const obs::LogEvent& e : events) ++by_name[e.name];
+    w.Key("journal");
+    w.BeginObject();
+    w.Key("events");
+    w.Int(static_cast<std::int64_t>(events.size()));
+    w.Key("by_event");
+    w.BeginObject();
+    for (const auto& [name, count] : by_name) {
+      w.Key(name);
+      w.Int(static_cast<std::int64_t>(count));
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+
+  w.EndObject();
+  std::string out = w.TakeString();
+  out += '\n';
+  return out;
+}
+
+std::string ReportJsonPathFor(std::string_view markdown_path) {
+  std::string out(markdown_path);
+  if (out.size() >= 3 && out.compare(out.size() - 3, 3, ".md") == 0) {
+    out.replace(out.size() - 3, 3, ".json");
+  } else {
+    out += ".json";
+  }
+  return out;
+}
+
+}  // namespace pinscope::report

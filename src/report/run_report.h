@@ -1,0 +1,61 @@
+// Run reports: one human-readable (Markdown) and one machine-readable
+// (JSON) document explaining a finished study run (DESIGN.md §12).
+//
+// A run report merges three sources — the final MetricsRegistry snapshot
+// (counters, cache-family gauges, phase timings), the deterministic decision
+// journal, and the per-app verdicts as exported — into a single
+// verdict-attribution view: for every app, *why* the pipeline reached its
+// verdict ("PINS because NSC pin-set for host X + dynamic divergence at Y"),
+// with each reason backed by journal events.
+//
+// The verdict/attribution content is deterministic (it derives from exported
+// results and the journal). Wall-clock metrics sections are of course
+// schedule-dependent — they describe the run, not the results.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace pinscope::report {
+
+/// One app's final verdicts, in export order (core::CollectAppVerdicts
+/// builds these from a finished Study).
+struct AppVerdict {
+  std::string platform;
+  std::string app_id;
+  bool pins_at_runtime = false;   ///< Dynamic differential verdict.
+  bool potential_pinning = false; ///< Static embedded-certificate signal.
+  bool config_pinning = false;    ///< NSC / ATS declarative pin-sets.
+  std::vector<std::string> pinned_hosts;
+};
+
+/// Inputs to the report generator. The metrics and journal pointers are
+/// optional — absent sections are omitted, not faked.
+struct RunReportInput {
+  std::string title = "pinscope run report";
+  std::vector<AppVerdict> verdicts;
+  const obs::MetricsSnapshot* metrics = nullptr;
+  /// Journal events sorted by logical keys (EventLog::SortedEvents()).
+  const std::vector<obs::LogEvent>* events = nullptr;
+};
+
+/// Attribution lines for one app's verdicts, derived from its journal
+/// events (exposed for tests; the writers call it per verdict).
+[[nodiscard]] std::vector<std::string> AttributionFor(
+    const AppVerdict& verdict, const std::vector<obs::LogEvent>& events);
+
+/// Renders the Markdown report (`--report-out=report.md`).
+[[nodiscard]] std::string WriteRunReportMarkdown(const RunReportInput& input);
+
+/// Renders the JSON companion document.
+[[nodiscard]] std::string WriteRunReportJson(const RunReportInput& input);
+
+/// The JSON companion path for a Markdown report path: swaps a trailing
+/// ".md" for ".json", otherwise appends ".json".
+[[nodiscard]] std::string ReportJsonPathFor(std::string_view markdown_path);
+
+}  // namespace pinscope::report

@@ -68,6 +68,7 @@ AtsAnalysis AnalyzeAts(const appmodel::PackageFiles& ipa) {
 
     if (is_info) {
       out.has_info_plist = true;
+      out.info_plist_path = path;
       if (const XmlNode* bid = DictValue(*dict, "CFBundleIdentifier")) {
         out.bundle_id = bid->TrimmedText();
       }

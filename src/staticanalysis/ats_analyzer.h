@@ -25,6 +25,9 @@ struct AtsPinnedDomainResult {
 struct AtsAnalysis {
   bool has_info_plist = false;
   std::string bundle_id;
+  /// Path of the Info.plist the pinned domains were read from — digest
+  /// provenance for the decision journal ("" when none was found).
+  std::string info_plist_path;
   std::vector<AtsPinnedDomainResult> pinned_domains;
   std::vector<std::string> associated_domains;  ///< From entitlements.
 

@@ -141,6 +141,7 @@ NscAnalysis AnalyzeNsc(const appmodel::PackageFiles& apk) {
   }
   if (nsc->name != "network-security-config") return out;
   out.nsc_file_found = true;
+  out.nsc_path = path;
 
   for (const XmlNode* cfg : nsc->Children("domain-config")) {
     out.domains.push_back(ParseDomainConfig(*cfg));

@@ -33,6 +33,9 @@ struct NscAnalysis {
   bool has_manifest = false;
   bool uses_nsc = false;           ///< Manifest references an NSC file.
   bool nsc_file_found = false;     ///< The referenced file exists and parsed.
+  /// Resolved path of the parsed NSC document — digest provenance for the
+  /// decision journal ("" until nsc_file_found).
+  std::string nsc_path;
   std::vector<NscDomainResult> domains;
 
   /// <base-config> findings.

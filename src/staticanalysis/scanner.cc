@@ -96,16 +96,19 @@ void AppendOwned(CachedFileScan&& scan, const std::string& path, ScanResult& out
 
 Scanner::Scanner() : pin_pattern_("sha(1|256)/[a-zA-Z0-9+/=]{28,64}") {}
 
-void Scanner::ScanContent(std::string_view text, CachedFileScan& out) const {
+void Scanner::ScanContent(std::string_view text, std::size_t base_offset,
+                          CachedFileScan& out) const {
   // PEM blobs anywhere in the content.
   for (x509::Certificate& cert : x509::PemDecodeAll(text)) {
     out.certificates.push_back({std::string(), std::move(cert), true});
   }
-  // Pin hashes by regex.
+  // Pin hashes by regex. The recorded offset is absolute within the file —
+  // content-derived evidence the decision journal can point at.
   for (RegexMatch& m : pin_pattern_.FindAll(text)) {
     FoundPin pin;
     pin.pin_string = std::move(m.text);
     pin.parsed = tls::Pin::FromPinString(pin.pin_string);
+    pin.offset = base_offset + m.position;
     out.pins.push_back(std::move(pin));
   }
 }
@@ -127,12 +130,14 @@ void Scanner::ScanFile(const util::Bytes& content, bool is_cert_file,
     // Unparseable cert file: fall through to content scanning.
   }
 
-  // (b)+(c) Content scanning; binaries reduce to printable runs first.
+  // (b)+(c) Content scanning; binaries reduce to printable runs first. Run
+  // views alias `content`, so pointer arithmetic recovers each run's offset.
   if (LooksBinary(content)) {
-    ForEachPrintableRun(content, kMinStringLen,
-                        [&](std::string_view run) { ScanContent(run, out); });
+    ForEachPrintableRun(content, kMinStringLen, [&](std::string_view run) {
+      ScanContent(run, static_cast<std::size_t>(run.data() - text.data()), out);
+    });
   } else {
-    ScanContent(text, out);
+    ScanContent(text, 0, out);
   }
 }
 

@@ -43,6 +43,10 @@ struct FoundPin {
   std::string path;          ///< File where it was found.
   std::string pin_string;    ///< Raw "sha256/..." text as matched.
   std::optional<tls::Pin> parsed;  ///< Decoded pin (nullopt if malformed).
+  /// Byte offset of the match within the file — in binary files, the
+  /// absolute offset of the match inside the printable run it was found in.
+  /// Content-derived, so cached and uncached scans agree.
+  std::size_t offset = 0;
 };
 
 /// Path-independent scan outcome of one file's *content* — the unit the
@@ -140,7 +144,8 @@ class Scanner {
   [[nodiscard]] const Regex& pin_pattern() const { return pin_pattern_; }
 
  private:
-  void ScanContent(std::string_view text, CachedFileScan& out) const;
+  void ScanContent(std::string_view text, std::size_t base_offset,
+                   CachedFileScan& out) const;
   void ScanFile(const util::Bytes& content, bool is_cert_file,
                 CachedFileScan& out) const;
 

@@ -20,6 +20,71 @@ std::vector<std::string> StaticReport::EvidencePaths() const {
   return std::vector<std::string>(paths.begin(), paths.end());
 }
 
+namespace {
+
+// The scanner's pin-hash pattern, quoted verbatim in static.pin_found events
+// so the journal names the rule that fired.
+constexpr std::string_view kPinRule = "sha(1|256)/[a-zA-Z0-9+/=]{28,64}";
+
+// Decision events for the static layer, derived from the finished report so
+// they are identical with the scan cache on or off (DESIGN.md §12).
+void EmitStaticEvents(const StaticReport& report, obs::EventScope& log) {
+  if (!report.decryption_ok) {
+    log.Emit(obs::Severity::kWarn, "static.decrypt_failed",
+             {{"app", report.app_id}});
+  }
+  for (const FoundPin& pin : report.scan.pins) {
+    log.Emit(obs::Severity::kDecision, "static.pin_found",
+             {{"path", pin.path},
+              {"offset", static_cast<std::uint64_t>(pin.offset)},
+              {"rule", kPinRule},
+              {"pin", pin.pin_string},
+              {"well_formed", pin.parsed.has_value()}});
+  }
+  for (const FoundCertificate& cert : report.scan.certificates) {
+    log.Emit(obs::Severity::kDecision, "static.cert_found",
+             {{"path", cert.path},
+              {"source", cert.from_pem ? "pem" : "der"},
+              {"subject", cert.cert.subject().common_name}});
+  }
+  for (const NscDomainResult& d : report.nsc.domains) {
+    if (d.pin_strings.empty()) continue;
+    std::string digests;
+    for (const std::string& p : d.pin_strings) {
+      if (!digests.empty()) digests += ',';
+      digests += p;
+    }
+    log.Emit(obs::Severity::kDecision, "nsc.pin_set",
+             {{"domain", d.domain},
+              {"source", report.nsc.nsc_path},
+              {"include_subdomains", d.include_subdomains},
+              {"pins", static_cast<std::uint64_t>(d.pin_strings.size())},
+              {"well_formed", static_cast<std::uint64_t>(d.parsed_pins.size())},
+              {"digests", digests},
+              {"expiration", d.pin_expiration},
+              {"override_pins", d.override_pins}});
+  }
+  for (const std::string& domain : report.nsc.MisconfiguredDomains()) {
+    log.Emit(obs::Severity::kWarn, "nsc.pins_overridden",
+             {{"domain", domain}, {"source", report.nsc.nsc_path}});
+  }
+  for (const AtsPinnedDomainResult& d : report.ats.pinned_domains) {
+    std::string digests;
+    for (const tls::Pin& p : d.pins) {
+      if (!digests.empty()) digests += ',';
+      digests += p.ToPinString();
+    }
+    log.Emit(obs::Severity::kDecision, "ats.pinned_domain",
+             {{"domain", d.domain},
+              {"source", report.ats.info_plist_path},
+              {"include_subdomains", d.include_subdomains},
+              {"pins", static_cast<std::uint64_t>(d.pins.size())},
+              {"digests", digests}});
+  }
+}
+
+}  // namespace
+
 StaticReport AnalyzeStatically(const appmodel::App& app,
                                const StaticAnalysisOptions& options) {
   StaticReport report;
@@ -31,6 +96,9 @@ StaticReport AnalyzeStatically(const appmodel::App& app,
   const obs::Span span = obs::SpanFor(options.observer, "static.scan", "phase",
                                       {{"app", app.meta.app_id}});
   obs::MetricsRegistry* metrics = obs::MetricsOf(options.observer);
+  obs::EventScope log =
+      obs::ScopeFor(options.observer, std::string(PlatformName(app.meta.platform)),
+                    app.meta.app_id, "static");
 
   if (app.meta.platform == appmodel::Platform::kAndroid) {
     // Apktool step: our APK trees are stored decoded; scanning is direct.
@@ -45,6 +113,7 @@ StaticReport AnalyzeStatically(const appmodel::App& app,
     report.scan = scanner.Scan(tree, options.scan_cache, metrics);
     report.ats = AnalyzeAts(tree);
   }
+  EmitStaticEvents(report, log);
 
   // §4.1.3: resolve found pin hashes against the CT log.
   if (options.ct_log != nullptr) {
@@ -65,7 +134,22 @@ StaticReport AnalyzeStatically(const appmodel::App& app,
         }
       }
     }
+    if (report.pins_total > 0) {
+      log.Emit(obs::Severity::kInfo, "static.ct_resolution",
+               {{"pins_total", static_cast<std::uint64_t>(report.pins_total)},
+                {"pins_resolved",
+                 static_cast<std::uint64_t>(report.pins_resolved)},
+                {"certificates",
+                 static_cast<std::uint64_t>(report.ct_resolved.size())}});
+    }
   }
+
+  log.Emit(obs::Severity::kDecision, "static.verdict",
+           {{"potential_pinning", report.PotentialPinning()},
+            {"config_pinning", report.ConfigPinning()},
+            {"certificates",
+             static_cast<std::uint64_t>(report.scan.certificates.size())},
+            {"pins", static_cast<std::uint64_t>(report.scan.pins.size())}});
 
   return report;
 }

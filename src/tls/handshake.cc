@@ -189,6 +189,11 @@ ConnectionOutcome SimulateConnectionImpl(
                                              client.validation);
   if (!out.validation.ok()) {
     out.failure = FailureReason::kCertificateInvalid;
+    obs::EmitTo(client.log, obs::Severity::kDecision, "x509.validation_failed",
+                {{"host", server.hostname},
+                 {"status", x509::ValidationStatusName(out.validation.status)},
+                 {"cause", x509::DescribeValidationFailure(out.validation,
+                                                           presented_chain)}});
     EmitClientAbort(tb, *version,
                     out.validation.status == x509::ValidationStatus::kUntrustedRoot
                         ? AlertDescription::kUnknownCa
@@ -201,6 +206,9 @@ ConnectionOutcome SimulateConnectionImpl(
   out.pin_pass = client.pins.Evaluate(server.hostname, presented_chain);
   if (!out.pin_pass) {
     out.failure = FailureReason::kPinMismatch;
+    obs::EmitTo(client.log, obs::Severity::kDecision, "tls.pin_mismatch",
+                {{"host", server.hostname},
+                 {"stack", TlsStackName(client.stack)}});
     EmitClientAbort(tb, *version, AlertDescription::kBadCertificate);
     out.records = tb.Take();
     out.closure = Closure::kClientReset;
@@ -323,6 +331,12 @@ ConnectionOutcome SimulateResumedConnectionImpl(const ClientTlsConfig& client,
         *client.root_store, client.validation);
     if (!out.validation.ok()) {
       out.failure = FailureReason::kCertificateInvalid;
+      obs::EmitTo(client.log, obs::Severity::kDecision, "x509.validation_failed",
+                  {{"host", server.hostname},
+                   {"resumed", true},
+                   {"status", x509::ValidationStatusName(out.validation.status)},
+                   {"cause", x509::DescribeValidationFailure(
+                                 out.validation, ticket.chain_at_issue)}});
       EmitClientAbort(tb, *version, AlertDescription::kBadCertificate);
       out.records = tb.Take();
       out.closure = Closure::kClientReset;
@@ -331,6 +345,10 @@ ConnectionOutcome SimulateResumedConnectionImpl(const ClientTlsConfig& client,
     out.pin_pass = client.pins.Evaluate(server.hostname, ticket.chain_at_issue);
     if (!out.pin_pass) {
       out.failure = FailureReason::kPinMismatch;
+      obs::EmitTo(client.log, obs::Severity::kDecision, "tls.pin_mismatch",
+                  {{"host", server.hostname},
+                   {"resumed", true},
+                   {"stack", TlsStackName(client.stack)}});
       EmitClientAbort(tb, *version, AlertDescription::kBadCertificate);
       out.records = tb.Take();
       out.closure = Closure::kClientReset;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "tls/cipher_suites.h"
 #include "tls/pinning.h"
@@ -71,6 +72,12 @@ struct ClientTlsConfig {
   /// handshake plus its completed/failed/resumed disposition. Purely
   /// observational — never read by the simulation (DESIGN.md §11).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional decision-journal scope (the per-phase scope of the app being
+  /// run). Connections emit x509 validation failures — with the full
+  /// failure-cause chain — and pin mismatches here. Emission happens at this
+  /// call site, never inside the (memoized) validator, so the journal is
+  /// identical with or without a validation cache (DESIGN.md §12).
+  obs::EventScope* log = nullptr;
   /// Which implementation performs validation/pinning.
   TlsStack stack = TlsStack::kAndroidPlatform;
 };

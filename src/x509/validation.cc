@@ -136,6 +136,28 @@ ValidationResult ValidateChain(const CertificateChain& chain,
   return {ValidationStatus::kOk, 0};
 }
 
+std::string DescribeValidationFailure(const ValidationResult& result,
+                                      const CertificateChain& chain) {
+  if (result.ok()) return "ok";
+  std::string out(ValidationStatusName(result.status));
+  if (result.failing_index < chain.size()) {
+    out += " at depth ";
+    out += std::to_string(result.failing_index);
+    out += " (";
+    out += chain[result.failing_index].subject().common_name;
+    out += ")";
+  }
+  if (!chain.empty()) {
+    out += " in chain [";
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (i > 0) out += " <- ";
+      out += chain[i].subject().common_name;
+    }
+    out += "]";
+  }
+  return out;
+}
+
 bool ChainsToPublicRoot(const CertificateChain& chain, const RootStore& public_store) {
   if (chain.empty()) return false;
   ValidationOptions opts;

@@ -100,6 +100,16 @@ struct ValidationOptions {
                                              const RootStore& store,
                                              const ValidationOptions& options = {});
 
+/// Renders the full failure-cause chain of a validation result for the
+/// decision journal: the status, the failing element's depth and subject,
+/// and the leaf→root path of the judged chain, e.g.
+///   `expired at depth 1 (Intermediate CA) in chain [leaf.example.com <-
+///    Intermediate CA <- Root CA]`.
+/// Returns "ok" for successful results. Pure function of its inputs —
+/// deterministic regardless of validation-cache state.
+[[nodiscard]] std::string DescribeValidationFailure(
+    const ValidationResult& result, const CertificateChain& chain);
+
 /// True if `chain` anchors in the given (public) root store — the paper's
 /// §5.3.1 test for "default PKI" vs "custom PKI". Ignores hostname and expiry;
 /// only structure and anchoring matter.

@@ -1,0 +1,134 @@
+// CLI flag-grammar suite for pinscope::cli::ParseArgs — both `--flag value`
+// and `--flag=value` spellings, defaults, and bad-value rejection.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cli/cli_options.h"
+
+namespace pinscope::cli {
+namespace {
+
+std::optional<CliOptions> Parse(std::vector<std::string> args) {
+  std::vector<const char*> argv = {"pinscope"};
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  return ParseArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ParseArgsTest, DefaultsMatchDocumentedHelp) {
+  const auto opts = Parse({"study"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->command, "study");
+  EXPECT_TRUE(opts->positional.empty());
+  EXPECT_DOUBLE_EQ(opts->scale, 0.1);
+  EXPECT_EQ(opts->seed, 42u);
+  EXPECT_EQ(opts->threads, 0);
+  EXPECT_TRUE(opts->scan_cache);
+  EXPECT_TRUE(opts->sim_cache);
+  EXPECT_TRUE(opts->summary);
+  EXPECT_TRUE(opts->json_path.empty());
+  EXPECT_TRUE(opts->csv_path.empty());
+  EXPECT_TRUE(opts->metrics_path.empty());
+  EXPECT_TRUE(opts->trace_path.empty());
+  EXPECT_TRUE(opts->log_path.empty());
+  EXPECT_EQ(opts->log_level, obs::Severity::kInfo);
+  EXPECT_TRUE(opts->report_path.empty());
+}
+
+TEST(ParseArgsTest, NoCommandIsRejected) {
+  EXPECT_FALSE(Parse({}).has_value());
+}
+
+TEST(ParseArgsTest, AcceptsCoreStudyFlags) {
+  const auto opts = Parse({"study", "--scale", "0.25", "--seed", "9",
+                           "--threads", "3", "--json", "a.jsonl", "--csv",
+                           "b.csv"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_DOUBLE_EQ(opts->scale, 0.25);
+  EXPECT_EQ(opts->seed, 9u);
+  EXPECT_EQ(opts->threads, 3);
+  EXPECT_EQ(opts->json_path, "a.jsonl");
+  EXPECT_EQ(opts->csv_path, "b.csv");
+}
+
+TEST(ParseArgsTest, OutputFlagsAcceptBothSpellings) {
+  for (const auto& args : std::vector<std::vector<std::string>>{
+           {"study", "--metrics-out", "m.json", "--trace-out", "t.json",
+            "--log-out", "e.jsonl", "--report-out", "r.md"},
+           {"study", "--metrics-out=m.json", "--trace-out=t.json",
+            "--log-out=e.jsonl", "--report-out=r.md"}}) {
+    const auto opts = Parse(args);
+    ASSERT_TRUE(opts.has_value());
+    EXPECT_EQ(opts->metrics_path, "m.json");
+    EXPECT_EQ(opts->trace_path, "t.json");
+    EXPECT_EQ(opts->log_path, "e.jsonl");
+    EXPECT_EQ(opts->report_path, "r.md");
+  }
+}
+
+TEST(ParseArgsTest, OnOffFlagsAcceptBothSpellings) {
+  const auto spaced = Parse({"study", "--scan-cache", "off", "--sim-cache",
+                             "off", "--summary", "off"});
+  ASSERT_TRUE(spaced.has_value());
+  EXPECT_FALSE(spaced->scan_cache);
+  EXPECT_FALSE(spaced->sim_cache);
+  EXPECT_FALSE(spaced->summary);
+
+  const auto eq = Parse({"study", "--scan-cache=off", "--sim-cache=on",
+                         "--summary=off"});
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_FALSE(eq->scan_cache);
+  EXPECT_TRUE(eq->sim_cache);
+  EXPECT_FALSE(eq->summary);
+}
+
+TEST(ParseArgsTest, LogLevelAcceptsEverySeverity) {
+  for (const char* level : {"debug", "info", "decision", "warn", "error"}) {
+    SCOPED_TRACE(level);
+    const auto opts = Parse({"study", std::string("--log-level=") + level});
+    ASSERT_TRUE(opts.has_value());
+    EXPECT_EQ(obs::SeverityName(opts->log_level), level);
+  }
+  const auto spaced = Parse({"study", "--log-level", "decision"});
+  ASSERT_TRUE(spaced.has_value());
+  EXPECT_EQ(spaced->log_level, obs::Severity::kDecision);
+}
+
+TEST(ParseArgsTest, RejectsBadValues) {
+  EXPECT_FALSE(Parse({"study", "--log-level", "verbose"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--log-level="}).has_value());
+  EXPECT_FALSE(Parse({"study", "--scan-cache", "maybe"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--summary=yes"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--threads", "-1"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--scale", "0"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--scale", "1.5"}).has_value());
+}
+
+TEST(ParseArgsTest, RejectsMissingAndEmptyValues) {
+  EXPECT_FALSE(Parse({"study", "--metrics-out"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--metrics-out="}).has_value());
+  EXPECT_FALSE(Parse({"study", "--trace-out"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--log-out"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--log-out="}).has_value());
+  EXPECT_FALSE(Parse({"study", "--report-out"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--seed"}).has_value());
+}
+
+TEST(ParseArgsTest, RejectsUnknownOptions) {
+  EXPECT_FALSE(Parse({"study", "--log-format", "jsonl"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--bogus"}).has_value());
+}
+
+TEST(ParseArgsTest, CollectsPositionalArguments) {
+  const auto opts = Parse({"audit", "com.example.app", "--seed", "7"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->command, "audit");
+  ASSERT_EQ(opts->positional.size(), 1u);
+  EXPECT_EQ(opts->positional[0], "com.example.app");
+  EXPECT_EQ(opts->seed, 7u);
+}
+
+}  // namespace
+}  // namespace pinscope::cli

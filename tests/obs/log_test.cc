@@ -1,0 +1,192 @@
+// EventLog / EventScope unit suite: severity grammar, JSONL rendering,
+// logical-key ordering, null-safe emission, the seq-before-filter rule that
+// makes filtered journals byte-exact subsequences, and sharded concurrent
+// deposit determinism.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+
+namespace pinscope::obs {
+namespace {
+
+TEST(SeverityTest, NamesAndParseRoundTrip) {
+  for (const Severity s : {Severity::kDebug, Severity::kInfo, Severity::kDecision,
+                           Severity::kWarn, Severity::kError}) {
+    const auto parsed = ParseSeverity(SeverityName(s));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(ParseSeverity("verbose").has_value());
+  EXPECT_FALSE(ParseSeverity("INFO").has_value());
+  EXPECT_FALSE(ParseSeverity("").has_value());
+}
+
+TEST(SeverityTest, OrderPutsDecisionAboveInfo) {
+  EXPECT_LT(Severity::kDebug, Severity::kInfo);
+  EXPECT_LT(Severity::kInfo, Severity::kDecision);
+  EXPECT_LT(Severity::kDecision, Severity::kWarn);
+  EXPECT_LT(Severity::kWarn, Severity::kError);
+}
+
+TEST(LogValueTest, RendersEveryTypeAsJson) {
+  EXPECT_EQ(LogValue("plain").RenderJson(), "\"plain\"");
+  EXPECT_EQ(LogValue("q\"b\\s").RenderJson(), "\"q\\\"b\\\\s\"");
+  EXPECT_EQ(LogValue(std::string("\n")).RenderJson(), "\"\\u000a\"");
+  EXPECT_EQ(LogValue(-7).RenderJson(), "-7");
+  EXPECT_EQ(LogValue(std::uint64_t{18446744073709551615u}).RenderJson(),
+            "18446744073709551615");
+  EXPECT_EQ(LogValue(true).RenderJson(), "true");
+  EXPECT_EQ(LogValue(false).RenderJson(), "false");
+  EXPECT_EQ(LogValue(0.5).RenderJson(), "0.5");
+}
+
+TEST(EventLogTest, RenderJsonLineIsStable) {
+  LogEvent e;
+  e.platform = "android";
+  e.app_id = "com.example.app";
+  e.phase = "static";
+  e.seq = 3;
+  e.severity = Severity::kDecision;
+  e.name = "static.pin_found";
+  e.fields.push_back({"pin", LogValue("sha256/AAAA=")});
+  e.fields.push_back({"offset", LogValue(std::uint64_t{128})});
+  e.fields.push_back({"well_formed", LogValue(true)});
+  EXPECT_EQ(EventLog::RenderJsonLine(e),
+            "{\"platform\": \"android\", \"app\": \"com.example.app\", "
+            "\"phase\": \"static\", \"seq\": 3, \"severity\": \"decision\", "
+            "\"event\": \"static.pin_found\", \"fields\": "
+            "{\"pin\": \"sha256/AAAA=\", \"offset\": 128, "
+            "\"well_formed\": true}}");
+}
+
+TEST(EventLogTest, FieldlessEventOmitsFieldsObject) {
+  LogEvent e;
+  e.name = "study.start";
+  EXPECT_EQ(EventLog::RenderJsonLine(e),
+            "{\"platform\": \"\", \"app\": \"\", \"phase\": \"\", \"seq\": 0, "
+            "\"severity\": \"info\", \"event\": \"study.start\"}");
+}
+
+TEST(EventLogTest, SortsByLogicalKeysNotArrival) {
+  EventLog log(Severity::kDebug);
+  EventScope late(&log, "ios", "z.app", "static");
+  EventScope early(&log, "android", "a.app", "static");
+  EventScope study(&log, "", "", "study");
+  late.Emit(Severity::kInfo, "third");
+  early.Emit(Severity::kInfo, "second");
+  study.Emit(Severity::kInfo, "first");
+
+  const std::vector<LogEvent> sorted = log.SortedEvents();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].name, "first");   // "" platform sorts ahead of apps.
+  EXPECT_EQ(sorted[1].name, "second");  // android < ios.
+  EXPECT_EQ(sorted[2].name, "third");
+}
+
+TEST(EventLogTest, ScopeSequencePreservesEmissionOrder) {
+  EventLog log(Severity::kDebug);
+  EventScope scope(&log, "android", "app", "dynamic.detect");
+  for (int i = 0; i < 5; ++i) {
+    scope.Emit(Severity::kInfo, "e" + std::to_string(i));
+  }
+  const std::vector<LogEvent> sorted = log.SortedEvents();
+  ASSERT_EQ(sorted.size(), 5u);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i].seq, i);
+    EXPECT_EQ(sorted[i].name, "e" + std::to_string(i));
+  }
+}
+
+TEST(EventLogTest, FilteringDropsWithoutRenumbering) {
+  // The same emission sequence journaled at two levels: the decision-level
+  // journal must be a byte-exact subsequence (same seq values) of the full
+  // debug-level one.
+  auto emit_all = [](EventLog& log) {
+    EventScope scope(&log, "android", "app", "static");
+    scope.Emit(Severity::kDebug, "a");
+    scope.Emit(Severity::kDecision, "b");
+    scope.Emit(Severity::kInfo, "c");
+    scope.Emit(Severity::kWarn, "d");
+  };
+  EventLog full(Severity::kDebug);
+  EventLog filtered(Severity::kDecision);
+  emit_all(full);
+  emit_all(filtered);
+
+  const std::string full_jsonl = full.ToJsonl();
+  ASSERT_EQ(filtered.EventCount(), 2u);
+  std::size_t pos = 0;
+  for (const LogEvent& e : filtered.SortedEvents()) {
+    const std::string line = EventLog::RenderJsonLine(e) + "\n";
+    const std::size_t found = full_jsonl.find(line, pos);
+    ASSERT_NE(found, std::string::npos) << line;
+    pos = found + line.size();
+  }
+  // And the seq gap proves the dropped events still consumed numbers.
+  const std::vector<LogEvent> kept = filtered.SortedEvents();
+  EXPECT_EQ(kept[0].seq, 1u);  // "b"
+  EXPECT_EQ(kept[1].seq, 3u);  // "d"
+}
+
+TEST(EventLogTest, DefaultMinSeverityIsInfo) {
+  EventLog log;
+  EXPECT_EQ(log.min_severity(), Severity::kInfo);
+  EXPECT_FALSE(log.Enabled(Severity::kDebug));
+  EXPECT_TRUE(log.Enabled(Severity::kInfo));
+  EXPECT_TRUE(log.Enabled(Severity::kError));
+}
+
+TEST(EventScopeTest, NullScopesAreSafeNoOps) {
+  EventScope detached;  // no log at all
+  detached.Emit(Severity::kError, "dropped");
+  EmitTo(nullptr, Severity::kError, "also dropped");
+  EventScope over_null(nullptr, "android", "app", "static");
+  over_null.Emit(Severity::kError, "still dropped");
+  EmitTo(&over_null, Severity::kError, "and this");
+  SUCCEED();
+}
+
+TEST(EventLogTest, FindFieldReturnsFirstMatchOrNull) {
+  LogEvent e;
+  e.fields.push_back({"host", LogValue("a.example.com")});
+  e.fields.push_back({"host", LogValue("b.example.com")});
+  const LogValue* v = FindField(e, "host");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->AsString(), "a.example.com");
+  EXPECT_EQ(FindField(e, "missing"), nullptr);
+}
+
+TEST(EventLogTest, ConcurrentScopesMergeDeterministically) {
+  // N threads, each with its own scope identity, each emitting a fixed
+  // sequence: the serialized journal must not depend on the interleaving.
+  auto run_once = []() {
+    EventLog log(Severity::kDebug);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 8; ++t) {
+      workers.emplace_back([&log, t]() {
+        EventScope scope(&log, t % 2 == 0 ? "android" : "ios",
+                         "app" + std::to_string(t), "static");
+        for (int i = 0; i < 50; ++i) {
+          scope.Emit(Severity::kInfo, "event" + std::to_string(i),
+                     {{"i", LogValue(std::int64_t{i})}});
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    return log.ToJsonl();
+  };
+  const std::string first = run_once();
+  EXPECT_EQ(first, run_once());
+  EXPECT_EQ(first, run_once());
+  // 8 threads x 50 events, all present.
+  std::size_t lines = 0;
+  for (const char c : first) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 400u);
+}
+
+}  // namespace
+}  // namespace pinscope::obs

@@ -206,5 +206,36 @@ TEST(SummaryTest, RendersCacheFamiliesPhasesAndCounters) {
   EXPECT_NE(summary.find("study.apps_analyzed"), std::string::npos);
 }
 
+TEST(SnapshotTest, OpenMetricsExportFollowsExpositionFormat) {
+  MetricsRegistry registry;
+  registry.counter("tls.handshakes").Add(7);
+  registry.gauge("cache.scan.hits").Set(9);
+  registry.histogram("phase.static", {10.0, 100.0}).Record(5.0);
+  registry.histogram("phase.static", {10.0, 100.0}).Record(50.0);
+  const std::string text = WriteMetricsOpenMetrics(registry.Snapshot());
+
+  // Counter: sanitized name, _total suffix.
+  EXPECT_NE(text.find("# TYPE pinscope_tls_handshakes counter\n"
+                      "pinscope_tls_handshakes_total 7\n"),
+            std::string::npos);
+  // Gauge: sanitized name, bare value.
+  EXPECT_NE(text.find("# TYPE pinscope_cache_scan_hits gauge\n"
+                      "pinscope_cache_scan_hits 9\n"),
+            std::string::npos);
+  // Histogram: cumulative buckets plus the implicit +Inf, then sum/count.
+  EXPECT_NE(text.find("# TYPE pinscope_phase_static histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("pinscope_phase_static_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pinscope_phase_static_bucket{le=\"100\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pinscope_phase_static_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pinscope_phase_static_sum 55\n"), std::string::npos);
+  EXPECT_NE(text.find("pinscope_phase_static_count 2\n"), std::string::npos);
+  // The document terminator is last.
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
 }  // namespace
 }  // namespace pinscope::obs

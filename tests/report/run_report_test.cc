@@ -1,0 +1,176 @@
+// Run-report generator unit suite: attribution derivation from journal
+// events, Markdown/JSON rendering, and the companion-path rule.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "report/run_report.h"
+
+namespace pinscope::report {
+namespace {
+
+obs::LogEvent Event(std::string platform, std::string app, std::string name,
+                    std::vector<obs::LogField> fields = {}) {
+  obs::LogEvent e;
+  e.platform = std::move(platform);
+  e.app_id = std::move(app);
+  e.name = std::move(name);
+  e.fields = std::move(fields);
+  return e;
+}
+
+TEST(AttributionTest, DerivesReasonsFromMatchingEventsOnly) {
+  AppVerdict v;
+  v.platform = "android";
+  v.app_id = "com.app.a";
+
+  std::vector<obs::LogEvent> events;
+  events.push_back(Event("android", "com.app.a", "static.pin_found"));
+  events.push_back(Event("android", "com.app.a", "static.pin_found"));
+  events.push_back(Event("android", "com.app.a", "static.cert_found"));
+  events.push_back(Event("android", "com.app.a", "nsc.pin_set",
+                         {{"domain", obs::LogValue("api.a.com")},
+                          {"source", obs::LogValue("res/xml/nsc.xml")}}));
+  events.push_back(Event("android", "com.app.a", "dynamic.divergence",
+                         {{"host", obs::LogValue("api.a.com")},
+                          {"pinned", obs::LogValue(true)},
+                          {"rationale", obs::LogValue("every intercepted "
+                                                      "connection failed")}}));
+  // Noise that must not attribute: other app, unpinned divergence.
+  events.push_back(Event("android", "com.app.b", "static.pin_found"));
+  events.push_back(Event("android", "com.app.a", "dynamic.divergence",
+                         {{"host", obs::LogValue("cdn.b.net")},
+                          {"pinned", obs::LogValue(false)},
+                          {"rationale", obs::LogValue("not used")}}));
+
+  const std::vector<std::string> reasons = AttributionFor(v, events);
+  ASSERT_EQ(reasons.size(), 4u);
+  // Aggregated scanner lines come first.
+  EXPECT_EQ(reasons[0], "1 embedded certificate");
+  EXPECT_EQ(reasons[1], "2 embedded pin strings");
+  EXPECT_EQ(reasons[2], "NSC pin-set for api.a.com (res/xml/nsc.xml)");
+  EXPECT_EQ(reasons[3],
+            "dynamic divergence at api.a.com: every intercepted connection "
+            "failed");
+}
+
+TEST(AttributionTest, CircumventionAndAtsAttribute) {
+  AppVerdict v;
+  v.platform = "ios";
+  v.app_id = "com.app.ios";
+  std::vector<obs::LogEvent> events;
+  events.push_back(Event("ios", "com.app.ios", "ats.pinned_domain",
+                         {{"domain", obs::LogValue("api.ios.com")},
+                          {"source", obs::LogValue("Info.plist")}}));
+  events.push_back(Event("ios", "com.app.ios", "frida.circumvented",
+                         {{"host", obs::LogValue("api.ios.com")}}));
+  const std::vector<std::string> reasons = AttributionFor(v, events);
+  ASSERT_EQ(reasons.size(), 2u);
+  EXPECT_EQ(reasons[0], "ATS pinned domain api.ios.com (Info.plist)");
+  EXPECT_EQ(reasons[1], "circumvented via instrumentation at api.ios.com");
+}
+
+TEST(RunReportTest, MarkdownCarriesVerdictTableCachesPhasesAndJournal) {
+  RunReportInput input;
+  AppVerdict pins;
+  pins.platform = "android";
+  pins.app_id = "com.app.pins";
+  pins.pins_at_runtime = true;
+  pins.config_pinning = true;
+  pins.pinned_hosts = {"api.pins.com"};
+  AppVerdict none;
+  none.platform = "ios";
+  none.app_id = "com.app.none";
+  input.verdicts = {pins, none};
+
+  std::vector<obs::LogEvent> events;
+  events.push_back(Event("android", "com.app.pins", "nsc.pin_set",
+                         {{"domain", obs::LogValue("api.pins.com")},
+                          {"source", obs::LogValue("nsc.xml")}}));
+  input.events = &events;
+
+  obs::MetricsRegistry registry;
+  registry.gauge("cache.scan.lookups").Set(10);
+  registry.gauge("cache.scan.hits").Set(4);
+  registry.gauge("cache.scan.entries").Set(6);
+  registry.histogram("phase.static", {1e9}).Record(2'000.0);
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  input.metrics = &snapshot;
+
+  const std::string md = WriteRunReportMarkdown(input);
+  EXPECT_NE(md.find("# pinscope run report"), std::string::npos);
+  EXPECT_NE(md.find("- apps analyzed: 2 (android 1, ios 1)"),
+            std::string::npos);
+  EXPECT_NE(md.find("| app | platform | verdict | attributing evidence |"),
+            std::string::npos);
+  EXPECT_NE(md.find("| com.app.pins | android | PINS +config | "
+                    "NSC pin-set for api.pins.com (nsc.xml) |"),
+            std::string::npos);
+  // The no-verdict app renders with a "-" evidence cell, not an empty one.
+  EXPECT_NE(md.find("| com.app.none | ios | no pinning | - |"),
+            std::string::npos);
+  EXPECT_NE(md.find("## Caches"), std::string::npos);
+  EXPECT_NE(md.find("| scan | 10 | 4 | 6 |"), std::string::npos);
+  EXPECT_NE(md.find("## Phases (wall time)"), std::string::npos);
+  EXPECT_NE(md.find("| static | 1 | 2.00 | 2.00 |"), std::string::npos);
+  EXPECT_NE(md.find("## Journal"), std::string::npos);
+  EXPECT_NE(md.find("- events recorded: 1"), std::string::npos);
+  EXPECT_NE(md.find("  - nsc.pin_set: 1"), std::string::npos);
+}
+
+TEST(RunReportTest, MarkdownOmitsAbsentSections) {
+  RunReportInput input;
+  AppVerdict v;
+  v.platform = "android";
+  v.app_id = "com.app.solo";
+  input.verdicts = {v};
+  const std::string md = WriteRunReportMarkdown(input);
+  EXPECT_NE(md.find("## Verdict attribution"), std::string::npos);
+  EXPECT_EQ(md.find("## Caches"), std::string::npos);
+  EXPECT_EQ(md.find("## Phases"), std::string::npos);
+  EXPECT_EQ(md.find("## Journal"), std::string::npos);
+}
+
+TEST(RunReportTest, JsonCarriesVerdictsAttributionAndJournalRollup) {
+  RunReportInput input;
+  AppVerdict v;
+  v.platform = "android";
+  v.app_id = "com.app.pins";
+  v.pins_at_runtime = true;
+  v.pinned_hosts = {"api.pins.com"};
+  input.verdicts = {v};
+
+  std::vector<obs::LogEvent> events;
+  events.push_back(Event("android", "com.app.pins", "dynamic.divergence",
+                         {{"host", obs::LogValue("api.pins.com")},
+                          {"pinned", obs::LogValue(true)},
+                          {"rationale", obs::LogValue("all failed")}}));
+  events.push_back(Event("android", "com.app.pins", "mitm.intercept"));
+  input.events = &events;
+
+  const std::string json = WriteRunReportJson(input);
+  EXPECT_NE(json.find("\"app_id\":\"com.app.pins\""), std::string::npos);
+  EXPECT_NE(json.find("\"pins_at_runtime\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"pinned_hosts\":[\"api.pins.com\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("dynamic divergence at api.pins.com: all failed"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"journal\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"dynamic.divergence\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"mitm.intercept\":1"), std::string::npos);
+}
+
+TEST(RunReportTest, JsonPathSwapsMarkdownExtension) {
+  EXPECT_EQ(ReportJsonPathFor("report.md"), "report.json");
+  EXPECT_EQ(ReportJsonPathFor("out/run.md"), "out/run.json");
+  EXPECT_EQ(ReportJsonPathFor("report.txt"), "report.txt.json");
+  EXPECT_EQ(ReportJsonPathFor("report"), "report.json");
+  EXPECT_EQ(ReportJsonPathFor(".md"), ".json");
+}
+
+}  // namespace
+}  // namespace pinscope::report

@@ -17,11 +17,13 @@
 #include <string>
 #include <vector>
 
+#include "cli/cli_options.h"
 #include "core/analyses.h"
 #include "core/export.h"
 #include "core/study.h"
 #include "dynamicanalysis/pipeline.h"
 #include "obs/obs.h"
+#include "report/run_report.h"
 #include "report/table.h"
 #include "staticanalysis/static_report.h"
 #include "store/generator.h"
@@ -30,21 +32,7 @@
 namespace {
 
 using namespace pinscope;
-
-struct CliOptions {
-  std::string command;
-  std::vector<std::string> positional;
-  double scale = 0.1;
-  std::uint64_t seed = 42;
-  int threads = 0;  // 0 = hardware concurrency
-  bool scan_cache = true;
-  bool sim_cache = true;
-  bool summary = true;
-  std::string json_path;
-  std::string csv_path;
-  std::string metrics_path;
-  std::string trace_path;
-};
+using cli::CliOptions;
 
 core::StudyOptions StudyOptionsFor(const CliOptions& opts,
                                    obs::Observer* observer) {
@@ -59,14 +47,19 @@ core::StudyOptions StudyOptionsFor(const CliOptions& opts,
   return sopts;
 }
 
-/// Prints the --summary table and writes --metrics-out / --trace-out files.
+/// Prints the --summary table and writes --metrics-out / --trace-out /
+/// --log-out files. A `.prom` metrics path selects the OpenMetrics text
+/// format instead of JSON.
 void EmitObservability(const obs::Observer& observer, const CliOptions& opts) {
   const obs::MetricsSnapshot snapshot = observer.metrics().Snapshot();
   if (opts.summary) std::printf("%s", obs::RenderSummary(snapshot).c_str());
   if (!opts.metrics_path.empty()) {
+    const bool open_metrics = util::EndsWith(opts.metrics_path, ".prom");
     std::ofstream out(opts.metrics_path);
-    out << obs::WriteMetricsJson(snapshot);
-    std::printf("wrote metrics JSON to %s\n", opts.metrics_path.c_str());
+    out << (open_metrics ? obs::WriteMetricsOpenMetrics(snapshot)
+                         : obs::WriteMetricsJson(snapshot));
+    std::printf("wrote metrics %s to %s\n", open_metrics ? "OpenMetrics" : "JSON",
+                opts.metrics_path.c_str());
   }
   if (!opts.trace_path.empty()) {
     std::ofstream out(opts.trace_path);
@@ -74,6 +67,39 @@ void EmitObservability(const obs::Observer& observer, const CliOptions& opts) {
     std::printf("wrote Chrome trace (%zu events) to %s\n",
                 observer.trace().EventCount(), opts.trace_path.c_str());
   }
+  if (!opts.log_path.empty() && observer.log() != nullptr) {
+    std::ofstream out(opts.log_path);
+    out << observer.log()->ToJsonl();
+    std::printf("wrote decision journal (%zu events) to %s\n",
+                observer.log()->EventCount(), opts.log_path.c_str());
+  }
+}
+
+/// Writes the --report-out run report (Markdown plus a JSON companion next
+/// to it) from the study's verdicts, the metrics snapshot, and the journal.
+void EmitRunReport(const core::Study& study, const obs::Observer& observer,
+                   const CliOptions& opts) {
+  if (opts.report_path.empty()) return;
+  const std::vector<report::AppVerdict> verdicts =
+      core::CollectAppVerdicts(study);
+  const obs::MetricsSnapshot snapshot = observer.metrics().Snapshot();
+  std::vector<obs::LogEvent> events;
+  if (observer.log() != nullptr) events = observer.log()->SortedEvents();
+  report::RunReportInput input;
+  input.verdicts = verdicts;
+  input.metrics = &snapshot;
+  input.events = &events;
+  {
+    std::ofstream out(opts.report_path);
+    out << report::WriteRunReportMarkdown(input);
+  }
+  const std::string json_path = report::ReportJsonPathFor(opts.report_path);
+  {
+    std::ofstream out(json_path);
+    out << report::WriteRunReportJson(input);
+  }
+  std::printf("wrote run report to %s (and %s)\n", opts.report_path.c_str(),
+              json_path.c_str());
 }
 
 int Usage() {
@@ -102,124 +128,23 @@ int Usage() {
       "  --csv FILE          (study) export per-destination rows as CSV\n"
       "  --metrics-out FILE  (study/tables) write pipeline metrics — counters,\n"
       "                      cache hit-rate gauges, per-phase histograms — as\n"
-      "                      JSON (see DESIGN.md §11)\n"
+      "                      JSON, or as OpenMetrics/Prometheus text format\n"
+      "                      when FILE ends in .prom (see DESIGN.md §11)\n"
       "  --trace-out FILE    (study/tables) write a Chrome trace_event JSON of\n"
       "                      study/app/phase spans; open in chrome://tracing\n"
       "                      or https://ui.perfetto.dev\n"
+      "  --log-out FILE      (study/tables) write the deterministic decision\n"
+      "                      journal as JSON Lines; byte-identical for every\n"
+      "                      --threads value (see DESIGN.md §12)\n"
+      "  --log-level LEVEL   journal severity floor: debug|info|decision|warn|\n"
+      "                      error (default info); filtering never reorders\n"
+      "                      surviving events\n"
+      "  --report-out FILE   (study/tables) write a Markdown run report with a\n"
+      "                      per-app verdict-attribution table (a .json twin is\n"
+      "                      written next to it)\n"
       "  --summary=on|off    end-of-run cache/phase/counter summary table\n"
       "                      (default on)\n");
   return 2;
-}
-
-std::optional<CliOptions> ParseArgs(int argc, char** argv) {
-  if (argc < 2) return std::nullopt;
-  CliOptions opts;
-  opts.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::optional<std::string> {
-      if (i + 1 >= argc) return std::nullopt;
-      return std::string(argv[++i]);
-    };
-    if (arg == "--scale") {
-      const auto v = next();
-      if (!v) return std::nullopt;
-      opts.scale = std::atof(v->c_str());
-      if (opts.scale <= 0.0 || opts.scale > 1.0) return std::nullopt;
-    } else if (arg == "--seed") {
-      const auto v = next();
-      if (!v) return std::nullopt;
-      opts.seed = std::strtoull(v->c_str(), nullptr, 10);
-    } else if (arg == "--threads") {
-      const auto v = next();
-      if (!v) return std::nullopt;
-      opts.threads = std::atoi(v->c_str());
-      if (opts.threads < 0) return std::nullopt;
-    } else if (arg == "--scan-cache" || util::StartsWith(arg, "--scan-cache=")) {
-      std::string v;
-      if (arg == "--scan-cache") {
-        const auto n = next();
-        if (!n) return std::nullopt;
-        v = *n;
-      } else {
-        v = arg.substr(std::string("--scan-cache=").size());
-      }
-      if (v == "on") {
-        opts.scan_cache = true;
-      } else if (v == "off") {
-        opts.scan_cache = false;
-      } else {
-        std::fprintf(stderr, "--scan-cache expects on|off, got '%s'\n", v.c_str());
-        return std::nullopt;
-      }
-    } else if (arg == "--sim-cache" || util::StartsWith(arg, "--sim-cache=")) {
-      std::string v;
-      if (arg == "--sim-cache") {
-        const auto n = next();
-        if (!n) return std::nullopt;
-        v = *n;
-      } else {
-        v = arg.substr(std::string("--sim-cache=").size());
-      }
-      if (v == "on") {
-        opts.sim_cache = true;
-      } else if (v == "off") {
-        opts.sim_cache = false;
-      } else {
-        std::fprintf(stderr, "--sim-cache expects on|off, got '%s'\n", v.c_str());
-        return std::nullopt;
-      }
-    } else if (arg == "--summary" || util::StartsWith(arg, "--summary=")) {
-      std::string v;
-      if (arg == "--summary") {
-        const auto n = next();
-        if (!n) return std::nullopt;
-        v = *n;
-      } else {
-        v = arg.substr(std::string("--summary=").size());
-      }
-      if (v == "on") {
-        opts.summary = true;
-      } else if (v == "off") {
-        opts.summary = false;
-      } else {
-        std::fprintf(stderr, "--summary expects on|off, got '%s'\n", v.c_str());
-        return std::nullopt;
-      }
-    } else if (arg == "--json") {
-      const auto v = next();
-      if (!v) return std::nullopt;
-      opts.json_path = *v;
-    } else if (arg == "--csv") {
-      const auto v = next();
-      if (!v) return std::nullopt;
-      opts.csv_path = *v;
-    } else if (arg == "--metrics-out" || util::StartsWith(arg, "--metrics-out=")) {
-      if (arg == "--metrics-out") {
-        const auto v = next();
-        if (!v) return std::nullopt;
-        opts.metrics_path = *v;
-      } else {
-        opts.metrics_path = arg.substr(std::string("--metrics-out=").size());
-      }
-      if (opts.metrics_path.empty()) return std::nullopt;
-    } else if (arg == "--trace-out" || util::StartsWith(arg, "--trace-out=")) {
-      if (arg == "--trace-out") {
-        const auto v = next();
-        if (!v) return std::nullopt;
-        opts.trace_path = *v;
-      } else {
-        opts.trace_path = arg.substr(std::string("--trace-out=").size());
-      }
-      if (opts.trace_path.empty()) return std::nullopt;
-    } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      return std::nullopt;
-    } else {
-      opts.positional.push_back(arg);
-    }
-  }
-  return opts;
 }
 
 store::Ecosystem Generate(const CliOptions& opts) {
@@ -272,6 +197,11 @@ void ExportCsv(const core::Study& study, const std::string& path) {
 int CmdStudy(const CliOptions& opts) {
   const store::Ecosystem eco = Generate(opts);
   obs::Observer observer;
+  std::optional<obs::EventLog> log;
+  if (!opts.log_path.empty() || !opts.report_path.empty()) {
+    log.emplace(opts.log_level);
+    observer.set_log(&*log);
+  }
   core::Study study(eco, StudyOptionsFor(opts, &observer));
   std::fprintf(stderr, "[pinscope] running measurement pipeline\n");
   study.Run();
@@ -301,6 +231,7 @@ int CmdStudy(const CliOptions& opts) {
   // Cache hit-rates, phase timings, and pipeline counters all come from the
   // unified registry now (the caches publish gauges when Run() finishes).
   EmitObservability(observer, opts);
+  EmitRunReport(study, observer, opts);
 
   if (!opts.json_path.empty()) ExportJson(study, opts.json_path);
   if (!opts.csv_path.empty()) ExportCsv(study, opts.csv_path);
@@ -354,6 +285,11 @@ int CmdAudit(const CliOptions& opts) {
 int CmdTables(const CliOptions& opts) {
   const store::Ecosystem eco = Generate(opts);
   obs::Observer observer;
+  std::optional<obs::EventLog> log;
+  if (!opts.log_path.empty() || !opts.report_path.empty()) {
+    log.emplace(opts.log_level);
+    observer.set_log(&*log);
+  }
   core::Study study(eco, StudyOptionsFor(opts, &observer));
   study.Run();
 
@@ -386,13 +322,14 @@ int CmdTables(const CliOptions& opts) {
                 pki.default_pki, pki.custom_pki, pki.unavailable, pki.self_signed);
   }
   EmitObservability(observer, opts);
+  EmitRunReport(study, observer, opts);
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opts = ParseArgs(argc, argv);
+  const auto opts = cli::ParseArgs(argc, argv);
   if (!opts.has_value() || opts->command == "help") return Usage();
   try {
     if (opts->command == "generate") return CmdGenerate(*opts);
