@@ -7,15 +7,24 @@
 // chain-validation memo), and writes the results as machine-readable JSON
 // to BENCH_dynamic.json so CI can track the speedup over time.
 //
+// A second dimension compares the two study schedulers (DESIGN.md §13):
+// one full Study per scheduler over the same corpus — the phase-barrier
+// fan-out against the barrier-free per-app pipeline — reporting wall
+// milliseconds each plus the pipeline's peak ready-queue depth, with a
+// byte-equality guard on the exports (the schedulers must agree exactly).
+//
 // Knobs: PINSCOPE_BENCH_SCALE_PCT (ecosystem scale in percent, default 5),
 //        PINSCOPE_BENCH_REPS (timed repetitions, default 5; best rep wins).
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "bench_json.h"
+#include "core/export.h"
+#include "core/study.h"
 #include "dynamicanalysis/pipeline.h"
 #include "dynamicanalysis/sim_fixtures.h"
 #include "obs/obs.h"
@@ -83,6 +92,23 @@ double TimedPass(const store::Ecosystem& eco, bool use_fixtures,
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
 
+/// One full Study under `scheduler`; returns wall milliseconds and leaves
+/// the CSV export (the equality guard) in `csv_out`.
+double TimedStudy(const store::Ecosystem& eco, core::SchedulerKind scheduler,
+                  std::string* csv_out, obs::Observer* observer) {
+  core::StudyOptions opts;
+  opts.scheduler = scheduler;
+  opts.threads = 0;  // hardware concurrency
+  opts.dynamic.parallel_phases = true;
+  opts.observer = observer;
+  core::Study study(eco, opts);
+  const auto start = std::chrono::steady_clock::now();
+  study.Run();
+  const auto end = std::chrono::steady_clock::now();
+  *csv_out = core::ExportStudyCsv(study);
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
 }  // namespace
 
 int main() {
@@ -128,8 +154,36 @@ int main() {
     }
   }
 
+  // Scheduler dimension: full studies, phase-barrier vs pipelined.
+  double best_phases = 0.0, best_pipeline = 0.0;
+  std::uint64_t peak_depth = 0;
+  for (int r = 0; r < reps; ++r) {
+    std::string phases_csv, pipeline_csv;
+    const double phases_ms =
+        TimedStudy(eco, core::SchedulerKind::kPhases, &phases_csv, nullptr);
+    obs::Observer sched_observer;
+    const double pipeline_ms = TimedStudy(eco, core::SchedulerKind::kPipeline,
+                                          &pipeline_csv, &sched_observer);
+    if (r == 0 || phases_ms < best_phases) best_phases = phases_ms;
+    if (r == 0 || pipeline_ms < best_pipeline) {
+      best_pipeline = pipeline_ms;
+      const obs::MetricsSnapshot snap = sched_observer.metrics().Snapshot();
+      const auto it = snap.gauges.find("sched.queue_peak_depth");
+      peak_depth = it == snap.gauges.end() ? 0 : it->second;
+    }
+    std::fprintf(stderr,
+                 "[pinscope] rep %d: scheduler phases %.2f ms, pipeline %.2f ms\n",
+                 r + 1, phases_ms, pipeline_ms);
+    if (phases_csv != pipeline_csv) {
+      std::fprintf(stderr, "FATAL: schedulers disagree on exported bytes\n");
+      return 1;
+    }
+  }
+  const double sched_speedup =
+      best_pipeline > 0.0 ? best_phases / best_pipeline : 0.0;
+
   const double speedup = best_on > 0.0 ? best_off / best_on : 0.0;
-  char json[1280];
+  char json[2048];
   std::snprintf(
       json, sizeof(json),
       "{\n"
@@ -143,12 +197,15 @@ int main() {
       "  \"forged_leaf_cache\": {\"lookups\": %zu, \"hits\": %zu, \"misses\": %zu,\n"
       "                        \"entries\": %zu, \"hit_rate\": %.4f},\n"
       "  \"validation_cache\": {\"lookups\": %zu, \"hits\": %zu, \"misses\": %zu,\n"
-      "                       \"entries\": %zu, \"hit_rate\": %.4f},\n",
+      "                       \"entries\": %zu, \"hit_rate\": %.4f},\n"
+      "  \"scheduler\": {\"phases_ms\": %.3f, \"pipeline_ms\": %.3f,\n"
+      "                \"speedup\": %.2f, \"queue_peak_depth\": %llu},\n",
       on_result.apps, on_result.destinations, scale_pct, reps, best_off,
       best_on, speedup, on_result.pinned, forged.lookups, forged.hits,
       forged.misses, forged.entries, forged.HitRate(), validation.lookups,
       validation.hits, validation.misses, validation.entries,
-      validation.HitRate());
+      validation.HitRate(), best_phases, best_pipeline, sched_speedup,
+      static_cast<unsigned long long>(peak_depth));
 
   return bench::WriteBenchJsonWithPhases("BENCH_dynamic.json", json,
                                          observer.metrics().Snapshot());

@@ -32,26 +32,20 @@ std::map<std::size_t, AppResult> MergeByIndex(std::vector<AppResult> results) {
   return out;
 }
 
-AppResult Study::AnalyzeApp(appmodel::Platform p, std::size_t index) const {
-  AppResult r;
-  r.universe_index = index;
-  r.app = &eco_->apps(p)[index];
-
+void Study::RunStaticStage(AppResult& r) const {
   obs::Observer* observer = options_.observer;
-  obs::MetricsRegistry* metrics = obs::MetricsOf(observer);
-  const obs::Span app_span =
-      obs::SpanFor(observer, r.app->meta.app_id, "app",
-                   {{"platform", std::string(appmodel::PlatformName(p))}});
-
   staticanalysis::StaticAnalysisOptions static_opts;
   static_opts.ct_log = &eco_->ct_log();
   static_opts.scan_cache = scan_cache_.get();
   static_opts.observer = observer;
-  {
-    obs::ScopedTimer timer(obs::HistogramOrNull(metrics, "phase.static"));
-    r.static_report = staticanalysis::AnalyzeStatically(*r.app, static_opts);
-  }
+  obs::ScopedTimer timer(
+      obs::HistogramOrNull(obs::MetricsOf(observer), "phase.static"));
+  r.static_report = staticanalysis::AnalyzeStatically(*r.app, static_opts);
+}
 
+void Study::RunDynamicStage(AppResult& r) const {
+  const appmodel::Platform p = r.app->meta.platform;
+  obs::Observer* observer = options_.observer;
   dynamicanalysis::DynamicOptions dyn = options_.dynamic;
   dyn.fixtures = sim_fixtures_.get();
   dyn.observer = observer;
@@ -60,7 +54,7 @@ AppResult Study::AnalyzeApp(appmodel::Platform p, std::size_t index) const {
     const store::Dataset& common =
         eco_->dataset(store::DatasetId::kCommon, appmodel::Platform::kIos);
     for (std::size_t idx : common.app_indices) {
-      if (idx == index) {
+      if (idx == r.universe_index) {
         dyn.settle_seconds = options_.common_ios_settle_seconds;
         break;
       }
@@ -68,12 +62,30 @@ AppResult Study::AnalyzeApp(appmodel::Platform p, std::size_t index) const {
   }
   // The pipeline derives its RNG from dyn.seed + the app id, so this call is
   // self-contained: no draw here can perturb (or race with) any other app.
-  {
-    obs::ScopedTimer timer(obs::HistogramOrNull(metrics, "phase.dynamic"));
-    r.dynamic_report =
-        dynamicanalysis::RunDynamicAnalysis(*r.app, eco_->world(), dyn);
-  }
-  obs::CounterOrNull(metrics, "study.apps_analyzed").Increment();
+  obs::ScopedTimer timer(
+      obs::HistogramOrNull(obs::MetricsOf(observer), "phase.dynamic"));
+  r.dynamic_report =
+      dynamicanalysis::RunDynamicAnalysis(*r.app, eco_->world(), dyn);
+}
+
+void Study::FinishApp(const AppResult& r) const {
+  obs::CounterOrNull(obs::MetricsOf(options_.observer), "study.apps_analyzed")
+      .Increment();
+  if (options_.on_result) options_.on_result(r);
+}
+
+AppResult Study::AnalyzeApp(appmodel::Platform p, std::size_t index) const {
+  AppResult r;
+  r.universe_index = index;
+  r.app = &eco_->apps(p)[index];
+
+  const obs::Span app_span =
+      obs::SpanFor(options_.observer, r.app->meta.app_id, "app",
+                   {{"platform", std::string(appmodel::PlatformName(p))}});
+  RunStaticStage(r);
+  RunDynamicStage(r);
+  obs::CounterOrNull(obs::MetricsOf(options_.observer), "study.apps_analyzed")
+      .Increment();
   return r;
 }
 
@@ -97,9 +109,20 @@ void Study::Run() {
       obs::HistogramOrNull(obs::MetricsOf(options_.observer), "phase.study"));
 
   // Study-level journal scope: empty platform/app sort it ahead of every
-  // per-app event. Used only from this (single) thread.
+  // per-app event. Used only from this (single) thread. Both schedulers emit
+  // the same study-level events with the same sequence numbers, so journal
+  // bytes never depend on the scheduler.
   obs::EventScope study_log = obs::ScopeFor(options_.observer, "", "", "study");
 
+  if (options_.scheduler == SchedulerKind::kPipeline) {
+    RunPipelined(study_log);
+  } else {
+    RunPhased(study_log);
+  }
+  PublishCacheStats();
+}
+
+void Study::RunPhased(obs::EventScope& study_log) {
   util::ParallelOptions par;
   par.threads = options_.threads;
   par.trace = obs::TraceOf(options_.observer);
@@ -119,9 +142,11 @@ void Study::Run() {
 
     auto& results = android ? android_results_ : ios_results_;
     auto merged = MergeByIndex(std::move(computed));
+    if (options_.on_result) {
+      for (const auto& [_, r] : merged) options_.on_result(r);
+    }
     results.merge(merged);
   }
-  PublishCacheStats();
 }
 
 void Study::PublishCacheStats() const {

@@ -6,8 +6,11 @@
 // → PII inspection.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dynamicanalysis/pipeline.h"
@@ -17,6 +20,10 @@
 #include "staticanalysis/static_report.h"
 #include "store/generator.h"
 
+namespace pinscope::util {
+class SchedulerFaultPlan;
+}  // namespace pinscope::util
+
 namespace pinscope::core {
 
 /// Combined per-app result.
@@ -25,6 +32,25 @@ struct AppResult {
   const appmodel::App* app = nullptr;
   staticanalysis::StaticReport static_report;
   dynamicanalysis::DynamicReport dynamic_report;
+  /// Empty on success. Under the pipeline scheduler a stage failure is
+  /// recorded here ("<stage>: <message>") instead of aborting the study; the
+  /// app's remaining stages are skipped and its reports stay empty
+  /// (tests/core/sched_fault_test.cc). Always empty on the normal path.
+  std::string error;
+
+  [[nodiscard]] bool failed() const { return !error.empty(); }
+};
+
+/// How Run() schedules the per-app work.
+enum class SchedulerKind {
+  /// Corpus-wide fan-out per platform: all of a platform's apps run through
+  /// one ParallelMap barrier before the next platform starts. The original
+  /// scheduler, kept as the equivalence baseline.
+  kPhases,
+  /// Barrier-free per-app stage chains (static → dynamic → verdict) over
+  /// bounded MPMC work queues (core/pipeline_study.h): apps overlap across
+  /// stages and platforms, and results stream out as chains complete.
+  kPipeline,
 };
 
 /// Study configuration.
@@ -56,6 +82,28 @@ struct StudyOptions {
   /// observational: exports are byte-identical with or without an observer,
   /// at any thread count (DESIGN.md §11; `ctest -L obs`).
   obs::Observer* observer = nullptr;
+  /// Which scheduler Run() uses. Byte-identical exports, journal, and run
+  /// reports either way (`ctest -L sched`); kPhases is the measurement
+  /// baseline the equivalence suite compares against.
+  SchedulerKind scheduler = SchedulerKind::kPipeline;
+  /// Pipeline scheduler only: ready-queue capacity (0 = 2× the worker
+  /// count). A pure buffering/backpressure knob — results are identical for
+  /// every depth ≥ 1.
+  std::size_t queue_depth = 0;
+  /// Pipeline scheduler only: re-run a failed stage this many times before
+  /// recording the app's error verdict. Stage bodies overwrite their slot,
+  /// so a retried stage replays cleanly.
+  int stage_retries = 0;
+  /// Test-only fault injection for the pipeline scheduler (delays and
+  /// transient failures at stage entry, keyed by work-item index; see
+  /// util/pipeline_scheduler.h).
+  const util::SchedulerFaultPlan* fault_plan = nullptr;
+  /// Streaming hook: called once per app as its result is finalized. Under
+  /// the pipeline scheduler this fires in completion order from worker
+  /// threads (synchronize externally; the callback must not touch exports);
+  /// under the phase scheduler it fires in universe-index order after each
+  /// platform merges.
+  std::function<void(const AppResult&)> on_result;
 };
 
 /// Keys per-app results by universe index. Completion order is irrelevant:
@@ -74,12 +122,29 @@ class Study {
   /// options.threads != 1 the per-app work units run on a thread pool; the
   /// output is byte-identical to the serial run because every app derives
   /// its RNG streams from the study seed + app identity (DESIGN.md §8).
+  /// options.scheduler picks between the phase-barrier fan-out and the
+  /// barrier-free per-app pipeline (DESIGN.md §13) — also byte-identical.
   void Run();
 
   /// Analyzes one universe app, independent of any other app's state. This
   /// is the parallel work unit; it never touches the result caches.
   [[nodiscard]] AppResult AnalyzeApp(appmodel::Platform p,
                                      std::size_t index) const;
+
+  /// The static stage of one app's chain: fills result.static_report.
+  /// result.app must be set; touches nothing outside the result (plus the
+  /// internally-synchronized shared caches).
+  void RunStaticStage(AppResult& result) const;
+
+  /// The dynamic stage of one app's chain: fills result.dynamic_report
+  /// (including the §4.5 Common-iOS settle override). Same isolation
+  /// contract as RunStaticStage.
+  void RunDynamicStage(AppResult& result) const;
+
+  /// Universe indices of every dataset member of `p` not yet analyzed, each
+  /// once, in ascending order (the deterministic work list both schedulers
+  /// consume).
+  [[nodiscard]] std::vector<std::size_t> PendingIndices(appmodel::Platform p) const;
 
   [[nodiscard]] const store::Ecosystem& ecosystem() const { return *eco_; }
 
@@ -108,9 +173,18 @@ class Study {
   }
 
  private:
-  /// Universe indices of every dataset member of `p` not yet analyzed, each
-  /// once, in ascending order (the deterministic work list).
-  [[nodiscard]] std::vector<std::size_t> PendingIndices(appmodel::Platform p) const;
+  /// The original per-platform fan-out: one ParallelMap barrier per
+  /// platform.
+  void RunPhased(obs::EventScope& study_log);
+
+  /// Barrier-free per-app stage chains over util::RunPipeline (defined in
+  /// core/pipeline_study.cc).
+  void RunPipelined(obs::EventScope& study_log);
+
+  /// The pipeline scheduler's "verdict" stage: per-app counters plus the
+  /// on_result streaming hook. (The phase path counts inside AnalyzeApp and
+  /// streams after its merge, keeping metric totals identical.)
+  void FinishApp(const AppResult& result) const;
 
   /// Publishes the shared caches' counters as `cache.<family>.<field>`
   /// gauges on the observer's registry (no-op without one). Gauges, not

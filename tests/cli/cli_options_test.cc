@@ -25,6 +25,8 @@ TEST(ParseArgsTest, DefaultsMatchDocumentedHelp) {
   EXPECT_DOUBLE_EQ(opts->scale, 0.1);
   EXPECT_EQ(opts->seed, 42u);
   EXPECT_EQ(opts->threads, 0);
+  EXPECT_EQ(opts->scheduler, "pipeline");
+  EXPECT_EQ(opts->queue_depth, 0);
   EXPECT_TRUE(opts->scan_cache);
   EXPECT_TRUE(opts->sim_cache);
   EXPECT_TRUE(opts->summary);
@@ -84,6 +86,19 @@ TEST(ParseArgsTest, OnOffFlagsAcceptBothSpellings) {
   EXPECT_FALSE(eq->summary);
 }
 
+TEST(ParseArgsTest, SchedulerFlagsAcceptBothSpellings) {
+  const auto spaced =
+      Parse({"study", "--scheduler", "phases", "--queue-depth", "8"});
+  ASSERT_TRUE(spaced.has_value());
+  EXPECT_EQ(spaced->scheduler, "phases");
+  EXPECT_EQ(spaced->queue_depth, 8);
+
+  const auto eq = Parse({"study", "--scheduler=pipeline", "--queue-depth=0"});
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_EQ(eq->scheduler, "pipeline");
+  EXPECT_EQ(eq->queue_depth, 0);
+}
+
 TEST(ParseArgsTest, LogLevelAcceptsEverySeverity) {
   for (const char* level : {"debug", "info", "decision", "warn", "error"}) {
     SCOPED_TRACE(level);
@@ -102,6 +117,10 @@ TEST(ParseArgsTest, RejectsBadValues) {
   EXPECT_FALSE(Parse({"study", "--scan-cache", "maybe"}).has_value());
   EXPECT_FALSE(Parse({"study", "--summary=yes"}).has_value());
   EXPECT_FALSE(Parse({"study", "--threads", "-1"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--scheduler", "greedy"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--scheduler="}).has_value());
+  EXPECT_FALSE(Parse({"study", "--queue-depth", "-2"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--queue-depth", "lots"}).has_value());
   EXPECT_FALSE(Parse({"study", "--scale", "0"}).has_value());
   EXPECT_FALSE(Parse({"study", "--scale", "1.5"}).has_value());
 }

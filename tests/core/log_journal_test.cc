@@ -46,7 +46,7 @@ std::string JournalFor(const store::Ecosystem& eco, int threads,
 class LogJournalTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(LogJournalTest, JournalIsByteIdenticalAcrossThreadCounts) {
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(GetParam());
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(GetParam());
   const std::string reference = JournalFor(eco, 1, obs::Severity::kDebug);
   ASSERT_FALSE(reference.empty());
 
@@ -58,7 +58,7 @@ TEST_P(LogJournalTest, JournalIsByteIdenticalAcrossThreadCounts) {
 }
 
 TEST_P(LogJournalTest, AttachedJournalNeverChangesAnExportByte) {
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(GetParam());
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(GetParam());
 
   const Study detached = RunStudy(eco, 4, /*observer=*/nullptr);
   const std::string json = ExportStudyJson(detached);
@@ -74,7 +74,7 @@ TEST_P(LogJournalTest, AttachedJournalNeverChangesAnExportByte) {
 }
 
 TEST_P(LogJournalTest, EveryVerdictHasAttributingDecisionEvents) {
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(GetParam());
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(GetParam());
   obs::Observer observer;
   obs::EventLog log(obs::Severity::kDecision);
   observer.set_log(&log);
@@ -130,7 +130,7 @@ TEST_P(LogJournalTest, EveryVerdictHasAttributingDecisionEvents) {
 }
 
 TEST_P(LogJournalTest, SeverityFilterDropsWithoutReordering) {
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(GetParam());
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(GetParam());
   const std::string full = JournalFor(eco, 4, obs::Severity::kDebug);
   const std::string filtered = JournalFor(eco, 4, obs::Severity::kDecision);
   ASSERT_FALSE(filtered.empty());

@@ -54,7 +54,7 @@ std::vector<AppResult> AnalyzeAll(const Study& study,
 }
 
 TEST(MergeOrderTest, AnyCompletionPermutationYieldsIdenticalResults) {
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(11);
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(11);
   const Study study(eco);
 
   for (const Platform p : {Platform::kAndroid, Platform::kIos}) {
@@ -75,7 +75,7 @@ TEST(MergeOrderTest, AnyCompletionPermutationYieldsIdenticalResults) {
 }
 
 TEST(MergeOrderTest, MergedKeysAreSortedUniverseIndices) {
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(11);
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(11);
   const Study study(eco);
   std::vector<AppResult> results = AnalyzeAll(study, eco, Platform::kAndroid);
   const auto merged = MergeByIndex(std::move(results));
@@ -92,7 +92,7 @@ TEST(MergeOrderTest, MergedKeysAreSortedUniverseIndices) {
 }
 
 TEST(MergeOrderTest, DuplicateIndexIsRejected) {
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(11);
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(11);
   const Study study(eco);
   std::vector<AppResult> results = AnalyzeAll(study, eco, Platform::kAndroid);
   ASSERT_FALSE(results.empty());

@@ -36,7 +36,7 @@ Study RunStudy(const store::Ecosystem& eco, int threads,
 class ObsEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ObsEquivalenceTest, ObserverNeverChangesAnyExportByte) {
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(GetParam());
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(GetParam());
 
   const Study reference = RunStudy(eco, 1, /*observer=*/nullptr);
   const std::string json = ExportStudyJson(reference);
@@ -66,7 +66,7 @@ TEST_P(ObsEquivalenceTest, ObserverNeverChangesAnyExportByte) {
 }
 
 TEST_P(ObsEquivalenceTest, RunPublishesAllThreeCacheFamiliesAsGauges) {
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(GetParam());
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(GetParam());
   obs::Observer observer;
   const Study study = RunStudy(eco, 4, &observer);
   const obs::MetricsSnapshot snap = observer.metrics().Snapshot();
@@ -83,7 +83,7 @@ TEST_P(ObsEquivalenceTest, RunPublishesAllThreeCacheFamiliesAsGauges) {
               snap.gauges.at(prefix + "lookups"));
   }
 
-  // MiniCorpus apps share SDK chains, so the validation memo must be warm —
+  // The study corpus apps share SDK chains, so the validation memo must be warm —
   // the published hit-rate is real, not a zero numerator.
   EXPECT_GT(snap.gauges.at("cache.validation.hits"), 0u);
 
@@ -107,7 +107,7 @@ TEST_P(ObsEquivalenceTest, RunPublishesAllThreeCacheFamiliesAsGauges) {
 }
 
 TEST_P(ObsEquivalenceTest, TraceCoversStudyWorkersAndApps) {
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(GetParam());
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(GetParam());
   obs::Observer observer;
   (void)RunStudy(eco, 4, &observer);
 

@@ -73,7 +73,7 @@ void ExpectSameConsistency(const Study& serial, const Study& parallel) {
 class DeterminismEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DeterminismEquivalenceTest, ThreadCountNeverChangesAnyExportByte) {
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(GetParam());
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(GetParam());
 
   const Study serial = RunStudy(eco, 1);
   const std::string json = ExportStudyJson(serial);
@@ -99,7 +99,7 @@ TEST_P(DeterminismEquivalenceTest, RerunWithSameThreadsIsAlsoIdentical) {
   // Guards against nondeterminism *within* one configuration (e.g. a stray
   // draw from shared RNG state), which two-configuration comparison alone
   // would miss if both runs drifted identically.
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(GetParam());
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(GetParam());
   const Study first = RunStudy(eco, 4);
   const Study second = RunStudy(eco, 4);
   EXPECT_EQ(ExportStudyJson(first), ExportStudyJson(second));
@@ -114,7 +114,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismEquivalenceTest,
 
 TEST(ParallelStudyTest, ParallelPhasesAloneAreByteIdenticalToSerial) {
   // Isolates the pipeline's two-phase fan-out from the per-app fan-out.
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(3);
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(3);
   StudyOptions serial_opts;
   Study serial(eco, serial_opts);
   serial.Run();

@@ -28,7 +28,7 @@ Study RunStudy(const store::Ecosystem& eco, int threads, bool scan_cache) {
 class ScanCacheEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ScanCacheEquivalenceTest, CacheNeverChangesAnyExportByte) {
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(GetParam());
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(GetParam());
 
   const Study reference = RunStudy(eco, 1, /*scan_cache=*/false);
   EXPECT_EQ(reference.scan_cache(), nullptr);
@@ -53,7 +53,7 @@ TEST_P(ScanCacheEquivalenceTest, CacheNeverChangesAnyExportByte) {
     EXPECT_GT(stats.lookups, 0u);
     EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
     EXPECT_LE(stats.entries, stats.misses);
-    EXPECT_GT(stats.hits, 0u);  // MiniCorpus apps share SDK artifacts
+    EXPECT_GT(stats.hits, 0u);  // The study corpus apps share SDK artifacts
   }
 }
 
@@ -61,7 +61,7 @@ TEST_P(ScanCacheEquivalenceTest, CacheOffIsAlsoThreadCountInvariant) {
   // Closes the square: the parallel suite proves threads don't matter with
   // the default (cached) study; this proves the uncached study is equally
   // schedule-free, so the two knobs are independent.
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(GetParam());
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(GetParam());
   const Study serial = RunStudy(eco, 1, /*scan_cache=*/false);
   const Study parallel = RunStudy(eco, 4, /*scan_cache=*/false);
   EXPECT_EQ(ExportStudyJson(serial), ExportStudyJson(parallel));

@@ -29,7 +29,7 @@ Study RunStudy(const store::Ecosystem& eco, int threads, bool sim_cache) {
 class SimCacheEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SimCacheEquivalenceTest, FixturesNeverChangeAnyExportByte) {
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(GetParam());
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(GetParam());
 
   const Study reference = RunStudy(eco, 1, /*sim_cache=*/false);
   EXPECT_EQ(reference.sim_fixtures(), nullptr);
@@ -54,7 +54,7 @@ TEST_P(SimCacheEquivalenceTest, FixturesNeverChangeAnyExportByte) {
     EXPECT_GT(forged.lookups, 0u);
     EXPECT_EQ(forged.hits + forged.misses, forged.lookups);
     EXPECT_LE(forged.entries, forged.misses);
-    EXPECT_GT(forged.hits, 0u);  // MiniCorpus apps share destinations
+    EXPECT_GT(forged.hits, 0u);  // The study corpus apps share destinations
 
     const x509::ValidationCacheStats val =
         cached.sim_fixtures()->validation_cache_stats();
@@ -68,7 +68,7 @@ TEST_P(SimCacheEquivalenceTest, FixturesNeverChangeAnyExportByte) {
 TEST_P(SimCacheEquivalenceTest, FixturesOffIsAlsoThreadCountInvariant) {
   // Closes the square with the parallel suite: without fixtures the study is
   // equally schedule-free, so the two knobs are independent.
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(GetParam());
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(GetParam());
   const Study serial = RunStudy(eco, 1, /*sim_cache=*/false);
   const Study parallel = RunStudy(eco, 4, /*sim_cache=*/false);
   EXPECT_EQ(ExportStudyJson(serial), ExportStudyJson(parallel));
@@ -78,7 +78,7 @@ TEST_P(SimCacheEquivalenceTest, FixturesOffIsAlsoThreadCountInvariant) {
 TEST_P(SimCacheEquivalenceTest, BothCacheLayersComposeCleanly) {
   // Scan cache off + sim cache on, and vice versa, all match the all-off
   // reference: the two memo layers are orthogonal.
-  const store::Ecosystem& eco = pinscope::testing::MiniCorpus(GetParam());
+  const store::Ecosystem& eco = pinscope::testing::MakeStudyCorpus(GetParam());
 
   StudyOptions all_off;
   all_off.threads = 1;

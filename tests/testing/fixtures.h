@@ -3,8 +3,11 @@
 // of the corpus generator, so unit tests do not depend on calibration.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "appmodel/app.h"
 #include "appmodel/server_world.h"
@@ -13,25 +16,35 @@
 
 namespace pinscope::testing {
 
-/// Shared "mini-corpus": a generated ecosystem small enough for integration
-/// tests (≈16 apps spanning both platforms and all six datasets) yet built
-/// by the real calibrated generator. Cached per seed for the process
-/// lifetime so a suite of integration tests shares one generation instead
-/// of each regenerating an ecosystem. Not thread-safe to *populate*: call
-/// first from a single-threaded context (gtest runs tests serially).
-inline const store::Ecosystem& MiniCorpus(std::uint64_t seed = 7) {
-  static std::map<std::uint64_t, store::Ecosystem> cache;
-  auto it = cache.find(seed);
+/// The shared small-corpus builder every study-level suite uses: a generated
+/// ecosystem of roughly `n_apps` apps spanning both platforms and all six
+/// datasets, built by the real calibrated generator. Cached per (seed,
+/// n_apps) for the process lifetime so a suite shares one generation instead
+/// of each test regenerating an ecosystem. Not thread-safe to *populate*:
+/// call first from a single-threaded context (gtest runs tests serially).
+inline const store::Ecosystem& MakeStudyCorpus(std::uint64_t seed,
+                                               std::size_t n_apps = 16) {
+  static std::map<std::pair<std::uint64_t, std::size_t>, store::Ecosystem>
+      cache;
+  const auto key = std::make_pair(seed, n_apps);
+  auto it = cache.find(key);
   if (it == cache.end()) {
     store::EcosystemConfig config;
     config.seed = seed;
-    // ≈0.3% of the paper's corpus: 1-2 common pairs plus a few popular and
-    // random apps per platform — the smallest scale at which every dataset
-    // is still populated.
-    config.scale = 0.003;
-    it = cache.emplace(seed, store::Ecosystem::Generate(config)).first;
+    // The paper-scale corpus holds ≈5.3k apps, so scale ≈ n_apps / 5333.
+    // The default 16 reproduces the classic 0.3% mini corpus: 1-2 common
+    // pairs plus a few popular and random apps per platform — the smallest
+    // scale at which every dataset is still populated.
+    config.scale = static_cast<double>(n_apps) / 5333.0;
+    it = cache.emplace(key, store::Ecosystem::Generate(config)).first;
   }
   return it->second;
+}
+
+/// The classic 16-app mini corpus (kept as a named shorthand; see
+/// MakeStudyCorpus for the cache semantics).
+inline const store::Ecosystem& MiniCorpus(std::uint64_t seed = 7) {
+  return MakeStudyCorpus(seed, 16);
 }
 
 /// A world with a handful of servers an app under test can contact.
