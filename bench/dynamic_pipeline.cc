@@ -10,8 +10,15 @@
 // A second dimension compares the two study schedulers (DESIGN.md §13):
 // one full Study per scheduler over the same corpus — the phase-barrier
 // fan-out against the barrier-free per-app pipeline — reporting wall
-// milliseconds each plus the pipeline's peak ready-queue depth, with a
-// byte-equality guard on the exports (the schedulers must agree exactly).
+// milliseconds each plus the pipeline's peak ready-queue depth and queue
+// lock contention, with a byte-equality guard on the exports (the
+// schedulers must agree exactly). Both timed studies run WITHOUT an
+// observer (an attached observer journals every verdict, a cost that once
+// skewed this comparison); queue metrics come from one extra untimed
+// instrumented run. On machines with fewer than two hardware threads the
+// pipeline resolves to its inline serial path, where the ready queue never
+// exists: expect queue_peak_depth 0 and speedup ≈ 1.0 there — the
+// scheduler comparison is only meaningful at ≥2 cores.
 //
 // Knobs: PINSCOPE_BENCH_SCALE_PCT (ecosystem scale in percent, default 5),
 //        PINSCOPE_BENCH_REPS (timed repetitions, default 5; best rep wins).
@@ -19,8 +26,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <algorithm>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "bench_json.h"
 #include "core/export.h"
@@ -154,23 +163,18 @@ int main() {
     }
   }
 
-  // Scheduler dimension: full studies, phase-barrier vs pipelined.
+  // Scheduler dimension: full studies, phase-barrier vs pipelined. Both
+  // sides run observer-free so the timings compare schedulers, not
+  // instrumentation.
   double best_phases = 0.0, best_pipeline = 0.0;
-  std::uint64_t peak_depth = 0;
   for (int r = 0; r < reps; ++r) {
     std::string phases_csv, pipeline_csv;
     const double phases_ms =
         TimedStudy(eco, core::SchedulerKind::kPhases, &phases_csv, nullptr);
-    obs::Observer sched_observer;
     const double pipeline_ms = TimedStudy(eco, core::SchedulerKind::kPipeline,
-                                          &pipeline_csv, &sched_observer);
+                                          &pipeline_csv, nullptr);
     if (r == 0 || phases_ms < best_phases) best_phases = phases_ms;
-    if (r == 0 || pipeline_ms < best_pipeline) {
-      best_pipeline = pipeline_ms;
-      const obs::MetricsSnapshot snap = sched_observer.metrics().Snapshot();
-      const auto it = snap.gauges.find("sched.queue_peak_depth");
-      peak_depth = it == snap.gauges.end() ? 0 : it->second;
-    }
+    if (r == 0 || pipeline_ms < best_pipeline) best_pipeline = pipeline_ms;
     std::fprintf(stderr,
                  "[pinscope] rep %d: scheduler phases %.2f ms, pipeline %.2f ms\n",
                  r + 1, phases_ms, pipeline_ms);
@@ -181,6 +185,32 @@ int main() {
   }
   const double sched_speedup =
       best_pipeline > 0.0 ? best_phases / best_pipeline : 0.0;
+
+  // Untimed instrumented pipeline run: ready-queue high-water mark plus the
+  // queue-lock contention probe (obs/mutex.h). 0 / absent on single-core
+  // machines, where the scheduler's inline serial path never builds a queue.
+  std::uint64_t peak_depth = 0;
+  std::uint64_t queue_contended = 0;
+  double queue_wait_ms = 0.0;
+  {
+    obs::Observer sched_observer;
+    std::string instrumented_csv;
+    (void)TimedStudy(eco, core::SchedulerKind::kPipeline, &instrumented_csv,
+                     &sched_observer);
+    const obs::MetricsSnapshot snap = sched_observer.metrics().Snapshot();
+    if (const auto it = snap.gauges.find("sched.queue_peak_depth");
+        it != snap.gauges.end()) {
+      peak_depth = it->second;
+    }
+    if (const auto it = snap.counters.find("lock.sched.queue.contended");
+        it != snap.counters.end()) {
+      queue_contended = it->second;
+    }
+    if (const auto it = snap.histograms.find("lock.sched.queue.wait_us");
+        it != snap.histograms.end()) {
+      queue_wait_ms = it->second.sum / 1000.0;
+    }
+  }
 
   const double speedup = best_on > 0.0 ? best_off / best_on : 0.0;
   char json[2048];
@@ -199,13 +229,18 @@ int main() {
       "  \"validation_cache\": {\"lookups\": %zu, \"hits\": %zu, \"misses\": %zu,\n"
       "                       \"entries\": %zu, \"hit_rate\": %.4f},\n"
       "  \"scheduler\": {\"phases_ms\": %.3f, \"pipeline_ms\": %.3f,\n"
-      "                \"speedup\": %.2f, \"queue_peak_depth\": %llu},\n",
+      "                \"speedup\": %.2f, \"workers\": %u,\n"
+      "                \"queue_peak_depth\": %llu,\n"
+      "                \"queue_lock_contended\": %llu,\n"
+      "                \"queue_lock_wait_ms\": %.3f},\n",
       on_result.apps, on_result.destinations, scale_pct, reps, best_off,
       best_on, speedup, on_result.pinned, forged.lookups, forged.hits,
       forged.misses, forged.entries, forged.HitRate(), validation.lookups,
       validation.hits, validation.misses, validation.entries,
       validation.HitRate(), best_phases, best_pipeline, sched_speedup,
-      static_cast<unsigned long long>(peak_depth));
+      std::max(1u, std::thread::hardware_concurrency()),
+      static_cast<unsigned long long>(peak_depth),
+      static_cast<unsigned long long>(queue_contended), queue_wait_ms);
 
   return bench::WriteBenchJsonWithPhases("BENCH_dynamic.json", json,
                                          observer.metrics().Snapshot());

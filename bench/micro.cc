@@ -39,7 +39,7 @@ void BM_ChainValidation(benchmark::State& state) {
   const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.globaltrust");
   util::Rng rng(1);
   x509::IssueSpec spec;
-  spec.subject.common_name = "bench.example.com";
+  spec.subject.set_common_name("bench.example.com");
   spec.san_dns = {"bench.example.com"};
   spec.not_before = -util::kMillisPerDay;
   spec.not_after = util::kMillisPerYear;
@@ -56,7 +56,7 @@ void BM_HandshakeSimulation(benchmark::State& state) {
   const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.digisign");
   util::Rng rng(2);
   x509::IssueSpec spec;
-  spec.subject.common_name = "hs.example.com";
+  spec.subject.set_common_name("hs.example.com");
   spec.san_dns = {"hs.example.com"};
   spec.not_before = -util::kMillisPerDay;
   spec.not_after = util::kMillisPerYear;
@@ -79,7 +79,7 @@ void BM_MitmIntercept(benchmark::State& state) {
   const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.nimbus");
   util::Rng rng(3);
   x509::IssueSpec spec;
-  spec.subject.common_name = "mitm.example.com";
+  spec.subject.set_common_name("mitm.example.com");
   spec.san_dns = {"mitm.example.com"};
   spec.not_before = -util::kMillisPerDay;
   spec.not_after = util::kMillisPerYear;
@@ -149,7 +149,7 @@ std::vector<appmodel::PackageFiles> DuplicatedSdkCorpus(int apps) {
   std::string ca_bundle;
   for (int c = 0; c < 130; ++c) {
     x509::IssueSpec spec;
-    spec.subject.common_name = "Bundle Root CA " + std::to_string(c);
+    spec.subject.set_common_name("Bundle Root CA " + std::to_string(c));
     ca_bundle += x509::PemEncode(
         x509::CertificateIssuer::SelfSignedLeaf("bundle:" + std::to_string(c), spec));
   }
@@ -272,7 +272,7 @@ void BM_ResumedHandshake(benchmark::State& state) {
   const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.veridian");
   util::Rng rng(5);
   x509::IssueSpec spec;
-  spec.subject.common_name = "resume.bench.com";
+  spec.subject.set_common_name("resume.bench.com");
   spec.san_dns = {"resume.bench.com"};
   spec.not_before = -util::kMillisPerDay;
   spec.not_after = util::kMillisPerYear;
@@ -413,7 +413,7 @@ void BM_PinPolicyEvaluate(benchmark::State& state) {
   const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.meridian");
   util::Rng rng(7);
   x509::IssueSpec spec;
-  spec.subject.common_name = "pins.bench.com";
+  spec.subject.set_common_name("pins.bench.com");
   spec.san_dns = {"pins.bench.com"};
   const x509::CertificateChain chain = {ca.Issue(spec, rng), ca.certificate()};
   tls::PinPolicy policy;

@@ -6,6 +6,12 @@
 // as machine-readable JSON to BENCH_static_scan.json so CI can track the
 // speedup over time.
 //
+// A second dimension compares the content-scan inner loop itself: the same
+// uncached corpus pass with the SIMD multi-literal prefilter (one batched
+// sweep for the PEM marker + pin anchor, see staticanalysis/prefilter.h)
+// against the legacy per-pattern anchor sweep (PINSCOPE_NO_PREFILTER), with
+// a result-equality guard — the two scanners must find identical pins.
+//
 // Knobs: PINSCOPE_BENCH_APPS (corpus size, default 64),
 //        PINSCOPE_BENCH_REPS (timed repetitions, default 5; best rep wins).
 #include <chrono>
@@ -54,7 +60,7 @@ std::vector<appmodel::PackageFiles> DuplicatedSdkCorpus(int apps) {
   std::string ca_bundle;
   for (int c = 0; c < 130; ++c) {
     x509::IssueSpec spec;
-    spec.subject.common_name = "Bundle Root CA " + std::to_string(c);
+    spec.subject.set_common_name("Bundle Root CA " + std::to_string(c));
     ca_bundle += x509::PemEncode(
         x509::CertificateIssuer::SelfSignedLeaf("bundle:" + std::to_string(c), spec));
   }
@@ -117,14 +123,28 @@ int main() {
   }
 
   const staticanalysis::Scanner scanner;
-  std::size_t pins_off = 0, pins_on = 0;
-  double best_off = 0.0, best_on = 0.0;
+  // The legacy-sweep scanner for the prefilter dimension: the knob is read
+  // at construction, so scope it to this one object.
+  ::setenv("PINSCOPE_NO_PREFILTER", "1", 1);
+  const staticanalysis::Scanner legacy_scanner;
+  ::unsetenv("PINSCOPE_NO_PREFILTER");
+  if (!scanner.prefilter_enabled() || legacy_scanner.prefilter_enabled()) {
+    std::fprintf(stderr, "FATAL: prefilter knob wiring broken\n");
+    return 1;
+  }
+
+  std::size_t pins_off = 0, pins_on = 0, pins_legacy = 0;
+  double best_off = 0.0, best_on = 0.0, best_legacy = 0.0;
   staticanalysis::ScanCacheStats stats;
   // Per-phase wall-time histograms (one sample per rep), embedded into the
   // JSON below as the "phases" breakdown.
   obs::MetricsRegistry registry;
   for (int r = 0; r < reps; ++r) {
-    double off = 0.0, on = 0.0;
+    double off = 0.0, on = 0.0, legacy = 0.0;
+    {
+      obs::ScopedTimer timer(registry.histogram("phase.scan_legacy_sweep"));
+      legacy = TimedPass(legacy_scanner, corpus, nullptr, &pins_legacy);
+    }
     {
       obs::ScopedTimer timer(registry.histogram("phase.scan_uncached"));
       off = TimedPass(scanner, corpus, nullptr, &pins_off);
@@ -134,22 +154,29 @@ int main() {
       obs::ScopedTimer timer(registry.histogram("phase.scan_cached"));
       on = TimedPass(scanner, corpus, &cache, &pins_on);
     }
+    if (r == 0 || legacy < best_legacy) best_legacy = legacy;
     if (r == 0 || off < best_off) best_off = off;
     if (r == 0 || on < best_on) {
       best_on = on;
       stats = cache.Stats();
     }
-    std::fprintf(stderr, "[pinscope] rep %d: cache off %.2f ms, on %.2f ms\n",
-                 r + 1, off, on);
+    std::fprintf(stderr,
+                 "[pinscope] rep %d: legacy sweep %.2f ms, "
+                 "prefilter %.2f ms, cached %.2f ms\n",
+                 r + 1, legacy, off, on);
   }
-  if (pins_off != pins_on) {
-    std::fprintf(stderr, "FATAL: cache changed results (%zu vs %zu pins)\n",
-                 pins_off, pins_on);
+  if (pins_off != pins_on || pins_off != pins_legacy) {
+    std::fprintf(stderr,
+                 "FATAL: scan variants disagree (%zu prefilter, %zu cached, "
+                 "%zu legacy pins)\n",
+                 pins_off, pins_on, pins_legacy);
     return 1;
   }
 
   const double speedup = best_on > 0.0 ? best_off / best_on : 0.0;
-  char json[1024];
+  const double prefilter_speedup =
+      best_off > 0.0 ? best_legacy / best_off : 0.0;
+  char json[1536];
   std::snprintf(
       json, sizeof(json),
       "{\n"
@@ -160,10 +187,13 @@ int main() {
       "  \"cache_on_ms\": %.3f,\n"
       "  \"speedup\": %.2f,\n"
       "  \"pins_found\": %zu,\n"
+      "  \"prefilter\": {\"level\": \"%s\", \"legacy_sweep_ms\": %.3f,\n"
+      "                \"prefilter_ms\": %.3f, \"speedup\": %.2f},\n"
       "  \"cache\": {\"lookups\": %zu, \"hits\": %zu, \"misses\": %zu,\n"
       "            \"entries\": %zu, \"bytes_deduped\": %zu, \"hit_rate\": %.4f},\n",
       apps, total_files, total_bytes, reps, best_off, best_on, speedup, pins_on,
-      stats.lookups, stats.hits, stats.misses, stats.entries,
+      scanner.prefilter().level_name(), best_legacy, best_off,
+      prefilter_speedup, stats.lookups, stats.hits, stats.misses, stats.entries,
       stats.bytes_deduped, stats.HitRate());
 
   return bench::WriteBenchJsonWithPhases("BENCH_static_scan.json", json,

@@ -55,8 +55,9 @@ int main() {
               sreport.scan.certificates.size(), sreport.pins_total,
               sreport.pins_resolved);
   for (const auto& cert : sreport.scan.certificates) {
-    std::printf("         cert '%s' at %s\n",
-                cert.cert.subject().common_name.c_str(), cert.path.c_str());
+    std::printf("         cert '%.*s' at %s\n",
+                static_cast<int>(cert.cert.subject().common_name().size()),
+                cert.cert.subject().common_name().data(), cert.path.c_str());
   }
   for (const auto& pin : sreport.scan.pins) {
     if (pin.parsed.has_value()) {

@@ -45,7 +45,7 @@ int main() {
   // The genuine server: bank.example.com under a public CA.
   const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.veridian");
   x509::IssueSpec spec;
-  spec.subject.common_name = "bank.example.com";
+  spec.subject.set_common_name("bank.example.com");
   spec.san_dns = {"bank.example.com"};
   spec.not_before = -30 * util::kMillisPerDay;
   spec.not_after = util::kMillisPerYear;

@@ -20,7 +20,7 @@ int main() {
 
   auto names = [](const x509::RootStore& store) {
     std::set<std::string> out;
-    for (const auto& root : store.roots()) out.insert(root.subject().common_name);
+    for (const auto& root : store.roots()) out.insert(std::string(root.subject().common_name()));
     return out;
   };
   const auto moz = names(mozilla), android = names(aosp), apple = names(ios),
@@ -46,7 +46,7 @@ int main() {
 
   int aosp_only = 0, expired = 0;
   for (const auto& root : aosp.roots()) {
-    if (!moz.contains(root.subject().common_name)) ++aosp_only;
+    if (!moz.contains(std::string(root.subject().common_name()))) ++aosp_only;
     if (root.not_after() < util::kStudyEpoch) ++expired;
   }
   std::printf(

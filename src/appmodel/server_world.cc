@@ -18,7 +18,7 @@ namespace {
 
 x509::IssueSpec LeafSpec(std::string_view hostname) {
   x509::IssueSpec spec;
-  spec.subject.common_name = std::string(hostname);
+  spec.subject.set_common_name(std::string(hostname));
   spec.san_dns = {std::string(hostname)};
   spec.not_before = util::kStudyEpoch - 30 * util::kMillisPerDay;
   spec.not_after = util::kStudyEpoch + util::kMillisPerYear;
@@ -40,9 +40,10 @@ const x509::CertificateIssuer& ServerWorld::IntermediateFor(
   const x509::CertificateIssuer& root =
       x509::PublicCaCatalog::Instance().ByLabel(ca_label);
   x509::IssueSpec spec;
-  spec.subject.common_name =
-      root.certificate().subject().common_name + " Intermediate CA";
-  spec.subject.organization = root.certificate().subject().organization;
+  spec.subject.set_common_name(
+      std::string(root.certificate().subject().common_name()) +
+      " Intermediate CA");
+  spec.subject.set_organization(root.certificate().subject().organization());
   spec.not_before = util::kStudyEpoch - 2 * util::kMillisPerYear;
   spec.not_after = util::kStudyEpoch + 5 * util::kMillisPerYear;
   spec.is_ca = true;
@@ -92,8 +93,8 @@ const ServerInfo& ServerWorld::EnsureCustomPki(std::string_view hostname,
   auto root_it = custom_roots_.find(org);
   if (root_it == custom_roots_.end()) {
     x509::DistinguishedName dn;
-    dn.common_name = org + " Private Root CA";
-    dn.organization = org;
+    dn.set_common_name(org + " Private Root CA");
+    dn.set_organization(org);
     root_it = custom_roots_
                   .emplace(org, x509::CertificateIssuer::SelfSignedRoot(
                                     "custom-root:" + org, dn,

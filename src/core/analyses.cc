@@ -202,11 +202,12 @@ CertMatchStats ComputeCertMatches(const Study& study, appmodel::Platform p) {
     std::set<std::string> resolved_cns;  // CT-resolved from scanned hashes
     std::map<std::string, util::Bytes> raw_der;
     for (const auto& found : r->static_report.scan.certificates) {
-      raw_cns.insert(found.cert.subject().common_name);
-      raw_der[found.cert.subject().common_name] = found.cert.DerBytes();
+      raw_cns.insert(std::string(found.cert.subject().common_name()));
+      raw_der[std::string(found.cert.subject().common_name())] =
+          found.cert.DerBytes();
     }
     for (const auto& cert : r->static_report.ct_resolved) {
-      resolved_cns.insert(cert.subject().common_name);
+      resolved_cns.insert(std::string(cert.subject().common_name()));
     }
 
     bool matched_any = false;
@@ -215,7 +216,7 @@ CertMatchStats ComputeCertMatches(const Study& study, appmodel::Platform p) {
       if (!dest.pinned) continue;
       for (std::size_t i = 0; i < dest.served_chain.size(); ++i) {
         const x509::Certificate& cert = dest.served_chain[i];
-        const std::string& cn = cert.subject().common_name;
+        const std::string cn(cert.subject().common_name());
         const bool in_static = raw_cns.contains(cn) || resolved_cns.contains(cn);
         if (!in_static || !counted.insert(cn).second) continue;
         matched_any = true;

@@ -2,11 +2,14 @@
 
 #include <cstring>
 
+#include "crypto/cpu.h"
+
 // The x86 SHA extensions path: compiled per-function via target attributes
-// (no global -march requirement) and selected at runtime, so one binary
-// serves both old and new machines. Content-hash scan caching (see
-// staticanalysis/scan_cache.h) hashes every corpus byte, which promoted
-// SHA-256 from a per-pin nicety to a scan-throughput bottleneck.
+// (no global -march requirement) and selected at runtime via the shared
+// crypto/cpu dispatch helper, so one binary serves both old and new
+// machines. Content-hash scan caching (see staticanalysis/scan_cache.h)
+// hashes every corpus byte, which promoted SHA-256 from a per-pin nicety
+// to a scan-throughput bottleneck.
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define PINSCOPE_SHA256_X86_SHANI 1
 #include <immintrin.h>
@@ -152,19 +155,12 @@ __attribute__((target("sha,sse4.1,ssse3"))) void ProcessBlocksShaNi(
   _mm_storeu_si128(reinterpret_cast<__m128i*>(&h[4]), state1);
 }
 
-bool HasShaNi() {
-  static const bool supported = __builtin_cpu_supports("sha") &&
-                                __builtin_cpu_supports("sse4.1") &&
-                                __builtin_cpu_supports("ssse3");
-  return supported;
-}
-
 #endif  // PINSCOPE_SHA256_X86_SHANI
 
 void ProcessBlocks(std::uint32_t h[8], const std::uint8_t* p,
                    std::size_t blocks) {
 #if PINSCOPE_SHA256_X86_SHANI
-  if (HasShaNi()) {
+  if (cpu::ShaNiAllowed()) {
     ProcessBlocksShaNi(h, p, blocks);
     return;
   }
@@ -225,7 +221,7 @@ Sha256Digest Sha256Portable(std::string_view data) {
 
 bool Sha256UsesHardware() {
 #if PINSCOPE_SHA256_X86_SHANI
-  return HasShaNi();
+  return cpu::ShaNiAllowed();
 #else
   return false;
 #endif

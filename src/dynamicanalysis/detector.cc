@@ -69,14 +69,19 @@ ExclusionRules ExclusionRules::ForIos(
 
 DetectionResult DetectPinning(const net::Capture& baseline,
                               const net::Capture& mitm,
-                              const ExclusionRules& exclusions) {
+                              const ExclusionRules& exclusions,
+                              util::Arena* scratch) {
   struct Agg {
     bool used_baseline = false;
     bool seen_mitm = false;
     bool used_mitm = false;
     bool any_mitm_not_failed = false;
   };
-  std::map<std::string, Agg> by_host;
+  // Keys view into the captures' flows, which outlive this call; the map
+  // nodes themselves live on the flight's arena when one is provided.
+  using AggAlloc = util::ArenaAllocator<std::pair<const std::string_view, Agg>>;
+  std::map<std::string_view, Agg, std::less<>, AggAlloc> by_host{
+      std::less<>{}, AggAlloc(scratch)};
 
   for (const net::Flow& f : baseline.flows) {
     if (f.sni.empty() || exclusions.IsExcluded(f.sni)) continue;
@@ -92,9 +97,10 @@ DetectionResult DetectPinning(const net::Capture& baseline,
   }
 
   DetectionResult result;
+  result.verdicts.reserve(by_host.size());
   for (const auto& [host, agg] : by_host) {
     DestinationVerdict v;
-    v.hostname = host;
+    v.hostname = std::string(host);
     v.used_baseline = agg.used_baseline;
     v.seen_mitm = agg.seen_mitm;
     v.used_mitm = agg.used_mitm;

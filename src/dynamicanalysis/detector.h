@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/flow.h"
+#include "util/arena.h"
 
 namespace pinscope::dynamicanalysis {
 
@@ -65,9 +66,13 @@ struct DetectionResult {
   [[nodiscard]] bool AppPins() const;
 };
 
-/// Runs the differential analysis over the two captures.
+/// Runs the differential analysis over the two captures. The per-host
+/// aggregation scratch comes from `scratch` when provided (nodes die with
+/// the call; the arena reclaims them on its owner's Reset) and from the
+/// global allocator otherwise. The result owns its strings either way.
 [[nodiscard]] DetectionResult DetectPinning(const net::Capture& baseline,
                                             const net::Capture& mitm,
-                                            const ExclusionRules& exclusions = {});
+                                            const ExclusionRules& exclusions = {},
+                                            util::Arena* scratch = nullptr);
 
 }  // namespace pinscope::dynamicanalysis

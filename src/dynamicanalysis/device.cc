@@ -144,8 +144,8 @@ net::Capture DeviceEmulator::RunApp(const appmodel::App& app,
       out.records.pop_back();  // the pending close_notify never got captured
       out.closure = tls::Closure::kOpen;
     }
-    cap.flows.push_back(
-        net::FlowFromOutcome(server.hostname, out, start_ms, origin, decrypted));
+    cap.flows.push_back(net::FlowFromOutcome(server.hostname, std::move(out),
+                                             start_ms, origin, decrypted));
     obs::CounterOrNull(options.metrics, "net.flows_simulated").Increment();
   };
 

@@ -73,11 +73,17 @@ std::vector<PiiFinding> DetectPiiDetailed(std::string_view payload,
 std::vector<appmodel::PiiType> DetectPiiForDestination(
     const net::Capture& capture, std::string_view hostname,
     const appmodel::DeviceIdentity& device) {
+  // Dedupes inline against the (≤ PiiType-count) accumulator instead of
+  // building a per-flow vector and merging it.
   std::vector<appmodel::PiiType> out;
   for (const net::Flow& f : capture.flows) {
     if (f.sni != hostname || !f.decrypted_payload.has_value()) continue;
-    for (appmodel::PiiType t : DetectPii(*f.decrypted_payload, device)) {
-      if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+    for (appmodel::PiiType t : appmodel::AllPiiTypes()) {
+      if (std::find(out.begin(), out.end(), t) != out.end()) continue;
+      const std::string& value = device.Value(t);
+      if (!value.empty() && util::Contains(*f.decrypted_payload, value)) {
+        out.push_back(t);
+      }
     }
   }
   return out;

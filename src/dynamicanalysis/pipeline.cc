@@ -123,7 +123,18 @@ DynamicReport RunDynamicAnalysis(const appmodel::App& app,
       app.meta.platform == appmodel::Platform::kIos
           ? ExclusionRules::ForIos(app.behavior.associated_domains)
           : ExclusionRules{};
-  const DetectionResult detection = DetectPinning(baseline, mitm, exclusions);
+  // Detection scratch: both capture phases have joined by here, so the
+  // (unsynchronized) arena is touched by exactly this thread. The
+  // thread-local fallback rewinds at each flight, keeping steady-state
+  // allocator traffic O(1) per flight even when no arena was passed in.
+  util::Arena* scratch = options.arena;
+  if (scratch == nullptr) {
+    thread_local util::Arena flight_arena;
+    flight_arena.Reset();
+    scratch = &flight_arena;
+  }
+  const DetectionResult detection =
+      DetectPinning(baseline, mitm, exclusions, scratch);
 
   // Instrumented pass, only when pinning was observed.
   obs::EventScope frida_log = obs::ScopeFor(options.observer, platform,

@@ -1,16 +1,20 @@
 #include "net/flow.h"
 
 #include <algorithm>
-#include <set>
 
 namespace pinscope::net {
 
 std::vector<std::string> Capture::Destinations() const {
-  std::set<std::string> unique;
+  // sort+unique over one vector instead of a node-per-host std::set: same
+  // sorted-distinct contract, no per-insert allocations.
+  std::vector<std::string> out;
+  out.reserve(flows.size());
   for (const Flow& f : flows) {
-    if (!f.sni.empty()) unique.insert(f.sni);
+    if (!f.sni.empty()) out.push_back(f.sni);
   }
-  return std::vector<std::string>(unique.begin(), unique.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 std::vector<const Flow*> Capture::FlowsTo(std::string_view sni) const {
@@ -31,17 +35,24 @@ double Capture::SniCoverage() const {
 Flow FlowFromOutcome(std::string sni, const tls::ConnectionOutcome& outcome,
                      std::int64_t start_ms, FlowOrigin origin,
                      bool observer_decrypted) {
+  return FlowFromOutcome(std::move(sni), tls::ConnectionOutcome(outcome),
+                         start_ms, origin, observer_decrypted);
+}
+
+Flow FlowFromOutcome(std::string sni, tls::ConnectionOutcome&& outcome,
+                     std::int64_t start_ms, FlowOrigin origin,
+                     bool observer_decrypted) {
   Flow f;
   f.sni = std::move(sni);
   f.origin = origin;
   f.start_ms = start_ms;
   f.version = outcome.version;
-  f.offered_ciphers = outcome.offered_ciphers;
+  f.offered_ciphers = std::move(outcome.offered_ciphers);
   f.negotiated_cipher = outcome.negotiated_cipher;
-  f.records = outcome.records;
+  f.records = std::move(outcome.records);
   f.closure = outcome.closure;
   if (observer_decrypted && outcome.application_data_sent) {
-    f.decrypted_payload = outcome.plaintext_sent;
+    f.decrypted_payload = std::move(outcome.plaintext_sent);
   }
   return f;
 }

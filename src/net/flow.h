@@ -62,4 +62,12 @@ struct Capture {
                                    std::int64_t start_ms, FlowOrigin origin,
                                    bool observer_decrypted);
 
+/// Consuming overload for freshly-simulated outcomes: steals the record
+/// trace, cipher offer, and plaintext instead of copying them (the record
+/// vector is the flow's dominant allocation).
+[[nodiscard]] Flow FlowFromOutcome(std::string sni,
+                                   tls::ConnectionOutcome&& outcome,
+                                   std::int64_t start_ms, FlowOrigin origin,
+                                   bool observer_decrypted);
+
 }  // namespace pinscope::net

@@ -8,9 +8,9 @@ namespace {
 
 x509::DistinguishedName ProxyCaName() {
   x509::DistinguishedName dn;
-  dn.common_name = "mitmproxy";
-  dn.organization = "mitmproxy";
-  dn.country = "US";
+  dn.set_common_name("mitmproxy");
+  dn.set_organization("mitmproxy");
+  dn.set_country("US");
   return dn;
 }
 
@@ -38,8 +38,8 @@ std::shared_ptr<const x509::CertificateChain> MitmProxy::ForgedChainFor(
   if (auto cached = forged_->Find(hostname)) return cached;
 
   x509::IssueSpec spec;
-  spec.subject.common_name = hostname;
-  spec.subject.organization = "mitmproxy";
+  spec.subject.set_common_name(hostname);
+  spec.subject.set_organization("mitmproxy");
   spec.san_dns = {hostname};
   spec.not_before = util::kStudyEpoch - util::kMillisPerDay;
   spec.not_after = util::kStudyEpoch + util::kMillisPerYear;

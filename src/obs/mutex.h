@@ -1,0 +1,64 @@
+// Mutex-contention probe (ROADMAP item 3d).
+//
+// TrackedMutex wraps std::mutex and surfaces contention into the unified
+// metrics layer as a `lock.<name>.contended` counter (lock() calls that
+// found the mutex held) and a `lock.<name>.wait_us` histogram (how long
+// those calls waited). The uncontended path is one try_lock — no clock
+// read, no metric write — so tracking costs nothing where it matters.
+//
+// Determinism contract: identical to the rest of obs — the probe never
+// feeds scheduling decisions or exported bytes; a TrackedMutex without a
+// registry behaves exactly like std::mutex (DESIGN.md §11).
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace pinscope::obs {
+
+/// A Lockable std::mutex wrapper with contention metrics. Works with
+/// std::lock_guard / std::unique_lock / std::condition_variable_any.
+/// Default-constructed (or null-registry) instances record nothing.
+class TrackedMutex {
+ public:
+  TrackedMutex() = default;
+  TrackedMutex(MetricsRegistry* metrics, std::string_view name) {
+    Attach(metrics, name);
+  }
+  TrackedMutex(const TrackedMutex&) = delete;
+  TrackedMutex& operator=(const TrackedMutex&) = delete;
+
+  /// Binds the probe to `lock.<name>.*` metrics. Null-safe; must happen
+  /// before the mutex is shared between threads (handles are written
+  /// without synchronization).
+  void Attach(MetricsRegistry* metrics, std::string_view name) {
+    const std::string prefix = "lock." + std::string(name);
+    contended_ = CounterOrNull(metrics, prefix + ".contended");
+    wait_us_ = HistogramOrNull(metrics, prefix + ".wait_us");
+  }
+
+  void lock() {
+    if (mu_.try_lock()) return;  // uncontended: no clock read
+    contended_.Increment();
+    const auto start = std::chrono::steady_clock::now();
+    mu_.lock();
+    const auto waited = std::chrono::steady_clock::now() - start;
+    wait_us_.Record(
+        std::chrono::duration<double, std::micro>(waited).count());
+  }
+
+  [[nodiscard]] bool try_lock() { return mu_.try_lock(); }
+
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+  Counter contended_;
+  Histogram wait_us_;
+};
+
+}  // namespace pinscope::obs

@@ -1,0 +1,339 @@
+#include "staticanalysis/prefilter.h"
+
+#include <algorithm>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PINSCOPE_PREFILTER_X86 1
+#include <immintrin.h>
+#else
+#define PINSCOPE_PREFILTER_X86 0
+#endif
+
+namespace pinscope::staticanalysis {
+
+namespace {
+
+/// Commonness of a byte in the artifacts the scanner sweeps (smali text,
+/// base64 bodies, symbol tables, dash rules): lower = rarer = better probe.
+int ByteWeight(unsigned char c) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+      (c >= '0' && c <= '9')) {
+    return 4;
+  }
+  // Dash runs, path separators and base64 punctuation are dense in exactly
+  // the files being scanned.
+  if (c == '-' || c == '_' || c == '/' || c == '.' || c == '+' || c == '=') {
+    return 6;
+  }
+  return 2;  // space and the remaining punctuation
+}
+
+/// Probe score: product of byte weights, with a heavy penalty for repeated
+/// bytes — a (c, c) probe fires at every position of every c-run.
+int ProbeScore(unsigned char b0, unsigned char b1) {
+  return ByteWeight(b0) * ByteWeight(b1) + (b0 == b1 ? 64 : 0);
+}
+
+}  // namespace
+
+MultiLiteralPrefilter::MultiLiteralPrefilter(std::vector<std::string> literals)
+    : literals_(std::move(literals)), level_(crypto::cpu::DetectSimdLevel()) {
+  probe_offsets_.assign(literals_.size(), 0);
+  for (std::size_t id = 0; id < literals_.size(); ++id) {
+    const std::string& lit = literals_[id];
+    if (lit.empty()) continue;
+    if (lit.size() == 1) {
+      const auto b = static_cast<unsigned char>(lit[0]);
+      first_byte_[b] = true;
+      if (std::find(singles_.begin(), singles_.end(), b) == singles_.end()) {
+        singles_.push_back(b);
+      }
+      continue;
+    }
+    // Probe at the literal's least-common adjacent byte pair.
+    std::size_t best = 0;
+    int best_score = 0;
+    for (std::size_t k = 0; k + 1 < lit.size(); ++k) {
+      const int score = ProbeScore(static_cast<unsigned char>(lit[k]),
+                                   static_cast<unsigned char>(lit[k + 1]));
+      if (k == 0 || score < best_score) {
+        best_score = score;
+        best = k;
+      }
+    }
+    probe_offsets_[id] = best;
+    const auto b0 = static_cast<unsigned char>(lit[best]);
+    const auto b1 = static_cast<unsigned char>(lit[best + 1]);
+    first_byte_[b0] = true;
+    const bool seen = std::any_of(
+        pairs_.begin(), pairs_.end(),
+        [&](const BytePair& p) { return p.b0 == b0 && p.b1 == b1; });
+    if (!seen) pairs_.push_back({b0, b1});
+  }
+}
+
+void MultiLiteralPrefilter::VerifyAt(std::string_view text, std::size_t pos,
+                                     std::vector<PrefilterHit>& out) const {
+  for (std::uint32_t id = 0; id < literals_.size(); ++id) {
+    const std::string& lit = literals_[id];
+    if (lit.empty()) continue;
+    const std::size_t k = probe_offsets_[id];
+    if (pos < k) continue;
+    const std::size_t start = pos - k;
+    if (start + lit.size() > text.size()) continue;
+    if (std::memcmp(text.data() + start, lit.data(), lit.size()) == 0) {
+      out.push_back({start, id});
+    }
+  }
+}
+
+void MultiLiteralPrefilter::FindAllPortable(
+    std::string_view text, std::size_t from,
+    std::vector<PrefilterHit>& out) const {
+  for (std::size_t pos = from; pos < text.size(); ++pos) {
+    const auto b0 = static_cast<unsigned char>(text[pos]);
+    if (!first_byte_[b0]) continue;
+    bool candidate =
+        std::find(singles_.begin(), singles_.end(), b0) != singles_.end();
+    if (!candidate && pos + 1 < text.size()) {
+      const auto b1 = static_cast<unsigned char>(text[pos + 1]);
+      candidate = std::any_of(
+          pairs_.begin(), pairs_.end(),
+          [&](const BytePair& p) { return p.b0 == b0 && p.b1 == b1; });
+    }
+    if (candidate) VerifyAt(text, pos, out);
+  }
+}
+
+#if PINSCOPE_PREFILTER_X86
+
+// Both vector kernels share one shape: load the block starting at i and the
+// block starting at i+1, build a candidate byte-mask as the OR over all
+// distinct probe pairs of cmpeq(v0, b0) & cmpeq(v1, b1) (plus plain cmpeq
+// for single-byte literals), then walk the movemask's set bits in ascending
+// position order and confirm with memcmp at each literal's probe-relative
+// start. The i+1 load requires i + lanes + 1 <= n; the last < lanes+1 bytes
+// fall through to the scalar loop. FindAll sorts afterwards, so kernels only
+// need to visit every candidate position exactly once.
+
+void MultiLiteralPrefilter::FindAllSse2(std::string_view text,
+                                        std::vector<PrefilterHit>& out) const {
+  const auto* s = reinterpret_cast<const unsigned char*>(text.data());
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  for (; i + 17 <= n; i += 16) {
+    const __m128i v0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + i));
+    const __m128i v1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + i + 1));
+    __m128i m = _mm_setzero_si128();
+    for (const BytePair& p : pairs_) {
+      m = _mm_or_si128(
+          m, _mm_and_si128(
+                 _mm_cmpeq_epi8(v0, _mm_set1_epi8(static_cast<char>(p.b0))),
+                 _mm_cmpeq_epi8(v1, _mm_set1_epi8(static_cast<char>(p.b1)))));
+    }
+    for (const unsigned char b : singles_) {
+      m = _mm_or_si128(m,
+                       _mm_cmpeq_epi8(v0, _mm_set1_epi8(static_cast<char>(b))));
+    }
+    unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(m));
+    while (mask != 0) {
+      const int bit = __builtin_ctz(mask);
+      mask &= mask - 1;
+      VerifyAt(text, i + static_cast<std::size_t>(bit), out);
+    }
+  }
+  FindAllPortable(text, i, out);
+}
+
+__attribute__((target("avx2"))) void MultiLiteralPrefilter::FindAllAvx2(
+    std::string_view text, std::vector<PrefilterHit>& out) const {
+  const auto* s = reinterpret_cast<const unsigned char*>(text.data());
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  for (; i + 33 <= n; i += 32) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i + 1));
+    __m256i m = _mm256_setzero_si256();
+    for (const BytePair& p : pairs_) {
+      m = _mm256_or_si256(
+          m,
+          _mm256_and_si256(
+              _mm256_cmpeq_epi8(v0, _mm256_set1_epi8(static_cast<char>(p.b0))),
+              _mm256_cmpeq_epi8(v1,
+                                _mm256_set1_epi8(static_cast<char>(p.b1)))));
+    }
+    for (const unsigned char b : singles_) {
+      m = _mm256_or_si256(
+          m, _mm256_cmpeq_epi8(v0, _mm256_set1_epi8(static_cast<char>(b))));
+    }
+    unsigned mask = static_cast<unsigned>(_mm256_movemask_epi8(m));
+    while (mask != 0) {
+      const int bit = __builtin_ctz(mask);
+      mask &= mask - 1;
+      VerifyAt(text, i + static_cast<std::size_t>(bit), out);
+    }
+  }
+  FindAllPortable(text, i, out);
+}
+
+#endif  // PINSCOPE_PREFILTER_X86
+
+void MultiLiteralPrefilter::FindAll(std::string_view text,
+                                    std::vector<PrefilterHit>& out) const {
+  out.clear();
+  if (pairs_.empty() && singles_.empty()) return;
+#if PINSCOPE_PREFILTER_X86
+  switch (level_) {
+    case crypto::cpu::SimdLevel::kAvx2:
+      FindAllAvx2(text, out);
+      break;
+    case crypto::cpu::SimdLevel::kSse2:
+      FindAllSse2(text, out);
+      break;
+    case crypto::cpu::SimdLevel::kPortable:
+      FindAllPortable(text, 0, out);
+      break;
+  }
+#else
+  FindAllPortable(text, 0, out);
+#endif
+  // Kernels emit hits in probe-position order; literals with different probe
+  // offsets can interleave, so restore the documented (pos, pattern) order.
+  std::sort(out.begin(), out.end(),
+            [](const PrefilterHit& a, const PrefilterHit& b) {
+              return a.pos != b.pos ? a.pos < b.pos : a.pattern < b.pattern;
+            });
+}
+
+// --- Printable-run classification ---------------------------------------
+
+namespace {
+
+constexpr bool IsPrintable(unsigned char c) { return c >= 0x20 && c <= 0x7e; }
+
+/// Run-walk state shared by all kernels: feed it printable/non-printable
+/// transitions in position order, and it emits maximal runs >= min_len.
+struct RunWalker {
+  std::size_t min_len;
+  std::vector<PrintableRun>& out;
+  std::size_t run_start = 0;
+  bool in_run = false;
+
+  void Open(std::size_t pos) {
+    run_start = pos;
+    in_run = true;
+  }
+  void Close(std::size_t pos) {
+    if (pos - run_start >= min_len) out.push_back({run_start, pos - run_start});
+    in_run = false;
+  }
+  /// Consumes a bitmask of `width` printable flags for bytes
+  /// [base, base + width).
+  void Feed(std::uint32_t mask, std::size_t base, unsigned width) {
+    unsigned offset = 0;
+    while (offset < width) {
+      if (!in_run) {
+        const std::uint32_t rest = mask >> offset;
+        if (rest == 0) return;
+        offset += static_cast<unsigned>(__builtin_ctz(rest));
+        Open(base + offset);
+      } else {
+        // Invert within width so trailing bits read as "printable ends".
+        const std::uint32_t rest = ~mask >> offset;
+        const std::uint32_t valid =
+            width - offset >= 32 ? rest
+                                 : rest & ((std::uint32_t{1} << (width - offset)) - 1);
+        if (valid == 0) return;  // run continues past this block
+        offset += static_cast<unsigned>(__builtin_ctz(valid));
+        Close(base + offset);
+      }
+    }
+  }
+};
+
+void FindRunsScalar(std::string_view data, std::size_t from, RunWalker& walk) {
+  for (std::size_t i = from; i < data.size(); ++i) {
+    const bool printable = IsPrintable(static_cast<unsigned char>(data[i]));
+    if (printable && !walk.in_run) {
+      walk.Open(i);
+    } else if (!printable && walk.in_run) {
+      walk.Close(i);
+    }
+  }
+}
+
+#if PINSCOPE_PREFILTER_X86
+
+/// Printable = c > 0x1f && c < 0x7f; signed compares exclude 0x80..0xff via
+/// the lower bound (they are negative), so both bounds are exact.
+
+void FindRunsSse2(std::string_view data, RunWalker& walk) {
+  const auto* s = reinterpret_cast<const unsigned char*>(data.data());
+  const std::size_t n = data.size();
+  const __m128i lo = _mm_set1_epi8(0x1f);
+  const __m128i hi = _mm_set1_epi8(0x7f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + i));
+    const __m128i p =
+        _mm_and_si128(_mm_cmpgt_epi8(v, lo), _mm_cmpgt_epi8(hi, v));
+    const auto mask = static_cast<std::uint32_t>(_mm_movemask_epi8(p));
+    if (walk.in_run && mask == 0xffffu) continue;
+    if (!walk.in_run && mask == 0) continue;
+    walk.Feed(mask, i, 16);
+  }
+  FindRunsScalar(data, i, walk);
+}
+
+__attribute__((target("avx2"))) void FindRunsAvx2(std::string_view data,
+                                                  RunWalker& walk) {
+  const auto* s = reinterpret_cast<const unsigned char*>(data.data());
+  const std::size_t n = data.size();
+  const __m256i lo = _mm256_set1_epi8(0x1f);
+  const __m256i hi = _mm256_set1_epi8(0x7f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i));
+    const __m256i p =
+        _mm256_and_si256(_mm256_cmpgt_epi8(v, lo), _mm256_cmpgt_epi8(hi, v));
+    const auto mask = static_cast<std::uint32_t>(_mm256_movemask_epi8(p));
+    if (walk.in_run && mask == 0xffffffffu) continue;
+    if (!walk.in_run && mask == 0) continue;
+    walk.Feed(mask, i, 32);
+  }
+  FindRunsScalar(data, i, walk);
+}
+
+#endif  // PINSCOPE_PREFILTER_X86
+
+}  // namespace
+
+void FindPrintableRuns(std::string_view data, std::size_t min_len,
+                       crypto::cpu::SimdLevel level,
+                       std::vector<PrintableRun>& out) {
+  out.clear();
+  RunWalker walk{min_len, out};
+#if PINSCOPE_PREFILTER_X86
+  switch (level) {
+    case crypto::cpu::SimdLevel::kAvx2:
+      FindRunsAvx2(data, walk);
+      break;
+    case crypto::cpu::SimdLevel::kSse2:
+      FindRunsSse2(data, walk);
+      break;
+    case crypto::cpu::SimdLevel::kPortable:
+      FindRunsScalar(data, 0, walk);
+      break;
+  }
+#else
+  FindRunsScalar(data, 0, walk);
+#endif
+  if (walk.in_run) walk.Close(data.size());
+}
+
+}  // namespace pinscope::staticanalysis

@@ -1,5 +1,7 @@
 #include "staticanalysis/scanner.h"
 
+#include <cstdlib>
+
 #include "staticanalysis/scan_cache.h"
 #include "util/strings.h"
 #include "x509/pem.h"
@@ -11,6 +13,10 @@ namespace {
 // Minimum printable-run length treated as a "string" in binary files (the
 // default ExtractStrings threshold; the zero-copy path must agree with it).
 constexpr std::size_t kMinStringLen = 6;
+
+// Prefilter pattern indices (construction order in Scanner()).
+constexpr std::uint32_t kPemPattern = 0;
+constexpr std::uint32_t kPinPattern = 1;
 
 }  // namespace
 
@@ -94,10 +100,22 @@ void AppendOwned(CachedFileScan&& scan, const std::string& path, ScanResult& out
 
 }  // namespace
 
-Scanner::Scanner() : pin_pattern_("sha(1|256)/[a-zA-Z0-9+/=]{28,64}") {}
+Scanner::Scanner()
+    : pin_pattern_("sha(1|256)/[a-zA-Z0-9+/=]{28,64}"),
+      prefilter_({std::string(x509::kPemBegin),
+                  pin_pattern_.required_literal().literal}) {
+  // One batched sweep needs a usable anchor for every rule; without one (or
+  // with the kill-switch set) content scanning stays on the per-pattern
+  // sweep. Decided at construction so tests can toggle via setenv.
+  use_prefilter_ = !pin_pattern_.required_literal().literal.empty() &&
+                   std::getenv("PINSCOPE_NO_PREFILTER") == nullptr;
+}
 
-void Scanner::ScanContent(std::string_view text, std::size_t base_offset,
-                          CachedFileScan& out) const {
+// Legacy two-sweep content scan: one PemDecodeAll pass for certificates, one
+// FindAll pass for pins. Kept as the prefilter's reference implementation
+// (and its kill-switch fallback) — the two must agree byte-for-byte.
+void Scanner::ScanContentLegacy(std::string_view text, std::size_t base_offset,
+                                CachedFileScan& out) const {
   // PEM blobs anywhere in the content.
   for (x509::Certificate& cert : x509::PemDecodeAll(text)) {
     out.certificates.push_back({std::string(), std::move(cert), true});
@@ -111,6 +129,74 @@ void Scanner::ScanContent(std::string_view text, std::size_t base_offset,
     pin.offset = base_offset + m.position;
     out.pins.push_back(std::move(pin));
   }
+}
+
+// Consumes the prefilter hits that fall inside `text`, which starts at
+// absolute offset `rebase` of the swept buffer (0 when `text` itself was
+// swept). Every PEM BEGIN marker and every pin-anchor occurrence arrives in
+// one position-ordered stream, consumed by two independent cursors.
+// Certificates and pins still land in their own vectors, so the output is
+// byte-identical to the legacy two-sweep path.
+void Scanner::ConsumeHits(const PrefilterHit* begin, const PrefilterHit* end,
+                          std::string_view text, std::size_t rebase,
+                          std::size_t base_offset, CachedFileScan& out) const {
+  const LiteralAnchor& anchor = pin_pattern_.required_literal();
+  // PEM cursor: everything before `pem_resume` is inside an already-decoded
+  // block (PemDecodeAll's skip-inside-body rule).
+  std::size_t pem_resume = 0;
+  // Pin cursor: replicates Regex::FindAll's anchor sweep. `pin_pos` is the
+  // earliest position a (non-overlapping) match may still start.
+  std::size_t pin_pos = 0;
+
+  for (const PrefilterHit* it = begin; it != end; ++it) {
+    const std::size_t pos = it->pos - rebase;  // text-relative
+    if (it->pattern == kPemPattern) {
+      if (pos < pem_resume) continue;
+      if (auto cert = x509::PemDecodeAt(text, pos, &pem_resume)) {
+        out.certificates.push_back({std::string(), std::move(*cert), true});
+      }
+      continue;
+    }
+    // Pin-anchor occurrence at q = pos. FindAll would consider it only as
+    // the first occurrence at or after pin_pos + min_offset; earlier
+    // occurrences were already consumed or ruled out.
+    const std::size_t q = pos;
+    if (q < pin_pos + anchor.min_offset) continue;
+    // Anchor fast-forward: match starts before q - max_offset cannot reach
+    // this occurrence (and no earlier occurrence remains).
+    if (anchor.bounded() && q > anchor.max_offset &&
+        pin_pos < q - anchor.max_offset) {
+      pin_pos = q - anchor.max_offset;
+    }
+    // Try every candidate start this occurrence admits, exactly as the
+    // anchor sweep does: MatchAt, then advance by the match length
+    // (non-overlapping, leftmost-greedy) or one byte on failure.
+    while (pin_pos + anchor.min_offset <= q && pin_pos <= text.size()) {
+      std::size_t len = 0;
+      if (pin_pattern_.MatchAt(text, pin_pos, &len)) {
+        FoundPin pin;
+        pin.pin_string = std::string(text.substr(pin_pos, len));
+        pin.parsed = tls::Pin::FromPinString(pin.pin_string);
+        pin.offset = base_offset + pin_pos;
+        out.pins.push_back(std::move(pin));
+        pin_pos += len == 0 ? 1 : len;
+      } else {
+        ++pin_pos;
+      }
+    }
+  }
+}
+
+void Scanner::ScanContent(std::string_view text, std::size_t base_offset,
+                          CachedFileScan& out) const {
+  if (!use_prefilter_) {
+    ScanContentLegacy(text, base_offset, out);
+    return;
+  }
+  thread_local std::vector<PrefilterHit> hits;
+  prefilter_.FindAll(text, hits);
+  ConsumeHits(hits.data(), hits.data() + hits.size(), text, 0, base_offset,
+              out);
 }
 
 void Scanner::ScanFile(const util::Bytes& content, bool is_cert_file,
@@ -133,11 +219,45 @@ void Scanner::ScanFile(const util::Bytes& content, bool is_cert_file,
   // (b)+(c) Content scanning; binaries reduce to printable runs first. Run
   // views alias `content`, so pointer arithmetic recovers each run's offset.
   if (LooksBinary(content)) {
+    if (use_prefilter_) {
+      ScanBinaryPrefiltered(text, out);
+      return;
+    }
     ForEachPrintableRun(content, kMinStringLen, [&](std::string_view run) {
       ScanContent(run, static_cast<std::size_t>(run.data() - text.data()), out);
     });
   } else {
     ScanContent(text, 0, out);
+  }
+}
+
+// Binary fast path: ONE prefilter sweep over the raw bytes plus one
+// vectorized printable-run classification, instead of a per-run sweep pair.
+// Equivalent to scanning each printable run separately: every literal is
+// printable ASCII, so an occurrence in the raw bytes lies entirely inside a
+// maximal printable run — hits are just partitioned by run, and hits inside
+// disqualified (< kMinStringLen) runs are dropped, exactly as the per-run
+// walk never sees them. MatchAt runs against the run view, so matches still
+// cannot cross a run boundary.
+void Scanner::ScanBinaryPrefiltered(std::string_view text,
+                                    CachedFileScan& out) const {
+  thread_local std::vector<PrefilterHit> hits;
+  prefilter_.FindAll(text, hits);
+  thread_local std::vector<PrintableRun> runs;
+  FindPrintableRuns(text, kMinStringLen, prefilter_.level(), runs);
+
+  const PrefilterHit* it = hits.data();
+  const PrefilterHit* const end = it + hits.size();
+  for (const PrintableRun& run : runs) {
+    if (it == end) break;
+    while (it != end && it->pos < run.offset) ++it;  // gap/short-run hits
+    const PrefilterHit* run_end = it;
+    while (run_end != end && run_end->pos < run.offset + run.length) ++run_end;
+    if (it != run_end) {
+      ConsumeHits(it, run_end, text.substr(run.offset, run.length), run.offset,
+                  run.offset, out);
+      it = run_end;
+    }
   }
 }
 

@@ -23,6 +23,7 @@
 
 #include "appmodel/package.h"
 #include "obs/metrics.h"
+#include "staticanalysis/prefilter.h"
 #include "staticanalysis/regex.h"
 #include "tls/pinning.h"
 #include "x509/certificate.h"
@@ -143,13 +144,32 @@ class Scanner {
   /// The compiled pin-hash pattern (exposed for tests and benchmarks).
   [[nodiscard]] const Regex& pin_pattern() const { return pin_pattern_; }
 
+  /// The batched literal sweep shared by all rules (tests and benchmarks).
+  [[nodiscard]] const MultiLiteralPrefilter& prefilter() const {
+    return prefilter_;
+  }
+
+  /// True when content scanning uses the single-pass multi-literal
+  /// prefilter; false on the legacy per-pattern sweep (PINSCOPE_NO_PREFILTER
+  /// set at construction, or the pin pattern yielded no usable anchor).
+  /// Either way the results are byte-identical.
+  [[nodiscard]] bool prefilter_enabled() const { return use_prefilter_; }
+
  private:
   void ScanContent(std::string_view text, std::size_t base_offset,
                    CachedFileScan& out) const;
+  void ScanContentLegacy(std::string_view text, std::size_t base_offset,
+                         CachedFileScan& out) const;
+  void ConsumeHits(const PrefilterHit* begin, const PrefilterHit* end,
+                   std::string_view text, std::size_t rebase,
+                   std::size_t base_offset, CachedFileScan& out) const;
+  void ScanBinaryPrefiltered(std::string_view text, CachedFileScan& out) const;
   void ScanFile(const util::Bytes& content, bool is_cert_file,
                 CachedFileScan& out) const;
 
   Regex pin_pattern_;
+  MultiLiteralPrefilter prefilter_;  ///< [0]=PEM BEGIN, [1]=pin anchor.
+  bool use_prefilter_ = false;
 };
 
 }  // namespace pinscope::staticanalysis

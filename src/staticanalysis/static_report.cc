@@ -45,7 +45,7 @@ void EmitStaticEvents(const StaticReport& report, obs::EventScope& log) {
     log.Emit(obs::Severity::kDecision, "static.cert_found",
              {{"path", cert.path},
               {"source", cert.from_pem ? "pem" : "der"},
-              {"subject", cert.cert.subject().common_name}});
+              {"subject", cert.cert.subject().common_name()}});
   }
   for (const NscDomainResult& d : report.nsc.domains) {
     if (d.pin_strings.empty()) continue;

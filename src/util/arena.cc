@@ -1,0 +1,56 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pinscope::util {
+
+Arena::Arena(std::size_t block_bytes)
+    : block_bytes_(std::max<std::size_t>(block_bytes, 64)) {}
+
+void Arena::AddBlock(std::size_t bytes) {
+  Block block;
+  block.size = std::max(block_bytes_, bytes);
+  block.data = std::make_unique<std::byte[]>(block.size);
+  cur_ = block.data.get();
+  end_ = cur_ + block.size;
+  blocks_.push_back(std::move(block));
+}
+
+void* Arena::Allocate(std::size_t bytes, std::size_t align) {
+  // new[] storage is max_align_t-aligned, so aligning the bump pointer
+  // suffices for any align up to that; larger requests over-allocate and
+  // round up inside the padded region.
+  const std::size_t pad = align > alignof(std::max_align_t)
+                              ? align - alignof(std::max_align_t)
+                              : 0;
+  auto aligned = [align](std::byte* p) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(p);
+    return reinterpret_cast<std::byte*>((addr + align - 1) & ~(align - 1));
+  };
+  std::byte* p = cur_ == nullptr ? nullptr : aligned(cur_);
+  if (p == nullptr || p + bytes > end_) {
+    AddBlock(bytes + pad + alignof(std::max_align_t));
+    p = aligned(cur_);
+  }
+  cur_ = p + bytes;
+  bytes_allocated_ += bytes;
+  return p;
+}
+
+void Arena::Reset() {
+  bytes_allocated_ = 0;
+  if (blocks_.empty()) return;
+  // Keep only the largest block: after a warm-up flight it is big enough for
+  // the steady state, and rewinding it makes the next flight allocation-free.
+  auto largest = std::max_element(
+      blocks_.begin(), blocks_.end(),
+      [](const Block& a, const Block& b) { return a.size < b.size; });
+  Block keep = std::move(*largest);
+  blocks_.clear();
+  cur_ = keep.data.get();
+  end_ = cur_ + keep.size;
+  blocks_.push_back(std::move(keep));
+}
+
+}  // namespace pinscope::util

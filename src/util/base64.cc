@@ -55,25 +55,50 @@ std::string Base64Encode(const Bytes& data) {
   return out;
 }
 
-std::optional<Bytes> Base64Decode(std::string_view text) {
+bool Base64DecodeInto(std::string_view text, Bytes& out) {
   // Strip padding.
   while (!text.empty() && text.back() == '=') text.remove_suffix(1);
-  Bytes out;
-  out.reserve(text.size() * 3 / 4);
-  std::uint32_t acc = 0;
-  int bits = 0;
-  for (char c : text) {
-    const int v = Reverse()[static_cast<unsigned char>(c)];
-    if (v < 0) return std::nullopt;
-    acc = acc << 6 | static_cast<std::uint32_t>(v);
-    bits += 6;
-    if (bits >= 8) {
-      bits -= 8;
-      out.push_back(static_cast<std::uint8_t>(acc >> bits & 0xff));
-    }
-  }
   // A single leftover sextet cannot encode a byte; reject streams like "A".
-  if (text.size() % 4 == 1) return std::nullopt;
+  if (text.size() % 4 == 1) return false;
+  // Decoded length is exact, so size once and write through a raw pointer —
+  // this decoder runs for every certificate of every bundle scanned, where
+  // per-byte push_back capacity checks were measurable.
+  out.resize(text.size() * 3 / 4);
+  const std::array<int, 256>& rev = Reverse();  // hoist the static-local guard
+  const auto at = [&](std::size_t i) {
+    return rev[static_cast<unsigned char>(text[i])];
+  };
+  std::uint8_t* dst = out.data();
+  std::size_t i = 0;
+  for (; i + 4 <= text.size(); i += 4) {
+    const int v0 = at(i), v1 = at(i + 1), v2 = at(i + 2), v3 = at(i + 3);
+    if ((v0 | v1 | v2 | v3) < 0) return false;
+    const std::uint32_t n = static_cast<std::uint32_t>(v0) << 18 |
+                            static_cast<std::uint32_t>(v1) << 12 |
+                            static_cast<std::uint32_t>(v2) << 6 |
+                            static_cast<std::uint32_t>(v3);
+    dst[0] = static_cast<std::uint8_t>(n >> 16);
+    dst[1] = static_cast<std::uint8_t>(n >> 8 & 0xff);
+    dst[2] = static_cast<std::uint8_t>(n & 0xff);
+    dst += 3;
+  }
+  const std::size_t rest = text.size() - i;  // 0, 2 or 3 after the %4 check
+  if (rest == 2) {
+    const int v0 = at(i), v1 = at(i + 1);
+    if ((v0 | v1) < 0) return false;
+    *dst = static_cast<std::uint8_t>(v0 << 2 | v1 >> 4);
+  } else if (rest == 3) {
+    const int v0 = at(i), v1 = at(i + 1), v2 = at(i + 2);
+    if ((v0 | v1 | v2) < 0) return false;
+    dst[0] = static_cast<std::uint8_t>(v0 << 2 | v1 >> 4);
+    dst[1] = static_cast<std::uint8_t>((v1 & 0xf) << 4 | v2 >> 2);
+  }
+  return true;
+}
+
+std::optional<Bytes> Base64Decode(std::string_view text) {
+  Bytes out;
+  if (!Base64DecodeInto(text, out)) return std::nullopt;
   return out;
 }
 
@@ -85,8 +110,9 @@ bool IsBase64String(std::string_view s) {
     ++pad;
   }
   if (pad > 2) return false;
+  const std::array<int, 256>& rev = Reverse();
   for (char c : s) {
-    if (Reverse()[static_cast<unsigned char>(c)] < 0) return false;
+    if (rev[static_cast<unsigned char>(c)] < 0) return false;
   }
   return true;
 }

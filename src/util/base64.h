@@ -19,6 +19,11 @@ namespace pinscope::util {
 /// characters outside the alphabet. Returns std::nullopt on malformed input.
 [[nodiscard]] std::optional<Bytes> Base64Decode(std::string_view text);
 
+/// As above, but decodes into `out` (resized to the exact decoded length) so
+/// hot loops can reuse one buffer's capacity across calls. Returns false on
+/// malformed input, in which case `out` holds unspecified contents.
+bool Base64DecodeInto(std::string_view text, Bytes& out);
+
 /// True if `s` consists solely of base64 alphabet characters (optionally
 /// followed by '=' padding) — the character class the paper's pin regex uses.
 [[nodiscard]] bool IsBase64String(std::string_view s);

@@ -1,0 +1,80 @@
+// Fixed-arity string packing (the StaticConcatenatedStrings idiom).
+//
+// N logically-separate strings stored in ONE backing buffer with an array of
+// end offsets, instead of N std::string members. For structs that live in
+// large numbers (certificate names, TLS metadata), this collapses N heap
+// allocations / 32-byte string headers into one buffer + N*sizeof(Offset)
+// bytes of offsets, keeps the parts contiguous in cache, and makes moves a
+// single string move. Parts are returned as std::string_view into the
+// buffer; views are invalidated by any set().
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pinscope::util {
+
+template <std::size_t N, typename Offset = std::uint32_t>
+class PackedStrings {
+  static_assert(N > 0, "PackedStrings needs at least one part");
+
+ public:
+  /// The i-th part. The view aliases the backing buffer: valid until the
+  /// next set() on this object (or its destruction/move).
+  [[nodiscard]] std::string_view operator[](std::size_t i) const {
+    const Offset s = Start(i);
+    return std::string_view(buf_.data() + s, ends_[i] - s);
+  }
+
+  /// Replaces the i-th part. `value` may alias this object's own buffer
+  /// (e.g. copying one part into another); a detached copy is taken first.
+  void set(std::size_t i, std::string_view value) {
+    const char* base = buf_.data();
+    if (value.data() >= base && value.data() < base + buf_.size()) {
+      const std::string detached(value);
+      set(i, std::string_view(detached));
+      return;
+    }
+    const Offset s = Start(i);
+    const Offset e = ends_[i];
+    if (value.empty()) {
+      buf_.erase(s, static_cast<std::size_t>(e - s));
+    } else {
+      buf_.replace(s, static_cast<std::size_t>(e - s), value.data(),
+                   value.size());
+    }
+    const auto delta = static_cast<std::ptrdiff_t>(value.size()) -
+                       static_cast<std::ptrdiff_t>(e - s);
+    for (std::size_t j = i; j < N; ++j) {
+      ends_[j] = static_cast<Offset>(static_cast<std::ptrdiff_t>(ends_[j]) +
+                                     delta);
+    }
+  }
+
+  /// Summed length of all parts (== backing buffer size).
+  [[nodiscard]] std::size_t total_size() const {
+    return static_cast<std::size_t>(ends_[N - 1]);
+  }
+
+  /// True when every part is empty.
+  [[nodiscard]] bool empty() const { return buf_.empty(); }
+
+  static constexpr std::size_t size() { return N; }
+
+  // The (buffer, offsets) representation is canonical — equal parts imply
+  // byte-identical members — so defaulted comparisons are exact.
+  friend bool operator==(const PackedStrings&, const PackedStrings&) = default;
+
+ private:
+  [[nodiscard]] Offset Start(std::size_t i) const {
+    return i == 0 ? Offset{0} : ends_[i - 1];
+  }
+
+  std::string buf_;
+  std::array<Offset, N> ends_{};
+};
+
+}  // namespace pinscope::util

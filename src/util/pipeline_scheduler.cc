@@ -54,7 +54,9 @@ struct Run {
   obs::Counter failures_counter;
   obs::Histogram depth_histogram;
 
-  Run(std::size_t n_items, std::size_t capacity) : n(n_items), queue(capacity) {}
+  Run(std::size_t n_items, std::size_t capacity,
+      obs::MetricsRegistry* metrics)
+      : n(n_items), queue(capacity, metrics) {}
 };
 
 /// Runs one stage attempt chain for a task; returns true when the stage
@@ -160,7 +162,7 @@ PipelineResult RunPipeline(std::size_t n,
 
   if (workers <= 1) {
     // Inline serial path: the chain order is the only ordering there is.
-    Run run(n, 1);
+    Run run(n, 1, options.metrics);
     run.stages = &stages;
     run.options = &options;
     if (options.metrics != nullptr) {
@@ -186,7 +188,7 @@ PipelineResult RunPipeline(std::size_t n,
       options.queue_depth > 0
           ? options.queue_depth
           : std::max<std::size_t>(2 * static_cast<std::size_t>(workers), 2);
-  Run run(n, depth);
+  Run run(n, depth, options.metrics);
   run.stages = &stages;
   run.options = &options;
   if (options.metrics != nullptr) {

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/mutex.h"
 #include "obs/trace.h"
 
 namespace pinscope::util {
@@ -44,11 +45,17 @@ namespace pinscope::util {
 /// queue is full, Pop blocks while it is empty; Close() wakes everyone —
 /// blocked pushers give up, poppers drain the remaining items and then see
 /// end-of-stream. Per-stage order is exactly submission order (FIFO).
+///
+/// With a registry, the queue's lock doubles as a contention probe: waits
+/// surface as `lock.sched.queue.contended` / `.wait_us` (obs/mutex.h), the
+/// direct measurement behind ROADMAP item 3d's lock-contention question.
 template <typename T>
 class BoundedMpmcQueue {
  public:
-  explicit BoundedMpmcQueue(std::size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+  explicit BoundedMpmcQueue(std::size_t capacity,
+                            obs::MetricsRegistry* metrics = nullptr)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        mu_(metrics, "sched.queue") {}
 
   BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
   BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
@@ -56,7 +63,7 @@ class BoundedMpmcQueue {
   /// Blocks until there is room (or the queue closes). Returns false — and
   /// drops the item — only when the queue was closed.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<obs::TrackedMutex> lock(mu_);
     not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
     if (closed_) return false;
     PushLocked(std::move(item));
@@ -67,7 +74,7 @@ class BoundedMpmcQueue {
   /// Non-blocking push: false when full or closed.
   bool TryPush(T item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<obs::TrackedMutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       PushLocked(std::move(item));
     }
@@ -78,7 +85,7 @@ class BoundedMpmcQueue {
   /// Blocks until an item is available; nullopt once the queue is closed
   /// *and* drained (in-flight items are never lost to a close).
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<obs::TrackedMutex> lock(mu_);
     not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
     if (items_.empty()) return std::nullopt;
     return PopLocked();
@@ -86,7 +93,7 @@ class BoundedMpmcQueue {
 
   /// Non-blocking pop: nullopt when nothing is queued right now.
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TrackedMutex> lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = items_.front();
     items_.pop_front();
@@ -97,7 +104,7 @@ class BoundedMpmcQueue {
   /// No further pushes succeed; blocked pushers and poppers wake up.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<obs::TrackedMutex> lock(mu_);
       closed_ = true;
     }
     not_full_.notify_all();
@@ -107,13 +114,13 @@ class BoundedMpmcQueue {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   [[nodiscard]] std::size_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TrackedMutex> lock(mu_);
     return items_.size();
   }
 
   /// High-water mark of Size() over the queue's lifetime.
   [[nodiscard]] std::size_t PeakSize() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TrackedMutex> lock(mu_);
     return peak_;
   }
 
@@ -131,9 +138,9 @@ class BoundedMpmcQueue {
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
+  mutable obs::TrackedMutex mu_;
+  std::condition_variable_any not_full_;
+  std::condition_variable_any not_empty_;
   std::deque<T> items_;
   std::size_t peak_ = 0;
   bool closed_ = false;

@@ -1,5 +1,9 @@
 #include "x509/certificate.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
 #include "util/error.h"
 #include "util/hex.h"
 #include "util/strings.h"
@@ -16,14 +20,41 @@ void AppendField(std::string& out, std::string_view key, std::string_view value)
   out.push_back('\n');
 }
 
+// strtoll over a view without materializing a NUL-terminated string. A stack
+// buffer keeps strtoll's exact leading-whitespace / sign / overflow-clamping
+// behavior; serialized timestamps are far below the buffer size.
+long long ParseLongLong(std::string_view value) {
+  char buf[64];
+  const std::size_t n = std::min(value.size(), sizeof(buf) - 1);
+  std::memcpy(buf, value.data(), n);
+  buf[n] = '\0';
+  return std::strtoll(buf, nullptr, 10);
+}
+
 }  // namespace
 
 Certificate::Certificate(CertificateData data) : data_(std::move(data)) {
   if (data_.serial_hex.empty()) throw util::Error("certificate requires a serial");
 }
 
+Certificate::DigestCache& Certificate::Cache() const {
+  std::shared_ptr<DigestCache> cache =
+      digests_.load(std::memory_order_acquire);
+  if (cache == nullptr) {
+    auto fresh = std::make_shared<DigestCache>();
+    if (digests_.compare_exchange_strong(cache, fresh,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      cache = std::move(fresh);
+    }
+    // On failure `cache` was reloaded with the winning thread's cache.
+  }
+  return *cache;
+}
+
 const util::Bytes& Certificate::TbsBytes() const {
-  std::call_once(digests_->tbs_once, [this] {
+  DigestCache& digests = Cache();
+  std::call_once(digests.tbs_once, [this, &digests] {
     std::string out;
     out.append(kMagic);
     out.push_back('\n');
@@ -38,9 +69,9 @@ const util::Bytes& Certificate::TbsBytes() const {
       AppendField(out, "pathlen", std::to_string(*data_.path_len));
     }
     AppendField(out, "spki", util::ToString(data_.spki));
-    digests_->tbs = util::ToBytes(out);
+    digests.tbs = util::ToBytes(out);
   });
-  return digests_->tbs;
+  return digests.tbs;
 }
 
 util::Bytes Certificate::DerBytes() const {
@@ -56,19 +87,31 @@ std::size_t Certificate::DerSize() const {
 }
 
 std::optional<Certificate> Certificate::ParseDer(const util::Bytes& der) {
-  const std::string text = util::ToString(der);
-  const std::vector<std::string> lines = util::Split(text, '\n');
-  if (lines.empty() || lines[0] != kMagic) return std::nullopt;
-
+  // Zero-copy line walk: the only allocations are the retained field values
+  // themselves. This parser runs once per certificate of every bundle in
+  // every scanned app, so the former ToString + Split + per-line substr
+  // copies dominated uncached scan cost.
+  const std::string_view text(reinterpret_cast<const char*>(der.data()),
+                              der.size());
   CertificateData data;
   bool saw_serial = false;
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    const std::string& line = lines[i];
+  bool first = true;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::size_t line_end = nl == std::string_view::npos ? text.size() : nl;
+    const std::string_view line = text.substr(pos, line_end - pos);
+    pos = line_end + 1;  // text.size() + 1 terminates the loop at the end
+    if (first) {
+      if (line != kMagic) return std::nullopt;
+      first = false;
+      continue;
+    }
     if (line.empty()) continue;
     const std::size_t eq = line.find('=');
-    if (eq == std::string::npos) return std::nullopt;
-    const std::string_view key = std::string_view(line).substr(0, eq);
-    const std::string value = line.substr(eq + 1);
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = line.substr(0, eq);
+    const std::string_view value = line.substr(eq + 1);
     if (key == "serial") {
       data.serial_hex = value;
       saw_serial = true;
@@ -77,15 +120,15 @@ std::optional<Certificate> Certificate::ParseDer(const util::Bytes& der) {
     } else if (key == "issuer") {
       data.issuer = DistinguishedName::Parse(value);
     } else if (key == "not_before") {
-      data.not_before = std::strtoll(value.c_str(), nullptr, 10);
+      data.not_before = ParseLongLong(value);
     } else if (key == "not_after") {
-      data.not_after = std::strtoll(value.c_str(), nullptr, 10);
+      data.not_after = ParseLongLong(value);
     } else if (key == "san") {
       if (!value.empty()) data.san_dns = util::Split(value, '|');
     } else if (key == "ca") {
       data.is_ca = value == "1";
     } else if (key == "pathlen") {
-      data.path_len = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+      data.path_len = static_cast<int>(ParseLongLong(value));
     } else if (key == "spki") {
       data.spki = util::ToBytes(value);
     } else if (key == "sig") {
@@ -101,12 +144,13 @@ std::optional<Certificate> Certificate::ParseDer(const util::Bytes& der) {
 }
 
 const Certificate::DigestCache& Certificate::Digests() const {
-  std::call_once(digests_->once, [this] {
-    digests_->fingerprint = crypto::Sha256(DerBytes());
-    digests_->spki_sha256 = crypto::Sha256(data_.spki);
-    digests_->spki_sha1 = crypto::Sha1(data_.spki);
+  DigestCache& digests = Cache();
+  std::call_once(digests.once, [this, &digests] {
+    digests.fingerprint = crypto::Sha256(DerBytes());
+    digests.spki_sha256 = crypto::Sha256(data_.spki);
+    digests.spki_sha1 = crypto::Sha1(data_.spki);
   });
-  return *digests_;
+  return digests;
 }
 
 const crypto::Sha256Digest& Certificate::FingerprintSha256() const {
@@ -135,7 +179,7 @@ bool HostnameMatchesPattern(std::string_view hostname, std::string_view pattern)
 
 bool Certificate::MatchesHostname(std::string_view hostname) const {
   if (data_.san_dns.empty()) {
-    return HostnameMatchesPattern(hostname, data_.subject.common_name);
+    return HostnameMatchesPattern(hostname, data_.subject.common_name());
   }
   for (const std::string& san : data_.san_dns) {
     if (HostnameMatchesPattern(hostname, san)) return true;

@@ -8,6 +8,7 @@
 // exclusively in root stores, exactly as in the real PKI.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -46,6 +47,32 @@ class Certificate {
  public:
   Certificate() = default;
   explicit Certificate(CertificateData data);
+
+  // The digest cache is allocated lazily (see Cache()), so copies must read
+  // the slot atomically: a copy may race with another thread's first digest
+  // computation on the same source object.
+  Certificate(const Certificate& other)
+      : data_(other.data_),
+        digests_(other.digests_.load(std::memory_order_acquire)) {}
+  Certificate(Certificate&& other) noexcept
+      : data_(std::move(other.data_)),
+        digests_(other.digests_.load(std::memory_order_acquire)) {}
+  Certificate& operator=(const Certificate& other) {
+    if (this != &other) {
+      data_ = other.data_;
+      digests_.store(other.digests_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+    }
+    return *this;
+  }
+  Certificate& operator=(Certificate&& other) noexcept {
+    if (this != &other) {
+      data_ = std::move(other.data_);
+      digests_.store(other.digests_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+    }
+    return *this;
+  }
 
   [[nodiscard]] const CertificateData& data() const { return data_; }
   [[nodiscard]] const std::string& serial() const { return data_.serial_hex; }
@@ -116,11 +143,12 @@ class Certificate {
   }
 
  private:
-  /// Lazily-computed digests and serializations, shared by copies (all
-  /// copies carry identical immutable data, so the first computation serves
-  /// every copy). call_once makes concurrent first use from parallel study
-  /// workers safe. The TBS bytes have their own flag: issuance needs them
-  /// on not-yet-signed certificates whose digests would be meaningless.
+  /// Lazily-computed digests and serializations, shared by copies taken
+  /// after the first computation (all copies carry identical immutable data,
+  /// so one computation serves them). call_once makes concurrent first use
+  /// from parallel study workers safe. The TBS bytes have their own flag:
+  /// issuance needs them on not-yet-signed certificates whose digests would
+  /// be meaningless.
   struct DigestCache {
     std::once_flag tbs_once;
     util::Bytes tbs;
@@ -130,10 +158,16 @@ class Certificate {
     crypto::Sha1Digest spki_sha1{};
   };
 
+  /// Returns the digest cache, allocating it on first use. Most certificates
+  /// a scan parses are never digested, so the allocation (and its ~150-byte
+  /// zeroing) stays off the parse path; a lock-free CAS converges concurrent
+  /// first users onto one cache.
+  DigestCache& Cache() const;
+
   const DigestCache& Digests() const;
 
   CertificateData data_;
-  std::shared_ptr<DigestCache> digests_ = std::make_shared<DigestCache>();
+  mutable std::atomic<std::shared_ptr<DigestCache>> digests_;
 };
 
 /// An ordered certificate chain, leaf first (as servers send it).

@@ -33,7 +33,7 @@ void CtLog::Add(const Certificate& cert) {
   const auto sha1 = cert.SpkiSha1();
   by_digest_[util::HexEncode(util::Bytes(sha256.begin(), sha256.end()))].push_back(idx);
   by_digest_[util::HexEncode(util::Bytes(sha1.begin(), sha1.end()))].push_back(idx);
-  by_cn_[cert.subject().common_name].push_back(idx);
+  by_cn_[std::string(cert.subject().common_name())].push_back(idx);
 }
 
 std::vector<Certificate> CtLog::FindBySpkiDigest(std::string_view digest) const {

@@ -6,33 +6,39 @@ namespace pinscope::x509 {
 
 std::string DistinguishedName::ToString() const {
   std::string out;
-  auto add = [&out](std::string_view key, const std::string& value) {
+  auto add = [&out](std::string_view key, std::string_view value) {
     if (value.empty()) return;
     if (!out.empty()) out.push_back(',');
     out.append(key);
     out.push_back('=');
     out.append(value);
   };
-  add("CN", common_name);
-  add("O", organization);
-  add("C", country);
+  add("CN", common_name());
+  add("O", organization());
+  add("C", country());
   return out;
 }
 
 DistinguishedName DistinguishedName::Parse(std::string_view s) {
+  // Parsed once per certificate field; splitting on views keeps the only
+  // allocation the packed backing buffer itself.
   DistinguishedName dn;
-  for (const std::string& part : util::Split(s, ',')) {
-    const std::string_view p = util::Trim(part);
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t part_end = comma == std::string_view::npos ? s.size() : comma;
+    const std::string_view p = util::Trim(s.substr(pos, part_end - pos));
+    pos = part_end + 1;
     const std::size_t eq = p.find('=');
     if (eq == std::string_view::npos) continue;
     const std::string_view key = p.substr(0, eq);
-    const std::string value(p.substr(eq + 1));
+    const std::string_view value = p.substr(eq + 1);
     if (key == "CN") {
-      dn.common_name = value;
+      dn.set_common_name(value);
     } else if (key == "O") {
-      dn.organization = value;
+      dn.set_organization(value);
     } else if (key == "C") {
-      dn.country = value;
+      dn.set_country(value);
     }
   }
   return dn;

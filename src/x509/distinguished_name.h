@@ -1,20 +1,41 @@
 // X.500 distinguished names (the subset certificates in this study carry).
 #pragma once
 
-#include <compare>
 #include <string>
 #include <string_view>
+
+#include "util/packed_strings.h"
 
 namespace pinscope::x509 {
 
 /// A distinguished name with the attributes mobile-app certificates carry in
 /// practice: CommonName, Organization, Country.
-struct DistinguishedName {
-  std::string common_name;
-  std::string organization;
-  std::string country;
+///
+/// The three attributes share one packed backing buffer (see
+/// util/packed_strings.h): certificates exist in corpus-sized quantities and
+/// most names are CN-only, so this halves the struct and collapses the
+/// per-attribute string headers into one. Accessors return views into the
+/// buffer — valid until the next set_*() on the same object.
+class DistinguishedName {
+ public:
+  DistinguishedName() = default;
+  DistinguishedName(std::string_view cn, std::string_view o = {},
+                    std::string_view c = {}) {
+    set_common_name(cn);
+    set_organization(o);
+    set_country(c);
+  }
 
-  friend auto operator<=>(const DistinguishedName&, const DistinguishedName&) = default;
+  [[nodiscard]] std::string_view common_name() const { return parts_[0]; }
+  [[nodiscard]] std::string_view organization() const { return parts_[1]; }
+  [[nodiscard]] std::string_view country() const { return parts_[2]; }
+
+  void set_common_name(std::string_view v) { parts_.set(0, v); }
+  void set_organization(std::string_view v) { parts_.set(1, v); }
+  void set_country(std::string_view v) { parts_.set(2, v); }
+
+  friend bool operator==(const DistinguishedName&,
+                         const DistinguishedName&) = default;
 
   /// RFC 2253-style single-line rendering, e.g. "CN=api.example.com,O=Example,C=US".
   [[nodiscard]] std::string ToString() const;
@@ -22,6 +43,9 @@ struct DistinguishedName {
   /// Parses the rendering produced by ToString(). Unknown attributes are
   /// ignored; missing ones stay empty.
   [[nodiscard]] static DistinguishedName Parse(std::string_view s);
+
+ private:
+  util::PackedStrings<3> parts_;  ///< [0]=CN, [1]=O, [2]=C.
 };
 
 }  // namespace pinscope::x509

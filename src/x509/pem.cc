@@ -20,15 +20,32 @@ std::string PemEncode(const Certificate& cert) {
 
 namespace {
 
+constexpr bool IsPemSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' ||
+         c == '\r';
+}
+
 std::optional<Certificate> DecodeBlock(std::string_view body) {
-  std::string compact;
+  // Whitespace stripping runs once per certificate of every bundle scanned
+  // per app: a reused scratch buffer keeps it off the allocator, and whole
+  // base64 lines are appended per memcpy instead of per character.
+  thread_local std::string compact;
+  compact.clear();
   compact.reserve(body.size());
-  for (char c : body) {
-    if (!std::isspace(static_cast<unsigned char>(c))) compact.push_back(c);
+  std::size_t i = 0;
+  while (i < body.size()) {
+    if (IsPemSpace(body[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < body.size() && !IsPemSpace(body[j])) ++j;
+    compact.append(body, i, j - i);
+    i = j;
   }
-  const auto der = util::Base64Decode(compact);
-  if (!der) return std::nullopt;
-  return Certificate::ParseDer(*der);
+  thread_local util::Bytes der;
+  if (!util::Base64DecodeInto(compact, der)) return std::nullopt;
+  return Certificate::ParseDer(der);
 }
 
 }  // namespace
@@ -42,19 +59,27 @@ std::optional<Certificate> PemDecode(std::string_view text) {
   return DecodeBlock(text.substr(body_start, end - body_start));
 }
 
+std::optional<Certificate> PemDecodeAt(std::string_view text, std::size_t begin,
+                                       std::size_t* resume) {
+  const std::size_t body_start = begin + kPemBegin.size();
+  const std::size_t end = text.find(kPemEnd, body_start);
+  if (end == std::string_view::npos) {
+    *resume = text.size();
+    return std::nullopt;
+  }
+  *resume = end + kPemEnd.size();
+  return DecodeBlock(text.substr(body_start, end - body_start));
+}
+
 std::vector<Certificate> PemDecodeAll(std::string_view text) {
   std::vector<Certificate> out;
   std::size_t pos = 0;
   while (true) {
     const std::size_t begin = text.find(kPemBegin, pos);
     if (begin == std::string_view::npos) return out;
-    const std::size_t body_start = begin + kPemBegin.size();
-    const std::size_t end = text.find(kPemEnd, body_start);
-    if (end == std::string_view::npos) return out;
-    if (auto cert = DecodeBlock(text.substr(body_start, end - body_start))) {
+    if (auto cert = PemDecodeAt(text, begin, &pos)) {
       out.push_back(std::move(*cert));
     }
-    pos = end + kPemEnd.size();
   }
 }
 

@@ -27,4 +27,15 @@ inline constexpr std::string_view kPemEnd = "-----END CERTIFICATE-----";
 /// Parses every PEM certificate block in `text`, skipping malformed blocks.
 [[nodiscard]] std::vector<Certificate> PemDecodeAll(std::string_view text);
 
+/// Incremental single-block decode for callers that locate BEGIN markers
+/// themselves (the scanner's multi-literal prefilter). `begin` must be the
+/// offset of a kPemBegin occurrence in `text`. Decodes the block that starts
+/// there and sets `resume` to the first offset after its END marker — the
+/// position PemDecodeAll would continue from — or to `text.size()` when no
+/// END marker follows (in which case no further block exists in `text`).
+/// Returns nullopt for malformed blocks; `resume` is still advanced.
+[[nodiscard]] std::optional<Certificate> PemDecodeAt(std::string_view text,
+                                                     std::size_t begin,
+                                                     std::size_t* resume);
+
 }  // namespace pinscope::x509

@@ -17,7 +17,7 @@ void RootStore::AddRoot(Certificate root) {
 
 void RootStore::IndexRoot(std::size_t index) {
   const Certificate& root = roots_[index];
-  by_subject_cn_[root.subject().common_name].push_back(index);
+  by_subject_cn_[std::string(root.subject().common_name())].push_back(index);
   const crypto::Sha256Digest& fp = root.FingerprintSha256();
   // XOR of per-anchor hashes: order-independent, so equal anchor sets built
   // in any order produce the same token.
@@ -26,7 +26,7 @@ void RootStore::IndexRoot(std::size_t index) {
 }
 
 bool RootStore::IsTrustedRoot(const Certificate& cert) const {
-  const auto it = by_subject_cn_.find(cert.subject().common_name);
+  const auto it = by_subject_cn_.find(cert.subject().common_name());
   if (it == by_subject_cn_.end()) return false;
   for (const std::size_t index : it->second) {
     const Certificate& r = roots_[index];
@@ -66,9 +66,9 @@ std::vector<PublicCaInfo> BuildInfos() {
 
 CertificateIssuer BuildIssuer(const PublicCaInfo& info) {
   DistinguishedName dn;
-  dn.common_name = info.common_name;
-  dn.organization = info.organization;
-  dn.country = "US";
+  dn.set_common_name(info.common_name);
+  dn.set_organization(info.organization);
+  dn.set_country("US");
   // Roots live decades; the expired anchor ended a year before the study.
   const util::SimTime begin = util::kStudyEpoch - 15 * util::kMillisPerYear;
   const util::SimTime end = info.expired
@@ -79,9 +79,9 @@ CertificateIssuer BuildIssuer(const PublicCaInfo& info) {
 
 CertificateIssuer BuildOemExtra() {
   DistinguishedName dn;
-  dn.common_name = "HandsetMaker Device Root CA";
-  dn.organization = "HandsetMaker Electronics";
-  dn.country = "KR";
+  dn.set_common_name("HandsetMaker Device Root CA");
+  dn.set_organization("HandsetMaker Electronics");
+  dn.set_country("KR");
   return CertificateIssuer::SelfSignedRoot(
       "ca.oem.handsetmaker", dn, util::kStudyEpoch - 5 * util::kMillisPerYear,
       util::kStudyEpoch + 10 * util::kMillisPerYear);

@@ -85,7 +85,7 @@ ValidationResult ValidateChain(const CertificateChain& chain,
       // Terminal certificate: either a self-signed anchor/leaf, or an
       // intermediate whose issuer must be found in the root store.
       if (!cert.IsSelfIssued()) {
-        const Certificate* anchor = store.FindBySubject(cert.issuer().common_name);
+        const Certificate* anchor = store.FindBySubject(cert.issuer().common_name());
         if (anchor != nullptr) {
           if (options.check_signatures && !VerifySignature(cert, anchor->spki())) {
             return {ValidationStatus::kBadSignature, i};
@@ -128,7 +128,7 @@ ValidationResult ValidateChain(const CertificateChain& chain,
     // store. Self-signed leaves are trusted only if explicitly anchored.
     const Certificate& last = chain.back();
     if (!store.IsTrustedRoot(last) &&
-        store.FindBySubject(last.issuer().common_name) == nullptr) {
+        store.FindBySubject(last.issuer().common_name()) == nullptr) {
       return {ValidationStatus::kUntrustedRoot, chain.size() - 1};
     }
   }
@@ -144,14 +144,14 @@ std::string DescribeValidationFailure(const ValidationResult& result,
     out += " at depth ";
     out += std::to_string(result.failing_index);
     out += " (";
-    out += chain[result.failing_index].subject().common_name;
+    out += chain[result.failing_index].subject().common_name();
     out += ")";
   }
   if (!chain.empty()) {
     out += " in chain [";
     for (std::size_t i = 0; i < chain.size(); ++i) {
       if (i > 0) out += " <- ";
-      out += chain[i].subject().common_name;
+      out += chain[i].subject().common_name();
     }
     out += "]";
   }

@@ -19,7 +19,7 @@ AppMetadata Meta() {
 
 x509::Certificate Cert() {
   x509::IssueSpec spec;
-  spec.subject.common_name = "apk.example.com";
+  spec.subject.set_common_name("apk.example.com");
   return x509::CertificateIssuer::SelfSignedLeaf("apk-cert", spec);
 }
 

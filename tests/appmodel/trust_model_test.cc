@@ -68,7 +68,7 @@ TEST(TrustModelTest, WhyThePaperModifiedTheFactoryImage) {
   const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.globaltrust");
   util::Rng rng(12);
   x509::IssueSpec spec;
-  spec.subject.common_name = "bank.trust.com";
+  spec.subject.set_common_name("bank.trust.com");
   spec.san_dns = {"bank.trust.com"};
   spec.not_before = -util::kMillisPerDay;
   spec.not_after = util::kMillisPerYear;

@@ -109,8 +109,8 @@ TEST(SpinnerTest, ForeignChainUsesDifferentAnchor) {
   const auto world = MakeWorld();
   const auto same = world.MakeDecoyChain("api.fixture.com", "a.net");
   const auto foreign = world.MakeForeignChain("api.fixture.com", "a.net");
-  EXPECT_NE(same.back().subject().common_name,
-            foreign.back().subject().common_name);
+  EXPECT_NE(same.back().subject().common_name(),
+            foreign.back().subject().common_name());
 }
 
 }  // namespace

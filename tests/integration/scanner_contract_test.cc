@@ -74,7 +74,7 @@ TEST(ScannerContractTest, EmbeddedCertFilesParseBackToServedCertificates) {
       const auto report = staticanalysis::AnalyzeStatically(app, opts);
       for (const auto& found : report.scan.certificates) {
         ++certs_seen;
-        EXPECT_FALSE(found.cert.subject().common_name.empty()) << found.path;
+        EXPECT_FALSE(found.cert.subject().common_name().empty()) << found.path;
       }
     }
   }

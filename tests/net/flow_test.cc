@@ -13,7 +13,7 @@ tls::ConnectionOutcome MakeOutcome(bool with_data) {
   const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.globaltrust");
   util::Rng rng(21);
   x509::IssueSpec spec;
-  spec.subject.common_name = "flow.test.com";
+  spec.subject.set_common_name("flow.test.com");
   spec.san_dns = {"flow.test.com"};
   spec.not_before = -util::kMillisPerDay;
   spec.not_after = util::kMillisPerYear;

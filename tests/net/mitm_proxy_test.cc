@@ -12,7 +12,7 @@ struct ProxyWorld {
     const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.orionsign");
     util::Rng rng(31);
     x509::IssueSpec spec;
-    spec.subject.common_name = "api.proxied.com";
+    spec.subject.set_common_name("api.proxied.com");
     spec.san_dns = {"api.proxied.com"};
     spec.not_before = -util::kMillisPerDay;
     spec.not_after = util::kMillisPerYear;

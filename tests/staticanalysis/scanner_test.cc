@@ -12,7 +12,7 @@ namespace {
 
 x509::Certificate TestCert(const std::string& cn) {
   x509::IssueSpec spec;
-  spec.subject.common_name = cn;
+  spec.subject.set_common_name(cn);
   return x509::CertificateIssuer::SelfSignedLeaf("scan:" + cn, spec);
 }
 

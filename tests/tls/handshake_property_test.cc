@@ -40,7 +40,7 @@ TEST_P(HandshakeDetectorGrid, WireClassificationMatchesGroundTruth) {
   // World: leaf ← intermediate ← catalog root.
   const auto& root = x509::PublicCaCatalog::Instance().ByLabel("ca.trustanchor");
   x509::IssueSpec inter_spec;
-  inter_spec.subject.common_name = "Grid Intermediate";
+  inter_spec.subject.set_common_name("Grid Intermediate");
   inter_spec.not_before = -util::kMillisPerYear;
   inter_spec.not_after = 5 * util::kMillisPerYear;
   inter_spec.is_ca = true;
@@ -48,7 +48,7 @@ TEST_P(HandshakeDetectorGrid, WireClassificationMatchesGroundTruth) {
       root.CreateIntermediate(inter_spec, "grid-inter");
   util::Rng rng(static_cast<std::uint64_t>(seed) + 1);
   x509::IssueSpec leaf_spec;
-  leaf_spec.subject.common_name = "grid.example.com";
+  leaf_spec.subject.set_common_name("grid.example.com");
   leaf_spec.san_dns = {"grid.example.com"};
   leaf_spec.not_before = -util::kMillisPerDay;
   leaf_spec.not_after = util::kMillisPerYear;

@@ -14,7 +14,7 @@ struct HsWorld {
     const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.globaltrust");
     util::Rng rng(11);
     x509::IssueSpec spec;
-    spec.subject.common_name = "api.hs.com";
+    spec.subject.set_common_name("api.hs.com");
     spec.san_dns = {"api.hs.com"};
     spec.not_before = -30 * util::kMillisPerDay;
     spec.not_after = util::kMillisPerYear;

@@ -16,7 +16,7 @@ struct PinWorld {
             -util::kMillisPerYear, 10 * util::kMillisPerYear)) {
     util::Rng rng(3);
     x509::IssueSpec spec;
-    spec.subject.common_name = "pin.test.com";
+    spec.subject.set_common_name("pin.test.com");
     spec.san_dns = {"pin.test.com"};
     leaf = root.Issue(spec, rng);
     chain = {leaf, root.certificate()};
@@ -52,7 +52,7 @@ TEST(PinTest, SpkiPinSurvivesKeyReusingRenewal) {
   // Reissue for the same key with a fresh validity window.
   const crypto::KeyPair key = crypto::KeyPair::FromLabel("renewal-key");
   x509::IssueSpec spec;
-  spec.subject.common_name = "pin.test.com";
+  spec.subject.set_common_name("pin.test.com");
   spec.san_dns = {"pin.test.com"};
   const x509::Certificate old_leaf = w.root.IssueForKey(spec, key);
   spec.not_after = 2 * util::kMillisPerYear;
@@ -172,7 +172,7 @@ TEST(PinPolicyTest, EvaluateFailsWhenNoPinMatchesInterceptedChain) {
       -util::kMillisPerYear, util::kMillisPerYear);
   util::Rng rng(5);
   x509::IssueSpec spec;
-  spec.subject.common_name = "pin.test.com";
+  spec.subject.set_common_name("pin.test.com");
   spec.san_dns = {"pin.test.com"};
   const x509::CertificateChain forged = {proxy.Issue(spec, rng), proxy.certificate()};
   EXPECT_FALSE(policy.Evaluate("pin.test.com", forged));

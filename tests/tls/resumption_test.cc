@@ -15,7 +15,7 @@ struct ResumeWorld {
     const auto& ca = x509::PublicCaCatalog::Instance().ByLabel("ca.securewire");
     util::Rng rng(41);
     x509::IssueSpec spec;
-    spec.subject.common_name = "resume.example.com";
+    spec.subject.set_common_name("resume.example.com");
     spec.san_dns = {"resume.example.com"};
     spec.not_before = -util::kMillisPerDay;
     spec.not_after = util::kMillisPerYear;

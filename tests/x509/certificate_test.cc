@@ -10,7 +10,7 @@ namespace {
 
 Certificate MakeLeaf(const std::string& host) {
   IssueSpec spec;
-  spec.subject.common_name = host;
+  spec.subject.set_common_name(host);
   spec.san_dns = {host, "alt." + host};
   spec.not_before = 0;
   spec.not_after = util::kMillisPerYear;
@@ -22,7 +22,7 @@ TEST(CertificateTest, DerRoundTrips) {
   const auto parsed = Certificate::ParseDer(cert.DerBytes());
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(*parsed, cert);
-  EXPECT_EQ(parsed->subject().common_name, "api.example.com");
+  EXPECT_EQ(parsed->subject().common_name(), "api.example.com");
   EXPECT_EQ(parsed->san_dns().size(), 2u);
   EXPECT_EQ(parsed->signature(), cert.signature());
 }
@@ -57,9 +57,9 @@ TEST(CertificateTest, SpkiDigestTracksKeyNotName) {
       "ca", DistinguishedName{"Test CA", "T", "US"}, -util::kMillisPerYear,
       util::kMillisPerYear * 10);
   IssueSpec s1;
-  s1.subject.common_name = "one.example.com";
+  s1.subject.set_common_name("one.example.com");
   IssueSpec s2;
-  s2.subject.common_name = "two.example.com";
+  s2.subject.set_common_name("two.example.com");
   const Certificate c1 = ca.IssueForKey(s1, key);
   const Certificate c2 = ca.IssueForKey(s2, key);
   EXPECT_EQ(c1.SpkiSha256(), c2.SpkiSha256());
@@ -99,7 +99,7 @@ TEST(CertificateTest, MatchesHostnameViaSan) {
 
 TEST(CertificateTest, FallsBackToCommonNameWithoutSans) {
   IssueSpec spec;
-  spec.subject.common_name = "cn-only.example.com";
+  spec.subject.set_common_name("cn-only.example.com");
   const Certificate cert = CertificateIssuer::SelfSignedLeaf("cn-only", spec);
   EXPECT_TRUE(cert.MatchesHostname("cn-only.example.com"));
   EXPECT_FALSE(cert.MatchesHostname("other.example.com"));
@@ -113,8 +113,8 @@ TEST(DistinguishedNameTest, RoundTrips) {
 
 TEST(DistinguishedNameTest, ParsesPartialNames) {
   const DistinguishedName dn = DistinguishedName::Parse("CN=only-cn");
-  EXPECT_EQ(dn.common_name, "only-cn");
-  EXPECT_TRUE(dn.organization.empty());
+  EXPECT_EQ(dn.common_name(), "only-cn");
+  EXPECT_TRUE(dn.organization().empty());
 }
 
 }  // namespace

@@ -11,7 +11,7 @@ namespace {
 
 Certificate MakeCert(const std::string& cn) {
   IssueSpec spec;
-  spec.subject.common_name = cn;
+  spec.subject.set_common_name(cn);
   return CertificateIssuer::SelfSignedLeaf("ct:" + cn, spec);
 }
 
@@ -72,7 +72,7 @@ TEST(CtLogTest, SharedKeyReturnsAllCertificates) {
       "ct-ca", DistinguishedName{"CT CA", "", "US"}, -util::kMillisPerYear,
       util::kMillisPerYear * 10);
   IssueSpec s1;
-  s1.subject.common_name = "renewed.example.com";
+  s1.subject.set_common_name("renewed.example.com");
   IssueSpec s2 = s1;
   s2.not_after = 2 * util::kMillisPerYear;
   log.Add(ca.IssueForKey(s1, key));

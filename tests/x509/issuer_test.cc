@@ -19,7 +19,7 @@ TEST(IssuerTest, SignaturesBindContentToIssuer) {
       util::kMillisPerYear * 10);
   util::Rng rng(1);
   IssueSpec spec;
-  spec.subject.common_name = "a.example.com";
+  spec.subject.set_common_name("a.example.com");
   const Certificate cert = root.Issue(spec, rng);
   EXPECT_TRUE(VerifySignature(cert, root.certificate().spki()));
   // Wrong issuer key material fails verification.
@@ -37,7 +37,7 @@ TEST(IssuerTest, SerialsAreUniquePerIssuer) {
   std::set<std::string> serials;
   for (int i = 0; i < 50; ++i) {
     IssueSpec spec;
-    spec.subject.common_name = "host" + std::to_string(i % 7) + ".example.com";
+    spec.subject.set_common_name("host" + std::to_string(i % 7) + ".example.com");
     EXPECT_TRUE(serials.insert(root.Issue(spec, rng).serial()).second);
   }
 }
@@ -74,7 +74,7 @@ TEST_P(ChainDepth, DeepChainsValidate) {
   const CertificateIssuer* current = &root;
   for (int i = 0; i < depth - 2; ++i) {
     IssueSpec spec;
-    spec.subject.common_name = "Intermediate " + std::to_string(i);
+    spec.subject.set_common_name("Intermediate " + std::to_string(i));
     spec.not_before = -util::kMillisPerYear;
     spec.not_after = 5 * util::kMillisPerYear;
     spec.is_ca = true;
@@ -85,7 +85,7 @@ TEST_P(ChainDepth, DeepChainsValidate) {
 
   util::Rng rng(3);
   IssueSpec leaf_spec;
-  leaf_spec.subject.common_name = "deep.example.com";
+  leaf_spec.subject.set_common_name("deep.example.com");
   leaf_spec.san_dns = {"deep.example.com"};
   leaf_spec.not_before = -util::kMillisPerDay;
   leaf_spec.not_after = util::kMillisPerYear;
@@ -118,7 +118,7 @@ TEST_P(KeyAlgorithms, IssueForKeyEmbedsAlgorithm) {
       "algo-root", DistinguishedName{"Algo Root", "", "US"},
       -util::kMillisPerYear, util::kMillisPerYear * 10);
   IssueSpec spec;
-  spec.subject.common_name = "algo.example.com";
+  spec.subject.set_common_name("algo.example.com");
   const Certificate cert = root.IssueForKey(spec, key);
   EXPECT_EQ(cert.spki(), key.SubjectPublicKeyInfo());
   EXPECT_TRUE(VerifySignature(cert, root.certificate().spki()));

@@ -10,7 +10,7 @@ namespace {
 
 Certificate MakeCert(const std::string& cn) {
   IssueSpec spec;
-  spec.subject.common_name = cn;
+  spec.subject.set_common_name(cn);
   return CertificateIssuer::SelfSignedLeaf("pem:" + cn, spec);
 }
 

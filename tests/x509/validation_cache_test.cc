@@ -24,7 +24,7 @@ struct World {
         store("test", {root.certificate()}) {
     util::Rng rng(7);
     IssueSpec spec;
-    spec.subject.common_name = "api.test.com";
+    spec.subject.set_common_name("api.test.com");
     spec.san_dns = {"api.test.com"};
     spec.not_before = -30 * util::kMillisPerDay;
     spec.not_after = util::kMillisPerYear;

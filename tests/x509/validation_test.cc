@@ -28,7 +28,7 @@ struct World {
         store("test", {root.certificate()}) {
     util::Rng rng(7);
     IssueSpec leaf_spec;
-    leaf_spec.subject.common_name = "api.test.com";
+    leaf_spec.subject.set_common_name("api.test.com");
     leaf_spec.san_dns = {"api.test.com"};
     leaf_spec.not_before = -30 * util::kMillisPerDay;
     leaf_spec.not_after = util::kMillisPerYear;
@@ -188,7 +188,7 @@ TEST(ValidationTest, AcceptsChainWithoutRootWhenAnchorInStore) {
 
 TEST(ValidationTest, SelfSignedLeafUntrustedByDefault) {
   IssueSpec spec;
-  spec.subject.common_name = "self.test.com";
+  spec.subject.set_common_name("self.test.com");
   spec.san_dns = {"self.test.com"};
   spec.not_before = -util::kMillisPerDay;
   spec.not_after = util::kMillisPerYear;
@@ -200,7 +200,7 @@ TEST(ValidationTest, SelfSignedLeafUntrustedByDefault) {
 
 TEST(ValidationTest, SelfSignedLeafTrustedWhenAnchored) {
   IssueSpec spec;
-  spec.subject.common_name = "self.test.com";
+  spec.subject.set_common_name("self.test.com");
   spec.san_dns = {"self.test.com"};
   spec.not_before = -util::kMillisPerDay;
   spec.not_after = util::kMillisPerYear;
@@ -255,7 +255,7 @@ TEST(ValidationTest, PathLenConstraintEnforced) {
 
   util::Rng rng(8);
   IssueSpec leaf_spec;
-  leaf_spec.subject.common_name = "plc.example.com";
+  leaf_spec.subject.set_common_name("plc.example.com");
   leaf_spec.san_dns = {"plc.example.com"};
   leaf_spec.not_before = -util::kMillisPerDay;
   leaf_spec.not_after = util::kMillisPerYear;
