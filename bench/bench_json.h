@@ -11,17 +11,29 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/process.h"
 
 namespace pinscope::bench {
 
-/// Appends the per-phase wall-time breakdown to `head` (which must end just
-/// after the last benchmark-specific field's trailing ",\n"), closes the
-/// JSON object, prints it to stdout, and writes it to `path`. Returns the
-/// process exit code: 0 on success, 1 when the file cannot be written.
+/// The process-level resource block every BENCH_*.json carries: the peak
+/// resident set at write time (JSON null where procfs is unavailable).
+inline std::string ProcessBlockJson() {
+  const auto peak = obs::ReadPeakRssBytes();
+  return "  \"process\": {\"peak_rss_bytes\": " +
+         (peak.has_value() ? std::to_string(*peak) : std::string("null")) +
+         "},\n";
+}
+
+/// Appends the process resource block and the per-phase wall-time breakdown
+/// to `head` (which must end just after the last benchmark-specific field's
+/// trailing ",\n"), closes the JSON object, prints it to stdout, and writes
+/// it to `path`. Returns the process exit code: 0 on success, 1 when the
+/// file cannot be written.
 inline int WriteBenchJsonWithPhases(const char* path, const std::string& head,
                                     const obs::MetricsSnapshot& snapshot) {
   const std::string full =
-      head + "  \"phases\": " + obs::WritePhaseBreakdownJson(snapshot) + "\n}\n";
+      head + ProcessBlockJson() +
+      "  \"phases\": " + obs::WritePhaseBreakdownJson(snapshot) + "\n}\n";
   std::fputs(full.c_str(), stdout);
   if (std::FILE* f = std::fopen(path, "w")) {
     std::fputs(full.c_str(), f);

@@ -15,13 +15,17 @@
 // schedulers must agree exactly). Both timed studies run WITHOUT an
 // observer (an attached observer journals every verdict, a cost that once
 // skewed this comparison); queue metrics come from one extra untimed
-// instrumented run. On machines with fewer than two hardware threads the
-// pipeline resolves to its inline serial path, where the ready queue never
-// exists: expect queue_peak_depth 0 and speedup ≈ 1.0 there — the
-// scheduler comparison is only meaningful at ≥2 cores.
+// instrumented run. Both schedulers run at an explicit worker count —
+// PINSCOPE_BENCH_THREADS, default max(2, hardware threads) — never at
+// "hardware concurrency" directly: on a single-core CI box that default
+// used to resolve both sides to the inline serial path, making the
+// comparison serial-vs-serial and the numbers meaningless. The worker
+// count actually used is recorded as scheduler.workers in the JSON.
 //
 // Knobs: PINSCOPE_BENCH_SCALE_PCT (ecosystem scale in percent, default 5),
-//        PINSCOPE_BENCH_REPS (timed repetitions, default 5; best rep wins).
+//        PINSCOPE_BENCH_REPS (timed repetitions, default 5; best rep wins),
+//        PINSCOPE_BENCH_THREADS (scheduler-comparison workers, default
+//        max(2, hardware threads)).
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -104,10 +108,10 @@ double TimedPass(const store::Ecosystem& eco, bool use_fixtures,
 /// One full Study under `scheduler`; returns wall milliseconds and leaves
 /// the CSV export (the equality guard) in `csv_out`.
 double TimedStudy(const store::Ecosystem& eco, core::SchedulerKind scheduler,
-                  std::string* csv_out, obs::Observer* observer) {
+                  int workers, std::string* csv_out, obs::Observer* observer) {
   core::StudyOptions opts;
   opts.scheduler = scheduler;
-  opts.threads = 0;  // hardware concurrency
+  opts.threads = workers;
   opts.dynamic.parallel_phases = true;
   opts.observer = observer;
   core::Study study(eco, opts);
@@ -166,13 +170,16 @@ int main() {
   // Scheduler dimension: full studies, phase-barrier vs pipelined. Both
   // sides run observer-free so the timings compare schedulers, not
   // instrumentation.
+  const int bench_threads =
+      EnvInt("PINSCOPE_BENCH_THREADS",
+             static_cast<int>(std::max(2u, std::thread::hardware_concurrency())));
   double best_phases = 0.0, best_pipeline = 0.0;
   for (int r = 0; r < reps; ++r) {
     std::string phases_csv, pipeline_csv;
-    const double phases_ms =
-        TimedStudy(eco, core::SchedulerKind::kPhases, &phases_csv, nullptr);
+    const double phases_ms = TimedStudy(eco, core::SchedulerKind::kPhases,
+                                        bench_threads, &phases_csv, nullptr);
     const double pipeline_ms = TimedStudy(eco, core::SchedulerKind::kPipeline,
-                                          &pipeline_csv, nullptr);
+                                          bench_threads, &pipeline_csv, nullptr);
     if (r == 0 || phases_ms < best_phases) best_phases = phases_ms;
     if (r == 0 || pipeline_ms < best_pipeline) best_pipeline = pipeline_ms;
     std::fprintf(stderr,
@@ -195,8 +202,8 @@ int main() {
   {
     obs::Observer sched_observer;
     std::string instrumented_csv;
-    (void)TimedStudy(eco, core::SchedulerKind::kPipeline, &instrumented_csv,
-                     &sched_observer);
+    (void)TimedStudy(eco, core::SchedulerKind::kPipeline, bench_threads,
+                     &instrumented_csv, &sched_observer);
     const obs::MetricsSnapshot snap = sched_observer.metrics().Snapshot();
     if (const auto it = snap.gauges.find("sched.queue_peak_depth");
         it != snap.gauges.end()) {
@@ -229,7 +236,7 @@ int main() {
       "  \"validation_cache\": {\"lookups\": %zu, \"hits\": %zu, \"misses\": %zu,\n"
       "                       \"entries\": %zu, \"hit_rate\": %.4f},\n"
       "  \"scheduler\": {\"phases_ms\": %.3f, \"pipeline_ms\": %.3f,\n"
-      "                \"speedup\": %.2f, \"workers\": %u,\n"
+      "                \"speedup\": %.2f, \"workers\": %d,\n"
       "                \"queue_peak_depth\": %llu,\n"
       "                \"queue_lock_contended\": %llu,\n"
       "                \"queue_lock_wait_ms\": %.3f},\n",
@@ -238,7 +245,7 @@ int main() {
       forged.misses, forged.entries, forged.HitRate(), validation.lookups,
       validation.hits, validation.misses, validation.entries,
       validation.HitRate(), best_phases, best_pipeline, sched_speedup,
-      std::max(1u, std::thread::hardware_concurrency()),
+      bench_threads,
       static_cast<unsigned long long>(peak_depth),
       static_cast<unsigned long long>(queue_contended), queue_wait_ms);
 

@@ -1,0 +1,197 @@
+// Streaming-study scale and warm-start benchmark.
+//
+// Two claims from DESIGN.md §15, each measured and written to
+// BENCH_stream.json:
+//
+//  1. Bounded memory: a streaming study's peak RSS is set by the scheduler's
+//     in-flight window, not corpus size. Witness: stream a small synthetic
+//     corpus, record the process high-water mark, then stream a corpus 20x
+//     larger and check the mark barely moves (flat_within_2x). Order
+//     matters — VmHWM is monotone for the process lifetime, so the small
+//     run MUST come first; anything the large run adds shows up in its own
+//     reading.
+//
+//  2. Warm starts: persisting the content-keyed scan and validation caches
+//     (--cache-dir) makes re-analysis of an unchanged corpus much cheaper.
+//     Witness: a unique-payload corpus (every app a distinct content digest,
+//     stacked PEM blocks per file) where the in-run cache can never help
+//     across apps — cold scans pay full price, a second run over the same
+//     corpus with the persisted caches hits everything. A byte-equality
+//     guard on the exports enforces that warm results are identical to cold.
+//
+// Knobs: PINSCOPE_BENCH_STREAM_SMALL  (small corpus total apps, default 5000),
+//        PINSCOPE_BENCH_STREAM_LARGE  (large corpus total apps, default 100000),
+//        PINSCOPE_BENCH_STREAM_WARM   (warm-start corpus total apps, default 600),
+//        PINSCOPE_BENCH_THREADS       (workers, default max(2, hardware)).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "bench_json.h"
+#include "core/stream_export.h"
+#include "core/stream_study.h"
+#include "core/synthetic_corpus.h"
+#include "obs/obs.h"
+#include "obs/process.h"
+
+namespace {
+
+using namespace pinscope;
+
+int EnvInt(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+std::uint64_t PeakRss() { return obs::ReadPeakRssBytes().value_or(0); }
+
+/// Streams `total_apps` synthetic apps in firehose mode (no rows retained);
+/// returns wall milliseconds.
+double TimedStream(std::size_t total_apps, int workers,
+                   obs::Observer* observer) {
+  core::SyntheticCorpusConfig config;
+  config.apps_per_platform = total_apps / 2;
+  const core::SyntheticCorpusSource source(config);
+  core::StudyOptions opts;
+  opts.threads = workers;
+  opts.observer = observer;
+  // Every app carries a unique manifest/binary digest, so an in-run scan
+  // cache can never hit twice — it would only accumulate one entry per app,
+  // O(corpus) memory for zero hits. The firehose run streams without it
+  // (the validation memo stays on: it is bounded by the host set and hits
+  // constantly). Cache on/off never changes an exported byte (§9).
+  opts.scan_cache = false;
+  core::StreamExporter::Options eopts;
+  eopts.retain_rows = false;
+  core::StreamExporter exporter(eopts);
+  const auto start = std::chrono::steady_clock::now();
+  const core::StreamStudyResult run =
+      core::RunStreamingStudy(source, opts, exporter);
+  const auto end = std::chrono::steady_clock::now();
+  if (run.apps != total_apps) {
+    std::fprintf(stderr, "FATAL: streamed %zu of %zu apps\n", run.apps,
+                 total_apps);
+    std::exit(1);
+  }
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// One full streaming pass over the warm-start corpus with `cache_dir`
+/// persistence; leaves the JSON export (the equality guard) in `json_out`.
+double TimedWarmablePass(const core::SyntheticCorpusSource& source, int workers,
+                         const std::string& cache_dir, std::string* json_out) {
+  core::StudyOptions opts;
+  opts.threads = workers;
+  opts.cache_dir = cache_dir;
+  core::StreamExporter exporter;
+  const auto start = std::chrono::steady_clock::now();
+  (void)core::RunStreamingStudy(source, opts, exporter);
+  const auto end = std::chrono::steady_clock::now();
+  *json_out = exporter.FinishJson();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t small_apps =
+      static_cast<std::size_t>(EnvInt("PINSCOPE_BENCH_STREAM_SMALL", 5000));
+  const std::size_t large_apps =
+      static_cast<std::size_t>(EnvInt("PINSCOPE_BENCH_STREAM_LARGE", 100000));
+  const std::size_t warm_apps =
+      static_cast<std::size_t>(EnvInt("PINSCOPE_BENCH_STREAM_WARM", 600));
+  const int workers =
+      EnvInt("PINSCOPE_BENCH_THREADS",
+             static_cast<int>(std::max(2u, std::thread::hardware_concurrency())));
+
+  // --- Claim 1: flat peak RSS, small corpus first (VmHWM is monotone). ----
+  // Metrics-only observability: the registry is fixed-size, but the trace
+  // sink retains every per-app span — linear in corpus size, which is
+  // exactly what this claim forbids. Firehose runs disable collection.
+  obs::Observer observer;
+  observer.trace().set_enabled(false);
+  std::fprintf(stderr, "[pinscope] streaming %zu apps (%d workers)...\n",
+               small_apps, workers);
+  const double small_ms = TimedStream(small_apps, workers, &observer);
+  const std::uint64_t small_peak = PeakRss();
+  std::fprintf(stderr, "[pinscope] %zu apps: %.0f ms, peak RSS %.1f MiB\n",
+               small_apps, small_ms, small_peak / (1024.0 * 1024.0));
+
+  std::fprintf(stderr, "[pinscope] streaming %zu apps (%d workers)...\n",
+               large_apps, workers);
+  const double large_ms = TimedStream(large_apps, workers, &observer);
+  const std::uint64_t large_peak = PeakRss();
+  std::fprintf(stderr, "[pinscope] %zu apps: %.0f ms, peak RSS %.1f MiB\n",
+               large_apps, large_ms, large_peak / (1024.0 * 1024.0));
+
+  const double rss_ratio =
+      small_peak > 0 ? static_cast<double>(large_peak) / small_peak : 0.0;
+  const bool flat = small_peak > 0 && rss_ratio <= 2.0;
+  if (!flat) {
+    std::fprintf(stderr,
+                 "WARNING: peak RSS grew %.2fx from %zu to %zu apps "
+                 "(streaming should keep it flat)\n",
+                 rss_ratio, small_apps, large_apps);
+  }
+
+  // --- Claim 2: warm start from persisted caches. -------------------------
+  core::SyntheticCorpusConfig warm_config;
+  warm_config.apps_per_platform = warm_apps / 2;
+  warm_config.unique_payload = true;
+  warm_config.pin_strings_in_payload = 8000;
+  warm_config.payload_bytes = 4096;
+  const core::SyntheticCorpusSource warm_source(warm_config);
+
+  const std::filesystem::path cache_dir =
+      std::filesystem::temp_directory_path() / "pinscope_bench_stream_cache";
+  std::filesystem::remove_all(cache_dir);
+
+  std::string cold_json, warm_json;
+  std::fprintf(stderr, "[pinscope] cold pass over %zu unique-payload apps...\n",
+               warm_apps);
+  const double cold_ms =
+      TimedWarmablePass(warm_source, workers, cache_dir.string(), &cold_json);
+  std::fprintf(stderr, "[pinscope] warm pass (persisted caches)...\n");
+  const double warm_ms =
+      TimedWarmablePass(warm_source, workers, cache_dir.string(), &warm_json);
+  std::filesystem::remove_all(cache_dir);
+
+  if (cold_json != warm_json) {
+    std::fprintf(stderr, "FATAL: warm run exported different bytes than cold\n");
+    return 1;
+  }
+  const double warm_speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+  std::fprintf(stderr,
+               "[pinscope] cold %.0f ms, warm %.0f ms (%.2fx), exports "
+               "byte-identical\n",
+               cold_ms, warm_ms, warm_speedup);
+
+  char json[1536];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"benchmark\": \"stream_study\",\n"
+      "  \"workers\": %d,\n"
+      "  \"streaming\": {\"small_apps\": %zu, \"small_ms\": %.3f,\n"
+      "                \"small_peak_rss_bytes\": %llu,\n"
+      "                \"large_apps\": %zu, \"large_ms\": %.3f,\n"
+      "                \"large_peak_rss_bytes\": %llu,\n"
+      "                \"rss_ratio\": %.3f, \"flat_within_2x\": %s},\n"
+      "  \"warm_start\": {\"apps\": %zu, \"cold_ms\": %.3f, \"warm_ms\": %.3f,\n"
+      "                 \"speedup\": %.2f, \"exports_byte_identical\": true},\n",
+      workers, small_apps, small_ms,
+      static_cast<unsigned long long>(small_peak), large_apps, large_ms,
+      static_cast<unsigned long long>(large_peak), rss_ratio,
+      flat ? "true" : "false", warm_apps, cold_ms, warm_ms, warm_speedup);
+
+  return bench::WriteBenchJsonWithPhases("BENCH_stream.json", json,
+                                         observer.metrics().Snapshot());
+}

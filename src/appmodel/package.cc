@@ -29,6 +29,26 @@ std::vector<std::string> PackageFiles::PathsWithSuffix(std::string_view suffix) 
   return out;
 }
 
+std::size_t PackageFiles::ReplaceText(std::string_view old_text,
+                                      std::string_view new_text) {
+  std::size_t replaced = 0;
+  if (old_text.empty() || old_text == new_text) return replaced;
+  for (auto& [path, contents] : files_) {
+    std::string text(reinterpret_cast<const char*>(contents.data()),
+                     contents.size());
+    std::size_t pos = 0;
+    bool changed = false;
+    while ((pos = text.find(old_text, pos)) != std::string::npos) {
+      text.replace(pos, old_text.size(), new_text);
+      pos += new_text.size();
+      changed = true;
+      ++replaced;
+    }
+    if (changed) contents = util::ToBytes(text);
+  }
+  return replaced;
+}
+
 std::size_t PackageFiles::TotalBytes() const {
   std::size_t total = 0;
   for (const auto& [_, contents] : files_) total += contents.size();

@@ -39,6 +39,12 @@ class PackageFiles {
   /// Paths whose name ends with `suffix` (case-insensitive), e.g. ".pem".
   [[nodiscard]] std::vector<std::string> PathsWithSuffix(std::string_view suffix) const;
 
+  /// Replaces every occurrence of `old_text` with `new_text` across all
+  /// files, returning the number of replacements. Used by snapshot churn to
+  /// rewrite embedded pin strings in place (same-form pin strings have equal
+  /// length, so offsets of later matches survive).
+  std::size_t ReplaceText(std::string_view old_text, std::string_view new_text);
+
   /// Number of files.
   [[nodiscard]] std::size_t size() const { return files_.size(); }
 

@@ -127,6 +127,19 @@ std::optional<CliOptions> ParseArgs(int argc, const char* const* argv) {
       if (!ok) return std::nullopt;
     } else if (TakeValue(arg, "--report-out", cursor, opts.report_path, ok)) {
       if (!ok) return std::nullopt;
+    } else if (TakeValue(arg, "--cache-dir", cursor, opts.cache_dir, ok)) {
+      if (!ok) return std::nullopt;
+    } else if (TakeValue(arg, "--snapshot", cursor, value, ok)) {
+      if (!ok) return std::nullopt;
+      opts.snapshots = std::atoi(value.c_str());
+      if (opts.snapshots < 0 || (opts.snapshots == 0 && value != "0")) {
+        std::fprintf(stderr,
+                     "--snapshot expects a non-negative integer, got '%s'\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+    } else if (TakeOnOff(arg, "--incremental", cursor, opts.incremental, ok)) {
+      if (!ok) return std::nullopt;
     } else if (TakeValue(arg, "--log-level", cursor, value, ok)) {
       if (!ok) return std::nullopt;
       const auto severity = obs::ParseSeverity(value);

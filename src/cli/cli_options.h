@@ -39,6 +39,16 @@ struct CliOptions {
   std::string log_path;      ///< --log-out: decision-journal JSONL.
   obs::Severity log_level = obs::Severity::kInfo;  ///< --log-level.
   std::string report_path;   ///< --report-out: Markdown (+ JSON companion).
+  /// --cache-dir: persist/reload the content-keyed scan and validation
+  /// caches across runs (warm starts). Missing or corrupt files mean a cold
+  /// start, never an error; results are byte-identical either way.
+  std::string cache_dir;
+  /// --snapshot: advance the generated store this many churn epochs before
+  /// analyzing (0 = as generated). Also the epoch count for `longitudinal`.
+  int snapshots = 0;
+  /// --incremental: with --snapshot N, analyze only apps changed by the
+  /// final churn epoch and merge over the previous snapshot's results.
+  bool incremental = false;
 };
 
 /// Parses `argv` (argv[0] is the program name, argv[1] the command).

@@ -1,32 +1,63 @@
 #include "core/export.h"
 
+#include <utility>
+
 #include "report/csv_writer.h"
 #include "report/json_writer.h"
 
 namespace pinscope::core {
+
+std::string AppResultJsonLine(const AppResult& r, appmodel::Platform p) {
+  report::JsonWriter w;
+  w.BeginObject();
+  w.Key("app_id");
+  w.String(r.app->meta.app_id);
+  w.Key("platform");
+  w.String(PlatformName(p));
+  w.Key("pins_at_runtime");
+  w.Bool(r.dynamic_report.AppPins());
+  w.Key("potential_pinning");
+  w.Bool(r.static_report.PotentialPinning());
+  w.Key("pinned_destinations");
+  w.BeginArray();
+  for (const auto& host : r.dynamic_report.PinnedDestinations()) w.String(host);
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString() + "\n";
+}
+
+std::vector<std::string> StudyCsvHeader() {
+  return {"app_id", "platform", "hostname", "pinned", "circumvented"};
+}
+
+std::vector<std::vector<std::string>> AppResultCsvRows(const AppResult& r,
+                                                       appmodel::Platform p) {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& dest : r.dynamic_report.destinations) {
+    rows.push_back({r.app->meta.app_id, std::string(PlatformName(p)),
+                    dest.hostname, dest.pinned ? "1" : "0",
+                    dest.circumvented ? "1" : "0"});
+  }
+  return rows;
+}
+
+report::AppVerdict AppResultVerdict(const AppResult& r, appmodel::Platform p) {
+  report::AppVerdict v;
+  v.platform = std::string(PlatformName(p));
+  v.app_id = r.app->meta.app_id;
+  v.pins_at_runtime = r.dynamic_report.AppPins();
+  v.potential_pinning = r.static_report.PotentialPinning();
+  v.config_pinning = r.static_report.ConfigPinning();
+  v.pinned_hosts = r.dynamic_report.PinnedDestinations();
+  return v;
+}
 
 std::string ExportStudyJson(const Study& study) {
   std::string out;
   for (const appmodel::Platform p :
        {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
     for (const AppResult* r : study.AllResults(p)) {
-      report::JsonWriter w;
-      w.BeginObject();
-      w.Key("app_id");
-      w.String(r->app->meta.app_id);
-      w.Key("platform");
-      w.String(PlatformName(p));
-      w.Key("pins_at_runtime");
-      w.Bool(r->dynamic_report.AppPins());
-      w.Key("potential_pinning");
-      w.Bool(r->static_report.PotentialPinning());
-      w.Key("pinned_destinations");
-      w.BeginArray();
-      for (const auto& host : r->dynamic_report.PinnedDestinations()) w.String(host);
-      w.EndArray();
-      w.EndObject();
-      out += w.TakeString();
-      out += '\n';
+      out += AppResultJsonLine(*r, p);
     }
   }
   return out;
@@ -34,15 +65,11 @@ std::string ExportStudyJson(const Study& study) {
 
 std::string ExportStudyCsv(const Study& study) {
   report::CsvWriter csv;
-  csv.SetHeader({"app_id", "platform", "hostname", "pinned", "circumvented"});
+  csv.SetHeader(StudyCsvHeader());
   for (const appmodel::Platform p :
        {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
     for (const AppResult* r : study.AllResults(p)) {
-      for (const auto& dest : r->dynamic_report.destinations) {
-        csv.AddRow({r->app->meta.app_id, std::string(PlatformName(p)),
-                    dest.hostname, dest.pinned ? "1" : "0",
-                    dest.circumvented ? "1" : "0"});
-      }
+      for (auto& row : AppResultCsvRows(*r, p)) csv.AddRow(std::move(row));
     }
   }
   return csv.TakeString();
@@ -53,14 +80,7 @@ std::vector<report::AppVerdict> CollectAppVerdicts(const Study& study) {
   for (const appmodel::Platform p :
        {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
     for (const AppResult* r : study.AllResults(p)) {
-      report::AppVerdict v;
-      v.platform = std::string(PlatformName(p));
-      v.app_id = r->app->meta.app_id;
-      v.pins_at_runtime = r->dynamic_report.AppPins();
-      v.potential_pinning = r->static_report.PotentialPinning();
-      v.config_pinning = r->static_report.ConfigPinning();
-      v.pinned_hosts = r->dynamic_report.PinnedDestinations();
-      out.push_back(std::move(v));
+      out.push_back(AppResultVerdict(*r, p));
     }
   }
   return out;

@@ -28,4 +28,24 @@ namespace pinscope::core {
 [[nodiscard]] std::vector<report::AppVerdict> CollectAppVerdicts(
     const Study& study);
 
+// --- Per-app building blocks ------------------------------------------------
+// The batch exports above and the streaming exporter (core/stream_export.h)
+// both compose these, so a streamed study's merged output is byte-identical
+// to the batch path by construction, not by parallel maintenance.
+
+/// One app's JSON Lines record, including the trailing newline.
+[[nodiscard]] std::string AppResultJsonLine(const AppResult& r,
+                                            appmodel::Platform p);
+
+/// The CSV header shared by ExportStudyCsv and the streaming exporter.
+[[nodiscard]] std::vector<std::string> StudyCsvHeader();
+
+/// One app's CSV rows (one per destination), unescaped field values.
+[[nodiscard]] std::vector<std::vector<std::string>> AppResultCsvRows(
+    const AppResult& r, appmodel::Platform p);
+
+/// One app's run-report verdict row.
+[[nodiscard]] report::AppVerdict AppResultVerdict(const AppResult& r,
+                                                  appmodel::Platform p);
+
 }  // namespace pinscope::core

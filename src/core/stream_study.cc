@@ -1,0 +1,175 @@
+#include "core/stream_study.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cache_persist.h"
+#include "dynamicanalysis/pipeline.h"
+#include "staticanalysis/static_report.h"
+#include "util/pipeline_scheduler.h"
+
+namespace pinscope::core {
+
+namespace {
+
+/// Everything that exists only while one app is in flight. Heap-held so a
+/// finished slot frees back to ~32 bytes; the driver's live memory is then
+/// (workers + queue depth) payloads, not corpus size.
+struct StreamPayload {
+  appmodel::App app;
+  AppResult result;  ///< result.app points at `app` above.
+};
+
+struct StreamSlot {
+  appmodel::Platform platform = appmodel::Platform::kAndroid;
+  std::size_t index = 0;
+  std::unique_ptr<StreamPayload> payload;
+};
+
+}  // namespace
+
+StreamStudyResult RunStreamingStudy(const CorpusSource& source,
+                                    const StudyOptions& options,
+                                    StreamExporter& exporter) {
+  obs::Observer* observer = options.observer;
+  const obs::Span run_span = obs::SpanFor(observer, "study.run", "study");
+  obs::ScopedTimer run_timer(
+      obs::HistogramOrNull(obs::MetricsOf(observer), "phase.study"));
+  obs::EventScope study_log = obs::ScopeFor(observer, "", "", "study");
+
+  // Same shared caches as Study, warm-started from cache_dir when set.
+  std::unique_ptr<staticanalysis::ScanCache> scan_cache;
+  if (options.scan_cache) {
+    scan_cache = std::make_unique<staticanalysis::ScanCache>();
+  }
+  std::unique_ptr<dynamicanalysis::SimFixtures> sim_fixtures;
+  if (options.sim_cache) {
+    sim_fixtures =
+        std::make_unique<dynamicanalysis::SimFixtures>(options.dynamic.seed);
+  }
+  StudyCacheBaseline cache_baseline;
+  if (!options.cache_dir.empty()) {
+    cache_baseline = LoadStudyCaches(
+        options.cache_dir, scan_cache.get(),
+        sim_fixtures ? sim_fixtures->validation_cache() : nullptr, observer);
+  }
+
+  // Work list + journal parity with Study::RunPipelined: both platform_start
+  // events are emitted up front, with the (possibly filtered) counts.
+  std::vector<StreamSlot> slots;
+  for (const appmodel::Platform p :
+       {appmodel::Platform::kAndroid, appmodel::Platform::kIos}) {
+    std::vector<std::size_t> indices;
+    for (const std::size_t idx : source.Indices(p)) {
+      if (options.app_filter && !options.app_filter(p, idx)) continue;
+      indices.push_back(idx);
+    }
+    study_log.Emit(obs::Severity::kInfo, "study.platform_start",
+                   {{"platform", appmodel::PlatformName(p)},
+                    {"apps", static_cast<std::uint64_t>(indices.size())}});
+    for (const std::size_t idx : indices) {
+      StreamSlot slot;
+      slot.platform = p;
+      slot.index = idx;
+      slots.push_back(std::move(slot));
+    }
+  }
+
+  StreamStudyResult outcome;
+  if (!slots.empty()) {
+    auto app_span = [&](std::size_t i, const char* stage) {
+      return obs::SpanFor(
+          observer, slots[i].payload->result.app->meta.app_id, "app",
+          {{"platform",
+            std::string(appmodel::PlatformName(slots[i].platform))},
+           {"stage", stage}});
+    };
+    const std::vector<util::PipelineStage> stages = {
+        {"hydrate",
+         [&](std::size_t i) {
+           StreamSlot& slot = slots[i];
+           auto payload = std::make_unique<StreamPayload>();
+           payload->app = source.Hydrate(slot.platform, slot.index);
+           payload->result.universe_index = slot.index;
+           payload->result.app = &payload->app;
+           slot.payload = std::move(payload);
+         }},
+        {"static",
+         [&](std::size_t i) {
+           const obs::Span span = app_span(i, "static");
+           staticanalysis::StaticAnalysisOptions static_opts;
+           static_opts.ct_log = &source.ct_log();
+           static_opts.scan_cache = scan_cache.get();
+           static_opts.observer = observer;
+           AppResult& r = slots[i].payload->result;
+           obs::ScopedTimer timer(
+               obs::HistogramOrNull(obs::MetricsOf(observer), "phase.static"));
+           r.static_report = staticanalysis::AnalyzeStatically(*r.app, static_opts);
+         }},
+        {"dynamic",
+         [&](std::size_t i) {
+           const obs::Span span = app_span(i, "dynamic");
+           dynamicanalysis::DynamicOptions dyn = options.dynamic;
+           dyn.fixtures = sim_fixtures.get();
+           dyn.observer = observer;
+           if (slots[i].platform == appmodel::Platform::kIos &&
+               source.NeedsCommonIosSettle(slots[i].index)) {
+             dyn.settle_seconds = options.common_ios_settle_seconds;
+           }
+           AppResult& r = slots[i].payload->result;
+           obs::ScopedTimer timer(
+               obs::HistogramOrNull(obs::MetricsOf(observer), "phase.dynamic"));
+           r.dynamic_report =
+               dynamicanalysis::RunDynamicAnalysis(*r.app, source.world(), dyn);
+         }},
+        {"verdict",
+         [&](std::size_t i) {
+           StreamSlot& slot = slots[i];
+           obs::CounterOrNull(obs::MetricsOf(observer), "study.apps_analyzed")
+               .Increment();
+           exporter.OnResult(slot.platform, slot.payload->result);
+           if (options.on_result) options.on_result(slot.payload->result);
+           // The whole point: the hydrated app and its reports die here, not
+           // at the end of the run.
+           slot.payload.reset();
+         }},
+    };
+
+    util::PipelineOptions popts;
+    popts.threads = options.threads;
+    popts.queue_depth = options.queue_depth;
+    popts.max_stage_retries = options.stage_retries;
+    popts.faults = options.fault_plan;
+    popts.trace = obs::TraceOf(observer);
+    popts.metrics = obs::MetricsOf(observer);
+    const util::PipelineResult run =
+        util::RunPipeline(slots.size(), stages, popts);
+
+    // Failed chains still deliver a row (matching the materialized pipeline,
+    // where a failed slot merges with empty reports and the error recorded) —
+    // unless hydration itself failed, in which case there is no app identity
+    // to report.
+    outcome.failures = run.failures.size();
+    for (const util::StageFailure& f : run.failures) {
+      StreamSlot& slot = slots[f.item];
+      if (slot.payload == nullptr) continue;
+      slot.payload->result.error = f.stage_name + ": " + f.message;
+      exporter.OnResult(slot.platform, slot.payload->result);
+      if (options.on_result) options.on_result(slot.payload->result);
+      slot.payload.reset();
+    }
+  }
+  outcome.apps = exporter.results();
+
+  PublishCacheGauges(observer, scan_cache.get(), sim_fixtures.get());
+  if (!options.cache_dir.empty()) {
+    SaveStudyCaches(options.cache_dir, scan_cache.get(),
+                    sim_fixtures ? sim_fixtures->validation_cache() : nullptr,
+                    observer, cache_baseline);
+  }
+  return outcome;
+}
+
+}  // namespace pinscope::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/cache_persist.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -17,6 +18,12 @@ Study::Study(const store::Ecosystem& eco, StudyOptions options)
     // what an unshared pipeline would forge.
     sim_fixtures_ = std::make_unique<dynamicanalysis::SimFixtures>(
         options_.dynamic.seed);
+  }
+  if (!options_.cache_dir.empty()) {
+    cache_baseline_ = LoadStudyCaches(
+        options_.cache_dir, scan_cache_.get(),
+        sim_fixtures_ ? sim_fixtures_->validation_cache() : nullptr,
+        options_.observer);
   }
 }
 
@@ -95,7 +102,9 @@ std::vector<std::size_t> Study::PendingIndices(appmodel::Platform p) const {
   std::vector<std::size_t> indices;
   for (const store::DatasetId id : store::AllDatasets()) {
     for (std::size_t idx : eco_->dataset(id, p).app_indices) {
-      if (!results.contains(idx)) indices.push_back(idx);
+      if (results.contains(idx)) continue;
+      if (options_.app_filter && !options_.app_filter(p, idx)) continue;
+      indices.push_back(idx);
     }
   }
   std::sort(indices.begin(), indices.end());
@@ -120,6 +129,11 @@ void Study::Run() {
     RunPhased(study_log);
   }
   PublishCacheStats();
+  if (!options_.cache_dir.empty()) {
+    SaveStudyCaches(options_.cache_dir, scan_cache_.get(),
+                    sim_fixtures_ ? sim_fixtures_->validation_cache() : nullptr,
+                    options_.observer, cache_baseline_);
+  }
 }
 
 void Study::RunPhased(obs::EventScope& study_log) {
@@ -150,29 +164,7 @@ void Study::RunPhased(obs::EventScope& study_log) {
 }
 
 void Study::PublishCacheStats() const {
-  obs::MetricsRegistry* metrics = obs::MetricsOf(options_.observer);
-  if (metrics == nullptr) return;
-  if (scan_cache_ != nullptr) {
-    const staticanalysis::ScanCacheStats s = scan_cache_->Stats();
-    metrics->gauge("cache.scan.lookups").Set(s.lookups);
-    metrics->gauge("cache.scan.hits").Set(s.hits);
-    metrics->gauge("cache.scan.misses").Set(s.misses);
-    metrics->gauge("cache.scan.entries").Set(s.entries);
-    metrics->gauge("cache.scan.bytes_deduped").Set(s.bytes_deduped);
-  }
-  if (sim_fixtures_ != nullptr) {
-    const net::ForgedLeafCacheStats f = sim_fixtures_->forged_cache_stats();
-    metrics->gauge("cache.forged_leaf.lookups").Set(f.lookups);
-    metrics->gauge("cache.forged_leaf.hits").Set(f.hits);
-    metrics->gauge("cache.forged_leaf.misses").Set(f.misses);
-    metrics->gauge("cache.forged_leaf.entries").Set(f.entries);
-    const x509::ValidationCacheStats v = sim_fixtures_->validation_cache_stats();
-    metrics->gauge("cache.validation.lookups").Set(v.lookups);
-    metrics->gauge("cache.validation.hits").Set(v.hits);
-    metrics->gauge("cache.validation.misses").Set(v.misses);
-    metrics->gauge("cache.validation.inserts").Set(v.inserts);
-    metrics->gauge("cache.validation.entries").Set(v.entries);
-  }
+  PublishCacheGauges(options_.observer, scan_cache_.get(), sim_fixtures_.get());
 }
 
 const AppResult& Study::result(appmodel::Platform p, std::size_t universe_index) const {

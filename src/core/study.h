@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cache_persist.h"
 #include "dynamicanalysis/pipeline.h"
 #include "dynamicanalysis/sim_fixtures.h"
 #include "obs/obs.h"
@@ -104,6 +105,16 @@ struct StudyOptions {
   /// under the phase scheduler it fires in universe-index order after each
   /// platform merges.
   std::function<void(const AppResult&)> on_result;
+  /// When non-empty, the scan cache and validation memo warm-start from this
+  /// directory at construction and persist back when Run() completes
+  /// (core/cache_persist.h). A missing or corrupt file means a cold start;
+  /// results are byte-identical warm or cold — only speed changes.
+  std::string cache_dir;
+  /// When set, only apps for which the filter returns true are analyzed —
+  /// the incremental re-analysis hook (changed-apps-only mode). Results and
+  /// exports then cover the filtered subset; merging with a prior full run's
+  /// retained rows is the caller's job (core/stream_export.h MergeBase).
+  std::function<bool(appmodel::Platform, std::size_t)> app_filter;
 };
 
 /// Keys per-app results by universe index. Completion order is irrelevant:
@@ -197,6 +208,9 @@ class Study {
   std::unique_ptr<staticanalysis::ScanCache> scan_cache_;
   /// Shared by every AnalyzeApp worker; immutable or internally synchronized.
   std::unique_ptr<dynamicanalysis::SimFixtures> sim_fixtures_;
+  /// Entry counts from the constructor's warm load; Run()'s save skips any
+  /// cache that has not grown past this.
+  StudyCacheBaseline cache_baseline_;
   std::map<std::size_t, AppResult> android_results_;
   std::map<std::size_t, AppResult> ios_results_;
 };

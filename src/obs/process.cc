@@ -1,0 +1,35 @@
+#include "obs/process.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace pinscope::obs {
+
+std::optional<std::uint64_t> ReadPeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return std::nullopt;
+  std::optional<std::uint64_t> peak;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    // "VmHWM:     12345 kB" — the lifetime high-water mark of the resident
+    // set, which is exactly the bound the streaming contract makes claims
+    // about (instantaneous VmRSS would miss transient spikes).
+    if (std::strncmp(line, "VmHWM:", 6) != 0) continue;
+    unsigned long long kb = 0;
+    if (std::sscanf(line + 6, "%llu", &kb) == 1) {
+      peak = static_cast<std::uint64_t>(kb) * 1024;
+    }
+    break;
+  }
+  std::fclose(f);
+  return peak;
+}
+
+void PublishPeakRss(MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  if (const std::optional<std::uint64_t> peak = ReadPeakRssBytes()) {
+    metrics->gauge("process.peak_rss_bytes").Set(*peak);
+  }
+}
+
+}  // namespace pinscope::obs

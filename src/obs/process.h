@@ -1,0 +1,26 @@
+// Process-level resource observability.
+//
+// The streaming-study work (DESIGN.md §15) is a peak-memory contract:
+// bounded RSS no matter the corpus size. That contract needs a witness, so
+// this header reads the process's peak resident set ("high-water mark") and
+// publishes it as the `process.peak_rss_bytes` gauge — in --metrics-out
+// files and embedded in every BENCH_*.json.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "obs/metrics.h"
+
+namespace pinscope::obs {
+
+/// Peak resident-set size of the current process in bytes, read from
+/// /proc/self/status (the VmHWM line) on Linux. nullopt where procfs is
+/// unavailable — callers render that as JSON null, never as zero.
+[[nodiscard]] std::optional<std::uint64_t> ReadPeakRssBytes();
+
+/// Publishes ReadPeakRssBytes() as the `process.peak_rss_bytes` gauge.
+/// No-op when `metrics` is null or the platform cannot report a peak.
+void PublishPeakRss(MetricsRegistry* metrics);
+
+}  // namespace pinscope::obs

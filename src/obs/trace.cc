@@ -50,6 +50,7 @@ std::uint32_t TraceSink::CurrentTid() {
 }
 
 void TraceSink::Add(TraceEvent event) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
   Shard& shard =
       shards_[std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards];
   std::lock_guard<std::mutex> lock(shard.mu);

@@ -14,6 +14,7 @@
 // determinism contract in obs/metrics.h covers this sink too).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -54,6 +55,19 @@ class TraceSink {
   /// Deposits one event (tid already set by the caller, normally via Span).
   void Add(TraceEvent event);
 
+  /// Turns span collection off (or back on). Spans built against a disabled
+  /// sink still time themselves but Add() drops the event, so memory stays
+  /// constant. The sink retains ~a few hundred bytes per recorded span, which
+  /// is fine for one study but linear in corpus size — firehose streaming
+  /// runs (DESIGN.md §15) disable collection and keep metrics-only
+  /// observability.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
   /// Events recorded so far (approximate while spans are open).
   [[nodiscard]] std::size_t EventCount() const;
 
@@ -71,6 +85,7 @@ class TraceSink {
   };
 
   std::chrono::steady_clock::time_point origin_;
+  std::atomic<bool> enabled_{true};
   std::unique_ptr<Shard[]> shards_;
 
   mutable std::mutex tid_mu_;

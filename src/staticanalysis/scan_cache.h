@@ -21,9 +21,11 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "crypto/sha256.h"
@@ -84,7 +86,27 @@ class ScanCache {
   /// the parallel loop has joined).
   [[nodiscard]] ScanCacheStats Stats() const;
 
+  /// Resident entry count, measured by walking the shards.
+  [[nodiscard]] std::size_t EntryCount() const;
+
+  /// Persists every entry to `path` through util::WriteCacheFile (versioned
+  /// header, checksum, atomic rename; DESIGN.md §15). Entries serialize in
+  /// sorted key order, so two caches holding the same outcomes write
+  /// byte-identical files — which is what makes concurrent last-writer-wins
+  /// saves into one cache dir unobservable. Returns false on I/O failure.
+  bool SaveToFile(const std::string& path) const;
+
+  /// Merges entries from a file written by SaveToFile (first-wins against
+  /// anything already resident). A missing, foreign, version-mismatched, or
+  /// corrupt file returns false and loads nothing — the cold-start path.
+  /// Loaded entries count toward entries (they are resident), never toward
+  /// lookups/hits: warm-start provenance is reported by the caller's
+  /// cache.persist.* gauges instead.
+  bool LoadFromFile(const std::string& path);
+
   static constexpr std::size_t kDefaultShards = 16;
+  static constexpr std::uint32_t kFileKind = 0x314e4353;  // "SCN1"
+  static constexpr std::uint32_t kFileVersion = 1;
 
  private:
   struct KeyHash {
@@ -97,7 +119,9 @@ class ScanCache {
   };
 
   struct Shard {
-    std::mutex mu;
+    /// mutable so the read-only SaveToFile/EntryCount walks can lock on a
+    /// const cache.
+    mutable std::mutex mu;
     std::unordered_map<Key, std::shared_ptr<const CachedFileScan>, KeyHash> map;
   };
 

@@ -76,6 +76,8 @@ bool LooksBinary(const util::Bytes& data) {
 // field to the observing file. Copying: the entry stays cache-resident.
 void AppendRebound(const CachedFileScan& scan, const std::string& path,
                    ScanResult& out) {
+  out.certificates.reserve(out.certificates.size() + scan.certificates.size());
+  out.pins.reserve(out.pins.size() + scan.pins.size());
   for (const FoundCertificate& c : scan.certificates) {
     out.certificates.push_back(c);
     out.certificates.back().path = path;
@@ -88,6 +90,8 @@ void AppendRebound(const CachedFileScan& scan, const std::string& path,
 
 // Move flavor for outcomes that are not kept anywhere else (cache off).
 void AppendOwned(CachedFileScan&& scan, const std::string& path, ScanResult& out) {
+  out.certificates.reserve(out.certificates.size() + scan.certificates.size());
+  out.pins.reserve(out.pins.size() + scan.pins.size());
   for (FoundCertificate& c : scan.certificates) {
     c.path = path;
     out.certificates.push_back(std::move(c));

@@ -1,6 +1,8 @@
 #include "staticanalysis/static_report.h"
 
 #include <set>
+#include <string_view>
+#include <unordered_set>
 
 namespace pinscope::staticanalysis {
 
@@ -117,14 +119,19 @@ StaticReport AnalyzeStatically(const appmodel::App& app,
 
   // §4.1.3: resolve found pin hashes against the CT log.
   if (options.ct_log != nullptr) {
-    std::set<std::string> seen_pins;
+    // Views into report.scan.pins (stable for the loop's lifetime): a
+    // pin-dense file would otherwise pay one heap string per dedup insert
+    // and another per substr.
+    std::unordered_set<std::string_view> seen_pins;
+    seen_pins.reserve(report.scan.pins.size());
     std::set<std::string> seen_fingerprints;
     for (const FoundPin& pin : report.scan.pins) {
       if (!pin.parsed.has_value()) continue;
       if (!seen_pins.insert(pin.pin_string).second) continue;
       ++report.pins_total;
-      const auto certs = options.ct_log->FindBySpkiDigest(
-          pin.pin_string.substr(pin.pin_string.find('/') + 1));
+      const std::string_view pin_str = pin.pin_string;
+      const auto certs =
+          options.ct_log->FindBySpkiDigest(pin_str.substr(pin_str.find('/') + 1));
       if (!certs.empty()) ++report.pins_resolved;
       for (const x509::Certificate& cert : certs) {
         const auto fp = cert.FingerprintSha256();

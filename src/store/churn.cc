@@ -1,0 +1,170 @@
+// Deterministic store-snapshot churn (DESIGN.md §15).
+//
+// Models what happens to a crawled corpus between two collection epochs:
+// servers renew leaf certificates (mostly reusing keys, per §5.3.3's
+// observation that SPKI pins survive operational renewals), a fraction of
+// apps ship store updates, and some updated apps rotate their baked-in pins
+// to match the new chains. Everything an update does NOT touch goes stale
+// exactly the way the paper observed: embedded certificate files keep their
+// old bytes, and the CT log is not republished.
+//
+// Determinism: every decision draws from a child RNG forked off
+// Rng(seed).Fork("snapshot:<n>") by a stable label (per-host "renew:<host>",
+// per-app "update:<platform>:<index>"), so decisions are independent of
+// iteration order and of each other — regenerating the ecosystem and
+// replaying the same advances reproduces identical package bytes, behavior,
+// and world state (tests/store/churn_test.cc).
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "appmodel/ios_package.h"
+#include "store/generator.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace pinscope::store {
+
+namespace {
+
+using appmodel::App;
+using appmodel::Platform;
+
+/// ReplaceText that also reaches inside FairPlay-encrypted binaries: the
+/// generic byte-level pass cannot see ciphered strings, so encrypted files
+/// are decrypted (keystream is bound to the bundle id), rewritten, and
+/// re-encrypted. This is what a real developer rebuild does — the store
+/// ships a freshly encrypted binary with the new pin inside.
+std::size_t ReplaceAppText(App& app, const std::string& old_text,
+                           const std::string& new_text) {
+  std::size_t replaced = app.package.ReplaceText(old_text, new_text);
+  std::vector<std::pair<std::string, util::Bytes>> rewritten;
+  for (const auto& [path, contents] : app.package.files()) {
+    if (!appmodel::IsFairPlayEncrypted(contents)) continue;
+    const util::Bytes plain =
+        appmodel::FairPlayDecrypt(contents, app.meta.app_id);
+    std::string text(reinterpret_cast<const char*>(plain.data()), plain.size());
+    std::size_t pos = 0;
+    std::size_t local = 0;
+    while ((pos = text.find(old_text, pos)) != std::string::npos) {
+      text.replace(pos, old_text.size(), new_text);
+      pos += new_text.size();
+      ++local;
+    }
+    if (local == 0) continue;
+    replaced += local;
+    rewritten.emplace_back(
+        path, appmodel::FairPlayEncrypt(util::ToBytes(text), app.meta.app_id));
+  }
+  for (auto& [path, contents] : rewritten) {
+    app.package.Add(path, std::move(contents));
+  }
+  return replaced;
+}
+
+}  // namespace
+
+SnapshotChurn Ecosystem::AdvanceSnapshot(const ChurnConfig& config) {
+  ++snapshot_;
+  SnapshotChurn churn;
+  churn.snapshot = snapshot_;
+  const util::Rng snap =
+      util::Rng(seed_).Fork("snapshot:" + std::to_string(snapshot_));
+
+  // --- 1. Server-side leaf renewals -----------------------------------------
+  // Self-signed hosts never renew (RotateLeaf has no issuer to re-sign
+  // under, and the paper's self-signed deployments ran 27- and 10-year
+  // certificates — operationally frozen).
+  std::set<std::string> renewed;
+  for (const std::string& host : world_.Hostnames()) {
+    const appmodel::ServerInfo* srv = world_.Find(host);
+    if (srv->pki == appmodel::PkiType::kSelfSigned) continue;
+    util::Rng host_rng = snap.Fork("renew:" + host);
+    if (!host_rng.Bernoulli(config.host_renewal_rate)) continue;
+    const bool reuse_key = host_rng.Bernoulli(config.key_reuse_prob);
+    world_.RotateLeaf(host, reuse_key);
+    renewed.insert(host);
+    ++churn.hosts_renewed;
+    if (reuse_key) ++churn.keys_reused;
+  }
+
+  // --- 2. App updates & pin rotations ---------------------------------------
+  auto churn_platform = [&](Platform p, std::vector<App>& apps,
+                            const std::vector<std::vector<PinSite>>& sites) {
+    for (std::size_t idx = 0; idx < apps.size(); ++idx) {
+      App& app = apps[idx];
+      util::Rng app_rng =
+          snap.Fork("update:" + std::string(appmodel::PlatformName(p)) + ":" +
+                    std::to_string(idx));
+      bool changed = false;
+      if (app_rng.Bernoulli(config.app_update_rate)) {
+        // A store update: new bytes even when nothing else changes (the
+        // revision stamp), plus — sometimes — refreshed pins.
+        app.package.AddText("META-INF/churn_revision.txt",
+                            "snapshot=" + std::to_string(snapshot_) + "\n");
+        ++churn.apps_updated;
+        changed = true;
+        if (app_rng.Bernoulli(config.pin_rotation_prob)) {
+          for (const PinSite& site : sites[idx]) {
+            appmodel::DestinationBehavior& db =
+                app.behavior.destinations[site.dest_index];
+            const appmodel::ServerInfo* srv = world_.Find(db.hostname);
+            if (srv == nullptr) continue;
+            const auto& chain = srv->endpoint.chain;
+            const tls::Pin fresh = tls::Pin::ForCertificate(
+                chain[std::min(site.chain_index, chain.size() - 1)], site.form);
+            for (tls::Pin& pin : db.pins) {
+              // Key-reusing renewals keep SPKI pins valid, so a "rotation"
+              // there is a no-op — exactly the paper's point about why SPKI
+              // pinning survives operations that break cert pinning.
+              if (pin.form != site.form || pin == fresh) continue;
+              ReplaceAppText(app, pin.ToPinString(), fresh.ToPinString());
+              pin = fresh;
+              ++churn.pins_rotated;
+            }
+          }
+        }
+      }
+      // Apps contacting a renewed host re-enter the work list even without
+      // an update: their dynamic results may change under the new chain.
+      if (!changed) {
+        for (const auto& db : app.behavior.destinations) {
+          if (renewed.contains(db.hostname)) {
+            changed = true;
+            break;
+          }
+        }
+      }
+      if (changed) churn.changed_apps.emplace_back(p, idx);
+
+      // Stale-pin census for the longitudinal table: behavior pins matching
+      // no element of their destination's current chain.
+      for (const auto& db : app.behavior.destinations) {
+        if (!db.pinned) continue;
+        const appmodel::ServerInfo* srv = world_.Find(db.hostname);
+        if (srv == nullptr) continue;
+        const auto& chain = srv->endpoint.chain;
+        for (const tls::Pin& pin : db.pins) {
+          const bool live = std::any_of(
+              chain.begin(), chain.end(),
+              [&](const x509::Certificate& c) { return pin.Matches(c); });
+          if (!live) ++churn.stale_pins;
+        }
+      }
+    }
+  };
+  churn_platform(Platform::kAndroid, android_apps_, android_pin_sites_);
+  churn_platform(Platform::kIos, ios_apps_, ios_pin_sites_);
+  return churn;
+}
+
+const std::vector<PinSite>& Ecosystem::pin_sites(appmodel::Platform p,
+                                                 std::size_t index) const {
+  const auto& sites =
+      p == appmodel::Platform::kAndroid ? android_pin_sites_ : ios_pin_sites_;
+  if (index >= sites.size()) throw util::Error("pin_sites: index out of range");
+  return sites[index];
+}
+
+}  // namespace pinscope::store

@@ -518,7 +518,9 @@ std::size_t GeneratorImpl::BuildApp(AppPlan plan, util::Rng& rng) {
 
   App app;
   app.meta = plan.meta;
-  for (const DestPlan& dp : plan.dests) {
+  std::vector<PinSite> pin_sites;
+  for (std::size_t i = 0; i < plan.dests.size(); ++i) {
+    const DestPlan& dp = plan.dests[i];
     // Each destination samples its behaviour from an independent stream, so
     // structural changes elsewhere never perturb the calibrated cipher/PII
     // distributions.
@@ -526,6 +528,20 @@ std::size_t GeneratorImpl::BuildApp(AppPlan plan, util::Rng& rng) {
     app.behavior.destinations.push_back(
         MakeBehavior(dp, p, plan.dataset, dest_rng));
     if (dp.rotate_leaf_reusing_key) rotate_hosts_.insert(dp.host);
+    // Remember where each pin anchors so snapshot churn can recompute it
+    // after a renewal (same chain-element choice as MakeBehavior).
+    if (app.behavior.destinations.back().pinned) {
+      const auto& chain = eco_.world_.Find(dp.host)->endpoint.chain;
+      std::size_t chain_index = 0;
+      switch (dp.target) {
+        case PinTarget::kLeaf: chain_index = 0; break;
+        case PinTarget::kIntermediate:
+          chain_index = std::min<std::size_t>(1, chain.size() - 1);
+          break;
+        case PinTarget::kRoot: chain_index = chain.size() - 1; break;
+      }
+      pin_sites.push_back({i, chain_index, dp.form});
+    }
   }
 
   // iOS associated domains (§4.5: 66% of apps declare none; the rest average
@@ -715,10 +731,12 @@ std::size_t GeneratorImpl::BuildApp(AppPlan plan, util::Rng& rng) {
   if (p == Platform::kAndroid) {
     eco_.android_apps_.push_back(std::move(app));
     eco_.android_truth_.push_back(truth);
+    eco_.android_pin_sites_.push_back(std::move(pin_sites));
     return eco_.android_apps_.size() - 1;
   }
   eco_.ios_apps_.push_back(std::move(app));
   eco_.ios_truth_.push_back(truth);
+  eco_.ios_pin_sites_.push_back(std::move(pin_sites));
   return eco_.ios_apps_.size() - 1;
 }
 
@@ -1173,6 +1191,7 @@ void GeneratorImpl::ApplySpecialCases() {
 }
 
 Ecosystem GeneratorImpl::Build() {
+  eco_.seed_ = config_.seed;
   pins_all_quota_android_ = S(5);
   pins_all_quota_ios_ = S(4);
   custom_pki_quota_android_ = S(4);

@@ -12,12 +12,14 @@
 
 #include <cstdint>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "appmodel/app.h"
 #include "appmodel/server_world.h"
 #include "net/party.h"
 #include "store/dataset.h"
+#include "tls/pinning.h"
 #include "x509/ct_log.h"
 
 namespace pinscope::store {
@@ -65,6 +67,41 @@ struct EcosystemConfig {
   double scale = 1.0;
 };
 
+/// Where one pin anchors on its destination's served chain — recorded at
+/// generation time so snapshot churn can recompute the pin after a leaf
+/// renewal (chain element + form fully determine the fresh pin).
+struct PinSite {
+  std::size_t dest_index = 0;   ///< Index into app.behavior.destinations.
+  std::size_t chain_index = 0;  ///< Chain element pinned (0 = leaf).
+  tls::PinForm form = tls::PinForm::kSpkiSha256;
+};
+
+/// Store-churn parameters for one snapshot advance (rates chosen to mirror
+/// §5.3.3's observations: most renewals reuse keys, most updates keep pins).
+struct ChurnConfig {
+  double host_renewal_rate = 0.06;  ///< Hosts renewing their leaf.
+  double key_reuse_prob = 0.7;      ///< Renewals keeping the old SPKI.
+  double app_update_rate = 0.08;    ///< Apps shipping a store update.
+  double pin_rotation_prob = 0.6;   ///< Updated pinned apps refreshing pins.
+};
+
+/// What one AdvanceSnapshot changed — a row of the longitudinal table, plus
+/// the changed-app set incremental re-analysis consumes.
+struct SnapshotChurn {
+  int snapshot = 0;            ///< The snapshot number just produced.
+  std::size_t hosts_renewed = 0;
+  std::size_t keys_reused = 0; ///< Renewals that kept the old key.
+  std::size_t apps_updated = 0;
+  std::size_t pins_rotated = 0;
+  /// Behavior pins that match no element of their destination's *current*
+  /// chain (the §5.3.3 breakage: cert pins across a fresh-key renewal).
+  std::size_t stale_pins = 0;
+  /// Every app whose analysis inputs changed this snapshot: updated apps
+  /// plus apps contacting a renewed host. Superset of result changes — the
+  /// incremental work list.
+  std::vector<std::pair<appmodel::Platform, std::size_t>> changed_apps;
+};
+
 /// The generated universe.
 class Ecosystem {
  public:
@@ -95,6 +132,25 @@ class Ecosystem {
     return pairs_;
   }
 
+  /// Advances the store snapshot one epoch of deterministic churn
+  /// (store/churn.cc): seeded leaf renewals (key-reusing or fresh-key,
+  /// skipping self-signed hosts — their decades-long certs never renew),
+  /// seeded app updates, and pin rotations in updated apps whose pins went
+  /// stale. Embedded certificate files are deliberately left stale (§5.3.3)
+  /// and the CT log is not republished. Fully determined by (generation
+  /// seed, snapshot number, config): regenerating an ecosystem and replaying
+  /// the same advances reproduces identical bytes.
+  SnapshotChurn AdvanceSnapshot(const ChurnConfig& config = {});
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Snapshot number: 0 = as generated, +1 per AdvanceSnapshot.
+  [[nodiscard]] int snapshot() const { return snapshot_; }
+
+  /// Pin anchor sites for one app (parallel to its pinned destinations).
+  [[nodiscard]] const std::vector<PinSite>& pin_sites(appmodel::Platform p,
+                                                      std::size_t index) const;
+
  private:
   friend class GeneratorImpl;
   Ecosystem() : world_(0) {}
@@ -108,6 +164,10 @@ class Ecosystem {
   std::vector<AppTruth> ios_truth_;
   std::vector<Dataset> datasets_;  // 6 entries
   std::vector<CommonPair> pairs_;
+  std::uint64_t seed_ = 0;
+  int snapshot_ = 0;
+  std::vector<std::vector<PinSite>> android_pin_sites_;
+  std::vector<std::vector<PinSite>> ios_pin_sites_;
 };
 
 }  // namespace pinscope::store

@@ -1,0 +1,172 @@
+#include "util/cache_file.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace pinscope::util {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46435350;  // "PSCF" little-endian.
+constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8 + 8;
+
+/// FNV-1a 64-bit over the payload: an integrity (not security) check that
+/// catches truncation and bit rot without pulling crypto into util.
+std::uint64_t Checksum(const Bytes& payload) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : payload) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void AppendHeader(Bytes& out, std::uint32_t kind, std::uint32_t version,
+                  const Bytes& payload) {
+  AppendU32(out, kMagic);
+  AppendU32(out, kind);
+  AppendU32(out, version);
+  AppendU64(out, payload.size());
+  AppendU64(out, Checksum(payload));
+}
+
+}  // namespace
+
+void AppendU8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+
+void AppendU32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void AppendU64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void AppendI64(Bytes& out, std::int64_t v) {
+  AppendU64(out, static_cast<std::uint64_t>(v));
+}
+
+void AppendString(Bytes& out, std::string_view s) {
+  AppendU32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void AppendBlob(Bytes& out, const Bytes& b) {
+  AppendU32(out, static_cast<std::uint32_t>(b.size()));
+  out.insert(out.end(), b.begin(), b.end());
+}
+
+std::uint8_t ByteReader::U8() {
+  std::uint8_t v = 0;
+  Raw(&v, 1);
+  return v;
+}
+
+std::uint32_t ByteReader::U32() {
+  std::uint8_t raw[4] = {};
+  Raw(raw, sizeof(raw));
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(raw[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::U64() {
+  std::uint8_t raw[8] = {};
+  Raw(raw, sizeof(raw));
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(raw[i]) << (8 * i);
+  return v;
+}
+
+std::int64_t ByteReader::I64() { return static_cast<std::int64_t>(U64()); }
+
+std::string ByteReader::String() {
+  const std::uint32_t n = U32();
+  if (!ok_ || data_->size() - pos_ < n) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(data_->data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Bytes ByteReader::Blob() {
+  const std::uint32_t n = U32();
+  if (!ok_ || data_->size() - pos_ < n) {
+    ok_ = false;
+    return {};
+  }
+  Bytes b(data_->begin() + static_cast<std::ptrdiff_t>(pos_),
+          data_->begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return b;
+}
+
+bool ByteReader::Raw(std::uint8_t* dst, std::size_t n) {
+  if (!ok_ || data_->size() - pos_ < n) {
+    ok_ = false;
+    std::memset(dst, 0, n);
+    return false;
+  }
+  std::memcpy(dst, data_->data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool WriteCacheFile(const std::string& path, std::uint32_t kind,
+                    std::uint32_t version, const Bytes& payload) {
+  Bytes file;
+  file.reserve(kHeaderBytes + payload.size());
+  AppendHeader(file, kind, version, payload);
+  Append(file, payload);
+
+  // Unique temp name per writer so two studies saving into one cache dir
+  // never scribble on the same in-progress file; rename() then publishes
+  // whole files only.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(counter.fetch_add(1)) + "." +
+                          std::to_string(reinterpret_cast<std::uintptr_t>(&counter));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(file.data(), 1, file.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != file.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<Bytes> ReadCacheFile(const std::string& path, std::uint32_t kind,
+                                   std::uint32_t version) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  Bytes file;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    file.insert(file.end(), buf, buf + n);
+  }
+  std::fclose(f);
+
+  if (file.size() < kHeaderBytes) return std::nullopt;
+  ByteReader header(file);
+  if (header.U32() != kMagic) return std::nullopt;
+  if (header.U32() != kind) return std::nullopt;
+  if (header.U32() != version) return std::nullopt;
+  const std::uint64_t payload_size = header.U64();
+  const std::uint64_t checksum = header.U64();
+  if (file.size() - kHeaderBytes != payload_size) return std::nullopt;
+  Bytes payload(file.begin() + kHeaderBytes, file.end());
+  if (Checksum(payload) != checksum) return std::nullopt;
+  return payload;
+}
+
+}  // namespace pinscope::util

@@ -1,6 +1,11 @@
 #include "x509/validation_cache.h"
 
+#include <algorithm>
+#include <tuple>
 #include <utility>
+#include <vector>
+
+#include "util/cache_file.h"
 
 namespace pinscope::x509 {
 
@@ -72,6 +77,64 @@ std::size_t ValidationCache::EntryCount() const {
     n += shards_[s].map.size();
   }
   return n;
+}
+
+bool ValidationCache::SaveToFile(const std::string& path) const {
+  std::vector<std::pair<Key, ValidationResult>> entries;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    for (const auto& [key, result] : shards_[s].map) entries.emplace_back(key, result);
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.first.chain_fp, a.first.store_token, a.first.options_token,
+                    a.first.now, a.first.hostname) <
+           std::tie(b.first.chain_fp, b.first.store_token, b.first.options_token,
+                    b.first.now, b.first.hostname);
+  });
+
+  util::Bytes payload;
+  util::AppendU64(payload, entries.size());
+  for (const auto& [key, result] : entries) {
+    util::AppendBlob(payload, key.chain_fp);
+    util::AppendU64(payload, key.store_token);
+    util::AppendU64(payload, key.options_token);
+    util::AppendI64(payload, key.now);
+    util::AppendString(payload, key.hostname);
+    util::AppendU8(payload, static_cast<std::uint8_t>(result.status));
+    util::AppendU64(payload, result.failing_index);
+  }
+  return util::WriteCacheFile(path, kFileKind, kFileVersion, payload);
+}
+
+bool ValidationCache::LoadFromFile(const std::string& path) {
+  const std::optional<util::Bytes> payload =
+      util::ReadCacheFile(path, kFileKind, kFileVersion);
+  if (!payload.has_value()) return false;
+
+  util::ByteReader reader(*payload);
+  const std::uint64_t count = reader.U64();
+  std::vector<std::pair<Key, ValidationResult>> loaded;
+  for (std::uint64_t i = 0; i < count && reader.ok(); ++i) {
+    Key key;
+    key.chain_fp = reader.Blob();
+    key.store_token = reader.U64();
+    key.options_token = reader.U64();
+    key.now = reader.I64();
+    key.hostname = reader.String();
+    ValidationResult result;
+    const std::uint8_t status = reader.U8();
+    if (status > static_cast<std::uint8_t>(ValidationStatus::kPathLenExceeded)) {
+      return false;
+    }
+    result.status = static_cast<ValidationStatus>(status);
+    result.failing_index = reader.U64();
+    loaded.emplace_back(std::move(key), result);
+  }
+  if (!reader.ok() || !reader.AtEnd()) return false;
+
+  // All-or-nothing: deposit only after the whole payload decoded cleanly.
+  for (auto& [key, result] : loaded) (void)Insert(std::move(key), result);
+  return true;
 }
 
 ValidationResult CachedValidateChain(ValidationCache* cache,

@@ -98,7 +98,21 @@ class ValidationCache {
   /// parallel loop has joined, which the `ctest -L obs` suite asserts).
   [[nodiscard]] std::size_t EntryCount() const;
 
+  /// Persists every memoized tuple to `path` through util::WriteCacheFile
+  /// (versioned header, checksum, atomic rename; DESIGN.md §15). Entries
+  /// serialize in sorted key order, so equal memos write byte-identical
+  /// files. Returns false on I/O failure.
+  bool SaveToFile(const std::string& path) const;
+
+  /// Merges entries from a file written by SaveToFile (first-wins against
+  /// anything resident). A missing, foreign, version-mismatched, or corrupt
+  /// file returns false and loads nothing — the cold-start path. Loaded
+  /// entries count toward inserts/entries, never toward lookups/hits.
+  bool LoadFromFile(const std::string& path);
+
   static constexpr std::size_t kDefaultShards = 16;
+  static constexpr std::uint32_t kFileKind = 0x314c4156;  // "VAL1"
+  static constexpr std::uint32_t kFileVersion = 1;
 
  private:
   struct KeyHash {

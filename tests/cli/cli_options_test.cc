@@ -37,6 +37,9 @@ TEST(ParseArgsTest, DefaultsMatchDocumentedHelp) {
   EXPECT_TRUE(opts->log_path.empty());
   EXPECT_EQ(opts->log_level, obs::Severity::kInfo);
   EXPECT_TRUE(opts->report_path.empty());
+  EXPECT_TRUE(opts->cache_dir.empty());
+  EXPECT_EQ(opts->snapshots, 0);
+  EXPECT_FALSE(opts->incremental);
 }
 
 TEST(ParseArgsTest, NoCommandIsRejected) {
@@ -133,6 +136,33 @@ TEST(ParseArgsTest, RejectsMissingAndEmptyValues) {
   EXPECT_FALSE(Parse({"study", "--log-out="}).has_value());
   EXPECT_FALSE(Parse({"study", "--report-out"}).has_value());
   EXPECT_FALSE(Parse({"study", "--seed"}).has_value());
+}
+
+TEST(ParseArgsTest, StreamingFlagsAcceptBothSpellings) {
+  for (const auto& args : std::vector<std::vector<std::string>>{
+           {"study", "--cache-dir", "/tmp/pscache", "--snapshot", "3",
+            "--incremental", "on"},
+           {"study", "--cache-dir=/tmp/pscache", "--snapshot=3",
+            "--incremental=on"}}) {
+    const auto opts = Parse(args);
+    ASSERT_TRUE(opts.has_value());
+    EXPECT_EQ(opts->cache_dir, "/tmp/pscache");
+    EXPECT_EQ(opts->snapshots, 3);
+    EXPECT_TRUE(opts->incremental);
+  }
+  const auto off = Parse({"study", "--snapshot", "0", "--incremental", "off"});
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(off->snapshots, 0);
+  EXPECT_FALSE(off->incremental);
+}
+
+TEST(ParseArgsTest, StreamingFlagsRejectBadValues) {
+  EXPECT_FALSE(Parse({"study", "--cache-dir"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--cache-dir="}).has_value());
+  EXPECT_FALSE(Parse({"study", "--snapshot"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--snapshot", "-1"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--snapshot", "two"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--incremental", "maybe"}).has_value());
 }
 
 TEST(ParseArgsTest, RejectsUnknownOptions) {

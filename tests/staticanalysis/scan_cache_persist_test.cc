@@ -1,0 +1,206 @@
+// Persistence tests for the corpus-wide scan cache (DESIGN.md §15): a saved
+// cache reloads into an equal cache (equal caches re-serialize to identical
+// bytes), a warm cache serves scans identical to cold ones, every damaged
+// file loads nothing (the cold-start path), and concurrent saves into one
+// path are last-writer-wins through the atomic rename. Carries the `stream`
+// ctest label so it also runs under the sanitizer presets.
+#include "staticanalysis/scan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "appmodel/package.h"
+#include "staticanalysis/scanner.h"
+#include "tls/pinning.h"
+#include "util/cache_file.h"
+#include "x509/issuer.h"
+#include "x509/pem.h"
+
+namespace pinscope::staticanalysis {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+}
+
+x509::Certificate TestCert(const std::string& cn) {
+  x509::IssueSpec spec;
+  spec.subject.set_common_name(cn);
+  return x509::CertificateIssuer::SelfSignedLeaf("persist:" + cn, spec);
+}
+
+// A package whose scan outcome exercises every serialized field: a PEM
+// certificate, well-formed pins (parsed present), and a malformed pin
+// (parsed absent).
+appmodel::PackageFiles SamplePackage(const std::string& salt) {
+  const x509::Certificate cert = TestCert("pem." + salt + ".example");
+  const std::string pin =
+      tls::Pin::ForCertificate(TestCert("pin." + salt + ".example"),
+                               tls::PinForm::kSpkiSha256)
+          .ToPinString();
+  appmodel::PackageFiles files;
+  files.AddText("assets/ca.pem", x509::PemEncode(cert));
+  files.AddText("smali/Pins.smali", "const-string v0, \"" + pin + "\"");
+  files.AddText("config/pins.json",
+                "{\"pin\": \"" + pin + "\", \"bad\": \"sha256/!!notbase64such"
+                "aninvalidpinmaterialvalue!!\"}");
+  files.AddText("notes-" + salt + ".txt", "no evidence here: " + salt);
+  return files;
+}
+
+class ScanCachePersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pinscope_scan_cache_persist_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string PathFor(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ScanCachePersistTest, SaveLoadSaveIsByteStable) {
+  const Scanner scanner;
+  ScanCache original;
+  (void)scanner.Scan(SamplePackage("one"), &original);
+  (void)scanner.Scan(SamplePackage("two"), &original);
+  ASSERT_GT(original.EntryCount(), 0u);
+
+  const std::string first = PathFor("first.pscf");
+  const std::string second = PathFor("second.pscf");
+  ASSERT_TRUE(original.SaveToFile(first));
+
+  ScanCache reloaded;
+  ASSERT_TRUE(reloaded.LoadFromFile(first));
+  EXPECT_EQ(reloaded.EntryCount(), original.EntryCount());
+  ASSERT_TRUE(reloaded.SaveToFile(second));
+
+  // Equal caches serialize byte-identically — the property that makes
+  // concurrent last-writer-wins saves unobservable.
+  EXPECT_EQ(ReadFileBytes(first), ReadFileBytes(second));
+}
+
+TEST_F(ScanCachePersistTest, WarmCacheServesScansIdenticalToCold) {
+  const appmodel::PackageFiles files = SamplePackage("warm");
+  const Scanner scanner;
+
+  ScanCache cold_cache;
+  const ScanResult cold = scanner.Scan(files, &cold_cache);
+  const std::string path = PathFor("scan.pscf");
+  ASSERT_TRUE(cold_cache.SaveToFile(path));
+
+  ScanCache warm_cache;
+  ASSERT_TRUE(warm_cache.LoadFromFile(path));
+  const ScanResult warm = scanner.Scan(files, &warm_cache);
+
+  // Everything is served from disk: no file is rescanned.
+  EXPECT_EQ(warm.cache_hits, files.size());
+  ASSERT_EQ(warm.pins.size(), cold.pins.size());
+  for (std::size_t i = 0; i < cold.pins.size(); ++i) {
+    EXPECT_EQ(warm.pins[i].path, cold.pins[i].path) << i;
+    EXPECT_EQ(warm.pins[i].pin_string, cold.pins[i].pin_string) << i;
+    EXPECT_EQ(warm.pins[i].offset, cold.pins[i].offset) << i;
+    ASSERT_EQ(warm.pins[i].parsed.has_value(), cold.pins[i].parsed.has_value())
+        << i;
+    if (cold.pins[i].parsed.has_value()) {
+      // The parsed form is serialized, not recomputed — it must round trip
+      // exactly.
+      EXPECT_EQ(*warm.pins[i].parsed, *cold.pins[i].parsed) << i;
+    }
+  }
+  ASSERT_EQ(warm.certificates.size(), cold.certificates.size());
+  for (std::size_t i = 0; i < cold.certificates.size(); ++i) {
+    EXPECT_EQ(warm.certificates[i].path, cold.certificates[i].path) << i;
+    EXPECT_EQ(warm.certificates[i].cert, cold.certificates[i].cert) << i;
+    EXPECT_EQ(warm.certificates[i].from_pem, cold.certificates[i].from_pem)
+        << i;
+  }
+}
+
+TEST_F(ScanCachePersistTest, DamagedFilesLoadNothing) {
+  const Scanner scanner;
+  ScanCache original;
+  (void)scanner.Scan(SamplePackage("victim"), &original);
+  const std::string path = PathFor("scan.pscf");
+  ASSERT_TRUE(original.SaveToFile(path));
+
+  {  // Flipped payload byte: checksum rejects.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    char last = 0;
+    f.seekg(-1, std::ios::end);
+    f.read(&last, 1);
+    f.seekp(-1, std::ios::end);
+    last = static_cast<char>(last ^ 0x40);
+    f.write(&last, 1);
+  }
+  ScanCache corrupt;
+  EXPECT_FALSE(corrupt.LoadFromFile(path));
+  EXPECT_EQ(corrupt.EntryCount(), 0u);
+
+  ASSERT_TRUE(original.SaveToFile(path));
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  ScanCache truncated;
+  EXPECT_FALSE(truncated.LoadFromFile(path));
+  EXPECT_EQ(truncated.EntryCount(), 0u);
+
+  // A well-formed container of a foreign kind (someone pointed two caches at
+  // one file) is rejected by the kind tag, not mis-decoded.
+  ASSERT_TRUE(util::WriteCacheFile(path, ScanCache::kFileKind + 1,
+                                   ScanCache::kFileVersion, {1, 2, 3}));
+  ScanCache foreign;
+  EXPECT_FALSE(foreign.LoadFromFile(path));
+  EXPECT_EQ(foreign.EntryCount(), 0u);
+
+  ScanCache missing;
+  EXPECT_FALSE(missing.LoadFromFile(PathFor("never-written.pscf")));
+  EXPECT_EQ(missing.EntryCount(), 0u);
+}
+
+TEST_F(ScanCachePersistTest, ConcurrentSavesAreAtomicAndLastWriterWins) {
+  // Two studies that analyzed the same corpus hold equal caches; racing
+  // their saves into one --cache-dir must leave one intact, loadable file.
+  const Scanner scanner;
+  ScanCache a, b;
+  for (const std::string salt : {"x", "y", "z"}) {
+    (void)scanner.Scan(SamplePackage(salt), &a);
+    (void)scanner.Scan(SamplePackage(salt), &b);
+  }
+  ASSERT_EQ(a.EntryCount(), b.EntryCount());
+
+  const std::string path = PathFor("shared.pscf");
+  const std::string reference = PathFor("reference.pscf");
+  ASSERT_TRUE(a.SaveToFile(reference));
+
+  for (int round = 0; round < 8; ++round) {
+    std::thread ta([&] { ASSERT_TRUE(a.SaveToFile(path)); });
+    std::thread tb([&] { ASSERT_TRUE(b.SaveToFile(path)); });
+    ta.join();
+    tb.join();
+    // Whichever writer landed last, the file is whole and equal to a serial
+    // save of either cache.
+    EXPECT_EQ(ReadFileBytes(path), ReadFileBytes(reference)) << round;
+    ScanCache loaded;
+    EXPECT_TRUE(loaded.LoadFromFile(path)) << round;
+    EXPECT_EQ(loaded.EntryCount(), a.EntryCount()) << round;
+  }
+}
+
+}  // namespace
+}  // namespace pinscope::staticanalysis

@@ -1,0 +1,290 @@
+// Snapshot-churn suite (DESIGN.md §15): AdvanceSnapshot is deterministic
+// across regenerations, its counters match independently observed world and
+// app changes, key-reusing renewals keep SPKI pins valid (the §5.3.3
+// asymmetry), the stale-pin census agrees with a recount, pin rotations
+// reach inside FairPlay-encrypted binaries, and changed_apps is exactly the
+// updates-plus-renewal-contacts work list incremental re-analysis consumes.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "appmodel/app.h"
+#include "appmodel/ios_package.h"
+#include "appmodel/server_world.h"
+#include "store/generator.h"
+#include "tls/pinning.h"
+
+namespace pinscope::store {
+namespace {
+
+using appmodel::Platform;
+
+EcosystemConfig MiniConfig(std::uint64_t seed = 7) {
+  EcosystemConfig config;
+  config.seed = seed;
+  config.scale = 24.0 / 5333.0;
+  return config;
+}
+
+// Churn hot enough that even the mini corpus renews, updates, and rotates.
+ChurnConfig HotChurn() {
+  ChurnConfig config;
+  config.host_renewal_rate = 0.5;
+  config.key_reuse_prob = 0.5;
+  config.app_update_rate = 0.5;
+  config.pin_rotation_prob = 1.0;
+  return config;
+}
+
+std::string FpString(const x509::Certificate& cert) {
+  const auto fp = cert.FingerprintSha256();
+  return std::string(fp.begin(), fp.end());
+}
+
+// host → leaf fingerprint, the world-side change detector.
+std::map<std::string, std::string> LeafFingerprints(const Ecosystem& eco) {
+  std::map<std::string, std::string> fps;
+  for (const std::string& host : eco.world().Hostnames()) {
+    fps[host] = FpString(eco.world().Find(host)->endpoint.chain.front());
+  }
+  return fps;
+}
+
+// Every file's contents as text, FairPlay-decrypted where encrypted — what a
+// developer rebuild (and the churn rewriter) actually sees.
+std::string DecryptedCorpusText(const appmodel::App& app) {
+  std::string text;
+  for (const auto& [path, contents] : app.package.files()) {
+    const util::Bytes plain =
+        appmodel::IsFairPlayEncrypted(contents)
+            ? appmodel::FairPlayDecrypt(contents, app.meta.app_id)
+            : contents;
+    text.append(reinterpret_cast<const char*>(plain.data()), plain.size());
+    text.push_back('\n');
+  }
+  return text;
+}
+
+void ExpectSameChurn(const SnapshotChurn& a, const SnapshotChurn& b) {
+  EXPECT_EQ(a.snapshot, b.snapshot);
+  EXPECT_EQ(a.hosts_renewed, b.hosts_renewed);
+  EXPECT_EQ(a.keys_reused, b.keys_reused);
+  EXPECT_EQ(a.apps_updated, b.apps_updated);
+  EXPECT_EQ(a.pins_rotated, b.pins_rotated);
+  EXPECT_EQ(a.stale_pins, b.stale_pins);
+  EXPECT_EQ(a.changed_apps, b.changed_apps);
+}
+
+TEST(ChurnTest, AdvancesAreDeterministicAcrossRegenerations) {
+  Ecosystem first = Ecosystem::Generate(MiniConfig());
+  Ecosystem second = Ecosystem::Generate(MiniConfig());
+
+  for (int epoch = 1; epoch <= 2; ++epoch) {
+    SCOPED_TRACE("epoch=" + std::to_string(epoch));
+    const SnapshotChurn a = first.AdvanceSnapshot(HotChurn());
+    const SnapshotChurn b = second.AdvanceSnapshot(HotChurn());
+    ExpectSameChurn(a, b);
+    EXPECT_EQ(a.snapshot, epoch);
+  }
+
+  // Same decisions must mean same bytes: world chains and every package.
+  EXPECT_EQ(LeafFingerprints(first), LeafFingerprints(second));
+  for (const Platform p : {Platform::kAndroid, Platform::kIos}) {
+    const auto& apps_a = first.apps(p);
+    const auto& apps_b = second.apps(p);
+    ASSERT_EQ(apps_a.size(), apps_b.size());
+    for (std::size_t i = 0; i < apps_a.size(); ++i) {
+      EXPECT_EQ(apps_a[i].package.files(), apps_b[i].package.files()) << i;
+    }
+  }
+}
+
+TEST(ChurnTest, RenewalCountMatchesObservedChainChangesAndSkipsSelfSigned) {
+  Ecosystem eco = Ecosystem::Generate(MiniConfig());
+  const auto before = LeafFingerprints(eco);
+  const SnapshotChurn churn = eco.AdvanceSnapshot(HotChurn());
+  const auto after = LeafFingerprints(eco);
+
+  std::size_t observed = 0;
+  for (const auto& [host, fp] : before) {
+    if (after.at(host) != fp) {
+      ++observed;
+      EXPECT_NE(eco.world().Find(host)->pki, appmodel::PkiType::kSelfSigned)
+          << host << " is self-signed and must never renew";
+    }
+  }
+  EXPECT_EQ(observed, churn.hosts_renewed);
+  EXPECT_GT(churn.hosts_renewed, 0u) << "vacuous churn — raise the rates";
+  EXPECT_LE(churn.keys_reused, churn.hosts_renewed);
+}
+
+TEST(ChurnTest, KeyReusingRenewalsKeepSpkiPinsValid) {
+  Ecosystem eco = Ecosystem::Generate(MiniConfig());
+  // The old leaf's SPKI pin, per host — §5.3.3's survivability probe.
+  std::map<std::string, tls::Pin> old_pins;
+  const auto before = LeafFingerprints(eco);
+  for (const std::string& host : eco.world().Hostnames()) {
+    old_pins.emplace(host, tls::Pin::ForCertificate(
+                               eco.world().Find(host)->endpoint.chain.front(),
+                               tls::PinForm::kSpkiSha256));
+  }
+
+  const SnapshotChurn churn = eco.AdvanceSnapshot(HotChurn());
+
+  std::size_t surviving = 0;
+  for (const std::string& host : eco.world().Hostnames()) {
+    const x509::Certificate& fresh_leaf =
+        eco.world().Find(host)->endpoint.chain.front();
+    if (FpString(fresh_leaf) == before.at(host)) continue;  // not renewed
+    if (old_pins.at(host).Matches(fresh_leaf)) ++surviving;
+  }
+  EXPECT_EQ(surviving, churn.keys_reused);
+}
+
+TEST(ChurnTest, StalePinCensusMatchesIndependentRecount) {
+  Ecosystem eco = Ecosystem::Generate(MiniConfig());
+  // Fresh keys everywhere and no app updates: renewals break pins and no
+  // rotation repairs them, so staleness must show up and accumulate.
+  ChurnConfig config;
+  config.host_renewal_rate = 0.5;
+  config.key_reuse_prob = 0.0;
+  config.app_update_rate = 0.0;
+  const SnapshotChurn churn = eco.AdvanceSnapshot(config);
+
+  std::size_t recount = 0;
+  for (const Platform p : {Platform::kAndroid, Platform::kIos}) {
+    for (const appmodel::App& app : eco.apps(p)) {
+      for (const auto& db : app.behavior.destinations) {
+        if (!db.pinned) continue;
+        const appmodel::ServerInfo* srv = eco.world().Find(db.hostname);
+        if (srv == nullptr) continue;
+        for (const tls::Pin& pin : db.pins) {
+          bool live = false;
+          for (const x509::Certificate& cert : srv->endpoint.chain) {
+            if (pin.Matches(cert)) {
+              live = true;
+              break;
+            }
+          }
+          if (!live) ++recount;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(recount, churn.stale_pins);
+  EXPECT_GT(churn.stale_pins, 0u) << "vacuous: no pin went stale";
+}
+
+TEST(ChurnTest, PinRotationRewritesReachInsideFairPlayBinaries) {
+  Ecosystem eco = Ecosystem::Generate(MiniConfig());
+  // Force the full path: every host renews with a fresh key (all pins go
+  // stale), every app updates, every update rotates.
+  ChurnConfig config;
+  config.host_renewal_rate = 1.0;
+  config.key_reuse_prob = 0.0;
+  config.app_update_rate = 1.0;
+  config.pin_rotation_prob = 1.0;
+
+  // Embedded behavior pins per iOS app, located by (destination, pin slot)
+  // so we can tell after churn which ones actually rotated. Pins whose host
+  // never renewed (e.g. self-signed) legitimately stay put.
+  struct Target {
+    std::size_t index;
+    std::size_t dest;
+    std::size_t slot;
+    std::string old_pin;
+  };
+  std::vector<Target> targets;
+  const auto& ios_apps = eco.apps(Platform::kIos);
+  for (std::size_t i = 0; i < ios_apps.size(); ++i) {
+    const std::string text = DecryptedCorpusText(ios_apps[i]);
+    const auto& dests = ios_apps[i].behavior.destinations;
+    for (std::size_t d = 0; d < dests.size(); ++d) {
+      if (!dests[d].pinned) continue;
+      for (std::size_t s = 0; s < dests[d].pins.size(); ++s) {
+        const std::string pin = dests[d].pins[s].ToPinString();
+        if (text.find(pin) != std::string::npos) {
+          targets.push_back({i, d, s, pin});
+        }
+      }
+    }
+  }
+  ASSERT_FALSE(targets.empty()) << "no iOS app embeds a pin string";
+
+  const SnapshotChurn churn = eco.AdvanceSnapshot(config);
+  EXPECT_GT(churn.pins_rotated, 0u);
+
+  std::size_t rotated_targets = 0;
+  std::size_t rewritten_inside_fairplay = 0;
+  for (const Target& t : targets) {
+    const appmodel::App& app = ios_apps[t.index];
+    const std::string new_pin = app.behavior.destinations[t.dest]
+                                    .pins[t.slot]
+                                    .ToPinString();
+    if (new_pin == t.old_pin) continue;  // this pin did not rotate
+    ++rotated_targets;
+    const std::string after = DecryptedCorpusText(app);
+    // Every embedded occurrence of the old pin was rewritten to the new one.
+    EXPECT_EQ(after.find(t.old_pin), std::string::npos)
+        << app.meta.app_id << " still embeds a rotated-away pin";
+    EXPECT_NE(after.find(new_pin), std::string::npos) << app.meta.app_id;
+    // The rewrite is only visible through decryption when it landed in a
+    // FairPlay file: the ciphertext itself must not leak the string.
+    for (const auto& [path, contents] : app.package.files()) {
+      if (!appmodel::IsFairPlayEncrypted(contents)) continue;
+      const util::Bytes plain =
+          appmodel::FairPlayDecrypt(contents, app.meta.app_id);
+      const std::string plain_text(
+          reinterpret_cast<const char*>(plain.data()), plain.size());
+      if (plain_text.find(new_pin) == std::string::npos) continue;
+      ++rewritten_inside_fairplay;
+      const std::string cipher_text(
+          reinterpret_cast<const char*>(contents.data()), contents.size());
+      EXPECT_EQ(cipher_text.find(new_pin), std::string::npos)
+          << path << " leaks the plaintext pin";
+    }
+  }
+  EXPECT_GT(rotated_targets, 0u) << "no embedded pin rotated";
+  EXPECT_GT(rewritten_inside_fairplay, 0u)
+      << "no rotation landed inside a FairPlay-encrypted file";
+}
+
+TEST(ChurnTest, ChangedAppsAreExactlyUpdatesPlusRenewalContacts) {
+  Ecosystem eco = Ecosystem::Generate(MiniConfig());
+  const auto before = LeafFingerprints(eco);
+  const SnapshotChurn churn = eco.AdvanceSnapshot(HotChurn());
+  const auto after = LeafFingerprints(eco);
+
+  std::set<std::string> renewed;
+  for (const auto& [host, fp] : before) {
+    if (after.at(host) != fp) renewed.insert(host);
+  }
+
+  std::set<std::pair<Platform, std::size_t>> expected;
+  for (const Platform p : {Platform::kAndroid, Platform::kIos}) {
+    const auto& apps = eco.apps(p);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      const util::Bytes* stamp =
+          apps[i].package.Find("META-INF/churn_revision.txt");
+      bool changed = stamp != nullptr;
+      for (const auto& db : apps[i].behavior.destinations) {
+        if (renewed.contains(db.hostname)) changed = true;
+      }
+      if (changed) expected.insert({p, i});
+    }
+  }
+
+  const std::set<std::pair<Platform, std::size_t>> actual(
+      churn.changed_apps.begin(), churn.changed_apps.end());
+  EXPECT_EQ(actual.size(), churn.changed_apps.size()) << "duplicate entries";
+  EXPECT_EQ(actual, expected);
+  EXPECT_FALSE(actual.empty()) << "vacuous churn — raise the rates";
+}
+
+}  // namespace
+}  // namespace pinscope::store

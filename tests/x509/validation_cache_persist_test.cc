@@ -1,0 +1,193 @@
+// Persistence tests for the chain-validation memo (DESIGN.md §15),
+// mirroring the scan-cache persist suite: save/load/save byte stability,
+// warm lookups identical to recomputation, damaged files loading nothing,
+// and concurrent saves surviving the atomic rename. Carries the `stream`
+// ctest label so it also runs under the sanitizer presets.
+#include "x509/validation_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/cache_file.h"
+#include "util/clock.h"
+#include "util/rng.h"
+#include "x509/issuer.h"
+#include "x509/root_store.h"
+
+namespace pinscope::x509 {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+}
+
+// A root, a store trusting it, and a few issued hosts so the memo holds
+// several distinct tuples (valid chains plus an expired one).
+struct PersistWorld {
+  PersistWorld()
+      : root(CertificateIssuer::SelfSignedRoot(
+            "persist-root", DistinguishedName{"Persist Root CA", "TestOrg",
+                                              "US"},
+            -5 * util::kMillisPerYear, 10 * util::kMillisPerYear)),
+        store("test", {root.certificate()}) {}
+
+  CertificateChain ChainFor(const std::string& host, bool expired = false) {
+    util::Rng rng(std::hash<std::string>{}(host));
+    IssueSpec spec;
+    spec.subject.set_common_name(host);
+    spec.san_dns = {host};
+    spec.not_before = -30 * util::kMillisPerDay;
+    spec.not_after = expired ? -util::kMillisPerDay : util::kMillisPerYear;
+    return {root.Issue(spec, rng), root.certificate()};
+  }
+
+  CertificateIssuer root;
+  RootStore store;
+};
+
+// Populates `cache` with the same deterministic tuple set every time.
+void Populate(ValidationCache& cache, PersistWorld& w) {
+  const ValidationOptions opts;
+  for (const std::string host :
+       {"api.persist.com", "cdn.persist.com", "www.persist.com"}) {
+    (void)CachedValidateChain(&cache, w.ChainFor(host), host, 0, w.store,
+                              opts);
+  }
+  (void)CachedValidateChain(&cache, w.ChainFor("dead.persist.com", true),
+                            "dead.persist.com", 0, w.store, opts);
+}
+
+class ValidationCachePersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pinscope_validation_cache_persist_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string PathFor(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ValidationCachePersistTest, SaveLoadSaveIsByteStable) {
+  PersistWorld w;
+  ValidationCache original;
+  Populate(original, w);
+  ASSERT_GT(original.EntryCount(), 0u);
+
+  const std::string first = PathFor("first.pscf");
+  const std::string second = PathFor("second.pscf");
+  ASSERT_TRUE(original.SaveToFile(first));
+
+  ValidationCache reloaded;
+  ASSERT_TRUE(reloaded.LoadFromFile(first));
+  EXPECT_EQ(reloaded.EntryCount(), original.EntryCount());
+  ASSERT_TRUE(reloaded.SaveToFile(second));
+  EXPECT_EQ(ReadFileBytes(first), ReadFileBytes(second));
+}
+
+TEST_F(ValidationCachePersistTest, WarmLookupsMatchRecomputedResults) {
+  PersistWorld w;
+  ValidationCache cold;
+  Populate(cold, w);
+  const std::string path = PathFor("memo.pscf");
+  ASSERT_TRUE(cold.SaveToFile(path));
+
+  ValidationCache warm;
+  ASSERT_TRUE(warm.LoadFromFile(path));
+
+  const ValidationOptions opts;
+  for (const bool expired : {false, true}) {
+    const std::string host =
+        expired ? "dead.persist.com" : "api.persist.com";
+    const CertificateChain chain = w.ChainFor(host, expired);
+    const ValidationResult plain =
+        ValidateChain(chain, host, 0, w.store, opts);
+    const ValidationResult served =
+        CachedValidateChain(&warm, chain, host, 0, w.store, opts);
+    EXPECT_EQ(served.status, plain.status) << host;
+    EXPECT_EQ(served.failing_index, plain.failing_index) << host;
+  }
+  // Both lookups above were served from the loaded memo, not recomputed.
+  EXPECT_EQ(warm.Stats().hits, 2u);
+  EXPECT_EQ(warm.Stats().misses, 0u);
+}
+
+TEST_F(ValidationCachePersistTest, DamagedFilesLoadNothing) {
+  PersistWorld w;
+  ValidationCache original;
+  Populate(original, w);
+  const std::string path = PathFor("memo.pscf");
+  ASSERT_TRUE(original.SaveToFile(path));
+
+  {  // Flip a payload byte.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    char last = 0;
+    f.seekg(-1, std::ios::end);
+    f.read(&last, 1);
+    f.seekp(-1, std::ios::end);
+    last = static_cast<char>(last ^ 0x40);
+    f.write(&last, 1);
+  }
+  ValidationCache corrupt;
+  EXPECT_FALSE(corrupt.LoadFromFile(path));
+  EXPECT_EQ(corrupt.EntryCount(), 0u);
+
+  ASSERT_TRUE(original.SaveToFile(path));
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  ValidationCache truncated;
+  EXPECT_FALSE(truncated.LoadFromFile(path));
+  EXPECT_EQ(truncated.EntryCount(), 0u);
+
+  // The scan cache's kind tag must not decode as a validation memo.
+  ASSERT_TRUE(util::WriteCacheFile(path, ValidationCache::kFileKind + 1,
+                                   ValidationCache::kFileVersion, {1, 2, 3}));
+  ValidationCache foreign;
+  EXPECT_FALSE(foreign.LoadFromFile(path));
+  EXPECT_EQ(foreign.EntryCount(), 0u);
+
+  ValidationCache missing;
+  EXPECT_FALSE(missing.LoadFromFile(PathFor("never-written.pscf")));
+  EXPECT_EQ(missing.EntryCount(), 0u);
+}
+
+TEST_F(ValidationCachePersistTest, ConcurrentSavesAreAtomicAndLastWriterWins) {
+  PersistWorld w;
+  ValidationCache a, b;
+  Populate(a, w);
+  Populate(b, w);
+  ASSERT_EQ(a.EntryCount(), b.EntryCount());
+
+  const std::string path = PathFor("shared.pscf");
+  const std::string reference = PathFor("reference.pscf");
+  ASSERT_TRUE(a.SaveToFile(reference));
+
+  for (int round = 0; round < 8; ++round) {
+    std::thread ta([&] { ASSERT_TRUE(a.SaveToFile(path)); });
+    std::thread tb([&] { ASSERT_TRUE(b.SaveToFile(path)); });
+    ta.join();
+    tb.join();
+    EXPECT_EQ(ReadFileBytes(path), ReadFileBytes(reference)) << round;
+    ValidationCache loaded;
+    EXPECT_TRUE(loaded.LoadFromFile(path)) << round;
+    EXPECT_EQ(loaded.EntryCount(), a.EntryCount()) << round;
+  }
+}
+
+}  // namespace
+}  // namespace pinscope::x509

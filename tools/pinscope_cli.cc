@@ -9,20 +9,29 @@
 //       Static + dynamic + circumvention audit of a single app.
 //   pinscope tables [--scale S] [--seed N]
 //       Print every paper table from a fresh study.
+//   pinscope longitudinal [--scale S] [--seed N] [--snapshot K]
+//       Advance the store through K churn epochs and print the pin-rotation /
+//       key-reuse table (EXPERIMENTS.md §longitudinal).
 //   pinscope help
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cli/cli_options.h"
 #include "core/analyses.h"
+#include "core/corpus_source.h"
 #include "core/export.h"
+#include "core/stream_export.h"
+#include "core/stream_study.h"
 #include "core/study.h"
 #include "dynamicanalysis/pipeline.h"
 #include "obs/obs.h"
+#include "obs/process.h"
 #include "report/run_report.h"
 #include "report/table.h"
 #include "staticanalysis/static_report.h"
@@ -46,6 +55,7 @@ core::StudyOptions StudyOptionsFor(const CliOptions& opts,
   sopts.queue_depth = static_cast<std::size_t>(opts.queue_depth);
   sopts.scan_cache = opts.scan_cache;
   sopts.sim_cache = opts.sim_cache;
+  sopts.cache_dir = opts.cache_dir;
   sopts.observer = observer;
   return sopts;
 }
@@ -53,7 +63,8 @@ core::StudyOptions StudyOptionsFor(const CliOptions& opts,
 /// Prints the --summary table and writes --metrics-out / --trace-out /
 /// --log-out files. A `.prom` metrics path selects the OpenMetrics text
 /// format instead of JSON.
-void EmitObservability(const obs::Observer& observer, const CliOptions& opts) {
+void EmitObservability(obs::Observer& observer, const CliOptions& opts) {
+  obs::PublishPeakRss(&observer.metrics());
   const obs::MetricsSnapshot snapshot = observer.metrics().Snapshot();
   if (opts.summary) std::printf("%s", obs::RenderSummary(snapshot).c_str());
   if (!opts.metrics_path.empty()) {
@@ -80,11 +91,10 @@ void EmitObservability(const obs::Observer& observer, const CliOptions& opts) {
 
 /// Writes the --report-out run report (Markdown plus a JSON companion next
 /// to it) from the study's verdicts, the metrics snapshot, and the journal.
-void EmitRunReport(const core::Study& study, const obs::Observer& observer,
-                   const CliOptions& opts) {
+void EmitRunReportVerdicts(const std::vector<report::AppVerdict>& verdicts,
+                           const obs::Observer& observer,
+                           const CliOptions& opts) {
   if (opts.report_path.empty()) return;
-  const std::vector<report::AppVerdict> verdicts =
-      core::CollectAppVerdicts(study);
   const obs::MetricsSnapshot snapshot = observer.metrics().Snapshot();
   std::vector<obs::LogEvent> events;
   if (observer.log() != nullptr) events = observer.log()->SortedEvents();
@@ -105,6 +115,26 @@ void EmitRunReport(const core::Study& study, const obs::Observer& observer,
               json_path.c_str());
 }
 
+void EmitRunReport(const core::Study& study, const obs::Observer& observer,
+                   const CliOptions& opts) {
+  if (opts.report_path.empty()) return;
+  EmitRunReportVerdicts(core::CollectAppVerdicts(study), observer, opts);
+}
+
+void PrintChurn(const store::SnapshotChurn& c) {
+  std::fprintf(stderr,
+               "[pinscope] snapshot %d: %zu hosts renewed (%zu key-reuse), "
+               "%zu apps updated, %zu pins rotated, %zu stale pins, "
+               "%zu apps changed\n",
+               c.snapshot, c.hosts_renewed, c.keys_reused, c.apps_updated,
+               c.pins_rotated, c.stale_pins, c.changed_apps.size());
+}
+
+/// Applies `count` churn epochs to `eco`, narrating each on stderr.
+void ApplySnapshots(store::Ecosystem& eco, int count) {
+  for (int s = 0; s < count; ++s) PrintChurn(eco.AdvanceSnapshot());
+}
+
 int Usage() {
   std::printf(
       "pinscope — certificate-pinning measurement toolkit\n\n"
@@ -114,6 +144,8 @@ int Usage() {
       "  study               run the full study, print prevalence\n"
       "  audit APP_ID        audit one app (static + dynamic + circumvention)\n"
       "  tables              print every paper table\n"
+      "  longitudinal        advance the store through churn epochs and print\n"
+      "                      the pin-rotation / key-reuse table\n"
       "  help                this text\n\n"
       "options:\n"
       "  --scale S           corpus scale, 0 < S <= 1 (default 0.1)\n"
@@ -155,7 +187,22 @@ int Usage() {
       "                      per-app verdict-attribution table (a .json twin is\n"
       "                      written next to it)\n"
       "  --summary=on|off    end-of-run cache/phase/counter summary table\n"
-      "                      (default on)\n");
+      "                      (default on)\n"
+      "  --cache-dir DIR     persist the content-keyed static-scan and chain-\n"
+      "                      validation caches in DIR and reload them next\n"
+      "                      run (warm start). Missing or corrupt cache files\n"
+      "                      mean a cold start, never an error; results are\n"
+      "                      byte-identical warm or cold (DESIGN.md §15)\n"
+      "  --snapshot N        (study/longitudinal) advance the generated store\n"
+      "                      through N deterministic churn epochs — leaf\n"
+      "                      renewals, app updates, pin rotations — before\n"
+      "                      analyzing (default 0 = as generated; longitudinal\n"
+      "                      defaults to 6 epochs)\n"
+      "  --incremental=on|off with --snapshot N: analyze only the apps the\n"
+      "                      final churn epoch changed and merge over the\n"
+      "                      previous snapshot's results; merged exports are\n"
+      "                      byte-identical to a full re-analysis (default\n"
+      "                      off)\n");
   return 2;
 }
 
@@ -206,8 +253,71 @@ void ExportCsv(const core::Study& study, const std::string& path) {
   std::printf("wrote %zu CSV rows to %s\n", rows, path.c_str());
 }
 
+/// `study --incremental on --snapshot N`: full streaming baseline at
+/// snapshot N-1, one more churn epoch, then re-analysis of only the apps
+/// that epoch changed, merged over the baseline rows. The merged exports are
+/// byte-identical to a full re-analysis of the same snapshot
+/// (tests/core/stream_equivalence_test.cc proves it).
+int CmdStudyIncremental(const CliOptions& opts) {
+  store::Ecosystem eco = Generate(opts);
+  ApplySnapshots(eco, opts.snapshots - 1);
+
+  obs::Observer observer;
+  std::optional<obs::EventLog> log;
+  if (!opts.log_path.empty() || !opts.report_path.empty()) {
+    log.emplace(opts.log_level);
+    observer.set_log(&*log);
+  }
+  core::StudyOptions sopts = StudyOptionsFor(opts, &observer);
+  const core::EcosystemCorpusSource source(eco);
+
+  std::fprintf(stderr, "[pinscope] streaming baseline at snapshot %d\n",
+               eco.snapshot());
+  core::StreamExporter baseline;
+  const core::StreamStudyResult base_run =
+      core::RunStreamingStudy(source, sopts, baseline);
+
+  const store::SnapshotChurn churn = eco.AdvanceSnapshot();
+  PrintChurn(churn);
+
+  const std::set<std::pair<appmodel::Platform, std::size_t>> changed(
+      churn.changed_apps.begin(), churn.changed_apps.end());
+  sopts.app_filter = [&changed](appmodel::Platform p, std::size_t idx) {
+    return changed.contains({p, idx});
+  };
+  std::fprintf(stderr,
+               "[pinscope] incremental re-analysis of %zu changed apps at "
+               "snapshot %d\n",
+               changed.size(), eco.snapshot());
+  core::StreamExporter merged;
+  const core::StreamStudyResult delta_run =
+      core::RunStreamingStudy(source, sopts, merged);
+  merged.MergeBase(baseline);
+
+  const std::vector<report::AppVerdict> verdicts = merged.FinishVerdicts();
+  std::printf("incremental study: baseline %zu apps, re-analyzed %zu changed "
+              "apps, merged %zu results at snapshot %d\n",
+              base_run.apps, delta_run.apps, verdicts.size(), eco.snapshot());
+
+  EmitObservability(observer, opts);
+  EmitRunReportVerdicts(verdicts, observer, opts);
+  if (!opts.json_path.empty()) {
+    std::ofstream out(opts.json_path);
+    out << merged.FinishJson();
+    std::printf("wrote merged JSON records to %s\n", opts.json_path.c_str());
+  }
+  if (!opts.csv_path.empty()) {
+    std::ofstream out(opts.csv_path);
+    out << merged.FinishCsv();
+    std::printf("wrote merged CSV rows to %s\n", opts.csv_path.c_str());
+  }
+  return 0;
+}
+
 int CmdStudy(const CliOptions& opts) {
-  const store::Ecosystem eco = Generate(opts);
+  if (opts.incremental && opts.snapshots > 0) return CmdStudyIncremental(opts);
+  store::Ecosystem eco = Generate(opts);
+  ApplySnapshots(eco, opts.snapshots);
   obs::Observer observer;
   std::optional<obs::EventLog> log;
   if (!opts.log_path.empty() || !opts.report_path.empty()) {
@@ -338,6 +448,27 @@ int CmdTables(const CliOptions& opts) {
   return 0;
 }
 
+/// Prints the longitudinal churn table (Markdown, ready for EXPERIMENTS.md):
+/// one row per snapshot epoch of leaf renewals, key reuse, app updates, pin
+/// rotations, and the resulting stale-pin census.
+int CmdLongitudinal(const CliOptions& opts) {
+  store::Ecosystem eco = Generate(opts);
+  const int epochs = opts.snapshots > 0 ? opts.snapshots : 6;
+  std::printf("Longitudinal store churn — scale %.2f, seed %llu, %d "
+              "snapshots\n\n",
+              opts.scale, static_cast<unsigned long long>(opts.seed), epochs);
+  std::printf("| Snapshot | Hosts renewed | Keys reused | Apps updated | "
+              "Pins rotated | Stale pins | Changed apps |\n");
+  std::printf("|---:|---:|---:|---:|---:|---:|---:|\n");
+  for (int s = 0; s < epochs; ++s) {
+    const store::SnapshotChurn c = eco.AdvanceSnapshot();
+    std::printf("| %d | %zu | %zu | %zu | %zu | %zu | %zu |\n", c.snapshot,
+                c.hosts_renewed, c.keys_reused, c.apps_updated, c.pins_rotated,
+                c.stale_pins, c.changed_apps.size());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -348,6 +479,7 @@ int main(int argc, char** argv) {
     if (opts->command == "study") return CmdStudy(*opts);
     if (opts->command == "audit") return CmdAudit(*opts);
     if (opts->command == "tables") return CmdTables(*opts);
+    if (opts->command == "longitudinal") return CmdLongitudinal(*opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
