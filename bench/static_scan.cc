@@ -142,16 +142,19 @@ int main() {
   for (int r = 0; r < reps; ++r) {
     double off = 0.0, on = 0.0, legacy = 0.0;
     {
-      obs::ScopedTimer timer(registry.histogram("phase.scan_legacy_sweep"));
+      obs::ScopedTimer timer(
+          obs::PhaseHistogramOrNull(&registry, "phase.scan_legacy_sweep"));
       legacy = TimedPass(legacy_scanner, corpus, nullptr, &pins_legacy);
     }
     {
-      obs::ScopedTimer timer(registry.histogram("phase.scan_uncached"));
+      obs::ScopedTimer timer(
+          obs::PhaseHistogramOrNull(&registry, "phase.scan_uncached"));
       off = TimedPass(scanner, corpus, nullptr, &pins_off);
     }
     staticanalysis::ScanCache cache;
     {
-      obs::ScopedTimer timer(registry.histogram("phase.scan_cached"));
+      obs::ScopedTimer timer(
+          obs::PhaseHistogramOrNull(&registry, "phase.scan_cached"));
       on = TimedPass(scanner, corpus, &cache, &pins_on);
     }
     if (r == 0 || legacy < best_legacy) best_legacy = legacy;

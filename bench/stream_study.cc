@@ -38,6 +38,7 @@
 #include "core/synthetic_corpus.h"
 #include "obs/obs.h"
 #include "obs/process.h"
+#include "obs/telemetry.h"
 
 namespace {
 
@@ -56,13 +57,15 @@ std::uint64_t PeakRss() { return obs::ReadPeakRssBytes().value_or(0); }
 /// Streams `total_apps` synthetic apps in firehose mode (no rows retained);
 /// returns wall milliseconds.
 double TimedStream(std::size_t total_apps, int workers,
-                   obs::Observer* observer) {
+                   obs::Observer* observer,
+                   obs::Telemetry* telemetry = nullptr) {
   core::SyntheticCorpusConfig config;
   config.apps_per_platform = total_apps / 2;
   const core::SyntheticCorpusSource source(config);
   core::StudyOptions opts;
   opts.threads = workers;
   opts.observer = observer;
+  opts.telemetry = telemetry;
   // Every app carries a unique manifest/binary digest, so an in-run scan
   // cache can never hit twice — it would only accumulate one entry per app,
   // O(corpus) memory for zero hits. The firehose run streams without it
@@ -125,9 +128,19 @@ int main() {
   std::fprintf(stderr, "[pinscope] %zu apps: %.0f ms, peak RSS %.1f MiB\n",
                small_apps, small_ms, small_peak / (1024.0 * 1024.0));
 
+  // The large run carries the flight recorder: a 100 ms sampler whose ring
+  // holds the whole run, so BENCH_stream.json can embed the sampled
+  // RSS/progress timeline — the flat-RSS claim as a curve, not one number.
+  obs::TelemetryOptions topts;
+  topts.interval_ms = 100;
+  topts.ring_capacity = 1 << 16;
+  obs::Telemetry telemetry(&observer.metrics(), topts);
   std::fprintf(stderr, "[pinscope] streaming %zu apps (%d workers)...\n",
                large_apps, workers);
-  const double large_ms = TimedStream(large_apps, workers, &observer);
+  telemetry.Start();
+  const double large_ms = TimedStream(large_apps, workers, &observer,
+                                      &telemetry);
+  telemetry.Stop();
   const std::uint64_t large_peak = PeakRss();
   std::fprintf(stderr, "[pinscope] %zu apps: %.0f ms, peak RSS %.1f MiB\n",
                large_apps, large_ms, large_peak / (1024.0 * 1024.0));
@@ -192,6 +205,10 @@ int main() {
       static_cast<unsigned long long>(large_peak), rss_ratio,
       flat ? "true" : "false", warm_apps, cold_ms, warm_ms, warm_speedup);
 
-  return bench::WriteBenchJsonWithPhases("BENCH_stream.json", json,
+  // The sampled timeline of the large run rides along in the head (which
+  // must keep ending in ",\n" for the shared phases/process embedding).
+  std::string head = json;
+  head += "  \"timeline\": " + telemetry.TimelineJson() + ",\n";
+  return bench::WriteBenchJsonWithPhases("BENCH_stream.json", head,
                                          observer.metrics().Snapshot());
 }

@@ -121,6 +121,27 @@ std::optional<CliOptions> ParseArgs(int argc, const char* const* argv) {
       opts.csv_path = *v;
     } else if (TakeValue(arg, "--metrics-out", cursor, opts.metrics_path, ok)) {
       if (!ok) return std::nullopt;
+    } else if (TakeValue(arg, "--progress", cursor, value, ok)) {
+      if (!ok) return std::nullopt;
+      if (value != "off" && value != "plain" && value != "tty") {
+        std::fprintf(stderr, "--progress expects off|plain|tty, got '%s'\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      opts.progress = value;
+    } else if (TakeValue(arg, "--heartbeat-out", cursor, opts.heartbeat_path,
+                         ok)) {
+      if (!ok) return std::nullopt;
+    } else if (TakeValue(arg, "--telemetry-interval-ms", cursor, value, ok)) {
+      if (!ok) return std::nullopt;
+      opts.telemetry_interval_ms = std::atoi(value.c_str());
+      if (opts.telemetry_interval_ms <= 0) {
+        std::fprintf(stderr,
+                     "--telemetry-interval-ms expects a positive integer, "
+                     "got '%s'\n",
+                     value.c_str());
+        return std::nullopt;
+      }
     } else if (TakeValue(arg, "--trace-out", cursor, opts.trace_path, ok)) {
       if (!ok) return std::nullopt;
     } else if (TakeValue(arg, "--log-out", cursor, opts.log_path, ok)) {

@@ -35,6 +35,14 @@ struct CliOptions {
   std::string json_path;
   std::string csv_path;
   std::string metrics_path;  ///< `.prom` suffix selects OpenMetrics format.
+  /// --progress: live progress rendering — "off" (default), "plain" (one
+  /// line per tick, pipeable), or "tty" (carriage-return status line).
+  std::string progress = "off";
+  /// --heartbeat-out: machine-readable heartbeat JSONL, one object per
+  /// telemetry tick.
+  std::string heartbeat_path;
+  /// --telemetry-interval-ms: sampler tick period (positive).
+  int telemetry_interval_ms = 250;
   std::string trace_path;
   std::string log_path;      ///< --log-out: decision-journal JSONL.
   obs::Severity log_level = obs::Severity::kInfo;  ///< --log-level.

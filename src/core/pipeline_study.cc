@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/study.h"
+#include "obs/telemetry.h"
 #include "util/pipeline_scheduler.h"
 
 namespace pinscope::core {
@@ -73,6 +74,37 @@ void Study::RunPipelined(obs::EventScope& study_log) {
   popts.faults = options_.fault_plan;
   popts.trace = obs::TraceOf(options_.observer);
   popts.metrics = obs::MetricsOf(options_.observer);
+  if (obs::Telemetry* telemetry = options_.telemetry) {
+    telemetry->AddTotal(items.size());
+    // The hook wraps the whole attempt loop — fault-injected delays included
+    // — so the straggler table sees a stalled stage the stage body never
+    // entered. The final stage's kEnd doubles as chain completion; a kFailed
+    // completes too, since the scheduler skips the item's remaining stages.
+    popts.stage_hook = [telemetry, &items, &slots, &stages](
+                           std::size_t item, std::size_t stage,
+                           util::StageEvent event) {
+      const std::uint64_t key = obs::TelemetryKey(
+          items[item].platform == appmodel::Platform::kAndroid ? 0 : 1,
+          items[item].universe_index);
+      const std::string& name = stages[stage].name;
+      switch (event) {
+        case util::StageEvent::kBegin:
+          telemetry->OnStageStart(
+              key, appmodel::PlatformName(items[item].platform),
+              slots[item].app->meta.app_id, name);
+          break;
+        case util::StageEvent::kEnd:
+          telemetry->OnStageEnd(key, name);
+          if (stage + 1 == stages.size()) telemetry->OnItemDone(key);
+          break;
+        case util::StageEvent::kFailed:
+          // Not an OnStageEnd — a failed stage never completed. OnItemDone
+          // clears the in-flight entry and still counts the chain.
+          telemetry->OnItemDone(key);
+          break;
+      }
+    };
+  }
   const util::PipelineResult run =
       util::RunPipeline(items.size(), stages, popts);
 

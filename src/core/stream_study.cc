@@ -7,6 +7,7 @@
 
 #include "core/cache_persist.h"
 #include "dynamicanalysis/pipeline.h"
+#include "obs/telemetry.h"
 #include "staticanalysis/static_report.h"
 #include "util/pipeline_scheduler.h"
 
@@ -36,7 +37,7 @@ StreamStudyResult RunStreamingStudy(const CorpusSource& source,
   obs::Observer* observer = options.observer;
   const obs::Span run_span = obs::SpanFor(observer, "study.run", "study");
   obs::ScopedTimer run_timer(
-      obs::HistogramOrNull(obs::MetricsOf(observer), "phase.study"));
+      obs::PhaseHistogramOrNull(obs::MetricsOf(observer), "phase.study"));
   obs::EventScope study_log = obs::ScopeFor(observer, "", "", "study");
 
   // Same shared caches as Study, warm-started from cache_dir when set.
@@ -105,7 +106,7 @@ StreamStudyResult RunStreamingStudy(const CorpusSource& source,
            static_opts.observer = observer;
            AppResult& r = slots[i].payload->result;
            obs::ScopedTimer timer(
-               obs::HistogramOrNull(obs::MetricsOf(observer), "phase.static"));
+               obs::PhaseHistogramOrNull(obs::MetricsOf(observer), "phase.static"));
            r.static_report = staticanalysis::AnalyzeStatically(*r.app, static_opts);
          }},
         {"dynamic",
@@ -120,7 +121,7 @@ StreamStudyResult RunStreamingStudy(const CorpusSource& source,
            }
            AppResult& r = slots[i].payload->result;
            obs::ScopedTimer timer(
-               obs::HistogramOrNull(obs::MetricsOf(observer), "phase.dynamic"));
+               obs::PhaseHistogramOrNull(obs::MetricsOf(observer), "phase.dynamic"));
            r.dynamic_report =
                dynamicanalysis::RunDynamicAnalysis(*r.app, source.world(), dyn);
          }},
@@ -144,6 +145,38 @@ StreamStudyResult RunStreamingStudy(const CorpusSource& source,
     popts.faults = options.fault_plan;
     popts.trace = obs::TraceOf(observer);
     popts.metrics = obs::MetricsOf(observer);
+    if (obs::Telemetry* telemetry = options.telemetry) {
+      telemetry->AddTotal(slots.size());
+      popts.stage_hook = [telemetry, &slots, &stages](std::size_t item,
+                                                      std::size_t stage,
+                                                      util::StageEvent event) {
+        const StreamSlot& slot = slots[item];
+        const std::uint64_t key = obs::TelemetryKey(
+            slot.platform == appmodel::Platform::kAndroid ? 0 : 1, slot.index);
+        const std::string& name = stages[stage].name;
+        switch (event) {
+          case util::StageEvent::kBegin: {
+            // kBegin of "hydrate" runs before the app has an identity — the
+            // straggler table then shows the corpus index instead. Safe to
+            // read the payload here: only this item's (sequential) chain
+            // touches its slot, and the hook precedes the stage body.
+            const std::string app_id =
+                slot.payload != nullptr ? slot.payload->app.meta.app_id
+                                        : "app#" + std::to_string(slot.index);
+            telemetry->OnStageStart(key, appmodel::PlatformName(slot.platform),
+                                    app_id, name);
+            break;
+          }
+          case util::StageEvent::kEnd:
+            telemetry->OnStageEnd(key, name);
+            if (stage + 1 == stages.size()) telemetry->OnItemDone(key);
+            break;
+          case util::StageEvent::kFailed:
+            telemetry->OnItemDone(key);
+            break;
+        }
+      };
+    }
     const util::PipelineResult run =
         util::RunPipeline(slots.size(), stages, popts);
 

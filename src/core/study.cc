@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/cache_persist.h"
+#include "obs/telemetry.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -46,7 +47,7 @@ void Study::RunStaticStage(AppResult& r) const {
   static_opts.scan_cache = scan_cache_.get();
   static_opts.observer = observer;
   obs::ScopedTimer timer(
-      obs::HistogramOrNull(obs::MetricsOf(observer), "phase.static"));
+      obs::PhaseHistogramOrNull(obs::MetricsOf(observer), "phase.static"));
   r.static_report = staticanalysis::AnalyzeStatically(*r.app, static_opts);
 }
 
@@ -70,7 +71,7 @@ void Study::RunDynamicStage(AppResult& r) const {
   // The pipeline derives its RNG from dyn.seed + the app id, so this call is
   // self-contained: no draw here can perturb (or race with) any other app.
   obs::ScopedTimer timer(
-      obs::HistogramOrNull(obs::MetricsOf(observer), "phase.dynamic"));
+      obs::PhaseHistogramOrNull(obs::MetricsOf(observer), "phase.dynamic"));
   r.dynamic_report =
       dynamicanalysis::RunDynamicAnalysis(*r.app, eco_->world(), dyn);
 }
@@ -89,10 +90,21 @@ AppResult Study::AnalyzeApp(appmodel::Platform p, std::size_t index) const {
   const obs::Span app_span =
       obs::SpanFor(options_.observer, r.app->meta.app_id, "app",
                    {{"platform", std::string(appmodel::PlatformName(p))}});
-  RunStaticStage(r);
-  RunDynamicStage(r);
+  const std::uint64_t tkey =
+      obs::TelemetryKey(p == appmodel::Platform::kAndroid ? 0 : 1, index);
+  {
+    obs::StageWatch watch(options_.telemetry, tkey, appmodel::PlatformName(p),
+                          r.app->meta.app_id, "static");
+    RunStaticStage(r);
+  }
+  {
+    obs::StageWatch watch(options_.telemetry, tkey, appmodel::PlatformName(p),
+                          r.app->meta.app_id, "dynamic");
+    RunDynamicStage(r);
+  }
   obs::CounterOrNull(obs::MetricsOf(options_.observer), "study.apps_analyzed")
       .Increment();
+  obs::TelemetryItemDone(options_.telemetry, tkey);
   return r;
 }
 
@@ -115,7 +127,7 @@ std::vector<std::size_t> Study::PendingIndices(appmodel::Platform p) const {
 void Study::Run() {
   const obs::Span run_span = obs::SpanFor(options_.observer, "study.run", "study");
   obs::ScopedTimer run_timer(
-      obs::HistogramOrNull(obs::MetricsOf(options_.observer), "phase.study"));
+      obs::PhaseHistogramOrNull(obs::MetricsOf(options_.observer), "phase.study"));
 
   // Study-level journal scope: empty platform/app sort it ahead of every
   // per-app event. Used only from this (single) thread. Both schedulers emit
@@ -147,6 +159,7 @@ void Study::RunPhased(obs::EventScope& study_log) {
         options_.observer, android ? "study.android" : "study.ios", "study");
     par.trace_label = android ? "study.android" : "study.ios";
     const std::vector<std::size_t> indices = PendingIndices(p);
+    obs::TelemetryAddTotal(options_.telemetry, indices.size());
     study_log.Emit(obs::Severity::kInfo, "study.platform_start",
                    {{"platform", appmodel::PlatformName(p)},
                     {"apps", static_cast<std::uint64_t>(indices.size())}});

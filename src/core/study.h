@@ -25,6 +25,10 @@ namespace pinscope::util {
 class SchedulerFaultPlan;
 }  // namespace pinscope::util
 
+namespace pinscope::obs {
+class Telemetry;
+}  // namespace pinscope::obs
+
 namespace pinscope::core {
 
 /// Combined per-app result.
@@ -83,6 +87,14 @@ struct StudyOptions {
   /// observational: exports are byte-identical with or without an observer,
   /// at any thread count (DESIGN.md §11; `ctest -L obs`).
   obs::Observer* observer = nullptr;
+  /// Optional live-run telemetry (obs/telemetry.h): Run() reports the
+  /// expected chain total up front, marks each app's current stage as it
+  /// enters/leaves, and signals chain completion — the feed behind the
+  /// progress meter, heartbeat, and straggler watchdog. Like the observer,
+  /// purely observational: exports, journal, and run reports are
+  /// byte-identical with telemetry attached or not (`ctest -L telemetry`).
+  /// The caller owns Start()/Stop().
+  obs::Telemetry* telemetry = nullptr;
   /// Which scheduler Run() uses. Byte-identical exports, journal, and run
   /// reports either way (`ctest -L sched`); kPhases is the measurement
   /// baseline the equivalence suite compares against.

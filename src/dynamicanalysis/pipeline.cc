@@ -97,14 +97,14 @@ DynamicReport RunDynamicAnalysis(const appmodel::App& app,
       const obs::Span span = obs::SpanFor(options.observer, "dynamic.baseline",
                                           "phase", {{"app", app.meta.app_id}});
       obs::ScopedTimer timer(
-          obs::HistogramOrNull(metrics, "phase.dynamic.baseline"));
+          obs::PhaseHistogramOrNull(metrics, "phase.dynamic.baseline"));
       baseline = device.RunApp(app, world, baseline_opts, baseline_rng);
     } else {
       // Only this phase touches the proxy; its forged-leaf cache is
       // internally synchronized (and possibly shared study-wide).
       const obs::Span span = obs::SpanFor(options.observer, "dynamic.mitm",
                                           "phase", {{"app", app.meta.app_id}});
-      obs::ScopedTimer timer(obs::HistogramOrNull(metrics, "phase.dynamic.mitm"));
+      obs::ScopedTimer timer(obs::PhaseHistogramOrNull(metrics, "phase.dynamic.mitm"));
       mitm = device.RunApp(app, world, mitm_opts, mitm_rng);
     }
   };
@@ -143,7 +143,7 @@ DynamicReport RunDynamicAnalysis(const appmodel::App& app,
   if (options.circumvent && detection.AppPins()) {
     const obs::Span span = obs::SpanFor(options.observer, "dynamic.frida",
                                         "phase", {{"app", app.meta.app_id}});
-    obs::ScopedTimer timer(obs::HistogramOrNull(metrics, "phase.dynamic.frida"));
+    obs::ScopedTimer timer(obs::PhaseHistogramOrNull(metrics, "phase.dynamic.frida"));
     util::Rng frida_rng = rng.Fork("frida");
     RunOptions frida_opts = mitm_opts;
     frida_opts.log = &frida_log;

@@ -57,6 +57,25 @@ void HistogramCell::Record(double value) {
 
 }  // namespace internal
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double prev = static_cast<double>(below);
+    below += buckets[i];
+    if (static_cast<double>(below) < target) continue;
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = i < bounds.size() ? bounds[i] : max;
+    const double fraction =
+        (target - prev) / static_cast<double>(buckets[i]);
+    return std::clamp(lower + (upper - lower) * fraction, min, max);
+  }
+  return max;  // unreachable for consistent snapshots; safe fallback
+}
+
 Counter MetricsRegistry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
@@ -126,6 +145,17 @@ const std::vector<double>& MetricsRegistry::DefaultDurationBoundsUs() {
       50,      100,     250,       500,       1'000,     2'500,
       5'000,   10'000,  25'000,    50'000,    100'000,   250'000,
       500'000, 1'000'000, 2'500'000, 5'000'000};
+  return bounds;
+}
+
+const std::vector<double>& MetricsRegistry::Log2DurationBoundsUs() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (int e = 4; e <= 26; ++e) {  // 16 µs .. ~67 s
+      b.push_back(static_cast<double>(std::uint64_t{1} << e));
+    }
+    return b;
+  }();
   return bounds;
 }
 
@@ -271,6 +301,18 @@ std::string WriteMetricsOpenMetrics(const MetricsSnapshot& snapshot) {
     }
     out += metric + "_sum " + OpenMetricsNumber(h.sum) + "\n";
     out += metric + "_count " + std::to_string(h.count) + "\n";
+    if (h.count > 0) {
+      // Derived percentile gauges (OpenMetrics histograms have no native
+      // quantile series): bucket-interpolated, bounded-error with log2
+      // bounds. Separate families, so each needs its own TYPE line.
+      for (const auto& [suffix, q] :
+           {std::pair<const char*, double>{"_p50", 0.50},
+            {"_p90", 0.90},
+            {"_p99", 0.99}}) {
+        out += "# TYPE " + metric + suffix + " gauge\n";
+        out += metric + suffix + " " + OpenMetricsNumber(h.Quantile(q)) + "\n";
+      }
+    }
   }
   out += "# EOF\n";
   return out;
@@ -320,7 +362,7 @@ std::string Millis(double us) {
 
 std::string RenderSummary(const MetricsSnapshot& snapshot) {
   std::string out;
-  char line[256];
+  char line[384];
 
   // Cache families (published as gauges "cache.<family>.<field>") render as
   // one unified table — the replacement for the per-cache bespoke printfs.
@@ -357,11 +399,14 @@ std::string RenderSummary(const MetricsSnapshot& snapshot) {
       out += "phases (wall time):\n";
       header = true;
     }
-    std::snprintf(line, sizeof(line),
-                  "  %-24s %8llu x  total %12s  mean %10s  max %10s\n",
-                  name.c_str() + 6, static_cast<unsigned long long>(h.count),
-                  Millis(h.sum).c_str(), Millis(h.Mean()).c_str(),
-                  Millis(h.max).c_str());
+    std::snprintf(
+        line, sizeof(line),
+        "  %-24s %8llu x  total %12s  mean %10s  p50 %10s  p90 %10s  "
+        "p99 %10s  max %10s\n",
+        name.c_str() + 6, static_cast<unsigned long long>(h.count),
+        Millis(h.sum).c_str(), Millis(h.Mean()).c_str(),
+        Millis(h.Quantile(0.50)).c_str(), Millis(h.Quantile(0.90)).c_str(),
+        Millis(h.Quantile(0.99)).c_str(), Millis(h.max).c_str());
     out += line;
   }
 

@@ -141,6 +141,13 @@ struct HistogramSnapshot {
   [[nodiscard]] double Mean() const {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
   }
+
+  /// Bucket-interpolated quantile estimate, q in [0, 1]. Linear within the
+  /// selected bucket (first bucket's lower edge is 0, the overflow bucket's
+  /// upper edge is the recorded max), clamped to [min, max] so estimates
+  /// never leave the observed range. With log2 bounds the relative error is
+  /// bounded by one octave — see Log2DurationBoundsUs(). 0 when empty.
+  [[nodiscard]] double Quantile(double q) const;
 };
 
 /// Merged read-side view of a whole registry. Maps are sorted by name, so
@@ -180,6 +187,13 @@ class MetricsRegistry {
   /// exponential from 50 µs to 5 s, 16 buckets plus overflow.
   [[nodiscard]] static const std::vector<double>& DefaultDurationBoundsUs();
 
+  /// Log2-bucketed duration bounds in microseconds: powers of two from
+  /// 2^4 (16 µs) through 2^26 (~67 s), 23 buckets plus overflow. Adjacent
+  /// bounds differ by exactly 2x, so a bucket-interpolated Quantile() is
+  /// never off by more than one octave — the bounded-error contract the
+  /// phase.* percentiles advertise.
+  [[nodiscard]] static const std::vector<double>& Log2DurationBoundsUs();
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<internal::CounterCell>, std::less<>>
@@ -198,6 +212,17 @@ class MetricsRegistry {
 [[nodiscard]] inline Histogram HistogramOrNull(MetricsRegistry* registry,
                                                std::string_view name) {
   return registry == nullptr ? Histogram() : registry->histogram(name);
+}
+
+/// The handle factory for `phase.*` latency histograms: log2 bounds, so the
+/// summary/heartbeat/OpenMetrics percentiles carry the bounded-error
+/// guarantee. Null registry = no-op handle, like HistogramOrNull.
+[[nodiscard]] inline Histogram PhaseHistogramOrNull(MetricsRegistry* registry,
+                                                    std::string_view name) {
+  return registry == nullptr
+             ? Histogram()
+             : registry->histogram(name,
+                                   MetricsRegistry::Log2DurationBoundsUs());
 }
 
 /// RAII wall timer: records the scope's elapsed microseconds into a
@@ -240,8 +265,9 @@ class ScopedTimer {
 /// format (the `--metrics-out=<path>.prom` format): dotted metric names are
 /// sanitized to underscores and prefixed `pinscope_`, counters gain the
 /// `_total` suffix, histograms render cumulative `_bucket{le="..."}` series
-/// plus `_sum`/`_count`, and the document ends with `# EOF`. Deterministic
-/// given the same snapshot.
+/// plus `_sum`/`_count` and (when non-empty) derived `_p50`/`_p90`/`_p99`
+/// gauges, and the document ends with `# EOF`. Deterministic given the same
+/// snapshot.
 [[nodiscard]] std::string WriteMetricsOpenMetrics(const MetricsSnapshot& snapshot);
 
 /// Serializes the histograms whose names start with `prefix` as a compact

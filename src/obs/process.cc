@@ -5,30 +5,52 @@
 
 namespace pinscope::obs {
 
-std::optional<std::uint64_t> ReadPeakRssBytes() {
+namespace {
+
+/// Reads one "Field:  12345 kB" line from /proc/self/status as bytes.
+std::optional<std::uint64_t> ReadStatusFieldBytes(const char* field) {
   std::FILE* f = std::fopen("/proc/self/status", "r");
   if (f == nullptr) return std::nullopt;
-  std::optional<std::uint64_t> peak;
+  const std::size_t field_len = std::strlen(field);
+  std::optional<std::uint64_t> bytes;
   char line[256];
   while (std::fgets(line, sizeof(line), f) != nullptr) {
-    // "VmHWM:     12345 kB" — the lifetime high-water mark of the resident
-    // set, which is exactly the bound the streaming contract makes claims
-    // about (instantaneous VmRSS would miss transient spikes).
-    if (std::strncmp(line, "VmHWM:", 6) != 0) continue;
+    if (std::strncmp(line, field, field_len) != 0) continue;
     unsigned long long kb = 0;
-    if (std::sscanf(line + 6, "%llu", &kb) == 1) {
-      peak = static_cast<std::uint64_t>(kb) * 1024;
+    if (std::sscanf(line + field_len, "%llu", &kb) == 1) {
+      bytes = static_cast<std::uint64_t>(kb) * 1024;
     }
     break;
   }
   std::fclose(f);
-  return peak;
+  return bytes;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> ReadPeakRssBytes() {
+  // "VmHWM:     12345 kB" — the lifetime high-water mark of the resident
+  // set, which is exactly the bound the streaming contract makes claims
+  // about (instantaneous VmRSS would miss transient spikes).
+  return ReadStatusFieldBytes("VmHWM:");
+}
+
+std::optional<std::uint64_t> ReadCurrentRssBytes() {
+  return ReadStatusFieldBytes("VmRSS:");
 }
 
 void PublishPeakRss(MetricsRegistry* metrics) {
   if (metrics == nullptr) return;
   if (const std::optional<std::uint64_t> peak = ReadPeakRssBytes()) {
     metrics->gauge("process.peak_rss_bytes").Set(*peak);
+  }
+}
+
+void PublishRss(MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  PublishPeakRss(metrics);
+  if (const std::optional<std::uint64_t> rss = ReadCurrentRssBytes()) {
+    metrics->gauge("process.rss_bytes").Set(*rss);
   }
 }
 

@@ -4,7 +4,10 @@
 // bounded RSS no matter the corpus size. That contract needs a witness, so
 // this header reads the process's peak resident set ("high-water mark") and
 // publishes it as the `process.peak_rss_bytes` gauge — in --metrics-out
-// files and embedded in every BENCH_*.json.
+// files and embedded in every BENCH_*.json. The live-telemetry work (§16)
+// adds the instantaneous view: `process.rss_bytes` (VmRSS), re-published on
+// every telemetry tick so the live .prom snapshot and heartbeat carry a
+// current value rather than one sampled at exit.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +22,17 @@ namespace pinscope::obs {
 /// unavailable — callers render that as JSON null, never as zero.
 [[nodiscard]] std::optional<std::uint64_t> ReadPeakRssBytes();
 
+/// Current resident-set size of the process in bytes, read from
+/// /proc/self/status (the VmRSS line). nullopt where procfs is unavailable.
+[[nodiscard]] std::optional<std::uint64_t> ReadCurrentRssBytes();
+
 /// Publishes ReadPeakRssBytes() as the `process.peak_rss_bytes` gauge.
 /// No-op when `metrics` is null or the platform cannot report a peak.
 void PublishPeakRss(MetricsRegistry* metrics);
+
+/// Publishes both RSS gauges: `process.rss_bytes` (current VmRSS) and
+/// `process.peak_rss_bytes` (VmHWM). Gauges are last-write-wins, so calling
+/// this every telemetry tick is idempotent and cheap. No-op on null.
+void PublishRss(MetricsRegistry* metrics);
 
 }  // namespace pinscope::obs

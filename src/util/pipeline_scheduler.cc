@@ -66,6 +66,8 @@ bool RunStageGuarded(Run& run, const Task& task,
                      std::vector<StageFailure>& sink) {
   const PipelineStage& stage = (*run.stages)[task.stage];
   const int max_retries = std::max(run.options->max_stage_retries, 0);
+  const StageHook& hook = run.options->stage_hook;
+  if (hook) hook(task.item, task.stage, StageEvent::kBegin);
   std::string message;
   for (int attempt = 0; attempt <= max_retries; ++attempt) {
     if (attempt > 0) {
@@ -85,6 +87,7 @@ bool RunStageGuarded(Run& run, const Task& task,
                           "sched", {{"item", std::to_string(task.item)}});
       stage.body(task.item);
       run.tasks_counter.Increment();
+      if (hook) hook(task.item, task.stage, StageEvent::kEnd);
       return true;
     } catch (const std::exception& e) {
       message = e.what();
@@ -94,6 +97,7 @@ bool RunStageGuarded(Run& run, const Task& task,
   }
   sink.push_back({task.item, task.stage, stage.name, std::move(message)});
   run.failures_counter.Increment();
+  if (hook) hook(task.item, task.stage, StageEvent::kFailed);
   return false;
 }
 

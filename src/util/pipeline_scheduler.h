@@ -55,7 +55,9 @@ class BoundedMpmcQueue {
   explicit BoundedMpmcQueue(std::size_t capacity,
                             obs::MetricsRegistry* metrics = nullptr)
       : capacity_(capacity == 0 ? 1 : capacity),
-        mu_(metrics, "sched.queue") {}
+        mu_(metrics, "sched.queue"),
+        size_gauge_(metrics == nullptr ? obs::Gauge()
+                                       : metrics->gauge("sched.queue_size")) {}
 
   BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
   BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
@@ -95,10 +97,7 @@ class BoundedMpmcQueue {
   std::optional<T> TryPop() {
     std::lock_guard<obs::TrackedMutex> lock(mu_);
     if (items_.empty()) return std::nullopt;
-    T item = items_.front();
-    items_.pop_front();
-    not_full_.notify_one();
-    return item;
+    return PopLocked();
   }
 
   /// No further pushes succeed; blocked pushers and poppers wake up.
@@ -128,17 +127,22 @@ class BoundedMpmcQueue {
   void PushLocked(T item) {
     items_.push_back(std::move(item));
     if (items_.size() > peak_) peak_ = items_.size();
+    // Live depth gauge — what the telemetry sampler reads between snapshots
+    // (the histogram above only materializes post-mortem).
+    size_gauge_.Set(items_.size());
   }
 
   T PopLocked() {
     T item = std::move(items_.front());
     items_.pop_front();
+    size_gauge_.Set(items_.size());
     not_full_.notify_one();
     return item;
   }
 
   const std::size_t capacity_;
   mutable obs::TrackedMutex mu_;
+  obs::Gauge size_gauge_;
   std::condition_variable_any not_full_;
   std::condition_variable_any not_empty_;
   std::deque<T> items_;
@@ -186,6 +190,21 @@ class SchedulerFaultPlan {
   std::map<std::pair<std::size_t, std::size_t>, Cell> faults_;
 };
 
+/// What a StageHook observes about one (item, stage) execution.
+enum class StageEvent {
+  kBegin,   ///< Entering the attempt loop (before fault injection / body).
+  kEnd,     ///< The stage succeeded (possibly after retries).
+  kFailed,  ///< Retries exhausted; the item's remaining stages are skipped.
+};
+
+/// Optional observability callback around each stage's whole attempt loop.
+/// Wraps fault injection too — an injected delay counts as time inside the
+/// stage, which is exactly what a straggler watchdog must see. Called
+/// concurrently by workers; must be thread-safe and cheap. Purely
+/// observational: never consulted by the scheduler.
+using StageHook =
+    std::function<void(std::size_t item, std::size_t stage, StageEvent event)>;
+
 /// Knobs for one pipelined run.
 struct PipelineOptions {
   /// Worker threads: 0 = hardware concurrency, 1 = run inline on the caller
@@ -211,6 +230,8 @@ struct PipelineOptions {
   /// histogram sampled at every enqueue, and a `sched.queue_peak_depth`
   /// gauge. Purely observational (never consulted by the scheduler).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional per-stage observability hook (see StageHook).
+  StageHook stage_hook;
 };
 
 /// One failed stage of one item. Later stages of that item do not run.

@@ -165,6 +165,46 @@ TEST(ParseArgsTest, StreamingFlagsRejectBadValues) {
   EXPECT_FALSE(Parse({"study", "--incremental", "maybe"}).has_value());
 }
 
+TEST(ParseArgsTest, TelemetryDefaultsAreOffAndQuiet) {
+  const auto opts = Parse({"study"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->progress, "off");
+  EXPECT_TRUE(opts->heartbeat_path.empty());
+  EXPECT_EQ(opts->telemetry_interval_ms, 250);
+}
+
+TEST(ParseArgsTest, TelemetryFlagsAcceptBothSpellings) {
+  for (const auto& args : std::vector<std::vector<std::string>>{
+           {"study", "--progress", "plain", "--heartbeat-out", "hb.jsonl",
+            "--telemetry-interval-ms", "50"},
+           {"study", "--progress=plain", "--heartbeat-out=hb.jsonl",
+            "--telemetry-interval-ms=50"}}) {
+    const auto opts = Parse(args);
+    ASSERT_TRUE(opts.has_value());
+    EXPECT_EQ(opts->progress, "plain");
+    EXPECT_EQ(opts->heartbeat_path, "hb.jsonl");
+    EXPECT_EQ(opts->telemetry_interval_ms, 50);
+  }
+  for (const char* mode : {"off", "plain", "tty"}) {
+    SCOPED_TRACE(mode);
+    const auto opts = Parse({"study", std::string("--progress=") + mode});
+    ASSERT_TRUE(opts.has_value());
+    EXPECT_EQ(opts->progress, mode);
+  }
+}
+
+TEST(ParseArgsTest, TelemetryFlagsRejectBadValues) {
+  EXPECT_FALSE(Parse({"study", "--progress", "bar"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--progress", "Plain"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--progress="}).has_value());
+  EXPECT_FALSE(Parse({"study", "--progress"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--heartbeat-out"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--heartbeat-out="}).has_value());
+  EXPECT_FALSE(Parse({"study", "--telemetry-interval-ms", "0"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--telemetry-interval-ms", "-5"}).has_value());
+  EXPECT_FALSE(Parse({"study", "--telemetry-interval-ms", "soon"}).has_value());
+}
+
 TEST(ParseArgsTest, RejectsUnknownOptions) {
   EXPECT_FALSE(Parse({"study", "--log-format", "jsonl"}).has_value());
   EXPECT_FALSE(Parse({"study", "--bogus"}).has_value());

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -32,6 +33,7 @@
 #include "dynamicanalysis/pipeline.h"
 #include "obs/obs.h"
 #include "obs/process.h"
+#include "obs/telemetry.h"
 #include "report/run_report.h"
 #include "report/table.h"
 #include "staticanalysis/static_report.h"
@@ -58,6 +60,30 @@ core::StudyOptions StudyOptionsFor(const CliOptions& opts,
   sopts.cache_dir = opts.cache_dir;
   sopts.observer = observer;
   return sopts;
+}
+
+/// Builds and starts the live-telemetry sampler when any live surface was
+/// requested: a progress mode, a heartbeat file, or a metrics file (which
+/// telemetry refreshes per tick instead of once at exit). Returns nullptr
+/// when every surface is off — the study then runs with zero telemetry
+/// overhead. The caller attaches it via StudyOptions::telemetry and Stop()s
+/// it (or lets the destructor) before the final exports.
+std::unique_ptr<obs::Telemetry> StartTelemetry(const CliOptions& opts,
+                                               obs::Observer& observer) {
+  if (opts.progress == "off" && opts.heartbeat_path.empty() &&
+      opts.metrics_path.empty()) {
+    return nullptr;
+  }
+  obs::TelemetryOptions topts;
+  topts.interval_ms = opts.telemetry_interval_ms;
+  topts.progress = obs::ParseProgressMode(opts.progress)
+                       .value_or(obs::ProgressMode::kOff);
+  topts.heartbeat_path = opts.heartbeat_path;
+  topts.metrics_path = opts.metrics_path;
+  auto telemetry =
+      std::make_unique<obs::Telemetry>(&observer.metrics(), topts);
+  telemetry->Start();
+  return telemetry;
 }
 
 /// Prints the --summary table and writes --metrics-out / --trace-out /
@@ -173,7 +199,18 @@ int Usage() {
       "  --metrics-out FILE  (study/tables) write pipeline metrics — counters,\n"
       "                      cache hit-rate gauges, per-phase histograms — as\n"
       "                      JSON, or as OpenMetrics/Prometheus text format\n"
-      "                      when FILE ends in .prom (see DESIGN.md §11)\n"
+      "                      when FILE ends in .prom (see DESIGN.md §11).\n"
+      "                      With live telemetry the file is atomically\n"
+      "                      refreshed every tick, not just at exit (§16)\n"
+      "  --progress MODE     live progress: off (default), plain (one line\n"
+      "                      per tick, pipeable), or tty (rewritten status\n"
+      "                      line). Purely observational — results are\n"
+      "                      byte-identical with progress on or off\n"
+      "  --heartbeat-out FILE  write a machine-readable heartbeat: one JSON\n"
+      "                      line per telemetry tick with done/total, RSS,\n"
+      "                      queue depth, and per-phase p50/p90/p99 (µs)\n"
+      "  --telemetry-interval-ms N  telemetry sampler tick period\n"
+      "                      (default 250)\n"
       "  --trace-out FILE    (study/tables) write a Chrome trace_event JSON of\n"
       "                      study/app/phase spans; open in chrome://tracing\n"
       "                      or https://ui.perfetto.dev\n"
@@ -269,6 +306,9 @@ int CmdStudyIncremental(const CliOptions& opts) {
     observer.set_log(&*log);
   }
   core::StudyOptions sopts = StudyOptionsFor(opts, &observer);
+  const std::unique_ptr<obs::Telemetry> telemetry =
+      StartTelemetry(opts, observer);
+  sopts.telemetry = telemetry.get();
   const core::EcosystemCorpusSource source(eco);
 
   std::fprintf(stderr, "[pinscope] streaming baseline at snapshot %d\n",
@@ -299,6 +339,7 @@ int CmdStudyIncremental(const CliOptions& opts) {
               "apps, merged %zu results at snapshot %d\n",
               base_run.apps, delta_run.apps, verdicts.size(), eco.snapshot());
 
+  if (telemetry != nullptr) telemetry->Stop();
   EmitObservability(observer, opts);
   EmitRunReportVerdicts(verdicts, observer, opts);
   if (!opts.json_path.empty()) {
@@ -324,9 +365,14 @@ int CmdStudy(const CliOptions& opts) {
     log.emplace(opts.log_level);
     observer.set_log(&*log);
   }
-  core::Study study(eco, StudyOptionsFor(opts, &observer));
+  core::StudyOptions sopts = StudyOptionsFor(opts, &observer);
+  const std::unique_ptr<obs::Telemetry> telemetry =
+      StartTelemetry(opts, observer);
+  sopts.telemetry = telemetry.get();
+  core::Study study(eco, sopts);
   std::fprintf(stderr, "[pinscope] running measurement pipeline\n");
   study.Run();
+  if (telemetry != nullptr) telemetry->Stop();
 
   report::TextTable table;
   table.SetHeader({"Dataset", "Platform", "Apps", "Dynamic pinning",
@@ -412,8 +458,13 @@ int CmdTables(const CliOptions& opts) {
     log.emplace(opts.log_level);
     observer.set_log(&*log);
   }
-  core::Study study(eco, StudyOptionsFor(opts, &observer));
+  core::StudyOptions sopts = StudyOptionsFor(opts, &observer);
+  const std::unique_ptr<obs::Telemetry> telemetry =
+      StartTelemetry(opts, observer);
+  sopts.telemetry = telemetry.get();
+  core::Study study(eco, sopts);
   study.Run();
+  if (telemetry != nullptr) telemetry->Stop();
 
   std::printf("%s", report::SectionHeader("Prevalence (Table 3)").c_str());
   for (const store::DatasetId id : store::AllDatasets()) {
