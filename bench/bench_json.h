@@ -8,10 +8,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "obs/metrics.h"
 #include "obs/process.h"
+#include "report/bench_compare.h"
 
 namespace pinscope::bench {
 
@@ -29,12 +33,50 @@ inline std::string ProcessBlockJson() {
 /// trailing ",\n"), closes the JSON object, prints it to stdout, and writes
 /// it to `path`. Returns the process exit code: 0 on success, 1 when the
 /// file cannot be written.
+///
+/// Regression gate: when PINSCOPE_BENCH_CHECK is set (optionally to a max
+/// regression percentage, default 10) and a previous document already exists
+/// at `path`, the fresh numbers are compared against it with
+/// report::CompareBenchJson before anything is overwritten. On regression
+/// the baseline file is kept, the fresh document lands at `<path>.new` for
+/// inspection, and the harness exits 1 — the same verdict `bench_diff`
+/// renders standalone. Bench numbers are machine-dependent, so the gate is
+/// opt-in: committed BENCH files gate a rerun on the machine that wrote
+/// them, not across hardware.
 inline int WriteBenchJsonWithPhases(const char* path, const std::string& head,
                                     const obs::MetricsSnapshot& snapshot) {
   const std::string full =
       head + ProcessBlockJson() +
       "  \"phases\": " + obs::WritePhaseBreakdownJson(snapshot) + "\n}\n";
   std::fputs(full.c_str(), stdout);
+
+  if (const char* check = std::getenv("PINSCOPE_BENCH_CHECK")) {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      report::BenchCompareOptions options;
+      if (const double pct = std::atof(check); pct > 0) {
+        options.max_regress_pct = pct;
+      }
+      const report::BenchCompareResult verdict =
+          report::CompareBenchJson(buffer.str(), full, options);
+      std::fputs(report::RenderBenchCompare(verdict).c_str(), stderr);
+      if (!verdict.ok()) {
+        const std::string side = std::string(path) + ".new";
+        if (std::FILE* f = std::fopen(side.c_str(), "w")) {
+          std::fputs(full.c_str(), f);
+          std::fclose(f);
+        }
+        std::fprintf(stderr,
+                     "[pinscope] PINSCOPE_BENCH_CHECK: regression vs %s — "
+                     "baseline kept, fresh numbers at %s\n",
+                     path, side.c_str());
+        return 1;
+      }
+    }
+  }
+
   if (std::FILE* f = std::fopen(path, "w")) {
     std::fputs(full.c_str(), f);
     std::fclose(f);

@@ -57,6 +57,16 @@ struct CliOptions {
   /// --incremental: with --snapshot N, analyze only apps changed by the
   /// final churn epoch and merge over the previous snapshot's results.
   bool incremental = false;
+  /// --perf-report-out: post-hoc run autopsy as Markdown (+ JSON companion
+  /// next to it, mirroring --report-out). Setting it attaches an interval
+  /// timeline to the run; implied by the `autopsy` command.
+  std::string perf_report_path;
+  /// --folded-out: collapsed-stack lines (`platform;app;stage weight_us`)
+  /// for flamegraph.pl / speedscope, from the same timeline.
+  std::string folded_path;
+  /// --timeline-cap: per-worker interval-reservoir capacity (positive).
+  /// Memory is O(workers × cap) regardless of corpus size.
+  int timeline_cap = 8192;
 };
 
 /// Parses `argv` (argv[0] is the program name, argv[1] the command).

@@ -74,6 +74,15 @@ void Study::RunPipelined(obs::EventScope& study_log) {
   popts.faults = options_.fault_plan;
   popts.trace = obs::TraceOf(options_.observer);
   popts.metrics = obs::MetricsOf(options_.observer);
+  // Timeline intervals carry the same (platform, universe index) key the
+  // telemetry uses, so the autopsy can resolve app ids against the live
+  // ecosystem at report time without the timeline retaining O(corpus) state.
+  popts.timeline = options_.timeline;
+  popts.timeline_key = [&items](std::size_t item) {
+    return obs::TelemetryKey(
+        items[item].platform == appmodel::Platform::kAndroid ? 0 : 1,
+        items[item].universe_index);
+  };
   if (obs::Telemetry* telemetry = options_.telemetry) {
     telemetry->AddTotal(items.size());
     // The hook wraps the whole attempt loop — fault-injected delays included

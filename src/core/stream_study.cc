@@ -50,6 +50,10 @@ StreamStudyResult RunStreamingStudy(const CorpusSource& source,
     sim_fixtures =
         std::make_unique<dynamicanalysis::SimFixtures>(options.dynamic.seed);
   }
+  if (obs::MetricsRegistry* metrics = obs::MetricsOf(observer)) {
+    if (scan_cache) scan_cache->AttachMetrics(metrics);
+    if (sim_fixtures) sim_fixtures->AttachMetrics(metrics);
+  }
   StudyCacheBaseline cache_baseline;
   if (!options.cache_dir.empty()) {
     cache_baseline = LoadStudyCaches(
@@ -145,6 +149,14 @@ StreamStudyResult RunStreamingStudy(const CorpusSource& source,
     popts.faults = options.fault_plan;
     popts.trace = obs::TraceOf(observer);
     popts.metrics = obs::MetricsOf(observer);
+    // Same key scheme as the telemetry (and the materialized pipeline), so
+    // autopsy labels resolve identically on either path.
+    popts.timeline = options.timeline;
+    popts.timeline_key = [&slots](std::size_t item) {
+      const StreamSlot& slot = slots[item];
+      return obs::TelemetryKey(
+          slot.platform == appmodel::Platform::kAndroid ? 0 : 1, slot.index);
+    };
     if (obs::Telemetry* telemetry = options.telemetry) {
       telemetry->AddTotal(slots.size());
       popts.stage_hook = [telemetry, &slots, &stages](std::size_t item,

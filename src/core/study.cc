@@ -20,6 +20,13 @@ Study::Study(const store::Ecosystem& eco, StudyOptions options)
     sim_fixtures_ = std::make_unique<dynamicanalysis::SimFixtures>(
         options_.dynamic.seed);
   }
+  // Bind the shared caches' shard locks to contention metrics (and, via the
+  // retained lock names, to the run autopsy's lock-wait attribution). Safe
+  // even without an observer: an unattached registry records nothing.
+  if (obs::MetricsRegistry* metrics = obs::MetricsOf(options_.observer)) {
+    if (scan_cache_) scan_cache_->AttachMetrics(metrics);
+    if (sim_fixtures_) sim_fixtures_->AttachMetrics(metrics);
+  }
   if (!options_.cache_dir.empty()) {
     cache_baseline_ = LoadStudyCaches(
         options_.cache_dir, scan_cache_.get(),

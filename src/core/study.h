@@ -27,6 +27,7 @@ class SchedulerFaultPlan;
 
 namespace pinscope::obs {
 class Telemetry;
+class Timeline;
 }  // namespace pinscope::obs
 
 namespace pinscope::core {
@@ -95,6 +96,15 @@ struct StudyOptions {
   /// byte-identical with telemetry attached or not (`ctest -L telemetry`).
   /// The caller owns Start()/Stop().
   obs::Telemetry* telemetry = nullptr;
+  /// Optional bounded interval timeline (obs/timeline.h) feeding the run
+  /// autopsy (obs/autopsy.h): per-worker stage intervals plus the idle-time
+  /// taxonomy (queue-starved / backpressure / lock-wait / tail-join),
+  /// O(workers · cap) memory at any corpus size. Pipeline scheduler only —
+  /// the phase-barrier path has no per-item chains to attribute (a timeline
+  /// attached there records nothing). Purely observational: exports,
+  /// journal, and run reports are byte-identical with a timeline attached
+  /// or not (`ctest -L autopsy`).
+  obs::Timeline* timeline = nullptr;
   /// Which scheduler Run() uses. Byte-identical exports, journal, and run
   /// reports either way (`ctest -L sched`); kPhases is the measurement
   /// baseline the equivalence suite compares against.

@@ -67,6 +67,15 @@ class SimFixtures {
     return validation_cache_->Stats();
   }
 
+  /// Binds both shared caches' shard locks to the `lock.forged_leaf_cache.*`
+  /// and `lock.validation_cache.*` metric families (obs/mutex.h), which the
+  /// run autopsy's lock-wait attribution consumes. Null-safe; call before
+  /// the study fans out across workers.
+  void AttachMetrics(obs::MetricsRegistry* metrics) const {
+    proxy_->forged_cache()->AttachMetrics(metrics);
+    validation_cache_->AttachMetrics(metrics);
+  }
+
  private:
   std::uint64_t seed_;
   std::unique_ptr<net::MitmProxy> proxy_;

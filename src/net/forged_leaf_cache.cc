@@ -14,7 +14,7 @@ std::shared_ptr<const x509::CertificateChain> ForgedLeafCache::Find(
   Shard& shard = ShardFor(hostname);
   std::shared_ptr<const x509::CertificateChain> found;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<obs::TrackedMutex> lock(shard.mu);
     const auto it = shard.map.find(hostname);
     if (it != shard.map.end()) found = it->second;
   }
@@ -27,7 +27,7 @@ std::shared_ptr<const x509::CertificateChain> ForgedLeafCache::Insert(
   auto entry =
       std::make_shared<const x509::CertificateChain>(std::move(chain));
   Shard& shard = ShardFor(hostname);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<obs::TrackedMutex> lock(shard.mu);
   const auto [it, inserted] =
       shard.map.try_emplace(std::string(hostname), std::move(entry));
   if (inserted) entries_.fetch_add(1, std::memory_order_relaxed);

@@ -22,6 +22,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "obs/mutex.h"
 #include "x509/certificate.h"
 
 namespace pinscope::net {
@@ -61,6 +62,17 @@ class ForgedLeafCache {
   /// Counter snapshot (approximate while interceptions are in flight).
   [[nodiscard]] ForgedLeafCacheStats Stats() const;
 
+  /// Binds every shard's lock to the `lock.<name>.contended` /
+  /// `lock.<name>.wait_us` family (obs/mutex.h) so the run autopsy's
+  /// idle-time attribution covers this cache. Null-safe; call before the
+  /// cache is shared across workers.
+  void AttachMetrics(obs::MetricsRegistry* metrics,
+                     std::string_view name = "forged_leaf_cache") {
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      shards_[s].mu.Attach(metrics, name);
+    }
+  }
+
   static constexpr std::size_t kDefaultShards = 16;
 
  private:
@@ -72,7 +84,7 @@ class ForgedLeafCache {
   };
 
   struct Shard {
-    std::mutex mu;
+    obs::TrackedMutex mu;
     std::unordered_map<std::string,
                        std::shared_ptr<const x509::CertificateChain>,
                        StringHash, std::equal_to<>>

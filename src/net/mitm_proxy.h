@@ -76,6 +76,11 @@ class MitmProxy {
     return forged_->Stats();
   }
 
+  /// The (possibly shared) forged-leaf cache itself — exposed so study-level
+  /// owners can bind its shard locks to contention metrics
+  /// (ForgedLeafCache::AttachMetrics).
+  [[nodiscard]] ForgedLeafCache* forged_cache() const { return forged_.get(); }
+
  private:
   x509::CertificateIssuer ca_;
   /// Base stream for leaf keys; Fork(hostname) (a const operation) yields

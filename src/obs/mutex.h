@@ -12,6 +12,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -19,6 +20,12 @@
 #include "obs/metrics.h"
 
 namespace pinscope::obs {
+
+/// Routes one contended-lock wait to the calling thread's ambient timeline
+/// lane, if a TimelineWorkerScope is active (no-op otherwise). Defined in
+/// obs/timeline.cc; declared here so the hot mutex header need not pull in
+/// the timeline types.
+void RecordAmbientLockWait(std::string_view lock_name, std::int64_t wait_us);
 
 /// A Lockable std::mutex wrapper with contention metrics. Works with
 /// std::lock_guard / std::unique_lock / std::condition_variable_any.
@@ -34,9 +41,12 @@ class TrackedMutex {
 
   /// Binds the probe to `lock.<name>.*` metrics. Null-safe; must happen
   /// before the mutex is shared between threads (handles are written
-  /// without synchronization).
+  /// without synchronization). The name is retained either way so the
+  /// timeline's per-worker lock-wait attribution can label the wait even
+  /// when no registry is attached.
   void Attach(MetricsRegistry* metrics, std::string_view name) {
-    const std::string prefix = "lock." + std::string(name);
+    name_ = std::string(name);
+    const std::string prefix = "lock." + name_;
     contended_ = CounterOrNull(metrics, prefix + ".contended");
     wait_us_ = HistogramOrNull(metrics, prefix + ".wait_us");
   }
@@ -47,16 +57,23 @@ class TrackedMutex {
     const auto start = std::chrono::steady_clock::now();
     mu_.lock();
     const auto waited = std::chrono::steady_clock::now() - start;
-    wait_us_.Record(
-        std::chrono::duration<double, std::micro>(waited).count());
+    const double waited_us =
+        std::chrono::duration<double, std::micro>(waited).count();
+    wait_us_.Record(waited_us);
+    RecordAmbientLockWait(name_.empty() ? std::string_view("mutex") : name_,
+                          static_cast<std::int64_t>(waited_us));
   }
 
   [[nodiscard]] bool try_lock() { return mu_.try_lock(); }
 
   void unlock() { mu_.unlock(); }
 
+  /// The name Attach bound (empty until attached).
+  [[nodiscard]] const std::string& name() const { return name_; }
+
  private:
   std::mutex mu_;
+  std::string name_;
   Counter contended_;
   Histogram wait_us_;
 };

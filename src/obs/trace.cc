@@ -51,6 +51,12 @@ std::uint32_t TraceSink::CurrentTid() {
 
 void TraceSink::Add(TraceEvent event) {
   if (!enabled_.load(std::memory_order_relaxed)) return;
+  const std::size_t cap = max_events_.load(std::memory_order_relaxed);
+  if (cap != 0 &&
+      admitted_.fetch_add(1, std::memory_order_relaxed) >= cap) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   Shard& shard =
       shards_[std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards];
   std::lock_guard<std::mutex> lock(shard.mu);

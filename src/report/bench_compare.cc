@@ -1,0 +1,282 @@
+#include "report/bench_compare.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace pinscope::report {
+
+namespace {
+
+/// Minimal recursive-descent JSON reader that only keeps numeric leaves
+/// (and booleans, as 0/1) under dotted paths. Arrays are skipped: bench
+/// timelines vary in length run to run and carry no gateable claim.
+class Flattener {
+ public:
+  Flattener(std::string_view json, std::vector<std::string>* errors)
+      : p_(json.data()), end_(json.data() + json.size()), errors_(errors) {}
+
+  std::map<std::string, double> Run() {
+    SkipWs();
+    Value("");
+    SkipWs();
+    if (p_ != end_) Fail("trailing characters after document");
+    return std::move(values_);
+  }
+
+ private:
+  void Fail(const std::string& what) {
+    if (!failed_ && errors_ != nullptr) {
+      errors_->push_back("bench json parse error: " + what);
+    }
+    failed_ = true;
+    p_ = end_;
+  }
+
+  void SkipWs() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (static_cast<std::size_t>(end_ - p_) < word.size()) return false;
+    if (std::string_view(p_, word.size()) != word) return false;
+    p_ += word.size();
+    return true;
+  }
+
+  /// Parses one string token; returns its (unescaped-enough) content. Bench
+  /// keys never use escapes, but we tolerate them by skipping.
+  std::string String() {
+    std::string out;
+    if (!Consume('"')) {
+      Fail("expected string");
+      return out;
+    }
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\' && p_ + 1 != end_) {
+        out += *(p_ + 1);
+        p_ += 2;
+      } else {
+        out += *p_;
+        ++p_;
+      }
+    }
+    if (!Consume('"')) Fail("unterminated string");
+    return out;
+  }
+
+  void Value(const std::string& path) {
+    SkipWs();
+    if (p_ == end_) {
+      Fail("unexpected end of document");
+      return;
+    }
+    if (*p_ == '{') {
+      Object(path);
+    } else if (*p_ == '[') {
+      SkipArray();
+    } else if (*p_ == '"') {
+      (void)String();
+    } else if (ConsumeWord("true")) {
+      if (!path.empty()) values_[path] = 1.0;
+    } else if (ConsumeWord("false")) {
+      if (!path.empty()) values_[path] = 0.0;
+    } else if (ConsumeWord("null")) {
+    } else {
+      Number(path);
+    }
+  }
+
+  void Object(const std::string& path) {
+    (void)Consume('{');
+    SkipWs();
+    if (Consume('}')) return;
+    for (;;) {
+      SkipWs();
+      const std::string key = String();
+      if (failed_) return;
+      SkipWs();
+      if (!Consume(':')) {
+        Fail("expected ':' after key '" + key + "'");
+        return;
+      }
+      Value(path.empty() ? key : path + "." + key);
+      if (failed_) return;
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return;
+      Fail("expected ',' or '}' in object");
+      return;
+    }
+  }
+
+  /// Arrays carry no gated metrics; balance brackets/braces and move on
+  /// (strings are skipped token-wise so brackets inside them don't count).
+  void SkipArray() {
+    int depth = 0;
+    while (p_ != end_) {
+      const char c = *p_;
+      if (c == '"') {
+        (void)String();
+        continue;
+      }
+      ++p_;
+      if (c == '[' || c == '{') ++depth;
+      if (c == ']' || c == '}') {
+        --depth;
+        if (depth == 0) return;
+      }
+    }
+    Fail("unterminated array");
+  }
+
+  void Number(const std::string& path) {
+    const char* start = p_;
+    while (p_ != end_ &&
+           (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '-' ||
+            *p_ == '+' || *p_ == '.' || *p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+    }
+    if (start == p_) {
+      Fail("unexpected character");
+      return;
+    }
+    char* parsed_end = nullptr;
+    const std::string token(start, p_);
+    const double value = std::strtod(token.c_str(), &parsed_end);
+    if (parsed_end == token.c_str()) {
+      Fail("bad number '" + token + "'");
+      return;
+    }
+    if (!path.empty()) values_[path] = value;
+  }
+
+  const char* p_;
+  const char* end_;
+  std::vector<std::string>* errors_;
+  std::map<std::string, double> values_;
+  bool failed_ = false;
+};
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string_view LastSegment(std::string_view path) {
+  const std::size_t dot = path.rfind('.');
+  return dot == std::string_view::npos ? path : path.substr(dot + 1);
+}
+
+}  // namespace
+
+MetricDirection DirectionForPath(std::string_view path) {
+  const std::string_view key = LastSegment(path);
+  // Boolean claims flattened to 0/1 ("flat_within_2x",
+  // "exports_byte_identical", "within_2pct"): true going false regresses.
+  if (key.find("within") != std::string_view::npos ||
+      key.find("identical") != std::string_view::npos) {
+    return MetricDirection::kHigherIsBetter;
+  }
+  if (EndsWith(key, "speedup") || EndsWith(key, "_hits") ||
+      EndsWith(key, "throughput") || EndsWith(key, "_per_sec")) {
+    return MetricDirection::kHigherIsBetter;
+  }
+  if (EndsWith(key, "_ms") || EndsWith(key, "_us") || EndsWith(key, "_ns") ||
+      EndsWith(key, "bytes") || EndsWith(key, "ratio") ||
+      EndsWith(key, "_pct") || EndsWith(key, "dropped") ||
+      EndsWith(key, "_misses")) {
+    return MetricDirection::kLowerIsBetter;
+  }
+  return MetricDirection::kInformational;
+}
+
+std::vector<std::pair<std::string, double>> FlattenBenchJson(
+    std::string_view json, std::vector<std::string>* errors) {
+  Flattener flattener(json, errors);
+  const std::map<std::string, double> values = flattener.Run();
+  return {values.begin(), values.end()};
+}
+
+BenchCompareResult CompareBenchJson(std::string_view baseline,
+                                    std::string_view current,
+                                    const BenchCompareOptions& options) {
+  BenchCompareResult result;
+  const auto base = FlattenBenchJson(baseline, &result.errors);
+  const auto cur = FlattenBenchJson(current, &result.errors);
+  std::map<std::string, double> cur_map(cur.begin(), cur.end());
+  for (const auto& [path, base_value] : base) {
+    const MetricDirection direction = DirectionForPath(path);
+    if (direction == MetricDirection::kInformational) continue;
+    const auto it = cur_map.find(path);
+    if (it == cur_map.end()) continue;  // sections may come and go across PRs
+    ++result.compared;
+    const double cur_value = it->second;
+    double delta_pct = 0;
+    if (base_value != 0.0) {
+      delta_pct = (cur_value - base_value) / std::fabs(base_value) * 100.0;
+    } else if (cur_value != 0.0) {
+      // From exactly zero, any wrong-way move is effectively infinite; a
+      // lower-is-better metric leaving zero regresses, the reverse improves.
+      delta_pct = cur_value > 0 ? 1e9 : -1e9;
+    }
+    const bool wrong_way = direction == MetricDirection::kLowerIsBetter
+                               ? delta_pct > 0
+                               : delta_pct < 0;
+    if (std::fabs(delta_pct) <= options.max_regress_pct) continue;
+    BenchDelta delta{path, base_value, cur_value, delta_pct};
+    if (wrong_way) {
+      result.regressions.push_back(std::move(delta));
+    } else {
+      result.improvements.push_back(std::move(delta));
+    }
+  }
+  const auto by_magnitude = [](const BenchDelta& a, const BenchDelta& b) {
+    const double ma = std::fabs(a.delta_pct);
+    const double mb = std::fabs(b.delta_pct);
+    return ma != mb ? ma > mb : a.path < b.path;
+  };
+  std::sort(result.regressions.begin(), result.regressions.end(), by_magnitude);
+  std::sort(result.improvements.begin(), result.improvements.end(),
+            by_magnitude);
+  return result;
+}
+
+std::string RenderBenchCompare(const BenchCompareResult& result) {
+  std::string out;
+  char line[256];
+  for (const std::string& error : result.errors) {
+    out += "ERROR " + error + "\n";
+  }
+  for (const BenchDelta& d : result.regressions) {
+    std::snprintf(line, sizeof(line), "REGRESSION %-40s %12.3f -> %12.3f (%+.1f%%)\n",
+                  d.path.c_str(), d.baseline, d.current, d.delta_pct);
+    out += line;
+  }
+  for (const BenchDelta& d : result.improvements) {
+    std::snprintf(line, sizeof(line), "improved   %-40s %12.3f -> %12.3f (%+.1f%%)\n",
+                  d.path.c_str(), d.baseline, d.current, d.delta_pct);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "%zu metrics compared, %zu regressions, %zu improvements\n",
+                result.compared, result.regressions.size(),
+                result.improvements.size());
+  out += line;
+  return out;
+}
+
+}  // namespace pinscope::report

@@ -1,0 +1,77 @@
+// BENCH_*.json comparator — the repo's perf-regression gate (DESIGN §17).
+//
+// The bench trajectory (BENCH_static_scan.json, BENCH_dynamic.json,
+// BENCH_stream.json) is committed, but until now nothing machine-checked
+// that a change didn't regress it. CompareBenchJson flattens two bench
+// documents into dotted numeric paths, classifies each metric's direction
+// from its name (wall-times and byte counts regress upward, speedups
+// regress downward, counts are informational), and flags any classified
+// metric that moved the wrong way by more than the threshold. Consumed by
+// `tools/bench_diff.cc` (standalone gate: non-zero exit on regression) and
+// by the bench harnesses themselves (PINSCOPE_BENCH_CHECK=1 compares a
+// fresh run against the committed baseline before overwriting it).
+//
+// The parser is a minimal recursive-descent JSON reader: arrays are
+// skipped wholesale (telemetry timelines differ in length run to run),
+// booleans compare as claims (true -> false is always a regression), and
+// anything non-numeric is ignored.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pinscope::report {
+
+/// How a metric's value relates to "better".
+enum class MetricDirection {
+  kLowerIsBetter,   ///< Wall-times, byte counts, ratios, drop counts.
+  kHigherIsBetter,  ///< Speedups, hit counts, boolean claims.
+  kInformational,   ///< Workers, app counts, seeds — never gate.
+};
+
+/// Classifies a flattened dotted path ("streaming.large_ms") by its last
+/// segment. Exposed for tests.
+[[nodiscard]] MetricDirection DirectionForPath(std::string_view path);
+
+struct BenchCompareOptions {
+  /// A classified metric moving the wrong way by more than this percentage
+  /// of the baseline is a regression.
+  double max_regress_pct = 10.0;
+};
+
+/// One metric that moved (either way) beyond the threshold.
+struct BenchDelta {
+  std::string path;
+  double baseline = 0;
+  double current = 0;
+  double delta_pct = 0;  ///< Signed (current - baseline) / baseline * 100.
+};
+
+struct BenchCompareResult {
+  std::vector<BenchDelta> regressions;   ///< Wrong-way moves > threshold.
+  std::vector<BenchDelta> improvements;  ///< Right-way moves > threshold.
+  std::size_t compared = 0;              ///< Classified metrics in both docs.
+  std::vector<std::string> errors;       ///< Parse failures (gate fails too).
+
+  [[nodiscard]] bool ok() const {
+    return errors.empty() && regressions.empty();
+  }
+};
+
+/// Compares two bench JSON documents (baseline vs current).
+[[nodiscard]] BenchCompareResult CompareBenchJson(
+    std::string_view baseline, std::string_view current,
+    const BenchCompareOptions& options = {});
+
+/// Human-readable summary of a comparison (one line per finding).
+[[nodiscard]] std::string RenderBenchCompare(const BenchCompareResult& result);
+
+/// Flattens a bench JSON document to sorted "path value" lines (numeric
+/// leaves only, booleans as 0/1, arrays skipped). Exposed for tests.
+[[nodiscard]] std::vector<std::pair<std::string, double>> FlattenBenchJson(
+    std::string_view json, std::vector<std::string>* errors = nullptr);
+
+}  // namespace pinscope::report

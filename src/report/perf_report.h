@@ -1,0 +1,40 @@
+// Performance reports: the run-autopsy twin of run_report.h (DESIGN §17).
+//
+// Where the run report explains *verdicts* (why each app was judged as it
+// was), the perf report explains *wall-clock*: utilization per worker, the
+// critical path through the stage chains, the idle-time taxonomy, the
+// slowest apps, and the contended locks — everything obs::Analyze derives
+// from a finished Timeline, rendered once as Markdown for humans
+// (`--perf-report-out=perf.md`) and once as a JSON companion for tooling.
+//
+// Wall-clock content is inherently schedule-dependent; the writers are
+// still deterministic *given* an Autopsy (same input, same bytes), which
+// is what the writer tests pin down.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/autopsy.h"
+
+namespace pinscope::report {
+
+/// Inputs to the perf-report writers. `autopsy` is required; the resolver
+/// (optional) turns item keys into platform/app labels.
+struct PerfReportInput {
+  std::string title = "pinscope perf report";
+  const obs::Autopsy* autopsy = nullptr;
+  obs::ItemResolver resolver;
+};
+
+/// Renders the Markdown perf report.
+[[nodiscard]] std::string WritePerfReportMarkdown(const PerfReportInput& input);
+
+/// Renders the JSON companion document.
+[[nodiscard]] std::string WritePerfReportJson(const PerfReportInput& input);
+
+/// The JSON companion path for a Markdown perf-report path: swaps a
+/// trailing ".md" for ".json", otherwise appends ".json".
+[[nodiscard]] std::string PerfReportJsonPathFor(std::string_view markdown_path);
+
+}  // namespace pinscope::report

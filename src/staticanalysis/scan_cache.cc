@@ -22,7 +22,7 @@ std::shared_ptr<const CachedFileScan> ScanCache::Find(const Key& key,
   Shard& shard = ShardFor(key);
   std::shared_ptr<const CachedFileScan> found;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<obs::TrackedMutex> lock(shard.mu);
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) found = it->second;
   }
@@ -37,7 +37,7 @@ std::shared_ptr<const CachedFileScan> ScanCache::Insert(const Key& key,
                                                         CachedFileScan scan) {
   auto entry = std::make_shared<const CachedFileScan>(std::move(scan));
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<obs::TrackedMutex> lock(shard.mu);
   const auto [it, inserted] = shard.map.try_emplace(key, std::move(entry));
   if (inserted) entries_.fetch_add(1, std::memory_order_relaxed);
   return it->second;
@@ -46,7 +46,7 @@ std::shared_ptr<const CachedFileScan> ScanCache::Insert(const Key& key,
 std::size_t ScanCache::EntryCount() const {
   std::size_t n = 0;
   for (std::size_t s = 0; s < shard_count_; ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    std::lock_guard<obs::TrackedMutex> lock(shards_[s].mu);
     n += shards_[s].map.size();
   }
   return n;
@@ -56,7 +56,7 @@ bool ScanCache::SaveToFile(const std::string& path) const {
   // Snapshot every shard, then order by key: equal caches ⇒ equal bytes.
   std::vector<std::pair<Key, std::shared_ptr<const CachedFileScan>>> entries;
   for (std::size_t s = 0; s < shard_count_; ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    std::lock_guard<obs::TrackedMutex> lock(shards_[s].mu);
     for (const auto& [key, scan] : shards_[s].map) entries.emplace_back(key, scan);
   }
   std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {

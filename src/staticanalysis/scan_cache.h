@@ -26,7 +26,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+
+#include "obs/mutex.h"
 
 #include "crypto/sha256.h"
 #include "staticanalysis/scanner.h"
@@ -104,6 +107,17 @@ class ScanCache {
   /// cache.persist.* gauges instead.
   bool LoadFromFile(const std::string& path);
 
+  /// Binds every shard's lock to the `lock.<name>.contended` /
+  /// `lock.<name>.wait_us` family (obs/mutex.h) so the run autopsy's
+  /// idle-time attribution covers this cache. Null-safe; call before the
+  /// cache is shared across workers.
+  void AttachMetrics(obs::MetricsRegistry* metrics,
+                     std::string_view name = "scan_cache") {
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      shards_[s].mu.Attach(metrics, name);
+    }
+  }
+
   static constexpr std::size_t kDefaultShards = 16;
   static constexpr std::uint32_t kFileKind = 0x314e4353;  // "SCN1"
   static constexpr std::uint32_t kFileVersion = 1;
@@ -121,7 +135,7 @@ class ScanCache {
   struct Shard {
     /// mutable so the read-only SaveToFile/EntryCount walks can lock on a
     /// const cache.
-    mutable std::mutex mu;
+    mutable obs::TrackedMutex mu;
     std::unordered_map<Key, std::shared_ptr<const CachedFileScan>, KeyHash> map;
   };
 

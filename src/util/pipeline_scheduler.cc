@@ -54,19 +54,70 @@ struct Run {
   obs::Counter failures_counter;
   obs::Histogram depth_histogram;
 
+  /// Timeline label ids, one per stage (empty without a timeline).
+  std::vector<std::uint32_t> stage_labels;
+
   Run(std::size_t n_items, std::size_t capacity,
       obs::MetricsRegistry* metrics)
       : n(n_items), queue(capacity, metrics) {}
+
+  [[nodiscard]] obs::Timeline* timeline() const { return options->timeline; }
+
+  [[nodiscard]] std::uint64_t KeyFor(std::size_t item) const {
+    return options->timeline_key ? options->timeline_key(item)
+                                 : static_cast<std::uint64_t>(item);
+  }
+};
+
+/// Interns every stage name once so workers record labels, not strings.
+void PrepareTimeline(Run& run) {
+  obs::Timeline* timeline = run.timeline();
+  if (timeline == nullptr) return;
+  run.stage_labels.reserve(run.stages->size());
+  for (const PipelineStage& stage : *run.stages) {
+    run.stage_labels.push_back(timeline->InternStage(stage.name));
+  }
+  timeline->MarkRunStart();
+}
+
+/// Records the whole attempt loop of (item, stage) as one kStage interval
+/// on `worker` when a timeline rides along. Mirrors StageHook semantics:
+/// injected delays and retries count as time inside the stage.
+class StageIntervalScope {
+ public:
+  StageIntervalScope(Run& run, const Task& task, int worker)
+      : timeline_(run.timeline()) {
+    if (timeline_ == nullptr) return;
+    worker_ = static_cast<std::uint32_t>(worker);
+    key_ = run.KeyFor(task.item);
+    label_ = run.stage_labels[task.stage];
+    start_us_ = timeline_->NowUs();
+  }
+  StageIntervalScope(const StageIntervalScope&) = delete;
+  StageIntervalScope& operator=(const StageIntervalScope&) = delete;
+  ~StageIntervalScope() {
+    if (timeline_ == nullptr) return;
+    timeline_->RecordStage(worker_, key_, label_, start_us_,
+                           timeline_->NowUs());
+  }
+
+ private:
+  obs::Timeline* timeline_;
+  std::uint32_t worker_ = 0;
+  std::uint64_t key_ = 0;
+  std::uint32_t label_ = 0;
+  std::int64_t start_us_ = 0;
 };
 
 /// Runs one stage attempt chain for a task; returns true when the stage
 /// (eventually) succeeded, false when it failed after retries (failure
 /// recorded in `sink`).
-bool RunStageGuarded(Run& run, const Task& task,
+bool RunStageGuarded(Run& run, const Task& task, int worker,
                      std::vector<StageFailure>& sink) {
   const PipelineStage& stage = (*run.stages)[task.stage];
   const int max_retries = std::max(run.options->max_stage_retries, 0);
   const StageHook& hook = run.options->stage_hook;
+  const StageIntervalScope interval(run, task, worker);
   if (hook) hook(task.item, task.stage, StageEvent::kBegin);
   std::string message;
   for (int attempt = 0; attempt <= max_retries; ++attempt) {
@@ -124,10 +175,11 @@ std::optional<Task> PushOrKeep(Run& run, Task task) {
 
 /// Executes `first` and all of its inline continuations, advancing the item
 /// through its chain until a push succeeds, the chain ends, or a stage fails.
-void DrainChain(Run& run, Task first, std::vector<StageFailure>& sink) {
+void DrainChain(Run& run, Task first, int worker,
+                std::vector<StageFailure>& sink) {
   Task task = first;
   for (;;) {
-    if (!RunStageGuarded(run, task, sink)) {
+    if (!RunStageGuarded(run, task, worker, sink)) {
       CompleteItem(run);  // failed: remaining stages are skipped
       return;
     }
@@ -142,16 +194,55 @@ void DrainChain(Run& run, Task first, std::vector<StageFailure>& sink) {
   }
 }
 
+/// Pops the next task, timing any blocked wait into the worker's timeline
+/// lane: a wait that eventually yielded a task is queue starvation, a wait
+/// that observed the close is the tail join. The ambient pause keeps a
+/// contended queue mutex inside the timed wait from double-counting as
+/// kLockWait.
+std::optional<Task> PopTimed(Run& run, int worker) {
+  obs::Timeline* timeline = run.timeline();
+  if (timeline == nullptr) return run.queue.Pop();
+  std::optional<Task> task = run.queue.TryPop();
+  if (task.has_value()) return task;
+  const obs::TimelineAmbientPause pause;
+  const std::int64_t start = timeline->NowUs();
+  task = run.queue.Pop();
+  timeline->RecordIdle(static_cast<std::uint32_t>(worker),
+                       task.has_value() ? obs::IntervalKind::kQueueStarved
+                                        : obs::IntervalKind::kTailJoin,
+                       start, timeline->NowUs());
+  return task;
+}
+
 void WorkerLoop(Run& run, int worker, std::vector<StageFailure>& sink) {
+  const obs::TimelineWorkerScope ambient(
+      run.timeline(), static_cast<std::uint32_t>(worker));
   const obs::Span span =
       run.options->trace == nullptr
           ? obs::Span()
           : obs::Span(run.options->trace,
                       std::string(run.options->trace_label) + ".worker",
                       "sched", {{"worker", std::to_string(worker)}});
-  while (const std::optional<Task> task = run.queue.Pop()) {
-    DrainChain(run, *task, sink);
+  while (const std::optional<Task> task = PopTimed(run, worker)) {
+    DrainChain(run, *task, worker, sink);
   }
+}
+
+/// Blocking seed push with backpressure timing on the submitter's lane
+/// (worker 0): a full queue at seed time means every worker is busy and
+/// the buffer is at capacity — classic upstream backpressure.
+void SeedPush(Run& run, Task task) {
+  obs::Timeline* timeline = run.timeline();
+  if (timeline == nullptr) {
+    run.queue.Push(task);
+  } else if (!run.queue.TryPush(task)) {
+    const obs::TimelineAmbientPause pause;
+    const std::int64_t start = timeline->NowUs();
+    run.queue.Push(task);
+    timeline->RecordIdle(0, obs::IntervalKind::kBackpressure, start,
+                         timeline->NowUs());
+  }
+  run.depth_histogram.Record(static_cast<double>(run.queue.Size()));
 }
 
 }  // namespace
@@ -169,14 +260,18 @@ PipelineResult RunPipeline(std::size_t n,
     Run run(n, 1, options.metrics);
     run.stages = &stages;
     run.options = &options;
+    PrepareTimeline(run);
     if (options.metrics != nullptr) {
       run.tasks_counter = options.metrics->counter("sched.tasks");
       run.retries_counter = options.metrics->counter("sched.retries");
       run.failures_counter = options.metrics->counter("sched.failures");
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t s = 0; s < stages.size(); ++s) {
-        if (!RunStageGuarded(run, {i, s}, result.failures)) break;
+    {
+      const obs::TimelineWorkerScope ambient(options.timeline, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t s = 0; s < stages.size(); ++s) {
+          if (!RunStageGuarded(run, {i, s}, 0, result.failures)) break;
+        }
       }
     }
     result.retries = run.retries.load(std::memory_order_relaxed);
@@ -185,6 +280,7 @@ PipelineResult RunPipeline(std::size_t n,
       // run has no ready queue, so its peak depth is 0.
       options.metrics->gauge("sched.queue_peak_depth").Set(0);
     }
+    if (options.timeline != nullptr) options.timeline->MarkRunEnd();
     return result;
   }
 
@@ -195,6 +291,7 @@ PipelineResult RunPipeline(std::size_t n,
   Run run(n, depth, options.metrics);
   run.stages = &stages;
   run.options = &options;
+  PrepareTimeline(run);
   if (options.metrics != nullptr) {
     run.tasks_counter = options.metrics->counter("sched.tasks");
     run.backpressure_counter =
@@ -220,9 +317,13 @@ PipelineResult RunPipeline(std::size_t n,
   // Seed stage 0 for every item, in item order (FIFO per stage). Blocking
   // pushes are safe here: workers always return to Pop, and the queue cannot
   // close before the last seed lands (an unseeded item is never complete).
-  for (std::size_t i = 0; i < n; ++i) {
-    run.queue.Push({i, 0});
-    run.depth_histogram.Record(static_cast<double>(run.queue.Size()));
+  // With a timeline the submitter's blocked pushes are timed as worker 0's
+  // backpressure (it becomes worker 0 right after the seeds).
+  {
+    const obs::TimelineWorkerScope ambient(options.timeline, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      SeedPush(run, {i, 0});
+    }
   }
   // All seeds in: the submitter becomes worker 0 until the run drains.
   WorkerLoop(run, 0, per_worker[0]);
@@ -245,6 +346,7 @@ PipelineResult RunPipeline(std::size_t n,
     options.metrics->gauge("sched.queue_peak_depth")
         .Set(result.peak_queue_depth);
   }
+  if (options.timeline != nullptr) options.timeline->MarkRunEnd();
   return result;
 }
 

@@ -37,6 +37,7 @@
 
 #include "obs/metrics.h"
 #include "obs/mutex.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace pinscope::util {
@@ -232,6 +233,16 @@ struct PipelineOptions {
   obs::MetricsRegistry* metrics = nullptr;
   /// Optional per-stage observability hook (see StageHook).
   StageHook stage_hook;
+  /// Optional bounded interval timeline (obs/timeline.h): one kStage
+  /// interval per stage attempt loop, idle intervals for queue waits /
+  /// backpressure / tail join, and ambient lock-wait attribution while a
+  /// worker runs. Purely observational — never consulted by the scheduler —
+  /// and O(workers · cap) memory regardless of n.
+  obs::Timeline* timeline = nullptr;
+  /// Maps an item index to the stable 64-bit identity stage intervals carry
+  /// (the study drivers pass TelemetryKey: platform rank in the top bits,
+  /// universe index below). Defaults to the item index itself.
+  std::function<std::uint64_t(std::size_t item)> timeline_key;
 };
 
 /// One failed stage of one item. Later stages of that item do not run.

@@ -43,7 +43,7 @@ std::optional<ValidationResult> ValidationCache::Find(const Key& key) {
   Shard& shard = ShardFor(key);
   std::optional<ValidationResult> found;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<obs::TrackedMutex> lock(shard.mu);
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) found = it->second;
   }
@@ -54,7 +54,7 @@ std::optional<ValidationResult> ValidationCache::Find(const Key& key) {
 ValidationResult ValidationCache::Insert(Key key, ValidationResult result) {
   inserts_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<obs::TrackedMutex> lock(shard.mu);
   const auto [it, inserted] = shard.map.try_emplace(std::move(key), result);
   if (inserted) entries_.fetch_add(1, std::memory_order_relaxed);
   return it->second;
@@ -73,7 +73,7 @@ ValidationCacheStats ValidationCache::Stats() const {
 std::size_t ValidationCache::EntryCount() const {
   std::size_t n = 0;
   for (std::size_t s = 0; s < shard_count_; ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    std::lock_guard<obs::TrackedMutex> lock(shards_[s].mu);
     n += shards_[s].map.size();
   }
   return n;
@@ -82,7 +82,7 @@ std::size_t ValidationCache::EntryCount() const {
 bool ValidationCache::SaveToFile(const std::string& path) const {
   std::vector<std::pair<Key, ValidationResult>> entries;
   for (std::size_t s = 0; s < shard_count_; ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    std::lock_guard<obs::TrackedMutex> lock(shards_[s].mu);
     for (const auto& [key, result] : shards_[s].map) entries.emplace_back(key, result);
   }
   std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {

@@ -26,6 +26,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "obs/mutex.h"
+
 #include "crypto/sha256.h"
 #include "util/bytes.h"
 #include "util/clock.h"
@@ -110,6 +112,17 @@ class ValidationCache {
   /// entries count toward inserts/entries, never toward lookups/hits.
   bool LoadFromFile(const std::string& path);
 
+  /// Binds every shard's lock to the `lock.<name>.contended` /
+  /// `lock.<name>.wait_us` family (obs/mutex.h) so the run autopsy's
+  /// idle-time attribution covers this cache. Null-safe; call before the
+  /// cache is shared across workers.
+  void AttachMetrics(obs::MetricsRegistry* metrics,
+                     std::string_view name = "validation_cache") {
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      shards_[s].mu.Attach(metrics, name);
+    }
+  }
+
   static constexpr std::size_t kDefaultShards = 16;
   static constexpr std::uint32_t kFileKind = 0x314c4156;  // "VAL1"
   static constexpr std::uint32_t kFileVersion = 1;
@@ -132,7 +145,7 @@ class ValidationCache {
 
   struct Shard {
     /// mutable so the read-only EntryCount() walk can lock on a const cache.
-    mutable std::mutex mu;
+    mutable obs::TrackedMutex mu;
     std::unordered_map<Key, ValidationResult, KeyHash> map;
   };
 

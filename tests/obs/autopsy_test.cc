@@ -1,0 +1,186 @@
+// Autopsy unit suite over synthetic timelines: critical-path walking (chain
+// and worker edges), the idle-attribution breakdown, slow-item aggregation,
+// the lock-contention join, and folded-stack output.
+#include "obs/autopsy.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+
+namespace pinscope::obs {
+namespace {
+
+TEST(AutopsyTest, SingleWorkerCriticalPathCoversTheWholeRun) {
+  Timeline timeline;
+  const std::uint32_t s0 = timeline.InternStage("static");
+  const std::uint32_t s1 = timeline.InternStage("dynamic");
+  // One worker, back-to-back: A.static, A.dynamic, B.static.
+  timeline.RecordStage(0, /*key=*/1, s0, 0, 100);
+  timeline.RecordStage(0, 1, s1, 100, 250);
+  timeline.RecordStage(0, 2, s0, 250, 300);
+
+  const Autopsy autopsy = Analyze(timeline);
+  EXPECT_FALSE(autopsy.sampled);
+  EXPECT_EQ(autopsy.workers, 1u);
+  ASSERT_EQ(autopsy.critical_path.size(), 3u);
+  EXPECT_EQ(autopsy.critical_path[0].key, 1u);
+  EXPECT_EQ(autopsy.critical_path[0].stage, "static");
+  EXPECT_EQ(autopsy.critical_path[1].stage, "dynamic");
+  EXPECT_EQ(autopsy.critical_path[2].key, 2u);
+  EXPECT_DOUBLE_EQ(autopsy.critical_path_us, 300.0);
+  EXPECT_DOUBLE_EQ(autopsy.wall_us, 300.0);
+}
+
+TEST(AutopsyTest, ChainEdgeBeatsWorkerEdgeWhenItEndsLater) {
+  Timeline timeline;
+  const std::uint32_t s0 = timeline.InternStage("static");
+  const std::uint32_t s1 = timeline.InternStage("dynamic");
+  // Worker 0 runs A.static then B.static; worker 1 picks up A.dynamic after
+  // a gap. The last interval's binding predecessor is A.static (chain edge,
+  // ends 100) — B.static on worker 1's own lane never happened, and worker
+  // 1 has nothing earlier.
+  timeline.RecordStage(0, 1, s0, 0, 100);
+  timeline.RecordStage(0, 2, s0, 100, 110);
+  timeline.RecordStage(1, 1, s1, 120, 200);
+
+  const Autopsy autopsy = Analyze(timeline);
+  ASSERT_EQ(autopsy.critical_path.size(), 2u);
+  EXPECT_EQ(autopsy.critical_path[0].key, 1u);
+  EXPECT_EQ(autopsy.critical_path[0].stage, "static");
+  EXPECT_EQ(autopsy.critical_path[1].key, 1u);
+  EXPECT_EQ(autopsy.critical_path[1].stage, "dynamic");
+  EXPECT_DOUBLE_EQ(autopsy.critical_path_us, 180.0);
+}
+
+TEST(AutopsyTest, WorkerEdgeBindsWhenItEndsAfterTheChainPredecessor) {
+  Timeline timeline;
+  const std::uint32_t s0 = timeline.InternStage("static");
+  const std::uint32_t s1 = timeline.InternStage("dynamic");
+  // A.dynamic runs on worker 0 right after B.static vacates the worker
+  // (ends 180) — later than its own chain predecessor A.static (ends 100),
+  // so the worker edge is the binding constraint.
+  timeline.RecordStage(1, 1, s0, 0, 100);
+  timeline.RecordStage(0, 2, s0, 0, 180);
+  timeline.RecordStage(0, 1, s1, 180, 240);
+
+  const Autopsy autopsy = Analyze(timeline);
+  ASSERT_EQ(autopsy.critical_path.size(), 2u);
+  EXPECT_EQ(autopsy.critical_path[0].key, 2u);
+  EXPECT_EQ(autopsy.critical_path[0].stage, "static");
+  EXPECT_EQ(autopsy.critical_path[1].key, 1u);
+  EXPECT_EQ(autopsy.critical_path[1].stage, "dynamic");
+  EXPECT_DOUBLE_EQ(autopsy.critical_path_us, 240.0);
+}
+
+TEST(AutopsyTest, WorkerBreakdownPartitionsWallAndExcludesLockWaitFromBusy) {
+  Timeline timeline;
+  const std::uint32_t stage = timeline.InternStage("s");
+  // RecordLockWait stamps [now - wait, now] on the real timeline clock; let
+  // the clock pass the wait so the interval is exactly 100 µs, and keep the
+  // synthetic stage/idle timestamps far beyond any plausible real `now` so
+  // the run extrema stay deterministic.
+  while (timeline.NowUs() < 200) {
+  }
+  timeline.RecordLockWait(0, "scan_cache", 100);  // waited inside the stage
+  timeline.RecordStage(0, 1, stage, 0, 600'000);
+  timeline.RecordIdle(0, IntervalKind::kQueueStarved, 600'000, 900'000);
+  timeline.RecordIdle(0, IntervalKind::kTailJoin, 900'000, 1'000'000);
+
+  const Autopsy autopsy = Analyze(timeline);
+  ASSERT_EQ(autopsy.worker_breakdown.size(), 1u);
+  const WorkerBreakdown& w = autopsy.worker_breakdown[0];
+  EXPECT_DOUBLE_EQ(w.busy_us, 599'900.0);  // stage time minus the lock wait
+  EXPECT_DOUBLE_EQ(w.lock_wait_us, 100.0);
+  EXPECT_DOUBLE_EQ(w.queue_starved_us, 300'000.0);
+  EXPECT_DOUBLE_EQ(w.tail_join_us, 100'000.0);
+  EXPECT_EQ(w.stage_count, 1u);
+  // attributed + other == wall exactly, by construction.
+  EXPECT_DOUBLE_EQ(w.attributed_us() + w.other_us, autopsy.wall_us);
+}
+
+TEST(AutopsyTest, SlowestItemsAggregateStagesAndSortDescending) {
+  Timeline timeline;
+  const std::uint32_t s0 = timeline.InternStage("static");
+  const std::uint32_t s1 = timeline.InternStage("dynamic");
+  timeline.RecordStage(0, 1, s0, 0, 10);
+  timeline.RecordStage(0, 1, s1, 10, 400);
+  timeline.RecordStage(0, 2, s0, 400, 420);
+  timeline.RecordStage(0, 2, s1, 420, 470);
+
+  AutopsyOptions options;
+  options.top_k = 1;
+  const Autopsy autopsy = Analyze(timeline, nullptr, options);
+  ASSERT_EQ(autopsy.slowest.size(), 1u);
+  EXPECT_EQ(autopsy.slowest[0].key, 1u);
+  EXPECT_DOUBLE_EQ(autopsy.slowest[0].total_us, 400.0);
+  ASSERT_EQ(autopsy.slowest[0].stages.size(), 2u);
+  EXPECT_EQ(autopsy.slowest[0].stages[0].first, "static");
+  EXPECT_DOUBLE_EQ(autopsy.slowest[0].stages[1].second, 390.0);
+}
+
+TEST(AutopsyTest, LockProfilesJoinFromTheMetricsSnapshot) {
+  Timeline timeline;
+  const std::uint32_t stage = timeline.InternStage("s");
+  timeline.RecordStage(0, 1, stage, 0, 10);
+
+  MetricsRegistry metrics;
+  metrics.counter("lock.scan_cache.contended").Add(3);
+  metrics.histogram("lock.scan_cache.wait_us").Record(50.0);
+  metrics.histogram("lock.scan_cache.wait_us").Record(150.0);
+  // An uncontended lock family must not clutter the table.
+  (void)metrics.counter("lock.idle_lock.contended");
+  (void)metrics.histogram("lock.idle_lock.wait_us");
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+
+  const Autopsy autopsy = Analyze(timeline, &snapshot);
+  ASSERT_EQ(autopsy.locks.size(), 1u);
+  EXPECT_EQ(autopsy.locks[0].name, "scan_cache");
+  EXPECT_EQ(autopsy.locks[0].contended, 3u);
+  EXPECT_DOUBLE_EQ(autopsy.locks[0].total_wait_us, 200.0);
+  EXPECT_GT(autopsy.locks[0].p99_wait_us, 0.0);
+}
+
+TEST(AutopsyTest, FoldedStacksAggregateByFrameAndSort) {
+  Timeline timeline;
+  const std::uint32_t s0 = timeline.InternStage("static");
+  const std::uint32_t s1 = timeline.InternStage("dynamic");
+  timeline.RecordStage(0, 1, s0, 0, 10);
+  timeline.RecordStage(1, 1, s0, 20, 25);  // same frame, second worker
+  timeline.RecordStage(0, 2, s1, 10, 40);
+
+  const ItemResolver resolver = [](std::uint64_t key) {
+    return ItemLabel{"android", "app" + std::to_string(key)};
+  };
+  const std::string folded = WriteFoldedStacks(timeline, resolver);
+  EXPECT_EQ(folded,
+            "android;app1;static 15\n"
+            "android;app2;dynamic 30\n");
+
+  // Without a resolver the fallback labels keys in decimal.
+  const std::string fallback = WriteFoldedStacks(timeline);
+  EXPECT_NE(fallback.find("item;1;static 15\n"), std::string::npos);
+}
+
+TEST(AutopsyTest, EmptyTimelineYieldsAnEmptyAutopsy) {
+  Timeline timeline;
+  const Autopsy autopsy = Analyze(timeline);
+  EXPECT_TRUE(autopsy.critical_path.empty());
+  EXPECT_TRUE(autopsy.worker_breakdown.empty());
+  EXPECT_TRUE(autopsy.slowest.empty());
+  EXPECT_DOUBLE_EQ(autopsy.critical_path_us, 0.0);
+  EXPECT_EQ(WriteFoldedStacks(timeline), "");
+}
+
+TEST(AutopsyTest, FallbackLabelUsesDecimalKeys) {
+  const ItemLabel label = FallbackLabel(42);
+  EXPECT_EQ(label.platform, "item");
+  EXPECT_EQ(label.app, "42");
+}
+
+}  // namespace
+}  // namespace pinscope::obs

@@ -109,6 +109,48 @@ TEST(HistogramTest, EmptyHistogramSnapshotsAsZeros) {
             MetricsRegistry::DefaultDurationBoundsUs().size() + 1);
 }
 
+TEST(HistogramTest, QuantileOfAnEmptyHistogramIsZero) {
+  MetricsRegistry registry;
+  (void)registry.histogram("test.q_empty", {10.0, 100.0});
+  const HistogramSnapshot snap =
+      registry.Snapshot().histograms.at("test.q_empty");
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileOfASingleSampleClampsToThatValue) {
+  MetricsRegistry registry;
+  registry.histogram("test.q_one", {10.0, 100.0}).Record(42.0);
+  const HistogramSnapshot snap =
+      registry.Snapshot().histograms.at("test.q_one");
+  // min == max == 42: interpolation inside the (10, 100] bucket would drift,
+  // but the [min, max] clamp pins every quantile to the one observation.
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    SCOPED_TRACE(q);
+    EXPECT_DOUBLE_EQ(snap.Quantile(q), 42.0);
+  }
+}
+
+TEST(HistogramTest, QuantileWithEverySampleInOverflowStaysInRange) {
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("test.q_over", {1.0, 2.0});
+  h.Record(1000.0);
+  h.Record(3000.0);
+  h.Record(2000.0);
+  const HistogramSnapshot snap =
+      registry.Snapshot().histograms.at("test.q_over");
+  // All mass beyond the last bound: the overflow bucket's upper edge is the
+  // recorded max, and the estimate never leaves [min, max].
+  for (const double q : {0.0, 0.5, 0.9, 1.0}) {
+    SCOPED_TRACE(q);
+    const double estimate = snap.Quantile(q);
+    EXPECT_GE(estimate, 1000.0);
+    EXPECT_LE(estimate, 3000.0);
+  }
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 3000.0);
+}
+
 TEST(HistogramTest, CountsExactlyUnderParallelRecorders) {
   MetricsRegistry registry;
   Histogram h = registry.histogram("test.par", {0.5});

@@ -1,0 +1,216 @@
+// Timeline unit suite: exact per-worker accumulators, the bounded interval
+// reservoir, run bounds, and the ambient TrackedMutex lock-wait hook.
+#include "obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/mutex.h"
+
+namespace pinscope::obs {
+namespace {
+
+TEST(TimelineTest, IntervalKindNamesAreStable) {
+  EXPECT_EQ(IntervalKindName(IntervalKind::kStage), "stage");
+  EXPECT_EQ(IntervalKindName(IntervalKind::kQueueStarved), "queue_starved");
+  EXPECT_EQ(IntervalKindName(IntervalKind::kBackpressure), "backpressure");
+  EXPECT_EQ(IntervalKindName(IntervalKind::kLockWait), "lock_wait");
+  EXPECT_EQ(IntervalKindName(IntervalKind::kTailJoin), "tail_join");
+}
+
+TEST(TimelineTest, TotalsAccumulateExactlyPerKindAndWorker) {
+  Timeline timeline;
+  const std::uint32_t stage = timeline.InternStage("static");
+  timeline.RecordStage(/*worker=*/0, /*key=*/7, stage, 10, 110);
+  timeline.RecordStage(0, 8, stage, 110, 160);
+  timeline.RecordIdle(0, IntervalKind::kQueueStarved, 160, 200);
+  timeline.RecordIdle(1, IntervalKind::kBackpressure, 0, 25);
+  timeline.RecordIdle(1, IntervalKind::kTailJoin, 25, 30);
+  // RecordLockWait stamps [now - wait, now] against the real timeline
+  // clock; let it advance past the wait so nothing clamps at zero.
+  while (timeline.NowUs() < 100) {
+  }
+  timeline.RecordLockWait(1, "scan_cache", 12);
+
+  const TimelineWorkerTotals w0 = timeline.TotalsFor(0);
+  EXPECT_DOUBLE_EQ(w0.busy_us, 150.0);
+  EXPECT_DOUBLE_EQ(w0.queue_starved_us, 40.0);
+  EXPECT_DOUBLE_EQ(w0.lock_wait_us, 0.0);
+  EXPECT_EQ(w0.stage_count, 2u);
+  EXPECT_EQ(w0.intervals_seen, 3u);
+  EXPECT_EQ(w0.first_us, 10);
+  EXPECT_EQ(w0.last_us, 200);
+
+  const TimelineWorkerTotals w1 = timeline.TotalsFor(1);
+  EXPECT_DOUBLE_EQ(w1.busy_us, 0.0);
+  EXPECT_DOUBLE_EQ(w1.backpressure_us, 25.0);
+  EXPECT_DOUBLE_EQ(w1.tail_join_us, 5.0);
+  EXPECT_DOUBLE_EQ(w1.lock_wait_us, 12.0);
+  EXPECT_EQ(w1.stage_count, 0u);
+
+  EXPECT_EQ(timeline.WorkerCount(), 2u);
+  EXPECT_EQ(timeline.IntervalsSeen(), 6u);
+}
+
+TEST(TimelineTest, SamplesAreSortedAndCarryInternedLabels) {
+  Timeline timeline;
+  const std::uint32_t s0 = timeline.InternStage("static");
+  const std::uint32_t s1 = timeline.InternStage("dynamic");
+  EXPECT_EQ(timeline.InternStage("static"), s0);  // idempotent
+  timeline.RecordStage(0, 2, s1, 50, 90);
+  timeline.RecordStage(0, 1, s0, 0, 40);
+
+  const std::vector<TimelineInterval> samples = timeline.SamplesFor(0);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].start_us, 0);
+  EXPECT_EQ(samples[1].start_us, 50);
+  EXPECT_EQ(timeline.StageName(samples[0].label), "static");
+  EXPECT_EQ(timeline.StageName(samples[1].label), "dynamic");
+  EXPECT_EQ(samples[0].key, 1u);
+  EXPECT_EQ(samples[1].kind, IntervalKind::kStage);
+}
+
+TEST(TimelineTest, ReservoirIsBoundedWhileTotalsStayExact) {
+  TimelineOptions options;
+  options.per_worker_cap = 64;
+  Timeline timeline(options);
+  const std::uint32_t stage = timeline.InternStage("static");
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    timeline.RecordStage(0, static_cast<std::uint64_t>(i), stage, i * 10,
+                         i * 10 + 5);
+  }
+  EXPECT_EQ(timeline.SamplesFor(0).size(), 64u);
+  EXPECT_EQ(timeline.SampleCount(), 64u);
+  EXPECT_EQ(timeline.IntervalsSeen(), static_cast<std::uint64_t>(n));
+  const TimelineWorkerTotals totals = timeline.TotalsFor(0);
+  EXPECT_DOUBLE_EQ(totals.busy_us, 5.0 * n);  // exact despite sampling
+  EXPECT_EQ(totals.stage_count, static_cast<std::uint64_t>(n));
+
+  // Capacity is a function of (lanes, cap) only: a timeline that saw 10x
+  // the intervals on the same lane reports the identical bound.
+  Timeline bigger(options);
+  const std::uint32_t stage2 = bigger.InternStage("static");
+  for (int i = 0; i < 10 * n; ++i) {
+    bigger.RecordStage(0, static_cast<std::uint64_t>(i), stage2, i, i + 1);
+  }
+  EXPECT_EQ(bigger.ReservoirCapacityBytes(), timeline.ReservoirCapacityBytes());
+}
+
+TEST(TimelineTest, RunBoundsFallBackToIntervalExtrema) {
+  Timeline timeline;
+  const std::uint32_t stage = timeline.InternStage("s");
+  timeline.RecordStage(0, 1, stage, 30, 70);
+  timeline.RecordStage(1, 2, stage, 10, 50);
+  EXPECT_EQ(timeline.RunStartUs(), 10);
+  EXPECT_EQ(timeline.RunEndUs(), 70);
+}
+
+TEST(TimelineTest, MarkedRunBoundsWinOverExtrema) {
+  Timeline timeline;
+  timeline.MarkRunStart();
+  const std::uint32_t stage = timeline.InternStage("s");
+  // An interval far in the synthetic future: the marked (real-clock) bounds
+  // must win over the recorded extrema, not be dragged out to 2e6 µs.
+  timeline.RecordStage(0, 1, stage, 1'000'000, 2'000'000);
+  timeline.MarkRunEnd();
+  EXPECT_LE(timeline.RunStartUs(), timeline.RunEndUs());
+  EXPECT_LT(timeline.RunEndUs(), 1'000'000);
+}
+
+TEST(TimelineTest, ContendedTrackedMutexLandsInTheAmbientWorkerLane) {
+  Timeline timeline;
+  MetricsRegistry metrics;
+  TrackedMutex mu(&metrics, "test_lock");
+
+  mu.lock();
+  std::atomic<bool> thread_blocked{false};
+  std::thread contender([&] {
+    TimelineWorkerScope ambient(&timeline, /*worker=*/3);
+    thread_blocked.store(true);
+    mu.lock();  // contended: waits until the main thread unlocks
+    mu.unlock();
+  });
+  while (!thread_blocked.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  mu.unlock();
+  contender.join();
+
+  const TimelineWorkerTotals totals = timeline.TotalsFor(3);
+  EXPECT_GT(totals.lock_wait_us, 0.0);
+  const std::vector<TimelineInterval> samples = timeline.SamplesFor(3);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].kind, IntervalKind::kLockWait);
+  EXPECT_EQ(timeline.LockName(samples[0].label), "test_lock");
+}
+
+TEST(TimelineTest, AmbientPauseSuppressesLockWaitAttribution) {
+  Timeline timeline;
+  TrackedMutex mu;
+  mu.Attach(nullptr, "paused_lock");
+
+  mu.lock();
+  std::atomic<bool> thread_blocked{false};
+  std::thread contender([&] {
+    TimelineWorkerScope ambient(&timeline, 0);
+    TimelineAmbientPause pause;  // e.g. inside a timed queue wait
+    thread_blocked.store(true);
+    mu.lock();
+    mu.unlock();
+  });
+  while (!thread_blocked.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  mu.unlock();
+  contender.join();
+
+  EXPECT_DOUBLE_EQ(timeline.TotalsFor(0).lock_wait_us, 0.0);
+  EXPECT_EQ(timeline.IntervalsSeen(), 0u);
+}
+
+TEST(TimelineTest, NoAmbientScopeMeansContentionRecordsNothing) {
+  Timeline timeline;
+  TrackedMutex mu;
+  mu.Attach(nullptr, "unscoped");
+  mu.lock();
+  std::thread contender([&] {
+    mu.lock();  // no TimelineWorkerScope on this thread
+    mu.unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  mu.unlock();
+  contender.join();
+  EXPECT_EQ(timeline.IntervalsSeen(), 0u);
+}
+
+TEST(TimelineTest, ParallelRecordersStayExactAcrossLanes) {
+  Timeline timeline;
+  const std::uint32_t stage = timeline.InternStage("s");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        timeline.RecordStage(static_cast<std::uint32_t>(t),
+                             static_cast<std::uint64_t>(i), stage, i, i + 2);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(timeline.IntervalsSeen(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_DOUBLE_EQ(timeline.TotalsFor(static_cast<std::size_t>(t)).busy_us,
+                     2.0 * kPerThread);
+  }
+}
+
+}  // namespace
+}  // namespace pinscope::obs

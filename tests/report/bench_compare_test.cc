@@ -1,0 +1,147 @@
+// Bench-comparator suite: direction classification, the regression /
+// improvement split, boolean claims, array skipping, and parse-error
+// handling — the guarantees tools/bench_diff and PINSCOPE_BENCH_CHECK
+// lean on.
+#include "report/bench_compare.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pinscope::report {
+namespace {
+
+TEST(BenchCompareTest, DirectionFollowsTheLastDottedSegment) {
+  EXPECT_EQ(DirectionForPath("streaming.large_ms"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForPath("scan.p99_us"), MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForPath("timeline.reservoir_bytes"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForPath("trace.dropped"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForPath("autopsy.overhead_pct"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForPath("pipeline.speedup"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForPath("scan_cache.warm_hits"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForPath("autopsy.within_2pct"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForPath("exports.identical"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForPath("run.workers"),
+            MetricDirection::kInformational);
+  EXPECT_EQ(DirectionForPath("corpus.apps"),
+            MetricDirection::kInformational);
+}
+
+TEST(BenchCompareTest, IdenticalDocumentsPassWithMetricsCompared) {
+  const std::string doc =
+      "{\"scan\": {\"total_ms\": 120.5, \"speedup\": 3.1}, \"apps\": 500}";
+  const BenchCompareResult result = CompareBenchJson(doc, doc);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.regressions.empty());
+  EXPECT_TRUE(result.improvements.empty());
+  EXPECT_GE(result.compared, 2u);
+}
+
+TEST(BenchCompareTest, TwentyPercentWallTimeRegressionFailsTheGate) {
+  const std::string baseline = "{\"scan\": {\"total_ms\": 100.0}}";
+  const std::string current = "{\"scan\": {\"total_ms\": 120.0}}";
+  const BenchCompareResult result = CompareBenchJson(baseline, current);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_EQ(result.regressions[0].path, "scan.total_ms");
+  EXPECT_NEAR(result.regressions[0].delta_pct, 20.0, 1e-9);
+}
+
+TEST(BenchCompareTest, SpeedupDropFailsTheGate) {
+  const std::string baseline = "{\"pipeline\": {\"speedup\": 4.0}}";
+  const std::string current = "{\"pipeline\": {\"speedup\": 3.0}}";
+  const BenchCompareResult result = CompareBenchJson(baseline, current);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_EQ(result.regressions[0].path, "pipeline.speedup");
+}
+
+TEST(BenchCompareTest, WallTimeImprovementIsNotARegression) {
+  const std::string baseline = "{\"scan\": {\"total_ms\": 100.0}}";
+  const std::string current = "{\"scan\": {\"total_ms\": 70.0}}";
+  const BenchCompareResult result = CompareBenchJson(baseline, current);
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.improvements.size(), 1u);
+  EXPECT_EQ(result.improvements[0].path, "scan.total_ms");
+}
+
+TEST(BenchCompareTest, BooleanClaimTurningFalseIsARegression) {
+  const std::string baseline = "{\"exports\": {\"identical\": true}}";
+  const std::string current = "{\"exports\": {\"identical\": false}}";
+  const BenchCompareResult result = CompareBenchJson(baseline, current);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_EQ(result.regressions[0].path, "exports.identical");
+}
+
+TEST(BenchCompareTest, SmallDriftUnderTheThresholdIsIgnored) {
+  const std::string baseline = "{\"scan\": {\"total_ms\": 100.0}}";
+  const std::string current = "{\"scan\": {\"total_ms\": 104.0}}";
+  const BenchCompareResult result = CompareBenchJson(baseline, current);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.improvements.empty());
+}
+
+TEST(BenchCompareTest, ThresholdIsConfigurable) {
+  const std::string baseline = "{\"scan\": {\"total_ms\": 100.0}}";
+  const std::string current = "{\"scan\": {\"total_ms\": 104.0}}";
+  BenchCompareOptions options;
+  options.max_regress_pct = 2.0;
+  const BenchCompareResult result =
+      CompareBenchJson(baseline, current, options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(BenchCompareTest, InformationalPathsNeverGate) {
+  const std::string baseline = "{\"run\": {\"workers\": 4, \"apps\": 100}}";
+  const std::string current = "{\"run\": {\"workers\": 8, \"apps\": 900}}";
+  const BenchCompareResult result = CompareBenchJson(baseline, current);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.regressions.empty());
+  EXPECT_TRUE(result.improvements.empty());
+}
+
+TEST(BenchCompareTest, ArraysAreSkippedWholesale) {
+  const std::string doc =
+      "{\"timeline\": [1, 2, 3], \"scan\": {\"total_ms\": 10.0}}";
+  const auto flat = FlattenBenchJson(doc);
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_EQ(flat[0].first, "scan.total_ms");
+
+  const std::string longer =
+      "{\"timeline\": [1, 2, 3, 4, 5], \"scan\": {\"total_ms\": 10.0}}";
+  EXPECT_TRUE(CompareBenchJson(doc, longer).ok());
+}
+
+TEST(BenchCompareTest, BooleansFlattenAsZeroOrOne) {
+  const auto flat = FlattenBenchJson("{\"a\": true, \"b\": false}");
+  ASSERT_EQ(flat.size(), 2u);
+  EXPECT_DOUBLE_EQ(flat[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(flat[1].second, 0.0);
+}
+
+TEST(BenchCompareTest, ParseErrorFailsTheGate) {
+  const BenchCompareResult result =
+      CompareBenchJson("{\"a\": 1}", "{\"a\": 1");
+  EXPECT_FALSE(result.errors.empty());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(BenchCompareTest, RenderNamesTheRegression) {
+  const BenchCompareResult result = CompareBenchJson(
+      "{\"scan\": {\"total_ms\": 100.0}}", "{\"scan\": {\"total_ms\": 150.0}}");
+  const std::string rendered = RenderBenchCompare(result);
+  EXPECT_NE(rendered.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(rendered.find("scan.total_ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pinscope::report

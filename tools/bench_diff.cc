@@ -1,0 +1,83 @@
+// bench_diff — the standalone perf-regression gate over BENCH_*.json files.
+//
+// Usage: bench_diff [--check] [--max-regress-pct N] BASELINE CURRENT
+//
+// Compares two bench documents with report::CompareBenchJson and prints one
+// line per finding. Exit status: 0 when no classified metric regressed past
+// the threshold (default 10%), 1 on regression or parse failure, 2 on
+// usage/IO errors. `--check` is accepted for explicitness in CI recipes;
+// gating is the default behavior either way.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "report/bench_compare.h"
+
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff [--check] [--max-regress-pct N] "
+               "BASELINE.json CURRENT.json\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pinscope::report::BenchCompareOptions options;
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") continue;  // gating is the default; kept for CI.
+    if (arg == "--max-regress-pct") {
+      if (i + 1 >= argc) return Usage();
+      options.max_regress_pct = std::atof(argv[++i]);
+      continue;
+    }
+    if (arg.rfind("--max-regress-pct=", 0) == 0) {
+      options.max_regress_pct =
+          std::atof(arg.c_str() + sizeof("--max-regress-pct=") - 1);
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) return Usage();
+    if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (current_path == nullptr) {
+      current_path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr ||
+      options.max_regress_pct <= 0) {
+    return Usage();
+  }
+
+  std::string baseline, current;
+  if (!ReadFile(baseline_path, &baseline)) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", baseline_path);
+    return 2;
+  }
+  if (!ReadFile(current_path, &current)) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", current_path);
+    return 2;
+  }
+
+  const pinscope::report::BenchCompareResult result =
+      pinscope::report::CompareBenchJson(baseline, current, options);
+  std::fputs(pinscope::report::RenderBenchCompare(result).c_str(), stdout);
+  return result.ok() ? 0 : 1;
+}

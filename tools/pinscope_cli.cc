@@ -31,9 +31,12 @@
 #include "core/stream_study.h"
 #include "core/study.h"
 #include "dynamicanalysis/pipeline.h"
+#include "obs/autopsy.h"
 #include "obs/obs.h"
 #include "obs/process.h"
 #include "obs/telemetry.h"
+#include "obs/timeline.h"
+#include "report/perf_report.h"
 #include "report/run_report.h"
 #include "report/table.h"
 #include "staticanalysis/static_report.h"
@@ -91,6 +94,18 @@ std::unique_ptr<obs::Telemetry> StartTelemetry(const CliOptions& opts,
 /// format instead of JSON.
 void EmitObservability(obs::Observer& observer, const CliOptions& opts) {
   obs::PublishPeakRss(&observer.metrics());
+  // Published only when the trace cap actually dropped events, so a normal
+  // (unbounded or under-cap) run's summary is unchanged.
+  if (const std::size_t dropped = observer.trace().DroppedCount();
+      dropped > 0) {
+    observer.metrics()
+        .gauge("trace.dropped_events")
+        .Set(static_cast<std::uint64_t>(dropped));
+    std::fprintf(stderr,
+                 "warning: trace buffer full — %zu event(s) dropped "
+                 "(cap %zu); raise the cap or write metrics-only\n",
+                 dropped, observer.trace().max_events());
+  }
   const obs::MetricsSnapshot snapshot = observer.metrics().Snapshot();
   if (opts.summary) std::printf("%s", obs::RenderSummary(snapshot).c_str());
   if (!opts.metrics_path.empty()) {
@@ -112,6 +127,82 @@ void EmitObservability(obs::Observer& observer, const CliOptions& opts) {
     out << observer.log()->ToJsonl();
     std::printf("wrote decision journal (%zu events) to %s\n",
                 observer.log()->EventCount(), opts.log_path.c_str());
+  }
+}
+
+/// Did the command line ask for any run-autopsy artifact? A timeline is
+/// attached to the study only then — it is cheap, but attaching nothing when
+/// nothing was requested keeps the default run untouched.
+bool WantsAutopsy(const CliOptions& opts) {
+  return !opts.perf_report_path.empty() || !opts.folded_path.empty() ||
+         opts.command == "autopsy";
+}
+
+/// Builds the timeline the perf surfaces consume, or nullptr when none was
+/// requested. Warns when the phase-barrier scheduler is selected: it has no
+/// per-item chains, so the timeline would stay empty.
+std::unique_ptr<obs::Timeline> StartTimeline(const CliOptions& opts) {
+  if (!WantsAutopsy(opts)) return nullptr;
+  if (opts.scheduler == "phases") {
+    std::fprintf(stderr,
+                 "warning: --scheduler=phases has no per-app stage chains; "
+                 "the run autopsy will be empty (use the pipeline "
+                 "scheduler)\n");
+  }
+  obs::TimelineOptions topts;
+  topts.per_worker_cap = static_cast<std::size_t>(opts.timeline_cap);
+  return std::make_unique<obs::Timeline>(topts);
+}
+
+/// Resolves a timeline item key (TelemetryKey: platform rank << 48 |
+/// universe index) to platform / app-id labels against the live ecosystem.
+obs::ItemResolver ResolverFor(const store::Ecosystem& eco) {
+  return [&eco](std::uint64_t key) {
+    const auto p = (key >> 48) == 0 ? appmodel::Platform::kAndroid
+                                    : appmodel::Platform::kIos;
+    const auto index =
+        static_cast<std::size_t>(key & ((std::uint64_t{1} << 48) - 1));
+    obs::ItemLabel label;
+    label.platform = std::string(appmodel::PlatformName(p));
+    const auto& apps = eco.apps(p);
+    label.app = index < apps.size() ? apps[index].meta.app_id
+                                    : "app#" + std::to_string(index);
+    return label;
+  };
+}
+
+/// Analyzes the finished timeline and writes every requested perf surface:
+/// the autopsy Markdown to stdout when `print` is set (the `autopsy`
+/// command), --perf-report-out Markdown + JSON twin, and --folded-out
+/// collapsed stacks.
+void EmitPerfArtifacts(const obs::Timeline* timeline,
+                       const store::Ecosystem& eco, obs::Observer& observer,
+                       const CliOptions& opts, bool print) {
+  if (timeline == nullptr) return;
+  const obs::MetricsSnapshot snapshot = observer.metrics().Snapshot();
+  const obs::Autopsy autopsy = obs::Analyze(*timeline, &snapshot);
+  report::PerfReportInput input;
+  input.autopsy = &autopsy;
+  input.resolver = ResolverFor(eco);
+  if (print) std::printf("%s", report::WritePerfReportMarkdown(input).c_str());
+  if (!opts.perf_report_path.empty()) {
+    {
+      std::ofstream out(opts.perf_report_path);
+      out << report::WritePerfReportMarkdown(input);
+    }
+    const std::string json_path =
+        report::PerfReportJsonPathFor(opts.perf_report_path);
+    {
+      std::ofstream out(json_path);
+      out << report::WritePerfReportJson(input);
+    }
+    std::printf("wrote perf report to %s (and %s)\n",
+                opts.perf_report_path.c_str(), json_path.c_str());
+  }
+  if (!opts.folded_path.empty()) {
+    std::ofstream out(opts.folded_path);
+    out << obs::WriteFoldedStacks(*timeline, input.resolver);
+    std::printf("wrote folded stacks to %s\n", opts.folded_path.c_str());
   }
 }
 
@@ -170,6 +261,10 @@ int Usage() {
       "  study               run the full study, print prevalence\n"
       "  audit APP_ID        audit one app (static + dynamic + circumvention)\n"
       "  tables              print every paper table\n"
+      "  autopsy             run the study with the interval timeline attached\n"
+      "                      and print the causal profile: critical path,\n"
+      "                      per-worker idle attribution, slowest apps, and\n"
+      "                      contended locks\n"
       "  longitudinal        advance the store through churn epochs and print\n"
       "                      the pin-rotation / key-reuse table\n"
       "  help                this text\n\n"
@@ -239,7 +334,17 @@ int Usage() {
       "                      final churn epoch changed and merge over the\n"
       "                      previous snapshot's results; merged exports are\n"
       "                      byte-identical to a full re-analysis (default\n"
-      "                      off)\n");
+      "                      off)\n"
+      "  --perf-report-out FILE  (study/autopsy) write the run autopsy as\n"
+      "                      Markdown, with a .json twin next to it; attaches\n"
+      "                      the interval timeline to the run (exports stay\n"
+      "                      byte-identical — DESIGN.md §17)\n"
+      "  --folded-out FILE   (study/autopsy) write collapsed stacks\n"
+      "                      ('platform;app;stage weight_us' lines) for\n"
+      "                      flamegraph.pl or speedscope\n"
+      "  --timeline-cap N    per-worker interval-reservoir capacity (default\n"
+      "                      8192); timeline memory is O(workers x N) at any\n"
+      "                      corpus size\n");
   return 2;
 }
 
@@ -369,6 +474,8 @@ int CmdStudy(const CliOptions& opts) {
   const std::unique_ptr<obs::Telemetry> telemetry =
       StartTelemetry(opts, observer);
   sopts.telemetry = telemetry.get();
+  const std::unique_ptr<obs::Timeline> timeline = StartTimeline(opts);
+  sopts.timeline = timeline.get();
   core::Study study(eco, sopts);
   std::fprintf(stderr, "[pinscope] running measurement pipeline\n");
   study.Run();
@@ -400,9 +507,32 @@ int CmdStudy(const CliOptions& opts) {
   // unified registry now (the caches publish gauges when Run() finishes).
   EmitObservability(observer, opts);
   EmitRunReport(study, observer, opts);
+  EmitPerfArtifacts(timeline.get(), eco, observer, opts, /*print=*/false);
 
   if (!opts.json_path.empty()) ExportJson(study, opts.json_path);
   if (!opts.csv_path.empty()) ExportCsv(study, opts.csv_path);
+  return 0;
+}
+
+/// `pinscope autopsy`: run the study with the interval timeline attached and
+/// print the causal profile — critical path, per-worker idle attribution,
+/// slowest apps, contended locks — instead of the paper tables. The same
+/// artifact flags as `study` (--perf-report-out, --folded-out) also work.
+int CmdAutopsy(const CliOptions& opts) {
+  store::Ecosystem eco = Generate(opts);
+  ApplySnapshots(eco, opts.snapshots);
+  obs::Observer observer;
+  core::StudyOptions sopts = StudyOptionsFor(opts, &observer);
+  const std::unique_ptr<obs::Telemetry> telemetry =
+      StartTelemetry(opts, observer);
+  sopts.telemetry = telemetry.get();
+  const std::unique_ptr<obs::Timeline> timeline = StartTimeline(opts);
+  sopts.timeline = timeline.get();
+  core::Study study(eco, sopts);
+  std::fprintf(stderr, "[pinscope] running measurement pipeline (autopsy)\n");
+  study.Run();
+  if (telemetry != nullptr) telemetry->Stop();
+  EmitPerfArtifacts(timeline.get(), eco, observer, opts, /*print=*/true);
   return 0;
 }
 
@@ -530,6 +660,7 @@ int main(int argc, char** argv) {
     if (opts->command == "study") return CmdStudy(*opts);
     if (opts->command == "audit") return CmdAudit(*opts);
     if (opts->command == "tables") return CmdTables(*opts);
+    if (opts->command == "autopsy") return CmdAutopsy(*opts);
     if (opts->command == "longitudinal") return CmdLongitudinal(*opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
